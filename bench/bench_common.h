@@ -1,0 +1,142 @@
+#ifndef PDM_BENCH_BENCH_COMMON_H_
+#define PDM_BENCH_BENCH_COMMON_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "market/linear_market.h"
+#include "market/regret_tracker.h"
+#include "market/round.h"
+#include "market/simulator.h"
+#include "pricing/ellipsoid_engine.h"
+#include "pricing/interval_engine.h"
+#include "rng/subgaussian.h"
+
+/// \file
+/// Shared machinery for the bench binaries that reproduce the paper's
+/// evaluation (Section V). Each bench prints the same rows/series the paper
+/// reports; EXPERIMENTS.md records paper-vs-measured values.
+
+namespace pdm::bench {
+
+/// The four mechanism variants of the evaluation, in the paper's order.
+struct Variant {
+  std::string label;
+  bool use_reserve;
+  bool uncertainty;
+};
+
+inline std::vector<Variant> PaperVariants() {
+  return {
+      {"pure", false, false},
+      {"uncertainty", false, true},
+      {"reserve", true, false},
+      {"reserve+uncertainty", true, true},
+  };
+}
+
+/// Precomputes a noisy-linear-query workload (Application 1) so all variants
+/// price the identical query sequence. `rounds[t].value` is the *clean*
+/// market value x_tᵀθ*; per-variant market noise is added at replay time.
+struct LinearWorkload {
+  std::vector<MarketRound> rounds;
+  Vector theta;
+  double recommended_radius = 0.0;
+};
+
+inline LinearWorkload MakeLinearWorkload(int dim, int64_t rounds, int num_owners,
+                                         uint64_t seed) {
+  NoisyLinearMarketConfig config;
+  config.feature_dim = dim;
+  config.num_owners = num_owners;
+  config.value_noise_sigma = 0.0;
+  Rng rng(seed);
+  NoisyLinearQueryStream stream(config, &rng);
+  LinearWorkload workload;
+  workload.theta = stream.theta();
+  workload.recommended_radius = stream.RecommendedRadius();
+  workload.rounds.reserve(static_cast<size_t>(rounds));
+  for (int64_t t = 0; t < rounds; ++t) {
+    workload.rounds.push_back(stream.Next(&rng));
+  }
+  return workload;
+}
+
+/// Replays a precomputed workload, adding fresh Gaussian market noise with
+/// standard deviation `noise_sigma` to each round's clean value.
+class NoisyReplayStream : public QueryStream {
+ public:
+  NoisyReplayStream(const std::vector<MarketRound>* rounds, double noise_sigma)
+      : rounds_(rounds), noise_sigma_(noise_sigma) {}
+
+  MarketRound Next(Rng* rng) override {
+    MarketRound round = (*rounds_)[cursor_];
+    cursor_ = (cursor_ + 1) % rounds_->size();
+    if (noise_sigma_ > 0.0) {
+      round.value += rng->NextGaussian(0.0, noise_sigma_);
+    }
+    return round;
+  }
+
+ private:
+  const std::vector<MarketRound>* rounds_;
+  double noise_sigma_;
+  size_t cursor_ = 0;
+};
+
+/// Runs one paper variant over a precomputed workload. For dim ≥ 2 this is
+/// the ellipsoid engine; dim == 1 routes to the interval engine with the
+/// evaluation's K₁ = [0, 2]. The uncertainty variants use the evaluation's
+/// δ = `delta` buffer and market noise σ = δ/(√(2·log 2)·log T).
+inline SimulationResult RunLinearVariant(const LinearWorkload& workload,
+                                         const Variant& variant, int dim, int64_t rounds,
+                                         double delta, int64_t series_stride,
+                                         uint64_t sim_seed) {
+  double noise_sigma =
+      variant.uncertainty ? SigmaForBuffer(delta, 2.0, rounds) : 0.0;
+  double engine_delta = variant.uncertainty ? delta : 0.0;
+  NoisyReplayStream stream(&workload.rounds, noise_sigma);
+  SimulationOptions options;
+  options.rounds = rounds;
+  options.series_stride = series_stride;
+  Rng rng(sim_seed);
+  if (dim == 1) {
+    IntervalEngineConfig config;
+    config.theta_min = 0.0;
+    config.theta_max = 2.0;
+    config.horizon = rounds;
+    config.delta = engine_delta;
+    config.use_reserve = variant.use_reserve;
+    IntervalPricingEngine engine(config);
+    return RunMarket(&stream, &engine, options, &rng);
+  }
+  EllipsoidEngineConfig config;
+  config.dim = dim;
+  config.horizon = rounds;
+  config.initial_radius = workload.recommended_radius;
+  config.delta = engine_delta;
+  config.use_reserve = variant.use_reserve;
+  EllipsoidPricingEngine engine(config);
+  return RunMarket(&stream, &engine, options, &rng);
+}
+
+/// Checkpoint rounds for figure-style series: `per_decade` log-spaced points
+/// per decade up to `max_round`, always including `max_round`.
+inline std::vector<int64_t> LogCheckpoints(int64_t max_round, int per_decade = 4) {
+  std::vector<int64_t> points;
+  double factor = std::pow(10.0, 1.0 / per_decade);
+  double current = 10.0;
+  while (static_cast<int64_t>(current) < max_round) {
+    int64_t value = static_cast<int64_t>(current);
+    if (points.empty() || value > points.back()) points.push_back(value);
+    current *= factor;
+  }
+  points.push_back(max_round);
+  return points;
+}
+
+}  // namespace pdm::bench
+
+#endif  // PDM_BENCH_BENCH_COMMON_H_

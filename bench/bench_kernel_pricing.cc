@@ -1,0 +1,103 @@
+// Kernelized market value model (the fourth non-linear model of
+// Section IV-A): v = Σ_j θ*_j·K(x, l_j) with a public RBF kernel and
+// landmarks. The paper lists the model (via Amin et al.'s repeated contextual
+// auctions) but does not evaluate it; this bench fills that gap and doubles
+// as a misspecification study:
+//
+//   kernelized engine  — prices over φ(x) = (K(x, l_j))_j  (correct model)
+//   linear engine      — prices over raw x                 (misspecified)
+//
+// The correct model converges to the ε-floor; the misspecified one plateaus
+// at its approximation error. A landmark-budget sweep shows the fixed-budget
+// substitution's knob.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "market/kernel_market.h"
+#include "market/simulator.h"
+#include "pricing/ellipsoid_engine.h"
+#include "pricing/generalized_engine.h"
+
+namespace {
+
+pdm::SimulationResult RunKernelEngine(const pdm::KernelMarketConfig& config,
+                                      int64_t rounds, uint64_t seed) {
+  pdm::Rng rng(seed);
+  pdm::KernelQueryStream stream(config, &rng);
+  pdm::EllipsoidEngineConfig base_config;
+  base_config.dim = config.num_landmarks;
+  base_config.horizon = rounds;
+  base_config.initial_radius = stream.RecommendedRadius();
+  base_config.use_reserve = config.reserve_fraction > 0.0;
+  pdm::GeneralizedPricingEngine engine(
+      std::make_unique<pdm::EllipsoidPricingEngine>(base_config),
+      std::make_shared<pdm::IdentityLink>(),
+      std::make_shared<pdm::KernelFeatureMap>(stream.feature_map()));
+  pdm::SimulationOptions options;
+  options.rounds = rounds;
+  return pdm::RunMarket(&stream, &engine, options, &rng);
+}
+
+pdm::SimulationResult RunMisspecifiedLinear(const pdm::KernelMarketConfig& config,
+                                            int64_t rounds, uint64_t seed) {
+  pdm::Rng rng(seed);
+  pdm::KernelQueryStream stream(config, &rng);
+  pdm::EllipsoidEngineConfig engine_config;
+  engine_config.dim = config.input_dim;
+  engine_config.horizon = rounds;
+  engine_config.initial_radius = 4.0 * stream.RecommendedRadius();
+  engine_config.use_reserve = config.reserve_fraction > 0.0;
+  pdm::EllipsoidPricingEngine engine(engine_config);
+  pdm::SimulationOptions options;
+  options.rounds = rounds;
+  return pdm::RunMarket(&stream, &engine, options, &rng);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t rounds = 20000;
+  uint64_t seed = 9;
+  pdm::FlagSet flags("bench_kernel_pricing");
+  flags.AddInt64("rounds", &rounds, "horizon T");
+  flags.AddInt64("seed", reinterpret_cast<int64_t*>(&seed), "workload seed");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  std::printf("=== Kernelized model (Section IV-A): correct vs misspecified ===\n\n");
+  pdm::KernelMarketConfig config;
+
+  pdm::TablePrinter table({"engine", "regret ratio", "sold", "exploratory"});
+  pdm::SimulationResult kernel_result = RunKernelEngine(config, rounds, seed);
+  pdm::SimulationResult linear_result = RunMisspecifiedLinear(config, rounds, seed);
+  table.AddRow({"kernelized (m=10)",
+                pdm::FormatDouble(100.0 * kernel_result.tracker.regret_ratio(), 2) + "%",
+                std::to_string(kernel_result.tracker.sales()),
+                std::to_string(kernel_result.engine_counters.exploratory_rounds)});
+  table.AddRow({"linear on raw x (misspecified)",
+                pdm::FormatDouble(100.0 * linear_result.tracker.regret_ratio(), 2) + "%",
+                std::to_string(linear_result.tracker.sales()),
+                std::to_string(linear_result.engine_counters.exploratory_rounds)});
+  table.Print(std::cout);
+
+  std::printf("\n--- landmark budget sweep (fixed-budget substitution knob) ---\n");
+  pdm::TablePrinter sweep({"landmarks m", "regret ratio", "exploratory"});
+  for (int m : {5, 10, 20, 40}) {
+    pdm::KernelMarketConfig c = config;
+    c.num_landmarks = m;
+    pdm::SimulationResult result = RunKernelEngine(c, rounds, seed);
+    sweep.AddRow({std::to_string(m),
+                  pdm::FormatDouble(100.0 * result.tracker.regret_ratio(), 2) + "%",
+                  std::to_string(result.engine_counters.exploratory_rounds)});
+  }
+  sweep.Print(std::cout);
+  std::printf(
+      "\nShape checks: the kernelized engine beats the misspecified linear\n"
+      "one decisively; more landmarks cost more exploration (Theorem 2's m in\n"
+      "place of n) for the same converged floor.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Lemma 8 / Fig. 6 (Appendix): if the broker is allowed to refine the
+// knowledge set on conservative-price feedback, an adversary forces Ω(T)
+// regret; the safe engine (which never cuts on conservative prices) stays
+// polylogarithmic on the same sequence.
+//
+// The adversary pins the reserve to the engine's mid-price along e₁ for the
+// first half (each unsafe cut halves the e₁ width and *expands* every other
+// axis by n/√(n²−1)), then switches to e₂ with no reserve.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "market/adversarial.h"
+#include "market/simulator.h"
+#include "pricing/ellipsoid_engine.h"
+
+namespace {
+
+double RunAdversary(int64_t horizon, bool allow_conservative_cuts, double* e2_width) {
+  pdm::AdversarialStreamConfig stream_config;
+  stream_config.dim = 2;
+  stream_config.horizon = horizon;
+  pdm::AdversarialQueryStream stream(stream_config);
+
+  pdm::EllipsoidEngineConfig config;
+  config.dim = 2;
+  config.horizon = horizon;
+  config.initial_radius = 1.0;  // Lemma 8's R = 1, S = 1
+  config.use_reserve = true;
+  config.allow_conservative_cuts = allow_conservative_cuts;
+  pdm::EllipsoidPricingEngine engine(config);
+
+  pdm::SimulationOptions options;
+  options.rounds = horizon;
+  pdm::Rng rng(4);
+  pdm::SimulationResult result = pdm::RunMarket(&stream, &engine, options, &rng);
+  if (e2_width != nullptr) {
+    *e2_width = engine.EstimateValueInterval(pdm::Vector{0.0, 1.0}).width();
+  }
+  return result.tracker.cumulative_regret();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t max_horizon = 3200;
+  pdm::FlagSet flags("bench_lemma8_adversarial");
+  flags.AddInt64("max_horizon", &max_horizon, "largest adversarial horizon T");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  std::printf("=== Lemma 8: conservative cuts admit an O(T)-regret adversary ===\n\n");
+  pdm::TablePrinter table({"T", "safe regret", "unsafe regret", "unsafe/T",
+                           "unsafe e2 width after run"});
+  for (int64_t horizon = 50; horizon <= max_horizon; horizon *= 2) {
+    double unsafe_width = 0.0;
+    double safe = RunAdversary(horizon, false, nullptr);
+    double unsafe = RunAdversary(horizon, true, &unsafe_width);
+    table.AddRow({std::to_string(horizon), pdm::FormatDouble(safe, 2),
+                  pdm::FormatDouble(unsafe, 2),
+                  pdm::FormatDouble(unsafe / static_cast<double>(horizon), 4),
+                  pdm::FormatDouble(unsafe_width, 3)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nShape checks (Lemma 8): the unsafe engine's regret grows linearly in\n"
+      "T (unsafe/T roughly constant over 50..200) while the safe engine's\n"
+      "stays flat; this is exactly why Algorithm 1 Line 24 forbids\n"
+      "conservative-price cuts. Beyond T ≈ 200 the idealized real-arithmetic\n"
+      "blow-up saturates in double precision (the e1 shape entry underflows\n"
+      "after ~95 unsafe cuts), so the unsafe regret plateaus instead of\n"
+      "growing without bound — the separation from the safe engine remains.\n");
+  return 0;
+}

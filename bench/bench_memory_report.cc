@@ -1,0 +1,111 @@
+// Section V-D memory overheads: the paper reports VmRSS for the three
+// applications (noisy linear query n=100: 151 MB; accommodation rental:
+// 105 MB; impressions n=1024 sparse/dense: 106/75 MB — Python runtime
+// included). This binary builds each application's full broker state and
+// reports VmRSS deltas; the O(n²) shape matrix dominates the engine itself.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "common/flags.h"
+#include "common/memory.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "market/airbnb_market.h"
+#include "market/avazu_market.h"
+#include "market/linear_market.h"
+#include "pricing/ellipsoid_engine.h"
+#include "pricing/generalized_engine.h"
+
+namespace {
+
+double MiB(int64_t bytes) { return static_cast<double>(bytes) / (1024.0 * 1024.0); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t owners = 2000;
+  pdm::FlagSet flags("bench_memory_report");
+  flags.AddInt64("owners", &owners, "data owners for application 1");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  std::printf("=== Section V-D: memory overhead (VmRSS) ===\n\n");
+  pdm::TablePrinter table(
+      {"application", "state built", "engine state", "VmRSS now", "delta"});
+  auto engine_state = [](int n) {
+    // One n×n shape matrix + center vector of doubles.
+    return pdm::FormatDouble(
+               static_cast<double>(n) * (n + 1) * 8.0 / (1024.0 * 1024.0), 2) +
+           " MiB";
+  };
+  int64_t base = pdm::CurrentRssBytes();
+
+  // Application 1: noisy linear query, n = 100.
+  {
+    pdm::Rng rng(1);
+    pdm::NoisyLinearMarketConfig config;
+    config.feature_dim = 100;
+    config.num_owners = static_cast<int>(owners);
+    auto stream = std::make_unique<pdm::NoisyLinearQueryStream>(config, &rng);
+    pdm::EllipsoidEngineConfig engine_config;
+    engine_config.dim = 100;
+    engine_config.horizon = 100000;
+    engine_config.initial_radius = stream->RecommendedRadius();
+    auto engine = std::make_unique<pdm::EllipsoidPricingEngine>(engine_config);
+    int64_t now = pdm::CurrentRssBytes();
+    table.AddRow({"noisy linear query (n=100)", "ledger+stream+engine",
+                  engine_state(100), pdm::FormatDouble(MiB(now), 1) + " MiB",
+                  pdm::FormatDouble(MiB(now - base), 1) + " MiB"});
+    base = now;
+  }
+
+  // Application 2: accommodation rental, n = 55 (reduced listing count; the
+  // paper's 74,111-round replay buffer scales linearly).
+  {
+    pdm::Rng rng(2);
+    pdm::AirbnbMarketConfig config;
+    config.num_listings = 20000;
+    auto market = std::make_unique<pdm::AirbnbMarket>(pdm::BuildAirbnbMarket(config, &rng));
+    pdm::EllipsoidEngineConfig engine_config;
+    engine_config.dim = pdm::AirbnbFeatureSpace::kDim;
+    engine_config.horizon = config.num_listings;
+    engine_config.initial_radius = market->recommended_radius;
+    auto engine = std::make_unique<pdm::EllipsoidPricingEngine>(engine_config);
+    int64_t now = pdm::CurrentRssBytes();
+    table.AddRow({"accommodation rental (n=55)", "model+rounds+engine",
+                  engine_state(55), pdm::FormatDouble(MiB(now), 1) + " MiB",
+                  pdm::FormatDouble(MiB(now - base), 1) + " MiB"});
+    base = now;
+  }
+
+  // Application 3: impressions, n = 1024 sparse.
+  {
+    pdm::Rng rng(3);
+    pdm::AvazuLikeConfig data_config;
+    pdm::AvazuLikeClickLog log(data_config, &rng);
+    pdm::AvazuMarketConfig config;
+    config.hashed_dim = 1024;
+    config.train_samples = 50000;
+    config.eval_samples = 5000;
+    auto market =
+        std::make_unique<pdm::AvazuMarket>(pdm::BuildAvazuMarket(config, log, &rng));
+    pdm::EllipsoidEngineConfig engine_config;
+    engine_config.dim = 1024;
+    engine_config.horizon = 100000;
+    engine_config.initial_radius = market->recommended_radius;
+    auto engine = std::make_unique<pdm::EllipsoidPricingEngine>(engine_config);
+    int64_t now = pdm::CurrentRssBytes();
+    table.AddRow({"impressions (n=1024 sparse)", "ctr model+engine",
+                  engine_state(1024), pdm::FormatDouble(MiB(now), 1) + " MiB",
+                  pdm::FormatDouble(MiB(now - base), 1) + " MiB"});
+  }
+
+  table.Print(std::cout);
+  std::printf(
+      "\nThe engine's own state is one n x n shape matrix plus one n-vector\n"
+      "(n=1024: 8 MiB). The paper's 75-160 MB figures include the Python\n"
+      "runtime; the C++ totals here are far smaller, with the same O(n^2)\n"
+      "scaling.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Online advertising (Section IV-B / V-C): a web publisher posts prices for
+// impressions instead of running an auction. The market value of an
+// impression is its click-through rate under a sparse logistic model over
+// hashed categorical features; FTRL-Proximal learns that model offline.
+//
+// Build & run:  ./build/examples/ad_impressions
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "market/avazu_market.h"
+#include "market/simulator.h"
+#include "pricing/ellipsoid_engine.h"
+#include "pricing/generalized_engine.h"
+
+int main() {
+  const int kHashedDim = 128;
+  const int64_t kRounds = 20000;
+
+  pdm::Rng rng(31);
+  pdm::AvazuLikeConfig data_config;
+  pdm::AvazuLikeClickLog click_log(data_config, &rng);
+
+  pdm::AvazuMarketConfig market_config;
+  market_config.hashed_dim = kHashedDim;
+  market_config.train_samples = 100000;
+  market_config.eval_samples = 10000;
+  pdm::AvazuMarket market = pdm::BuildAvazuMarket(market_config, click_log, &rng);
+  std::printf("offline CTR model: log-loss %.3f, %d non-zero weights of %d slots\n\n",
+              market.logloss, market.nonzero_weights, kHashedDim);
+
+  pdm::TablePrinter table({"encoding", "dim", "regret ratio", "sold", "ms/round"});
+  for (bool dense : {false, true}) {
+    pdm::AvazuQueryStream stream(&click_log, &market, kHashedDim, dense);
+
+    pdm::EllipsoidEngineConfig base_config;
+    base_config.dim = stream.feature_dim();
+    base_config.horizon = kRounds;
+    base_config.initial_radius = market.recommended_radius;
+    base_config.use_reserve = false;  // impressions carry no reserve
+    pdm::GeneralizedPricingEngine engine(
+        std::make_unique<pdm::EllipsoidPricingEngine>(base_config),
+        std::make_shared<pdm::LogisticLink>(market.bias),
+        std::make_shared<pdm::IdentityFeatureMap>());
+
+    pdm::SimulationOptions options;
+    options.rounds = kRounds;
+    options.measure_latency = true;
+    pdm::Rng sim_rng(77);  // identical impressions for both encodings
+    pdm::SimulationResult result = pdm::RunMarket(&stream, &engine, options, &sim_rng);
+
+    table.AddRow({dense ? "dense" : "sparse", std::to_string(stream.feature_dim()),
+                  pdm::FormatDouble(100.0 * result.tracker.regret_ratio(), 2) + "%",
+                  std::to_string(result.tracker.sales()),
+                  pdm::FormatDouble(result.engine_millis_per_round, 4)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nThe dense encoding prices over only the model's non-zero weights and\n"
+      "converges much faster; the sparse encoding must first rule out every\n"
+      "zero-weight coordinate (Fig. 5(c)'s sparse-vs-dense gap).\n");
+  return 0;
+}

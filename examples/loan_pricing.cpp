@@ -1,0 +1,88 @@
+// Loan application (Section IV-B): a financial institution offers a loan at
+// an interest rate based on the borrower's situation (credit score,
+// employment, property). The borrower accepts iff the offered rate is at most
+// what they are willing to pay (their private market value); the funding cost
+// sets a floor (reserve) under the offered rate.
+//
+// The interest rate follows a linear model in the borrower features
+// (the paper points at linear/log-log models for loan pricing).
+//
+// Build & run:  ./build/examples/loan_pricing
+
+#include <cmath>
+#include <cstdio>
+
+#include "linalg/vector_ops.h"
+#include "market/regret_tracker.h"
+#include "pricing/ellipsoid_engine.h"
+#include "rng/rng.h"
+
+namespace {
+
+// Borrower features: [credit score, income stability, debt ratio,
+// collateral quality, loan-term risk] — all normalized to [0, 1].
+pdm::Vector DrawBorrower(pdm::Rng* rng) {
+  pdm::Vector x(5);
+  x[0] = rng->NextUniform(0.3, 1.0);   // credit score
+  x[1] = rng->NextUniform(0.0, 1.0);   // employment stability
+  x[2] = rng->NextUniform(0.0, 0.8);   // debt-to-income
+  x[3] = rng->NextUniform(0.2, 1.0);   // collateral
+  x[4] = rng->NextUniform(0.0, 1.0);   // term risk
+  return x;
+}
+
+}  // namespace
+
+int main() {
+  const int64_t kApplications = 30000;
+  pdm::Rng rng(13);
+
+  // The population's true willingness-to-pay model (percentage points):
+  // riskier borrowers tolerate higher rates; the bank must learn this from
+  // accept/decline feedback only.
+  const pdm::Vector kTheta = {-3.0, -1.5, 4.0, -2.0, 3.5};
+  const double kBaseRate = 8.0;
+
+  pdm::EllipsoidEngineConfig config;
+  config.dim = 5;
+  config.horizon = kApplications;
+  config.initial_radius = 8.0;
+  config.use_reserve = true;
+  config.delta = 0.05;  // tolerate idiosyncratic borrower noise
+  pdm::EllipsoidPricingEngine engine(config);
+
+  pdm::RegretTracker tracker;
+  int64_t funded = 0;
+  for (int64_t t = 0; t < kApplications; ++t) {
+    pdm::MarketRound round;
+    round.features = DrawBorrower(&rng);
+    // Willingness to pay in percentage points, with borrower idiosyncrasy.
+    round.value = kBaseRate + pdm::Dot(round.features, kTheta) +
+                  rng.NextGaussian(0.0, 0.02);
+    // Funding cost floor: the bank's marginal cost of capital for this risk.
+    round.reserve = 0.6 * round.value + rng.NextGaussian(0.0, 0.01);
+
+    // The engine prices the *offset from the base rate*; shift accordingly.
+    pdm::PostedPrice posted =
+        engine.PostPrice(round.features, round.reserve - kBaseRate);
+    double offered_rate = posted.price + kBaseRate;
+    bool accepted = !posted.certain_no_sale && offered_rate <= round.value;
+    engine.Observe(accepted);
+    if (accepted) ++funded;
+
+    pdm::PostedPrice shifted = posted;
+    shifted.price = offered_rate;
+    pdm::MarketRound shifted_round = round;
+    tracker.Observe(shifted_round, shifted, accepted);
+  }
+
+  std::printf("loan applications: %ld, funded: %ld (%.1f%%)\n",
+              static_cast<long>(kApplications), static_cast<long>(funded),
+              100.0 * static_cast<double>(funded) / static_cast<double>(kApplications));
+  std::printf("interest income:   %.0f rate-points\n", tracker.cumulative_revenue());
+  std::printf("regret ratio:      %.2f%% (risk-averse floor pricing: %.2f%%)\n",
+              100.0 * tracker.regret_ratio(), 100.0 * tracker.baseline_regret_ratio());
+  std::printf("exploratory offers: %ld\n",
+              static_cast<long>(engine.counters().exploratory_rounds));
+  return 0;
+}

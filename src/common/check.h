@@ -1,0 +1,42 @@
+#ifndef PDM_COMMON_CHECK_H_
+#define PDM_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Fatal assertion macros for programmer-error detection.
+///
+/// Following the project policy (no exceptions on hot paths), violated
+/// preconditions abort the process with a source location. `PDM_CHECK` is
+/// always on; `PDM_DCHECK` compiles away in release builds and is meant for
+/// hot loops (e.g. per-round ellipsoid updates).
+
+namespace pdm::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "PDM_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace pdm::internal
+
+/// Aborts with a diagnostic if `cond` is false. Always enabled.
+#define PDM_CHECK(cond)                                          \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      ::pdm::internal::CheckFailed(__FILE__, __LINE__, #cond);   \
+    }                                                            \
+  } while (0)
+
+/// Debug-only variant of PDM_CHECK; no-op when NDEBUG is defined.
+#ifdef NDEBUG
+#define PDM_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define PDM_DCHECK(cond) PDM_CHECK(cond)
+#endif
+
+#endif  // PDM_COMMON_CHECK_H_

@@ -1,0 +1,34 @@
+#include "common/csv.h"
+
+namespace pdm {
+namespace {
+
+std::string EscapeCell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header) {
+  if (path.empty()) return;
+  out_.open(path);
+  if (ok()) WriteRow(header);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  if (!ok()) return;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << EscapeCell(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace pdm

@@ -1,0 +1,129 @@
+#include "common/flags.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace pdm {
+
+FlagSet::FlagSet(std::string program) : program_(std::move(program)) {}
+
+void FlagSet::AddInt64(const std::string& name, int64_t* value, const std::string& help) {
+  PDM_CHECK(value != nullptr);
+  PDM_CHECK(Find(name) == nullptr);
+  flags_.push_back({name, Type::kInt64, value, help, std::to_string(*value)});
+}
+
+void FlagSet::AddDouble(const std::string& name, double* value, const std::string& help) {
+  PDM_CHECK(value != nullptr);
+  PDM_CHECK(Find(name) == nullptr);
+  flags_.push_back({name, Type::kDouble, value, help, FormatDouble(*value, 6)});
+}
+
+void FlagSet::AddBool(const std::string& name, bool* value, const std::string& help) {
+  PDM_CHECK(value != nullptr);
+  PDM_CHECK(Find(name) == nullptr);
+  flags_.push_back({name, Type::kBool, value, help, *value ? "true" : "false"});
+}
+
+void FlagSet::AddString(const std::string& name, std::string* value, const std::string& help) {
+  PDM_CHECK(value != nullptr);
+  PDM_CHECK(Find(name) == nullptr);
+  flags_.push_back({name, Type::kString, value, help, *value});
+}
+
+const FlagSet::Flag* FlagSet::Find(const std::string& name) const {
+  for (const Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+bool FlagSet::Assign(const Flag& flag, const std::string& text) const {
+  switch (flag.type) {
+    case Type::kInt64: {
+      auto parsed = ParseInt64(text);
+      if (!parsed) return false;
+      *static_cast<int64_t*>(flag.target) = *parsed;
+      return true;
+    }
+    case Type::kDouble: {
+      auto parsed = ParseDouble(text);
+      if (!parsed) return false;
+      *static_cast<double*>(flag.target) = *parsed;
+      return true;
+    }
+    case Type::kBool: {
+      auto parsed = ParseBool(text);
+      if (!parsed) return false;
+      *static_cast<bool*>(flag.target) = *parsed;
+      return true;
+    }
+    case Type::kString:
+      *static_cast<std::string*>(flag.target) = text;
+      return true;
+  }
+  return false;
+}
+
+bool FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr, "%s", Usage().c_str());
+      return false;
+    }
+    if (!StartsWith(arg, "--")) {
+      std::fprintf(stderr, "%s: unexpected positional argument '%s'\n%s", program_.c_str(),
+                   arg.c_str(), Usage().c_str());
+      return false;
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      name = body;
+      // Bools may omit the value ("--verbose"); everything else consumes the
+      // next argument.
+      const Flag* flag = Find(name);
+      if (flag != nullptr && flag->type == Type::kBool &&
+          (i + 1 >= argc || StartsWith(argv[i + 1], "--"))) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "%s: flag --%s is missing a value\n", program_.c_str(),
+                     name.c_str());
+        return false;
+      }
+    }
+    const Flag* flag = Find(name);
+    if (flag == nullptr) {
+      std::fprintf(stderr, "%s: unknown flag --%s\n%s", program_.c_str(), name.c_str(),
+                   Usage().c_str());
+      return false;
+    }
+    if (!Assign(*flag, value)) {
+      std::fprintf(stderr, "%s: cannot parse value '%s' for flag --%s\n", program_.c_str(),
+                   value.c_str(), name.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string FlagSet::Usage() const {
+  std::string out = "usage: " + program_ + " [flags]\n";
+  for (const Flag& flag : flags_) {
+    out += "  --" + flag.name + " (default: " + flag.default_repr + ")\n      " + flag.help +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace pdm

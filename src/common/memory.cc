@@ -1,0 +1,25 @@
+#include "common/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace pdm {
+
+int64_t CurrentRssBytes() {
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return 0;
+  char line[256];
+  int64_t kib = 0;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      std::sscanf(line + 6, "%ld", &kib);
+      break;
+    }
+  }
+  std::fclose(file);
+  return kib * 1024;
+}
+
+double CurrentRssMiB() { return static_cast<double>(CurrentRssBytes()) / (1024.0 * 1024.0); }
+
+}  // namespace pdm

@@ -1,0 +1,21 @@
+#ifndef PDM_COMMON_MEMORY_H_
+#define PDM_COMMON_MEMORY_H_
+
+#include <cstdint>
+
+/// \file
+/// Process-memory probe mirroring the paper's methodology (Section V-D reads
+/// VmRSS from /proc/PID/status).
+
+namespace pdm {
+
+/// Resident set size of the current process in bytes, or 0 if /proc is
+/// unavailable (non-Linux platforms).
+int64_t CurrentRssBytes();
+
+/// VmRSS formatted in MiB for reporting.
+double CurrentRssMiB();
+
+}  // namespace pdm
+
+#endif  // PDM_COMMON_MEMORY_H_

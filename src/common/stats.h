@@ -1,0 +1,47 @@
+#ifndef PDM_COMMON_STATS_H_
+#define PDM_COMMON_STATS_H_
+
+#include <cstdint>
+#include <limits>
+
+/// \file
+/// Online statistics accumulators. `RunningStats` implements Welford's
+/// numerically stable single-pass mean/variance, which the bench harness uses
+/// to reproduce the mean(std) cells of Table I without storing per-round
+/// samples.
+
+namespace pdm {
+
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Folds one observation into the accumulator.
+  void Add(double value);
+
+  /// Merges another accumulator (parallel Welford / Chan et al.).
+  void Merge(const RunningStats& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divides by n); 0 for fewer than two samples.
+  double variance() const;
+  /// Sample variance (divides by n-1); 0 for fewer than two samples.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace pdm
+
+#endif  // PDM_COMMON_STATS_H_

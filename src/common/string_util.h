@@ -1,0 +1,40 @@
+#ifndef PDM_COMMON_STRING_UTIL_H_
+#define PDM_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// Small string helpers shared by the CSV reader, flag parser, and table
+/// printer. All functions are allocation-conscious and locale-independent.
+
+namespace pdm {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a", "", "b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Returns `text` with ASCII whitespace removed from both ends.
+std::string_view Trim(std::string_view text);
+
+/// True iff `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Lower-cases ASCII letters; other bytes pass through unchanged.
+std::string ToLower(std::string_view text);
+
+/// Locale-independent numeric parsing. Returns nullopt on any trailing
+/// garbage, overflow, or empty input.
+std::optional<double> ParseDouble(std::string_view text);
+std::optional<int64_t> ParseInt64(std::string_view text);
+std::optional<bool> ParseBool(std::string_view text);
+
+/// Formats `value` with `precision` significant fractional digits, e.g.
+/// FormatDouble(3.14159, 2) == "3.14".
+std::string FormatDouble(double value, int precision);
+
+}  // namespace pdm
+
+#endif  // PDM_COMMON_STRING_UTIL_H_

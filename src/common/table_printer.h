@@ -1,0 +1,33 @@
+#ifndef PDM_COMMON_TABLE_PRINTER_H_
+#define PDM_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// \file
+/// Fixed-width console table used by the bench harness to print the same
+/// rows the paper's tables and figure-series report.
+
+namespace pdm {
+
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; the row must have exactly one cell per header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a header separator, right-padding each column to
+  /// its widest cell.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,33 @@
+#ifndef PDM_COMMON_TIMER_H_
+#define PDM_COMMON_TIMER_H_
+
+#include <chrono>
+
+/// \file
+/// Wall-clock timer for the Section V-D latency measurements.
+
+namespace pdm {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_COMMON_TIMER_H_

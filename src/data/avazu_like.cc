@@ -1,0 +1,76 @@
+#include "data/avazu_like.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pdm {
+
+const std::vector<AdFieldSpec>& AvazuLikeFields() {
+  static const std::vector<AdFieldSpec> kFields = {
+      {"banner_pos", 8},    {"site_category", 24}, {"app_category", 24},
+      {"device_type", 6},   {"device_conn_type", 6}, {"hour", 24},
+      {"site_id", 300},     {"app_id", 300},       {"device_model", 500},
+      {"C1", 7},
+  };
+  return kFields;
+}
+
+AvazuLikeClickLog::AvazuLikeClickLog(const AvazuLikeConfig& config, Rng* rng)
+    : config_(config) {
+  PDM_CHECK(rng != nullptr);
+  PDM_CHECK(config_.num_signal_pairs > 0);
+  const auto& fields = AvazuLikeFields();
+  // Plant signal on low-cardinality fields with higher probability so each
+  // signal pair fires often enough for FTRL to find it; the long-tail id
+  // fields contribute a couple of pairs like real campaign effects.
+  for (int k = 0; k < config_.num_signal_pairs; ++k) {
+    int field = static_cast<int>(rng->NextUint64(fields.size()));
+    int64_t value = static_cast<int64_t>(
+        rng->NextUint64(static_cast<uint64_t>(fields[static_cast<size_t>(field)].cardinality)));
+    // Avoid duplicate (field, value) pairs.
+    bool duplicate = false;
+    for (const auto& existing : signal_weights_) {
+      if (existing.first.first == field && existing.first.second == value) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) {
+      --k;
+      continue;
+    }
+    double magnitude = rng->NextUniform(0.6, 2.2);
+    double sign = rng->NextBernoulli(0.55) ? 1.0 : -1.0;
+    signal_weights_.push_back({{field, value}, sign * magnitude});
+  }
+}
+
+AdImpression AvazuLikeClickLog::Next(Rng* rng) const {
+  PDM_CHECK(rng != nullptr);
+  const auto& fields = AvazuLikeFields();
+  AdImpression sample;
+  sample.fields.reserve(fields.size());
+  for (size_t f = 0; f < fields.size(); ++f) {
+    // Zipf-ish skew: half the mass on the first ~10% of values, so signal
+    // pairs planted on popular values fire frequently.
+    int64_t card = fields[f].cardinality;
+    int64_t head = std::max<int64_t>(1, card / 10);
+    int64_t value = rng->NextBernoulli(0.5)
+                        ? static_cast<int64_t>(rng->NextUint64(static_cast<uint64_t>(head)))
+                        : static_cast<int64_t>(rng->NextUint64(static_cast<uint64_t>(card)));
+    sample.fields.push_back({static_cast<int>(f), value});
+  }
+  double logit = config_.base_logit;
+  for (const auto& [pair, weight] : signal_weights_) {
+    if (sample.fields[static_cast<size_t>(pair.first)].second == pair.second) {
+      logit += weight;
+    }
+  }
+  sample.logit = logit;
+  sample.ctr = 1.0 / (1.0 + std::exp(-logit));
+  sample.clicked = rng->NextBernoulli(sample.ctr);
+  return sample;
+}
+
+}  // namespace pdm

@@ -1,0 +1,140 @@
+#include "data/csv_reader.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace pdm {
+namespace {
+
+/// Splits one CSV record honoring RFC-4180 quoting. Returns false on an
+/// unterminated quoted field.
+bool SplitCsvRecord(const std::string& line, std::vector<std::string>* fields) {
+  fields->clear();
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields->push_back(current);
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  fields->push_back(current);
+  return !in_quotes;
+}
+
+std::optional<Table> ParseRows(const std::vector<std::string>& header,
+                               const std::vector<std::vector<std::string>>& rows,
+                               std::string* error) {
+  size_t num_cols = header.size();
+  // Infer each column's type.
+  enum Kind { kInt, kReal, kText };
+  std::vector<Kind> kinds(num_cols, kInt);
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < num_cols; ++c) {
+      const std::string& cell = row[c];
+      if (Trim(cell).empty()) continue;
+      if (kinds[c] == kInt && !ParseInt64(cell)) kinds[c] = kReal;
+      if (kinds[c] == kReal && !ParseDouble(cell)) kinds[c] = kText;
+      if (kinds[c] == kInt && !ParseInt64(cell)) kinds[c] = kText;
+    }
+  }
+  Table table;
+  for (size_t c = 0; c < num_cols; ++c) {
+    switch (kinds[c]) {
+      case kInt: {
+        std::vector<int64_t> values;
+        values.reserve(rows.size());
+        for (const auto& row : rows) {
+          auto parsed = ParseInt64(row[c]);
+          values.push_back(parsed.value_or(0));
+        }
+        table.AddColumn(Column::Int64s(header[c], std::move(values)));
+        break;
+      }
+      case kReal: {
+        Vector values;
+        values.reserve(rows.size());
+        for (const auto& row : rows) {
+          auto parsed = ParseDouble(row[c]);
+          values.push_back(parsed.value_or(std::nan("")));
+        }
+        table.AddColumn(Column::Doubles(header[c], std::move(values)));
+        break;
+      }
+      case kText: {
+        std::vector<std::string> values;
+        values.reserve(rows.size());
+        for (const auto& row : rows) values.push_back(row[c]);
+        table.AddColumn(Column::Strings(header[c], std::move(values)));
+        break;
+      }
+    }
+  }
+  (void)error;
+  return table;
+}
+
+std::optional<Table> ReadCsvStream(std::istream& in, std::string* error) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    if (error != nullptr) *error = "empty input";
+    return std::nullopt;
+  }
+  std::vector<std::string> header;
+  if (!SplitCsvRecord(line, &header)) {
+    if (error != nullptr) *error = "malformed header";
+    return std::nullopt;
+  }
+  std::vector<std::vector<std::string>> rows;
+  int64_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    if (!SplitCsvRecord(line, &fields) || fields.size() != header.size()) {
+      if (error != nullptr) {
+        *error = "malformed row at line " + std::to_string(line_number);
+      }
+      return std::nullopt;
+    }
+    rows.push_back(std::move(fields));
+  }
+  return ParseRows(header, rows, error);
+}
+
+}  // namespace
+
+std::optional<Table> ReadCsv(const std::string& path, std::string* error) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return ReadCsvStream(file, error);
+}
+
+std::optional<Table> ReadCsvFromString(const std::string& content, std::string* error) {
+  std::istringstream in(content);
+  return ReadCsvStream(in, error);
+}
+
+}  // namespace pdm

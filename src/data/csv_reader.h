@@ -1,0 +1,31 @@
+#ifndef PDM_DATA_CSV_READER_H_
+#define PDM_DATA_CSV_READER_H_
+
+#include <optional>
+#include <string>
+
+#include "data/table.h"
+
+/// \file
+/// CSV ingestion with type inference, so real MovieLens/Airbnb/Avazu exports
+/// can be dropped in for the synthetic generators.
+///
+/// Supported dialect: first row is the header; fields are comma-separated;
+/// RFC-4180 double-quote escaping; a column is typed int64 if every non-empty
+/// cell parses as an integer, else double if every non-empty cell parses as a
+/// number, else string. Empty numeric cells become NaN (double) or 0 (int64);
+/// downstream categorical encoding treats empty strings as missing.
+
+namespace pdm {
+
+/// Parses the file into a Table. Returns nullopt (with a message in *error,
+/// if given) on I/O failure or ragged rows.
+std::optional<Table> ReadCsv(const std::string& path, std::string* error = nullptr);
+
+/// Parses CSV content from a string (testing convenience).
+std::optional<Table> ReadCsvFromString(const std::string& content,
+                                       std::string* error = nullptr);
+
+}  // namespace pdm
+
+#endif  // PDM_DATA_CSV_READER_H_

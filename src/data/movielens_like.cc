@@ -1,0 +1,74 @@
+#include "data/movielens_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pdm {
+
+MovieLensLikeRatings MovieLensLikeRatings::Generate(const MovieLensLikeConfig& config,
+                                                    Rng* rng) {
+  PDM_CHECK(rng != nullptr);
+  PDM_CHECK(config.num_owners > 0);
+  PDM_CHECK(config.num_movies > 0);
+  PDM_CHECK(config.median_ratings_per_owner >= 1.0);
+
+  MovieLensLikeRatings data;
+  data.owners_.resize(static_cast<size_t>(config.num_owners));
+  double mu = std::log(config.median_ratings_per_owner);
+  int64_t max_ratings = 1;
+  for (OwnerProfile& owner : data.owners_) {
+    // Log-normal activity: most owners rate a few dozen movies, a heavy tail
+    // rates thousands — the MovieLens shape that drives compensation spread.
+    double draw = std::exp(rng->NextGaussian(mu, config.activity_sigma));
+    owner.num_ratings = std::max<int64_t>(1, static_cast<int64_t>(std::llround(draw)));
+    owner.num_ratings = std::min<int64_t>(owner.num_ratings, config.num_movies * 20L);
+    max_ratings = std::max(max_ratings, owner.num_ratings);
+    // Mean rating clusters around 3.5 stars with owner-level bias.
+    double mean = rng->NextGaussian(3.5, 0.45);
+    owner.mean_rating = std::clamp(mean, 0.5, 5.0);
+  }
+  for (OwnerProfile& owner : data.owners_) {
+    owner.activity =
+        static_cast<double>(owner.num_ratings) / static_cast<double>(max_ratings);
+  }
+  return data;
+}
+
+Vector MovieLensLikeRatings::OwnerData() const {
+  Vector data(owners_.size());
+  for (size_t i = 0; i < owners_.size(); ++i) {
+    // Rescale [0.5, 5.0] stars to [0, 1] so the Laplace data_range bound of
+    // 1.0 in the privacy layer is tight.
+    data[i] = (owners_[i].mean_rating - 0.5) / 4.5;
+  }
+  return data;
+}
+
+Table MovieLensLikeRatings::RatingsTable(int64_t max_rows, Rng* rng) const {
+  PDM_CHECK(rng != nullptr);
+  std::vector<int64_t> owner_ids;
+  std::vector<int64_t> movie_ids;
+  Vector ratings;
+  for (size_t i = 0; i < owners_.size() && static_cast<int64_t>(owner_ids.size()) < max_rows;
+       ++i) {
+    int64_t budget = std::min<int64_t>(owners_[i].num_ratings,
+                                       max_rows - static_cast<int64_t>(owner_ids.size()));
+    for (int64_t r = 0; r < budget; ++r) {
+      owner_ids.push_back(static_cast<int64_t>(i));
+      movie_ids.push_back(static_cast<int64_t>(rng->NextUint64(1000000)));
+      // Half-star grid around the owner's mean, clamped to the rating scale.
+      double rating = owners_[i].mean_rating + rng->NextGaussian(0.0, 0.8);
+      rating = std::clamp(std::round(rating * 2.0) / 2.0, 0.5, 5.0);
+      ratings.push_back(rating);
+    }
+  }
+  Table table;
+  table.AddColumn(Column::Int64s("owner_id", std::move(owner_ids)));
+  table.AddColumn(Column::Int64s("movie_id", std::move(movie_ids)));
+  table.AddColumn(Column::Doubles("rating", std::move(ratings)));
+  return table;
+}
+
+}  // namespace pdm

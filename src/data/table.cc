@@ -1,0 +1,118 @@
+#include "data/table.h"
+
+namespace pdm {
+
+Column Column::Doubles(std::string name, Vector values) {
+  Column c(std::move(name), ColumnType::kDouble);
+  c.double_values_ = std::move(values);
+  return c;
+}
+
+Column Column::Int64s(std::string name, std::vector<int64_t> values) {
+  Column c(std::move(name), ColumnType::kInt64);
+  c.int64_values_ = std::move(values);
+  return c;
+}
+
+Column Column::Strings(std::string name, std::vector<std::string> values) {
+  Column c(std::move(name), ColumnType::kString);
+  c.string_values_ = std::move(values);
+  return c;
+}
+
+int64_t Column::size() const {
+  switch (type_) {
+    case ColumnType::kDouble:
+      return static_cast<int64_t>(double_values_.size());
+    case ColumnType::kInt64:
+      return static_cast<int64_t>(int64_values_.size());
+    case ColumnType::kString:
+      return static_cast<int64_t>(string_values_.size());
+  }
+  return 0;
+}
+
+double Column::DoubleAt(int64_t row) const {
+  PDM_CHECK(type_ == ColumnType::kDouble);
+  PDM_DCHECK(row >= 0 && row < size());
+  return double_values_[static_cast<size_t>(row)];
+}
+
+int64_t Column::Int64At(int64_t row) const {
+  PDM_CHECK(type_ == ColumnType::kInt64);
+  PDM_DCHECK(row >= 0 && row < size());
+  return int64_values_[static_cast<size_t>(row)];
+}
+
+const std::string& Column::StringAt(int64_t row) const {
+  PDM_CHECK(type_ == ColumnType::kString);
+  PDM_DCHECK(row >= 0 && row < size());
+  return string_values_[static_cast<size_t>(row)];
+}
+
+double Column::NumericAt(int64_t row) const {
+  switch (type_) {
+    case ColumnType::kDouble:
+      return DoubleAt(row);
+    case ColumnType::kInt64:
+      return static_cast<double>(Int64At(row));
+    case ColumnType::kString:
+      break;
+  }
+  PDM_CHECK(false);
+  return 0.0;
+}
+
+const Vector& Column::doubles() const {
+  PDM_CHECK(type_ == ColumnType::kDouble);
+  return double_values_;
+}
+
+const std::vector<int64_t>& Column::int64s() const {
+  PDM_CHECK(type_ == ColumnType::kInt64);
+  return int64_values_;
+}
+
+const std::vector<std::string>& Column::strings() const {
+  PDM_CHECK(type_ == ColumnType::kString);
+  return string_values_;
+}
+
+void Table::AddColumn(Column column) {
+  PDM_CHECK(!HasColumn(column.name()));
+  if (columns_.empty()) {
+    num_rows_ = column.size();
+  } else {
+    PDM_CHECK(column.size() == num_rows_);
+  }
+  columns_.push_back(std::move(column));
+}
+
+const Column& Table::column(const std::string& name) const {
+  for (const Column& c : columns_) {
+    if (c.name() == name) return c;
+  }
+  PDM_CHECK(false);
+  return columns_.front();
+}
+
+const Column& Table::column(int index) const {
+  PDM_CHECK(index >= 0 && index < num_cols());
+  return columns_[static_cast<size_t>(index)];
+}
+
+bool Table::HasColumn(const std::string& name) const {
+  for (const Column& c : columns_) {
+    if (c.name() == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Table::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const Column& c : columns_) names.push_back(c.name());
+  return names;
+}
+
+}  // namespace pdm

@@ -1,0 +1,81 @@
+#ifndef PDM_DATA_TABLE_H_
+#define PDM_DATA_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "linalg/vector_ops.h"
+
+/// \file
+/// Minimal typed in-memory columnar table.
+///
+/// The dataset generators and CSV reader materialize records here; the
+/// feature pipeline consumes columns by name. The design mirrors what the
+/// paper did with pandas: typed columns, missing-value support for
+/// categorical data, and cheap column-wise access.
+
+namespace pdm {
+
+enum class ColumnType { kDouble, kInt64, kString };
+
+/// A single named, typed column. Exactly one of the payload vectors is
+/// populated, matching `type()`.
+class Column {
+ public:
+  static Column Doubles(std::string name, Vector values);
+  static Column Int64s(std::string name, std::vector<int64_t> values);
+  static Column Strings(std::string name, std::vector<std::string> values);
+
+  const std::string& name() const { return name_; }
+  ColumnType type() const { return type_; }
+  int64_t size() const;
+
+  /// Typed accessors; the column must have the matching type.
+  double DoubleAt(int64_t row) const;
+  int64_t Int64At(int64_t row) const;
+  const std::string& StringAt(int64_t row) const;
+
+  /// Numeric view: doubles pass through, int64 is widened; strings abort.
+  double NumericAt(int64_t row) const;
+
+  const Vector& doubles() const;
+  const std::vector<int64_t>& int64s() const;
+  const std::vector<std::string>& strings() const;
+
+ private:
+  Column(std::string name, ColumnType type) : name_(std::move(name)), type_(type) {}
+
+  std::string name_;
+  ColumnType type_;
+  Vector double_values_;
+  std::vector<int64_t> int64_values_;
+  std::vector<std::string> string_values_;
+};
+
+class Table {
+ public:
+  Table() = default;
+
+  /// Adds a column; all columns must have equal length and unique names.
+  void AddColumn(Column column);
+
+  int64_t num_rows() const { return num_rows_; }
+  int num_cols() const { return static_cast<int>(columns_.size()); }
+
+  /// Lookup by name; aborts if absent (use HasColumn to probe).
+  const Column& column(const std::string& name) const;
+  const Column& column(int index) const;
+  bool HasColumn(const std::string& name) const;
+
+  std::vector<std::string> ColumnNames() const;
+
+ private:
+  std::vector<Column> columns_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_DATA_TABLE_H_

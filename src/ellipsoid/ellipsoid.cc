@@ -1,0 +1,138 @@
+#include "ellipsoid/ellipsoid.h"
+
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "linalg/eigen_sym.h"
+
+namespace pdm {
+
+Ellipsoid::Ellipsoid(Vector center, Matrix shape)
+    : center_(std::move(center)), shape_(std::move(shape)) {
+  PDM_CHECK(shape_.rows() == shape_.cols());
+  PDM_CHECK(static_cast<int>(center_.size()) == shape_.rows());
+  PDM_CHECK(dim() >= 2);
+}
+
+Ellipsoid Ellipsoid::Ball(int dim, double radius) {
+  PDM_CHECK(dim >= 2);
+  PDM_CHECK(radius > 0.0);
+  return Ellipsoid(Zeros(dim), Matrix::ScaledIdentity(dim, radius * radius));
+}
+
+SupportInterval Ellipsoid::Support(const Vector& x) const {
+  PDM_CHECK(static_cast<int>(x.size()) == dim());
+  SupportInterval out;
+  out.midpoint = Dot(x, center_);
+  // One O(n²) pass computes both A·x (the support direction) and xᵀAx.
+  Vector ax = shape_.MatVec(x);
+  double quad = Dot(x, ax);
+  if (quad <= 0.0 || !std::isfinite(quad)) {
+    // Collapsed (or numerically indefinite) direction: the probe width is
+    // treated as zero, which routes the engine to the conservative price.
+    out.lower = out.upper = out.midpoint;
+    out.half_width = 0.0;
+    return out;
+  }
+  out.half_width = std::sqrt(quad);
+  out.lower = out.midpoint - out.half_width;
+  out.upper = out.midpoint + out.half_width;
+  ScaleInPlace(&ax, 1.0 / out.half_width);
+  out.direction = std::move(ax);
+  return out;
+}
+
+double Ellipsoid::CutAlpha(const Vector& x, double cut_value) const {
+  SupportInterval s = Support(x);
+  PDM_CHECK(s.half_width > 0.0);
+  return (s.midpoint - cut_value) / s.half_width;
+}
+
+void Ellipsoid::Cut(const Vector& b, double alpha, double sign) {
+  // sign = +1: keep {xᵀθ ≤ cut}; sign = −1: keep {xᵀθ ≥ cut}. The formulas
+  // below are Algorithm 1 Lines 17 (rejection) and 21 (acceptance); the
+  // acceptance case is the mirror image obtained by α → −α, b → −b.
+  int n = dim();
+  PDM_CHECK(n >= 2);
+  PDM_CHECK(static_cast<int>(b.size()) == n);
+  double a = sign * alpha;  // position measured toward the kept side
+  // The Löwner–John formulas are the minimal enclosing ellipsoid only for
+  // a ∈ [−1/n, 1); below −1/n the minimal enclosure is E itself and the
+  // formula would produce a *non*-enclosing ellipsoid. a = −1/n is the
+  // identity update.
+  PDM_CHECK(a >= -1.0 / static_cast<double>(n) - 1e-12 && a < 1.0);
+
+  double nd = static_cast<double>(n);
+  double factor = nd * nd * (1.0 - a * a) / (nd * nd - 1.0);
+  double coef = 2.0 * (1.0 + nd * a) / ((nd + 1.0) * (1.0 + a));
+  double step = (1.0 + nd * a) / (nd + 1.0);
+
+  // A ← factor · (A − coef · b·bᵀ);  c ← c − sign · step · b.
+  shape_.FusedScaleRankOne(factor, coef, b);
+  if (++cuts_since_symmetrize_ >= 32) {
+    shape_.Symmetrize();
+    cuts_since_symmetrize_ = 0;
+  }
+  AxpyInPlace(-sign * step, b, &center_);
+}
+
+void Ellipsoid::CutKeepBelow(const Vector& x, double alpha) {
+  SupportInterval support = Support(x);
+  PDM_CHECK(support.half_width > 0.0);
+  Cut(support.direction, alpha, +1.0);
+}
+
+void Ellipsoid::CutKeepAbove(const Vector& x, double alpha) {
+  SupportInterval support = Support(x);
+  PDM_CHECK(support.half_width > 0.0);
+  Cut(support.direction, alpha, -1.0);
+}
+
+void Ellipsoid::CutKeepBelow(const SupportInterval& support, double alpha) {
+  PDM_CHECK(support.half_width > 0.0);
+  Cut(support.direction, alpha, +1.0);
+}
+
+void Ellipsoid::CutKeepAbove(const SupportInterval& support, double alpha) {
+  PDM_CHECK(support.half_width > 0.0);
+  Cut(support.direction, alpha, -1.0);
+}
+
+bool Ellipsoid::Contains(const Vector& theta, double tol) const {
+  PDM_CHECK(static_cast<int>(theta.size()) == dim());
+  Vector diff = Sub(theta, center_);
+  Matrix l(0, 0);
+  if (!CholeskyFactor(shape_, &l)) return false;
+  Vector y = CholeskySolve(l, diff);
+  return Dot(diff, y) <= 1.0 + tol;
+}
+
+double Ellipsoid::LogVolumeUnnormalized() const {
+  Matrix l(0, 0);
+  PDM_CHECK(CholeskyFactor(shape_, &l));
+  return 0.5 * CholeskyLogDet(l);
+}
+
+double Ellipsoid::SmallestShapeEigenvalue() const { return SmallestEigenvalue(shape_); }
+
+Vector Ellipsoid::AxisWidths() const {
+  EigenSymResult eig = JacobiEigenSymmetric(shape_);
+  Vector widths(eig.eigenvalues.size());
+  for (size_t i = 0; i < widths.size(); ++i) {
+    widths[i] = 2.0 * std::sqrt(std::max(0.0, eig.eigenvalues[i]));
+  }
+  return widths;
+}
+
+bool Ellipsoid::LooksHealthy() const {
+  for (double v : center_) {
+    if (!std::isfinite(v)) return false;
+  }
+  for (int r = 0; r < shape_.rows(); ++r) {
+    if (shape_(r, r) <= 0.0 || !std::isfinite(shape_(r, r))) return false;
+  }
+  double scale = std::max(1.0, shape_.FrobeniusNorm());
+  return shape_.MaxAsymmetry() <= 1e-8 * scale;
+}
+
+}  // namespace pdm

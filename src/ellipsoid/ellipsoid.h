@@ -1,0 +1,109 @@
+#ifndef PDM_ELLIPSOID_ELLIPSOID_H_
+#define PDM_ELLIPSOID_ELLIPSOID_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+/// \file
+/// Löwner–John ellipsoid knowledge set (Definition 1 of the paper).
+///
+/// E = { θ ∈ Rⁿ : (θ − c)ᵀ A⁻¹ (θ − c) ≤ 1 } with center c and positive
+/// definite shape A. The pricing engine maintains the broker's knowledge of
+/// the weight vector θ* as such an ellipsoid and refines it with cuts whose
+/// position is the signed distance α of the cutting hyperplane
+/// {θ : xᵀθ = cut_value} from the center, measured in the ‖·‖_{A⁻¹} norm:
+///
+///     α = (xᵀc − cut_value) / √(xᵀAx).
+///
+/// α = 0 is a central cut, α > 0 a deep cut (keeps less than half), and
+/// α < 0 a shallow cut (keeps more than half). The update formulas are the
+/// Grötschel–Lovász–Schrijver rank-1 modifications quoted in Algorithm 1
+/// (Lines 17 and 21). They are singular at n = 1 (factor n²/(n²−1)), which is
+/// why the one-dimensional engine uses an interval instead.
+
+namespace pdm {
+
+/// Support interval of the linear functional θ ↦ xᵀθ over the ellipsoid.
+struct SupportInterval {
+  /// min over E (the paper's p̲ = xᵀ(c − b)).
+  double lower = 0.0;
+  /// max over E (the paper's p̄ = xᵀ(c + b)).
+  double upper = 0.0;
+  /// √(xᵀAx); upper − lower = 2·√(xᵀAx) is the probed width of E along x.
+  double half_width = 0.0;
+  /// Midpoint xᵀc, the exploratory price candidate.
+  double midpoint = 0.0;
+  /// The support direction b = A·x/√(xᵀAx) (empty when half_width = 0).
+  /// Cut overloads can reuse it to avoid recomputing the O(n²) mat-vec.
+  Vector direction;
+};
+
+class Ellipsoid {
+ public:
+  /// Constructs from a center and an SPD shape matrix (dimension ≥ 2).
+  Ellipsoid(Vector center, Matrix shape);
+
+  /// Origin-centered ball of the given radius: A = R²·I (Algorithm 1 input).
+  static Ellipsoid Ball(int dim, double radius);
+
+  int dim() const { return static_cast<int>(center_.size()); }
+  const Vector& center() const { return center_; }
+  const Matrix& shape() const { return shape_; }
+
+  /// Computes [p̲, p̄] along x (Lines 5–7 of Algorithm 1). If the quadratic
+  /// form underflows to ≤ 0 (a numerically collapsed direction), the interval
+  /// degenerates to the midpoint with half_width 0.
+  SupportInterval Support(const Vector& x) const;
+
+  /// Signed cut position α for hyperplane {θ : xᵀθ = cut_value}.
+  double CutAlpha(const Vector& x, double cut_value) const;
+
+  /// Replaces E by the Löwner–John ellipsoid of E ∩ {θ : xᵀθ ≤ xᵀc − α·√(xᵀAx)},
+  /// i.e. keeps the *lower* halfspace; this is the rejection branch of the
+  /// posted-price feedback (price too high ⇒ θ* lies below the cut).
+  /// Requires α ∈ (−1/n, 1) for a volume-reducing, well-defined update; the
+  /// caller enforces the paper's validity window.
+  void CutKeepBelow(const Vector& x, double alpha);
+
+  /// Keeps the *upper* halfspace E ∩ {θ : xᵀθ ≥ ...}: the acceptance branch.
+  /// Requires −α ∈ (−1/n, 1) (paper's Line 22 window).
+  void CutKeepAbove(const Vector& x, double alpha);
+
+  /// Hot-path overloads reusing a Support() result computed for the same x
+  /// on the *current* ellipsoid (saves one O(n²) mat-vec per round).
+  void CutKeepBelow(const SupportInterval& support, double alpha);
+  void CutKeepAbove(const SupportInterval& support, double alpha);
+
+  /// True iff θ lies inside the (slightly inflated by tol) ellipsoid. Solves
+  /// A·y = (θ−c) with Cholesky — O(n³), diagnostics/tests only.
+  bool Contains(const Vector& theta, double tol = 1e-9) const;
+
+  /// log(volume) − log(V_n) = ½·log det A (Eq. 3 without the unit-ball
+  /// constant, which cancels in every ratio the analysis uses).
+  double LogVolumeUnnormalized() const;
+
+  /// Smallest eigenvalue of A (Jacobi; diagnostics/tests only).
+  double SmallestShapeEigenvalue() const;
+
+  /// Widths 2√γᵢ(A) of all axes, descending (Definition 1 discussion).
+  Vector AxisWidths() const;
+
+  /// Numerical health checks: symmetric, finite, positive diagonal.
+  bool LooksHealthy() const;
+
+ private:
+  /// Shared implementation: `sign` +1 keeps below (rejection), −1 keeps
+  /// above (acceptance). `b` is the support direction A·x/√(xᵀAx).
+  void Cut(const Vector& b, double alpha, double sign);
+
+  Vector center_;
+  Matrix shape_;
+  /// Cuts since the last explicit symmetrization (floating-point drift in
+  /// the fused update is ~1 ulp per cut; re-symmetrizing every few dozen
+  /// cuts keeps it far below tolerance without paying O(n²) every round).
+  int cuts_since_symmetrize_ = 0;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_ELLIPSOID_ELLIPSOID_H_

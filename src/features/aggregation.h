@@ -1,0 +1,25 @@
+#ifndef PDM_FEATURES_AGGREGATION_H_
+#define PDM_FEATURES_AGGREGATION_H_
+
+#include "linalg/vector_ops.h"
+
+/// \file
+/// Sorted-partition aggregation of privacy compensations (Section II-B).
+///
+/// The paper's feature representation for a query: "sort the privacy
+/// compensations, and evenly divide them into n partitions. We sum the
+/// privacy compensations falling into a certain partition, and thus obtain a
+/// feature." Dimension n controls the aggregation granularity; n = 1 reduces
+/// to the total compensation and n = #owners to the identity mapping.
+
+namespace pdm {
+
+/// Returns the n-dimensional aggregated feature vector. Requires
+/// 1 ≤ n ≤ compensations.size(). The input is copied and sorted ascending;
+/// partition i receives indices [⌊i·m/n⌋, ⌊(i+1)·m/n⌋) so sizes differ by at
+/// most one. The output preserves total mass: Sum(result) = Sum(input).
+Vector SortedPartitionFeatures(const Vector& compensations, int n);
+
+}  // namespace pdm
+
+#endif  // PDM_FEATURES_AGGREGATION_H_

@@ -1,0 +1,161 @@
+#include "features/airbnb_features.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "data/airbnb_like.h"
+
+namespace pdm {
+namespace {
+
+/// Base features for the interaction block, by name (indices refer to the
+/// local array built in FeaturesForRow).
+constexpr int kNumInteractionBases = 10;
+
+/// The first 34 (i, j) pairs with i < j over the 10 interaction bases.
+struct InteractionPair {
+  int i;
+  int j;
+};
+
+const InteractionPair* InteractionPairs() {
+  static InteractionPair pairs[AirbnbFeatureSpace::kNumInteractions];
+  static bool initialized = false;
+  if (!initialized) {
+    int k = 0;
+    for (int i = 0; i < kNumInteractionBases && k < AirbnbFeatureSpace::kNumInteractions;
+         ++i) {
+      for (int j = i + 1;
+           j < kNumInteractionBases && k < AirbnbFeatureSpace::kNumInteractions; ++j) {
+        pairs[k++] = {i, j};
+      }
+    }
+    PDM_CHECK(k == AirbnbFeatureSpace::kNumInteractions);
+    initialized = true;
+  }
+  return pairs;
+}
+
+const char* kInteractionBaseNames[kNumInteractionBases] = {
+    "city_code", "room_code",    "accommodates", "bedrooms",      "bathrooms",
+    "superhost", "review_score", "occupancy",    "log1p_reviews", "instant"};
+
+}  // namespace
+
+void AirbnbFeatureSpace::Fit(const Table& listings) {
+  (void)listings;
+  // Codebooks are seeded from the canonical schema so the 55-dim layout is
+  // stable even when a small sample happens to miss a rare category (e.g.
+  // shared rooms are ~5% of listings).
+  city_codes_.Fit(AirbnbCityNames());
+  room_codes_.Fit(AirbnbRoomTypeNames());
+  policy_codes_.Fit(AirbnbCancellationPolicyNames());
+  PDM_CHECK(city_codes_.num_categories() == kAirbnbNumCities);
+  PDM_CHECK(room_codes_.num_categories() == kAirbnbNumRoomTypes);
+  PDM_CHECK(policy_codes_.num_categories() == kAirbnbNumCancellationPolicies);
+
+  const Column& response = listings.column("host_response_rate");
+  double sum = 0.0;
+  int64_t count = 0;
+  for (int64_t r = 0; r < listings.num_rows(); ++r) {
+    double v = response.DoubleAt(r);
+    if (!std::isnan(v)) {
+      sum += v;
+      ++count;
+    }
+  }
+  host_response_mean_ = count > 0 ? sum / static_cast<double>(count) : 0.0;
+  fitted_ = true;
+}
+
+Vector AirbnbFeatureSpace::FeaturesForRow(const Table& listings, int64_t row) const {
+  PDM_CHECK(fitted_);
+  Vector x = Zeros(kDim);
+  int offset = 0;
+
+  x[static_cast<size_t>(offset++)] = 1.0;  // bias
+
+  double city = city_codes_.CodeOf(listings.column("city").StringAt(row));
+  double room = room_codes_.CodeOf(listings.column("room_type").StringAt(row));
+  double policy =
+      policy_codes_.CodeOf(listings.column("cancellation_policy").StringAt(row));
+  x[static_cast<size_t>(offset++)] = city;
+  x[static_cast<size_t>(offset++)] = room;
+  x[static_cast<size_t>(offset++)] = policy;
+
+  double accommodates = listings.column("accommodates").NumericAt(row);
+  double bedrooms = listings.column("bedrooms").NumericAt(row);
+  double beds = listings.column("beds").NumericAt(row);
+  double bathrooms = listings.column("bathrooms").NumericAt(row);
+  double response = listings.column("host_response_rate").DoubleAt(row);
+  bool response_missing = std::isnan(response);
+  if (response_missing) response = host_response_mean_;
+  double superhost = listings.column("host_is_superhost").NumericAt(row);
+  double instant = listings.column("instant_bookable").NumericAt(row);
+  double log_reviews = std::log1p(listings.column("number_of_reviews").NumericAt(row));
+  double review_score = listings.column("review_score").NumericAt(row);
+  double occupancy = listings.column("occupancy_rate").NumericAt(row);
+
+  const double numeric_block[11] = {accommodates, bedrooms,  beds,
+                                    bathrooms,    response,  response_missing ? 1.0 : 0.0,
+                                    superhost,    instant,   log_reviews,
+                                    review_score, occupancy};
+  for (double v : numeric_block) x[static_cast<size_t>(offset++)] = v;
+
+  const char* amenity_names[6] = {"wifi",   "kitchen", "parking",
+                                  "air_conditioning", "washer", "tv"};
+  for (const char* name : amenity_names) {
+    x[static_cast<size_t>(offset++)] = listings.column(name).NumericAt(row);
+  }
+
+  const double bases[kNumInteractionBases] = {city,      room,         accommodates,
+                                              bedrooms,  bathrooms,    superhost,
+                                              review_score, occupancy, log_reviews,
+                                              instant};
+  const InteractionPair* pairs = InteractionPairs();
+  for (int k = 0; k < kNumInteractions; ++k) {
+    x[static_cast<size_t>(offset++)] = bases[pairs[k].i] * bases[pairs[k].j];
+  }
+
+  PDM_CHECK(offset == kDim);
+  return x;
+}
+
+Matrix AirbnbFeatureSpace::FeatureMatrix(const Table& listings) const {
+  Matrix out(static_cast<int>(listings.num_rows()), kDim);
+  for (int64_t r = 0; r < listings.num_rows(); ++r) {
+    Vector x = FeaturesForRow(listings, r);
+    for (int c = 0; c < kDim; ++c) out(static_cast<int>(r), c) = x[static_cast<size_t>(c)];
+  }
+  return out;
+}
+
+Vector AirbnbFeatureSpace::Targets(const Table& listings) const {
+  return listings.column("log_price").doubles();
+}
+
+std::vector<std::string> AirbnbFeatureSpace::FeatureNames() const {
+  std::vector<std::string> names;
+  names.reserve(kDim);
+  names.push_back("bias");
+  names.push_back("city_code");
+  names.push_back("room_code");
+  names.push_back("policy_code");
+  const char* numeric[11] = {"accommodates", "bedrooms", "beds", "bathrooms",
+                             "host_response_rate", "host_response_missing",
+                             "host_is_superhost", "instant_bookable", "log1p_reviews",
+                             "review_score", "occupancy_rate"};
+  for (const char* n : numeric) names.push_back(n);
+  const char* amenities[6] = {"wifi", "kitchen", "parking", "air_conditioning", "washer",
+                              "tv"};
+  for (const char* a : amenities) names.push_back(a);
+  const InteractionPair* pairs = InteractionPairs();
+  for (int k = 0; k < kNumInteractions; ++k) {
+    names.push_back(std::string(kInteractionBaseNames[pairs[k].i]) + "*" +
+                    kInteractionBaseNames[pairs[k].j]);
+  }
+  PDM_CHECK(static_cast<int>(names.size()) == kDim);
+  return names;
+}
+
+}  // namespace pdm

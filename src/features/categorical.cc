@@ -1,0 +1,50 @@
+#include "features/categorical.h"
+
+#include "common/check.h"
+
+namespace pdm {
+
+void CategoricalCodebook::Fit(const std::vector<std::string>& values) {
+  categories_.clear();
+  code_by_value_.clear();
+  for (const std::string& value : values) {
+    if (value.empty()) continue;  // missing
+    if (code_by_value_.find(value) == code_by_value_.end()) {
+      code_by_value_.emplace(value, static_cast<int>(categories_.size()));
+      categories_.push_back(value);
+    }
+  }
+}
+
+int CategoricalCodebook::CodeOf(const std::string& value) const {
+  if (value.empty()) return -1;
+  auto it = code_by_value_.find(value);
+  return it == code_by_value_.end() ? -1 : it->second;
+}
+
+std::vector<int> CategoricalCodebook::Transform(
+    const std::vector<std::string>& values) const {
+  std::vector<int> codes;
+  codes.reserve(values.size());
+  for (const std::string& value : values) codes.push_back(CodeOf(value));
+  return codes;
+}
+
+const std::string& CategoricalCodebook::CategoryOf(int code) const {
+  PDM_CHECK(code >= 0 && code < num_categories());
+  return categories_[static_cast<size_t>(code)];
+}
+
+int CategoricalCodebook::OneHotInto(const std::string& value, std::vector<double>* out,
+                                    int offset) const {
+  PDM_CHECK(out != nullptr);
+  PDM_CHECK(offset >= 0);
+  PDM_CHECK(offset + num_categories() <= static_cast<int>(out->size()));
+  int code = CodeOf(value);
+  if (code >= 0) {
+    (*out)[static_cast<size_t>(offset + code)] = 1.0;
+  }
+  return num_categories();
+}
+
+}  // namespace pdm

@@ -1,0 +1,45 @@
+#ifndef PDM_FEATURES_CATEGORICAL_H_
+#define PDM_FEATURES_CATEGORICAL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+/// \file
+/// Categorical codebook equivalent to pandas "categoricals" as used by the
+/// paper's Airbnb preprocessing: it "can handle the missing values, and
+/// return an integer array of codes for all categories". Missing values
+/// (empty strings) map to code −1, known categories to 0..k−1 in first-seen
+/// order, and unseen categories at transform time also map to −1.
+
+namespace pdm {
+
+class CategoricalCodebook {
+ public:
+  /// Learns the category set from training values (empty string = missing).
+  void Fit(const std::vector<std::string>& values);
+
+  /// Code for one value: 0..k−1, or −1 for missing/unseen.
+  int CodeOf(const std::string& value) const;
+
+  /// Vectorized CodeOf.
+  std::vector<int> Transform(const std::vector<std::string>& values) const;
+
+  /// Number of distinct (non-missing) categories.
+  int num_categories() const { return static_cast<int>(categories_.size()); }
+
+  /// Category string for a code in [0, num_categories).
+  const std::string& CategoryOf(int code) const;
+
+  /// One-hot encodes a value into `out[offset .. offset+num_categories)`;
+  /// missing/unseen contributes all zeros. Returns num_categories().
+  int OneHotInto(const std::string& value, std::vector<double>* out, int offset) const;
+
+ private:
+  std::vector<std::string> categories_;
+  std::unordered_map<std::string, int> code_by_value_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_FEATURES_CATEGORICAL_H_

@@ -1,0 +1,54 @@
+#include "features/hashing.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pdm {
+
+uint64_t Fnv1a64(const std::string& text) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+HashingFeaturizer::HashingFeaturizer(int dim, bool signed_hash)
+    : dim_(dim), signed_hash_(signed_hash) {
+  PDM_CHECK(dim_ > 0);
+}
+
+int32_t HashingFeaturizer::SlotOf(int field, int64_t value) const {
+  std::string key = std::to_string(field) + ":" + std::to_string(value);
+  return static_cast<int32_t>(Fnv1a64(key) % static_cast<uint64_t>(dim_));
+}
+
+SparseVector HashingFeaturizer::Featurize(
+    const std::vector<std::pair<int, int64_t>>& fields) const {
+  // Accumulate per-slot (collisions add), then emit in index order.
+  std::vector<std::pair<int32_t, double>> slots;
+  slots.reserve(fields.size());
+  for (const auto& [field, value] : fields) {
+    int32_t slot = SlotOf(field, value);
+    double sign = 1.0;
+    if (signed_hash_) {
+      std::string key = std::to_string(field) + ":" + std::to_string(value) + "#s";
+      sign = (Fnv1a64(key) & 1) ? 1.0 : -1.0;
+    }
+    slots.push_back({slot, sign});
+  }
+  std::sort(slots.begin(), slots.end());
+  SparseVector out;
+  for (const auto& [slot, value] : slots) {
+    if (!out.indices.empty() && out.indices.back() == slot) {
+      out.values.back() += value;
+    } else {
+      out.Append(slot, value);
+    }
+  }
+  return out;
+}
+
+}  // namespace pdm

@@ -1,0 +1,47 @@
+#ifndef PDM_FEATURES_HASHING_H_
+#define PDM_FEATURES_HASHING_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "linalg/sparse_vector.h"
+
+/// \file
+/// One-hot encoding with the hashing trick (Application 3, Section V-C):
+/// "we utilize one-hot encoding with the hashing trick, where the dimension
+/// of the feature vector n serves as the modulus after hashing." Each
+/// categorical (field, value) pair hashes (FNV-1a over "field:value") to a
+/// slot in [0, n); collisions are resolved by addition, the standard
+/// hashing-trick semantics.
+
+namespace pdm {
+
+/// 64-bit FNV-1a over a byte string (stable across platforms/runs).
+uint64_t Fnv1a64(const std::string& text);
+
+class HashingFeaturizer {
+ public:
+  /// `dim` is the hashed dimension n; `signed_hash` flips the contribution
+  /// sign by one hash bit (reduces collision bias; off by default to match
+  /// the paper's plain one-hot).
+  explicit HashingFeaturizer(int dim, bool signed_hash = false);
+
+  int dim() const { return dim_; }
+
+  /// Hashed slot of a (field, value) pair.
+  int32_t SlotOf(int field, int64_t value) const;
+
+  /// Encodes the pairs into a sorted sparse one-hot vector; pairs that
+  /// collide into one slot accumulate.
+  SparseVector Featurize(const std::vector<std::pair<int, int64_t>>& fields) const;
+
+ private:
+  int dim_;
+  bool signed_hash_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_FEATURES_HASHING_H_

@@ -1,0 +1,59 @@
+#include "features/pca.h"
+
+#include "common/check.h"
+#include "linalg/eigen_sym.h"
+
+namespace pdm {
+
+void Pca::Fit(const Matrix& rows, int num_components) {
+  int n = rows.rows();
+  int d = rows.cols();
+  PDM_CHECK(n >= 2);
+  PDM_CHECK(num_components >= 1 && num_components <= d);
+
+  mean_ = Zeros(d);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < d; ++c) mean_[static_cast<size_t>(c)] += rows(r, c);
+  }
+  ScaleInPlace(&mean_, 1.0 / static_cast<double>(n));
+
+  // Sample covariance (divides by n−1).
+  Matrix cov(d, d);
+  for (int r = 0; r < n; ++r) {
+    Vector centered(static_cast<size_t>(d));
+    for (int c = 0; c < d; ++c) {
+      centered[static_cast<size_t>(c)] = rows(r, c) - mean_[static_cast<size_t>(c)];
+    }
+    cov.AddRankOne(1.0, centered);
+  }
+  cov.Scale(1.0 / static_cast<double>(n - 1));
+
+  EigenSymResult eig = JacobiEigenSymmetric(cov);
+  components_ = Matrix(num_components, d);
+  explained_variance_ = Zeros(num_components);
+  for (int k = 0; k < num_components; ++k) {
+    explained_variance_[static_cast<size_t>(k)] = eig.eigenvalues[static_cast<size_t>(k)];
+    for (int c = 0; c < d; ++c) components_(k, c) = eig.eigenvectors(c, k);
+  }
+}
+
+Vector Pca::Transform(const Vector& x) const {
+  PDM_CHECK(fitted());
+  PDM_CHECK(x.size() == mean_.size());
+  Vector centered = Sub(x, mean_);
+  return components_.MatVec(centered);
+}
+
+Matrix Pca::TransformRows(const Matrix& rows) const {
+  PDM_CHECK(fitted());
+  Matrix out(rows.rows(), components_.rows());
+  for (int r = 0; r < rows.rows(); ++r) {
+    Vector projected = Transform(rows.Row(r));
+    for (int k = 0; k < components_.rows(); ++k) {
+      out(r, k) = projected[static_cast<size_t>(k)];
+    }
+  }
+  return out;
+}
+
+}  // namespace pdm

@@ -1,0 +1,43 @@
+#ifndef PDM_FEATURES_PCA_H_
+#define PDM_FEATURES_PCA_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+/// \file
+/// Principal components analysis (Section II-B mentions PCA as the
+/// alternative to sorted-partition aggregation when the raw compensation
+/// dimension is prohibitively high). Covariance + Jacobi eigendecomposition;
+/// suitable for the moderate dimensions this repo uses.
+
+namespace pdm {
+
+class Pca {
+ public:
+  /// Fits on `rows` (samples × dim), retaining `num_components` directions of
+  /// maximal variance. Requires 1 ≤ num_components ≤ dim and ≥ 2 rows.
+  void Fit(const Matrix& rows, int num_components);
+
+  /// Projects one centered sample onto the principal directions.
+  Vector Transform(const Vector& x) const;
+
+  /// Projects every row.
+  Matrix TransformRows(const Matrix& rows) const;
+
+  bool fitted() const { return components_.rows() > 0; }
+  int num_components() const { return components_.rows(); }
+  const Vector& mean() const { return mean_; }
+  /// Row k is the k-th principal direction (unit norm).
+  const Matrix& components() const { return components_; }
+  /// Variance explained by each retained component, descending.
+  const Vector& explained_variance() const { return explained_variance_; }
+
+ private:
+  Vector mean_;
+  Matrix components_{0, 0};
+  Vector explained_variance_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_FEATURES_PCA_H_

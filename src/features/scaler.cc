@@ -1,0 +1,62 @@
+#include "features/scaler.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pdm {
+
+double L2NormalizeInPlace(Vector* x) {
+  PDM_CHECK(x != nullptr);
+  double norm = Norm2(*x);
+  if (norm > 0.0) ScaleInPlace(x, 1.0 / norm);
+  return norm;
+}
+
+void StandardScaler::Fit(const Matrix& rows) {
+  PDM_CHECK(rows.rows() > 0);
+  int dim = rows.cols();
+  means_ = Zeros(dim);
+  stddevs_ = Zeros(dim);
+  double inv_n = 1.0 / static_cast<double>(rows.rows());
+  for (int r = 0; r < rows.rows(); ++r) {
+    for (int c = 0; c < dim; ++c) means_[static_cast<size_t>(c)] += rows(r, c);
+  }
+  ScaleInPlace(&means_, inv_n);
+  for (int r = 0; r < rows.rows(); ++r) {
+    for (int c = 0; c < dim; ++c) {
+      double d = rows(r, c) - means_[static_cast<size_t>(c)];
+      stddevs_[static_cast<size_t>(c)] += d * d;
+    }
+  }
+  for (int c = 0; c < dim; ++c) {
+    stddevs_[static_cast<size_t>(c)] =
+        std::sqrt(stddevs_[static_cast<size_t>(c)] * inv_n);
+  }
+}
+
+Vector StandardScaler::Transform(const Vector& x) const {
+  PDM_CHECK(fitted());
+  PDM_CHECK(x.size() == means_.size());
+  Vector out(x.size());
+  for (size_t c = 0; c < x.size(); ++c) {
+    double sd = stddevs_[c];
+    out[c] = (x[c] - means_[c]) / (sd > 0.0 ? sd : 1.0);
+  }
+  return out;
+}
+
+Matrix StandardScaler::TransformRows(const Matrix& rows) const {
+  PDM_CHECK(fitted());
+  PDM_CHECK(rows.cols() == static_cast<int>(means_.size()));
+  Matrix out(rows.rows(), rows.cols());
+  for (int r = 0; r < rows.rows(); ++r) {
+    for (int c = 0; c < rows.cols(); ++c) {
+      double sd = stddevs_[static_cast<size_t>(c)];
+      out(r, c) = (rows(r, c) - means_[static_cast<size_t>(c)]) / (sd > 0.0 ? sd : 1.0);
+    }
+  }
+  return out;
+}
+
+}  // namespace pdm

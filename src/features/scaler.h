@@ -1,0 +1,42 @@
+#ifndef PDM_FEATURES_SCALER_H_
+#define PDM_FEATURES_SCALER_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+/// \file
+/// Feature scalers. The evaluation normalizes every query feature vector to
+/// unit L2 norm (so S = 1 in the regret analysis); the Airbnb pipeline
+/// standardizes numeric columns before OLS.
+
+namespace pdm {
+
+/// Scales `x` to unit L2 norm in place; a zero vector is left unchanged.
+/// Returns the original norm.
+double L2NormalizeInPlace(Vector* x);
+
+/// Per-column standardization fitted on training rows: z = (x − mean)/std.
+/// Constant columns (std = 0) pass through centered only.
+class StandardScaler {
+ public:
+  /// Fits column means and standard deviations of `rows` (rows × dim).
+  void Fit(const Matrix& rows);
+
+  /// Transforms a single feature vector (must match fitted dim).
+  Vector Transform(const Vector& x) const;
+
+  /// Transforms every row of a matrix.
+  Matrix TransformRows(const Matrix& rows) const;
+
+  bool fitted() const { return !means_.empty(); }
+  const Vector& means() const { return means_; }
+  const Vector& stddevs() const { return stddevs_; }
+
+ private:
+  Vector means_;
+  Vector stddevs_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_FEATURES_SCALER_H_

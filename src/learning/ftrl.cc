@@ -1,0 +1,90 @@
+#include "learning/ftrl.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pdm {
+
+double Sigmoid(double z) {
+  // Branch on sign to avoid overflow in exp.
+  if (z >= 0.0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+FtrlProximal::FtrlProximal(int dim, FtrlConfig config)
+    : dim_(dim), config_(config), z_(Zeros(dim)), n_(Zeros(dim)) {
+  PDM_CHECK(dim_ > 0);
+  PDM_CHECK(config_.alpha > 0.0);
+  PDM_CHECK(config_.beta >= 0.0);
+  PDM_CHECK(config_.l1 >= 0.0);
+  PDM_CHECK(config_.l2 >= 0.0);
+}
+
+double FtrlProximal::WeightAt(int32_t index) const {
+  PDM_DCHECK(index >= 0 && index < dim_);
+  double zi = z_[static_cast<size_t>(index)];
+  if (std::fabs(zi) <= config_.l1) return 0.0;
+  double sign = zi < 0.0 ? -1.0 : 1.0;
+  double ni = n_[static_cast<size_t>(index)];
+  return -(zi - sign * config_.l1) /
+         ((config_.beta + std::sqrt(ni)) / config_.alpha + config_.l2);
+}
+
+double FtrlProximal::bias() const {
+  if (!config_.use_bias || bias_n_ == 0.0) return 0.0;
+  // Unregularized FTRL closed form (λ₁ = λ₂ = 0).
+  return -bias_z_ / ((config_.beta + std::sqrt(bias_n_)) / config_.alpha);
+}
+
+double FtrlProximal::Predict(const SparseVector& x) const {
+  double dot = bias();
+  for (size_t k = 0; k < x.indices.size(); ++k) {
+    dot += x.values[k] * WeightAt(x.indices[k]);
+  }
+  return Sigmoid(dot);
+}
+
+double FtrlProximal::Train(const SparseVector& x, bool clicked) {
+  double p = Predict(x);
+  double y = clicked ? 1.0 : 0.0;
+  for (size_t k = 0; k < x.indices.size(); ++k) {
+    int32_t i = x.indices[k];
+    double g = (p - y) * x.values[k];
+    double ni = n_[static_cast<size_t>(i)];
+    // Per-coordinate adaptive step: sigma = (√(n+g²) − √n)/α.
+    double sigma = (std::sqrt(ni + g * g) - std::sqrt(ni)) / config_.alpha;
+    double wi = WeightAt(i);
+    z_[static_cast<size_t>(i)] += g - sigma * wi;
+    n_[static_cast<size_t>(i)] = ni + g * g;
+  }
+  if (config_.use_bias) {
+    double g = p - y;
+    double sigma = (std::sqrt(bias_n_ + g * g) - std::sqrt(bias_n_)) / config_.alpha;
+    double wb = bias();
+    bias_z_ += g - sigma * wb;
+    bias_n_ += g * g;
+  }
+  ++examples_seen_;
+  return p;
+}
+
+Vector FtrlProximal::Weights() const {
+  Vector w(static_cast<size_t>(dim_));
+  for (int i = 0; i < dim_; ++i) w[static_cast<size_t>(i)] = WeightAt(i);
+  return w;
+}
+
+int FtrlProximal::NonZeroCount() const {
+  int count = 0;
+  for (int i = 0; i < dim_; ++i) {
+    if (WeightAt(i) != 0.0) ++count;
+  }
+  return count;
+}
+
+}  // namespace pdm

@@ -1,0 +1,79 @@
+#ifndef PDM_LEARNING_FTRL_H_
+#define PDM_LEARNING_FTRL_H_
+
+#include <cstdint>
+
+#include "linalg/sparse_vector.h"
+#include "linalg/vector_ops.h"
+
+/// \file
+/// FTRL-Proximal logistic regression (McMahan et al., "Ad click prediction: a
+/// view from the trenches", KDD 2013 — the paper's reference [44]).
+///
+/// Application 3 uses it to learn the sparse CTR weight vector θ* over hashed
+/// one-hot features: "apply Follow The Proximally Regularized Leader based
+/// logistic regression ... an online learning algorithm with per-coordinate
+/// learning rates and L1, L2 regularizations, and can preserve excellent
+/// performance and sparsity" (Section V-C).
+///
+/// Per-coordinate state (z_i, n_i); weights are recovered lazily:
+///   w_i = 0                                        if |z_i| ≤ λ₁
+///   w_i = −(z_i − sgn(z_i)·λ₁) / ((β + √n_i)/α + λ₂)  otherwise.
+
+namespace pdm {
+
+struct FtrlConfig {
+  double alpha = 0.1;  ///< Per-coordinate learning-rate scale.
+  double beta = 1.0;   ///< Learning-rate smoothing.
+  double l1 = 1.0;     ///< L1 strength λ₁ (drives sparsity).
+  double l2 = 1.0;     ///< L2 strength λ₂.
+  /// Learn an unregularized intercept. Without it, every frequently-hit
+  /// hashed slot must carry a share of the base click rate and L1 cannot
+  /// zero anything out.
+  bool use_bias = false;
+};
+
+class FtrlProximal {
+ public:
+  FtrlProximal(int dim, FtrlConfig config);
+
+  int dim() const { return dim_; }
+
+  /// Predicted click probability σ(w·x) for a sparse example.
+  double Predict(const SparseVector& x) const;
+
+  /// One online step: predict, then update (z, n) with the logistic gradient
+  /// for label y ∈ {0, 1}. Returns the pre-update prediction.
+  double Train(const SparseVector& x, bool clicked);
+
+  /// Current weight for one coordinate (lazy closed form).
+  double WeightAt(int32_t index) const;
+
+  /// Materializes the full dense weight vector.
+  Vector Weights() const;
+
+  /// Number of non-zero weights (the paper reports 21/23). The intercept is
+  /// not counted.
+  int NonZeroCount() const;
+
+  /// Learned intercept (0 unless config.use_bias).
+  double bias() const;
+
+  int64_t examples_seen() const { return examples_seen_; }
+
+ private:
+  int dim_;
+  FtrlConfig config_;
+  Vector z_;
+  Vector n_;
+  double bias_z_ = 0.0;
+  double bias_n_ = 0.0;
+  int64_t examples_seen_ = 0;
+};
+
+/// Numerically safe logistic sigmoid.
+double Sigmoid(double z);
+
+}  // namespace pdm
+
+#endif  // PDM_LEARNING_FTRL_H_

@@ -1,0 +1,67 @@
+#include "learning/kernels.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pdm {
+
+double LinearKernel::operator()(const Vector& a, const Vector& b) const {
+  return Dot(a, b);
+}
+
+RbfKernel::RbfKernel(double gamma) : gamma_(gamma) { PDM_CHECK(gamma_ > 0.0); }
+
+double RbfKernel::operator()(const Vector& a, const Vector& b) const {
+  PDM_CHECK(a.size() == b.size());
+  double dist_sq = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    dist_sq += d * d;
+  }
+  return std::exp(-gamma_ * dist_sq);
+}
+
+PolynomialKernel::PolynomialKernel(int degree, double offset)
+    : degree_(degree), offset_(offset) {
+  PDM_CHECK(degree_ >= 1);
+  PDM_CHECK(offset_ >= 0.0);
+}
+
+double PolynomialKernel::operator()(const Vector& a, const Vector& b) const {
+  double base = Dot(a, b) + offset_;
+  double result = 1.0;
+  for (int k = 0; k < degree_; ++k) result *= base;
+  return result;
+}
+
+LandmarkKernelMap::LandmarkKernelMap(std::shared_ptr<const Kernel> kernel, Matrix landmarks)
+    : kernel_(std::move(kernel)), landmarks_(std::move(landmarks)) {
+  PDM_CHECK(kernel_ != nullptr);
+  PDM_CHECK(landmarks_.rows() > 0);
+}
+
+Vector LandmarkKernelMap::Map(const Vector& x) const {
+  PDM_CHECK(static_cast<int>(x.size()) == input_dim());
+  Vector out(static_cast<size_t>(output_dim()));
+  for (int m = 0; m < output_dim(); ++m) {
+    out[static_cast<size_t>(m)] = (*kernel_)(x, landmarks_.Row(m));
+  }
+  return out;
+}
+
+Matrix LandmarkKernelMap::LandmarkGram() const {
+  int m = output_dim();
+  Matrix gram(m, m);
+  for (int i = 0; i < m; ++i) {
+    Vector li = landmarks_.Row(i);
+    for (int j = i; j < m; ++j) {
+      double k = (*kernel_)(li, landmarks_.Row(j));
+      gram(i, j) = k;
+      gram(j, i) = k;
+    }
+  }
+  return gram;
+}
+
+}  // namespace pdm

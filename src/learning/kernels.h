@@ -1,0 +1,79 @@
+#ifndef PDM_LEARNING_KERNELS_H_
+#define PDM_LEARNING_KERNELS_H_
+
+#include <memory>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+/// \file
+/// Mercer kernels and the landmark feature map for the kernelized market
+/// value model (Section IV-A): v_t = Σ_k K(x_t, x_k)·θ*_k.
+///
+/// The paper's formulation indexes past rounds, so the weight dimension grows
+/// with t; a fixed-dimension engine needs a bounded map. We use the standard
+/// landmark (Nyström-style) substitution: pick m reference points l_1..l_m
+/// and define φ(x) = (K(x, l_1), …, K(x, l_m)). This preserves the structure
+/// the pricing engine exploits — the market value is linear in an unknown
+/// weight vector over kernel evaluations — with m fixed. Documented as a
+/// substitution in DESIGN.md §2.
+
+namespace pdm {
+
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+  /// K(a, b); must be symmetric positive semi-definite (Mercer).
+  virtual double operator()(const Vector& a, const Vector& b) const = 0;
+};
+
+/// K(a,b) = aᵀb.
+class LinearKernel : public Kernel {
+ public:
+  double operator()(const Vector& a, const Vector& b) const override;
+};
+
+/// K(a,b) = exp(−γ‖a−b‖²).
+class RbfKernel : public Kernel {
+ public:
+  explicit RbfKernel(double gamma);
+  double operator()(const Vector& a, const Vector& b) const override;
+
+ private:
+  double gamma_;
+};
+
+/// K(a,b) = (aᵀb + c)^degree.
+class PolynomialKernel : public Kernel {
+ public:
+  PolynomialKernel(int degree, double offset);
+  double operator()(const Vector& a, const Vector& b) const override;
+
+ private:
+  int degree_;
+  double offset_;
+};
+
+/// φ(x) = (K(x, l_1), …, K(x, l_m)) over fixed landmarks.
+class LandmarkKernelMap {
+ public:
+  /// `landmarks` is m × d (one landmark per row); the kernel is shared.
+  LandmarkKernelMap(std::shared_ptr<const Kernel> kernel, Matrix landmarks);
+
+  int input_dim() const { return landmarks_.cols(); }
+  int output_dim() const { return landmarks_.rows(); }
+
+  Vector Map(const Vector& x) const;
+
+  /// Gram matrix K(l_i, l_j) of the landmarks (tests verify PSD-ness).
+  Matrix LandmarkGram() const;
+
+ private:
+  std::shared_ptr<const Kernel> kernel_;
+  Matrix landmarks_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_LEARNING_KERNELS_H_

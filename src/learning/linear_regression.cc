@@ -1,0 +1,55 @@
+#include "learning/linear_regression.h"
+
+#include "common/check.h"
+#include "linalg/cholesky.h"
+
+namespace pdm {
+
+bool LinearRegression::Fit(const Matrix& x, const Vector& y) {
+  int n = x.rows();
+  int d = x.cols();
+  PDM_CHECK(n > 0);
+  PDM_CHECK(static_cast<int>(y.size()) == n);
+
+  // Normal matrix XᵀX and moment vector Xᵀy in one pass over the rows.
+  Matrix gram(d, d);
+  Vector moment = Zeros(d);
+  for (int r = 0; r < n; ++r) {
+    Vector row = x.Row(r);
+    gram.AddRankOne(1.0, row);
+    AxpyInPlace(y[static_cast<size_t>(r)], row, &moment);
+  }
+  for (int i = 0; i < d; ++i) gram(i, i) += config_.ridge;
+
+  Matrix chol(0, 0);
+  if (!CholeskyFactor(gram, &chol)) {
+    weights_.clear();
+    return false;
+  }
+  weights_ = CholeskySolve(chol, moment);
+  return true;
+}
+
+double LinearRegression::Predict(const Vector& features) const {
+  PDM_CHECK(fitted());
+  return Dot(weights_, features);
+}
+
+Vector LinearRegression::PredictRows(const Matrix& x) const {
+  PDM_CHECK(fitted());
+  return x.MatVec(weights_);
+}
+
+double LinearRegression::MeanSquaredError(const Matrix& x, const Vector& y) const {
+  PDM_CHECK(fitted());
+  PDM_CHECK(x.rows() == static_cast<int>(y.size()));
+  Vector preds = PredictRows(x);
+  double acc = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    double d = preds[i] - y[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(y.size());
+}
+
+}  // namespace pdm

@@ -1,0 +1,47 @@
+#ifndef PDM_LEARNING_LINEAR_REGRESSION_H_
+#define PDM_LEARNING_LINEAR_REGRESSION_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+/// \file
+/// Ordinary least squares / ridge regression by normal equations + Cholesky.
+///
+/// Application 2 learns the Airbnb market-value weights offline: "we regard
+/// the logarithmic lodging prices as target variables in supervised learning,
+/// and then apply linear regression to learn the coefficients of different
+/// features, which play the role of θ* here" (Section V-B).
+
+namespace pdm {
+
+struct LinearRegressionConfig {
+  /// L2 penalty λ; 0 gives OLS. A tiny ridge keeps the normal equations well
+  /// conditioned when one-hot blocks are collinear.
+  double ridge = 1e-8;
+};
+
+class LinearRegression {
+ public:
+  explicit LinearRegression(LinearRegressionConfig config = {}) : config_(config) {}
+
+  /// Fits θ = (XᵀX + λI)⁻¹ Xᵀy. X is samples × dim. Returns false if the
+  /// regularized normal matrix is numerically singular.
+  bool Fit(const Matrix& x, const Vector& y);
+
+  bool fitted() const { return !weights_.empty(); }
+  const Vector& weights() const { return weights_; }
+
+  double Predict(const Vector& features) const;
+  Vector PredictRows(const Matrix& x) const;
+
+  /// Mean squared error over a dataset.
+  double MeanSquaredError(const Matrix& x, const Vector& y) const;
+
+ private:
+  LinearRegressionConfig config_;
+  Vector weights_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_LEARNING_LINEAR_REGRESSION_H_

@@ -1,0 +1,42 @@
+#include "learning/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pdm {
+
+double MeanSquaredError(const Vector& predictions, const Vector& targets) {
+  PDM_CHECK(predictions.size() == targets.size());
+  PDM_CHECK(!predictions.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    double d = predictions[i] - targets[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(predictions.size());
+}
+
+double LogLoss(const Vector& probabilities, const std::vector<bool>& labels) {
+  PDM_CHECK(probabilities.size() == labels.size());
+  PDM_CHECK(!probabilities.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    double p = std::clamp(probabilities[i], 1e-12, 1.0 - 1e-12);
+    acc += labels[i] ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return acc / static_cast<double>(probabilities.size());
+}
+
+double BinaryAccuracy(const Vector& probabilities, const std::vector<bool>& labels) {
+  PDM_CHECK(probabilities.size() == labels.size());
+  PDM_CHECK(!probabilities.empty());
+  int64_t correct = 0;
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    if ((probabilities[i] >= 0.5) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(probabilities.size());
+}
+
+}  // namespace pdm

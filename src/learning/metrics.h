@@ -1,0 +1,27 @@
+#ifndef PDM_LEARNING_METRICS_H_
+#define PDM_LEARNING_METRICS_H_
+
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+/// \file
+/// Evaluation metrics used to calibrate the offline learners against the
+/// paper's reported numbers (Airbnb OLS test MSE 0.226; Avazu FTRL log-loss
+/// 0.420/0.406).
+
+namespace pdm {
+
+/// Mean squared error between predictions and targets.
+double MeanSquaredError(const Vector& predictions, const Vector& targets);
+
+/// Mean logistic loss: −mean(y·log p + (1−y)·log(1−p)), probabilities clamped
+/// to [1e-12, 1−1e-12].
+double LogLoss(const Vector& probabilities, const std::vector<bool>& labels);
+
+/// Fraction of correct 0.5-thresholded predictions.
+double BinaryAccuracy(const Vector& probabilities, const std::vector<bool>& labels);
+
+}  // namespace pdm
+
+#endif  // PDM_LEARNING_METRICS_H_

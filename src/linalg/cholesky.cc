@@ -1,0 +1,59 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace pdm {
+
+bool CholeskyFactor(const Matrix& a, Matrix* l) {
+  PDM_CHECK(a.rows() == a.cols());
+  PDM_CHECK(l != nullptr);
+  int n = a.rows();
+  *l = Matrix(n, n);
+  for (int j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (int k = 0; k < j; ++k) diag -= (*l)(j, k) * (*l)(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) return false;
+    double ljj = std::sqrt(diag);
+    (*l)(j, j) = ljj;
+    for (int i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (int k = 0; k < j; ++k) acc -= (*l)(i, k) * (*l)(j, k);
+      (*l)(i, j) = acc / ljj;
+    }
+  }
+  return true;
+}
+
+Vector CholeskySolve(const Matrix& l, const Vector& b) {
+  int n = l.rows();
+  PDM_CHECK(static_cast<int>(b.size()) == n);
+  // Forward substitution: L·y = b.
+  Vector y(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    double acc = b[static_cast<size_t>(i)];
+    for (int k = 0; k < i; ++k) acc -= l(i, k) * y[static_cast<size_t>(k)];
+    y[static_cast<size_t>(i)] = acc / l(i, i);
+  }
+  // Back substitution: Lᵀ·x = y.
+  Vector x(static_cast<size_t>(n));
+  for (int i = n - 1; i >= 0; --i) {
+    double acc = y[static_cast<size_t>(i)];
+    for (int k = i + 1; k < n; ++k) acc -= l(k, i) * x[static_cast<size_t>(k)];
+    x[static_cast<size_t>(i)] = acc / l(i, i);
+  }
+  return x;
+}
+
+double CholeskyLogDet(const Matrix& l) {
+  double acc = 0.0;
+  for (int i = 0; i < l.rows(); ++i) acc += std::log(l(i, i));
+  return 2.0 * acc;
+}
+
+Vector SolveSpd(const Matrix& a, const Vector& b) {
+  Matrix l(0, 0);
+  PDM_CHECK(CholeskyFactor(a, &l));
+  return CholeskySolve(l, b);
+}
+
+}  // namespace pdm

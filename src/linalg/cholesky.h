@@ -1,0 +1,31 @@
+#ifndef PDM_LINALG_CHOLESKY_H_
+#define PDM_LINALG_CHOLESKY_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+/// \file
+/// Cholesky factorization for symmetric positive-definite systems. Used by
+/// (a) the OLS/ridge learners (normal equations), and (b) the ellipsoid
+/// log-volume computation (log det A = 2·Σ log L_ii).
+
+namespace pdm {
+
+/// Computes the lower-triangular L with A = L·Lᵀ. Returns false if A is not
+/// (numerically) positive definite; `*l` is unspecified in that case.
+bool CholeskyFactor(const Matrix& a, Matrix* l);
+
+/// Solves A·x = b given the factor L from CholeskyFactor (forward then back
+/// substitution).
+Vector CholeskySolve(const Matrix& l, const Vector& b);
+
+/// log det A = 2·Σᵢ log L_ii given the factor L.
+double CholeskyLogDet(const Matrix& l);
+
+/// Convenience: solves the SPD system A·x = b, aborting if A is not positive
+/// definite. Prefer the two-step API when failure must be handled.
+Vector SolveSpd(const Matrix& a, const Vector& b);
+
+}  // namespace pdm
+
+#endif  // PDM_LINALG_CHOLESKY_H_

@@ -1,0 +1,91 @@
+#include "linalg/eigen_sym.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pdm {
+
+EigenSymResult JacobiEigenSymmetric(const Matrix& a, int max_sweeps) {
+  PDM_CHECK(a.rows() == a.cols());
+  int n = a.rows();
+  EigenSymResult result;
+  result.eigenvectors = Matrix::ScaledIdentity(n, 1.0);
+  Matrix m = a;
+  m.Symmetrize();
+
+  auto off_diag_norm = [&]() {
+    double acc = 0.0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) acc += m(i, j) * m(i, j);
+    }
+    return std::sqrt(acc);
+  };
+
+  const double tol = 1e-12 * std::max(1.0, m.FrobeniusNorm());
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diag_norm() <= tol) {
+      result.converged = true;
+      break;
+    }
+    ++result.sweeps;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        double apq = m(p, q);
+        if (std::fabs(apq) <= tol / (n * n + 1.0)) continue;
+        double app = m(p, p);
+        double aqq = m(q, q);
+        // Classic Jacobi rotation parameters (Golub & Van Loan §8.5).
+        double tau = (aqq - app) / (2.0 * apq);
+        double t = (tau >= 0.0) ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                                : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+        double c = 1.0 / std::sqrt(1.0 + t * t);
+        double s = t * c;
+        for (int k = 0; k < n; ++k) {
+          double mkp = m(k, p);
+          double mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (int k = 0; k < n; ++k) {
+          double mpk = m(p, k);
+          double mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        for (int k = 0; k < n; ++k) {
+          double vkp = result.eigenvectors(k, p);
+          double vkq = result.eigenvectors(k, q);
+          result.eigenvectors(k, p) = c * vkp - s * vkq;
+          result.eigenvectors(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (!result.converged && off_diag_norm() <= tol) result.converged = true;
+
+  // Collect and sort eigenpairs in descending eigenvalue order.
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  Vector diag(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) diag[static_cast<size_t>(i)] = m(i, i);
+  std::sort(order.begin(), order.end(), [&](int lhs, int rhs) {
+    return diag[static_cast<size_t>(lhs)] > diag[static_cast<size_t>(rhs)];
+  });
+  result.eigenvalues.resize(static_cast<size_t>(n));
+  Matrix sorted_vectors(n, n);
+  for (int k = 0; k < n; ++k) {
+    int src = order[static_cast<size_t>(k)];
+    result.eigenvalues[static_cast<size_t>(k)] = diag[static_cast<size_t>(src)];
+    for (int i = 0; i < n; ++i) sorted_vectors(i, k) = result.eigenvectors(i, src);
+  }
+  result.eigenvectors = std::move(sorted_vectors);
+  return result;
+}
+
+double SmallestEigenvalue(const Matrix& a) {
+  EigenSymResult r = JacobiEigenSymmetric(a);
+  return r.eigenvalues.back();
+}
+
+}  // namespace pdm

@@ -1,0 +1,38 @@
+#ifndef PDM_LINALG_EIGEN_SYM_H_
+#define PDM_LINALG_EIGEN_SYM_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+/// \file
+/// Cyclic Jacobi eigendecomposition for symmetric matrices.
+///
+/// The ellipsoid analysis (Lemmas 3–5) reasons about the smallest eigenvalue
+/// of the shape matrix; tests and diagnostics verify those bounds
+/// numerically. PCA in the feature pipeline also uses this solver. Jacobi is
+/// O(n³) per sweep — fine for diagnostics, never on the per-round hot path.
+
+namespace pdm {
+
+struct EigenSymResult {
+  /// Eigenvalues sorted in descending order (γ₁ ≥ … ≥ γ_n, paper notation).
+  Vector eigenvalues;
+  /// Column k of `eigenvectors` (i.e. eigenvectors(i, k) over i) is the unit
+  /// eigenvector for eigenvalues[k].
+  Matrix eigenvectors{0, 0};
+  /// Number of sweeps performed.
+  int sweeps = 0;
+  /// True if off-diagonal mass converged below tolerance.
+  bool converged = false;
+};
+
+/// Decomposes symmetric `a`; asymmetry above ~1e-9 (relative) is a caller
+/// bug. `max_sweeps` bounds the cyclic Jacobi iterations.
+EigenSymResult JacobiEigenSymmetric(const Matrix& a, int max_sweeps = 64);
+
+/// Smallest eigenvalue convenience wrapper.
+double SmallestEigenvalue(const Matrix& a);
+
+}  // namespace pdm
+
+#endif  // PDM_LINALG_EIGEN_SYM_H_

@@ -1,0 +1,93 @@
+#ifndef PDM_LINALG_MATRIX_H_
+#define PDM_LINALG_MATRIX_H_
+
+#include <vector>
+
+#include "common/check.h"
+#include "linalg/vector_ops.h"
+
+/// \file
+/// Dense row-major matrix. The ellipsoid engine stores the shape matrix A
+/// here; the hot operations are MatVec and the symmetric rank-1 update of the
+/// Löwner–John cut formulas, both O(n²) with contiguous inner loops.
+
+namespace pdm {
+
+class Matrix {
+ public:
+  /// Creates a rows×cols matrix of zeros.
+  Matrix(int rows, int cols);
+
+  /// The n×n identity scaled by `diag`.
+  static Matrix ScaledIdentity(int n, double diag);
+
+  /// Builds a matrix from nested initializer-style data (row major); all rows
+  /// must have equal length. Intended for tests.
+  static Matrix FromRows(const std::vector<Vector>& rows);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& operator()(int r, int c) {
+    PDM_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    PDM_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  /// Raw row-major storage (rows()*cols() doubles).
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// y = A·x.
+  Vector MatVec(const Vector& x) const;
+
+  /// y = Aᵀ·x.
+  Vector MatTVec(const Vector& x) const;
+
+  /// Quadratic form xᵀ·A·x (square matrices only).
+  double QuadraticForm(const Vector& x) const;
+
+  /// A ← A + s·b·bᵀ (square matrices only). This is the rank-1 modification
+  /// pattern of the ellipsoid cut update (Lines 17/21 of Algorithm 1).
+  void AddRankOne(double s, const Vector& b);
+
+  /// A ← factor·(A − coef·b·bᵀ) in a single pass — the fused Löwner–John cut
+  /// update, the per-round O(n²) hot path of the pricing engine.
+  void FusedScaleRankOne(double factor, double coef, const Vector& b);
+
+  /// A ← s·A.
+  void Scale(double s);
+
+  /// A ← (A + Aᵀ)/2; applied after every cut to stop asymmetry drift.
+  void Symmetrize();
+
+  /// Largest |A_ij − A_ji| (diagnostic).
+  double MaxAsymmetry() const;
+
+  /// Sum of diagonal entries (square matrices only).
+  double Trace() const;
+
+  /// C = A·B.
+  Matrix MatMul(const Matrix& other) const;
+
+  /// Aᵀ as a new matrix.
+  Matrix Transposed() const;
+
+  /// Entrywise Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Copies row r into a Vector.
+  Vector Row(int r) const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_LINALG_MATRIX_H_

@@ -1,0 +1,63 @@
+#ifndef PDM_LINALG_SPARSE_VECTOR_H_
+#define PDM_LINALG_SPARSE_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "linalg/vector_ops.h"
+
+/// \file
+/// Sparse vector in coordinate format. Used by the one-hot hashing featurizer
+/// (Application 3) and the FTRL-Proximal learner, where feature vectors have
+/// a handful of active coordinates out of n = 1024 hashed slots.
+
+namespace pdm {
+
+struct SparseVector {
+  /// Active coordinates, strictly increasing.
+  std::vector<int32_t> indices;
+  /// Values aligned with `indices`.
+  Vector values;
+
+  int nnz() const { return static_cast<int>(indices.size()); }
+
+  /// Appends a coordinate; callers must append in increasing index order
+  /// (checked in debug builds).
+  void Append(int32_t index, double value) {
+    PDM_DCHECK(indices.empty() || indices.back() < index);
+    indices.push_back(index);
+    values.push_back(value);
+  }
+
+  /// Sparse·dense dot product.
+  double Dot(const Vector& dense) const {
+    double acc = 0.0;
+    for (size_t k = 0; k < indices.size(); ++k) {
+      PDM_DCHECK(static_cast<size_t>(indices[k]) < dense.size());
+      acc += values[k] * dense[static_cast<size_t>(indices[k])];
+    }
+    return acc;
+  }
+
+  /// Squared Euclidean norm.
+  double SquaredNorm() const {
+    double acc = 0.0;
+    for (double v : values) acc += v * v;
+    return acc;
+  }
+
+  /// Materializes into a dense n-vector.
+  Vector ToDense(int n) const {
+    Vector out = Zeros(n);
+    for (size_t k = 0; k < indices.size(); ++k) {
+      PDM_CHECK(indices[k] >= 0 && indices[k] < n);
+      out[static_cast<size_t>(indices[k])] += values[k];
+    }
+    return out;
+  }
+};
+
+}  // namespace pdm
+
+#endif  // PDM_LINALG_SPARSE_VECTOR_H_

@@ -1,0 +1,85 @@
+#include "linalg/vector_ops.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pdm {
+
+Vector Zeros(int n) {
+  PDM_CHECK(n >= 0);
+  return Vector(static_cast<size_t>(n), 0.0);
+}
+
+Vector Ones(int n) {
+  PDM_CHECK(n >= 0);
+  return Vector(static_cast<size_t>(n), 1.0);
+}
+
+Vector BasisVector(int n, int i) {
+  PDM_CHECK(n > 0);
+  PDM_CHECK(i >= 0 && i < n);
+  Vector e(static_cast<size_t>(n), 0.0);
+  e[static_cast<size_t>(i)] = 1.0;
+  return e;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  PDM_DCHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const Vector& a) { return std::sqrt(Dot(a, a)); }
+
+double NormInf(const Vector& a) {
+  double best = 0.0;
+  for (double x : a) best = std::max(best, std::fabs(x));
+  return best;
+}
+
+double Sum(const Vector& a) {
+  double acc = 0.0;
+  for (double x : a) acc += x;
+  return acc;
+}
+
+void ScaleInPlace(Vector* a, double s) {
+  for (double& x : *a) x *= s;
+}
+
+void AxpyInPlace(double s, const Vector& x, Vector* y) {
+  PDM_DCHECK(x.size() == y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += s * x[i];
+}
+
+Vector Add(const Vector& a, const Vector& b) {
+  PDM_DCHECK(a.size() == b.size());
+  Vector out(a);
+  AxpyInPlace(1.0, b, &out);
+  return out;
+}
+
+Vector Sub(const Vector& a, const Vector& b) {
+  PDM_DCHECK(a.size() == b.size());
+  Vector out(a);
+  AxpyInPlace(-1.0, b, &out);
+  return out;
+}
+
+Vector Scaled(const Vector& a, double s) {
+  Vector out(a);
+  ScaleInPlace(&out, s);
+  return out;
+}
+
+double RescaleToNorm(Vector* a, double target_norm) {
+  double norm = Norm2(*a);
+  if (norm > 0.0) {
+    ScaleInPlace(a, target_norm / norm);
+  }
+  return norm;
+}
+
+}  // namespace pdm

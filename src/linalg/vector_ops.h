@@ -1,0 +1,61 @@
+#ifndef PDM_LINALG_VECTOR_OPS_H_
+#define PDM_LINALG_VECTOR_OPS_H_
+
+#include <vector>
+
+/// \file
+/// Dense vector type and kernels.
+///
+/// `Vector` is a plain alias for `std::vector<double>`: the pricing engine's
+/// per-round cost is dominated by O(n²) matrix-vector work, and a bare
+/// contiguous buffer keeps those loops auto-vectorizable and the API
+/// interoperable with the data/feature layers. All operations live in free
+/// functions so they read like the paper's math.
+
+namespace pdm {
+
+using Vector = std::vector<double>;
+
+/// Allocates an n-vector of zeros.
+Vector Zeros(int n);
+
+/// Allocates an n-vector of ones.
+Vector Ones(int n);
+
+/// Standard basis vector e_i in R^n.
+Vector BasisVector(int n, int i);
+
+/// Dot product; the vectors must have equal length.
+double Dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm ‖a‖₂.
+double Norm2(const Vector& a);
+
+/// Max-absolute-value norm ‖a‖_∞.
+double NormInf(const Vector& a);
+
+/// Sum of entries.
+double Sum(const Vector& a);
+
+/// In-place a ← s·a.
+void ScaleInPlace(Vector* a, double s);
+
+/// In-place y ← y + s·x (BLAS axpy).
+void AxpyInPlace(double s, const Vector& x, Vector* y);
+
+/// Returns a + b.
+Vector Add(const Vector& a, const Vector& b);
+
+/// Returns a − b.
+Vector Sub(const Vector& a, const Vector& b);
+
+/// Returns s·a.
+Vector Scaled(const Vector& a, double s);
+
+/// Rescales `a` to the target Euclidean norm; a zero vector is returned
+/// unchanged. Returns the original norm.
+double RescaleToNorm(Vector* a, double target_norm);
+
+}  // namespace pdm
+
+#endif  // PDM_LINALG_VECTOR_OPS_H_

@@ -1,0 +1,36 @@
+#include "market/adversarial.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pdm {
+
+AdversarialQueryStream::AdversarialQueryStream(const AdversarialStreamConfig& config)
+    : config_(config) {
+  PDM_CHECK(config_.dim >= 2);
+  PDM_CHECK(config_.horizon >= 2);
+  PDM_CHECK(std::sqrt(config_.theta1 * config_.theta1 + config_.theta2 * config_.theta2) <=
+            1.0 + 1e-12);
+}
+
+MarketRound AdversarialQueryStream::Next(Rng* rng) {
+  (void)rng;  // the adversary is deterministic
+  PDM_CHECK(engine_ != nullptr);
+  MarketRound round;
+  if (round_index_ < phase_one_rounds()) {
+    round.features = BasisVector(config_.dim, 0);
+    // Reserve pinned to the engine's current mid-price along e₁ — exactly the
+    // cut position a conservative-cutting engine would use.
+    round.reserve = engine_->EstimateValueInterval(round.features).midpoint();
+    round.value = config_.theta1;
+  } else {
+    round.features = BasisVector(config_.dim, 1);
+    round.reserve = 0.0;  // "discarding the reserve price constraint"
+    round.value = config_.theta2;
+  }
+  ++round_index_;
+  return round;
+}
+
+}  // namespace pdm

@@ -1,0 +1,108 @@
+#include "market/avazu_market.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "learning/ftrl.h"
+#include "learning/metrics.h"
+
+namespace pdm {
+
+AvazuMarket BuildAvazuMarket(const AvazuMarketConfig& config, const AvazuLikeClickLog& log,
+                             Rng* rng) {
+  PDM_CHECK(rng != nullptr);
+  PDM_CHECK(config.hashed_dim >= 2);
+  PDM_CHECK(config.train_samples > 0);
+
+  HashingFeaturizer featurizer(config.hashed_dim);
+  FtrlConfig ftrl_config;
+  ftrl_config.alpha = config.ftrl_alpha;
+  ftrl_config.beta = config.ftrl_beta;
+  ftrl_config.l2 = config.ftrl_l2;
+  ftrl_config.use_bias = true;
+  if (config.ftrl_l1 > 0.0) {
+    ftrl_config.l1 = config.ftrl_l1;
+  } else {
+    // ~2σ of the null-coordinate gradient random walk: a slot with no real
+    // signal sees ≈ train_samples·fields/n hits, each contributing a
+    // zero-mean gradient of variance ≈ p(1−p) ≈ 0.1.
+    double hits_per_slot = static_cast<double>(config.train_samples) *
+                           static_cast<double>(AvazuLikeFields().size()) /
+                           static_cast<double>(config.hashed_dim);
+    ftrl_config.l1 = 2.0 * std::sqrt(0.1 * hits_per_slot);
+  }
+  FtrlProximal learner(config.hashed_dim, ftrl_config);
+
+  for (int64_t i = 0; i < config.train_samples; ++i) {
+    AdImpression sample = log.Next(rng);
+    learner.Train(featurizer.Featurize(sample.fields), sample.clicked);
+  }
+
+  AvazuMarket market;
+  market.theta = learner.Weights();
+  market.bias = learner.bias();
+  market.nonzero_weights = learner.NonZeroCount();
+  for (int32_t i = 0; i < config.hashed_dim; ++i) {
+    if (market.theta[static_cast<size_t>(i)] != 0.0) market.support.push_back(i);
+  }
+
+  // Hold-out log-loss (the paper reports 0.420 at n=128, 0.406 at n=1024).
+  Vector predictions;
+  std::vector<bool> labels;
+  predictions.reserve(static_cast<size_t>(config.eval_samples));
+  labels.reserve(static_cast<size_t>(config.eval_samples));
+  for (int64_t i = 0; i < config.eval_samples; ++i) {
+    AdImpression sample = log.Next(rng);
+    predictions.push_back(learner.Predict(featurizer.Featurize(sample.fields)));
+    labels.push_back(sample.clicked);
+  }
+  market.logloss = LogLoss(predictions, labels);
+  market.recommended_radius = 2.0 * std::max(Norm2(market.theta), 1e-6);
+  return market;
+}
+
+AvazuQueryStream::AvazuQueryStream(const AvazuLikeClickLog* log, const AvazuMarket* market,
+                                   int hashed_dim, bool dense)
+    : log_(log), market_(market), featurizer_(hashed_dim), dense_(dense) {
+  PDM_CHECK(log_ != nullptr);
+  PDM_CHECK(market_ != nullptr);
+  PDM_CHECK(static_cast<int>(market_->theta.size()) == hashed_dim);
+  if (dense_) {
+    PDM_CHECK(!market_->support.empty());
+    slot_to_dense_.assign(static_cast<size_t>(hashed_dim), 0);
+    for (size_t k = 0; k < market_->support.size(); ++k) {
+      slot_to_dense_[static_cast<size_t>(market_->support[k])] =
+          static_cast<int32_t>(k) + 1;
+      dense_theta_.push_back(
+          market_->theta[static_cast<size_t>(market_->support[k])]);
+    }
+  }
+}
+
+int AvazuQueryStream::feature_dim() const {
+  return dense_ ? static_cast<int>(market_->support.size()) : featurizer_.dim();
+}
+
+MarketRound AvazuQueryStream::Next(Rng* rng) {
+  AdImpression sample = log_->Next(rng);
+  SparseVector hashed = featurizer_.Featurize(sample.fields);
+
+  MarketRound round;
+  round.reserve = 0.0;  // impressions carry no reserve; Fig. 5(c) is pure
+  if (dense_) {
+    // Project onto the support; zero-weight coordinates carry no value signal
+    // ("the dense case ... omits those features if their weights are zero").
+    round.features = Zeros(feature_dim());
+    for (size_t k = 0; k < hashed.indices.size(); ++k) {
+      int32_t mapped = slot_to_dense_[static_cast<size_t>(hashed.indices[k])];
+      if (mapped > 0) round.features[static_cast<size_t>(mapped - 1)] = hashed.values[k];
+    }
+    round.value = Sigmoid(Dot(round.features, dense_theta_) + market_->bias);
+  } else {
+    round.features = hashed.ToDense(featurizer_.dim());
+    round.value = Sigmoid(hashed.Dot(market_->theta) + market_->bias);
+  }
+  return round;
+}
+
+}  // namespace pdm

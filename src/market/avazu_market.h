@@ -1,0 +1,88 @@
+#ifndef PDM_MARKET_AVAZU_MARKET_H_
+#define PDM_MARKET_AVAZU_MARKET_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/avazu_like.h"
+#include "features/hashing.h"
+#include "market/round.h"
+
+/// \file
+/// Application 3: pricing impressions under the logistic model
+/// (Section V-C).
+///
+/// Offline phase: hash the categorical ad fields one-hot into n ∈ {128, 1024}
+/// slots and train FTRL-Proximal logistic regression on click labels; the
+/// learned sparse weight vector θ* captures CTR and "plays the role of θ*".
+/// Online phase: each impression's market value is its model CTR
+/// v_t = σ(x_tᵀθ*). Two encodings are evaluated:
+///   sparse — keep all n hashed coordinates (zero-weight ones included);
+///   dense  — keep only the coordinates where θ*_j ≠ 0 (n_dense = nnz).
+/// Fig. 5(c) runs the pure engine (no reserve; impressions have none).
+
+namespace pdm {
+
+struct AvazuMarketConfig {
+  /// Hashed dimension n (the paper uses 128 and 1024).
+  int hashed_dim = 128;
+  /// Offline FTRL training examples.
+  int64_t train_samples = 200000;
+  /// FTRL hyperparameters. `ftrl_l1 ≤ 0` auto-scales λ₁ to ~2σ of a null
+  /// coordinate's gradient random walk (σ ≈ √(0.1·hits per slot)), which is
+  /// what makes the learned model as sparse as the paper's (~21–23
+  /// non-zeros) across training sizes.
+  double ftrl_alpha = 0.1;
+  double ftrl_beta = 1.0;
+  double ftrl_l1 = -1.0;
+  double ftrl_l2 = 1.0;
+  /// Hold-out examples for the reported log-loss.
+  int64_t eval_samples = 20000;
+};
+
+struct AvazuMarket {
+  /// Learned weights over the hashed space (sparse: many exact zeros).
+  Vector theta;
+  /// Learned intercept; the pricing link becomes σ(z + bias).
+  double bias = 0.0;
+  /// Coordinates with θ*_j ≠ 0, ascending (the dense encoding's axes).
+  std::vector<int32_t> support;
+  double logloss = 0.0;
+  int nonzero_weights = 0;
+  /// Suggested initial knowledge radius: 2‖θ*‖ (sparse space); the dense
+  /// space uses the same bound restricted to the support.
+  double recommended_radius = 0.0;
+};
+
+/// Trains the offline CTR model.
+AvazuMarket BuildAvazuMarket(const AvazuMarketConfig& config, const AvazuLikeClickLog& log,
+                             Rng* rng);
+
+/// Streams impressions as pricing rounds. In dense mode, features are the
+/// support-restricted coordinates (dimension = support size); in sparse mode,
+/// the full hashed one-hot vector (dimension = hashed_dim).
+class AvazuQueryStream : public QueryStream {
+ public:
+  AvazuQueryStream(const AvazuLikeClickLog* log, const AvazuMarket* market, int hashed_dim,
+                   bool dense);
+
+  MarketRound Next(Rng* rng) override;
+
+  /// Engine-facing feature dimension (hashed_dim or |support|).
+  int feature_dim() const;
+
+ private:
+  const AvazuLikeClickLog* log_;
+  const AvazuMarket* market_;
+  HashingFeaturizer featurizer_;
+  bool dense_;
+  /// Maps hashed slot -> dense position (+1; 0 = absent), dense mode only.
+  std::vector<int32_t> slot_to_dense_;
+  /// θ* restricted to the support (dense mode).
+  Vector dense_theta_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_MARKET_AVAZU_MARKET_H_

@@ -1,0 +1,48 @@
+#include "market/kernel_market.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pdm {
+
+KernelQueryStream::KernelQueryStream(const KernelMarketConfig& config, Rng* rng)
+    : config_(config) {
+  PDM_CHECK(rng != nullptr);
+  PDM_CHECK(config_.input_dim >= 1);
+  PDM_CHECK(config_.num_landmarks >= 2);
+  PDM_CHECK(config_.rbf_gamma > 0.0);
+  PDM_CHECK(config_.reserve_fraction >= 0.0 && config_.reserve_fraction < 1.0);
+
+  Matrix landmarks(config_.num_landmarks, config_.input_dim);
+  for (int m = 0; m < config_.num_landmarks; ++m) {
+    for (int d = 0; d < config_.input_dim; ++d) {
+      landmarks(m, d) = rng->NextUniform(-1.0, 1.0);
+    }
+  }
+  map_ = std::make_shared<LandmarkKernelMap>(
+      std::make_shared<RbfKernel>(config_.rbf_gamma), std::move(landmarks));
+
+  // θ* over the kernel features. The positive offset keeps market values
+  // bounded away from zero; because RBF features are in (0, 1] and sum to a
+  // slowly varying total, the offset is spread across all weights rather
+  // than requiring an explicit bias feature.
+  theta_ = rng->GaussianVector(config_.num_landmarks);
+  for (double& w : theta_) {
+    w += config_.value_offset / static_cast<double>(config_.num_landmarks) * 4.0;
+  }
+}
+
+MarketRound KernelQueryStream::Next(Rng* rng) {
+  PDM_CHECK(rng != nullptr);
+  MarketRound round;
+  round.features = rng->UniformVector(config_.input_dim, -1.0, 1.0);
+  Vector phi = map_->Map(round.features);
+  round.value = Dot(phi, theta_);
+  round.reserve = config_.reserve_fraction * round.value;
+  return round;
+}
+
+double KernelQueryStream::RecommendedRadius() const { return 2.0 * Norm2(theta_); }
+
+}  // namespace pdm

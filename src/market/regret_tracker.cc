@@ -1,0 +1,67 @@
+#include "market/regret_tracker.h"
+
+#include "common/check.h"
+
+namespace pdm {
+
+RegretTracker::RegretTracker(int64_t series_stride) : series_stride_(series_stride) {
+  PDM_CHECK(series_stride_ >= 0);
+}
+
+double TailRegretRatio(const RegretSeriesPoint& from, const RegretSeriesPoint& to) {
+  double value_delta = to.cumulative_value - from.cumulative_value;
+  if (value_delta <= 0.0) return 0.0;
+  return (to.cumulative_regret - from.cumulative_regret) / value_delta;
+}
+
+double RegretTracker::SingleRoundRegret(double value, double reserve, double price,
+                                        bool accepted) {
+  if (reserve > value) return 0.0;
+  return value - (accepted ? price : 0.0);
+}
+
+void RegretTracker::Observe(const MarketRound& round, const PostedPrice& posted,
+                            bool accepted) {
+  ++rounds_;
+  double regret = SingleRoundRegret(round.value, round.reserve, posted.price, accepted);
+  cumulative_regret_ += regret;
+  cumulative_value_ += round.value;
+  if (accepted) {
+    ++sales_;
+    cumulative_revenue_ += posted.price;
+  }
+  if (round.reserve <= round.value) {
+    // Risk-averse baseline sells at q_t; the oracle sells at v_t.
+    baseline_regret_ += round.value - round.reserve;
+    oracle_revenue_ += round.value;
+  }
+  value_stats_.Add(round.value);
+  reserve_stats_.Add(round.reserve);
+  price_stats_.Add(posted.price);
+  regret_stats_.Add(regret);
+  MaybeRecordSeriesPoint(/*force=*/false);
+}
+
+double RegretTracker::regret_ratio() const {
+  return cumulative_value_ > 0.0 ? cumulative_regret_ / cumulative_value_ : 0.0;
+}
+
+double RegretTracker::baseline_regret_ratio() const {
+  return cumulative_value_ > 0.0 ? baseline_regret_ / cumulative_value_ : 0.0;
+}
+
+void RegretTracker::MaybeRecordSeriesPoint(bool force) {
+  if (series_stride_ == 0) return;
+  if (!force && rounds_ % series_stride_ != 0) return;
+  if (!series_.empty() && series_.back().round == rounds_) return;
+  RegretSeriesPoint point;
+  point.round = rounds_;
+  point.cumulative_regret = cumulative_regret_;
+  point.cumulative_value = cumulative_value_;
+  point.regret_ratio = regret_ratio();
+  point.baseline_cumulative_regret = baseline_regret_;
+  point.baseline_regret_ratio = baseline_regret_ratio();
+  series_.push_back(point);
+}
+
+}  // namespace pdm

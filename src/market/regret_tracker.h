@@ -1,0 +1,94 @@
+#ifndef PDM_MARKET_REGRET_TRACKER_H_
+#define PDM_MARKET_REGRET_TRACKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "market/round.h"
+#include "pricing/pricing_engine.h"
+
+/// \file
+/// Regret accounting per Eq. (1) of the paper:
+///
+///   R_t = 0                          if q_t > v_t,
+///   R_t = v_t − p_t·1{p_t ≤ v_t}     otherwise.
+///
+/// The tracker also accumulates two companion references from the same round
+/// sequence: the risk-averse baseline (post q_t every round, regret v_t − q_t
+/// whenever q_t ≤ v_t) and the adversary/oracle revenue (sell at v_t whenever
+/// q_t ≤ v_t). The regret ratio is Σ R_k / Σ v_k (Section V-A).
+
+namespace pdm {
+
+struct RegretSeriesPoint {
+  int64_t round = 0;
+  double cumulative_regret = 0.0;
+  double cumulative_value = 0.0;
+  double regret_ratio = 0.0;
+  double baseline_cumulative_regret = 0.0;
+  double baseline_regret_ratio = 0.0;
+};
+
+/// Marginal ("tail") regret ratio between two series points:
+/// ΔΣR / ΔΣv. This is the steady-state per-round regret level once the
+/// knowledge set has converged, independent of cold-start losses.
+double TailRegretRatio(const RegretSeriesPoint& from, const RegretSeriesPoint& to);
+
+class RegretTracker {
+ public:
+  /// `series_stride` > 0 records a series point every that-many rounds (plus
+  /// the final round); 0 disables series recording.
+  explicit RegretTracker(int64_t series_stride = 0);
+
+  /// Folds one completed round into the accumulators.
+  void Observe(const MarketRound& round, const PostedPrice& posted, bool accepted);
+
+  /// Single-round regret per Eq. (1). `accepted` must equal (price ≤ value)
+  /// for posted offers and false for withheld (certain-no-sale) offers.
+  static double SingleRoundRegret(double value, double reserve, double price,
+                                  bool accepted);
+
+  int64_t rounds() const { return rounds_; }
+  int64_t sales() const { return sales_; }
+  double cumulative_regret() const { return cumulative_regret_; }
+  double cumulative_value() const { return cumulative_value_; }
+  double cumulative_revenue() const { return cumulative_revenue_; }
+  /// Σ R_k / Σ v_k; 0 when no value has accrued.
+  double regret_ratio() const;
+
+  /// Companion risk-averse baseline (posts q_t each round).
+  double baseline_cumulative_regret() const { return baseline_regret_; }
+  double baseline_regret_ratio() const;
+  /// Companion oracle revenue Σ v_t·1{q_t ≤ v_t} (the adversary's revenue).
+  double oracle_revenue() const { return oracle_revenue_; }
+
+  /// Per-round statistics for the Table I columns.
+  const RunningStats& value_stats() const { return value_stats_; }
+  const RunningStats& reserve_stats() const { return reserve_stats_; }
+  const RunningStats& price_stats() const { return price_stats_; }
+  const RunningStats& regret_stats() const { return regret_stats_; }
+
+  const std::vector<RegretSeriesPoint>& series() const { return series_; }
+
+ private:
+  void MaybeRecordSeriesPoint(bool force);
+
+  int64_t series_stride_;
+  int64_t rounds_ = 0;
+  int64_t sales_ = 0;
+  double cumulative_regret_ = 0.0;
+  double cumulative_value_ = 0.0;
+  double cumulative_revenue_ = 0.0;
+  double baseline_regret_ = 0.0;
+  double oracle_revenue_ = 0.0;
+  RunningStats value_stats_;
+  RunningStats reserve_stats_;
+  RunningStats price_stats_;
+  RunningStats regret_stats_;
+  std::vector<RegretSeriesPoint> series_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_MARKET_REGRET_TRACKER_H_

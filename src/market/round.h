@@ -1,0 +1,43 @@
+#ifndef PDM_MARKET_ROUND_H_
+#define PDM_MARKET_ROUND_H_
+
+#include "linalg/vector_ops.h"
+#include "pricing/pricing_engine.h"
+#include "rng/rng.h"
+
+/// \file
+/// One round of data trading and the workload-stream interface.
+///
+/// A `MarketRound` is everything the *simulator* knows about round t: the
+/// engine-space feature vector x_t, the reserve price q_t, and the realized
+/// market value v_t (which the engine never sees — it only observes the
+/// accept/reject bit).
+
+namespace pdm {
+
+struct MarketRound {
+  /// Feature vector handed to the pricing engine.
+  Vector features;
+  /// Reserve price q_t (total privacy compensation, host minimum, ...).
+  double reserve = 0.0;
+  /// Realized market value v_t = g(φ(x_t)ᵀθ*) + δ_t.
+  double value = 0.0;
+};
+
+/// Produces the query sequence. Implementations cover the paper's three
+/// applications plus the Lemma 8 adversary.
+class QueryStream {
+ public:
+  virtual ~QueryStream() = default;
+
+  /// Next round's query. `rng` drives any stochastic part of the workload.
+  virtual MarketRound Next(Rng* rng) = 0;
+
+  /// Adaptive adversaries (Lemma 8) may inspect the engine's current
+  /// knowledge set when crafting the next query; benign streams ignore this.
+  virtual void BindEngine(const PricingEngine* engine) { (void)engine; }
+};
+
+}  // namespace pdm
+
+#endif  // PDM_MARKET_ROUND_H_

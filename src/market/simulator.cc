@@ -1,0 +1,40 @@
+#include "market/simulator.h"
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace pdm {
+
+SimulationResult RunMarket(QueryStream* stream, PricingEngine* engine,
+                           const SimulationOptions& options, Rng* rng) {
+  PDM_CHECK(stream != nullptr);
+  PDM_CHECK(engine != nullptr);
+  PDM_CHECK(rng != nullptr);
+  PDM_CHECK(options.rounds > 0);
+
+  SimulationResult result;
+  result.tracker = RegretTracker(options.series_stride);
+  stream->BindEngine(engine);
+
+  WallTimer total_timer;
+  double engine_seconds = 0.0;
+  WallTimer round_timer;
+  for (int64_t t = 0; t < options.rounds; ++t) {
+    MarketRound round = stream->Next(rng);
+    if (options.measure_latency) round_timer.Restart();
+    PostedPrice posted = engine->PostPrice(round.features, round.reserve);
+    bool accepted = !posted.certain_no_sale && posted.price <= round.value;
+    engine->Observe(accepted);
+    if (options.measure_latency) engine_seconds += round_timer.ElapsedSeconds();
+    result.tracker.Observe(round, posted, accepted);
+  }
+  result.wall_seconds = total_timer.ElapsedSeconds();
+  result.engine_counters = engine->counters();
+  if (options.measure_latency && options.rounds > 0) {
+    result.engine_millis_per_round =
+        engine_seconds * 1e3 / static_cast<double>(options.rounds);
+  }
+  return result;
+}
+
+}  // namespace pdm

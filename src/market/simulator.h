@@ -1,0 +1,45 @@
+#ifndef PDM_MARKET_SIMULATOR_H_
+#define PDM_MARKET_SIMULATOR_H_
+
+#include <cstdint>
+
+#include "market/regret_tracker.h"
+#include "market/round.h"
+#include "pricing/pricing_engine.h"
+#include "rng/rng.h"
+
+/// \file
+/// The round-by-round market loop of Fig. 2: draw a query, let the engine
+/// post a price, resolve the sale against the realized market value, feed
+/// the accept/reject bit back, and account regret.
+
+namespace pdm {
+
+struct SimulationOptions {
+  /// Number of rounds T.
+  int64_t rounds = 10000;
+  /// Regret-series sampling stride (0 = no series).
+  int64_t series_stride = 0;
+  /// Measure per-round engine latency (PostPrice + Observe) — Section V-D.
+  bool measure_latency = false;
+};
+
+struct SimulationResult {
+  RegretTracker tracker{0};
+  EngineCounters engine_counters;
+  /// Total wall time of the loop in seconds.
+  double wall_seconds = 0.0;
+  /// Mean engine latency per round in milliseconds (0 unless measured).
+  double engine_millis_per_round = 0.0;
+};
+
+/// Runs the loop. The stream is bound to the engine first so adaptive
+/// adversaries can observe the knowledge set. A round's sale resolves as
+/// accepted ⇔ (offer actually made) ∧ (price ≤ value); certain-no-sale
+/// rounds never sell (the broker withholds the offer).
+SimulationResult RunMarket(QueryStream* stream, PricingEngine* engine,
+                           const SimulationOptions& options, Rng* rng);
+
+}  // namespace pdm
+
+#endif  // PDM_MARKET_SIMULATOR_H_

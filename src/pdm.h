@@ -1,0 +1,56 @@
+#ifndef PDM_PDM_H_
+#define PDM_PDM_H_
+
+/// \file
+/// Umbrella header for the pdm library — ellipsoid-based contextual dynamic
+/// pricing with reserve price constraints for online data markets
+/// (Niu et al., ICDE 2020).
+///
+/// Layered architecture (each layer only depends on the ones above it):
+///
+///   common/    → rng/ → linalg/ → ellipsoid/                 (math substrate)
+///   privacy/ → data/ → features/ → learning/                 (market substrate)
+///   pricing/                                                 (the contribution)
+///   market/                                                  (simulation layer)
+///
+/// Typical entry points:
+///  * `pdm::EllipsoidPricingEngine` — the posted-price mechanism (n ≥ 2).
+///  * `pdm::IntervalPricingEngine` — the one-dimensional special case.
+///  * `pdm::GeneralizedPricingEngine` — non-linear market values through a
+///    link function and feature map (log-linear, log-log, logistic,
+///    kernelized).
+///  * `pdm::RunMarket` — the round-by-round simulation loop with Eq.-(1)
+///    regret accounting.
+///  * `pdm::NoisyLinearQueryStream` / `BuildAirbnbMarket` / `BuildAvazuMarket`
+///    / `KernelQueryStream` — the paper's application workloads.
+///
+/// See README.md for a quickstart, DESIGN.md for the system inventory, and
+/// EXPERIMENTS.md for the paper-vs-measured reproduction record.
+
+#include "ellipsoid/ellipsoid.h"
+#include "market/adversarial.h"
+#include "market/airbnb_market.h"
+#include "market/avazu_market.h"
+#include "market/kernel_market.h"
+#include "market/linear_market.h"
+#include "market/regret_tracker.h"
+#include "market/simulator.h"
+#include "pricing/baselines.h"
+#include "pricing/ellipsoid_engine.h"
+#include "pricing/feature_maps.h"
+#include "pricing/generalized_engine.h"
+#include "pricing/interval_engine.h"
+#include "pricing/link_functions.h"
+#include "pricing/pricing_engine.h"
+
+namespace pdm {
+
+/// Library semantic version.
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace pdm
+
+#endif  // PDM_PDM_H_

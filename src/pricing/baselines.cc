@@ -1,0 +1,56 @@
+#include "pricing/baselines.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace pdm {
+
+PostedPrice ReservePriceBaseline::PostPrice(const Vector& features, double reserve) {
+  PDM_CHECK(!pending_);
+  PDM_CHECK(static_cast<int>(features.size()) == dim_);
+  pending_ = true;
+  ++counters_.rounds;
+  ++counters_.conservative_rounds;
+  PostedPrice posted;
+  posted.price = reserve;
+  return posted;
+}
+
+void ReservePriceBaseline::Observe(bool accepted) {
+  PDM_CHECK(pending_);
+  (void)accepted;  // the baseline never learns
+  pending_ = false;
+}
+
+ValueInterval ReservePriceBaseline::EstimateValueInterval(const Vector& features) const {
+  (void)features;
+  return ValueInterval{-std::numeric_limits<double>::infinity(),
+                       std::numeric_limits<double>::infinity()};
+}
+
+PostedPrice FixedPriceBaseline::PostPrice(const Vector& features, double reserve) {
+  PDM_CHECK(!pending_);
+  PDM_CHECK(static_cast<int>(features.size()) == dim_);
+  pending_ = true;
+  ++counters_.rounds;
+  ++counters_.conservative_rounds;
+  PostedPrice posted;
+  posted.price = std::max(reserve, price_);
+  return posted;
+}
+
+void FixedPriceBaseline::Observe(bool accepted) {
+  PDM_CHECK(pending_);
+  (void)accepted;
+  pending_ = false;
+}
+
+ValueInterval FixedPriceBaseline::EstimateValueInterval(const Vector& features) const {
+  (void)features;
+  return ValueInterval{-std::numeric_limits<double>::infinity(),
+                       std::numeric_limits<double>::infinity()};
+}
+
+}  // namespace pdm

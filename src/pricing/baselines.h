@@ -1,0 +1,56 @@
+#ifndef PDM_PRICING_BASELINES_H_
+#define PDM_PRICING_BASELINES_H_
+
+#include <string>
+
+#include "pricing/pricing_engine.h"
+
+/// \file
+/// Baseline posted-price policies the evaluation compares against.
+
+namespace pdm {
+
+/// The paper's "risk-averse baseline ... which consistently posts the reserve
+/// price in each round" (Section V-A). Always sells whenever a sale is
+/// possible (q ≤ v) but forfeits the whole markup v − q as regret.
+class ReservePriceBaseline : public PricingEngine {
+ public:
+  explicit ReservePriceBaseline(int dim) : dim_(dim) {}
+
+  int dim() const override { return dim_; }
+  PostedPrice PostPrice(const Vector& features, double reserve) override;
+  void Observe(bool accepted) override;
+  ValueInterval EstimateValueInterval(const Vector& features) const override;
+  const EngineCounters& counters() const override { return counters_; }
+  std::string name() const override { return "risk-averse"; }
+
+ private:
+  int dim_;
+  EngineCounters counters_;
+  bool pending_ = false;
+};
+
+/// Posts max(reserve, fixed price): a static marked-price policy, the
+/// non-adaptive strategy of the query-pricing literature the paper contrasts
+/// with (Section VI-A).
+class FixedPriceBaseline : public PricingEngine {
+ public:
+  FixedPriceBaseline(int dim, double price) : dim_(dim), price_(price) {}
+
+  int dim() const override { return dim_; }
+  PostedPrice PostPrice(const Vector& features, double reserve) override;
+  void Observe(bool accepted) override;
+  ValueInterval EstimateValueInterval(const Vector& features) const override;
+  const EngineCounters& counters() const override { return counters_; }
+  std::string name() const override { return "fixed-price"; }
+
+ private:
+  int dim_;
+  double price_;
+  EngineCounters counters_;
+  bool pending_ = false;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_PRICING_BASELINES_H_

@@ -1,0 +1,93 @@
+#ifndef PDM_PRICING_ELLIPSOID_ENGINE_H_
+#define PDM_PRICING_ELLIPSOID_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ellipsoid/ellipsoid.h"
+#include "pricing/pricing_engine.h"
+
+/// \file
+/// The paper's contribution: ellipsoid-based contextual dynamic pricing with
+/// the reserve price constraint (Algorithms 1 and 2), for feature dimension
+/// n ≥ 2. Four published variants are configurations of this one class:
+///
+///   Algorithm 1* "pure":                    use_reserve=false, delta=0
+///   Algorithm 2* "with uncertainty":        use_reserve=false, delta>0
+///   Algorithm 1  "with reserve":            use_reserve=true,  delta=0
+///   Algorithm 2  "with reserve+uncertainty":use_reserve=true,  delta>0
+///
+/// Per round: compute [p̲, p̄] from the ellipsoid; skip if q ≥ p̄ + δ; post
+/// the exploratory price max(q, (p̲+p̄)/2) when p̄ − p̲ > ε, else the
+/// conservative price max(q, p̲ − δ). Exploratory feedback cuts the ellipsoid
+/// at the effective price p ± δ when the cut position α lies in the paper's
+/// validity window; conservative prices never cut (Lemma 8 shows allowing
+/// them admits an O(T)-regret adversary — the `allow_conservative_cuts`
+/// ablation switch exists to demonstrate exactly that).
+
+namespace pdm {
+
+struct EllipsoidEngineConfig {
+  /// Feature dimension n ≥ 2 (use IntervalPricingEngine for n = 1).
+  int dim = 2;
+  /// Horizon T used for the default threshold ε = max(n²/T, 4nδ) (Theorem 1).
+  int64_t horizon = 10000;
+  /// Initial knowledge-set ball radius R (‖θ* − initial_center‖ ≤ R must
+  /// hold).
+  double initial_radius = 1.0;
+  /// Initial knowledge-set center c₁ (empty = origin, the paper's setup).
+  /// A broker usually knows coarse market levels (e.g. the average price), so
+  /// centering the prior there is the production-sensible choice; the regret
+  /// analysis only needs θ* ∈ E₁.
+  Vector initial_center;
+  /// Exploration threshold ε on p̄ − p̲; ≤ 0 selects the Theorem 1 default.
+  double epsilon = -1.0;
+  /// Uncertainty buffer δ (Algorithm 2); 0 recovers Algorithm 1.
+  double delta = 0.0;
+  /// Enforce the reserve-price constraint (Algorithm 1/2 vs the * variants).
+  bool use_reserve = true;
+  /// ABLATION ONLY: also cut on conservative-price feedback. Unsafe — see
+  /// Lemma 8 / bench_lemma8_adversarial.
+  bool allow_conservative_cuts = false;
+};
+
+/// Theorem 1's threshold choice ε = max(n²/T, 4nδ); see the implementation
+/// note for why the 4nδ clamp is required for stable dynamics.
+double DefaultEllipsoidEpsilon(int dim, int64_t horizon, double delta);
+
+class EllipsoidPricingEngine : public PricingEngine {
+ public:
+  explicit EllipsoidPricingEngine(const EllipsoidEngineConfig& config);
+
+  int dim() const override { return config_.dim; }
+  PostedPrice PostPrice(const Vector& features, double reserve) override;
+  void Observe(bool accepted) override;
+  ValueInterval EstimateValueInterval(const Vector& features) const override;
+  const EngineCounters& counters() const override { return counters_; }
+  std::string name() const override;
+
+  /// The knowledge set E_t (diagnostics, tests, Lemma 6/7 volume tracking).
+  const Ellipsoid& knowledge_set() const { return ellipsoid_; }
+  const EllipsoidEngineConfig& config() const { return config_; }
+  /// Effective ε in use (after defaulting).
+  double epsilon() const { return epsilon_; }
+
+ private:
+  enum class PendingKind { kNone, kExploratory, kConservative, kSkip };
+
+  EllipsoidEngineConfig config_;
+  double epsilon_;
+  Ellipsoid ellipsoid_;
+  EngineCounters counters_;
+
+  // Context of the round awaiting feedback. The support interval carries the
+  // direction b = A·x/√(xᵀAx) so Observe() can cut without recomputing the
+  // O(n²) mat-vec.
+  PendingKind pending_ = PendingKind::kNone;
+  SupportInterval pending_support_;
+  double pending_price_ = 0.0;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_PRICING_ELLIPSOID_ENGINE_H_

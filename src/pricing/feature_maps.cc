@@ -1,0 +1,33 @@
+#include "pricing/feature_maps.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pdm {
+
+ElementwiseLogMap::ElementwiseLogMap(double floor) : floor_(floor) {
+  PDM_CHECK(floor_ > 0.0);
+}
+
+Vector ElementwiseLogMap::Map(const Vector& x) const {
+  Vector out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    out[i] = std::log(std::max(x[i], floor_));
+  }
+  return out;
+}
+
+KernelFeatureMap::KernelFeatureMap(std::shared_ptr<const LandmarkKernelMap> map)
+    : map_(std::move(map)) {
+  PDM_CHECK(map_ != nullptr);
+}
+
+Vector KernelFeatureMap::Map(const Vector& x) const { return map_->Map(x); }
+
+int KernelFeatureMap::output_dim(int input_dim) const {
+  PDM_CHECK(input_dim == map_->input_dim());
+  return map_->output_dim();
+}
+
+}  // namespace pdm

@@ -1,0 +1,67 @@
+#ifndef PDM_PRICING_FEATURE_MAPS_H_
+#define PDM_PRICING_FEATURE_MAPS_H_
+
+#include <memory>
+#include <string>
+
+#include "learning/kernels.h"
+#include "linalg/vector_ops.h"
+
+/// \file
+/// Inner feature maps φ for the non-linear models (Section IV-A): the market
+/// value is v = g(φ(x)ᵀθ*), and the pricing engine operates on φ(x). φ is
+/// public knowledge (only θ* is learned through price feedback).
+
+namespace pdm {
+
+class FeatureMap {
+ public:
+  virtual ~FeatureMap() = default;
+
+  /// φ(x).
+  virtual Vector Map(const Vector& x) const = 0;
+
+  /// Output dimension m of φ given the raw input dimension.
+  virtual int output_dim(int input_dim) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// φ = identity (linear, log-linear, logistic models).
+class IdentityFeatureMap : public FeatureMap {
+ public:
+  Vector Map(const Vector& x) const override { return x; }
+  int output_dim(int input_dim) const override { return input_dim; }
+  std::string name() const override { return "identity"; }
+};
+
+/// φ(x)_i = log(max(x_i, floor)): the log-log hedonic model's elementwise
+/// logarithm (Section IV-A), with a positive floor so zero/negative raw
+/// features stay finite.
+class ElementwiseLogMap : public FeatureMap {
+ public:
+  explicit ElementwiseLogMap(double floor = 1e-12);
+  Vector Map(const Vector& x) const override;
+  int output_dim(int input_dim) const override { return input_dim; }
+  std::string name() const override { return "elementwise-log"; }
+
+ private:
+  double floor_;
+};
+
+/// φ(x) = (K(x, l_1), …, K(x, l_m)): fixed-budget substitution for the
+/// kernelized model's growing expansion (see learning/kernels.h).
+class KernelFeatureMap : public FeatureMap {
+ public:
+  explicit KernelFeatureMap(std::shared_ptr<const LandmarkKernelMap> map);
+  Vector Map(const Vector& x) const override;
+  int output_dim(int input_dim) const override;
+  std::string name() const override { return "landmark-kernel"; }
+
+ private:
+  std::shared_ptr<const LandmarkKernelMap> map_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_PRICING_FEATURE_MAPS_H_

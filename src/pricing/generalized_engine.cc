@@ -1,0 +1,54 @@
+#include "pricing/generalized_engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pdm {
+
+GeneralizedPricingEngine::GeneralizedPricingEngine(std::unique_ptr<PricingEngine> base,
+                                                   std::shared_ptr<const LinkFunction> link,
+                                                   std::shared_ptr<const FeatureMap> map)
+    : base_(std::move(base)), link_(std::move(link)), map_(std::move(map)) {
+  PDM_CHECK(base_ != nullptr);
+  PDM_CHECK(link_ != nullptr);
+  PDM_CHECK(map_ != nullptr);
+}
+
+PostedPrice GeneralizedPricingEngine::PostPrice(const Vector& features, double reserve) {
+  PDM_CHECK(!pending_skip_);
+  // A reserve at or above the range of g can never be met by any market
+  // value: certain no sale without consulting the base engine.
+  if (reserve >= link_->range_sup()) {
+    pending_skip_ = true;
+    PostedPrice posted;
+    posted.price = reserve;
+    posted.certain_no_sale = true;
+    return posted;
+  }
+  Vector z_features = map_->Map(features);
+  double z_reserve = link_->Inverse(reserve);
+  PostedPrice z_posted = base_->PostPrice(z_features, z_reserve);
+  PostedPrice posted = z_posted;
+  posted.price = std::max(link_->Apply(z_posted.price), reserve);
+  return posted;
+}
+
+void GeneralizedPricingEngine::Observe(bool accepted) {
+  if (pending_skip_) {
+    pending_skip_ = false;
+    return;
+  }
+  base_->Observe(accepted);
+}
+
+ValueInterval GeneralizedPricingEngine::EstimateValueInterval(const Vector& features) const {
+  ValueInterval z = base_->EstimateValueInterval(map_->Map(features));
+  return ValueInterval{link_->Apply(z.lower), link_->Apply(z.upper)};
+}
+
+std::string GeneralizedPricingEngine::name() const {
+  return base_->name() + "/" + link_->name();
+}
+
+}  // namespace pdm

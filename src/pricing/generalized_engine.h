@@ -1,0 +1,51 @@
+#ifndef PDM_PRICING_GENERALIZED_ENGINE_H_
+#define PDM_PRICING_GENERALIZED_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "pricing/feature_maps.h"
+#include "pricing/link_functions.h"
+#include "pricing/pricing_engine.h"
+
+/// \file
+/// Adapter that lifts any base (linear, z-space) pricing engine to the
+/// non-linear market value model v = g(φ(x)ᵀθ*) of Theorem 2.
+///
+/// Per round: map x to φ(x); pull the reserve back through g⁻¹; let the base
+/// engine choose a z-space price p_z with the reserve constraint g⁻¹(q); post
+/// g(p_z) (≥ q because g is non-decreasing). Accept/reject feedback is passed
+/// straight through — p ≤ v ⇔ p_z ≤ g⁻¹(v) for monotone g, so the z-space cut
+/// semantics are unchanged.
+
+namespace pdm {
+
+class GeneralizedPricingEngine : public PricingEngine {
+ public:
+  /// `base` must be sized for the φ-image dimension (base->dim() ==
+  /// map->output_dim(raw input dim)).
+  GeneralizedPricingEngine(std::unique_ptr<PricingEngine> base,
+                           std::shared_ptr<const LinkFunction> link,
+                           std::shared_ptr<const FeatureMap> map);
+
+  /// Raw input feature dimension is whatever the map accepts; dim() reports
+  /// the base engine's (z-space) dimension for introspection.
+  int dim() const override { return base_->dim(); }
+  PostedPrice PostPrice(const Vector& features, double reserve) override;
+  void Observe(bool accepted) override;
+  ValueInterval EstimateValueInterval(const Vector& features) const override;
+  const EngineCounters& counters() const override { return base_->counters(); }
+  std::string name() const override;
+
+  const PricingEngine& base() const { return *base_; }
+
+ private:
+  std::unique_ptr<PricingEngine> base_;
+  std::shared_ptr<const LinkFunction> link_;
+  std::shared_ptr<const FeatureMap> map_;
+  bool pending_skip_ = false;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_PRICING_GENERALIZED_ENGINE_H_

@@ -1,0 +1,121 @@
+#include "pricing/interval_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace pdm {
+
+double DefaultIntervalEpsilon(int64_t horizon, double delta) {
+  PDM_CHECK(horizon >= 2);
+  // Theorem 3's choice, clamped to the refinable regime under uncertainty
+  // (see DefaultEllipsoidEpsilon for why the clamp is required).
+  double t = static_cast<double>(horizon);
+  return std::max(std::log2(t) / t, 4.0 * delta);
+}
+
+IntervalPricingEngine::IntervalPricingEngine(const IntervalEngineConfig& config)
+    : config_(config),
+      epsilon_(config.epsilon > 0.0 ? config.epsilon
+                                    : DefaultIntervalEpsilon(config.horizon, config.delta)),
+      lo_(config.theta_min),
+      hi_(config.theta_max) {
+  PDM_CHECK(lo_ <= hi_);
+  PDM_CHECK(config_.delta >= 0.0);
+  PDM_CHECK(epsilon_ > 0.0);
+}
+
+PostedPrice IntervalPricingEngine::PostPrice(const Vector& features, double reserve) {
+  PDM_CHECK(pending_ == PendingKind::kNone);
+  PDM_CHECK(features.size() == 1);
+  ++counters_.rounds;
+  double x = features[0];
+  pending_x_ = x;
+
+  // Support of θ ↦ x·θ over [lo, hi]; a negative feature flips the ends.
+  double lower = x >= 0.0 ? x * lo_ : x * hi_;
+  double upper = x >= 0.0 ? x * hi_ : x * lo_;
+  double mid = 0.5 * (lower + upper);
+  double q = config_.use_reserve ? reserve : -std::numeric_limits<double>::infinity();
+
+  PostedPrice posted;
+  if (config_.use_reserve && q >= upper + config_.delta) {
+    ++counters_.skipped_rounds;
+    posted.price = q;
+    posted.certain_no_sale = true;
+    pending_ = PendingKind::kSkip;
+    pending_price_ = posted.price;
+    return posted;
+  }
+
+  if (upper - lower > epsilon_) {
+    posted.price = std::max(q, mid);
+    posted.exploratory = true;
+    pending_ = PendingKind::kExploratory;
+    ++counters_.exploratory_rounds;
+  } else {
+    posted.price = std::max(q, lower - config_.delta);
+    posted.exploratory = false;
+    pending_ = PendingKind::kConservative;
+    ++counters_.conservative_rounds;
+  }
+  pending_price_ = posted.price;
+  return posted;
+}
+
+void IntervalPricingEngine::Observe(bool accepted) {
+  PDM_CHECK(pending_ != PendingKind::kNone);
+  PendingKind kind = pending_;
+  pending_ = PendingKind::kNone;
+  if (kind != PendingKind::kExploratory) return;  // conservative/skip: no cut
+  double x = pending_x_;
+  if (x == 0.0) return;  // the price carried no information about θ*
+
+  // Rejection ⇒ x·θ* ≥ v ... more precisely p ≥ v = x·θ* − δ_t ⇒
+  // x·θ* ≤ p + δ; acceptance ⇒ x·θ* ≥ p − δ. Solve for θ* respecting the
+  // sign of x.
+  double new_lo = lo_;
+  double new_hi = hi_;
+  if (!accepted) {
+    double bound = (pending_price_ + config_.delta) / x;
+    if (x > 0.0) {
+      new_hi = std::min(new_hi, bound);
+    } else {
+      new_lo = std::max(new_lo, bound);
+    }
+  } else {
+    double bound = (pending_price_ - config_.delta) / x;
+    if (x > 0.0) {
+      new_lo = std::max(new_lo, bound);
+    } else {
+      new_hi = std::min(new_hi, bound);
+    }
+  }
+  if (new_lo <= new_hi) {
+    lo_ = new_lo;
+    hi_ = new_hi;
+    ++counters_.cuts_applied;
+  } else {
+    // A noise realisation outside ±δ produced contradictory feedback (the
+    // ≤ 1/T probability event of Eq. 6); keep the previous interval.
+    ++counters_.cuts_discarded;
+  }
+}
+
+ValueInterval IntervalPricingEngine::EstimateValueInterval(const Vector& features) const {
+  PDM_CHECK(features.size() == 1);
+  double x = features[0];
+  double lower = x >= 0.0 ? x * lo_ : x * hi_;
+  double upper = x >= 0.0 ? x * hi_ : x * lo_;
+  return ValueInterval{lower, upper};
+}
+
+std::string IntervalPricingEngine::name() const {
+  std::string base = config_.use_reserve ? "reserve-1d" : "pure-1d";
+  if (config_.delta > 0.0) base += "+uncertainty";
+  return base;
+}
+
+}  // namespace pdm

@@ -1,0 +1,69 @@
+#ifndef PDM_PRICING_INTERVAL_ENGINE_H_
+#define PDM_PRICING_INTERVAL_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "pricing/pricing_engine.h"
+
+/// \file
+/// One-dimensional pricing engine (Section II-C's special case; Theorem 3).
+///
+/// For n = 1 the knowledge set is an interval K_t = [lo, hi] ∋ θ*, the
+/// exploratory price performs bisection, and the worst-case regret is
+/// O(log T) with ε = log₂(T)/T. The ellipsoid update formulas are singular at
+/// n = 1 (factor n²/(n²−1)), so this engine exists as its own class rather
+/// than a special case of EllipsoidPricingEngine.
+
+namespace pdm {
+
+struct IntervalEngineConfig {
+  /// Initial knowledge interval [theta_min, theta_max] for θ*.
+  double theta_min = 0.0;
+  double theta_max = 1.0;
+  /// Horizon T for the default threshold ε = log₂(T)/T (Theorem 3).
+  int64_t horizon = 10000;
+  /// Exploration threshold on p̄ − p̲; ≤ 0 selects the Theorem 3 default.
+  double epsilon = -1.0;
+  /// Uncertainty buffer δ.
+  double delta = 0.0;
+  /// Enforce the reserve constraint.
+  bool use_reserve = true;
+};
+
+/// Theorem 3's threshold choice ε = log₂(T)/T, clamped to ≥ 4δ under
+/// uncertainty.
+double DefaultIntervalEpsilon(int64_t horizon, double delta);
+
+class IntervalPricingEngine : public PricingEngine {
+ public:
+  explicit IntervalPricingEngine(const IntervalEngineConfig& config);
+
+  int dim() const override { return 1; }
+  PostedPrice PostPrice(const Vector& features, double reserve) override;
+  void Observe(bool accepted) override;
+  ValueInterval EstimateValueInterval(const Vector& features) const override;
+  const EngineCounters& counters() const override { return counters_; }
+  std::string name() const override;
+
+  double theta_lower() const { return lo_; }
+  double theta_upper() const { return hi_; }
+  double epsilon() const { return epsilon_; }
+
+ private:
+  enum class PendingKind { kNone, kExploratory, kConservative, kSkip };
+
+  IntervalEngineConfig config_;
+  double epsilon_;
+  double lo_;
+  double hi_;
+  EngineCounters counters_;
+
+  PendingKind pending_ = PendingKind::kNone;
+  double pending_x_ = 0.0;
+  double pending_price_ = 0.0;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_PRICING_INTERVAL_ENGINE_H_

@@ -1,0 +1,30 @@
+#include "pricing/link_functions.h"
+
+#include <cmath>
+
+namespace pdm {
+
+double ExpLink::Apply(double z) const { return std::exp(z); }
+
+double ExpLink::Inverse(double v) const {
+  if (v <= 0.0) return -std::numeric_limits<double>::infinity();
+  return std::log(v);
+}
+
+double LogisticLink::Apply(double z) const {
+  double shifted = z + shift_;
+  if (shifted >= 0.0) {
+    double e = std::exp(-shifted);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(shifted);
+  return e / (1.0 + e);
+}
+
+double LogisticLink::Inverse(double v) const {
+  if (v <= 0.0) return -std::numeric_limits<double>::infinity();
+  if (v >= 1.0) return std::numeric_limits<double>::infinity();
+  return std::log(v / (1.0 - v)) - shift_;
+}
+
+}  // namespace pdm

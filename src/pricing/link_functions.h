@@ -1,0 +1,79 @@
+#ifndef PDM_PRICING_LINK_FUNCTIONS_H_
+#define PDM_PRICING_LINK_FUNCTIONS_H_
+
+#include <limits>
+#include <memory>
+#include <string>
+
+/// \file
+/// Outer link functions g for the non-linear market value models of
+/// Section IV-A: v_t = g(φ(x_t)ᵀθ*), with g non-decreasing and continuous
+/// (Theorem 2). The engine prices in z-space and exposes g(z) to consumers;
+/// reserve prices are pulled back through g⁻¹.
+///
+/// Model ↔ link map (Eq. 27 discussion):
+///   linear           g = identity
+///   log-linear/log-log g = exp  (the paper's hedonic models act on log v)
+///   logistic         g = sigmoid — note the paper writes 1/(1+exp(xᵀθ*)),
+///     which is decreasing and contradicts Theorem 2's non-decreasing
+///     requirement; we use the standard sigmoid 1/(1+exp(−z)) and record the
+///     sign typo in DESIGN.md.
+///   kernelized       g = identity (over the kernel feature map)
+
+namespace pdm {
+
+class LinkFunction {
+ public:
+  virtual ~LinkFunction() = default;
+
+  /// g(z).
+  virtual double Apply(double z) const = 0;
+
+  /// g⁻¹(v) for v inside the open range of g. For v at or below the range
+  /// infimum returns −∞ (the pulled-back reserve constraint is vacuous); for
+  /// v at or above the range supremum returns +∞ (no price can sell).
+  virtual double Inverse(double v) const = 0;
+
+  /// Supremum of g's range (+∞ for unbounded links).
+  virtual double range_sup() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// g(z) = z (linear and kernelized models).
+class IdentityLink : public LinkFunction {
+ public:
+  double Apply(double z) const override { return z; }
+  double Inverse(double v) const override { return v; }
+  double range_sup() const override { return std::numeric_limits<double>::infinity(); }
+  std::string name() const override { return "identity"; }
+};
+
+/// g(z) = exp(z) (log-linear and log-log hedonic models).
+class ExpLink : public LinkFunction {
+ public:
+  double Apply(double z) const override;
+  double Inverse(double v) const override;
+  double range_sup() const override { return std::numeric_limits<double>::infinity(); }
+  std::string name() const override { return "exp"; }
+};
+
+/// g(z) = 1/(1+exp(−(z + shift))) (logistic CTR model). A non-zero `shift`
+/// absorbs a publicly known intercept (e.g. the offline model's learned
+/// bias); any fixed shift keeps g non-decreasing and continuous, so
+/// Theorem 2 applies unchanged.
+class LogisticLink : public LinkFunction {
+ public:
+  explicit LogisticLink(double shift = 0.0) : shift_(shift) {}
+  double Apply(double z) const override;
+  double Inverse(double v) const override;
+  double range_sup() const override { return 1.0; }
+  std::string name() const override { return "logistic"; }
+
+ private:
+  double shift_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_PRICING_LINK_FUNCTIONS_H_

@@ -1,0 +1,80 @@
+#ifndef PDM_PRICING_PRICING_ENGINE_H_
+#define PDM_PRICING_PRICING_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "linalg/vector_ops.h"
+
+/// \file
+/// The posted-price mechanism interface.
+///
+/// Protocol per round t (Fig. 2): the broker receives a query with feature
+/// vector x_t and reserve price q_t, calls PostPrice, shows the returned
+/// price to the consumer, then reports the binary accept/reject feedback via
+/// Observe. PostPrice and Observe must strictly alternate — the engine's
+/// knowledge-set update depends on the pending round's context.
+
+namespace pdm {
+
+/// The broker's decision for one round.
+struct PostedPrice {
+  /// The price shown to the consumer. Always ≥ the round's reserve when the
+  /// engine enforces the reserve constraint.
+  double price = 0.0;
+  /// True if the exploratory (bisection) price was chosen; false for the
+  /// conservative price.
+  bool exploratory = false;
+  /// True when the engine has proven q_t ≥ p̄_t + δ, i.e. no price ≥ q_t can
+  /// sell (Lines 8–10 of Algorithm 2). The posted price is still ≥ q_t so
+  /// accounting stays uniform, but the sale is (w.h.p.) impossible and the
+  /// knowledge set will not be refined.
+  bool certain_no_sale = false;
+};
+
+/// The engine's current estimate of a query's market-value interval
+/// [p̲_t, p̄_t] (value space, after any link function).
+struct ValueInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double width() const { return upper - lower; }
+  double midpoint() const { return 0.5 * (lower + upper); }
+};
+
+/// Cumulative behaviour counters (exposed for the regret analysis benches:
+/// Lemma 6/7 bound `exploratory_rounds`).
+struct EngineCounters {
+  int64_t rounds = 0;
+  int64_t exploratory_rounds = 0;
+  int64_t conservative_rounds = 0;
+  int64_t skipped_rounds = 0;  ///< certain-no-sale rounds
+  int64_t cuts_applied = 0;
+  int64_t cuts_discarded = 0;  ///< feedback outside the valid α window
+};
+
+class PricingEngine {
+ public:
+  virtual ~PricingEngine() = default;
+
+  /// Feature dimension this engine prices over.
+  virtual int dim() const = 0;
+
+  /// Chooses the price for a query. `reserve` is q_t (ignored by engines
+  /// configured without the reserve constraint).
+  virtual PostedPrice PostPrice(const Vector& features, double reserve) = 0;
+
+  /// Reports whether the pending posted price was accepted (p_t ≤ v_t).
+  virtual void Observe(bool accepted) = 0;
+
+  /// Current knowledge-set bounds on the market value of `features`.
+  virtual ValueInterval EstimateValueInterval(const Vector& features) const = 0;
+
+  virtual const EngineCounters& counters() const = 0;
+
+  /// Short identifier used in bench/table output (e.g. "reserve+uncertainty").
+  virtual std::string name() const = 0;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_PRICING_PRICING_ENGINE_H_

@@ -1,0 +1,53 @@
+#include "privacy/compensation.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pdm {
+
+double CompensationContract::Payment(double epsilon) const {
+  PDM_DCHECK(epsilon >= 0.0);
+  return scale * std::tanh(rate * epsilon);
+}
+
+CompensationLedger::CompensationLedger(std::vector<CompensationContract> contracts,
+                                       LaplaceMechanism mechanism)
+    : contracts_(std::move(contracts)), mechanism_(mechanism) {
+  PDM_CHECK(!contracts_.empty());
+  for (const CompensationContract& c : contracts_) {
+    PDM_CHECK(c.scale >= 0.0);
+    PDM_CHECK(c.rate >= 0.0);
+  }
+}
+
+CompensationLedger CompensationLedger::Random(int num_owners, double base_scale,
+                                              double base_rate, Rng* rng) {
+  PDM_CHECK(num_owners > 0);
+  PDM_CHECK(rng != nullptr);
+  std::vector<CompensationContract> contracts;
+  contracts.reserve(static_cast<size_t>(num_owners));
+  for (int i = 0; i < num_owners; ++i) {
+    CompensationContract c;
+    c.scale = base_scale * rng->NextUniform(0.5, 1.5);
+    c.rate = base_rate * rng->NextUniform(0.5, 1.5);
+    contracts.push_back(c);
+  }
+  return CompensationLedger(std::move(contracts), LaplaceMechanism{});
+}
+
+Vector CompensationLedger::Compensations(const NoisyLinearQuery& query) const {
+  PDM_CHECK(query.num_owners() == num_owners());
+  Vector eps = mechanism_.LeakageProfile(query);
+  Vector payments(eps.size());
+  for (size_t i = 0; i < eps.size(); ++i) {
+    payments[i] = contracts_[i].Payment(eps[i]);
+  }
+  return payments;
+}
+
+double CompensationLedger::TotalCompensation(const NoisyLinearQuery& query) const {
+  return Sum(Compensations(query));
+}
+
+}  // namespace pdm

@@ -1,0 +1,68 @@
+#ifndef PDM_PRIVACY_COMPENSATION_H_
+#define PDM_PRIVACY_COMPENSATION_H_
+
+#include <vector>
+
+#include "linalg/vector_ops.h"
+#include "privacy/laplace_mechanism.h"
+#include "privacy/linear_query.h"
+#include "rng/rng.h"
+
+/// \file
+/// Privacy-compensation contracts and the broker's compensation ledger.
+///
+/// Each data owner signs a contract mapping privacy loss ε to a monetary
+/// compensation. Following the paper (which adopts "the tanh based privacy
+/// compensation functions from [8]"), the contract family is
+///
+///     π(ε) = scale · tanh(rate · ε)
+///
+/// — increasing, concave, zero at ε = 0, and saturating at `scale` (an owner
+/// can demand at most `scale` no matter how much privacy is spent). The sum
+/// of compensations over all owners is the query's total cost and therefore
+/// its reserve price q_t (Section II-A).
+
+namespace pdm {
+
+struct CompensationContract {
+  /// Saturation payment (the owner's price for "all of my privacy").
+  double scale = 1.0;
+  /// How fast compensation approaches saturation as ε grows.
+  double rate = 1.0;
+
+  /// π(ε) = scale·tanh(rate·ε). Monotone non-decreasing in ε, π(0) = 0.
+  double Payment(double epsilon) const;
+};
+
+/// The broker-side ledger: one contract per owner, plus the Laplace
+/// quantifier that converts query weights into per-owner ε.
+class CompensationLedger {
+ public:
+  CompensationLedger(std::vector<CompensationContract> contracts,
+                     LaplaceMechanism mechanism);
+
+  /// Draws heterogeneous contracts: scale ~ U[0.5, 1.5)·base_scale, rate ~
+  /// U[0.5, 1.5)·base_rate. Heterogeneity is what gives the sorted-partition
+  /// feature vector its discriminative shape.
+  static CompensationLedger Random(int num_owners, double base_scale, double base_rate,
+                                   Rng* rng);
+
+  int num_owners() const { return static_cast<int>(contracts_.size()); }
+
+  /// Per-owner compensations for a query (Fig. 2's "privacy compensation").
+  Vector Compensations(const NoisyLinearQuery& query) const;
+
+  /// Total compensation = the query's reserve price q_t.
+  double TotalCompensation(const NoisyLinearQuery& query) const;
+
+  const std::vector<CompensationContract>& contracts() const { return contracts_; }
+  const LaplaceMechanism& mechanism() const { return mechanism_; }
+
+ private:
+  std::vector<CompensationContract> contracts_;
+  LaplaceMechanism mechanism_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_PRIVACY_COMPENSATION_H_

@@ -1,0 +1,31 @@
+#include "privacy/laplace_mechanism.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pdm {
+
+double LaplaceMechanism::EpsilonForOwner(double weight, double laplace_scale) const {
+  PDM_CHECK(laplace_scale > 0.0);
+  return std::fabs(weight) * data_range / laplace_scale;
+}
+
+Vector LaplaceMechanism::LeakageProfile(const NoisyLinearQuery& query) const {
+  double scale = query.laplace_scale();
+  Vector eps(query.owner_weights.size());
+  for (size_t i = 0; i < eps.size(); ++i) {
+    eps[i] = EpsilonForOwner(query.owner_weights[i], scale);
+  }
+  return eps;
+}
+
+double LaplaceMechanism::GlobalSensitivity(const NoisyLinearQuery& query) const {
+  return NormInf(query.owner_weights) * data_range;
+}
+
+double LaplaceMechanism::WorstCaseEpsilon(const NoisyLinearQuery& query) const {
+  return GlobalSensitivity(query) / query.laplace_scale();
+}
+
+}  // namespace pdm

@@ -1,0 +1,41 @@
+#ifndef PDM_PRIVACY_LAPLACE_MECHANISM_H_
+#define PDM_PRIVACY_LAPLACE_MECHANISM_H_
+
+#include "linalg/vector_ops.h"
+#include "privacy/linear_query.h"
+
+/// \file
+/// Differential-privacy accounting for noisy linear queries.
+///
+/// The broker quantifies each owner's privacy leakage under a query with the
+/// standard Laplace-mechanism analysis (Dwork et al.): perturbing
+/// q(D) = Σ wᵢ·dᵢ with Laplace(b) noise makes the answer ε-differentially
+/// private w.r.t. owner i with ε_i = |wᵢ|·Δᵢ / b, where Δᵢ bounds the range
+/// of owner i's datum. This per-owner leakage vector is the input to the
+/// compensation contracts (the paper's "differential privacy based privacy
+/// leakage quantification mechanism ... from [8]").
+
+namespace pdm {
+
+struct LaplaceMechanism {
+  /// Per-owner data range bound Δᵢ (how much one owner can shift the true
+  /// answer per unit weight). The evaluation normalizes data to a unit range.
+  double data_range = 1.0;
+
+  /// ε_i for a single owner with aggregation weight `weight` under noise
+  /// scale `laplace_scale`.
+  double EpsilonForOwner(double weight, double laplace_scale) const;
+
+  /// Per-owner leakage vector for a whole query.
+  Vector LeakageProfile(const NoisyLinearQuery& query) const;
+
+  /// Global sensitivity of the query: max over owners of |wᵢ|·Δᵢ.
+  double GlobalSensitivity(const NoisyLinearQuery& query) const;
+
+  /// Worst-case ε of the mechanism: GlobalSensitivity / laplace_scale.
+  double WorstCaseEpsilon(const NoisyLinearQuery& query) const;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_PRIVACY_LAPLACE_MECHANISM_H_

@@ -1,0 +1,46 @@
+#include "privacy/linear_query.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pdm {
+
+double NoisyLinearQuery::laplace_scale() const {
+  PDM_CHECK(noise_variance > 0.0);
+  // Laplace(b) has variance 2b².
+  return std::sqrt(noise_variance / 2.0);
+}
+
+NoisyLinearQueryGenerator::NoisyLinearQueryGenerator(QueryGeneratorConfig config)
+    : config_(config) {
+  PDM_CHECK(config_.num_owners > 0);
+  PDM_CHECK(config_.noise_exponent_range >= 0);
+}
+
+NoisyLinearQuery NoisyLinearQueryGenerator::Next(Rng* rng) const {
+  PDM_CHECK(rng != nullptr);
+  NoisyLinearQuery query;
+  QueryWeightFamily family = config_.family;
+  if (family == QueryWeightFamily::kMixed) {
+    family = rng->NextBernoulli(0.5) ? QueryWeightFamily::kGaussian
+                                     : QueryWeightFamily::kUniform;
+  }
+  query.owner_weights = (family == QueryWeightFamily::kGaussian)
+                            ? rng->GaussianVector(config_.num_owners)
+                            : rng->UniformVector(config_.num_owners, -1.0, 1.0);
+  int span = 2 * config_.noise_exponent_range + 1;
+  int exponent =
+      static_cast<int>(rng->NextUint64(static_cast<uint64_t>(span))) -
+      config_.noise_exponent_range;
+  query.noise_variance = std::pow(10.0, exponent);
+  return query;
+}
+
+double AnswerNoisyLinearQuery(const NoisyLinearQuery& query, const Vector& data, Rng* rng) {
+  PDM_CHECK(rng != nullptr);
+  PDM_CHECK(data.size() == query.owner_weights.size());
+  return Dot(query.owner_weights, data) + rng->NextLaplace(query.laplace_scale());
+}
+
+}  // namespace pdm

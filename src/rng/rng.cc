@@ -1,0 +1,115 @@
+#include "rng/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pdm {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (uint64_t& word : state_) {
+    word = SplitMix64(&sm);
+  }
+  // xoshiro must not start from the all-zero state; SplitMix64 cannot emit
+  // four zero words for any seed, but keep the guard for clarity.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+uint64_t Rng::NextUint64() {
+  // xoshiro256++ step (Blackman & Vigna).
+  uint64_t result = RotL(state_[0] + state_[3], 23) + state_[0];
+  uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t bound) {
+  PDM_CHECK(bound > 0);
+  // Rejection sampling over the largest multiple of bound.
+  uint64_t threshold = (0 - bound) % bound;
+  while (true) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextUniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = NextUniform(-1.0, 1.0);
+    v = NextUniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * factor;
+  has_cached_gaussian_ = true;
+  return u * factor;
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+double Rng::NextLaplace(double scale) {
+  PDM_CHECK(scale > 0);
+  // Inverse CDF: sign(u)·(−b·ln(1−2|u|)) for u uniform in (−1/2, 1/2).
+  double u = NextDouble() - 0.5;
+  double sign = (u < 0) ? -1.0 : 1.0;
+  return -scale * sign * std::log(1.0 - 2.0 * std::fabs(u));
+}
+
+int Rng::NextRademacher() { return (NextUint64() & 1) ? 1 : -1; }
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+Rng Rng::Split() { return Rng(NextUint64()); }
+
+std::vector<double> Rng::GaussianVector(int n) {
+  PDM_CHECK(n >= 0);
+  std::vector<double> out(static_cast<size_t>(n));
+  for (double& x : out) x = NextGaussian();
+  return out;
+}
+
+std::vector<double> Rng::UniformVector(int n, double lo, double hi) {
+  PDM_CHECK(n >= 0);
+  std::vector<double> out(static_cast<size_t>(n));
+  for (double& x : out) x = NextUniform(lo, hi);
+  return out;
+}
+
+}  // namespace pdm

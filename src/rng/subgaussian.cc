@@ -1,0 +1,25 @@
+#include "rng/subgaussian.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pdm {
+
+double BufferDelta(const SubGaussianSpec& spec, int64_t rounds) {
+  PDM_CHECK(rounds >= 1);
+  PDM_CHECK(spec.tail_constant > 1.0);
+  if (spec.sigma == 0.0) return 0.0;
+  return std::sqrt(2.0 * std::log(spec.tail_constant)) * spec.sigma *
+         std::log(static_cast<double>(rounds));
+}
+
+double SigmaForBuffer(double delta, double tail_constant, int64_t rounds) {
+  PDM_CHECK(rounds >= 2);
+  PDM_CHECK(tail_constant > 1.0);
+  PDM_CHECK(delta >= 0.0);
+  return delta / (std::sqrt(2.0 * std::log(tail_constant)) *
+                  std::log(static_cast<double>(rounds)));
+}
+
+}  // namespace pdm

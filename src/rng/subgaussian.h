@@ -1,0 +1,50 @@
+#ifndef PDM_RNG_SUBGAUSSIAN_H_
+#define PDM_RNG_SUBGAUSSIAN_H_
+
+#include <cstdint>
+
+#include "rng/rng.h"
+
+/// \file
+/// Sub-Gaussian uncertainty model of Section III-B.
+///
+/// The paper assumes the market-value noise δ_t is σ-sub-Gaussian with tail
+/// constant C (Eq. 4): Pr(|δ_t| > z) ≤ C·exp(−z²/2σ²). Choosing the buffer
+/// δ = √(2·log C)·σ·log T gives Pr(|δ_t| > δ) ≤ T^{−log T} (Eq. 5) and, by a
+/// union bound over T ≥ 8 rounds, all noise realisations stay inside ±δ with
+/// probability ≥ 1 − 1/T (Eq. 6). The evaluation inverts this: it fixes
+/// δ = 0.01 and sets σ = δ / (√(2·log 2)·log T) for Gaussian noise (C = 2).
+
+namespace pdm {
+
+struct SubGaussianSpec {
+  /// Sub-Gaussian scale parameter σ.
+  double sigma = 0.0;
+  /// Tail constant C in Eq. (4); 2 for the normal distribution.
+  double tail_constant = 2.0;
+};
+
+/// Buffer size δ = √(2·log C)·σ·log T from Eq. (5). Returns 0 when σ = 0.
+double BufferDelta(const SubGaussianSpec& spec, int64_t rounds);
+
+/// Inverse of BufferDelta: the σ that realises a target buffer δ for the
+/// given horizon (used to reproduce the evaluation's σ = δ/(√(2 log 2)·log T)).
+double SigmaForBuffer(double delta, double tail_constant, int64_t rounds);
+
+/// Samples Gaussian noise with standard deviation spec.sigma. The normal
+/// distribution is σ-sub-Gaussian with C = 2, so this realises the model the
+/// evaluation section uses.
+class GaussianMarketNoise {
+ public:
+  explicit GaussianMarketNoise(SubGaussianSpec spec) : spec_(spec) {}
+
+  double Sample(Rng* rng) const { return rng->NextGaussian(0.0, spec_.sigma); }
+  const SubGaussianSpec& spec() const { return spec_; }
+
+ private:
+  SubGaussianSpec spec_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_RNG_SUBGAUSSIAN_H_

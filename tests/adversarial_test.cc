@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "market/adversarial.h"
+#include "market/simulator.h"
+#include "pricing/ellipsoid_engine.h"
+
+namespace pdm {
+namespace {
+
+EllipsoidEngineConfig Lemma8EngineConfig(int64_t horizon, bool allow_conservative_cuts) {
+  EllipsoidEngineConfig config;
+  config.dim = 2;
+  config.horizon = horizon;
+  config.initial_radius = 1.0;  // Lemma 8 sets R = 1, S = 1
+  config.use_reserve = true;
+  config.allow_conservative_cuts = allow_conservative_cuts;
+  return config;
+}
+
+TEST(AdversarialStream, PhaseStructure) {
+  AdversarialStreamConfig config;
+  config.dim = 2;
+  config.horizon = 10;
+  AdversarialQueryStream stream(config);
+  EllipsoidPricingEngine engine(Lemma8EngineConfig(10, false));
+  stream.BindEngine(&engine);
+  Rng rng(1);
+  for (int t = 0; t < 5; ++t) {
+    MarketRound round = stream.Next(&rng);
+    EXPECT_EQ(round.features, (Vector{1.0, 0.0}));
+    EXPECT_DOUBLE_EQ(round.value, config.theta1);
+  }
+  for (int t = 5; t < 10; ++t) {
+    MarketRound round = stream.Next(&rng);
+    EXPECT_EQ(round.features, (Vector{0.0, 1.0}));
+    EXPECT_DOUBLE_EQ(round.reserve, 0.0);
+    EXPECT_DOUBLE_EQ(round.value, config.theta2);
+  }
+}
+
+TEST(AdversarialStream, ReserveTracksEngineMidpoint) {
+  AdversarialStreamConfig config;
+  config.horizon = 100;
+  AdversarialQueryStream stream(config);
+  EllipsoidPricingEngine engine(Lemma8EngineConfig(100, false));
+  stream.BindEngine(&engine);
+  Rng rng(2);
+  MarketRound round = stream.Next(&rng);
+  EXPECT_DOUBLE_EQ(round.reserve,
+                   engine.EstimateValueInterval(round.features).midpoint());
+}
+
+TEST(Lemma8, ConservativeCutsInflateOrthogonalAxis) {
+  // Phase 1 alone. The safe engine expands e₂ only during its O(log(R/ε))
+  // exploratory cuts (factor n/√(n²−1) each) and then stops; the unsafe
+  // engine keeps cutting on every conservative round and inflates e₂
+  // exponentially until double precision saturates.
+  int64_t horizon = 400;
+  AdversarialStreamConfig stream_config;
+  stream_config.horizon = horizon;
+
+  auto run_phase1 = [&](bool allow_cuts) {
+    AdversarialQueryStream stream(stream_config);
+    EllipsoidPricingEngine engine(Lemma8EngineConfig(horizon, allow_cuts));
+    stream.BindEngine(&engine);
+    Rng rng(3);
+    for (int64_t t = 0; t < horizon / 2; ++t) {
+      MarketRound round = stream.Next(&rng);
+      PostedPrice posted = engine.PostPrice(round.features, round.reserve);
+      engine.Observe(!posted.certain_no_sale && posted.price <= round.value);
+    }
+    return engine.EstimateValueInterval(Vector{0.0, 1.0}).width();
+  };
+
+  double safe_width = run_phase1(false);
+  double unsafe_width = run_phase1(true);
+  EXPECT_LT(safe_width, 100.0);  // bounded by the exploratory budget
+  EXPECT_GT(unsafe_width, 100.0 * safe_width)
+      << "conservative cuts should inflate the e2 axis";
+}
+
+TEST(Lemma8, UnsafeEngineSuffersLinearRegretGrowth) {
+  // Pre-saturation regime (the e₁ shape entry underflows after ~95 unsafe
+  // cuts, which caps the idealized real-arithmetic blow-up): the unsafe
+  // engine's regret grows linearly with T while the safe engine's barely
+  // moves, and the unsafe engine is a multiple of the safe one.
+  auto run = [&](int64_t horizon, bool allow_cuts) {
+    AdversarialStreamConfig stream_config;
+    stream_config.horizon = horizon;
+    AdversarialQueryStream stream(stream_config);
+    EllipsoidPricingEngine engine(Lemma8EngineConfig(horizon, allow_cuts));
+    SimulationOptions options;
+    options.rounds = horizon;
+    Rng rng(4);
+    return RunMarket(&stream, &engine, options, &rng).tracker.cumulative_regret();
+  };
+
+  double safe_small = run(50, false);
+  double safe_large = run(200, false);
+  double unsafe_small = run(50, true);
+  double unsafe_large = run(200, true);
+  EXPECT_GT(unsafe_large, 2.0 * safe_large)
+      << "safe=" << safe_large << " unsafe=" << unsafe_large;
+  double unsafe_growth = unsafe_large - unsafe_small;
+  double safe_growth = safe_large - safe_small;
+  EXPECT_GT(unsafe_growth, 3.0 * safe_growth + 1.0)
+      << "unsafe growth " << unsafe_growth << " vs safe growth " << safe_growth;
+}
+
+}  // namespace
+}  // namespace pdm

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/flags.h"
+#include "common/memory.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "pdm.h"  // umbrella header must stay self-contained
+
+namespace pdm {
+namespace {
+
+// ---------------------------------------------------------------- strings
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtil, SplitSingleField) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtil, SplitTrailingSeparator) {
+  auto parts = Split("a,b,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtil, TrimBothEnds) {
+  EXPECT_EQ(Trim("  hello \t"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-f", "--"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+TEST(StringUtil, ToLower) { EXPECT_EQ(ToLower("TrUe"), "true"); }
+
+TEST(StringUtil, ParseDoubleValid) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.25").value(), 3.25);
+  EXPECT_DOUBLE_EQ(ParseDouble(" -1e3 ").value(), -1000.0);
+}
+
+TEST(StringUtil, ParseDoubleInvalid) {
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+  EXPECT_FALSE(ParseDouble("1.5x").has_value());
+  EXPECT_FALSE(ParseDouble("").has_value());
+}
+
+TEST(StringUtil, ParseInt64) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-7").value(), -7);
+  EXPECT_FALSE(ParseInt64("4.2").has_value());
+  EXPECT_FALSE(ParseInt64("").has_value());
+}
+
+TEST(StringUtil, ParseBool) {
+  EXPECT_TRUE(ParseBool("true").value());
+  EXPECT_TRUE(ParseBool("YES").value());
+  EXPECT_TRUE(ParseBool("1").value());
+  EXPECT_FALSE(ParseBool("off").value());
+  EXPECT_FALSE(ParseBool("maybe").has_value());
+}
+
+TEST(StringUtil, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SampleVariance) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 2.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    double v = 0.37 * i - 3.0;
+    (i < 20 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeIntoEmpty) {
+  RunningStats a, b;
+  b.Add(5.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+}
+
+// ---------------------------------------------------------------- flags
+
+TEST(FlagSet, ParsesAllTypes) {
+  int64_t rounds = 10;
+  double eps = 0.5;
+  bool verbose = false;
+  std::string out = "a.csv";
+  FlagSet flags("test");
+  flags.AddInt64("rounds", &rounds, "rounds");
+  flags.AddDouble("eps", &eps, "epsilon");
+  flags.AddBool("verbose", &verbose, "verbosity");
+  flags.AddString("out", &out, "output");
+  const char* argv[] = {"test", "--rounds=100", "--eps", "0.25", "--verbose",
+                        "--out=b.csv"};
+  ASSERT_TRUE(flags.Parse(6, const_cast<char**>(argv)));
+  EXPECT_EQ(rounds, 100);
+  EXPECT_DOUBLE_EQ(eps, 0.25);
+  EXPECT_TRUE(verbose);
+  EXPECT_EQ(out, "b.csv");
+}
+
+TEST(FlagSet, RejectsUnknownFlag) {
+  FlagSet flags("test");
+  const char* argv[] = {"test", "--nope=1"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)));
+}
+
+TEST(FlagSet, RejectsBadValue) {
+  int64_t rounds = 10;
+  FlagSet flags("test");
+  flags.AddInt64("rounds", &rounds, "rounds");
+  const char* argv[] = {"test", "--rounds=ten"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)));
+}
+
+TEST(FlagSet, HelpReturnsFalse) {
+  FlagSet flags("test");
+  const char* argv[] = {"test", "--help"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)));
+}
+
+TEST(FlagSet, DefaultsSurviveEmptyArgv) {
+  int64_t rounds = 7;
+  FlagSet flags("test");
+  flags.AddInt64("rounds", &rounds, "rounds");
+  const char* argv[] = {"test"};
+  ASSERT_TRUE(flags.Parse(1, const_cast<char**>(argv)));
+  EXPECT_EQ(rounds, 7);
+}
+
+TEST(FlagSet, UsageListsFlagsAndDefaults) {
+  int64_t rounds = 7;
+  FlagSet flags("prog");
+  flags.AddInt64("rounds", &rounds, "number of rounds");
+  std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("--rounds"), std::string::npos);
+  EXPECT_NE(usage.find("7"), std::string::npos);
+  EXPECT_NE(usage.find("number of rounds"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- printer
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "2.5"});
+  std::ostringstream os;
+  table.Print(os);
+  std::string text = os.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- csv
+
+TEST(CsvWriter, WritesHeaderAndEscapes) {
+  std::string path = testing::TempDir() + "/pdm_csv_test.csv";
+  {
+    CsvWriter writer(path, {"a", "b"});
+    ASSERT_TRUE(writer.ok());
+    writer.WriteRow({"1", "has,comma"});
+    writer.WriteRow({"2", "has\"quote"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,\"has,comma\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,\"has\"\"quote\"");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, EmptyPathIsInactive) {
+  CsvWriter writer("", {"a"});
+  EXPECT_FALSE(writer.ok());
+  writer.WriteRow({"1"});  // must not crash
+}
+
+// ---------------------------------------------------------------- memory
+
+TEST(Memory, RssIsPositiveOnLinux) {
+  EXPECT_GT(CurrentRssBytes(), 0);
+  EXPECT_GT(CurrentRssMiB(), 0.0);
+}
+
+// ---------------------------------------------------------------- umbrella
+
+TEST(Umbrella, VersionIsCoherent) {
+  EXPECT_EQ(std::string(kVersionString),
+            std::to_string(kVersionMajor) + "." + std::to_string(kVersionMinor) + "." +
+                std::to_string(kVersionPatch));
+}
+
+}  // namespace
+}  // namespace pdm

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/csv_reader.h"
+#include "data/table.h"
+
+namespace pdm {
+namespace {
+
+// ---------------------------------------------------------------- table
+
+TEST(Table, AddAndLookupColumns) {
+  Table t;
+  t.AddColumn(Column::Doubles("price", {1.0, 2.0}));
+  t.AddColumn(Column::Int64s("count", {10, 20}));
+  t.AddColumn(Column::Strings("city", {"NYC", "LA"}));
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.num_cols(), 3);
+  EXPECT_TRUE(t.HasColumn("price"));
+  EXPECT_FALSE(t.HasColumn("missing"));
+  EXPECT_DOUBLE_EQ(t.column("price").DoubleAt(1), 2.0);
+  EXPECT_EQ(t.column("count").Int64At(0), 10);
+  EXPECT_EQ(t.column("city").StringAt(1), "LA");
+  EXPECT_EQ(t.column(0).name(), "price");
+}
+
+TEST(Table, NumericAtWidensInt64) {
+  Table t;
+  t.AddColumn(Column::Int64s("count", {7}));
+  EXPECT_DOUBLE_EQ(t.column("count").NumericAt(0), 7.0);
+}
+
+TEST(Table, ColumnNames) {
+  Table t;
+  t.AddColumn(Column::Doubles("a", {1.0}));
+  t.AddColumn(Column::Doubles("b", {2.0}));
+  EXPECT_EQ(t.ColumnNames(), (std::vector<std::string>{"a", "b"}));
+}
+
+// ---------------------------------------------------------------- csv
+
+TEST(CsvReader, ParsesTypedColumns) {
+  auto table = ReadCsvFromString("id,score,name\n1,2.5,alice\n2,3.5,bob\n");
+  ASSERT_TRUE(table.has_value());
+  EXPECT_EQ(table->num_rows(), 2);
+  EXPECT_EQ(table->column("id").type(), ColumnType::kInt64);
+  EXPECT_EQ(table->column("score").type(), ColumnType::kDouble);
+  EXPECT_EQ(table->column("name").type(), ColumnType::kString);
+  EXPECT_EQ(table->column("id").Int64At(1), 2);
+  EXPECT_DOUBLE_EQ(table->column("score").DoubleAt(0), 2.5);
+  EXPECT_EQ(table->column("name").StringAt(1), "bob");
+}
+
+TEST(CsvReader, IntColumnPromotedToDoubleOnMixedContent) {
+  auto table = ReadCsvFromString("x\n1\n2.5\n");
+  ASSERT_TRUE(table.has_value());
+  EXPECT_EQ(table->column("x").type(), ColumnType::kDouble);
+}
+
+TEST(CsvReader, EmptyNumericCellsBecomeNaN) {
+  auto table = ReadCsvFromString("x\n1.5\n\n2.5\n");
+  ASSERT_TRUE(table.has_value());
+  // Blank lines are skipped; an explicit empty field is NaN.
+  auto table2 = ReadCsvFromString("x,y\n1.5,a\n,b\n");
+  ASSERT_TRUE(table2.has_value());
+  EXPECT_TRUE(std::isnan(table2->column("x").DoubleAt(1)));
+}
+
+TEST(CsvReader, QuotedFieldsWithCommasAndQuotes) {
+  auto table = ReadCsvFromString("a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(table.has_value());
+  EXPECT_EQ(table->column("a").StringAt(0), "x,y");
+  EXPECT_EQ(table->column("b").StringAt(0), "he said \"hi\"");
+}
+
+TEST(CsvReader, RaggedRowIsAnError) {
+  std::string error;
+  auto table = ReadCsvFromString("a,b\n1\n", &error);
+  EXPECT_FALSE(table.has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(CsvReader, EmptyInputIsAnError) {
+  std::string error;
+  EXPECT_FALSE(ReadCsvFromString("", &error).has_value());
+}
+
+TEST(CsvReader, MissingFileIsAnError) {
+  std::string error;
+  EXPECT_FALSE(ReadCsv("/nonexistent/path.csv", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(CsvReader, NegativeNumbersAndWhitespace) {
+  auto table = ReadCsvFromString("x\n-5\n 7 \n");
+  ASSERT_TRUE(table.has_value());
+  EXPECT_EQ(table->column("x").type(), ColumnType::kInt64);
+  EXPECT_EQ(table->column("x").Int64At(0), -5);
+  EXPECT_EQ(table->column("x").Int64At(1), 7);
+}
+
+}  // namespace
+}  // namespace pdm

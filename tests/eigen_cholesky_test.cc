@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/matrix.h"
+#include "rng/rng.h"
+
+namespace pdm {
+namespace {
+
+Matrix RandomSpd(int n, Rng* rng) {
+  // A = B·Bᵀ + n·I is comfortably positive definite.
+  Matrix b(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) b(i, j) = rng->NextGaussian();
+  }
+  Matrix a = b.MatMul(b.Transposed());
+  for (int i = 0; i < n; ++i) a(i, i) += n;
+  return a;
+}
+
+// ---------------------------------------------------------------- cholesky
+
+TEST(Cholesky, FactorizesKnownMatrix) {
+  Matrix a = Matrix::FromRows({{4, 2}, {2, 3}});
+  Matrix l(0, 0);
+  ASSERT_TRUE(CholeskyFactor(a, &l));
+  EXPECT_DOUBLE_EQ(l(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(l(1, 0), 1.0);
+  EXPECT_NEAR(l(1, 1), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 1}});  // eigenvalues 3, −1
+  Matrix l(0, 0);
+  EXPECT_FALSE(CholeskyFactor(a, &l));
+}
+
+TEST(Cholesky, SolveRoundTrip) {
+  Rng rng(1);
+  for (int n : {2, 5, 10}) {
+    Matrix a = RandomSpd(n, &rng);
+    Vector x_true = rng.GaussianVector(n);
+    Vector b = a.MatVec(x_true);
+    Vector x = SolveSpd(a, b);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[static_cast<size_t>(i)], x_true[static_cast<size_t>(i)], 1e-8);
+    }
+  }
+}
+
+TEST(Cholesky, LogDetMatchesKnown) {
+  Matrix a = Matrix::ScaledIdentity(3, 4.0);  // det = 64
+  Matrix l(0, 0);
+  ASSERT_TRUE(CholeskyFactor(a, &l));
+  EXPECT_NEAR(CholeskyLogDet(l), std::log(64.0), 1e-12);
+}
+
+// ---------------------------------------------------------------- jacobi
+
+TEST(JacobiEigen, DiagonalMatrix) {
+  Matrix a = Matrix::FromRows({{3, 0}, {0, 1}});
+  EigenSymResult r = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[1], 1.0, 1e-12);
+}
+
+TEST(JacobiEigen, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix a = Matrix::FromRows({{2, 1}, {1, 2}});
+  EigenSymResult r = JacobiEigenSymmetric(a);
+  EXPECT_NEAR(r.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(r.eigenvalues[1], 1.0, 1e-10);
+}
+
+TEST(JacobiEigen, EigenvectorsSatisfyDefinition) {
+  Rng rng(3);
+  Matrix a = RandomSpd(6, &rng);
+  EigenSymResult r = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(r.converged);
+  for (int k = 0; k < 6; ++k) {
+    Vector v(6);
+    for (int i = 0; i < 6; ++i) v[static_cast<size_t>(i)] = r.eigenvectors(i, k);
+    Vector av = a.MatVec(v);
+    for (int i = 0; i < 6; ++i) {
+      EXPECT_NEAR(av[static_cast<size_t>(i)],
+                  r.eigenvalues[static_cast<size_t>(k)] * v[static_cast<size_t>(i)], 1e-7);
+    }
+  }
+}
+
+TEST(JacobiEigen, EigenvectorsAreOrthonormal) {
+  Rng rng(4);
+  Matrix a = RandomSpd(5, &rng);
+  EigenSymResult r = JacobiEigenSymmetric(a);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      double dot = 0.0;
+      for (int k = 0; k < 5; ++k) dot += r.eigenvectors(k, i) * r.eigenvectors(k, j);
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(JacobiEigen, EigenvaluesSortedDescending) {
+  Rng rng(5);
+  Matrix a = RandomSpd(8, &rng);
+  EigenSymResult r = JacobiEigenSymmetric(a);
+  for (size_t i = 1; i < r.eigenvalues.size(); ++i) {
+    EXPECT_GE(r.eigenvalues[i - 1], r.eigenvalues[i]);
+  }
+}
+
+TEST(JacobiEigen, TraceAndDetInvariants) {
+  Rng rng(6);
+  Matrix a = RandomSpd(4, &rng);
+  EigenSymResult r = JacobiEigenSymmetric(a);
+  double eig_sum = 0.0, eig_logprod = 0.0;
+  for (double ev : r.eigenvalues) {
+    eig_sum += ev;
+    eig_logprod += std::log(ev);
+  }
+  EXPECT_NEAR(eig_sum, a.Trace(), 1e-8);
+  Matrix l(0, 0);
+  ASSERT_TRUE(CholeskyFactor(a, &l));
+  EXPECT_NEAR(eig_logprod, CholeskyLogDet(l), 1e-8);
+}
+
+TEST(JacobiEigen, SmallestEigenvalueHelper) {
+  Matrix a = Matrix::FromRows({{5, 0}, {0, 0.25}});
+  EXPECT_NEAR(SmallestEigenvalue(a), 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace pdm

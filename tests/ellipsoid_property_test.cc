@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ellipsoid/ellipsoid.h"
+#include "rng/rng.h"
+
+namespace pdm {
+namespace {
+
+/// Property suite parameterized over dimension: the geometric guarantees the
+/// regret analysis rests on (Lemmas 2 and 5, θ*-containment of consistent
+/// cuts) hold numerically along random cut sequences.
+class EllipsoidPropertyTest : public testing::TestWithParam<int> {};
+
+Vector RandomDirection(int n, Rng* rng) {
+  Vector x = rng->GaussianVector(n);
+  RescaleToNorm(&x, 1.0);
+  return x;
+}
+
+TEST_P(EllipsoidPropertyTest, ConsistentCutsNeverExcludeTheta) {
+  int n = GetParam();
+  Rng rng(1000 + static_cast<uint64_t>(n));
+  // θ* strictly inside the initial ball.
+  Vector theta = rng.GaussianVector(n);
+  RescaleToNorm(&theta, 0.7);
+  Ellipsoid e = Ellipsoid::Ball(n, 1.0);
+
+  for (int round = 0; round < 60; ++round) {
+    Vector x = RandomDirection(n, &rng);
+    SupportInterval s = e.Support(x);
+    if (s.half_width <= 1e-9) continue;
+    // Price drawn inside the support interval, like an exploratory price.
+    double price = rng.NextUniform(s.lower, s.upper);
+    double alpha = (s.midpoint - price) / s.half_width;
+    double truth = Dot(x, theta);
+    double nd = static_cast<double>(n);
+    if (truth <= price) {
+      // "Rejection-style" consistent feedback: θ* is below the cut.
+      if (alpha >= -1.0 / nd && alpha < 1.0) {
+        e.CutKeepBelow(x, alpha);
+      }
+    } else {
+      if (-alpha >= -1.0 / nd && -alpha < 1.0) {
+        e.CutKeepAbove(x, alpha);
+      }
+    }
+    ASSERT_TRUE(e.Contains(theta, 1e-7))
+        << "theta excluded at round " << round << " dim " << n;
+    ASSERT_TRUE(e.LooksHealthy());
+  }
+}
+
+TEST_P(EllipsoidPropertyTest, Lemma2VolumeRatioBound) {
+  // Lemma 2: for α ∈ [−1/n, 0], V(E')/V(E) ≤ exp(−(1+nα)²/(5n)).
+  int n = GetParam();
+  Rng rng(2000 + static_cast<uint64_t>(n));
+  double nd = static_cast<double>(n);
+  for (int trial = 0; trial < 20; ++trial) {
+    Ellipsoid e = Ellipsoid::Ball(n, 1.0);
+    // Pre-shape with a couple of central cuts so the test is not ball-only.
+    for (int k = 0; k < 3; ++k) e.CutKeepBelow(RandomDirection(n, &rng), 0.0);
+    double alpha = rng.NextUniform(-1.0 / nd, 0.0);
+    double before = e.LogVolumeUnnormalized();
+    e.CutKeepBelow(RandomDirection(n, &rng), alpha);
+    double after = e.LogVolumeUnnormalized();
+    double bound = -(1.0 + nd * alpha) * (1.0 + nd * alpha) / (5.0 * nd);
+    EXPECT_LE(after - before, bound + 1e-9)
+        << "dim " << n << " alpha " << alpha;
+  }
+}
+
+TEST_P(EllipsoidPropertyTest, Lemma5SmallestEigenvalueDropBound) {
+  // Lemma 5: one exploratory cut with α ∈ [−1/(2n), 0] cannot shrink the
+  // smallest eigenvalue below n²(1−α)²/(n+1)² of its previous value.
+  int n = GetParam();
+  Rng rng(3000 + static_cast<uint64_t>(n));
+  double nd = static_cast<double>(n);
+  for (int trial = 0; trial < 10; ++trial) {
+    Ellipsoid e = Ellipsoid::Ball(n, 1.0);
+    for (int k = 0; k < 2; ++k) e.CutKeepBelow(RandomDirection(n, &rng), 0.0);
+    double alpha = rng.NextUniform(-0.5 / nd, 0.0);
+    double gamma_before = e.SmallestShapeEigenvalue();
+    e.CutKeepBelow(RandomDirection(n, &rng), alpha);
+    double gamma_after = e.SmallestShapeEigenvalue();
+    double factor = nd * nd * (1.0 - alpha) * (1.0 - alpha) / ((nd + 1.0) * (nd + 1.0));
+    EXPECT_GE(gamma_after, factor * gamma_before - 1e-9)
+        << "dim " << n << " alpha " << alpha;
+  }
+}
+
+TEST_P(EllipsoidPropertyTest, CentralCutsShrinkVolumeGeometrically) {
+  int n = GetParam();
+  Rng rng(4000 + static_cast<uint64_t>(n));
+  Ellipsoid e = Ellipsoid::Ball(n, 1.0);
+  double previous = e.LogVolumeUnnormalized();
+  for (int k = 0; k < 30; ++k) {
+    e.CutKeepBelow(RandomDirection(n, &rng), 0.0);
+    double current = e.LogVolumeUnnormalized();
+    EXPECT_LE(current, previous - 1.0 / (5.0 * n) + 1e-9);
+    previous = current;
+  }
+}
+
+TEST_P(EllipsoidPropertyTest, ShapeStaysSymmetricUnderManyCuts) {
+  int n = GetParam();
+  Rng rng(5000 + static_cast<uint64_t>(n));
+  Ellipsoid e = Ellipsoid::Ball(n, 2.0);
+  for (int k = 0; k < 100; ++k) {
+    double alpha = rng.NextUniform(-1.0 / n, 0.2);
+    if (rng.NextBernoulli(0.5)) {
+      e.CutKeepBelow(RandomDirection(n, &rng), alpha);
+    } else {
+      e.CutKeepAbove(RandomDirection(n, &rng), -alpha);
+    }
+    ASSERT_TRUE(e.LooksHealthy()) << "after cut " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, EllipsoidPropertyTest, testing::Values(2, 3, 5, 10, 20),
+                         [](const testing::TestParamInfo<int>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace pdm

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ellipsoid/ellipsoid.h"
+#include "linalg/vector_ops.h"
+#include "rng/rng.h"
+
+namespace pdm {
+namespace {
+
+TEST(Ellipsoid, BallBasics) {
+  Ellipsoid e = Ellipsoid::Ball(3, 2.0);
+  EXPECT_EQ(e.dim(), 3);
+  EXPECT_EQ(e.center(), Zeros(3));
+  EXPECT_DOUBLE_EQ(e.shape()(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(e.shape()(0, 1), 0.0);
+  EXPECT_TRUE(e.LooksHealthy());
+}
+
+TEST(Ellipsoid, SupportOfBallAlongAxis) {
+  Ellipsoid e = Ellipsoid::Ball(2, 3.0);
+  SupportInterval s = e.Support(BasisVector(2, 0));
+  EXPECT_DOUBLE_EQ(s.lower, -3.0);
+  EXPECT_DOUBLE_EQ(s.upper, 3.0);
+  EXPECT_DOUBLE_EQ(s.midpoint, 0.0);
+  EXPECT_DOUBLE_EQ(s.half_width, 3.0);
+}
+
+TEST(Ellipsoid, SupportScalesWithFeatureNorm) {
+  Ellipsoid e = Ellipsoid::Ball(2, 1.0);
+  // Support of θ ↦ xᵀθ over unit ball is ±‖x‖.
+  Vector x{3.0, 4.0};
+  SupportInterval s = e.Support(x);
+  EXPECT_NEAR(s.upper, 5.0, 1e-12);
+  EXPECT_NEAR(s.lower, -5.0, 1e-12);
+}
+
+TEST(Ellipsoid, SupportWithOffCenter) {
+  Ellipsoid e(Vector{1.0, 2.0}, Matrix::ScaledIdentity(2, 1.0));
+  SupportInterval s = e.Support(BasisVector(2, 1));
+  EXPECT_DOUBLE_EQ(s.midpoint, 2.0);
+  EXPECT_DOUBLE_EQ(s.lower, 1.0);
+  EXPECT_DOUBLE_EQ(s.upper, 3.0);
+}
+
+TEST(Ellipsoid, CutAlphaSignConvention) {
+  Ellipsoid e = Ellipsoid::Ball(2, 1.0);
+  Vector x = BasisVector(2, 0);
+  // Cut below the midpoint (cut value < mid) has positive α (deep toward the
+  // kept lower side... the α convention is (mid − cut)/width).
+  EXPECT_GT(e.CutAlpha(x, -0.5), 0.0);
+  EXPECT_LT(e.CutAlpha(x, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.CutAlpha(x, 0.0), 0.0);
+}
+
+TEST(Ellipsoid, CentralCutKeepBelowMatchesKnownLownerJohn) {
+  // Löwner–John ellipsoid of the half unit ball {θ₁ ≤ 0} in R²: center
+  // (−1/3, 0), semi-axes 2/3 (along e₁) and 2/√3 (along e₂).
+  Ellipsoid e = Ellipsoid::Ball(2, 1.0);
+  e.CutKeepBelow(BasisVector(2, 0), 0.0);
+  EXPECT_NEAR(e.center()[0], -1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(e.center()[1], 0.0, 1e-12);
+  EXPECT_NEAR(e.shape()(0, 0), 4.0 / 9.0, 1e-12);
+  EXPECT_NEAR(e.shape()(1, 1), 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(e.shape()(0, 1), 0.0, 1e-12);
+  EXPECT_TRUE(e.LooksHealthy());
+}
+
+TEST(Ellipsoid, CentralCutKeepAboveIsMirrorImage) {
+  Ellipsoid below = Ellipsoid::Ball(2, 1.0);
+  Ellipsoid above = Ellipsoid::Ball(2, 1.0);
+  below.CutKeepBelow(BasisVector(2, 0), 0.0);
+  above.CutKeepAbove(BasisVector(2, 0), 0.0);
+  EXPECT_NEAR(above.center()[0], -below.center()[0], 1e-12);
+  EXPECT_NEAR(above.shape()(0, 0), below.shape()(0, 0), 1e-12);
+  EXPECT_NEAR(above.shape()(1, 1), below.shape()(1, 1), 1e-12);
+}
+
+TEST(Ellipsoid, CutKeepsTheCorrectSide) {
+  Ellipsoid e = Ellipsoid::Ball(2, 1.0);
+  Vector x = BasisVector(2, 0);
+  e.CutKeepBelow(x, 0.0);
+  // Points clearly on the kept side remain; excluded side points leave.
+  EXPECT_TRUE(e.Contains(Vector{-0.5, 0.0}));
+  EXPECT_FALSE(e.Contains(Vector{0.9, 0.0}));
+}
+
+TEST(Ellipsoid, DeepCutShrinksMoreThanCentral) {
+  Ellipsoid central = Ellipsoid::Ball(3, 1.0);
+  Ellipsoid deep = Ellipsoid::Ball(3, 1.0);
+  Vector x = BasisVector(3, 0);
+  central.CutKeepBelow(x, 0.0);
+  deep.CutKeepBelow(x, 0.3);  // deep cut: keeps less than half
+  EXPECT_LT(deep.LogVolumeUnnormalized(), central.LogVolumeUnnormalized());
+}
+
+TEST(Ellipsoid, ShallowCutWithinWindowShrinksAndEncloses) {
+  // α ∈ (−1/n, 0): a shallow cut keeps more than half of E. The update is
+  // still the Löwner–John ellipsoid of the kept region — smaller in volume
+  // than E and enclosing every kept point.
+  Ellipsoid e = Ellipsoid::Ball(2, 1.0);
+  double before = e.LogVolumeUnnormalized();
+  // Keep {θ₁ ≤ 0.3}: cut value 0.3 means α = −0.3 (shallow, > −1/2).
+  e.CutKeepBelow(BasisVector(2, 0), -0.3);
+  EXPECT_LT(e.LogVolumeUnnormalized(), before);
+  // Points inside the kept region stay inside.
+  EXPECT_TRUE(e.Contains(Vector{0.25, 0.9}));
+  EXPECT_TRUE(e.Contains(Vector{-0.9, 0.0}));
+}
+
+TEST(Ellipsoid, BoundaryAlphaIsIdentityUpdate) {
+  // a = −1/n: factor 1, coefficient 0 — the update is a no-op, matching the
+  // fact that the minimal enclosing ellipsoid of a ≤ −1/n cut is E itself.
+  Ellipsoid e = Ellipsoid::Ball(2, 1.0);
+  e.CutKeepBelow(BasisVector(2, 0), -0.5);
+  EXPECT_NEAR(e.shape()(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(e.shape()(1, 1), 1.0, 1e-12);
+  EXPECT_NEAR(e.center()[0], 0.0, 1e-12);
+}
+
+TEST(Ellipsoid, VolumeOfBall) {
+  // LogVolumeUnnormalized = ½ log det(R²·I) = n·log R.
+  Ellipsoid e = Ellipsoid::Ball(4, 2.0);
+  EXPECT_NEAR(e.LogVolumeUnnormalized(), 4.0 * std::log(2.0), 1e-12);
+}
+
+TEST(Ellipsoid, ContainsBoundaryAndOutside) {
+  Ellipsoid e = Ellipsoid::Ball(2, 1.0);
+  EXPECT_TRUE(e.Contains(Vector{1.0, 0.0}));       // boundary
+  EXPECT_TRUE(e.Contains(Vector{0.6, 0.6}));       // inside
+  EXPECT_FALSE(e.Contains(Vector{0.8, 0.8}));      // outside
+}
+
+TEST(Ellipsoid, SmallestShapeEigenvalueOfBall) {
+  Ellipsoid e = Ellipsoid::Ball(3, 2.0);
+  EXPECT_NEAR(e.SmallestShapeEigenvalue(), 4.0, 1e-10);
+}
+
+TEST(Ellipsoid, AxisWidthsDescending) {
+  Ellipsoid e = Ellipsoid::Ball(2, 1.0);
+  e.CutKeepBelow(BasisVector(2, 0), 0.0);
+  Vector widths = e.AxisWidths();
+  ASSERT_EQ(widths.size(), 2u);
+  EXPECT_NEAR(widths[0], 2.0 * 2.0 / std::sqrt(3.0), 1e-9);
+  EXPECT_NEAR(widths[1], 2.0 * 2.0 / 3.0, 1e-9);
+  EXPECT_GE(widths[0], widths[1]);
+}
+
+TEST(Ellipsoid, SupportDirectionIsNormalizedShapeImage) {
+  // direction = A·x/√(xᵀAx), the b of Algorithm 1 Line 5.
+  Ellipsoid e = Ellipsoid::Ball(3, 2.0);
+  Vector x{1.0, 2.0, 2.0};  // ‖x‖ = 3
+  SupportInterval s = e.Support(x);
+  ASSERT_EQ(s.direction.size(), 3u);
+  // For A = 4I: b = 4x/√(4·9) = (2/3)·x.
+  EXPECT_NEAR(s.direction[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.direction[1], 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.direction[2], 4.0 / 3.0, 1e-12);
+}
+
+TEST(Ellipsoid, CachedDirectionCutMatchesFreshCut) {
+  Rng rng(77);
+  Ellipsoid by_vector = Ellipsoid::Ball(4, 1.5);
+  Ellipsoid by_support = Ellipsoid::Ball(4, 1.5);
+  for (int k = 0; k < 25; ++k) {
+    Vector x = rng.GaussianVector(4);
+    RescaleToNorm(&x, 1.0);
+    // Keep |α| < 1/n = 0.25 so both branches stay in their validity windows.
+    double alpha = rng.NextUniform(-0.2, 0.2);
+    SupportInterval support = by_support.Support(x);
+    if (support.half_width <= 0.0) continue;
+    if (k % 2 == 0) {
+      by_vector.CutKeepBelow(x, alpha);
+      by_support.CutKeepBelow(support, alpha);
+    } else {
+      by_vector.CutKeepAbove(x, alpha);
+      by_support.CutKeepAbove(support, alpha);
+    }
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_NEAR(by_vector.center()[static_cast<size_t>(i)],
+                  by_support.center()[static_cast<size_t>(i)], 1e-12);
+      for (int j = 0; j < 4; ++j) {
+        ASSERT_NEAR(by_vector.shape()(i, j), by_support.shape()(i, j), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(EllipsoidDeathTest, RejectsCutBeyondValidityWindow) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Ellipsoid e = Ellipsoid::Ball(2, 1.0);
+  // a < −1/n: the formula would produce a non-enclosing ellipsoid.
+  EXPECT_DEATH(e.CutKeepBelow(BasisVector(2, 0), -0.9), "PDM_CHECK");
+  // a ≥ 1: the kept region would be empty.
+  EXPECT_DEATH(e.CutKeepBelow(BasisVector(2, 0), 1.0), "PDM_CHECK");
+}
+
+TEST(EllipsoidDeathTest, RejectsDimensionOne) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  // The GLS formulas are singular at n = 1; IntervalPricingEngine is the
+  // supported path.
+  EXPECT_DEATH(Ellipsoid::Ball(1, 1.0), "PDM_CHECK");
+}
+
+TEST(Ellipsoid, DegenerateDirectionYieldsZeroWidth) {
+  // Shape with a numerically zero direction: Support reports zero width
+  // instead of NaN.
+  Matrix a = Matrix::ScaledIdentity(2, 1.0);
+  a(1, 1) = 0.0;
+  Ellipsoid e(Zeros(2), a);
+  SupportInterval s = e.Support(BasisVector(2, 1));
+  EXPECT_DOUBLE_EQ(s.half_width, 0.0);
+  EXPECT_DOUBLE_EQ(s.lower, s.upper);
+}
+
+}  // namespace
+}  // namespace pdm

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/stats.h"
+#include "data/airbnb_like.h"
+#include "data/avazu_like.h"
+#include "data/movielens_like.h"
+#include "rng/rng.h"
+
+namespace pdm {
+namespace {
+
+// ---------------------------------------------------------------- movielens
+
+TEST(MovieLensLike, OwnerPopulationShape) {
+  MovieLensLikeConfig config;
+  config.num_owners = 1000;
+  Rng rng(1);
+  auto data = MovieLensLikeRatings::Generate(config, &rng);
+  ASSERT_EQ(data.num_owners(), 1000);
+  RunningStats counts;
+  for (const OwnerProfile& o : data.owners()) {
+    EXPECT_GE(o.num_ratings, 1);
+    EXPECT_GE(o.mean_rating, 0.5);
+    EXPECT_LE(o.mean_rating, 5.0);
+    EXPECT_GT(o.activity, 0.0);
+    EXPECT_LE(o.activity, 1.0);
+    counts.Add(static_cast<double>(o.num_ratings));
+  }
+  // Long-tailed: the max should far exceed the mean.
+  EXPECT_GT(counts.max(), 4.0 * counts.mean());
+}
+
+TEST(MovieLensLike, OwnerDataInUnitRange) {
+  MovieLensLikeConfig config;
+  config.num_owners = 200;
+  Rng rng(2);
+  auto data = MovieLensLikeRatings::Generate(config, &rng);
+  Vector d = data.OwnerData();
+  ASSERT_EQ(d.size(), 200u);
+  for (double v : d) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(MovieLensLike, RatingsTableSchemaAndScale) {
+  MovieLensLikeConfig config;
+  config.num_owners = 50;
+  Rng rng(3);
+  auto data = MovieLensLikeRatings::Generate(config, &rng);
+  Table ratings = data.RatingsTable(/*max_rows=*/500, &rng);
+  EXPECT_LE(ratings.num_rows(), 500);
+  EXPECT_GT(ratings.num_rows(), 0);
+  for (int64_t r = 0; r < ratings.num_rows(); ++r) {
+    double rating = ratings.column("rating").DoubleAt(r);
+    EXPECT_GE(rating, 0.5);
+    EXPECT_LE(rating, 5.0);
+    // Half-star grid.
+    EXPECT_NEAR(rating * 2.0, std::round(rating * 2.0), 1e-9);
+  }
+}
+
+TEST(MovieLensLike, DeterministicGivenSeed) {
+  MovieLensLikeConfig config;
+  config.num_owners = 100;
+  Rng rng1(7), rng2(7);
+  auto a = MovieLensLikeRatings::Generate(config, &rng1);
+  auto b = MovieLensLikeRatings::Generate(config, &rng2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.owners()[static_cast<size_t>(i)].num_ratings,
+              b.owners()[static_cast<size_t>(i)].num_ratings);
+  }
+}
+
+// ---------------------------------------------------------------- airbnb
+
+TEST(AirbnbLike, SchemaComplete) {
+  AirbnbLikeConfig config;
+  config.num_listings = 500;
+  Rng rng(4);
+  Table t = GenerateAirbnbLikeListings(config, &rng);
+  EXPECT_EQ(t.num_rows(), 500);
+  for (const char* name :
+       {"city", "room_type", "cancellation_policy", "accommodates", "bedrooms", "beds",
+        "bathrooms", "wifi", "kitchen", "parking", "air_conditioning", "washer", "tv",
+        "host_response_rate", "host_is_superhost", "instant_bookable", "number_of_reviews",
+        "review_score", "occupancy_rate", "log_price"}) {
+    EXPECT_TRUE(t.HasColumn(name)) << name;
+  }
+}
+
+TEST(AirbnbLike, CategoricalValuesComeFromKnownSets) {
+  AirbnbLikeConfig config;
+  config.num_listings = 300;
+  Rng rng(5);
+  Table t = GenerateAirbnbLikeListings(config, &rng);
+  std::set<std::string> cities(AirbnbCityNames().begin(), AirbnbCityNames().end());
+  std::set<std::string> rooms(AirbnbRoomTypeNames().begin(), AirbnbRoomTypeNames().end());
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_TRUE(cities.count(t.column("city").StringAt(r)));
+    EXPECT_TRUE(rooms.count(t.column("room_type").StringAt(r)));
+  }
+}
+
+TEST(AirbnbLike, PlantedModelOrdersRoomTypes) {
+  // Entire homes should rent above shared rooms on average (log scale).
+  AirbnbLikeConfig config;
+  config.num_listings = 20000;
+  Rng rng(6);
+  Table t = GenerateAirbnbLikeListings(config, &rng);
+  RunningStats entire, shared;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    const std::string& room = t.column("room_type").StringAt(r);
+    double lp = t.column("log_price").DoubleAt(r);
+    if (room == "entire_home") entire.Add(lp);
+    if (room == "shared_room") shared.Add(lp);
+  }
+  ASSERT_GT(entire.count(), 100);
+  ASSERT_GT(shared.count(), 100);
+  EXPECT_GT(entire.mean(), shared.mean() + 0.5);
+}
+
+TEST(AirbnbLike, SomeHostResponseRatesMissing) {
+  AirbnbLikeConfig config;
+  config.num_listings = 5000;
+  Rng rng(7);
+  Table t = GenerateAirbnbLikeListings(config, &rng);
+  int64_t missing = 0;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    if (std::isnan(t.column("host_response_rate").DoubleAt(r))) ++missing;
+  }
+  EXPECT_GT(missing, 50);
+  EXPECT_LT(missing, 500);
+}
+
+// ---------------------------------------------------------------- avazu
+
+TEST(AvazuLike, FieldSpecsStable) {
+  const auto& fields = AvazuLikeFields();
+  ASSERT_EQ(fields.size(), 10u);
+  EXPECT_EQ(fields[0].name, "banner_pos");
+  for (const auto& f : fields) EXPECT_GT(f.cardinality, 0);
+}
+
+TEST(AvazuLike, ImpressionsRespectCardinalities) {
+  AvazuLikeConfig config;
+  Rng rng(8);
+  AvazuLikeClickLog log(config, &rng);
+  const auto& fields = AvazuLikeFields();
+  for (int i = 0; i < 500; ++i) {
+    AdImpression s = log.Next(&rng);
+    ASSERT_EQ(s.fields.size(), fields.size());
+    for (size_t f = 0; f < fields.size(); ++f) {
+      EXPECT_EQ(s.fields[f].first, static_cast<int>(f));
+      EXPECT_GE(s.fields[f].second, 0);
+      EXPECT_LT(s.fields[f].second, fields[f].cardinality);
+    }
+    EXPECT_GT(s.ctr, 0.0);
+    EXPECT_LT(s.ctr, 1.0);
+    EXPECT_NEAR(s.ctr, 1.0 / (1.0 + std::exp(-s.logit)), 1e-12);
+  }
+}
+
+TEST(AvazuLike, SignalWeightsUniqueAndCounted) {
+  AvazuLikeConfig config;
+  config.num_signal_pairs = 15;
+  Rng rng(9);
+  AvazuLikeClickLog log(config, &rng);
+  EXPECT_EQ(log.signal_weights().size(), 15u);
+  std::set<std::pair<int, int64_t>> seen;
+  for (const auto& [pair, weight] : log.signal_weights()) {
+    EXPECT_TRUE(seen.insert(pair).second) << "duplicate signal pair";
+    EXPECT_NE(weight, 0.0);
+  }
+}
+
+TEST(AvazuLike, ClickRateTracksPlantedCtr) {
+  AvazuLikeConfig config;
+  Rng rng(10);
+  AvazuLikeClickLog log(config, &rng);
+  RunningStats ctr, clicks;
+  for (int i = 0; i < 50000; ++i) {
+    AdImpression s = log.Next(&rng);
+    ctr.Add(s.ctr);
+    clicks.Add(s.clicked ? 1.0 : 0.0);
+  }
+  EXPECT_NEAR(clicks.mean(), ctr.mean(), 0.01);
+}
+
+}  // namespace
+}  // namespace pdm

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "pricing/interval_engine.h"
+#include "rng/rng.h"
+
+namespace pdm {
+namespace {
+
+IntervalEngineConfig BaseConfig() {
+  IntervalEngineConfig config;
+  config.theta_min = 0.0;
+  config.theta_max = 2.0;
+  config.horizon = 100;
+  config.use_reserve = true;
+  return config;
+}
+
+TEST(IntervalEngine, DefaultEpsilonTheorem3) {
+  EXPECT_NEAR(DefaultIntervalEpsilon(1024, 0.0), 10.0 / 1024.0, 1e-12);
+  // The 4δ clamp keeps the conservative switch inside the refinable regime.
+  EXPECT_DOUBLE_EQ(DefaultIntervalEpsilon(1024, 1.0), 4.0);
+}
+
+TEST(IntervalEngine, FirstPriceIsBisectionOfSupport) {
+  IntervalPricingEngine engine(BaseConfig());
+  // x = 1: support [0, 2], midpoint 1; reserve below midpoint.
+  PostedPrice posted = engine.PostPrice({1.0}, 0.5);
+  EXPECT_TRUE(posted.exploratory);
+  EXPECT_DOUBLE_EQ(posted.price, 1.0);
+}
+
+TEST(IntervalEngine, ReserveLiftsExploratoryPrice) {
+  IntervalPricingEngine engine(BaseConfig());
+  PostedPrice posted = engine.PostPrice({1.0}, 1.5);
+  EXPECT_TRUE(posted.exploratory);
+  EXPECT_DOUBLE_EQ(posted.price, 1.5);  // max(q, mid) = q
+}
+
+TEST(IntervalEngine, RejectShrinksUpperBound) {
+  IntervalPricingEngine engine(BaseConfig());
+  engine.PostPrice({1.0}, 0.0);
+  engine.Observe(false);  // θ* ≤ 1
+  EXPECT_DOUBLE_EQ(engine.theta_upper(), 1.0);
+  EXPECT_DOUBLE_EQ(engine.theta_lower(), 0.0);
+}
+
+TEST(IntervalEngine, AcceptRaisesLowerBound) {
+  IntervalPricingEngine engine(BaseConfig());
+  engine.PostPrice({1.0}, 0.0);
+  engine.Observe(true);  // θ* ≥ 1
+  EXPECT_DOUBLE_EQ(engine.theta_lower(), 1.0);
+  EXPECT_DOUBLE_EQ(engine.theta_upper(), 2.0);
+}
+
+TEST(IntervalEngine, BisectionConvergesToTheta) {
+  IntervalEngineConfig config = BaseConfig();
+  config.horizon = 10000;
+  IntervalPricingEngine engine(config);
+  double theta = 1.37;
+  for (int t = 0; t < 200; ++t) {
+    PostedPrice posted = engine.PostPrice({1.0}, 0.0);
+    engine.Observe(posted.price <= theta);
+    ASSERT_LE(engine.theta_lower(), theta + 1e-12);
+    ASSERT_GE(engine.theta_upper(), theta - 1e-12);
+  }
+  EXPECT_LE(engine.theta_upper() - engine.theta_lower(),
+            std::max(engine.epsilon(), 1e-9));
+}
+
+TEST(IntervalEngine, NegativeFeatureFlipsSupport) {
+  IntervalPricingEngine engine(BaseConfig());
+  ValueInterval interval = engine.EstimateValueInterval({-1.0});
+  EXPECT_DOUBLE_EQ(interval.lower, -2.0);
+  EXPECT_DOUBLE_EQ(interval.upper, 0.0);
+}
+
+TEST(IntervalEngine, NegativeFeatureCutsCorrectSide) {
+  IntervalPricingEngine engine(BaseConfig());
+  // x = −1: support [−2, 0], mid −1. Reject at p = −1 ⇒ −θ* ≤ −1 ⇒ θ* ≥ 1.
+  PostedPrice posted = engine.PostPrice({-1.0}, -10.0);
+  EXPECT_DOUBLE_EQ(posted.price, -1.0);
+  engine.Observe(false);
+  EXPECT_DOUBLE_EQ(engine.theta_lower(), 1.0);
+}
+
+TEST(IntervalEngine, SkipWhenReserveAboveUpperBound) {
+  IntervalPricingEngine engine(BaseConfig());
+  PostedPrice posted = engine.PostPrice({1.0}, 5.0);  // upper = 2 < 5
+  EXPECT_TRUE(posted.certain_no_sale);
+  EXPECT_DOUBLE_EQ(posted.price, 5.0);
+  engine.Observe(false);
+  EXPECT_EQ(engine.counters().skipped_rounds, 1);
+  // Knowledge set untouched.
+  EXPECT_DOUBLE_EQ(engine.theta_lower(), 0.0);
+  EXPECT_DOUBLE_EQ(engine.theta_upper(), 2.0);
+}
+
+TEST(IntervalEngine, ConservativePriceNeverCuts) {
+  IntervalEngineConfig config = BaseConfig();
+  config.epsilon = 10.0;  // everything is conservative
+  IntervalPricingEngine engine(config);
+  PostedPrice posted = engine.PostPrice({1.0}, 0.5);
+  EXPECT_FALSE(posted.exploratory);
+  // Conservative price is max(q, p̲ − δ) = max(0.5, 0) = 0.5.
+  EXPECT_DOUBLE_EQ(posted.price, 0.5);
+  engine.Observe(true);
+  EXPECT_DOUBLE_EQ(engine.theta_lower(), 0.0);
+  EXPECT_DOUBLE_EQ(engine.theta_upper(), 2.0);
+  EXPECT_EQ(engine.counters().cuts_applied, 0);
+  EXPECT_EQ(engine.counters().conservative_rounds, 1);
+}
+
+TEST(IntervalEngine, UncertaintyBufferWidensCuts) {
+  IntervalEngineConfig config = BaseConfig();
+  config.delta = 0.1;
+  IntervalPricingEngine engine(config);
+  engine.PostPrice({1.0}, 0.0);
+  engine.Observe(false);  // infer θ* ≤ p + δ = 1.1
+  EXPECT_DOUBLE_EQ(engine.theta_upper(), 1.1);
+  engine.PostPrice({1.0}, 0.0);
+  engine.Observe(true);  // infer θ* ≥ p − δ
+  EXPECT_NEAR(engine.theta_lower(), 0.55 - 0.1, 1e-12);
+}
+
+TEST(IntervalEngine, ContradictoryFeedbackDiscarded) {
+  IntervalEngineConfig config = BaseConfig();
+  config.theta_min = 1.0;
+  config.theta_max = 1.2;
+  config.epsilon = 1e-6;  // force exploratory
+  IntervalPricingEngine engine(config);
+  PostedPrice posted = engine.PostPrice({1.0}, 0.0);
+  EXPECT_TRUE(posted.exploratory);
+  // Price ≈ 1.1; a reject implies θ* ≤ 1.1 — fine. Simulate impossible
+  // feedback by first shrinking: accept tells θ* ≥ 1.1.
+  engine.Observe(true);
+  double lo = engine.theta_lower();
+  // Now feature −1: support [−1.2, −lo], mid below −1.1; reject at the mid
+  // price implies θ* ≥ 1.15-ish — could contradict if noise were adversarial.
+  // Directly verify the guard: a cut that would invert the interval is
+  // dropped rather than applied.
+  engine.PostPrice({-1.0}, -10.0);
+  engine.Observe(false);  // -θ ≤ p+δ ⇒ θ ≥ −p: consistent here, applied
+  EXPECT_GE(engine.theta_upper(), engine.theta_lower());
+  EXPECT_GE(lo, 1.0);
+}
+
+TEST(IntervalEngine, ZeroFeatureIsInformationless) {
+  IntervalPricingEngine engine(BaseConfig());
+  PostedPrice posted = engine.PostPrice({0.0}, -1.0);
+  // Support degenerates to [0,0]: width 0 ⇒ conservative.
+  EXPECT_FALSE(posted.exploratory);
+  engine.Observe(true);
+  EXPECT_DOUBLE_EQ(engine.theta_lower(), 0.0);
+  EXPECT_DOUBLE_EQ(engine.theta_upper(), 2.0);
+}
+
+TEST(IntervalEngine, CountersConsistent) {
+  IntervalPricingEngine engine(BaseConfig());
+  for (int t = 0; t < 20; ++t) {
+    PostedPrice posted = engine.PostPrice({1.0}, 0.2);
+    engine.Observe(posted.price <= 1.3);
+  }
+  const EngineCounters& c = engine.counters();
+  EXPECT_EQ(c.rounds, 20);
+  EXPECT_EQ(c.rounds, c.exploratory_rounds + c.conservative_rounds + c.skipped_rounds);
+}
+
+/// Property sweep over (use_reserve, delta): invariants that must hold for
+/// every interval-engine configuration.
+class IntervalPropertyTest
+    : public testing::TestWithParam<std::tuple<bool, double>> {};
+
+TEST_P(IntervalPropertyTest, ThetaAlwaysBracketedUnderBoundedNoise) {
+  auto [use_reserve, delta] = GetParam();
+  IntervalEngineConfig config;
+  config.theta_min = 0.0;
+  config.theta_max = 3.0;
+  config.horizon = 5000;
+  config.delta = delta;
+  config.use_reserve = use_reserve;
+  IntervalPricingEngine engine(config);
+  const double theta = 1.83;
+  Rng rng(17);
+  for (int t = 0; t < 1000; ++t) {
+    double x = rng.NextUniform(-1.0, 1.0);
+    double noise = delta > 0.0 ? rng.NextUniform(-delta, delta) : 0.0;
+    double value = x * theta + noise;
+    double reserve = 0.5 * value;
+    PostedPrice posted = engine.PostPrice({x}, reserve);
+    bool accepted = !posted.certain_no_sale && posted.price <= value;
+    engine.Observe(accepted);
+    ASSERT_LE(engine.theta_lower(), theta + 1e-9) << "round " << t;
+    ASSERT_GE(engine.theta_upper(), theta - 1e-9) << "round " << t;
+    if (use_reserve) {
+      ASSERT_GE(posted.price, reserve - 1e-12);
+    }
+  }
+}
+
+TEST_P(IntervalPropertyTest, IntervalWidthNeverGrows) {
+  auto [use_reserve, delta] = GetParam();
+  IntervalEngineConfig config;
+  config.theta_min = -1.0;
+  config.theta_max = 2.0;
+  config.horizon = 2000;
+  config.delta = delta;
+  config.use_reserve = use_reserve;
+  IntervalPricingEngine engine(config);
+  Rng rng(23);
+  double previous_width = engine.theta_upper() - engine.theta_lower();
+  for (int t = 0; t < 500; ++t) {
+    double x = rng.NextUniform(-1.0, 1.0);
+    PostedPrice posted = engine.PostPrice({x}, rng.NextUniform(-0.5, 0.5));
+    engine.Observe(!posted.certain_no_sale && rng.NextBernoulli(0.5));
+    double width = engine.theta_upper() - engine.theta_lower();
+    ASSERT_LE(width, previous_width + 1e-12);
+    previous_width = width;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, IntervalPropertyTest,
+    testing::Combine(testing::Values(false, true), testing::Values(0.0, 0.05)),
+    [](const testing::TestParamInfo<std::tuple<bool, double>>& info) {
+      return std::string(std::get<0>(info.param) ? "reserve" : "pure") +
+             (std::get<1>(info.param) > 0.0 ? "_uncertain" : "_exact");
+    });
+
+TEST(IntervalEngine, NameReflectsConfig) {
+  IntervalEngineConfig config = BaseConfig();
+  EXPECT_EQ(IntervalPricingEngine(config).name(), "reserve-1d");
+  config.use_reserve = false;
+  config.delta = 0.1;
+  EXPECT_EQ(IntervalPricingEngine(config).name(), "pure-1d+uncertainty");
+}
+
+}  // namespace
+}  // namespace pdm

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "learning/ftrl.h"
+#include "learning/kernels.h"
+#include "learning/linear_regression.h"
+#include "learning/metrics.h"
+#include "linalg/cholesky.h"
+#include "rng/rng.h"
+
+namespace pdm {
+namespace {
+
+// ---------------------------------------------------------------- OLS
+
+TEST(LinearRegression, ExactRecoveryNoiseless) {
+  Rng rng(1);
+  Vector theta{2.0, -1.0, 0.5};
+  Matrix x(50, 3);
+  Vector y(50);
+  for (int r = 0; r < 50; ++r) {
+    Vector row = rng.GaussianVector(3);
+    for (int c = 0; c < 3; ++c) x(r, c) = row[static_cast<size_t>(c)];
+    y[static_cast<size_t>(r)] = Dot(row, theta);
+  }
+  LinearRegression ols;
+  ASSERT_TRUE(ols.Fit(x, y));
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_NEAR(ols.weights()[static_cast<size_t>(c)], theta[static_cast<size_t>(c)], 1e-6);
+  }
+  EXPECT_NEAR(ols.MeanSquaredError(x, y), 0.0, 1e-10);
+}
+
+TEST(LinearRegression, NoisyRecoveryMseMatchesNoise) {
+  Rng rng(2);
+  Vector theta{1.0, 2.0};
+  double sigma = 0.3;
+  Matrix x(5000, 2);
+  Vector y(5000);
+  for (int r = 0; r < 5000; ++r) {
+    Vector row = rng.GaussianVector(2);
+    for (int c = 0; c < 2; ++c) x(r, c) = row[static_cast<size_t>(c)];
+    y[static_cast<size_t>(r)] = Dot(row, theta) + rng.NextGaussian(0.0, sigma);
+  }
+  LinearRegression ols;
+  ASSERT_TRUE(ols.Fit(x, y));
+  EXPECT_NEAR(ols.weights()[0], 1.0, 0.05);
+  EXPECT_NEAR(ols.weights()[1], 2.0, 0.05);
+  EXPECT_NEAR(ols.MeanSquaredError(x, y), sigma * sigma, 0.02);
+}
+
+TEST(LinearRegression, RidgeShrinksWeights) {
+  Rng rng(3);
+  Matrix x(30, 2);
+  Vector y(30);
+  for (int r = 0; r < 30; ++r) {
+    Vector row = rng.GaussianVector(2);
+    for (int c = 0; c < 2; ++c) x(r, c) = row[static_cast<size_t>(c)];
+    y[static_cast<size_t>(r)] = 3.0 * row[0];
+  }
+  LinearRegression ols(LinearRegressionConfig{1e-8});
+  LinearRegression heavy(LinearRegressionConfig{1000.0});
+  ASSERT_TRUE(ols.Fit(x, y));
+  ASSERT_TRUE(heavy.Fit(x, y));
+  EXPECT_LT(std::fabs(heavy.weights()[0]), std::fabs(ols.weights()[0]));
+}
+
+TEST(LinearRegression, HandlesCollinearColumnsWithRidge) {
+  // Two identical columns: singular normal matrix; ridge makes it solvable.
+  Matrix x = Matrix::FromRows({{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}});
+  Vector y{2.0, 4.0, 6.0};
+  LinearRegression ols(LinearRegressionConfig{1e-6});
+  ASSERT_TRUE(ols.Fit(x, y));
+  EXPECT_NEAR(ols.Predict({1.0, 1.0}), 2.0, 1e-3);
+}
+
+// ---------------------------------------------------------------- FTRL
+
+SparseVector OneHot(int32_t index) {
+  SparseVector sv;
+  sv.Append(index, 1.0);
+  return sv;
+}
+
+TEST(Ftrl, SigmoidSafeAtExtremes) {
+  EXPECT_NEAR(Sigmoid(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+  EXPECT_GT(Sigmoid(-1000.0), 0.0 - 1e-300);
+}
+
+TEST(Ftrl, LearnsSeparableSignal) {
+  // Coordinate 3 ⇒ click, coordinate 7 ⇒ no click.
+  FtrlConfig config;
+  config.l1 = 0.5;
+  FtrlProximal learner(16, config);
+  Rng rng(4);
+  for (int i = 0; i < 4000; ++i) {
+    if (rng.NextBernoulli(0.5)) {
+      learner.Train(OneHot(3), rng.NextBernoulli(0.9));
+    } else {
+      learner.Train(OneHot(7), rng.NextBernoulli(0.1));
+    }
+  }
+  EXPECT_GT(learner.Predict(OneHot(3)), 0.7);
+  EXPECT_LT(learner.Predict(OneHot(7)), 0.3);
+  EXPECT_GT(learner.WeightAt(3), 0.0);
+  EXPECT_LT(learner.WeightAt(7), 0.0);
+}
+
+TEST(Ftrl, L1InducesSparsity) {
+  // Coordinates 0 and 1 carry strong, frequent signal; the 62 others are
+  // rare with balanced labels, so their |z| random walk stays within λ₁ —
+  // the regime in which FTRL's lazy thresholding produces exact zeros.
+  FtrlConfig config;
+  config.l1 = 3.0;
+  FtrlProximal learner(64, config);
+  Rng rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    learner.Train(OneHot(0), rng.NextBernoulli(0.95));
+    learner.Train(OneHot(1), rng.NextBernoulli(0.05));
+  }
+  // Each noise coordinate sees 8 alternating labels: gradient sums ≈ 0.
+  for (int32_t coord = 2; coord < 64; ++coord) {
+    for (int rep = 0; rep < 8; ++rep) {
+      learner.Train(OneHot(coord), rep % 2 == 0);
+    }
+  }
+  int nnz = learner.NonZeroCount();
+  EXPECT_GE(nnz, 2);
+  EXPECT_LE(nnz, 12);  // L1 zeroes out nearly all rare/balanced coordinates
+  EXPECT_NE(learner.WeightAt(0), 0.0);
+  EXPECT_NE(learner.WeightAt(1), 0.0);
+}
+
+TEST(Ftrl, BiasAbsorbsBaseRate) {
+  // With a 10% base rate on featureless examples, the intercept should go
+  // negative while all regular weights stay exactly zero.
+  FtrlConfig config;
+  config.use_bias = true;
+  config.l1 = 1.0;
+  FtrlProximal learner(8, config);
+  Rng rng(6);
+  SparseVector empty;
+  for (int i = 0; i < 5000; ++i) {
+    learner.Train(empty, rng.NextBernoulli(0.1));
+  }
+  EXPECT_LT(learner.bias(), -1.0);
+  EXPECT_EQ(learner.NonZeroCount(), 0);
+  EXPECT_NEAR(learner.Predict(empty), 0.1, 0.03);
+}
+
+TEST(Ftrl, BiasDisabledByDefault) {
+  FtrlProximal learner(4, FtrlConfig{});
+  Rng rng(7);
+  SparseVector empty;
+  for (int i = 0; i < 100; ++i) learner.Train(empty, rng.NextBernoulli(0.1));
+  EXPECT_DOUBLE_EQ(learner.bias(), 0.0);
+}
+
+TEST(Ftrl, WeightsVectorMatchesWeightAt) {
+  FtrlProximal learner(8, FtrlConfig{});
+  Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    learner.Train(OneHot(static_cast<int32_t>(rng.NextUint64(8))), rng.NextBernoulli(0.4));
+  }
+  Vector w = learner.Weights();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(w[static_cast<size_t>(i)], learner.WeightAt(i));
+  }
+  EXPECT_EQ(learner.examples_seen(), 500);
+}
+
+TEST(Ftrl, PredictionsAreProbabilities) {
+  FtrlProximal learner(8, FtrlConfig{});
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    SparseVector x;
+    x.Append(0, 1.0);
+    x.Append(5, 1.0);
+    double p = learner.Train(x, rng.NextBernoulli(0.5));
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+// ---------------------------------------------------------------- kernels
+
+TEST(Kernels, LinearKernelIsDot) {
+  LinearKernel k;
+  EXPECT_DOUBLE_EQ(k({1.0, 2.0}, {3.0, 4.0}), 11.0);
+}
+
+TEST(Kernels, RbfBasics) {
+  RbfKernel k(0.5);
+  EXPECT_DOUBLE_EQ(k({1.0, 2.0}, {1.0, 2.0}), 1.0);
+  EXPECT_NEAR(k({0.0}, {2.0}), std::exp(-0.5 * 4.0), 1e-12);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(k({0.5, 1.5}, {2.0, 0.0}), k({2.0, 0.0}, {0.5, 1.5}));
+}
+
+TEST(Kernels, PolynomialKernel) {
+  PolynomialKernel k(2, 1.0);
+  EXPECT_DOUBLE_EQ(k({1.0, 1.0}, {1.0, 1.0}), 9.0);  // (2+1)²
+}
+
+TEST(Kernels, RbfGramIsPositiveSemiDefinite) {
+  Rng rng(8);
+  Matrix landmarks(6, 3);
+  for (int r = 0; r < 6; ++r) {
+    for (int c = 0; c < 3; ++c) landmarks(r, c) = rng.NextGaussian();
+  }
+  LandmarkKernelMap map(std::make_shared<RbfKernel>(1.0), landmarks);
+  Matrix gram = map.LandmarkGram();
+  // PSD ⇔ Cholesky succeeds after a hair of jitter.
+  for (int i = 0; i < 6; ++i) gram(i, i) += 1e-10;
+  Matrix l(0, 0);
+  EXPECT_TRUE(CholeskyFactor(gram, &l));
+}
+
+TEST(Kernels, LandmarkMapDimensionsAndValues) {
+  Matrix landmarks = Matrix::FromRows({{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}});
+  LandmarkKernelMap map(std::make_shared<LinearKernel>(), landmarks);
+  EXPECT_EQ(map.input_dim(), 2);
+  EXPECT_EQ(map.output_dim(), 3);
+  Vector phi = map.Map({2.0, 3.0});
+  EXPECT_EQ(phi, (Vector{0.0, 2.0, 3.0}));
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, MseKnownValue) {
+  EXPECT_DOUBLE_EQ(MeanSquaredError({1.0, 2.0}, {0.0, 4.0}), (1.0 + 4.0) / 2.0);
+}
+
+TEST(Metrics, LogLossPerfectAndWorst) {
+  EXPECT_NEAR(LogLoss({1.0, 0.0}, {true, false}), 0.0, 1e-9);
+  EXPECT_GT(LogLoss({0.0, 1.0}, {true, false}), 10.0);
+  // Uninformative prediction: −log(0.5).
+  EXPECT_NEAR(LogLoss({0.5}, {true}), std::log(2.0), 1e-12);
+}
+
+TEST(Metrics, BinaryAccuracy) {
+  EXPECT_DOUBLE_EQ(BinaryAccuracy({0.9, 0.2, 0.6, 0.4}, {true, false, false, true}), 0.5);
+}
+
+}  // namespace
+}  // namespace pdm

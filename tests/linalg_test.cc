@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/matrix.h"
+#include "linalg/sparse_vector.h"
+#include "linalg/vector_ops.h"
+
+namespace pdm {
+namespace {
+
+// ---------------------------------------------------------------- vectors
+
+TEST(VectorOps, ZerosOnesBasis) {
+  EXPECT_EQ(Zeros(3), (Vector{0, 0, 0}));
+  EXPECT_EQ(Ones(2), (Vector{1, 1}));
+  EXPECT_EQ(BasisVector(3, 1), (Vector{0, 1, 0}));
+}
+
+TEST(VectorOps, DotAndNorms) {
+  Vector a{1, 2, 3};
+  Vector b{4, -5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4 - 10 + 18);
+  EXPECT_DOUBLE_EQ(Norm2(a), std::sqrt(14.0));
+  EXPECT_DOUBLE_EQ(NormInf(b), 6.0);
+  EXPECT_DOUBLE_EQ(Sum(a), 6.0);
+}
+
+TEST(VectorOps, ScaleAxpyAddSub) {
+  Vector a{1, 2};
+  ScaleInPlace(&a, 2.0);
+  EXPECT_EQ(a, (Vector{2, 4}));
+  Vector y{1, 1};
+  AxpyInPlace(3.0, a, &y);
+  EXPECT_EQ(y, (Vector{7, 13}));
+  EXPECT_EQ(Add(a, y), (Vector{9, 17}));
+  EXPECT_EQ(Sub(y, a), (Vector{5, 9}));
+  EXPECT_EQ(Scaled(a, 0.5), (Vector{1, 2}));
+}
+
+TEST(VectorOps, RescaleToNorm) {
+  Vector a{3, 4};
+  double old_norm = RescaleToNorm(&a, 10.0);
+  EXPECT_DOUBLE_EQ(old_norm, 5.0);
+  EXPECT_NEAR(Norm2(a), 10.0, 1e-12);
+  Vector zero{0, 0};
+  EXPECT_DOUBLE_EQ(RescaleToNorm(&zero, 5.0), 0.0);
+  EXPECT_EQ(zero, (Vector{0, 0}));
+}
+
+// ---------------------------------------------------------------- matrices
+
+TEST(Matrix, IdentityAndAccess) {
+  Matrix id = Matrix::ScaledIdentity(3, 2.5);
+  EXPECT_DOUBLE_EQ(id(0, 0), 2.5);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(id.Trace(), 7.5);
+}
+
+TEST(Matrix, FromRowsAndRow) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_EQ(m.Row(1), (Vector{3, 4}));
+}
+
+TEST(Matrix, MatVec) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_EQ(m.MatVec({1, 1}), (Vector{3, 7}));
+  EXPECT_EQ(m.MatTVec({1, 1}), (Vector{4, 6}));
+}
+
+TEST(Matrix, QuadraticForm) {
+  Matrix m = Matrix::FromRows({{2, 1}, {1, 3}});
+  // [1 2]·A·[1 2]ᵀ = 2 + 2 + 2 + 12 = 18.
+  EXPECT_DOUBLE_EQ(m.QuadraticForm({1, 2}), 18.0);
+}
+
+TEST(Matrix, AddRankOne) {
+  Matrix m(2, 2);
+  m.AddRankOne(2.0, {1, 3});
+  EXPECT_DOUBLE_EQ(m(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 18.0);
+}
+
+TEST(Matrix, SymmetrizeAndAsymmetry) {
+  Matrix m(2, 2);
+  m(0, 1) = 1.0;
+  m(1, 0) = 3.0;
+  EXPECT_DOUBLE_EQ(m.MaxAsymmetry(), 2.0);
+  m.Symmetrize();
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.MaxAsymmetry(), 0.0);
+}
+
+TEST(Matrix, MatMulAndTranspose) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+  Matrix at = a.Transposed();
+  EXPECT_DOUBLE_EQ(at(0, 1), 3.0);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  Matrix m = Matrix::FromRows({{3, 0}, {0, 4}});
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(Matrix, ScaleInPlace) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  m.Scale(10.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 40.0);
+}
+
+TEST(Matrix, FusedScaleRankOneMatchesTwoStep) {
+  // The fused hot-path update must equal AddRankOne followed by Scale.
+  Matrix fused = Matrix::FromRows({{4, 1, 0}, {1, 3, 1}, {0, 1, 5}});
+  Matrix two_step = fused;
+  Vector b{0.5, -1.0, 2.0};
+  double factor = 1.31;
+  double coef = 0.42;
+  fused.FusedScaleRankOne(factor, coef, b);
+  two_step.AddRankOne(-coef, b);
+  two_step.Scale(factor);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_NEAR(fused(r, c), two_step(r, c), 1e-12) << r << "," << c;
+    }
+  }
+}
+
+TEST(Matrix, FusedScaleRankOnePreservesSymmetryToUlps) {
+  Matrix m = Matrix::ScaledIdentity(8, 3.0);
+  Vector b{0.1, 0.2, -0.3, 0.4, -0.5, 0.6, 0.7, -0.8};
+  for (int k = 0; k < 1000; ++k) {
+    m.FusedScaleRankOne(1.001, 0.01, b);
+  }
+  EXPECT_LT(m.MaxAsymmetry(), 1e-9 * std::max(1.0, m.FrobeniusNorm()));
+}
+
+// ---------------------------------------------------------------- sparse
+
+TEST(SparseVector, AppendAndDot) {
+  SparseVector sv;
+  sv.Append(1, 2.0);
+  sv.Append(4, -1.0);
+  EXPECT_EQ(sv.nnz(), 2);
+  Vector dense{1, 10, 100, 1000, 10000};
+  EXPECT_DOUBLE_EQ(sv.Dot(dense), 20.0 - 10000.0);
+  EXPECT_DOUBLE_EQ(sv.SquaredNorm(), 5.0);
+}
+
+TEST(SparseVector, ToDense) {
+  SparseVector sv;
+  sv.Append(0, 1.5);
+  sv.Append(3, 2.5);
+  EXPECT_EQ(sv.ToDense(4), (Vector{1.5, 0, 0, 2.5}));
+}
+
+}  // namespace
+}  // namespace pdm

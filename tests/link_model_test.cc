@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "pricing/ellipsoid_engine.h"
+#include "pricing/feature_maps.h"
+#include "pricing/generalized_engine.h"
+#include "pricing/link_functions.h"
+#include "rng/rng.h"
+
+namespace pdm {
+namespace {
+
+// ---------------------------------------------------------------- links
+
+TEST(LinkFunctions, IdentityRoundTrip) {
+  IdentityLink link;
+  EXPECT_DOUBLE_EQ(link.Apply(3.5), 3.5);
+  EXPECT_DOUBLE_EQ(link.Inverse(3.5), 3.5);
+  EXPECT_TRUE(std::isinf(link.range_sup()));
+}
+
+TEST(LinkFunctions, ExpRoundTrip) {
+  ExpLink link;
+  EXPECT_NEAR(link.Inverse(link.Apply(1.7)), 1.7, 1e-12);
+  EXPECT_NEAR(link.Apply(0.0), 1.0, 1e-12);
+  // Below the range: −∞ (vacuous reserve).
+  EXPECT_TRUE(std::isinf(link.Inverse(0.0)));
+  EXPECT_LT(link.Inverse(-1.0), 0.0);
+}
+
+TEST(LinkFunctions, LogisticRoundTripAndRange) {
+  LogisticLink link;
+  EXPECT_NEAR(link.Apply(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(link.Inverse(link.Apply(-2.3)), -2.3, 1e-10);
+  EXPECT_DOUBLE_EQ(link.range_sup(), 1.0);
+  EXPECT_TRUE(std::isinf(link.Inverse(1.0)));
+  EXPECT_TRUE(std::isinf(link.Inverse(0.0)));
+  EXPECT_GT(link.Inverse(1.0), 0.0);   // +∞
+  EXPECT_LT(link.Inverse(0.0), 0.0);   // −∞
+}
+
+TEST(LinkFunctions, AllLinksNonDecreasing) {
+  IdentityLink identity;
+  ExpLink exp_link;
+  LogisticLink logistic;
+  const LinkFunction* links[] = {&identity, &exp_link, &logistic};
+  for (const LinkFunction* link : links) {
+    double prev = link->Apply(-5.0);
+    for (double z = -4.5; z <= 5.0; z += 0.5) {
+      double cur = link->Apply(z);
+      EXPECT_GE(cur, prev) << link->name() << " at z=" << z;
+      prev = cur;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- maps
+
+TEST(FeatureMaps, IdentityPassesThrough) {
+  IdentityFeatureMap map;
+  Vector x{1.0, -2.0};
+  EXPECT_EQ(map.Map(x), x);
+  EXPECT_EQ(map.output_dim(2), 2);
+}
+
+TEST(FeatureMaps, ElementwiseLogWithFloor) {
+  ElementwiseLogMap map(1e-6);
+  Vector x{std::exp(2.0), 0.0};
+  Vector mapped = map.Map(x);
+  EXPECT_NEAR(mapped[0], 2.0, 1e-12);
+  EXPECT_NEAR(mapped[1], std::log(1e-6), 1e-12);
+}
+
+TEST(FeatureMaps, KernelMapDelegatesToLandmarks) {
+  Matrix landmarks = Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}});
+  auto inner = std::make_shared<LandmarkKernelMap>(std::make_shared<LinearKernel>(),
+                                                   landmarks);
+  KernelFeatureMap map(inner);
+  Vector phi = map.Map({2.0, 3.0});
+  EXPECT_EQ(phi, (Vector{2.0, 3.0}));
+  EXPECT_EQ(map.output_dim(2), 2);
+}
+
+// ---------------------------------------------------------------- adapter
+
+std::unique_ptr<EllipsoidPricingEngine> MakeBase(int dim, bool use_reserve) {
+  EllipsoidEngineConfig config;
+  config.dim = dim;
+  config.horizon = 1000;
+  config.initial_radius = 4.0;
+  config.use_reserve = use_reserve;
+  return std::make_unique<EllipsoidPricingEngine>(config);
+}
+
+TEST(GeneralizedEngine, ExpLinkPricesInValueSpace) {
+  GeneralizedPricingEngine engine(MakeBase(3, true), std::make_shared<ExpLink>(),
+                                  std::make_shared<IdentityFeatureMap>());
+  Rng rng(1);
+  Vector x = rng.GaussianVector(3);
+  RescaleToNorm(&x, 1.0);
+  PostedPrice posted = engine.PostPrice(x, 2.0);
+  // z-space midpoint is 0, reserve in z-space is log 2 ≈ 0.69 > 0, so the
+  // posted price is exactly the reserve in value space.
+  EXPECT_NEAR(posted.price, 2.0, 1e-12);
+  engine.Observe(true);
+}
+
+TEST(GeneralizedEngine, MirrorsBaseEngineThroughMonotoneLink) {
+  // Pricing v = exp(z) through the adapter must equal exp(pricing z) with the
+  // same feedback sequence.
+  auto adapter_base = MakeBase(3, false);
+  EllipsoidPricingEngine* base_view = adapter_base.get();
+  GeneralizedPricingEngine adapted(std::move(adapter_base), std::make_shared<ExpLink>(),
+                                   std::make_shared<IdentityFeatureMap>());
+  auto reference = MakeBase(3, false);
+
+  Rng rng(2);
+  Vector theta = rng.GaussianVector(3);
+  RescaleToNorm(&theta, 2.0);
+  for (int t = 0; t < 100; ++t) {
+    Vector x = rng.GaussianVector(3);
+    RescaleToNorm(&x, 1.0);
+    double z_value = Dot(x, theta);
+    double v_value = std::exp(z_value);
+
+    PostedPrice adapted_posted = adapted.PostPrice(x, 0.0);
+    PostedPrice reference_posted = reference->PostPrice(x, -1e30);
+    EXPECT_NEAR(adapted_posted.price, std::exp(reference_posted.price), 1e-9)
+        << "round " << t;
+
+    bool adapted_accept = adapted_posted.price <= v_value;
+    bool reference_accept = reference_posted.price <= z_value;
+    EXPECT_EQ(adapted_accept, reference_accept);
+    adapted.Observe(adapted_accept);
+    reference->Observe(reference_accept);
+  }
+  // Final z-space knowledge sets agree.
+  Vector probe = rng.GaussianVector(3);
+  RescaleToNorm(&probe, 1.0);
+  EXPECT_NEAR(base_view->EstimateValueInterval(probe).lower,
+              reference->EstimateValueInterval(probe).lower, 1e-9);
+}
+
+TEST(GeneralizedEngine, LogisticReserveAtOrAboveOneSkips) {
+  GeneralizedPricingEngine engine(MakeBase(3, true), std::make_shared<LogisticLink>(),
+                                  std::make_shared<IdentityFeatureMap>());
+  Vector x{1.0, 0.0, 0.0};
+  PostedPrice posted = engine.PostPrice(x, 1.0);
+  EXPECT_TRUE(posted.certain_no_sale);
+  EXPECT_DOUBLE_EQ(posted.price, 1.0);
+  engine.Observe(false);
+  // The base engine was never consulted for the skipped round.
+  EXPECT_EQ(engine.counters().rounds, 0);
+}
+
+TEST(GeneralizedEngine, LogisticPricesStayInUnitInterval) {
+  GeneralizedPricingEngine engine(MakeBase(4, false), std::make_shared<LogisticLink>(),
+                                  std::make_shared<IdentityFeatureMap>());
+  Rng rng(3);
+  Vector theta = rng.GaussianVector(4);
+  RescaleToNorm(&theta, 3.0);
+  for (int t = 0; t < 200; ++t) {
+    Vector x = rng.GaussianVector(4);
+    RescaleToNorm(&x, 1.0);
+    double value = 1.0 / (1.0 + std::exp(-Dot(x, theta)));
+    PostedPrice posted = engine.PostPrice(x, 0.0);
+    EXPECT_GT(posted.price, 0.0);
+    EXPECT_LT(posted.price, 1.0);
+    engine.Observe(posted.price <= value);
+  }
+}
+
+TEST(GeneralizedEngine, LogLogModelViaExpLinkAndLogMap) {
+  // v = exp(Σ log(x_i)·θ_i): ElementwiseLogMap + ExpLink (Section IV-A).
+  GeneralizedPricingEngine engine(MakeBase(2, false), std::make_shared<ExpLink>(),
+                                  std::make_shared<ElementwiseLogMap>());
+  Rng rng(4);
+  Vector theta{0.5, 0.25};
+  for (int t = 0; t < 150; ++t) {
+    Vector x{rng.NextUniform(0.5, 3.0), rng.NextUniform(0.5, 3.0)};
+    double z = std::log(x[0]) * theta[0] + std::log(x[1]) * theta[1];
+    double value = std::exp(z);
+    PostedPrice posted = engine.PostPrice(x, 0.0);
+    engine.Observe(posted.price <= value);
+  }
+  // After exploration, the engine's estimate brackets the true value.
+  Vector probe{2.0, 2.0};
+  double true_value = std::exp(std::log(2.0) * 0.75);
+  ValueInterval estimate = engine.EstimateValueInterval(probe);
+  EXPECT_LE(estimate.lower, true_value + 1e-6);
+  EXPECT_GE(estimate.upper, true_value - 1e-6);
+}
+
+TEST(GeneralizedEngine, NameComposesBaseAndLink) {
+  GeneralizedPricingEngine engine(MakeBase(2, true), std::make_shared<ExpLink>(),
+                                  std::make_shared<IdentityFeatureMap>());
+  EXPECT_EQ(engine.name(), "reserve/exp");
+}
+
+}  // namespace
+}  // namespace pdm

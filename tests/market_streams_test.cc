@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "data/avazu_like.h"
+#include "market/airbnb_market.h"
+#include "market/avazu_market.h"
+#include "market/linear_market.h"
+#include "rng/rng.h"
+
+namespace pdm {
+namespace {
+
+// ---------------------------------------------------------------- app 1
+
+TEST(NoisyLinearStream, FeatureInvariants) {
+  NoisyLinearMarketConfig config;
+  config.feature_dim = 20;
+  config.num_owners = 300;
+  Rng rng(1);
+  NoisyLinearQueryStream stream(config, &rng);
+  for (int t = 0; t < 50; ++t) {
+    MarketRound round = stream.Next(&rng);
+    ASSERT_EQ(round.features.size(), 20u);
+    // ‖x‖ = 1 (S = 1 in the analysis).
+    EXPECT_NEAR(Norm2(round.features), 1.0, 1e-9);
+    // q = Σ x_i and features non-negative (compensations are non-negative).
+    EXPECT_NEAR(round.reserve, Sum(round.features), 1e-9);
+    for (double v : round.features) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(NoisyLinearStream, NoiselessValueIsDotProduct) {
+  NoisyLinearMarketConfig config;
+  config.feature_dim = 10;
+  config.num_owners = 100;
+  config.value_noise_sigma = 0.0;
+  Rng rng(2);
+  NoisyLinearQueryStream stream(config, &rng);
+  for (int t = 0; t < 20; ++t) {
+    MarketRound round = stream.Next(&rng);
+    EXPECT_NEAR(round.value, Dot(round.features, stream.theta()), 1e-9);
+  }
+}
+
+TEST(NoisyLinearStream, ThetaScaledToSqrtTwoN) {
+  NoisyLinearMarketConfig config;
+  config.feature_dim = 20;
+  config.num_owners = 100;
+  Rng rng(3);
+  NoisyLinearQueryStream stream(config, &rng);
+  EXPECT_NEAR(Norm2(stream.theta()), std::sqrt(40.0), 1e-9);
+  EXPECT_NEAR(stream.RecommendedRadius(), 2.0 * std::sqrt(20.0), 1e-12);
+  // Non-negative θ* (Table I shape; DESIGN.md §5).
+  for (double v : stream.theta()) EXPECT_GE(v, 0.0);
+}
+
+TEST(NoisyLinearStream, ValueExceedsReserveMostRounds) {
+  // "This guarantees that the market value of each query is no less than its
+  // reserve price with a high probability."
+  NoisyLinearMarketConfig config;
+  config.feature_dim = 20;
+  config.num_owners = 500;
+  Rng rng(4);
+  NoisyLinearQueryStream stream(config, &rng);
+  int above = 0;
+  const int kRounds = 500;
+  for (int t = 0; t < kRounds; ++t) {
+    MarketRound round = stream.Next(&rng);
+    if (round.value >= round.reserve) ++above;
+  }
+  EXPECT_GT(above, kRounds * 0.75);
+}
+
+TEST(NoisyLinearStream, NoiseSigmaControlsSpread) {
+  NoisyLinearMarketConfig config;
+  config.feature_dim = 5;
+  config.num_owners = 50;
+  config.value_noise_sigma = 0.5;
+  Rng rng(5);
+  NoisyLinearQueryStream stream(config, &rng);
+  RunningStats residuals;
+  for (int t = 0; t < 20000; ++t) {
+    MarketRound round = stream.Next(&rng);
+    residuals.Add(round.value - Dot(round.features, stream.theta()));
+  }
+  EXPECT_NEAR(residuals.stddev(), 0.5, 0.02);
+  EXPECT_NEAR(residuals.mean(), 0.0, 0.02);
+}
+
+TEST(NoisyLinearStream, OneDimensionalDegenerateCase) {
+  // n = 1: x = [1], q = 1, v = θ = √2 — the constants of Fig. 4(a).
+  NoisyLinearMarketConfig config;
+  config.feature_dim = 1;
+  config.num_owners = 100;
+  Rng rng(6);
+  NoisyLinearQueryStream stream(config, &rng);
+  MarketRound round = stream.Next(&rng);
+  EXPECT_NEAR(round.features[0], 1.0, 1e-12);
+  EXPECT_NEAR(round.reserve, 1.0, 1e-12);
+  EXPECT_NEAR(round.value, std::sqrt(2.0), 1e-12);
+}
+
+// ---------------------------------------------------------------- app 2
+
+TEST(AirbnbMarket, BuildRecoversPlantedModel) {
+  AirbnbMarketConfig config;
+  config.num_listings = 8000;  // scaled down for test speed
+  Rng rng(7);
+  AirbnbMarket market = BuildAirbnbMarket(config, &rng);
+  EXPECT_EQ(market.theta.size(), 55u);
+  // Planted noise σ = 0.47 ⇒ MSE ≈ 0.22, the paper reports 0.226.
+  EXPECT_GT(market.test_mse, 0.15);
+  EXPECT_LT(market.test_mse, 0.30);
+  EXPECT_EQ(market.rounds.size(), 8000u);
+  EXPECT_GT(market.recommended_radius, 0.0);
+  EXPECT_GT(market.feature_norm_bound, 0.0);
+}
+
+TEST(AirbnbMarket, ReserveFollowsLogRatio) {
+  AirbnbMarketConfig config;
+  config.num_listings = 2000;
+  config.log_reserve_ratio = 0.6;
+  Rng rng(8);
+  AirbnbMarket market = BuildAirbnbMarket(config, &rng);
+  int64_t reserve_above_value = 0;
+  for (const MarketRound& round : market.rounds) {
+    EXPECT_GT(round.value, 0.0);
+    EXPECT_NEAR(std::log(round.reserve), 0.6 * std::log(round.value), 1e-9);
+    // log q = r·log v with r < 1 puts q below v exactly when v > 1 (i.e.
+    // above one hundred dollars); cheaper listings become unsellable rounds
+    // (q > v), which Eq. (1) scores as zero regret.
+    if (round.value > 1.0) {
+      EXPECT_LT(round.reserve, round.value);
+    } else {
+      EXPECT_GE(round.reserve, round.value);
+      ++reserve_above_value;
+    }
+  }
+  // The unsellable fraction is a minority of the stream.
+  EXPECT_LT(reserve_above_value, market.rounds.size() / 2);
+}
+
+TEST(AirbnbMarket, ZeroRatioDisablesReserve) {
+  AirbnbMarketConfig config;
+  config.num_listings = 500;
+  config.log_reserve_ratio = 0.0;
+  Rng rng(9);
+  AirbnbMarket market = BuildAirbnbMarket(config, &rng);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(market.rounds[i].reserve, 0.0);
+  }
+}
+
+TEST(AirbnbMarket, ValuesInPlausibleRange) {
+  AirbnbMarketConfig config;
+  config.num_listings = 2000;
+  Rng rng(10);
+  AirbnbMarket market = BuildAirbnbMarket(config, &rng);
+  RunningStats values;
+  for (const MarketRound& round : market.rounds) values.Add(round.value);
+  // Prices are in hundreds of dollars (log-price centered near 0.5):
+  // nightly rates roughly $80–$600.
+  EXPECT_GT(values.mean(), 0.8);
+  EXPECT_LT(values.mean(), 6.0);
+}
+
+TEST(ReplayStream, WrapsAround) {
+  std::vector<MarketRound> rounds(3);
+  for (int i = 0; i < 3; ++i) {
+    rounds[static_cast<size_t>(i)].value = i;
+    rounds[static_cast<size_t>(i)].features = {1.0};
+  }
+  ReplayQueryStream stream(&rounds);
+  Rng rng(11);
+  EXPECT_DOUBLE_EQ(stream.Next(&rng).value, 0.0);
+  EXPECT_DOUBLE_EQ(stream.Next(&rng).value, 1.0);
+  EXPECT_DOUBLE_EQ(stream.Next(&rng).value, 2.0);
+  EXPECT_DOUBLE_EQ(stream.Next(&rng).value, 0.0);
+}
+
+// ---------------------------------------------------------------- app 3
+
+TEST(AvazuMarket, LearnsSparseCalibratedModel) {
+  AvazuLikeConfig data_config;
+  Rng rng(12);
+  AvazuLikeClickLog log(data_config, &rng);
+  AvazuMarketConfig config;
+  config.hashed_dim = 128;
+  config.train_samples = 60000;
+  config.eval_samples = 10000;
+  AvazuMarket market = BuildAvazuMarket(config, log, &rng);
+  EXPECT_EQ(market.theta.size(), 128u);
+  // Paper shape: a few dozen non-zeros out of the hashed space (21 at n=128).
+  EXPECT_GT(market.nonzero_weights, 3);
+  EXPECT_LT(market.nonzero_weights, 60);
+  EXPECT_EQ(market.support.size(), static_cast<size_t>(market.nonzero_weights));
+  // The intercept absorbs the negative base logit.
+  EXPECT_LT(market.bias, -0.5);
+  // Better than predicting the base rate blindly, worse than perfect.
+  EXPECT_GT(market.logloss, 0.05);
+  EXPECT_LT(market.logloss, 0.55);
+}
+
+TEST(AvazuStream, SparseAndDenseValuesAgree) {
+  // The dense encoding drops only zero-weight coordinates, so the market
+  // value must be identical for the same impression.
+  AvazuLikeConfig data_config;
+  Rng rng(13);
+  AvazuLikeClickLog log(data_config, &rng);
+  AvazuMarketConfig config;
+  config.hashed_dim = 128;
+  config.train_samples = 40000;
+  config.eval_samples = 5000;
+  AvazuMarket market = BuildAvazuMarket(config, log, &rng);
+
+  AvazuQueryStream sparse(&log, &market, 128, /*dense=*/false);
+  AvazuQueryStream dense(&log, &market, 128, /*dense=*/true);
+  EXPECT_EQ(sparse.feature_dim(), 128);
+  EXPECT_EQ(dense.feature_dim(), market.nonzero_weights);
+
+  Rng rng_a(99), rng_b(99);  // identical impression sequences
+  for (int t = 0; t < 100; ++t) {
+    MarketRound a = sparse.Next(&rng_a);
+    MarketRound b = dense.Next(&rng_b);
+    EXPECT_NEAR(a.value, b.value, 1e-12);
+    EXPECT_DOUBLE_EQ(a.reserve, 0.0);
+    EXPECT_DOUBLE_EQ(b.reserve, 0.0);
+  }
+}
+
+TEST(AvazuStream, ValuesAreCtrs) {
+  AvazuLikeConfig data_config;
+  Rng rng(14);
+  AvazuLikeClickLog log(data_config, &rng);
+  AvazuMarketConfig config;
+  config.hashed_dim = 128;
+  config.train_samples = 20000;
+  config.eval_samples = 2000;
+  AvazuMarket market = BuildAvazuMarket(config, log, &rng);
+  AvazuQueryStream stream(&log, &market, 128, false);
+  for (int t = 0; t < 100; ++t) {
+    MarketRound round = stream.Next(&rng);
+    EXPECT_GT(round.value, 0.0);
+    EXPECT_LT(round.value, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace pdm

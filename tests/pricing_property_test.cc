@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "market/linear_market.h"
+#include "market/simulator.h"
+#include "pricing/ellipsoid_engine.h"
+#include "rng/subgaussian.h"
+
+namespace pdm {
+namespace {
+
+/// Parameterized sweep over (dimension, use_reserve, delta): the pricing
+/// invariants of Section III hold across the whole variant grid.
+using PricingParams = std::tuple<int, bool, double>;
+
+class PricingPropertyTest : public testing::TestWithParam<PricingParams> {
+ protected:
+  int dim() const { return std::get<0>(GetParam()); }
+  bool use_reserve() const { return std::get<1>(GetParam()); }
+  double delta() const { return std::get<2>(GetParam()); }
+
+  EllipsoidEngineConfig EngineConfig(int64_t horizon) const {
+    EllipsoidEngineConfig config;
+    config.dim = dim();
+    config.horizon = horizon;
+    config.initial_radius = 2.0 * std::sqrt(static_cast<double>(dim()));
+    config.use_reserve = use_reserve();
+    config.delta = delta();
+    return config;
+  }
+
+  NoisyLinearMarketConfig MarketConfig(int64_t horizon) const {
+    NoisyLinearMarketConfig config;
+    config.feature_dim = dim();
+    config.num_owners = std::max(100, 4 * dim());
+    config.value_noise_sigma =
+        delta() > 0.0 ? SigmaForBuffer(delta(), 2.0, horizon) : 0.0;
+    return config;
+  }
+};
+
+TEST_P(PricingPropertyTest, PricesRespectReserveConstraint) {
+  int64_t rounds = 800;
+  Rng rng(100 + static_cast<uint64_t>(dim()));
+  NoisyLinearQueryStream stream(MarketConfig(rounds), &rng);
+  EllipsoidPricingEngine engine(EngineConfig(rounds));
+  for (int64_t t = 0; t < rounds; ++t) {
+    MarketRound round = stream.Next(&rng);
+    PostedPrice posted = engine.PostPrice(round.features, round.reserve);
+    if (use_reserve()) {
+      EXPECT_GE(posted.price, round.reserve - 1e-12);
+    }
+    engine.Observe(!posted.certain_no_sale && posted.price <= round.value);
+  }
+}
+
+TEST_P(PricingPropertyTest, ThetaRetainedWhenNoiseWithinBuffer) {
+  // With |δ_t| ≤ δ (here: noiseless vs. the configured buffer), the
+  // knowledge set must always contain θ*.
+  int64_t rounds = 600;
+  Rng rng(200 + static_cast<uint64_t>(dim()));
+  NoisyLinearMarketConfig market_config = MarketConfig(rounds);
+  market_config.value_noise_sigma = 0.0;  // noiseless is within any buffer
+  NoisyLinearQueryStream stream(market_config, &rng);
+  EllipsoidPricingEngine engine(EngineConfig(rounds));
+  for (int64_t t = 0; t < rounds; ++t) {
+    MarketRound round = stream.Next(&rng);
+    PostedPrice posted = engine.PostPrice(round.features, round.reserve);
+    engine.Observe(!posted.certain_no_sale && posted.price <= round.value);
+    ASSERT_TRUE(engine.knowledge_set().Contains(stream.theta(), 1e-6))
+        << "round " << t << " dim " << dim();
+  }
+}
+
+TEST_P(PricingPropertyTest, ExploratoryRoundsWithinLemma6Bound) {
+  int64_t rounds = 3000;
+  Rng rng(300 + static_cast<uint64_t>(dim()));
+  NoisyLinearQueryStream stream(MarketConfig(rounds), &rng);
+  EllipsoidPricingEngine engine(EngineConfig(rounds));
+  SimulationOptions options;
+  options.rounds = rounds;
+  SimulationResult result = RunMarket(&stream, &engine, options, &rng);
+  double n = static_cast<double>(dim());
+  double bound = 20.0 * n * n *
+                 std::log(20.0 * (2.0 * std::sqrt(n)) * (n + 1.0) / engine.epsilon());
+  EXPECT_LE(static_cast<double>(result.engine_counters.exploratory_rounds), bound);
+}
+
+TEST_P(PricingPropertyTest, RegretRatioIsSubUnitAndImproving) {
+  int64_t rounds = 3000;
+  Rng rng(400 + static_cast<uint64_t>(dim()));
+  NoisyLinearQueryStream stream(MarketConfig(rounds), &rng);
+  EllipsoidPricingEngine engine(EngineConfig(rounds));
+  SimulationOptions options;
+  options.rounds = rounds;
+  options.series_stride = rounds / 4;
+  SimulationResult result = RunMarket(&stream, &engine, options, &rng);
+  EXPECT_LT(result.tracker.regret_ratio(), 1.0);
+  const auto& series = result.tracker.series();
+  ASSERT_GE(series.size(), 2u);
+  EXPECT_LE(series.back().regret_ratio, series.front().regret_ratio + 1e-9);
+}
+
+TEST_P(PricingPropertyTest, CumulativeRegretGrowsSublinearly) {
+  // Doubling the horizon should far less than double the tail regret per
+  // round (Theorem 1's log T growth); we check the weaker, robust property
+  // that the mean per-round regret over the second half is below the first.
+  int64_t rounds = 4000;
+  Rng rng(500 + static_cast<uint64_t>(dim()));
+  NoisyLinearQueryStream stream(MarketConfig(rounds), &rng);
+  EllipsoidPricingEngine engine(EngineConfig(rounds));
+  SimulationOptions options;
+  options.rounds = rounds;
+  options.series_stride = rounds / 2;
+  SimulationResult result = RunMarket(&stream, &engine, options, &rng);
+  const auto& series = result.tracker.series();
+  ASSERT_EQ(series.size(), 2u);
+  double first_half = series[0].cumulative_regret;
+  double second_half = series[1].cumulative_regret - first_half;
+  EXPECT_LT(second_half, first_half + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantGrid, PricingPropertyTest,
+    testing::Combine(testing::Values(2, 5, 10, 20),           // dimension
+                     testing::Values(false, true),            // use_reserve
+                     testing::Values(0.0, 0.01)),             // delta
+    [](const testing::TestParamInfo<PricingParams>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_reserve" : "_pure") +
+             (std::get<2>(info.param) > 0.0 ? "_uncertain" : "_exact");
+    });
+
+}  // namespace
+}  // namespace pdm

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "privacy/compensation.h"
+#include "privacy/laplace_mechanism.h"
+#include "privacy/linear_query.h"
+#include "rng/rng.h"
+
+namespace pdm {
+namespace {
+
+// ---------------------------------------------------------------- queries
+
+TEST(NoisyLinearQuery, LaplaceScaleFromVariance) {
+  NoisyLinearQuery q;
+  q.owner_weights = {1.0};
+  q.noise_variance = 8.0;  // Laplace variance 2b² = 8 ⇒ b = 2
+  EXPECT_DOUBLE_EQ(q.laplace_scale(), 2.0);
+}
+
+TEST(QueryGenerator, GaussianFamilyProducesStandardMoments) {
+  QueryGeneratorConfig config;
+  config.num_owners = 2000;
+  config.family = QueryWeightFamily::kGaussian;
+  NoisyLinearQueryGenerator gen(config);
+  Rng rng(1);
+  NoisyLinearQuery q = gen.Next(&rng);
+  ASSERT_EQ(q.num_owners(), 2000);
+  RunningStats stats;
+  for (double w : q.owner_weights) stats.Add(w);
+  EXPECT_NEAR(stats.mean(), 0.0, 0.1);
+  EXPECT_NEAR(stats.variance(), 1.0, 0.15);
+}
+
+TEST(QueryGenerator, UniformFamilyStaysInRange) {
+  QueryGeneratorConfig config;
+  config.num_owners = 500;
+  config.family = QueryWeightFamily::kUniform;
+  NoisyLinearQueryGenerator gen(config);
+  Rng rng(2);
+  NoisyLinearQuery q = gen.Next(&rng);
+  for (double w : q.owner_weights) {
+    EXPECT_GE(w, -1.0);
+    EXPECT_LT(w, 1.0);
+  }
+}
+
+TEST(QueryGenerator, NoiseVarianceOnDecadeGrid) {
+  QueryGeneratorConfig config;
+  config.num_owners = 10;
+  config.noise_exponent_range = 4;
+  NoisyLinearQueryGenerator gen(config);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    NoisyLinearQuery q = gen.Next(&rng);
+    double log10v = std::log10(q.noise_variance);
+    double rounded = std::round(log10v);
+    EXPECT_NEAR(log10v, rounded, 1e-9);
+    EXPECT_LE(std::fabs(rounded), 4.0);
+  }
+}
+
+TEST(AnswerQuery, NoiselessLimitMatchesDot) {
+  NoisyLinearQuery q;
+  q.owner_weights = {0.5, -0.25, 1.0};
+  q.noise_variance = 1e-18;  // effectively zero noise
+  Vector data{1.0, 2.0, 3.0};
+  Rng rng(4);
+  EXPECT_NEAR(AnswerNoisyLinearQuery(q, data, &rng), 0.5 - 0.5 + 3.0, 1e-6);
+}
+
+TEST(AnswerQuery, NoiseVarianceMatchesRequest) {
+  NoisyLinearQuery q;
+  q.owner_weights = {1.0};
+  q.noise_variance = 4.0;
+  Vector data{0.0};
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(AnswerNoisyLinearQuery(q, data, &rng));
+  EXPECT_NEAR(stats.variance(), 4.0, 0.2);
+}
+
+// ---------------------------------------------------------------- leakage
+
+TEST(LaplaceMechanism, EpsilonLinearInWeight) {
+  LaplaceMechanism mech{/*data_range=*/1.0};
+  EXPECT_DOUBLE_EQ(mech.EpsilonForOwner(0.5, 2.0), 0.25);
+  EXPECT_DOUBLE_EQ(mech.EpsilonForOwner(-0.5, 2.0), 0.25);  // |w|
+  EXPECT_DOUBLE_EQ(mech.EpsilonForOwner(0.0, 2.0), 0.0);
+}
+
+TEST(LaplaceMechanism, LeakageProfileShape) {
+  LaplaceMechanism mech{1.0};
+  NoisyLinearQuery q;
+  q.owner_weights = {1.0, -2.0, 0.0};
+  q.noise_variance = 2.0;  // b = 1
+  Vector eps = mech.LeakageProfile(q);
+  ASSERT_EQ(eps.size(), 3u);
+  EXPECT_DOUBLE_EQ(eps[0], 1.0);
+  EXPECT_DOUBLE_EQ(eps[1], 2.0);
+  EXPECT_DOUBLE_EQ(eps[2], 0.0);
+}
+
+TEST(LaplaceMechanism, MoreNoiseLessLeakage) {
+  LaplaceMechanism mech{1.0};
+  NoisyLinearQuery low_noise, high_noise;
+  low_noise.owner_weights = high_noise.owner_weights = {1.0};
+  low_noise.noise_variance = 0.5;
+  high_noise.noise_variance = 50.0;
+  EXPECT_GT(mech.LeakageProfile(low_noise)[0], mech.LeakageProfile(high_noise)[0]);
+}
+
+TEST(LaplaceMechanism, WorstCaseEpsilon) {
+  LaplaceMechanism mech{2.0};
+  NoisyLinearQuery q;
+  q.owner_weights = {0.5, -3.0, 1.0};
+  q.noise_variance = 2.0;  // b = 1
+  EXPECT_DOUBLE_EQ(mech.GlobalSensitivity(q), 6.0);
+  EXPECT_DOUBLE_EQ(mech.WorstCaseEpsilon(q), 6.0);
+}
+
+// ---------------------------------------------------------------- contracts
+
+TEST(CompensationContract, TanhShape) {
+  CompensationContract c{/*scale=*/2.0, /*rate=*/1.0};
+  EXPECT_DOUBLE_EQ(c.Payment(0.0), 0.0);
+  EXPECT_NEAR(c.Payment(1.0), 2.0 * std::tanh(1.0), 1e-12);
+  // Saturates at `scale`.
+  EXPECT_NEAR(c.Payment(100.0), 2.0, 1e-9);
+}
+
+TEST(CompensationContract, MonotoneInEpsilon) {
+  CompensationContract c{1.5, 0.7};
+  double prev = -1.0;
+  for (double eps = 0.0; eps <= 5.0; eps += 0.25) {
+    double p = c.Payment(eps);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(CompensationLedger, TotalIsSumOfParts) {
+  Rng rng(6);
+  CompensationLedger ledger = CompensationLedger::Random(50, 1.0, 1.0, &rng);
+  NoisyLinearQuery q;
+  q.owner_weights = rng.GaussianVector(50);
+  q.noise_variance = 1.0;
+  Vector parts = ledger.Compensations(q);
+  EXPECT_EQ(parts.size(), 50u);
+  EXPECT_NEAR(ledger.TotalCompensation(q), Sum(parts), 1e-9);
+  for (double p : parts) EXPECT_GE(p, 0.0);
+}
+
+TEST(CompensationLedger, ZeroWeightsZeroCompensation) {
+  Rng rng(7);
+  CompensationLedger ledger = CompensationLedger::Random(10, 1.0, 1.0, &rng);
+  NoisyLinearQuery q;
+  q.owner_weights = Zeros(10);
+  q.noise_variance = 1.0;
+  EXPECT_DOUBLE_EQ(ledger.TotalCompensation(q), 0.0);
+}
+
+TEST(CompensationLedger, HigherNoiseLowersReserve) {
+  Rng rng(8);
+  CompensationLedger ledger = CompensationLedger::Random(100, 1.0, 1.0, &rng);
+  NoisyLinearQuery precise, noisy;
+  precise.owner_weights = noisy.owner_weights = rng.UniformVector(100, -1.0, 1.0);
+  precise.noise_variance = 0.01;
+  noisy.noise_variance = 100.0;
+  EXPECT_GT(ledger.TotalCompensation(precise), ledger.TotalCompensation(noisy));
+}
+
+}  // namespace
+}  // namespace pdm

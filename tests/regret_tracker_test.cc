@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "market/regret_tracker.h"
+#include "rng/rng.h"
+
+namespace pdm {
+namespace {
+
+MarketRound MakeRound(double value, double reserve) {
+  MarketRound round;
+  round.features = {1.0};
+  round.value = value;
+  round.reserve = reserve;
+  return round;
+}
+
+PostedPrice MakePosted(double price) {
+  PostedPrice posted;
+  posted.price = price;
+  return posted;
+}
+
+// ------------------------------------------------- Eq. (1) branch coverage
+
+TEST(SingleRoundRegret, ReserveAboveValueIsZero) {
+  // q > v ⇒ no regret regardless of the price.
+  EXPECT_DOUBLE_EQ(RegretTracker::SingleRoundRegret(1.0, 2.0, 5.0, false), 0.0);
+  EXPECT_DOUBLE_EQ(RegretTracker::SingleRoundRegret(1.0, 1.00001, 0.5, true), 0.0);
+}
+
+TEST(SingleRoundRegret, AcceptedSaleLeavesMarkupOnTable) {
+  // q ≤ v, p ≤ v sold at p: regret v − p.
+  EXPECT_DOUBLE_EQ(RegretTracker::SingleRoundRegret(10.0, 2.0, 7.0, true), 3.0);
+}
+
+TEST(SingleRoundRegret, RejectedSaleLosesWholeValue) {
+  // q ≤ v, p > v: no sale, regret v.
+  EXPECT_DOUBLE_EQ(RegretTracker::SingleRoundRegret(10.0, 2.0, 12.0, false), 10.0);
+}
+
+TEST(SingleRoundRegret, PostingExactlyValueIsZeroRegret) {
+  EXPECT_DOUBLE_EQ(RegretTracker::SingleRoundRegret(10.0, 2.0, 10.0, true), 0.0);
+}
+
+TEST(SingleRoundRegret, Lemma1ReserveNeverIncreasesRegret) {
+  // Lemma 1: R(max(q, p')) ≤ R(p') for every (v, q, p') combination, where
+  // both policies face the same market value.
+  Rng rng(1);
+  for (int trial = 0; trial < 5000; ++trial) {
+    double v = rng.NextUniform(0.0, 10.0);
+    double q = rng.NextUniform(0.0, 10.0);
+    double p_pure = rng.NextUniform(0.0, 10.0);
+    double p_reserve = std::max(q, p_pure);
+    double regret_pure = RegretTracker::SingleRoundRegret(v, 0.0, p_pure, p_pure <= v);
+    double regret_reserve =
+        RegretTracker::SingleRoundRegret(v, q, p_reserve, p_reserve <= v);
+    EXPECT_LE(regret_reserve, regret_pure + 1e-12)
+        << "v=" << v << " q=" << q << " p'=" << p_pure;
+  }
+}
+
+// ------------------------------------------------- tracker accumulation
+
+TEST(RegretTracker, AccumulatesRevenueAndRegret) {
+  RegretTracker tracker;
+  // Sale at 7 against value 10 (reserve 2): regret 3, revenue 7.
+  tracker.Observe(MakeRound(10.0, 2.0), MakePosted(7.0), true);
+  // Overpriced at 12: regret 10, no revenue.
+  tracker.Observe(MakeRound(10.0, 2.0), MakePosted(12.0), false);
+  EXPECT_EQ(tracker.rounds(), 2);
+  EXPECT_EQ(tracker.sales(), 1);
+  EXPECT_DOUBLE_EQ(tracker.cumulative_regret(), 13.0);
+  EXPECT_DOUBLE_EQ(tracker.cumulative_revenue(), 7.0);
+  EXPECT_DOUBLE_EQ(tracker.cumulative_value(), 20.0);
+  EXPECT_DOUBLE_EQ(tracker.regret_ratio(), 13.0 / 20.0);
+}
+
+TEST(RegretTracker, BaselineCompanionMatchesRiskAverseDefinition) {
+  RegretTracker tracker;
+  tracker.Observe(MakeRound(10.0, 4.0), MakePosted(9.0), true);   // baseline: 10−4
+  tracker.Observe(MakeRound(3.0, 4.0), MakePosted(4.0), false);   // q>v: baseline 0
+  EXPECT_DOUBLE_EQ(tracker.baseline_cumulative_regret(), 6.0);
+  EXPECT_DOUBLE_EQ(tracker.baseline_regret_ratio(), 6.0 / 13.0);
+  EXPECT_DOUBLE_EQ(tracker.oracle_revenue(), 10.0);
+}
+
+TEST(RegretTracker, PerRoundStatsFeedTableOne) {
+  RegretTracker tracker;
+  tracker.Observe(MakeRound(10.0, 2.0), MakePosted(8.0), true);
+  tracker.Observe(MakeRound(20.0, 4.0), MakePosted(22.0), false);
+  EXPECT_DOUBLE_EQ(tracker.value_stats().mean(), 15.0);
+  EXPECT_DOUBLE_EQ(tracker.reserve_stats().mean(), 3.0);
+  EXPECT_DOUBLE_EQ(tracker.price_stats().mean(), 15.0);
+  EXPECT_DOUBLE_EQ(tracker.regret_stats().mean(), 11.0);  // (2 + 20)/2
+}
+
+TEST(RegretTracker, SeriesRecordingAtStride) {
+  RegretTracker tracker(/*series_stride=*/2);
+  for (int i = 0; i < 6; ++i) {
+    tracker.Observe(MakeRound(1.0, 0.1), MakePosted(2.0), false);
+  }
+  ASSERT_EQ(tracker.series().size(), 3u);
+  EXPECT_EQ(tracker.series()[0].round, 2);
+  EXPECT_EQ(tracker.series()[2].round, 6);
+  EXPECT_DOUBLE_EQ(tracker.series()[2].cumulative_regret, 6.0);
+  EXPECT_DOUBLE_EQ(tracker.series()[2].regret_ratio, 1.0);
+}
+
+TEST(RegretTracker, NoSeriesWhenStrideZero) {
+  RegretTracker tracker(0);
+  tracker.Observe(MakeRound(1.0, 0.1), MakePosted(0.5), true);
+  EXPECT_TRUE(tracker.series().empty());
+}
+
+TEST(RegretTracker, RegretRatioZeroWithoutValue) {
+  RegretTracker tracker;
+  EXPECT_DOUBLE_EQ(tracker.regret_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.baseline_regret_ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace pdm

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "rng/rng.h"
+#include "rng/subgaussian.h"
+
+namespace pdm {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BoundedUint64RespectsBound) {
+  Rng rng(11);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextUint64(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BoundedUint64CoversAllResidues) {
+  Rng rng(13);
+  bool seen[5] = {false, false, false, false, false};
+  for (int i = 0; i < 500; ++i) seen[rng.NextUint64(5)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, UniformMoments) {
+  Rng rng(3);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(rng.NextUniform(-1.0, 1.0));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.variance(), 1.0 / 3.0, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(rng.NextGaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.variance(), 1.0, 0.03);
+}
+
+TEST(Rng, GaussianWithParams) {
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.NextGaussian(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LaplaceMomentsMatchScale) {
+  Rng rng(9);
+  double scale = 1.5;
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(rng.NextLaplace(scale));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  // Laplace(b) variance is 2b².
+  EXPECT_NEAR(stats.variance(), 2.0 * scale * scale, 0.1);
+}
+
+TEST(Rng, RademacherIsBalanced) {
+  Rng rng(17);
+  int plus = 0;
+  for (int i = 0; i < 10000; ++i) {
+    int r = rng.NextRademacher();
+    EXPECT_TRUE(r == 1 || r == -1);
+    if (r == 1) ++plus;
+  }
+  EXPECT_NEAR(plus / 10000.0, 0.5, 0.03);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(21);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(23);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_FALSE(rng.NextBernoulli(-1.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+  EXPECT_TRUE(rng.NextBernoulli(2.0));
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng parent1(99), parent2(99);
+  Rng child1 = parent1.Split();
+  Rng child2 = parent2.Split();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(child1.NextUint64(), child2.NextUint64());
+  }
+  // Parent and child streams should not be identical.
+  Rng parent(99);
+  Rng child = parent.Split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextUint64() == child.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, VectorHelpersHaveRightSizeAndRange) {
+  Rng rng(31);
+  auto g = rng.GaussianVector(10);
+  auto u = rng.UniformVector(10, 2.0, 3.0);
+  EXPECT_EQ(g.size(), 10u);
+  EXPECT_EQ(u.size(), 10u);
+  for (double x : u) {
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+// ---------------------------------------------------------------- subgaussian
+
+TEST(SubGaussian, BufferDeltaFormula) {
+  SubGaussianSpec spec{/*sigma=*/0.5, /*tail_constant=*/2.0};
+  int64_t rounds = 1000;
+  double expected = std::sqrt(2.0 * std::log(2.0)) * 0.5 * std::log(1000.0);
+  EXPECT_NEAR(BufferDelta(spec, rounds), expected, 1e-12);
+}
+
+TEST(SubGaussian, ZeroSigmaGivesZeroBuffer) {
+  SubGaussianSpec spec{0.0, 2.0};
+  EXPECT_DOUBLE_EQ(BufferDelta(spec, 100), 0.0);
+}
+
+TEST(SubGaussian, SigmaForBufferInvertsBufferDelta) {
+  int64_t rounds = 100000;
+  double delta = 0.01;
+  double sigma = SigmaForBuffer(delta, 2.0, rounds);
+  SubGaussianSpec spec{sigma, 2.0};
+  EXPECT_NEAR(BufferDelta(spec, rounds), delta, 1e-12);
+}
+
+TEST(SubGaussian, EmpiricalTailBoundHolds) {
+  // With the Eq. (5) buffer, essentially no draws should exceed ±δ.
+  int64_t rounds = 10000;
+  double delta = 0.05;
+  double sigma = SigmaForBuffer(delta, 2.0, rounds);
+  GaussianMarketNoise noise(SubGaussianSpec{sigma, 2.0});
+  Rng rng(55);
+  int violations = 0;
+  for (int64_t i = 0; i < rounds; ++i) {
+    if (std::fabs(noise.Sample(&rng)) > delta) ++violations;
+  }
+  EXPECT_LE(violations, 1);  // Eq. (6): probability ≤ 1/T per full horizon
+}
+
+}  // namespace
+}  // namespace pdm

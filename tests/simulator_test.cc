@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "market/linear_market.h"
+#include "market/simulator.h"
+#include "pricing/baselines.h"
+#include "pricing/ellipsoid_engine.h"
+
+namespace pdm {
+namespace {
+
+NoisyLinearMarketConfig SmallMarket(int dim) {
+  NoisyLinearMarketConfig config;
+  config.feature_dim = dim;
+  config.num_owners = 200;
+  return config;
+}
+
+EllipsoidEngineConfig EngineFor(int dim, int64_t horizon, bool use_reserve, double delta) {
+  EllipsoidEngineConfig config;
+  config.dim = dim;
+  config.horizon = horizon;
+  config.initial_radius = 2.0 * std::sqrt(static_cast<double>(dim));
+  config.use_reserve = use_reserve;
+  config.delta = delta;
+  return config;
+}
+
+TEST(Simulator, RunsAndCountsRounds) {
+  Rng rng(1);
+  NoisyLinearQueryStream stream(SmallMarket(5), &rng);
+  EllipsoidPricingEngine engine(EngineFor(5, 500, true, 0.0));
+  SimulationOptions options;
+  options.rounds = 500;
+  SimulationResult result = RunMarket(&stream, &engine, options, &rng);
+  EXPECT_EQ(result.tracker.rounds(), 500);
+  EXPECT_EQ(result.engine_counters.rounds, 500);
+  EXPECT_GT(result.wall_seconds, 0.0);
+}
+
+TEST(Simulator, RegretRatioFallsOverTime) {
+  Rng rng(2);
+  NoisyLinearQueryStream stream(SmallMarket(5), &rng);
+  EllipsoidPricingEngine engine(EngineFor(5, 4000, true, 0.0));
+  SimulationOptions options;
+  options.rounds = 4000;
+  options.series_stride = 500;
+  SimulationResult result = RunMarket(&stream, &engine, options, &rng);
+  const auto& series = result.tracker.series();
+  ASSERT_GE(series.size(), 4u);
+  // The ratio at the end is well below the ratio after the first block.
+  EXPECT_LT(series.back().regret_ratio, 0.8 * series.front().regret_ratio);
+}
+
+TEST(Simulator, EllipsoidEngineBeatsRiskAverseBaseline) {
+  // At n = 5 the engine converges well within the horizon, so its cumulative
+  // ratio must beat the risk-averse baseline's on the same round sequence —
+  // the Fig. 5(a) comparison at small scale.
+  int64_t rounds = 8000;
+  Rng stream_rng(3);
+  NoisyLinearQueryStream stream(SmallMarket(5), &stream_rng);
+  EllipsoidPricingEngine engine(EngineFor(5, rounds, true, 0.0));
+  SimulationOptions options;
+  options.rounds = rounds;
+  Rng sim_rng(4);
+  SimulationResult result = RunMarket(&stream, &engine, options, &sim_rng);
+  EXPECT_LT(result.tracker.regret_ratio(), result.tracker.baseline_regret_ratio());
+}
+
+TEST(Simulator, SkippedRoundsProduceNoSale) {
+  // A stream whose reserve always exceeds any possible value: the engine
+  // skips every round and revenue stays zero.
+  class ImpossibleReserveStream : public QueryStream {
+   public:
+    MarketRound Next(Rng* rng) override {
+      (void)rng;
+      MarketRound round;
+      round.features = {1.0, 0.0};
+      round.reserve = 1000.0;
+      round.value = 1.0;
+      return round;
+    }
+  };
+  ImpossibleReserveStream stream;
+  EllipsoidEngineConfig config = EngineFor(2, 100, true, 0.0);
+  config.initial_radius = 1.0;
+  EllipsoidPricingEngine engine(config);
+  SimulationOptions options;
+  options.rounds = 100;
+  Rng rng(5);
+  SimulationResult result = RunMarket(&stream, &engine, options, &rng);
+  EXPECT_EQ(result.engine_counters.skipped_rounds, 100);
+  EXPECT_EQ(result.tracker.sales(), 0);
+  EXPECT_DOUBLE_EQ(result.tracker.cumulative_revenue(), 0.0);
+  // q > v in every round ⇒ zero regret by Eq. (1).
+  EXPECT_DOUBLE_EQ(result.tracker.cumulative_regret(), 0.0);
+}
+
+TEST(Simulator, LatencyMeasurementPopulated) {
+  Rng rng(6);
+  NoisyLinearQueryStream stream(SmallMarket(5), &rng);
+  EllipsoidPricingEngine engine(EngineFor(5, 200, true, 0.0));
+  SimulationOptions options;
+  options.rounds = 200;
+  options.measure_latency = true;
+  SimulationResult result = RunMarket(&stream, &engine, options, &rng);
+  EXPECT_GT(result.engine_millis_per_round, 0.0);
+  EXPECT_LT(result.engine_millis_per_round, 10.0);
+}
+
+TEST(Simulator, DeterministicGivenSeed) {
+  // Identical seeds must reproduce every accumulator bit-for-bit — the
+  // property all bench numbers in EXPERIMENTS.md rely on.
+  auto run = [] {
+    Rng rng(12345);
+    NoisyLinearMarketConfig market_config;
+    market_config.feature_dim = 8;
+    market_config.num_owners = 150;
+    NoisyLinearQueryStream stream(market_config, &rng);
+    EllipsoidEngineConfig engine_config;
+    engine_config.dim = 8;
+    engine_config.horizon = 1500;
+    engine_config.initial_radius = stream.RecommendedRadius();
+    EllipsoidPricingEngine engine(engine_config);
+    SimulationOptions options;
+    options.rounds = 1500;
+    return RunMarket(&stream, &engine, options, &rng);
+  };
+  SimulationResult a = run();
+  SimulationResult b = run();
+  EXPECT_EQ(a.tracker.cumulative_regret(), b.tracker.cumulative_regret());
+  EXPECT_EQ(a.tracker.cumulative_revenue(), b.tracker.cumulative_revenue());
+  EXPECT_EQ(a.tracker.sales(), b.tracker.sales());
+  EXPECT_EQ(a.engine_counters.exploratory_rounds, b.engine_counters.exploratory_rounds);
+  EXPECT_EQ(a.engine_counters.cuts_applied, b.engine_counters.cuts_applied);
+}
+
+TEST(Simulator, BrokerUtilityNonNegativeWithReserve) {
+  // The reserve constraint's raison d'être (Section II-A): every sale covers
+  // the total privacy compensation, so per-round broker utility p − q ≥ 0.
+  class UtilityCheckingStream : public QueryStream {
+   public:
+    explicit UtilityCheckingStream(NoisyLinearQueryStream* inner) : inner_(inner) {}
+    MarketRound Next(Rng* rng) override {
+      last_ = inner_->Next(rng);
+      return last_;
+    }
+    MarketRound last_;
+    NoisyLinearQueryStream* inner_;
+  };
+  Rng rng(6);
+  NoisyLinearMarketConfig market_config;
+  market_config.feature_dim = 6;
+  market_config.num_owners = 100;
+  NoisyLinearQueryStream inner(market_config, &rng);
+  EllipsoidEngineConfig engine_config;
+  engine_config.dim = 6;
+  engine_config.horizon = 2000;
+  engine_config.initial_radius = inner.RecommendedRadius();
+  engine_config.use_reserve = true;
+  EllipsoidPricingEngine engine(engine_config);
+  for (int t = 0; t < 2000; ++t) {
+    MarketRound round = inner.Next(&rng);
+    PostedPrice posted = engine.PostPrice(round.features, round.reserve);
+    bool accepted = !posted.certain_no_sale && posted.price <= round.value;
+    engine.Observe(accepted);
+    if (accepted) {
+      ASSERT_GE(posted.price - round.reserve, -1e-12) << "round " << t;
+    }
+  }
+}
+
+TEST(Simulator, FourPaperVariantsAllConverge) {
+  // Smoke test of the 2×2 variant grid at small scale: every variant ends
+  // with a sane regret ratio.
+  int64_t rounds = 3000;
+  for (bool use_reserve : {false, true}) {
+    for (double delta : {0.0, 0.01}) {
+      Rng rng(7);
+      NoisyLinearMarketConfig market_config = SmallMarket(5);
+      market_config.value_noise_sigma =
+          delta > 0.0 ? SigmaForBuffer(delta, 2.0, rounds) : 0.0;
+      NoisyLinearQueryStream stream(market_config, &rng);
+      EllipsoidPricingEngine engine(EngineFor(5, rounds, use_reserve, delta));
+      SimulationOptions options;
+      options.rounds = rounds;
+      SimulationResult result = RunMarket(&stream, &engine, options, &rng);
+      EXPECT_GT(result.tracker.regret_ratio(), 0.0);
+      EXPECT_LT(result.tracker.regret_ratio(), 0.5)
+          << "reserve=" << use_reserve << " delta=" << delta;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdm
