@@ -3,12 +3,15 @@
 
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "market/linear_market.h"
 #include "market/regret_tracker.h"
 #include "market/round.h"
+#include "market/runner.h"
 #include "market/simulator.h"
 #include "pricing/ellipsoid_engine.h"
 #include "pricing/interval_engine.h"
@@ -86,22 +89,13 @@ class NoisyReplayStream : public QueryStream {
   size_t cursor_ = 0;
 };
 
-/// Runs one paper variant over a precomputed workload. For dim ≥ 2 this is
-/// the ellipsoid engine; dim == 1 routes to the interval engine with the
-/// evaluation's K₁ = [0, 2]. The uncertainty variants use the evaluation's
-/// δ = `delta` buffer and market noise σ = δ/(√(2·log 2)·log T).
-inline SimulationResult RunLinearVariant(const LinearWorkload& workload,
-                                         const Variant& variant, int dim, int64_t rounds,
-                                         double delta, int64_t series_stride,
-                                         uint64_t sim_seed) {
-  double noise_sigma =
-      variant.uncertainty ? SigmaForBuffer(delta, 2.0, rounds) : 0.0;
+/// Builds the engine for one paper variant. For dim ≥ 2 this is the ellipsoid
+/// engine; dim == 1 routes to the interval engine with the evaluation's
+/// K₁ = [0, 2]. The uncertainty variants use the δ = `delta` buffer.
+inline std::unique_ptr<PricingEngine> MakeLinearVariantEngine(
+    const LinearWorkload& workload, const Variant& variant, int dim,
+    int64_t rounds, double delta) {
   double engine_delta = variant.uncertainty ? delta : 0.0;
-  NoisyReplayStream stream(&workload.rounds, noise_sigma);
-  SimulationOptions options;
-  options.rounds = rounds;
-  options.series_stride = series_stride;
-  Rng rng(sim_seed);
   if (dim == 1) {
     IntervalEngineConfig config;
     config.theta_min = 0.0;
@@ -109,8 +103,7 @@ inline SimulationResult RunLinearVariant(const LinearWorkload& workload,
     config.horizon = rounds;
     config.delta = engine_delta;
     config.use_reserve = variant.use_reserve;
-    IntervalPricingEngine engine(config);
-    return RunMarket(&stream, &engine, options, &rng);
+    return std::make_unique<IntervalPricingEngine>(config);
   }
   EllipsoidEngineConfig config;
   config.dim = dim;
@@ -118,8 +111,62 @@ inline SimulationResult RunLinearVariant(const LinearWorkload& workload,
   config.initial_radius = workload.recommended_radius;
   config.delta = engine_delta;
   config.use_reserve = variant.use_reserve;
-  EllipsoidPricingEngine engine(config);
-  return RunMarket(&stream, &engine, options, &rng);
+  return std::make_unique<EllipsoidPricingEngine>(config);
+}
+
+/// One paper variant as a `SimulationRunner` scenario over a precomputed
+/// workload. The workload is shared read-only across scenarios; the
+/// uncertainty variants add market noise σ = δ/(√(2·log 2)·log T) at replay
+/// time from the scenario's own seeded stream.
+inline ScenarioSpec LinearVariantScenario(const LinearWorkload* workload,
+                                          const Variant& variant, int dim,
+                                          int64_t rounds, double delta,
+                                          int64_t series_stride,
+                                          uint64_t sim_seed) {
+  double noise_sigma =
+      variant.uncertainty ? SigmaForBuffer(delta, 2.0, rounds) : 0.0;
+  ScenarioSpec spec;
+  spec.name = variant.label;
+  spec.seed = sim_seed;
+  spec.options.rounds = rounds;
+  spec.options.series_stride = series_stride;
+  spec.make_stream = [workload, noise_sigma](Rng*) {
+    return std::make_unique<NoisyReplayStream>(&workload->rounds, noise_sigma);
+  };
+  spec.make_engine = [workload, variant, dim, rounds, delta]() {
+    return MakeLinearVariantEngine(*workload, variant, dim, rounds, delta);
+  };
+  return spec;
+}
+
+/// Runs one paper variant serially over a precomputed workload.
+inline SimulationResult RunLinearVariant(const LinearWorkload& workload,
+                                         const Variant& variant, int dim, int64_t rounds,
+                                         double delta, int64_t series_stride,
+                                         uint64_t sim_seed) {
+  ScenarioSpec spec = LinearVariantScenario(&workload, variant, dim, rounds,
+                                            delta, series_stride, sim_seed);
+  return SimulationRunner::RunScenario(spec).result;
+}
+
+/// Runs all `variants` concurrently on the `SimulationRunner` thread pool.
+/// Results are index-aligned with `variants` and bit-identical to serial
+/// `RunLinearVariant` calls with the same `sim_seed`.
+inline std::vector<SimulationResult> RunLinearVariantsParallel(
+    const LinearWorkload& workload, const std::vector<Variant>& variants,
+    int dim, int64_t rounds, double delta, int64_t series_stride,
+    uint64_t sim_seed) {
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(variants.size());
+  for (const Variant& variant : variants) {
+    specs.push_back(LinearVariantScenario(&workload, variant, dim, rounds,
+                                          delta, series_stride, sim_seed));
+  }
+  std::vector<ScenarioResult> scenario_results = SimulationRunner().RunAll(specs);
+  std::vector<SimulationResult> results;
+  results.reserve(scenario_results.size());
+  for (ScenarioResult& r : scenario_results) results.push_back(std::move(r.result));
+  return results;
 }
 
 /// Checkpoint rounds for figure-style series: `per_decade` log-spaced points

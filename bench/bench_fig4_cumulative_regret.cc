@@ -62,13 +62,15 @@ int main(int argc, char** argv) {
     for (const auto& v : variants) headers.push_back(v.label);
     pdm::TablePrinter table(headers);
 
+    std::vector<pdm::SimulationResult> results = pdm::bench::RunLinearVariantsParallel(
+        workload, variants, sub.dim, rounds, delta, stride, /*sim_seed=*/99);
+
     std::vector<std::vector<pdm::RegretSeriesPoint>> series;
-    for (const auto& variant : variants) {
-      pdm::SimulationResult result = pdm::bench::RunLinearVariant(
-          workload, variant, sub.dim, rounds, delta, stride, /*sim_seed=*/99);
+    for (size_t i = 0; i < variants.size(); ++i) {
+      const pdm::SimulationResult& result = results[i];
       series.push_back(result.tracker.series());
       for (const auto& point : result.tracker.series()) {
-        csv.WriteRow({sub.panel, std::to_string(sub.dim), variant.label,
+        csv.WriteRow({sub.panel, std::to_string(sub.dim), variants[i].label,
                       std::to_string(point.round),
                       pdm::FormatDouble(point.cumulative_regret, 4)});
       }

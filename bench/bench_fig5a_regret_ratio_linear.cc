@@ -47,17 +47,19 @@ int main(int argc, char** argv) {
   headers.push_back("risk-averse");
   pdm::TablePrinter table(headers);
 
+  std::vector<pdm::SimulationResult> results = pdm::bench::RunLinearVariantsParallel(
+      workload, variants, static_cast<int>(dim), rounds, delta, stride, 99);
+
   std::vector<std::vector<pdm::RegretSeriesPoint>> series;
   std::vector<double> final_ratio;
   double baseline_final = 0.0;
-  for (const auto& variant : variants) {
-    pdm::SimulationResult result = pdm::bench::RunLinearVariant(
-        workload, variant, static_cast<int>(dim), rounds, delta, stride, 99);
+  for (size_t i = 0; i < variants.size(); ++i) {
+    const pdm::SimulationResult& result = results[i];
     series.push_back(result.tracker.series());
     final_ratio.push_back(result.tracker.regret_ratio());
     baseline_final = result.tracker.baseline_regret_ratio();
     for (const auto& point : result.tracker.series()) {
-      csv.WriteRow({variant.label, std::to_string(point.round),
+      csv.WriteRow({variants[i].label, std::to_string(point.round),
                     pdm::FormatDouble(point.regret_ratio, 6)});
     }
   }

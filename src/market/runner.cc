@@ -1,0 +1,113 @@
+#include "market/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace pdm {
+
+SimulationRunner::SimulationRunner(const RunnerOptions& options) {
+  int threads = options.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  num_threads_ = threads;
+}
+
+ScenarioResult SimulationRunner::RunScenario(const ScenarioSpec& spec) {
+  PDM_CHECK(spec.make_stream != nullptr);
+  PDM_CHECK(spec.make_engine != nullptr);
+
+  // The scenario's entire randomness flows from this one generator: stream
+  // construction consumes a prefix, the market loop the rest. That makes the
+  // outcome a pure function of the spec, independent of which worker thread
+  // runs it or when.
+  Rng rng(spec.seed);
+  std::unique_ptr<QueryStream> stream = spec.make_stream(&rng);
+  std::unique_ptr<PricingEngine> engine = spec.make_engine();
+  PDM_CHECK(stream != nullptr);
+  PDM_CHECK(engine != nullptr);
+
+  ScenarioResult out;
+  out.name = spec.name;
+  out.seed = spec.seed;
+  out.engine_name = engine->name();
+  out.result = RunMarket(stream.get(), engine.get(), spec.options, &rng);
+  return out;
+}
+
+std::vector<ScenarioResult> SimulationRunner::RunAll(
+    const std::vector<ScenarioSpec>& scenarios) const {
+  std::vector<ScenarioResult> results(scenarios.size());
+  if (scenarios.empty()) return results;
+
+  const int workers =
+      static_cast<int>(std::min<size_t>(scenarios.size(),
+                                        static_cast<size_t>(num_threads_)));
+  if (workers <= 1) {
+    for (size_t i = 0; i < scenarios.size(); ++i) {
+      results[i] = RunScenario(scenarios[i]);
+    }
+    return results;
+  }
+
+  // Work-stealing by atomic ticket: each worker claims the next unclaimed
+  // scenario index. Results land in their own slots, so no locking is needed
+  // and the output order matches the input order exactly. Exceptions are
+  // parked per-slot and rethrown after the join so a throwing scenario
+  // behaves the same as on the serial path instead of std::terminate-ing
+  // the process.
+  std::vector<std::exception_ptr> errors(scenarios.size());
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= scenarios.size()) return;
+      try {
+        results[i] = RunScenario(scenarios[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return results;
+}
+
+void PrintComparisonTable(const std::vector<ScenarioResult>& results,
+                          std::ostream& os) {
+  TablePrinter table({"scenario", "engine", "seed", "rounds", "sales", "regret",
+                      "regret%", "explore", "skip", "wall_s"});
+  for (const ScenarioResult& r : results) {
+    const RegretTracker& tracker = r.result.tracker;
+    const EngineCounters& counters = r.result.engine_counters;
+    table.AddRow({
+        r.name,
+        r.engine_name,
+        std::to_string(r.seed),
+        std::to_string(tracker.rounds()),
+        std::to_string(tracker.sales()),
+        FormatDouble(tracker.cumulative_regret(), 2),
+        FormatDouble(tracker.regret_ratio() * 100.0, 2),
+        std::to_string(counters.exploratory_rounds),
+        std::to_string(counters.skipped_rounds),
+        FormatDouble(r.result.wall_seconds, 3),
+    });
+  }
+  table.Print(os);
+}
+
+}  // namespace pdm

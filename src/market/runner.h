@@ -1,0 +1,90 @@
+#ifndef PDM_MARKET_RUNNER_H_
+#define PDM_MARKET_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "market/round.h"
+#include "market/simulator.h"
+#include "pricing/pricing_engine.h"
+#include "rng/rng.h"
+
+/// \file
+/// Multi-scenario batch executor on top of `RunMarket`.
+///
+/// A `ScenarioSpec` names one (stream, engine, options, seed) configuration;
+/// `SimulationRunner` executes a batch of them on a `std::thread` pool.
+/// Every scenario draws from its own `Rng(seed)` — first to construct the
+/// stream, then to drive the rounds — so results are bit-identical regardless
+/// of worker count or scheduling order, and identical to a serial
+/// `RunMarket` call with the same seed. This is the harness the benches use
+/// to sweep mechanism variants, workloads, and horizons concurrently.
+
+namespace pdm {
+
+/// One named simulation configuration. The factories are invoked on the
+/// worker thread that runs the scenario; they must not share mutable state
+/// with other scenarios.
+struct ScenarioSpec {
+  /// Label used in the comparison table (e.g. "reserve+uncertainty/n=20").
+  std::string name;
+  /// Builds the workload stream. The `Rng` is the scenario's own stream,
+  /// already seeded with `seed`; use it for any setup randomness (θ* draws,
+  /// contract sampling, ...).
+  std::function<std::unique_ptr<QueryStream>(Rng*)> make_stream;
+  /// Builds the pricing engine under test.
+  std::function<std::unique_ptr<PricingEngine>()> make_engine;
+  /// Forwarded to `RunMarket`.
+  SimulationOptions options;
+  /// Seed of the scenario's private `Rng`; equal seeds give equal results.
+  uint64_t seed = 0;
+};
+
+/// Outcome of one scenario.
+struct ScenarioResult {
+  std::string name;
+  uint64_t seed = 0;
+  /// Name reported by the engine (for the comparison table).
+  std::string engine_name;
+  SimulationResult result;
+};
+
+struct RunnerOptions {
+  /// Worker threads; 0 picks std::thread::hardware_concurrency(). The batch
+  /// outcome does not depend on this value — only wall time does.
+  int num_threads = 0;
+};
+
+class SimulationRunner {
+ public:
+  explicit SimulationRunner(const RunnerOptions& options = {});
+
+  /// Runs every scenario, at most `num_threads` concurrently. The returned
+  /// vector is index-aligned with `scenarios` and deterministic for fixed
+  /// specs regardless of thread count.
+  std::vector<ScenarioResult> RunAll(const std::vector<ScenarioSpec>& scenarios) const;
+
+  /// Runs one scenario synchronously on the calling thread. `RunAll` is
+  /// exactly a concurrent map of this function.
+  static ScenarioResult RunScenario(const ScenarioSpec& spec);
+
+  /// Effective worker count after resolving the 0 = hardware default.
+  int num_threads() const { return num_threads_; }
+
+ private:
+  int num_threads_;
+};
+
+/// Renders a batch outcome as a fixed-width comparison table (one row per
+/// scenario: rounds, sales, regret, regret ratio, exploratory/skip counts,
+/// wall time) via `common/table_printer`.
+void PrintComparisonTable(const std::vector<ScenarioResult>& results,
+                          std::ostream& os);
+
+}  // namespace pdm
+
+#endif  // PDM_MARKET_RUNNER_H_

@@ -21,6 +21,8 @@
 ///    kernelized).
 ///  * `pdm::RunMarket` — the round-by-round simulation loop with Eq.-(1)
 ///    regret accounting.
+///  * `pdm::SimulationRunner` — thread-pooled batch executor that sweeps many
+///    named (stream, engine) scenarios concurrently and deterministically.
 ///  * `pdm::NoisyLinearQueryStream` / `BuildAirbnbMarket` / `BuildAvazuMarket`
 ///    / `KernelQueryStream` — the paper's application workloads.
 ///
@@ -34,6 +36,7 @@
 #include "market/kernel_market.h"
 #include "market/linear_market.h"
 #include "market/regret_tracker.h"
+#include "market/runner.h"
 #include "market/simulator.h"
 #include "pricing/baselines.h"
 #include "pricing/ellipsoid_engine.h"

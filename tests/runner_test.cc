@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "market/linear_market.h"
+#include "market/runner.h"
+#include "market/simulator.h"
+#include "pricing/ellipsoid_engine.h"
+
+namespace pdm {
+namespace {
+
+NoisyLinearMarketConfig SmallMarket(int dim) {
+  NoisyLinearMarketConfig config;
+  config.feature_dim = dim;
+  config.num_owners = 200;
+  return config;
+}
+
+EllipsoidEngineConfig EngineFor(int dim, int64_t horizon, bool use_reserve,
+                                double delta) {
+  EllipsoidEngineConfig config;
+  config.dim = dim;
+  config.horizon = horizon;
+  config.initial_radius = 2.0 * std::sqrt(static_cast<double>(dim));
+  config.use_reserve = use_reserve;
+  config.delta = delta;
+  return config;
+}
+
+ScenarioSpec VariantScenario(const std::string& name, int dim, int64_t rounds,
+                             bool use_reserve, double delta, uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.seed = seed;
+  spec.options.rounds = rounds;
+  spec.make_stream = [dim](Rng* rng) {
+    return std::make_unique<NoisyLinearQueryStream>(SmallMarket(dim), rng);
+  };
+  spec.make_engine = [dim, rounds, use_reserve, delta]() {
+    return std::make_unique<EllipsoidPricingEngine>(
+        EngineFor(dim, rounds, use_reserve, delta));
+  };
+  return spec;
+}
+
+/// The paper's four mechanism variants plus a second dimension — a ≥4-scenario
+/// batch with distinct seeds, engines, and stream setups.
+std::vector<ScenarioSpec> VariantBatch() {
+  std::vector<ScenarioSpec> batch;
+  batch.push_back(VariantScenario("pure/n=5", 5, 400, false, 0.0, 11));
+  batch.push_back(VariantScenario("uncertainty/n=5", 5, 400, false, 0.01, 22));
+  batch.push_back(VariantScenario("reserve/n=5", 5, 400, true, 0.0, 33));
+  batch.push_back(
+      VariantScenario("reserve+uncertainty/n=5", 5, 400, true, 0.01, 44));
+  batch.push_back(VariantScenario("reserve/n=8", 8, 400, true, 0.0, 55));
+  return batch;
+}
+
+void ExpectSameOutcome(const ScenarioResult& a, const ScenarioResult& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.engine_name, b.engine_name);
+  const RegretTracker& ta = a.result.tracker;
+  const RegretTracker& tb = b.result.tracker;
+  EXPECT_EQ(ta.rounds(), tb.rounds());
+  EXPECT_EQ(ta.sales(), tb.sales());
+  // Bit-identical, not approximately equal: same seed ⇒ same draws ⇒ same
+  // floating-point trajectory.
+  EXPECT_EQ(ta.cumulative_regret(), tb.cumulative_regret());
+  EXPECT_EQ(ta.cumulative_value(), tb.cumulative_value());
+  EXPECT_EQ(ta.cumulative_revenue(), tb.cumulative_revenue());
+  EXPECT_EQ(ta.baseline_cumulative_regret(), tb.baseline_cumulative_regret());
+  EXPECT_EQ(ta.oracle_revenue(), tb.oracle_revenue());
+  const EngineCounters& ca = a.result.engine_counters;
+  const EngineCounters& cb = b.result.engine_counters;
+  EXPECT_EQ(ca.rounds, cb.rounds);
+  EXPECT_EQ(ca.exploratory_rounds, cb.exploratory_rounds);
+  EXPECT_EQ(ca.conservative_rounds, cb.conservative_rounds);
+  EXPECT_EQ(ca.skipped_rounds, cb.skipped_rounds);
+  EXPECT_EQ(ca.cuts_applied, cb.cuts_applied);
+  EXPECT_EQ(ca.cuts_discarded, cb.cuts_discarded);
+}
+
+TEST(SimulationRunner, ResultsInvariantAcrossThreadCounts) {
+  std::vector<ScenarioSpec> batch = VariantBatch();
+  std::vector<std::vector<ScenarioResult>> runs;
+  for (int threads : {1, 2, 8}) {
+    RunnerOptions options;
+    options.num_threads = threads;
+    runs.push_back(SimulationRunner(options).RunAll(batch));
+  }
+  for (const auto& run : runs) ASSERT_EQ(run.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ExpectSameOutcome(runs[0][i], runs[1][i]);
+    ExpectSameOutcome(runs[0][i], runs[2][i]);
+  }
+}
+
+TEST(SimulationRunner, MatchesSerialRunMarket) {
+  std::vector<ScenarioSpec> batch = VariantBatch();
+  RunnerOptions options;
+  options.num_threads = 4;
+  std::vector<ScenarioResult> parallel = SimulationRunner(options).RunAll(batch);
+  ASSERT_EQ(parallel.size(), batch.size());
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    // Hand-rolled serial equivalent of RunScenario: one Rng per scenario,
+    // stream construction first, then the market loop.
+    Rng rng(batch[i].seed);
+    std::unique_ptr<QueryStream> stream = batch[i].make_stream(&rng);
+    std::unique_ptr<PricingEngine> engine = batch[i].make_engine();
+    SimulationResult serial =
+        RunMarket(stream.get(), engine.get(), batch[i].options, &rng);
+
+    EXPECT_EQ(parallel[i].result.tracker.cumulative_regret(),
+              serial.tracker.cumulative_regret());
+    EXPECT_EQ(parallel[i].result.tracker.sales(), serial.tracker.sales());
+    EXPECT_EQ(parallel[i].result.tracker.cumulative_revenue(),
+              serial.tracker.cumulative_revenue());
+    EXPECT_EQ(parallel[i].result.engine_counters.exploratory_rounds,
+              serial.engine_counters.exploratory_rounds);
+    EXPECT_EQ(parallel[i].result.engine_counters.cuts_applied,
+              serial.engine_counters.cuts_applied);
+  }
+}
+
+TEST(SimulationRunner, RepeatedRunsAreDeterministic) {
+  std::vector<ScenarioSpec> batch = VariantBatch();
+  SimulationRunner runner(RunnerOptions{/*num_threads=*/8});
+  std::vector<ScenarioResult> first = runner.RunAll(batch);
+  std::vector<ScenarioResult> second = runner.RunAll(batch);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    ExpectSameOutcome(first[i], second[i]);
+  }
+}
+
+TEST(SimulationRunner, EmptyBatchReturnsEmpty) {
+  SimulationRunner runner;
+  EXPECT_TRUE(runner.RunAll({}).empty());
+}
+
+TEST(SimulationRunner, ZeroThreadsResolvesToHardwareConcurrency) {
+  SimulationRunner runner(RunnerOptions{/*num_threads=*/0});
+  EXPECT_GE(runner.num_threads(), 1);
+}
+
+TEST(SimulationRunner, ComparisonTableListsEveryScenario) {
+  std::vector<ScenarioSpec> batch = VariantBatch();
+  std::vector<ScenarioResult> results =
+      SimulationRunner(RunnerOptions{/*num_threads=*/4}).RunAll(batch);
+  std::ostringstream os;
+  PrintComparisonTable(results, os);
+  const std::string table = os.str();
+  for (const ScenarioSpec& spec : batch) {
+    EXPECT_NE(table.find(spec.name), std::string::npos) << spec.name;
+  }
+  EXPECT_NE(table.find("regret%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdm
