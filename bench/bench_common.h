@@ -20,7 +20,7 @@
 /// \file
 /// Shared machinery for the bench binaries that reproduce the paper's
 /// evaluation (Section V). Each bench prints the same rows/series the paper
-/// reports; EXPERIMENTS.md records paper-vs-measured values.
+/// reports, with the paper's numbers printed inline for comparison.
 
 namespace pdm::bench {
 
@@ -74,13 +74,13 @@ class NoisyReplayStream : public QueryStream {
   NoisyReplayStream(const std::vector<MarketRound>* rounds, double noise_sigma)
       : rounds_(rounds), noise_sigma_(noise_sigma) {}
 
-  MarketRound Next(Rng* rng) override {
-    MarketRound round = (*rounds_)[cursor_];
+  using QueryStream::Next;
+  void Next(Rng* rng, MarketRound* round) override {
+    *round = (*rounds_)[cursor_];  // copy-assign reuses the feature buffer
     cursor_ = (cursor_ + 1) % rounds_->size();
     if (noise_sigma_ > 0.0) {
-      round.value += rng->NextGaussian(0.0, noise_sigma_);
+      round->value += rng->NextGaussian(0.0, noise_sigma_);
     }
-    return round;
   }
 
  private:

@@ -6,7 +6,7 @@
 // Paper end-of-run ratios: pure 4.57%, ratio 0.4 4.01%, 0.6 3.83%, 0.8
 // 3.79%; baselines 23.40%, 17.00%, 9.33%; reductions 82.88%, 77.46%, 59.39%.
 //
-// Reconciliation note (EXPERIMENTS.md): with the honest ball prior
+// Reconciliation note (see DESIGN.md §3): with the honest ball prior
 // R = √2·‖θ* − c₁‖, n = 55 needs ≈n(n+1)·ln(width/ε) ≈ 25k bisection rounds
 // before the ε-floor, and each bisection round rejects ~half the time at the
 // cost of the full market value, so the *cumulative* ratio at 74k rounds

@@ -10,7 +10,7 @@
 // Default rounds for the n=1024 sparse case are reduced (O(n²) per round);
 // pass --rounds_sparse_1024=100000 for the paper's full scale.
 //
-// Reconciliation note (EXPERIMENTS.md): under the honest ball prior
+// Reconciliation note (see DESIGN.md §3): under the honest ball prior
 // R = 2‖θ*‖ the sparse encodings need ≈n(n+1)·ln(width/ε) bisection rounds —
 // more than the whole horizon at n ≥ 128 — so their cumulative ratios stay
 // near the cold-start level. The paper's sparse finals (2.02%/8.04%) are only

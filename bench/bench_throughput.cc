@@ -1,0 +1,136 @@
+// Throughput sweep: steady-state pricing rounds per second over dimension
+// n ∈ {2, 5, 10, 20, 50} × the four mechanism variants, on the precomputed
+// noisy-linear-query workload (Application 1). This is the perf trajectory
+// bench: besides the human-readable table it emits a machine-readable
+// BENCH_throughput.json (schema pdm.bench_throughput.v1) so successive
+// commits can be compared mechanically.
+//
+// Each scenario replays the same recorded query sequence through RunMarket;
+// the reported wall time covers only the market loop (stream fill + PostPrice
+// + Observe + regret accounting), not workload construction.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/flags.h"
+#include "common/memory.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace {
+
+struct ThroughputRow {
+  std::string scenario;
+  std::string variant;
+  int dim = 0;
+  int64_t rounds = 0;
+  double wall_seconds = 0.0;
+  double rounds_per_sec = 0.0;
+  double ns_per_round = 0.0;
+  int64_t rss_bytes = 0;
+};
+
+/// Writes the sweep as pdm.bench_throughput.v1 JSON. Hand-rolled: the schema
+/// is flat and the repo deliberately has no third-party JSON dependency.
+void WriteJson(const std::string& path, int64_t rounds_per_scenario,
+               int64_t workload_rounds, double delta,
+               const std::vector<ThroughputRow>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  out << "{\n";
+  out << "  \"schema\": \"pdm.bench_throughput.v1\",\n";
+  out << "  \"rounds_per_scenario\": " << rounds_per_scenario << ",\n";
+  out << "  \"workload_rounds\": " << workload_rounds << ",\n";
+  out << "  \"delta\": " << pdm::FormatDouble(delta, 6) << ",\n";
+  out << "  \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ThroughputRow& r = rows[i];
+    out << "    {\"scenario\": \"" << r.scenario << "\", "
+        << "\"variant\": \"" << r.variant << "\", "
+        << "\"dim\": " << r.dim << ", "
+        << "\"rounds\": " << r.rounds << ", "
+        << "\"wall_seconds\": " << pdm::FormatDouble(r.wall_seconds, 6) << ", "
+        << "\"rounds_per_sec\": " << pdm::FormatDouble(r.rounds_per_sec, 1) << ", "
+        << "\"ns_per_round\": " << pdm::FormatDouble(r.ns_per_round, 1) << ", "
+        << "\"rss_bytes\": " << r.rss_bytes << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t rounds = 200000;
+  int64_t workload_rounds = 2048;
+  int64_t num_owners = 512;
+  double delta = 0.01;
+  uint64_t seed = 1;
+  bool smoke = false;
+  std::string out_path = "BENCH_throughput.json";
+  pdm::FlagSet flags("bench_throughput");
+  flags.AddInt64("rounds", &rounds, "timed rounds per scenario");
+  flags.AddInt64("workload_rounds", &workload_rounds,
+                 "distinct precomputed queries per dimension");
+  flags.AddInt64("owners", &num_owners, "data owners behind the workload");
+  flags.AddDouble("delta", &delta, "uncertainty buffer for the *+uncertainty variants");
+  flags.AddInt64("seed", reinterpret_cast<int64_t*>(&seed), "workload seed");
+  flags.AddBool("smoke", &smoke, "short CI mode (caps rounds at 20000)");
+  flags.AddString("out", &out_path, "machine-readable JSON output path");
+  if (!flags.Parse(argc, argv)) return 1;
+  if (smoke && rounds > 20000) rounds = 20000;
+
+  const std::vector<int> dims = {2, 5, 10, 20, 50};
+  const std::vector<pdm::bench::Variant> variants = pdm::bench::PaperVariants();
+
+  std::printf("=== throughput sweep: %ld rounds/scenario, %zu dims x %zu variants ===\n\n",
+              static_cast<long>(rounds), dims.size(), variants.size());
+
+  std::vector<ThroughputRow> rows;
+  pdm::TablePrinter table({"scenario", "rounds/s", "ns/round", "rss_mib"});
+  for (int dim : dims) {
+    pdm::bench::LinearWorkload workload = pdm::bench::MakeLinearWorkload(
+        dim, workload_rounds, static_cast<int>(num_owners), seed);
+    for (const pdm::bench::Variant& variant : variants) {
+      pdm::ScenarioSpec spec = pdm::bench::LinearVariantScenario(
+          &workload, variant, dim, rounds, delta, /*series_stride=*/0,
+          /*sim_seed=*/seed + static_cast<uint64_t>(dim));
+      spec.name = variant.label + "/n=" + std::to_string(dim);
+      // Scenarios run serially on purpose: concurrent scenarios would contend
+      // for cores and distort per-scenario wall times.
+      pdm::ScenarioResult result = pdm::SimulationRunner::RunScenario(spec);
+
+      ThroughputRow row;
+      row.scenario = spec.name;
+      row.variant = variant.label;
+      row.dim = dim;
+      row.rounds = rounds;
+      row.wall_seconds = result.result.wall_seconds;
+      row.rounds_per_sec =
+          row.wall_seconds > 0.0 ? static_cast<double>(rounds) / row.wall_seconds : 0.0;
+      row.ns_per_round =
+          row.wall_seconds * 1e9 / static_cast<double>(rounds);
+      row.rss_bytes = pdm::CurrentRssBytes();
+      rows.push_back(row);
+
+      table.AddRow({row.scenario, pdm::FormatDouble(row.rounds_per_sec, 0),
+                    pdm::FormatDouble(row.ns_per_round, 1),
+                    pdm::FormatDouble(static_cast<double>(row.rss_bytes) / (1024.0 * 1024.0),
+                                      1)});
+    }
+  }
+  table.Print(std::cout);
+
+  WriteJson(out_path, rounds, workload_rounds, delta, rows);
+  std::printf("\nwrote %s (%zu scenarios)\n", out_path.c_str(), rows.size());
+  return 0;
+}

@@ -22,4 +22,14 @@ int64_t CurrentRssBytes() {
 
 double CurrentRssMiB() { return static_cast<double>(CurrentRssBytes()) / (1024.0 * 1024.0); }
 
+namespace {
+/// Plain thread-local integer: no constructor, no heap, safe to bump from
+/// inside operator new itself.
+thread_local int64_t thread_allocation_count = 0;
+}  // namespace
+
+void NoteAllocation() noexcept { ++thread_allocation_count; }
+
+int64_t ThreadAllocationCount() noexcept { return thread_allocation_count; }
+
 }  // namespace pdm

@@ -4,8 +4,17 @@
 #include <cstdint>
 
 /// \file
-/// Process-memory probe mirroring the paper's methodology (Section V-D reads
-/// VmRSS from /proc/PID/status).
+/// Process-memory probes: the RSS reader mirroring the paper's methodology
+/// (Section V-D reads VmRSS from /proc/PID/status), plus opt-in allocation
+/// counting for the zero-allocation hot-path guarantee.
+///
+/// The allocation counter is observability-only plumbing: the library
+/// maintains a thread-local counter but installs no hook itself. A binary
+/// that wants real counts defines the replaceable global `operator new`
+/// overloads and calls `NoteAllocation()` from them (see
+/// tests/allocation_test.cc); everywhere else the counter stays 0 and costs
+/// nothing. This is how the allocation-regression test *measures* (rather
+/// than guesses) that steady-state pricing rounds never touch the heap.
 
 namespace pdm {
 
@@ -15,6 +24,14 @@ int64_t CurrentRssBytes();
 
 /// VmRSS formatted in MiB for reporting.
 double CurrentRssMiB();
+
+/// Bumps the calling thread's allocation counter. Called from a replaceable
+/// `operator new` hook; async-signal-safe and allocation-free by design.
+void NoteAllocation() noexcept;
+
+/// Allocations noted on the calling thread since thread start. Monotone;
+/// subtract two readings to count allocations across a code region.
+int64_t ThreadAllocationCount() noexcept;
 
 }  // namespace pdm
 

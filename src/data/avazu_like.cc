@@ -47,10 +47,16 @@ AvazuLikeClickLog::AvazuLikeClickLog(const AvazuLikeConfig& config, Rng* rng)
 }
 
 AdImpression AvazuLikeClickLog::Next(Rng* rng) const {
+  AdImpression sample;
+  Next(rng, &sample);
+  return sample;
+}
+
+void AvazuLikeClickLog::Next(Rng* rng, AdImpression* sample) const {
   PDM_CHECK(rng != nullptr);
   const auto& fields = AvazuLikeFields();
-  AdImpression sample;
-  sample.fields.reserve(fields.size());
+  sample->fields.clear();
+  sample->fields.reserve(fields.size());
   for (size_t f = 0; f < fields.size(); ++f) {
     // Zipf-ish skew: half the mass on the first ~10% of values, so signal
     // pairs planted on popular values fire frequently.
@@ -59,18 +65,17 @@ AdImpression AvazuLikeClickLog::Next(Rng* rng) const {
     int64_t value = rng->NextBernoulli(0.5)
                         ? static_cast<int64_t>(rng->NextUint64(static_cast<uint64_t>(head)))
                         : static_cast<int64_t>(rng->NextUint64(static_cast<uint64_t>(card)));
-    sample.fields.push_back({static_cast<int>(f), value});
+    sample->fields.push_back({static_cast<int>(f), value});
   }
   double logit = config_.base_logit;
   for (const auto& [pair, weight] : signal_weights_) {
-    if (sample.fields[static_cast<size_t>(pair.first)].second == pair.second) {
+    if (sample->fields[static_cast<size_t>(pair.first)].second == pair.second) {
       logit += weight;
     }
   }
-  sample.logit = logit;
-  sample.ctr = 1.0 / (1.0 + std::exp(-logit));
-  sample.clicked = rng->NextBernoulli(sample.ctr);
-  return sample;
+  sample->logit = logit;
+  sample->ctr = 1.0 / (1.0 + std::exp(-logit));
+  sample->clicked = rng->NextBernoulli(sample->ctr);
 }
 
 }  // namespace pdm

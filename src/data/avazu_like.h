@@ -61,6 +61,10 @@ class AvazuLikeClickLog {
   /// Draws the next impression (fields, planted CTR, click label).
   AdImpression Next(Rng* rng) const;
 
+  /// Fill-in variant reusing `sample->fields`' storage (steady-state calls
+  /// perform no allocation); identical draws to the by-value overload.
+  void Next(Rng* rng, AdImpression* sample) const;
+
   /// The planted signal weights as ((field, value) -> weight).
   const std::vector<std::pair<std::pair<int, int64_t>, double>>& signal_weights() const {
     return signal_weights_;

@@ -21,25 +21,32 @@ Ellipsoid Ellipsoid::Ball(int dim, double radius) {
 }
 
 SupportInterval Ellipsoid::Support(const Vector& x) const {
-  PDM_CHECK(static_cast<int>(x.size()) == dim());
   SupportInterval out;
-  out.midpoint = Dot(x, center_);
-  // One O(n²) pass computes both A·x (the support direction) and xᵀAx.
-  Vector ax = shape_.MatVec(x);
-  double quad = Dot(x, ax);
+  Support(x, &out);
+  return out;
+}
+
+void Ellipsoid::Support(const Vector& x, SupportInterval* out) const {
+  PDM_CHECK(out != nullptr);
+  PDM_CHECK(static_cast<int>(x.size()) == dim());
+  PDM_DCHECK(&x != &out->direction);
+  out->midpoint = Dot(x, center_);
+  // One O(n²) pass computes both A·x (the support direction) and xᵀAx; the
+  // caller's direction buffer is reused as the A·x target.
+  shape_.MatVecInto(x, &out->direction);
+  double quad = Dot(x, out->direction);
   if (quad <= 0.0 || !std::isfinite(quad)) {
     // Collapsed (or numerically indefinite) direction: the probe width is
     // treated as zero, which routes the engine to the conservative price.
-    out.lower = out.upper = out.midpoint;
-    out.half_width = 0.0;
-    return out;
+    out->lower = out->upper = out->midpoint;
+    out->half_width = 0.0;
+    out->direction.clear();  // keeps capacity; "empty when half_width = 0"
+    return;
   }
-  out.half_width = std::sqrt(quad);
-  out.lower = out.midpoint - out.half_width;
-  out.upper = out.midpoint + out.half_width;
-  ScaleInPlace(&ax, 1.0 / out.half_width);
-  out.direction = std::move(ax);
-  return out;
+  out->half_width = std::sqrt(quad);
+  out->lower = out->midpoint - out->half_width;
+  out->upper = out->midpoint + out->half_width;
+  // direction keeps the raw A·x; the cuts fold in the 1/half_width scaling.
 }
 
 double Ellipsoid::CutAlpha(const Vector& x, double cut_value) const {
@@ -48,13 +55,14 @@ double Ellipsoid::CutAlpha(const Vector& x, double cut_value) const {
   return (s.midpoint - cut_value) / s.half_width;
 }
 
-void Ellipsoid::Cut(const Vector& b, double alpha, double sign) {
+void Ellipsoid::Cut(const Vector& ax, double half_width, double alpha, double sign) {
   // sign = +1: keep {xᵀθ ≤ cut}; sign = −1: keep {xᵀθ ≥ cut}. The formulas
   // below are Algorithm 1 Lines 17 (rejection) and 21 (acceptance); the
   // acceptance case is the mirror image obtained by α → −α, b → −b.
   int n = dim();
   PDM_CHECK(n >= 2);
-  PDM_CHECK(static_cast<int>(b.size()) == n);
+  PDM_CHECK(static_cast<int>(ax.size()) == n);
+  PDM_CHECK(half_width > 0.0);
   double a = sign * alpha;  // position measured toward the kept side
   // The Löwner–John formulas are the minimal enclosing ellipsoid only for
   // a ∈ [−1/n, 1); below −1/n the minimal enclosure is E itself and the
@@ -67,35 +75,38 @@ void Ellipsoid::Cut(const Vector& b, double alpha, double sign) {
   double coef = 2.0 * (1.0 + nd * a) / ((nd + 1.0) * (1.0 + a));
   double step = (1.0 + nd * a) / (nd + 1.0);
 
-  // A ← factor · (A − coef · b·bᵀ);  c ← c − sign · step · b.
-  shape_.FusedScaleRankOne(factor, coef, b);
+  // With b = ax/half_width: A ← factor · (A − coef · b·bᵀ) becomes
+  // factor · (A − (coef/half_width²) · ax·axᵀ), and c ← c − sign·step·b
+  // becomes c − (sign·step/half_width)·ax — the normalized direction is
+  // never materialized.
+  shape_.FusedScaleRankOne(factor, coef / (half_width * half_width), ax);
   if (++cuts_since_symmetrize_ >= 32) {
     shape_.Symmetrize();
     cuts_since_symmetrize_ = 0;
   }
-  AxpyInPlace(-sign * step, b, &center_);
+  AxpyInPlace(-sign * step / half_width, ax, &center_);
 }
 
 void Ellipsoid::CutKeepBelow(const Vector& x, double alpha) {
   SupportInterval support = Support(x);
   PDM_CHECK(support.half_width > 0.0);
-  Cut(support.direction, alpha, +1.0);
+  Cut(support.direction, support.half_width, alpha, +1.0);
 }
 
 void Ellipsoid::CutKeepAbove(const Vector& x, double alpha) {
   SupportInterval support = Support(x);
   PDM_CHECK(support.half_width > 0.0);
-  Cut(support.direction, alpha, -1.0);
+  Cut(support.direction, support.half_width, alpha, -1.0);
 }
 
 void Ellipsoid::CutKeepBelow(const SupportInterval& support, double alpha) {
   PDM_CHECK(support.half_width > 0.0);
-  Cut(support.direction, alpha, +1.0);
+  Cut(support.direction, support.half_width, alpha, +1.0);
 }
 
 void Ellipsoid::CutKeepAbove(const SupportInterval& support, double alpha) {
   PDM_CHECK(support.half_width > 0.0);
-  Cut(support.direction, alpha, -1.0);
+  Cut(support.direction, support.half_width, alpha, -1.0);
 }
 
 bool Ellipsoid::Contains(const Vector& theta, double tol) const {

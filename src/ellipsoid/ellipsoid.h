@@ -33,8 +33,11 @@ struct SupportInterval {
   double half_width = 0.0;
   /// Midpoint xᵀc, the exploratory price candidate.
   double midpoint = 0.0;
-  /// The support direction b = A·x/√(xᵀAx) (empty when half_width = 0).
-  /// Cut overloads can reuse it to avoid recomputing the O(n²) mat-vec.
+  /// The raw support mat-vec A·x (empty when half_width = 0). The paper's
+  /// normalized direction is b = direction/half_width; the Cut overloads fold
+  /// the 1/half_width into their coefficients, which saves an O(n) scaling
+  /// pass on every round. Cut overloads reuse this buffer to avoid
+  /// recomputing the O(n²) mat-vec.
   Vector direction;
 };
 
@@ -54,6 +57,12 @@ class Ellipsoid {
   /// form underflows to ≤ 0 (a numerically collapsed direction), the interval
   /// degenerates to the midpoint with half_width 0.
   SupportInterval Support(const Vector& x) const;
+
+  /// Hot-path overload writing into a caller-owned interval whose `direction`
+  /// buffer is reused across rounds: steady-state calls perform no heap
+  /// allocation. `x` must not alias `out->direction`. Produces bit-identical
+  /// results to the by-value overload.
+  void Support(const Vector& x, SupportInterval* out) const;
 
   /// Signed cut position α for hyperplane {θ : xᵀθ = cut_value}.
   double CutAlpha(const Vector& x, double cut_value) const;
@@ -93,8 +102,10 @@ class Ellipsoid {
 
  private:
   /// Shared implementation: `sign` +1 keeps below (rejection), −1 keeps
-  /// above (acceptance). `b` is the support direction A·x/√(xᵀAx).
-  void Cut(const Vector& b, double alpha, double sign);
+  /// above (acceptance). `ax` is the raw support mat-vec A·x and
+  /// `half_width` = √(xᵀAx); the normalized direction b = ax/half_width is
+  /// never materialized — its scaling folds into the update coefficients.
+  void Cut(const Vector& ax, double half_width, double alpha, double sign);
 
   Vector center_;
   Matrix shape_;

@@ -7,20 +7,28 @@
 namespace pdm {
 
 Vector SortedPartitionFeatures(const Vector& compensations, int n) {
+  Vector sort_scratch;
+  Vector features;
+  SortedPartitionFeaturesInto(compensations, n, &sort_scratch, &features);
+  return features;
+}
+
+void SortedPartitionFeaturesInto(const Vector& compensations, int n,
+                                 Vector* sort_scratch, Vector* out) {
   int64_t m = static_cast<int64_t>(compensations.size());
   PDM_CHECK(n >= 1);
   PDM_CHECK(static_cast<int64_t>(n) <= m);
-  Vector sorted(compensations);
-  std::sort(sorted.begin(), sorted.end());
-  Vector features(static_cast<size_t>(n), 0.0);
+  PDM_DCHECK(sort_scratch != &compensations && out != &compensations);
+  sort_scratch->assign(compensations.begin(), compensations.end());
+  std::sort(sort_scratch->begin(), sort_scratch->end());
+  out->resize(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     int64_t begin = m * i / n;
     int64_t end = m * (i + 1) / n;
     double acc = 0.0;
-    for (int64_t k = begin; k < end; ++k) acc += sorted[static_cast<size_t>(k)];
-    features[static_cast<size_t>(i)] = acc;
+    for (int64_t k = begin; k < end; ++k) acc += (*sort_scratch)[static_cast<size_t>(k)];
+    (*out)[static_cast<size_t>(i)] = acc;
   }
-  return features;
 }
 
 }  // namespace pdm

@@ -20,6 +20,14 @@ namespace pdm {
 /// most one. The output preserves total mass: Sum(result) = Sum(input).
 Vector SortedPartitionFeatures(const Vector& compensations, int n);
 
+/// Fill-in variant for the per-round hot path. `sort_scratch` receives the
+/// sorted copy of `compensations` and `out` the n aggregated features; both
+/// buffers are reused across calls, so steady-state calls perform no heap
+/// allocation. Neither may alias `compensations`. Identical output to the
+/// by-value overload.
+void SortedPartitionFeaturesInto(const Vector& compensations, int n,
+                                 Vector* sort_scratch, Vector* out);
+
 }  // namespace pdm
 
 #endif  // PDM_FEATURES_AGGREGATION_H_

@@ -6,14 +6,35 @@
 
 namespace pdm {
 
-uint64_t Fnv1a64(const std::string& text) {
+uint64_t Fnv1a64(const std::string& text) { return Fnv1a64(text.data(), text.size()); }
+
+uint64_t Fnv1a64(const void* data, size_t len) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
   uint64_t hash = 0xcbf29ce484222325ULL;
-  for (unsigned char c : text) {
-    hash ^= c;
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
     hash *= 0x100000001b3ULL;
   }
   return hash;
 }
+
+namespace {
+
+/// Fixed-width little-endian (field, value) key: 4 + 8 bytes, encoded with
+/// shifts so the hash is identical on every platform. One spare byte lets
+/// the signed-hash draw use an independent key.
+constexpr size_t kFieldValueKeyBytes = 12;
+
+void EncodeFieldValueKey(int field, int64_t value,
+                         unsigned char out[kFieldValueKeyBytes + 1]) {
+  uint32_t f = static_cast<uint32_t>(field);
+  uint64_t v = static_cast<uint64_t>(value);
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<unsigned char>(f >> (8 * i));
+  for (int i = 0; i < 8; ++i) out[4 + i] = static_cast<unsigned char>(v >> (8 * i));
+  out[kFieldValueKeyBytes] = 's';  // suffix for the sign draw
+}
+
+}  // namespace
 
 HashingFeaturizer::HashingFeaturizer(int dim, bool signed_hash)
     : dim_(dim), signed_hash_(signed_hash) {
@@ -21,34 +42,51 @@ HashingFeaturizer::HashingFeaturizer(int dim, bool signed_hash)
 }
 
 int32_t HashingFeaturizer::SlotOf(int field, int64_t value) const {
-  std::string key = std::to_string(field) + ":" + std::to_string(value);
-  return static_cast<int32_t>(Fnv1a64(key) % static_cast<uint64_t>(dim_));
+  unsigned char key[kFieldValueKeyBytes + 1];
+  EncodeFieldValueKey(field, value, key);
+  return static_cast<int32_t>(Fnv1a64(key, kFieldValueKeyBytes) %
+                              static_cast<uint64_t>(dim_));
 }
 
 SparseVector HashingFeaturizer::Featurize(
     const std::vector<std::pair<int, int64_t>>& fields) const {
+  std::vector<std::pair<int32_t, double>> slot_scratch;
+  SparseVector out;
+  FeaturizeInto(fields, &slot_scratch, &out);
+  return out;
+}
+
+void HashingFeaturizer::FeaturizeInto(
+    const std::vector<std::pair<int, int64_t>>& fields,
+    std::vector<std::pair<int32_t, double>>* slot_scratch, SparseVector* out) const {
   // Accumulate per-slot (collisions add), then emit in index order.
-  std::vector<std::pair<int32_t, double>> slots;
-  slots.reserve(fields.size());
+  slot_scratch->clear();
+  slot_scratch->reserve(fields.size());
   for (const auto& [field, value] : fields) {
-    int32_t slot = SlotOf(field, value);
+    unsigned char key[kFieldValueKeyBytes + 1];
+    EncodeFieldValueKey(field, value, key);
+    int32_t slot = static_cast<int32_t>(Fnv1a64(key, kFieldValueKeyBytes) %
+                                        static_cast<uint64_t>(dim_));
     double sign = 1.0;
     if (signed_hash_) {
-      std::string key = std::to_string(field) + ":" + std::to_string(value) + "#s";
-      sign = (Fnv1a64(key) & 1) ? 1.0 : -1.0;
+      // Sign from a high bit of the 's'-suffixed key's hash: FNV-1a's
+      // multiply-by-odd-prime preserves the LSB, so bit 0 would be fully
+      // correlated with the slot parity for even dims (collisions would
+      // never cancel); bit 32 is decorrelated from the slot.
+      sign = ((Fnv1a64(key, kFieldValueKeyBytes + 1) >> 32) & 1) ? 1.0 : -1.0;
     }
-    slots.push_back({slot, sign});
+    slot_scratch->push_back({slot, sign});
   }
-  std::sort(slots.begin(), slots.end());
-  SparseVector out;
-  for (const auto& [slot, value] : slots) {
-    if (!out.indices.empty() && out.indices.back() == slot) {
-      out.values.back() += value;
+  std::sort(slot_scratch->begin(), slot_scratch->end());
+  out->indices.clear();
+  out->values.clear();
+  for (const auto& [slot, value] : *slot_scratch) {
+    if (!out->indices.empty() && out->indices.back() == slot) {
+      out->values.back() += value;
     } else {
-      out.Append(slot, value);
+      out->Append(slot, value);
     }
   }
-  return out;
 }
 
 }  // namespace pdm

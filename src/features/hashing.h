@@ -21,6 +21,10 @@ namespace pdm {
 /// 64-bit FNV-1a over a byte string (stable across platforms/runs).
 uint64_t Fnv1a64(const std::string& text);
 
+/// 64-bit FNV-1a over raw bytes — the allocation-free form the per-round
+/// featurizer hashes its fixed-width keys with.
+uint64_t Fnv1a64(const void* data, size_t len);
+
 class HashingFeaturizer {
  public:
   /// `dim` is the hashed dimension n; `signed_hash` flips the contribution
@@ -36,6 +40,15 @@ class HashingFeaturizer {
   /// Encodes the pairs into a sorted sparse one-hot vector; pairs that
   /// collide into one slot accumulate.
   SparseVector Featurize(const std::vector<std::pair<int, int64_t>>& fields) const;
+
+  /// Fill-in variant for the per-round hot path: `slot_scratch` holds the
+  /// (slot, sign) pairs before sorting and `out` the encoded vector; both are
+  /// reused across calls, so steady-state calls perform no heap allocation
+  /// (keys hash as fixed-width raw bytes — no string formatting). Identical
+  /// output to the by-value overload.
+  void FeaturizeInto(const std::vector<std::pair<int, int64_t>>& fields,
+                     std::vector<std::pair<int32_t, double>>* slot_scratch,
+                     SparseVector* out) const;
 
  private:
   int dim_;

@@ -39,15 +39,24 @@ LandmarkKernelMap::LandmarkKernelMap(std::shared_ptr<const Kernel> kernel, Matri
     : kernel_(std::move(kernel)), landmarks_(std::move(landmarks)) {
   PDM_CHECK(kernel_ != nullptr);
   PDM_CHECK(landmarks_.rows() > 0);
+  landmark_rows_.reserve(static_cast<size_t>(landmarks_.rows()));
+  for (int m = 0; m < landmarks_.rows(); ++m) {
+    landmark_rows_.push_back(landmarks_.Row(m));
+  }
 }
 
 Vector LandmarkKernelMap::Map(const Vector& x) const {
-  PDM_CHECK(static_cast<int>(x.size()) == input_dim());
-  Vector out(static_cast<size_t>(output_dim()));
-  for (int m = 0; m < output_dim(); ++m) {
-    out[static_cast<size_t>(m)] = (*kernel_)(x, landmarks_.Row(m));
-  }
+  Vector out;
+  MapInto(x, &out);
   return out;
+}
+
+void LandmarkKernelMap::MapInto(const Vector& x, Vector* out) const {
+  PDM_CHECK(static_cast<int>(x.size()) == input_dim());
+  out->resize(static_cast<size_t>(output_dim()));
+  for (size_t m = 0; m < landmark_rows_.size(); ++m) {
+    (*out)[m] = (*kernel_)(x, landmark_rows_[m]);
+  }
 }
 
 Matrix LandmarkKernelMap::LandmarkGram() const {

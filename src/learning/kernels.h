@@ -66,12 +66,20 @@ class LandmarkKernelMap {
 
   Vector Map(const Vector& x) const;
 
+  /// φ(x) into a caller-owned buffer (resized to output_dim(); steady-state
+  /// reuse performs no allocation — the per-round hot path of the kernelized
+  /// workload).
+  void MapInto(const Vector& x, Vector* out) const;
+
   /// Gram matrix K(l_i, l_j) of the landmarks (tests verify PSD-ness).
   Matrix LandmarkGram() const;
 
  private:
   std::shared_ptr<const Kernel> kernel_;
   Matrix landmarks_;
+  /// Landmarks as row vectors, cached at construction so MapInto evaluates
+  /// K(x, l_m) without materializing a row per call.
+  std::vector<Vector> landmark_rows_;
 };
 
 }  // namespace pdm

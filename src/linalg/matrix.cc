@@ -2,7 +2,46 @@
 
 #include <cmath>
 
+#include "common/arch.h"
+
 namespace pdm {
+namespace {
+
+/// Row-major mat-vec with a reassociated 4-accumulator inner reduction (see
+/// vector_ops.cc's DotKernel for the rationale). `x` must not alias `y`.
+PDM_TARGET_CLONES
+void MatVecKernel(const double* __restrict data, int rows, int cols,
+                  const double* __restrict x, double* __restrict y) {
+  for (int r = 0; r < rows; ++r) {
+    const double* __restrict row = data + static_cast<size_t>(r) * cols;
+    double acc[4] = {0.0, 0.0, 0.0, 0.0};
+    int c = 0;
+    for (; c + 4 <= cols; c += 4) {
+      acc[0] += row[c] * x[c];
+      acc[1] += row[c + 1] * x[c + 1];
+      acc[2] += row[c + 2] * x[c + 2];
+      acc[3] += row[c + 3] * x[c + 3];
+    }
+    double total = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (; c < cols; ++c) total += row[c] * x[c];
+    y[r] = total;
+  }
+}
+
+/// A ← factor·(A − coef·b·bᵀ), elementwise — the fused Löwner–John update.
+PDM_TARGET_CLONES
+void FusedScaleRankOneKernel(double* __restrict data, int n, double factor,
+                             double coef, const double* __restrict b) {
+  for (int r = 0; r < n; ++r) {
+    double* __restrict row = data + static_cast<size_t>(r) * n;
+    double cr = coef * b[r];
+    for (int c = 0; c < n; ++c) {
+      row[c] = factor * (row[c] - cr * b[c]);
+    }
+  }
+}
+
+}  // namespace
 
 Matrix::Matrix(int rows, int cols) : rows_(rows), cols_(cols) {
   PDM_CHECK(rows >= 0 && cols >= 0);
@@ -30,26 +69,33 @@ Matrix Matrix::FromRows(const std::vector<Vector>& rows) {
 }
 
 Vector Matrix::MatVec(const Vector& x) const {
-  PDM_CHECK(static_cast<int>(x.size()) == cols_);
-  Vector y(static_cast<size_t>(rows_), 0.0);
-  for (int r = 0; r < rows_; ++r) {
-    const double* row = data_.data() + static_cast<size_t>(r) * cols_;
-    double acc = 0.0;
-    for (int c = 0; c < cols_; ++c) acc += row[c] * x[static_cast<size_t>(c)];
-    y[static_cast<size_t>(r)] = acc;
-  }
+  Vector y;
+  MatVecInto(x, &y);
   return y;
 }
 
+void Matrix::MatVecInto(const Vector& x, Vector* y) const {
+  PDM_CHECK(static_cast<int>(x.size()) == cols_);
+  PDM_DCHECK(&x != y);
+  y->resize(static_cast<size_t>(rows_));
+  MatVecKernel(data_.data(), rows_, cols_, x.data(), y->data());
+}
+
 Vector Matrix::MatTVec(const Vector& x) const {
+  Vector y;
+  MatTVecInto(x, &y);
+  return y;
+}
+
+void Matrix::MatTVecInto(const Vector& x, Vector* y) const {
   PDM_CHECK(static_cast<int>(x.size()) == rows_);
-  Vector y(static_cast<size_t>(cols_), 0.0);
+  PDM_DCHECK(&x != y);
+  y->assign(static_cast<size_t>(cols_), 0.0);
   for (int r = 0; r < rows_; ++r) {
     const double* row = data_.data() + static_cast<size_t>(r) * cols_;
     double xr = x[static_cast<size_t>(r)];
-    for (int c = 0; c < cols_; ++c) y[static_cast<size_t>(c)] += row[c] * xr;
+    for (int c = 0; c < cols_; ++c) (*y)[static_cast<size_t>(c)] += row[c] * xr;
   }
-  return y;
 }
 
 double Matrix::QuadraticForm(const Vector& x) const {
@@ -65,6 +111,12 @@ double Matrix::QuadraticForm(const Vector& x) const {
   return acc;
 }
 
+void Matrix::FusedScaleRankOne(double factor, double coef, const Vector& b) {
+  PDM_CHECK(rows_ == cols_);
+  PDM_CHECK(static_cast<int>(b.size()) == cols_);
+  FusedScaleRankOneKernel(data_.data(), rows_, factor, coef, b.data());
+}
+
 void Matrix::AddRankOne(double s, const Vector& b) {
   PDM_CHECK(rows_ == cols_);
   PDM_CHECK(static_cast<int>(b.size()) == cols_);
@@ -77,19 +129,6 @@ void Matrix::AddRankOne(double s, const Vector& b) {
 
 void Matrix::Scale(double s) {
   for (double& x : data_) x *= s;
-}
-
-void Matrix::FusedScaleRankOne(double factor, double coef, const Vector& b) {
-  PDM_CHECK(rows_ == cols_);
-  PDM_CHECK(static_cast<int>(b.size()) == cols_);
-  const double* bp = b.data();
-  for (int r = 0; r < rows_; ++r) {
-    double* row = data_.data() + static_cast<size_t>(r) * cols_;
-    double cr = coef * bp[r];
-    for (int c = 0; c < cols_; ++c) {
-      row[c] = factor * (row[c] - cr * bp[c]);
-    }
-  }
 }
 
 void Matrix::Symmetrize() {

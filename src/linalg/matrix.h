@@ -44,8 +44,16 @@ class Matrix {
   /// y = A·x.
   Vector MatVec(const Vector& x) const;
 
+  /// y ← A·x into a caller-owned buffer (resized to rows(); steady-state
+  /// reuse performs no allocation). `x` must not alias `*y`. This is the
+  /// per-round hot kernel of the ellipsoid support computation.
+  void MatVecInto(const Vector& x, Vector* y) const;
+
   /// y = Aᵀ·x.
   Vector MatTVec(const Vector& x) const;
+
+  /// y ← Aᵀ·x with the MatVecInto reuse/aliasing contract.
+  void MatTVecInto(const Vector& x, Vector* y) const;
 
   /// Quadratic form xᵀ·A·x (square matrices only).
   double QuadraticForm(const Vector& x) const;

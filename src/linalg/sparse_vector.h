@@ -49,12 +49,20 @@ struct SparseVector {
 
   /// Materializes into a dense n-vector.
   Vector ToDense(int n) const {
-    Vector out = Zeros(n);
+    Vector out;
+    ToDenseInto(n, &out);
+    return out;
+  }
+
+  /// Fill-in variant for the per-round hot path: zeroes and reuses `out`'s
+  /// storage (steady-state calls perform no heap allocation). Duplicate
+  /// indices accumulate, matching ToDense.
+  void ToDenseInto(int n, Vector* out) const {
+    out->assign(static_cast<size_t>(n), 0.0);
     for (size_t k = 0; k < indices.size(); ++k) {
       PDM_CHECK(indices[k] >= 0 && indices[k] < n);
-      out[static_cast<size_t>(indices[k])] += values[k];
+      (*out)[static_cast<size_t>(indices[k])] += values[k];
     }
-    return out;
   }
 };
 

@@ -25,7 +25,9 @@ Vector Ones(int n);
 /// Standard basis vector e_i in R^n.
 Vector BasisVector(int n, int i);
 
-/// Dot product; the vectors must have equal length.
+/// Dot product; the vectors must have equal length. Evaluated with a fixed
+/// reassociated (SIMD-friendly) 4-accumulator reduction — deterministic per
+/// build and machine, equal to the sequential sum up to rounding.
 double Dot(const Vector& a, const Vector& b);
 
 /// Euclidean norm ‖a‖₂.
@@ -42,6 +44,16 @@ void ScaleInPlace(Vector* a, double s);
 
 /// In-place y ← y + s·x (BLAS axpy).
 void AxpyInPlace(double s, const Vector& x, Vector* y);
+
+/// out ← a + b. `out` is resized to match; steady-state reuse of the same
+/// buffer performs no allocation. `out` may alias `a` or `b`.
+void AddInto(const Vector& a, const Vector& b, Vector* out);
+
+/// out ← a − b. Same reuse/aliasing contract as AddInto.
+void SubInto(const Vector& a, const Vector& b, Vector* out);
+
+/// out ← s·a. Same reuse/aliasing contract as AddInto.
+void ScaledInto(const Vector& a, double s, Vector* out);
 
 /// Returns a + b.
 Vector Add(const Vector& a, const Vector& b);

@@ -14,23 +14,23 @@ AdversarialQueryStream::AdversarialQueryStream(const AdversarialStreamConfig& co
             1.0 + 1e-12);
 }
 
-MarketRound AdversarialQueryStream::Next(Rng* rng) {
+void AdversarialQueryStream::Next(Rng* rng, MarketRound* round) {
   (void)rng;  // the adversary is deterministic
   PDM_CHECK(engine_ != nullptr);
-  MarketRound round;
+  // e₁ in phase 1, e₂ in phase 2; assign() reuses the caller's storage.
+  round->features.assign(static_cast<size_t>(config_.dim), 0.0);
   if (round_index_ < phase_one_rounds()) {
-    round.features = BasisVector(config_.dim, 0);
+    round->features[0] = 1.0;
     // Reserve pinned to the engine's current mid-price along e₁ — exactly the
     // cut position a conservative-cutting engine would use.
-    round.reserve = engine_->EstimateValueInterval(round.features).midpoint();
-    round.value = config_.theta1;
+    round->reserve = engine_->EstimateValueInterval(round->features).midpoint();
+    round->value = config_.theta1;
   } else {
-    round.features = BasisVector(config_.dim, 1);
-    round.reserve = 0.0;  // "discarding the reserve price constraint"
-    round.value = config_.theta2;
+    round->features[1] = 1.0;
+    round->reserve = 0.0;  // "discarding the reserve price constraint"
+    round->value = config_.theta2;
   }
   ++round_index_;
-  return round;
 }
 
 }  // namespace pdm

@@ -35,7 +35,8 @@ class AdversarialQueryStream : public QueryStream {
  public:
   explicit AdversarialQueryStream(const AdversarialStreamConfig& config);
 
-  MarketRound Next(Rng* rng) override;
+  using QueryStream::Next;
+  void Next(Rng* rng, MarketRound* round) override;
   void BindEngine(const PricingEngine* engine) override { engine_ = engine; }
 
   int64_t phase_one_rounds() const { return config_.horizon / 2; }

@@ -119,11 +119,12 @@ ReplayQueryStream::ReplayQueryStream(const std::vector<MarketRound>* rounds)
   PDM_CHECK(!rounds_->empty());
 }
 
-MarketRound ReplayQueryStream::Next(Rng* rng) {
+void ReplayQueryStream::Next(Rng* rng, MarketRound* round) {
   (void)rng;
-  MarketRound round = (*rounds_)[cursor_];
+  // Copy-assign reuses the caller's feature storage: once the buffer has
+  // grown to the workload's dimension, replay rounds allocate nothing.
+  *round = (*rounds_)[cursor_];
   cursor_ = (cursor_ + 1) % rounds_->size();
-  return round;
 }
 
 }  // namespace pdm

@@ -58,7 +58,8 @@ class ReplayQueryStream : public QueryStream {
  public:
   explicit ReplayQueryStream(const std::vector<MarketRound>* rounds);
 
-  MarketRound Next(Rng* rng) override;
+  using QueryStream::Next;
+  void Next(Rng* rng, MarketRound* round) override;
 
  private:
   const std::vector<MarketRound>* rounds_;

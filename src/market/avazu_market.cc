@@ -83,26 +83,27 @@ int AvazuQueryStream::feature_dim() const {
   return dense_ ? static_cast<int>(market_->support.size()) : featurizer_.dim();
 }
 
-MarketRound AvazuQueryStream::Next(Rng* rng) {
-  AdImpression sample = log_->Next(rng);
-  SparseVector hashed = featurizer_.Featurize(sample.fields);
+void AvazuQueryStream::Next(Rng* rng, MarketRound* round) {
+  log_->Next(rng, &ws_.impression);
+  featurizer_.FeaturizeInto(ws_.impression.fields, &ws_.slot_scratch, &ws_.hashed);
 
-  MarketRound round;
-  round.reserve = 0.0;  // impressions carry no reserve; Fig. 5(c) is pure
+  round->reserve = 0.0;  // impressions carry no reserve; Fig. 5(c) is pure
+  // assign() reuses the caller's feature storage in both encodings.
   if (dense_) {
     // Project onto the support; zero-weight coordinates carry no value signal
     // ("the dense case ... omits those features if their weights are zero").
-    round.features = Zeros(feature_dim());
-    for (size_t k = 0; k < hashed.indices.size(); ++k) {
-      int32_t mapped = slot_to_dense_[static_cast<size_t>(hashed.indices[k])];
-      if (mapped > 0) round.features[static_cast<size_t>(mapped - 1)] = hashed.values[k];
+    round->features.assign(static_cast<size_t>(feature_dim()), 0.0);
+    for (size_t k = 0; k < ws_.hashed.indices.size(); ++k) {
+      int32_t mapped = slot_to_dense_[static_cast<size_t>(ws_.hashed.indices[k])];
+      if (mapped > 0) {
+        round->features[static_cast<size_t>(mapped - 1)] = ws_.hashed.values[k];
+      }
     }
-    round.value = Sigmoid(Dot(round.features, dense_theta_) + market_->bias);
+    round->value = Sigmoid(Dot(round->features, dense_theta_) + market_->bias);
   } else {
-    round.features = hashed.ToDense(featurizer_.dim());
-    round.value = Sigmoid(hashed.Dot(market_->theta) + market_->bias);
+    ws_.hashed.ToDenseInto(featurizer_.dim(), &round->features);
+    round->value = Sigmoid(ws_.hashed.Dot(market_->theta) + market_->bias);
   }
-  return round;
 }
 
 }  // namespace pdm

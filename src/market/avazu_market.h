@@ -67,12 +67,21 @@ class AvazuQueryStream : public QueryStream {
   AvazuQueryStream(const AvazuLikeClickLog* log, const AvazuMarket* market, int hashed_dim,
                    bool dense);
 
-  MarketRound Next(Rng* rng) override;
+  using QueryStream::Next;
+  void Next(Rng* rng, MarketRound* round) override;
 
   /// Engine-facing feature dimension (hashed_dim or |support|).
   int feature_dim() const;
 
  private:
+  /// Per-round scratch reused across Next() calls: the drawn impression, the
+  /// featurizer's slot buffer, and the hashed sparse encoding.
+  struct Workspace {
+    AdImpression impression;
+    std::vector<std::pair<int32_t, double>> slot_scratch;
+    SparseVector hashed;
+  };
+
   const AvazuLikeClickLog* log_;
   const AvazuMarket* market_;
   HashingFeaturizer featurizer_;
@@ -81,6 +90,7 @@ class AvazuQueryStream : public QueryStream {
   std::vector<int32_t> slot_to_dense_;
   /// θ* restricted to the support (dense mode).
   Vector dense_theta_;
+  Workspace ws_;
 };
 
 }  // namespace pdm

@@ -33,14 +33,12 @@ KernelQueryStream::KernelQueryStream(const KernelMarketConfig& config, Rng* rng)
   }
 }
 
-MarketRound KernelQueryStream::Next(Rng* rng) {
+void KernelQueryStream::Next(Rng* rng, MarketRound* round) {
   PDM_CHECK(rng != nullptr);
-  MarketRound round;
-  round.features = rng->UniformVector(config_.input_dim, -1.0, 1.0);
-  Vector phi = map_->Map(round.features);
-  round.value = Dot(phi, theta_);
-  round.reserve = config_.reserve_fraction * round.value;
-  return round;
+  rng->UniformVectorInto(config_.input_dim, -1.0, 1.0, &round->features);
+  map_->MapInto(round->features, &phi_scratch_);
+  round->value = Dot(phi_scratch_, theta_);
+  round->reserve = config_.reserve_fraction * round->value;
 }
 
 double KernelQueryStream::RecommendedRadius() const { return 2.0 * Norm2(theta_); }

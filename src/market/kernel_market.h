@@ -42,7 +42,8 @@ class KernelQueryStream : public QueryStream {
   /// m kernel features) from `rng`.
   KernelQueryStream(const KernelMarketConfig& config, Rng* rng);
 
-  MarketRound Next(Rng* rng) override;
+  using QueryStream::Next;
+  void Next(Rng* rng, MarketRound* round) override;
 
   /// The public feature map φ(x) = (K(x, l_1), …, K(x, l_m)) the engine
   /// should price over.
@@ -61,6 +62,9 @@ class KernelQueryStream : public QueryStream {
   KernelMarketConfig config_;
   std::shared_ptr<const LandmarkKernelMap> map_;
   Vector theta_;
+  /// φ(x) scratch reused across rounds (kept out of MarketRound: the engine
+  /// prices the *raw* features; φ is applied by its own feature map).
+  Vector phi_scratch_;
 };
 
 }  // namespace pdm

@@ -53,20 +53,21 @@ NoisyLinearQueryStream::NoisyLinearQueryStream(const NoisyLinearMarketConfig& co
   PDM_CHECK(config_.value_noise_sigma >= 0.0);
 }
 
-MarketRound NoisyLinearQueryStream::Next(Rng* rng) {
-  NoisyLinearQuery query = query_generator_.Next(rng);
-  Vector compensations = ledger_.Compensations(query);
-  Vector x = SortedPartitionFeatures(compensations, config_.feature_dim);
-  L2NormalizeInPlace(&x);  // ‖x_t‖ = 1 ⇒ S = 1
+void NoisyLinearQueryStream::Next(Rng* rng, MarketRound* round) {
+  // Whole pipeline runs in reused buffers: query weights, compensations, the
+  // aggregation's sort scratch, and the caller's feature vector.
+  query_generator_.Next(rng, &ws_.query);
+  ledger_.CompensationsInto(ws_.query, &ws_.compensations);
+  SortedPartitionFeaturesInto(ws_.compensations, config_.feature_dim,
+                              &ws_.sort_scratch, &round->features);
+  L2NormalizeInPlace(&round->features);  // ‖x_t‖ = 1 ⇒ S = 1
 
-  MarketRound round;
-  round.reserve = Sum(x);  // q_t = Σᵢ x_{t,i} (total compensation, rescaled)
+  // q_t = Σᵢ x_{t,i} (total compensation, rescaled)
+  round->reserve = Sum(round->features);
   double noise = config_.value_noise_sigma > 0.0
                      ? rng->NextGaussian(0.0, config_.value_noise_sigma)
                      : 0.0;
-  round.value = Dot(x, theta_) + noise;
-  round.features = std::move(x);
-  return round;
+  round->value = Dot(round->features, theta_) + noise;
 }
 
 double NoisyLinearQueryStream::RecommendedRadius() const {

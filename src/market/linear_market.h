@@ -57,7 +57,8 @@ class NoisyLinearQueryStream : public QueryStream {
   /// to Next().
   NoisyLinearQueryStream(const NoisyLinearMarketConfig& config, Rng* rng);
 
-  MarketRound Next(Rng* rng) override;
+  using QueryStream::Next;
+  void Next(Rng* rng, MarketRound* round) override;
 
   const Vector& theta() const { return theta_; }
   const NoisyLinearMarketConfig& config() const { return config_; }
@@ -66,10 +67,20 @@ class NoisyLinearQueryStream : public QueryStream {
   double RecommendedRadius() const;
 
  private:
+  /// Per-round scratch reused across Next() calls: the query's owner-weight
+  /// vector, the per-owner compensations, and the sort buffer of the
+  /// partition aggregation. Once warm, a round allocates nothing.
+  struct Workspace {
+    NoisyLinearQuery query;
+    Vector compensations;
+    Vector sort_scratch;
+  };
+
   NoisyLinearMarketConfig config_;
   CompensationLedger ledger_;
   NoisyLinearQueryGenerator query_generator_;
   Vector theta_;
+  Workspace ws_;
 };
 
 }  // namespace pdm

@@ -30,8 +30,21 @@ class QueryStream {
  public:
   virtual ~QueryStream() = default;
 
-  /// Next round's query. `rng` drives any stochastic part of the workload.
-  virtual MarketRound Next(Rng* rng) = 0;
+  /// Fills `*round` with the next query; `rng` drives any stochastic part of
+  /// the workload. This is the per-round hot path: implementations must
+  /// overwrite every MarketRound field and reuse `round->features`' storage,
+  /// so steady-state calls perform no heap allocation. Overriding this hides
+  /// the by-value convenience overload — re-expose it with
+  /// `using QueryStream::Next;`.
+  virtual void Next(Rng* rng, MarketRound* round) = 0;
+
+  /// By-value convenience wrapper (tests, examples, workload recording);
+  /// produces bit-identical rounds to the fill-in overload.
+  MarketRound Next(Rng* rng) {
+    MarketRound round;
+    Next(rng, &round);
+    return round;
+  }
 
   /// Adaptive adversaries (Lemma 8) may inspect the engine's current
   /// knowledge set when crafting the next query; benign streams ignore this.

@@ -21,6 +21,12 @@ SimulationRunner::SimulationRunner(const RunnerOptions& options) {
 }
 
 ScenarioResult SimulationRunner::RunScenario(const ScenarioSpec& spec) {
+  SimulationScratch scratch;
+  return RunScenario(spec, &scratch);
+}
+
+ScenarioResult SimulationRunner::RunScenario(const ScenarioSpec& spec,
+                                             SimulationScratch* scratch) {
   PDM_CHECK(spec.make_stream != nullptr);
   PDM_CHECK(spec.make_engine != nullptr);
 
@@ -38,7 +44,7 @@ ScenarioResult SimulationRunner::RunScenario(const ScenarioSpec& spec) {
   out.name = spec.name;
   out.seed = spec.seed;
   out.engine_name = engine->name();
-  out.result = RunMarket(stream.get(), engine.get(), spec.options, &rng);
+  out.result = RunMarket(stream.get(), engine.get(), spec.options, &rng, scratch);
   return out;
 }
 
@@ -51,8 +57,9 @@ std::vector<ScenarioResult> SimulationRunner::RunAll(
       static_cast<int>(std::min<size_t>(scenarios.size(),
                                         static_cast<size_t>(num_threads_)));
   if (workers <= 1) {
+    SimulationScratch scratch;
     for (size_t i = 0; i < scenarios.size(); ++i) {
-      results[i] = RunScenario(scenarios[i]);
+      results[i] = RunScenario(scenarios[i], &scratch);
     }
     return results;
   }
@@ -66,11 +73,14 @@ std::vector<ScenarioResult> SimulationRunner::RunAll(
   std::vector<std::exception_ptr> errors(scenarios.size());
   std::atomic<size_t> next{0};
   auto worker = [&]() {
+    // Per-thread scratch: the round buffers are allocated once per worker
+    // and reused across every scenario the worker claims.
+    SimulationScratch scratch;
     for (;;) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= scenarios.size()) return;
       try {
-        results[i] = RunScenario(scenarios[i]);
+        results[i] = RunScenario(scenarios[i], &scratch);
       } catch (...) {
         errors[i] = std::current_exception();
       }

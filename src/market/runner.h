@@ -72,6 +72,13 @@ class SimulationRunner {
   /// exactly a concurrent map of this function.
   static ScenarioResult RunScenario(const ScenarioSpec& spec);
 
+  /// Scratch-reusing variant: `RunAll` workers hold one `SimulationScratch`
+  /// per thread and pass it to every scenario they execute, so the per-round
+  /// buffers are allocated once per worker rather than once per scenario.
+  /// Results are bit-identical to the convenience overload.
+  static ScenarioResult RunScenario(const ScenarioSpec& spec,
+                                    SimulationScratch* scratch);
+
   /// Effective worker count after resolving the 0 = hardware default.
   int num_threads() const { return num_threads_; }
 

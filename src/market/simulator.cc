@@ -7,9 +7,17 @@ namespace pdm {
 
 SimulationResult RunMarket(QueryStream* stream, PricingEngine* engine,
                            const SimulationOptions& options, Rng* rng) {
+  SimulationScratch scratch;
+  return RunMarket(stream, engine, options, rng, &scratch);
+}
+
+SimulationResult RunMarket(QueryStream* stream, PricingEngine* engine,
+                           const SimulationOptions& options, Rng* rng,
+                           SimulationScratch* scratch) {
   PDM_CHECK(stream != nullptr);
   PDM_CHECK(engine != nullptr);
   PDM_CHECK(rng != nullptr);
+  PDM_CHECK(scratch != nullptr);
   PDM_CHECK(options.rounds > 0);
 
   SimulationResult result;
@@ -19,8 +27,11 @@ SimulationResult RunMarket(QueryStream* stream, PricingEngine* engine,
   WallTimer total_timer;
   double engine_seconds = 0.0;
   WallTimer round_timer;
+  // One MarketRound for the whole simulation: the stream refills it (and its
+  // feature buffer) in place, so steady-state rounds perform no allocation.
+  MarketRound& round = scratch->round;
   for (int64_t t = 0; t < options.rounds; ++t) {
-    MarketRound round = stream->Next(rng);
+    stream->Next(rng, &round);
     if (options.measure_latency) round_timer.Restart();
     PostedPrice posted = engine->PostPrice(round.features, round.reserve);
     bool accepted = !posted.certain_no_sale && posted.price <= round.value;

@@ -33,12 +33,26 @@ struct SimulationResult {
   double engine_millis_per_round = 0.0;
 };
 
+/// Reusable cross-simulation scratch. One MarketRound is allocated per
+/// simulation (not per round) and its feature buffer is refilled in place by
+/// the stream each round; holding the scratch outside RunMarket lets a
+/// SimulationRunner worker thread reuse it across every scenario it executes.
+struct SimulationScratch {
+  MarketRound round;
+};
+
 /// Runs the loop. The stream is bound to the engine first so adaptive
 /// adversaries can observe the knowledge set. A round's sale resolves as
 /// accepted ⇔ (offer actually made) ∧ (price ≤ value); certain-no-sale
 /// rounds never sell (the broker withholds the offer).
 SimulationResult RunMarket(QueryStream* stream, PricingEngine* engine,
                            const SimulationOptions& options, Rng* rng);
+
+/// Scratch-reusing overload: bit-identical to the convenience overload, which
+/// simply calls it with a local scratch.
+SimulationResult RunMarket(QueryStream* stream, PricingEngine* engine,
+                           const SimulationOptions& options, Rng* rng,
+                           SimulationScratch* scratch);
 
 }  // namespace pdm
 

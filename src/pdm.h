@@ -26,8 +26,10 @@
 ///  * `pdm::NoisyLinearQueryStream` / `BuildAirbnbMarket` / `BuildAvazuMarket`
 ///    / `KernelQueryStream` — the paper's application workloads.
 ///
-/// See README.md for a quickstart, DESIGN.md for the system inventory, and
-/// EXPERIMENTS.md for the paper-vs-measured reproduction record.
+/// See README.md for a quickstart and the hot-path performance conventions,
+/// and DESIGN.md for the system inventory and the recorded deviations from
+/// the paper (each bench binary prints its paper-vs-measured comparison
+/// inline).
 
 #include "ellipsoid/ellipsoid.h"
 #include "market/adversarial.h"

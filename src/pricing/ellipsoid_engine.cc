@@ -55,7 +55,11 @@ PostedPrice EllipsoidPricingEngine::PostPrice(const Vector& features, double res
   PDM_CHECK(static_cast<int>(features.size()) == config_.dim);
   ++counters_.rounds;
 
-  SupportInterval support = ellipsoid_.Support(features);
+  // The pending interval doubles as the engine's reusable workspace: its
+  // direction buffer is written in place, so steady-state rounds allocate
+  // nothing.
+  ellipsoid_.Support(features, &pending_support_);
+  const SupportInterval& support = pending_support_;
 
   double q = config_.use_reserve ? reserve : -std::numeric_limits<double>::infinity();
 
@@ -69,7 +73,6 @@ PostedPrice EllipsoidPricingEngine::PostPrice(const Vector& features, double res
     posted.certain_no_sale = true;
     pending_ = PendingKind::kSkip;
     pending_price_ = posted.price;
-    pending_support_ = std::move(support);
     return posted;
   }
 
@@ -88,7 +91,6 @@ PostedPrice EllipsoidPricingEngine::PostPrice(const Vector& features, double res
     ++counters_.conservative_rounds;
   }
   pending_price_ = posted.price;
-  pending_support_ = std::move(support);
   return posted;
 }
 
@@ -131,8 +133,13 @@ void EllipsoidPricingEngine::Observe(bool accepted) {
 }
 
 ValueInterval EllipsoidPricingEngine::EstimateValueInterval(const Vector& features) const {
-  SupportInterval support = ellipsoid_.Support(features);
-  return ValueInterval{support.lower, support.upper};
+  // Allocation-free equivalent of Support(): the bounds need only the
+  // midpoint and the quadratic form, not the support direction. Adaptive
+  // streams (market/adversarial.h) call this every round.
+  double mid = Dot(features, ellipsoid_.center());
+  double quad = ellipsoid_.shape().QuadraticForm(features);
+  double half = (quad > 0.0 && std::isfinite(quad)) ? std::sqrt(quad) : 0.0;
+  return ValueInterval{mid - half, mid + half};
 }
 
 std::string EllipsoidPricingEngine::name() const {

@@ -80,9 +80,12 @@ class EllipsoidPricingEngine : public PricingEngine {
   Ellipsoid ellipsoid_;
   EngineCounters counters_;
 
-  // Context of the round awaiting feedback. The support interval carries the
-  // direction b = A·x/√(xᵀAx) so Observe() can cut without recomputing the
-  // O(n²) mat-vec.
+  // Context of the round awaiting feedback, doubling as the engine's
+  // reusable workspace: PostPrice writes the support computation into it in
+  // place (the direction buffer holds the raw A·x — see SupportInterval —
+  // and is reused across rounds, so steady-state rounds perform no heap
+  // allocation) and Observe() cuts with it without recomputing the O(n²)
+  // mat-vec.
   PendingKind pending_ = PendingKind::kNone;
   SupportInterval pending_support_;
   double pending_price_ = 0.0;

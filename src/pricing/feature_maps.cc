@@ -11,11 +11,16 @@ ElementwiseLogMap::ElementwiseLogMap(double floor) : floor_(floor) {
 }
 
 Vector ElementwiseLogMap::Map(const Vector& x) const {
-  Vector out(x.size());
-  for (size_t i = 0; i < x.size(); ++i) {
-    out[i] = std::log(std::max(x[i], floor_));
-  }
+  Vector out;
+  MapInto(x, &out);
   return out;
+}
+
+void ElementwiseLogMap::MapInto(const Vector& x, Vector* out) const {
+  out->resize(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    (*out)[i] = std::log(std::max(x[i], floor_));
+  }
 }
 
 KernelFeatureMap::KernelFeatureMap(std::shared_ptr<const LandmarkKernelMap> map)
@@ -24,6 +29,10 @@ KernelFeatureMap::KernelFeatureMap(std::shared_ptr<const LandmarkKernelMap> map)
 }
 
 Vector KernelFeatureMap::Map(const Vector& x) const { return map_->Map(x); }
+
+void KernelFeatureMap::MapInto(const Vector& x, Vector* out) const {
+  map_->MapInto(x, out);
+}
 
 int KernelFeatureMap::output_dim(int input_dim) const {
   PDM_CHECK(input_dim == map_->input_dim());

@@ -21,6 +21,12 @@ class FeatureMap {
   /// φ(x).
   virtual Vector Map(const Vector& x) const = 0;
 
+  /// φ(x) into a caller-owned buffer that is reused across rounds; the
+  /// per-round hot path calls this, so overrides must not allocate once the
+  /// buffer has reached its steady-state capacity. `x` must not alias `*out`.
+  /// The default forwards to Map() (allocating — override on hot maps).
+  virtual void MapInto(const Vector& x, Vector* out) const { *out = Map(x); }
+
   /// Output dimension m of φ given the raw input dimension.
   virtual int output_dim(int input_dim) const = 0;
 
@@ -31,6 +37,9 @@ class FeatureMap {
 class IdentityFeatureMap : public FeatureMap {
  public:
   Vector Map(const Vector& x) const override { return x; }
+  void MapInto(const Vector& x, Vector* out) const override {
+    out->assign(x.begin(), x.end());
+  }
   int output_dim(int input_dim) const override { return input_dim; }
   std::string name() const override { return "identity"; }
 };
@@ -42,6 +51,7 @@ class ElementwiseLogMap : public FeatureMap {
  public:
   explicit ElementwiseLogMap(double floor = 1e-12);
   Vector Map(const Vector& x) const override;
+  void MapInto(const Vector& x, Vector* out) const override;
   int output_dim(int input_dim) const override { return input_dim; }
   std::string name() const override { return "elementwise-log"; }
 
@@ -55,6 +65,7 @@ class KernelFeatureMap : public FeatureMap {
  public:
   explicit KernelFeatureMap(std::shared_ptr<const LandmarkKernelMap> map);
   Vector Map(const Vector& x) const override;
+  void MapInto(const Vector& x, Vector* out) const override;
   int output_dim(int input_dim) const override;
   std::string name() const override { return "landmark-kernel"; }
 

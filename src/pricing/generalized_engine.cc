@@ -26,9 +26,9 @@ PostedPrice GeneralizedPricingEngine::PostPrice(const Vector& features, double r
     posted.certain_no_sale = true;
     return posted;
   }
-  Vector z_features = map_->Map(features);
+  map_->MapInto(features, &ws_.z_features);
   double z_reserve = link_->Inverse(reserve);
-  PostedPrice z_posted = base_->PostPrice(z_features, z_reserve);
+  PostedPrice z_posted = base_->PostPrice(ws_.z_features, z_reserve);
   PostedPrice posted = z_posted;
   posted.price = std::max(link_->Apply(z_posted.price), reserve);
   return posted;
@@ -43,7 +43,10 @@ void GeneralizedPricingEngine::Observe(bool accepted) {
 }
 
 ValueInterval GeneralizedPricingEngine::EstimateValueInterval(const Vector& features) const {
-  ValueInterval z = base_->EstimateValueInterval(map_->Map(features));
+  // Adaptive streams call this every round; its own scratch keeps the call
+  // allocation-free without touching the pending round's φ(x) buffer.
+  map_->MapInto(features, &ws_.z_estimate);
+  ValueInterval z = base_->EstimateValueInterval(ws_.z_estimate);
   return ValueInterval{link_->Apply(z.lower), link_->Apply(z.upper)};
 }
 

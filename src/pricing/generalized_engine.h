@@ -40,10 +40,23 @@ class GeneralizedPricingEngine : public PricingEngine {
   const PricingEngine& base() const { return *base_; }
 
  private:
+  /// Scratch buffers reused across rounds so steady-state calls perform no
+  /// heap allocation (the workspace convention of README's Performance
+  /// section). Mutable because EstimateValueInterval is a const observer on
+  /// the adaptive-stream hot path; it gets its own buffer so interleaved
+  /// diagnostic calls never clobber the pending round's φ(x).
+  struct Workspace {
+    /// φ(x) target of MapInto in PostPrice.
+    Vector z_features;
+    /// φ(x) target of MapInto in EstimateValueInterval.
+    Vector z_estimate;
+  };
+
   std::unique_ptr<PricingEngine> base_;
   std::shared_ptr<const LinkFunction> link_;
   std::shared_ptr<const FeatureMap> map_;
   bool pending_skip_ = false;
+  mutable Workspace ws_;
 };
 
 }  // namespace pdm

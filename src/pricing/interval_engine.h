@@ -53,6 +53,9 @@ class IntervalPricingEngine : public PricingEngine {
  private:
   enum class PendingKind { kNone, kExploratory, kConservative, kSkip };
 
+  // The 1-d knowledge set is two scalars, so this engine needs no vector
+  // workspace: rounds are allocation-free by construction (covered by the
+  // allocation regression test all the same).
   IntervalEngineConfig config_;
   double epsilon_;
   double lo_;

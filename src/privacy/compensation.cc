@@ -37,13 +37,22 @@ CompensationLedger CompensationLedger::Random(int num_owners, double base_scale,
 }
 
 Vector CompensationLedger::Compensations(const NoisyLinearQuery& query) const {
-  PDM_CHECK(query.num_owners() == num_owners());
-  Vector eps = mechanism_.LeakageProfile(query);
-  Vector payments(eps.size());
-  for (size_t i = 0; i < eps.size(); ++i) {
-    payments[i] = contracts_[i].Payment(eps[i]);
-  }
+  Vector payments;
+  CompensationsInto(query, &payments);
   return payments;
+}
+
+void CompensationLedger::CompensationsInto(const NoisyLinearQuery& query,
+                                           Vector* payments) const {
+  PDM_CHECK(query.num_owners() == num_owners());
+  // Leakage and payment fuse into one elementwise pass (no intermediate
+  // LeakageProfile vector): ε_i = |wᵢ|·Δᵢ/b, π_i = contractᵢ(ε_i).
+  double scale = query.laplace_scale();
+  payments->resize(query.owner_weights.size());
+  for (size_t i = 0; i < payments->size(); ++i) {
+    (*payments)[i] = contracts_[i].Payment(
+        mechanism_.EpsilonForOwner(query.owner_weights[i], scale));
+  }
 }
 
 double CompensationLedger::TotalCompensation(const NoisyLinearQuery& query) const {

@@ -52,6 +52,10 @@ class CompensationLedger {
   /// Per-owner compensations for a query (Fig. 2's "privacy compensation").
   Vector Compensations(const NoisyLinearQuery& query) const;
 
+  /// Fill-in variant reusing `payments`' storage (steady-state calls perform
+  /// no allocation); identical values to the by-value overload.
+  void CompensationsInto(const NoisyLinearQuery& query, Vector* payments) const;
+
   /// Total compensation = the query's reserve price q_t.
   double TotalCompensation(const NoisyLinearQuery& query) const;
 

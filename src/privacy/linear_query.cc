@@ -19,22 +19,28 @@ NoisyLinearQueryGenerator::NoisyLinearQueryGenerator(QueryGeneratorConfig config
 }
 
 NoisyLinearQuery NoisyLinearQueryGenerator::Next(Rng* rng) const {
-  PDM_CHECK(rng != nullptr);
   NoisyLinearQuery query;
+  Next(rng, &query);
+  return query;
+}
+
+void NoisyLinearQueryGenerator::Next(Rng* rng, NoisyLinearQuery* query) const {
+  PDM_CHECK(rng != nullptr);
   QueryWeightFamily family = config_.family;
   if (family == QueryWeightFamily::kMixed) {
     family = rng->NextBernoulli(0.5) ? QueryWeightFamily::kGaussian
                                      : QueryWeightFamily::kUniform;
   }
-  query.owner_weights = (family == QueryWeightFamily::kGaussian)
-                            ? rng->GaussianVector(config_.num_owners)
-                            : rng->UniformVector(config_.num_owners, -1.0, 1.0);
+  if (family == QueryWeightFamily::kGaussian) {
+    rng->GaussianVectorInto(config_.num_owners, &query->owner_weights);
+  } else {
+    rng->UniformVectorInto(config_.num_owners, -1.0, 1.0, &query->owner_weights);
+  }
   int span = 2 * config_.noise_exponent_range + 1;
   int exponent =
       static_cast<int>(rng->NextUint64(static_cast<uint64_t>(span))) -
       config_.noise_exponent_range;
-  query.noise_variance = std::pow(10.0, exponent);
-  return query;
+  query->noise_variance = std::pow(10.0, exponent);
 }
 
 double AnswerNoisyLinearQuery(const NoisyLinearQuery& query, const Vector& data, Rng* rng) {

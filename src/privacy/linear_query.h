@@ -51,6 +51,11 @@ class NoisyLinearQueryGenerator {
   explicit NoisyLinearQueryGenerator(QueryGeneratorConfig config);
 
   NoisyLinearQuery Next(Rng* rng) const;
+
+  /// Fill-in variant reusing `query->owner_weights`' storage (steady-state
+  /// calls perform no allocation); identical draws to the by-value overload.
+  void Next(Rng* rng, NoisyLinearQuery* query) const;
+
   const QueryGeneratorConfig& config() const { return config_; }
 
  private:

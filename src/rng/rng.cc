@@ -99,17 +99,27 @@ bool Rng::NextBernoulli(double p) {
 Rng Rng::Split() { return Rng(NextUint64()); }
 
 std::vector<double> Rng::GaussianVector(int n) {
-  PDM_CHECK(n >= 0);
-  std::vector<double> out(static_cast<size_t>(n));
-  for (double& x : out) x = NextGaussian();
+  std::vector<double> out;
+  GaussianVectorInto(n, &out);
   return out;
 }
 
-std::vector<double> Rng::UniformVector(int n, double lo, double hi) {
+void Rng::GaussianVectorInto(int n, std::vector<double>* out) {
   PDM_CHECK(n >= 0);
-  std::vector<double> out(static_cast<size_t>(n));
-  for (double& x : out) x = NextUniform(lo, hi);
+  out->resize(static_cast<size_t>(n));
+  for (double& x : *out) x = NextGaussian();
+}
+
+std::vector<double> Rng::UniformVector(int n, double lo, double hi) {
+  std::vector<double> out;
+  UniformVectorInto(n, lo, hi, &out);
   return out;
+}
+
+void Rng::UniformVectorInto(int n, double lo, double hi, std::vector<double>* out) {
+  PDM_CHECK(n >= 0);
+  out->resize(static_cast<size_t>(n));
+  for (double& x : *out) x = NextUniform(lo, hi);
 }
 
 }  // namespace pdm

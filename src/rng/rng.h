@@ -63,8 +63,16 @@ class Rng {
   /// parameters with identity covariance, Section V-A).
   std::vector<double> GaussianVector(int n);
 
+  /// Fills a caller-owned buffer with n iid standard normals (resized to n;
+  /// steady-state reuse performs no allocation). Identical draw order to
+  /// GaussianVector.
+  void GaussianVectorInto(int n, std::vector<double>* out);
+
   /// Vector of iid Uniform[lo, hi) entries.
   std::vector<double> UniformVector(int n, double lo, double hi);
+
+  /// Fill-in variant of UniformVector with the GaussianVectorInto contract.
+  void UniformVectorInto(int n, double lo, double hi, std::vector<double>* out);
 
  private:
   uint64_t state_[4];

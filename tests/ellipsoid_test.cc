@@ -147,16 +147,19 @@ TEST(Ellipsoid, AxisWidthsDescending) {
   EXPECT_GE(widths[0], widths[1]);
 }
 
-TEST(Ellipsoid, SupportDirectionIsNormalizedShapeImage) {
-  // direction = A·x/√(xᵀAx), the b of Algorithm 1 Line 5.
+TEST(Ellipsoid, SupportDirectionIsRawShapeImage) {
+  // direction = A·x; the b of Algorithm 1 Line 5 is direction/half_width
+  // (the cut overloads fold the normalization into their coefficients).
   Ellipsoid e = Ellipsoid::Ball(3, 2.0);
   Vector x{1.0, 2.0, 2.0};  // ‖x‖ = 3
   SupportInterval s = e.Support(x);
   ASSERT_EQ(s.direction.size(), 3u);
-  // For A = 4I: b = 4x/√(4·9) = (2/3)·x.
-  EXPECT_NEAR(s.direction[0], 2.0 / 3.0, 1e-12);
-  EXPECT_NEAR(s.direction[1], 4.0 / 3.0, 1e-12);
-  EXPECT_NEAR(s.direction[2], 4.0 / 3.0, 1e-12);
+  // For A = 4I: A·x = 4x and half_width = √(4·9) = 6, so b = (2/3)·x.
+  EXPECT_NEAR(s.direction[0], 4.0, 1e-12);
+  EXPECT_NEAR(s.direction[1], 8.0, 1e-12);
+  EXPECT_NEAR(s.direction[2], 8.0, 1e-12);
+  EXPECT_NEAR(s.half_width, 6.0, 1e-12);
+  EXPECT_NEAR(s.direction[0] / s.half_width, 2.0 / 3.0, 1e-12);
 }
 
 TEST(Ellipsoid, CachedDirectionCutMatchesFreshCut) {
@@ -201,6 +204,40 @@ TEST(EllipsoidDeathTest, RejectsDimensionOne) {
   // The GLS formulas are singular at n = 1; IntervalPricingEngine is the
   // supported path.
   EXPECT_DEATH(Ellipsoid::Ball(1, 1.0), "PDM_CHECK");
+}
+
+TEST(Ellipsoid, SupportOutParamMatchesByValueBitwise) {
+  // The fill-in overload must be bit-identical to the by-value one, with the
+  // direction buffer reused (and dirtied) across rounds and across cuts.
+  Rng rng(303);
+  Ellipsoid e = Ellipsoid::Ball(5, 2.0);
+  SupportInterval reused;
+  reused.direction.assign(11, -42.0);  // dirty + oversized on purpose
+  for (int k = 0; k < 30; ++k) {
+    Vector x = rng.GaussianVector(5);
+    SupportInterval fresh = e.Support(x);
+    e.Support(x, &reused);
+    ASSERT_EQ(fresh.lower, reused.lower);
+    ASSERT_EQ(fresh.upper, reused.upper);
+    ASSERT_EQ(fresh.half_width, reused.half_width);
+    ASSERT_EQ(fresh.midpoint, reused.midpoint);
+    ASSERT_EQ(fresh.direction, reused.direction);
+    if (reused.half_width > 0.0) {
+      // Mutate the ellipsoid so later iterations probe different geometry.
+      e.CutKeepBelow(reused, 0.05);
+    }
+  }
+}
+
+TEST(Ellipsoid, SupportOutParamClearsDirectionOnDegenerate) {
+  Matrix a = Matrix::ScaledIdentity(2, 1.0);
+  a(1, 1) = 0.0;
+  Ellipsoid e(Zeros(2), a);
+  SupportInterval reused;
+  reused.direction.assign(4, 3.0);  // stale content from a previous round
+  e.Support(BasisVector(2, 1), &reused);
+  EXPECT_DOUBLE_EQ(reused.half_width, 0.0);
+  EXPECT_TRUE(reused.direction.empty());
 }
 
 TEST(Ellipsoid, DegenerateDirectionYieldsZeroWidth) {

@@ -5,6 +5,7 @@
 #include "linalg/matrix.h"
 #include "linalg/sparse_vector.h"
 #include "linalg/vector_ops.h"
+#include "rng/rng.h"
 
 namespace pdm {
 namespace {
@@ -162,6 +163,58 @@ TEST(SparseVector, ToDense) {
   sv.Append(0, 1.5);
   sv.Append(3, 2.5);
   EXPECT_EQ(sv.ToDense(4), (Vector{1.5, 0, 0, 2.5}));
+}
+
+// ------------------------------------- in-place / by-value equivalence
+
+TEST(VectorOpsInPlace, IntoVariantsMatchByValueBitwise) {
+  Rng rng(101);
+  for (int n : {1, 3, 4, 7, 16, 33}) {
+    Vector a = rng.GaussianVector(n);
+    Vector b = rng.GaussianVector(n);
+    // Deliberately dirty, wrongly-sized reused buffer.
+    Vector out(static_cast<size_t>(n) + 5, -7.0);
+    AddInto(a, b, &out);
+    EXPECT_EQ(out, Add(a, b)) << "n=" << n;
+    SubInto(a, b, &out);
+    EXPECT_EQ(out, Sub(a, b)) << "n=" << n;
+    ScaledInto(a, 1.75, &out);
+    EXPECT_EQ(out, Scaled(a, 1.75)) << "n=" << n;
+  }
+}
+
+TEST(VectorOpsInPlace, IntoVariantsAllowAliasing) {
+  Vector a{1.0, 2.0, 3.0};
+  Vector b{0.5, -1.5, 4.0};
+  Vector expected = Add(a, b);
+  AddInto(a, b, &a);  // out aliases a
+  EXPECT_EQ(a, expected);
+}
+
+TEST(MatrixInPlace, MatVecIntoMatchesByValueBitwise) {
+  Rng rng(202);
+  for (int n : {2, 5, 8, 13, 20}) {
+    Matrix m(n, n);
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) m(r, c) = rng.NextGaussian();
+    }
+    Vector x = rng.GaussianVector(n);
+    Vector y(3, 99.0);  // dirty reused buffer
+    m.MatVecInto(x, &y);
+    EXPECT_EQ(y, m.MatVec(x)) << "n=" << n;
+    m.MatTVecInto(x, &y);
+    EXPECT_EQ(y, m.MatTVec(x)) << "n=" << n;
+  }
+}
+
+TEST(MatrixInPlace, ReusedBufferStableAcrossCalls) {
+  // Second call into the same buffer must not depend on the first's content.
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  Vector y;
+  m.MatVecInto({1, 1}, &y);
+  EXPECT_EQ(y, (Vector{3, 7}));
+  m.MatVecInto({2, 0}, &y);
+  EXPECT_EQ(y, (Vector{2, 6}));
 }
 
 }  // namespace

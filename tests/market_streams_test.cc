@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <vector>
 
 #include "common/stats.h"
 #include "data/avazu_like.h"
@@ -228,6 +230,75 @@ TEST(AvazuStream, SparseAndDenseValuesAgree) {
     EXPECT_DOUBLE_EQ(a.reserve, 0.0);
     EXPECT_DOUBLE_EQ(b.reserve, 0.0);
   }
+}
+
+// ------------------------------------------- fill-in / by-value equivalence
+
+/// Drives two identically-seeded instances of a stream, one through the
+/// by-value convenience wrapper and one through the fill-in hot path (with a
+/// deliberately dirty, oversized reused buffer), and requires bit-identical
+/// rounds.
+template <typename MakeStream>
+void ExpectNextOverloadsEquivalent(MakeStream make_stream, uint64_t setup_seed,
+                                   uint64_t drive_seed, int rounds) {
+  Rng setup_a(setup_seed), setup_b(setup_seed);
+  auto by_value = make_stream(&setup_a);
+  auto fill_in = make_stream(&setup_b);
+
+  Rng drive_a(drive_seed), drive_b(drive_seed);
+  MarketRound reused;
+  reused.features.assign(257, -123.456);  // dirty + oversized on purpose
+  for (int t = 0; t < rounds; ++t) {
+    MarketRound fresh = by_value->Next(&drive_a);
+    fill_in->Next(&drive_b, &reused);
+    ASSERT_EQ(fresh.features.size(), reused.features.size()) << "round " << t;
+    for (size_t i = 0; i < fresh.features.size(); ++i) {
+      ASSERT_EQ(fresh.features[i], reused.features[i]) << "round " << t;
+    }
+    ASSERT_EQ(fresh.reserve, reused.reserve) << "round " << t;
+    ASSERT_EQ(fresh.value, reused.value) << "round " << t;
+  }
+}
+
+TEST(StreamEquivalence, NoisyLinearFillInMatchesByValue) {
+  NoisyLinearMarketConfig config;
+  config.feature_dim = 12;
+  config.num_owners = 150;
+  config.value_noise_sigma = 0.01;
+  ExpectNextOverloadsEquivalent(
+      [&config](Rng* rng) { return std::make_unique<NoisyLinearQueryStream>(config, rng); },
+      /*setup_seed=*/5, /*drive_seed=*/15, /*rounds=*/200);
+}
+
+TEST(StreamEquivalence, ReplayFillInMatchesByValue) {
+  std::vector<MarketRound> rounds;
+  Rng rng(7);
+  for (int i = 0; i < 9; ++i) {
+    MarketRound round;
+    round.features = rng.GaussianVector(4);
+    round.reserve = rng.NextDouble();
+    round.value = rng.NextDouble() * 2.0;
+    rounds.push_back(round);
+  }
+  ExpectNextOverloadsEquivalent(
+      [&rounds](Rng*) { return std::make_unique<ReplayQueryStream>(&rounds); },
+      /*setup_seed=*/5, /*drive_seed=*/15, /*rounds=*/40);
+}
+
+TEST(StreamEquivalence, AvazuFillInMatchesByValue) {
+  AvazuLikeConfig data_config;
+  Rng rng(17);
+  AvazuLikeClickLog log(data_config, &rng);
+  AvazuMarketConfig config;
+  config.hashed_dim = 64;
+  config.train_samples = 20000;
+  config.eval_samples = 2000;
+  AvazuMarket market = BuildAvazuMarket(config, log, &rng);
+  ExpectNextOverloadsEquivalent(
+      [&log, &market](Rng*) {
+        return std::make_unique<AvazuQueryStream>(&log, &market, 64, /*dense=*/false);
+      },
+      /*setup_seed=*/5, /*drive_seed=*/15, /*rounds=*/100);
 }
 
 TEST(AvazuStream, ValuesAreCtrs) {

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -143,6 +144,72 @@ TEST(SimulationRunner, RepeatedRunsAreDeterministic) {
 TEST(SimulationRunner, EmptyBatchReturnsEmpty) {
   SimulationRunner runner;
   EXPECT_TRUE(runner.RunAll({}).empty());
+}
+
+TEST(SimulationRunner, EmptyBatchReturnsEmptyOnEveryThreadCount) {
+  for (int threads : {1, 2, 16}) {
+    SimulationRunner runner(RunnerOptions{threads});
+    EXPECT_TRUE(runner.RunAll({}).empty()) << "threads=" << threads;
+  }
+}
+
+TEST(SimulationRunner, MoreThreadsThanScenarios) {
+  // A 64-thread pool over a 2-scenario batch must neither hang nor distort
+  // results: idle workers exit cleanly, outcomes match the serial path.
+  std::vector<ScenarioSpec> batch = {
+      VariantScenario("reserve/n=4", 4, 300, true, 0.0, 101),
+      VariantScenario("pure/n=4", 4, 300, false, 0.0, 202),
+  };
+  std::vector<ScenarioResult> wide =
+      SimulationRunner(RunnerOptions{/*num_threads=*/64}).RunAll(batch);
+  std::vector<ScenarioResult> serial =
+      SimulationRunner(RunnerOptions{/*num_threads=*/1}).RunAll(batch);
+  ASSERT_EQ(wide.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ExpectSameOutcome(wide[i], serial[i]);
+  }
+}
+
+TEST(SimulationRunner, WorkerExceptionRethrownToCaller) {
+  // A throwing scenario must surface on the calling thread (not terminate the
+  // process), exactly as it would on the serial path.
+  std::vector<ScenarioSpec> batch = VariantBatch();
+  ScenarioSpec poison = batch[0];
+  poison.name = "poison";
+  poison.make_stream = [](Rng*) -> std::unique_ptr<QueryStream> {
+    throw std::runtime_error("stream construction failed");
+  };
+  batch.insert(batch.begin() + 1, poison);
+
+  SimulationRunner parallel(RunnerOptions{/*num_threads=*/4});
+  EXPECT_THROW(parallel.RunAll(batch), std::runtime_error);
+  SimulationRunner serial(RunnerOptions{/*num_threads=*/1});
+  EXPECT_THROW(serial.RunAll(batch), std::runtime_error);
+}
+
+TEST(SimulationRunner, HealthyScenariosUnaffectedByThrowingSibling) {
+  // The rethrow happens after the join, so the healthy scenarios still ran;
+  // rerunning only them gives the same results as a clean batch.
+  std::vector<ScenarioSpec> clean = VariantBatch();
+  std::vector<ScenarioResult> expected =
+      SimulationRunner(RunnerOptions{/*num_threads=*/4}).RunAll(clean);
+
+  std::vector<ScenarioSpec> dirty = VariantBatch();
+  ScenarioSpec poison = dirty[0];
+  poison.name = "poison";
+  poison.make_engine = []() -> std::unique_ptr<PricingEngine> {
+    throw std::runtime_error("engine construction failed");
+  };
+  dirty.push_back(poison);
+  EXPECT_THROW(SimulationRunner(RunnerOptions{/*num_threads=*/4}).RunAll(dirty),
+               std::runtime_error);
+
+  std::vector<ScenarioResult> again =
+      SimulationRunner(RunnerOptions{/*num_threads=*/4}).RunAll(clean);
+  ASSERT_EQ(again.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ExpectSameOutcome(again[i], expected[i]);
+  }
 }
 
 TEST(SimulationRunner, ZeroThreadsResolvesToHardwareConcurrency) {

@@ -73,13 +73,12 @@ TEST(Simulator, SkippedRoundsProduceNoSale) {
   // skips every round and revenue stays zero.
   class ImpossibleReserveStream : public QueryStream {
    public:
-    MarketRound Next(Rng* rng) override {
+    using QueryStream::Next;
+    void Next(Rng* rng, MarketRound* round) override {
       (void)rng;
-      MarketRound round;
-      round.features = {1.0, 0.0};
-      round.reserve = 1000.0;
-      round.value = 1.0;
-      return round;
+      round->features = {1.0, 0.0};
+      round->reserve = 1000.0;
+      round->value = 1.0;
     }
   };
   ImpossibleReserveStream stream;
@@ -111,7 +110,7 @@ TEST(Simulator, LatencyMeasurementPopulated) {
 
 TEST(Simulator, DeterministicGivenSeed) {
   // Identical seeds must reproduce every accumulator bit-for-bit — the
-  // property all bench numbers in EXPERIMENTS.md rely on.
+  // property all recorded bench numbers rely on.
   auto run = [] {
     Rng rng(12345);
     NoisyLinearMarketConfig market_config;
@@ -142,9 +141,10 @@ TEST(Simulator, BrokerUtilityNonNegativeWithReserve) {
   class UtilityCheckingStream : public QueryStream {
    public:
     explicit UtilityCheckingStream(NoisyLinearQueryStream* inner) : inner_(inner) {}
-    MarketRound Next(Rng* rng) override {
-      last_ = inner_->Next(rng);
-      return last_;
+    using QueryStream::Next;
+    void Next(Rng* rng, MarketRound* round) override {
+      inner_->Next(rng, round);
+      last_ = *round;
     }
     MarketRound last_;
     NoisyLinearQueryStream* inner_;
