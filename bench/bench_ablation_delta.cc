@@ -6,15 +6,25 @@
 // cutting θ* out of the knowledge set on unlucky noise; over-buffering keeps
 // θ* safe but pays extra regret through shallower cuts and lower conservative
 // prices (Section V-A observed +25% regret at matched δ).
+//
+// The grid is scenario::AblationDeltaScenarios — a Sweep over the spec's
+// delta axis — but this bench drives the engines itself (through the same
+// StreamFactory/MechanismRegistry the ExperimentDriver uses) because its
+// last column inspects the post-run knowledge set for θ*-containment, which
+// requires holding the engine after the simulation.
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <vector>
 
-#include "bench_common.h"
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "market/simulator.h"
+#include "pricing/ellipsoid_engine.h"
+#include "scenario/scenario_registry.h"
+#include "scenario/stream_factory.h"
 
 int main(int argc, char** argv) {
   int64_t dim = 20;
@@ -27,33 +37,41 @@ int main(int argc, char** argv) {
   flags.AddInt64("owners", &num_owners, "number of data owners");
   flags.AddDouble("delta_star", &delta_star, "noise buffer target delta*");
   if (!flags.Parse(argc, argv)) return 1;
+  if (dim < 2) {
+    // The theta-containment column below inspects the ellipsoid knowledge
+    // set; the 1-d special case routes to the interval engine and has no
+    // ellipsoid to inspect.
+    std::fprintf(stderr, "bench_ablation_delta: --dim must be >= 2 (got %ld)\n",
+                 static_cast<long>(dim));
+    return 1;
+  }
 
-  double sigma = pdm::SigmaForBuffer(delta_star, 2.0, rounds);
+  std::vector<pdm::scenario::ScenarioSpec> specs = pdm::scenario::AblationDeltaScenarios(
+      static_cast<int>(dim), rounds, num_owners, delta_star);
   std::printf("=== Ablation: buffer delta under fixed market noise "
               "(delta* = %.3g, sigma = %.5f) ===\n\n",
-              delta_star, sigma);
+              delta_star, specs.front().linear.noise_sigma);
 
-  pdm::bench::LinearWorkload workload = pdm::bench::MakeLinearWorkload(
-      static_cast<int>(dim), rounds, static_cast<int>(num_owners), 1);
-
+  pdm::scenario::StreamFactory factory;
   pdm::TablePrinter table({"engine delta", "regret ratio", "cuts applied",
                            "cuts discarded", "theta still inside"});
-  for (double multiplier : {0.0, 0.5, 1.0, 2.0, 4.0}) {
-    double delta = multiplier * delta_star;
-    pdm::EllipsoidEngineConfig config;
-    config.dim = static_cast<int>(dim);
-    config.horizon = rounds;
-    config.initial_radius = workload.recommended_radius;
-    config.use_reserve = true;
-    config.delta = delta;
-    pdm::EllipsoidPricingEngine engine(config);
-    pdm::bench::NoisyReplayStream stream(&workload.rounds, sigma);
+  for (const pdm::scenario::ScenarioSpec& spec : specs) {
+    pdm::scenario::WorkloadInfo info = factory.Prepare(spec);
+    // The runner's job lifecycle by hand: one Rng drives stream construction
+    // and the market loop, so results match an ExperimentDriver run exactly.
+    pdm::Rng rng(spec.sim_seed);
+    std::unique_ptr<pdm::QueryStream> stream = factory.CreateStream(spec, &rng);
+    std::unique_ptr<pdm::PricingEngine> engine =
+        pdm::scenario::MechanismRegistry::Builtin().Build(spec, info);
     pdm::SimulationOptions options;
-    options.rounds = rounds;
-    pdm::Rng rng(99);
-    pdm::SimulationResult result = pdm::RunMarket(&stream, &engine, options, &rng);
-    bool contains = engine.knowledge_set().Contains(workload.theta, 1e-6);
-    table.AddRow({pdm::FormatDouble(delta, 4),
+    options.rounds = spec.rounds;
+    pdm::SimulationResult result =
+        pdm::RunMarket(stream.get(), engine.get(), options, &rng);
+
+    const auto& ellipsoid_engine = dynamic_cast<pdm::EllipsoidPricingEngine&>(*engine);
+    bool contains = ellipsoid_engine.knowledge_set().Contains(
+        factory.FindLinearWorkload(spec)->theta, 1e-6);
+    table.AddRow({pdm::FormatDouble(spec.delta, 4),
                   pdm::FormatDouble(100.0 * result.tracker.regret_ratio(), 2) + "%",
                   std::to_string(result.engine_counters.cuts_applied),
                   std::to_string(result.engine_counters.cuts_discarded),

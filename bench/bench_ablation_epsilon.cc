@@ -6,15 +6,22 @@
 // exploration stops while the knowledge set is still coarse. This sweep
 // multiplies the Theorem 1 default by {0.1, 0.3, 1, 3, 10, 30} and reports
 // final regret ratio and exploratory-round counts.
+//
+// Thin spec-driven binary: the grid is scenario::AblationEpsilonScenarios
+// (a Sweep over the spec's epsilon axis; also `pdm_run
+// --scenarios=ablation/epsilon/*`).
 
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
-#include "bench_common.h"
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "pricing/ellipsoid_engine.h"
+#include "scenario/experiment.h"
+#include "scenario/scenario_registry.h"
 
 int main(int argc, char** argv) {
   int64_t dim = 20;
@@ -31,31 +38,22 @@ int main(int argc, char** argv) {
               "T = %ld ===\n\n",
               default_epsilon, static_cast<long>(dim), static_cast<long>(rounds));
 
-  pdm::bench::LinearWorkload workload = pdm::bench::MakeLinearWorkload(
-      static_cast<int>(dim), rounds, static_cast<int>(num_owners), 1);
+  std::vector<pdm::scenario::ScenarioSpec> specs =
+      pdm::scenario::AblationEpsilonScenarios(static_cast<int>(dim), rounds, num_owners);
+  pdm::scenario::ExperimentDriver driver;
+  std::vector<pdm::scenario::ScenarioOutcome> outcomes = driver.Run(specs);
 
   pdm::TablePrinter table({"epsilon multiplier", "epsilon", "regret ratio",
                            "exploratory rounds", "lemma 6 cap"});
   double n = static_cast<double>(dim);
-  for (double multiplier : {0.1, 0.3, 1.0, 3.0, 10.0, 30.0}) {
-    double epsilon = multiplier * default_epsilon;
-    pdm::EllipsoidEngineConfig config;
-    config.dim = static_cast<int>(dim);
-    config.horizon = rounds;
-    config.initial_radius = workload.recommended_radius;
-    config.use_reserve = true;
-    config.epsilon = epsilon;
-    pdm::EllipsoidPricingEngine engine(config);
-    pdm::bench::NoisyReplayStream stream(&workload.rounds, 0.0);
-    pdm::SimulationOptions options;
-    options.rounds = rounds;
-    pdm::Rng rng(99);
-    pdm::SimulationResult result = pdm::RunMarket(&stream, &engine, options, &rng);
-    double cap = 20.0 * n * n *
-                 std::log(20.0 * workload.recommended_radius * (n + 1.0) / epsilon);
-    table.AddRow({pdm::FormatDouble(multiplier, 1), pdm::FormatDouble(epsilon, 5),
-                  pdm::FormatDouble(100.0 * result.tracker.regret_ratio(), 2) + "%",
-                  std::to_string(result.engine_counters.exploratory_rounds),
+  for (const auto& outcome : outcomes) {
+    double epsilon = outcome.spec.epsilon;
+    double radius = driver.factory().FindLinearWorkload(outcome.spec)->recommended_radius;
+    double cap = 20.0 * n * n * std::log(20.0 * radius * (n + 1.0) / epsilon);
+    table.AddRow({pdm::FormatDouble(epsilon / default_epsilon, 1),
+                  pdm::FormatDouble(epsilon, 5),
+                  pdm::FormatDouble(100.0 * outcome.result.tracker.regret_ratio(), 2) + "%",
+                  std::to_string(outcome.result.engine_counters.exploratory_rounds),
                   pdm::FormatDouble(cap, 0)});
   }
   table.Print(std::cout);

@@ -3,15 +3,20 @@
 // regret. Paper numbers at n = 20, t = 1e4: the reserve variant cuts 13.16%
 // of the pure variant's cumulative regret (10.92% under uncertainty), and the
 // early-round regret-ratio gap is much larger than the final gap.
+//
+// Thin spec-driven binary: scenario::ColdstartScenarios expands the
+// (seed × variant) grid — the registry's `coldstart/*` family — and this
+// main only averages the outcomes over the seeds.
 
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
-#include "bench_common.h"
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "scenario/experiment.h"
+#include "scenario/scenario_registry.h"
 
 int main(int argc, char** argv) {
   int64_t dim = 20;
@@ -31,29 +36,28 @@ int main(int argc, char** argv) {
               static_cast<long>(dim), static_cast<long>(rounds),
               static_cast<long>(seeds));
 
-  auto variants = pdm::bench::PaperVariants();  // pure, unc, reserve, reserve+unc
-  std::vector<double> total_regret(variants.size(), 0.0);
-  std::vector<double> early_ratio(variants.size(), 0.0);  // at t = rounds/100
+  std::vector<pdm::scenario::ScenarioSpec> specs = pdm::scenario::ColdstartScenarios(
+      static_cast<int>(dim), rounds, num_owners, delta, seeds);
+  pdm::scenario::ExperimentDriver driver;
+  std::vector<pdm::scenario::ScenarioOutcome> outcomes = driver.Run(specs);
 
-  int64_t stride = std::max<int64_t>(1, rounds / 100);
-  for (int64_t seed = 0; seed < seeds; ++seed) {
-    pdm::bench::LinearWorkload workload = pdm::bench::MakeLinearWorkload(
-        static_cast<int>(dim), rounds, static_cast<int>(num_owners),
-        1000 + static_cast<uint64_t>(seed));
-    for (size_t i = 0; i < variants.size(); ++i) {
-      pdm::SimulationResult result = pdm::bench::RunLinearVariant(
-          workload, variants[i], static_cast<int>(dim), rounds, delta, stride,
-          /*sim_seed=*/99 + static_cast<uint64_t>(seed));
-      total_regret[i] += result.tracker.cumulative_regret();
-      if (!result.tracker.series().empty()) {
-        early_ratio[i] += result.tracker.series().front().regret_ratio;
-      }
+  // Outcomes are seed-major, four variants per seed (the builder's order).
+  constexpr size_t kVariants = 4;
+  std::vector<std::string> labels(kVariants);
+  std::vector<double> total_regret(kVariants, 0.0);
+  std::vector<double> early_ratio(kVariants, 0.0);  // at t = rounds/100
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    size_t variant = i % kVariants;
+    labels[variant] = outcomes[i].spec.mechanism;
+    total_regret[variant] += outcomes[i].result.tracker.cumulative_regret();
+    if (!outcomes[i].result.tracker.series().empty()) {
+      early_ratio[variant] += outcomes[i].result.tracker.series().front().regret_ratio;
     }
   }
 
   pdm::TablePrinter table({"variant", "cumulative regret", "early regret ratio"});
-  for (size_t i = 0; i < variants.size(); ++i) {
-    table.AddRow({variants[i].label,
+  for (size_t i = 0; i < kVariants; ++i) {
+    table.AddRow({labels[i],
                   pdm::FormatDouble(total_regret[i] / static_cast<double>(seeds), 1),
                   pdm::FormatDouble(100.0 * early_ratio[i] / static_cast<double>(seeds), 2) +
                       "%"});

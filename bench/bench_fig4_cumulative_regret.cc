@@ -2,29 +2,23 @@
 // pricing of noisy linear queries, for n ∈ {1, 20, 40, 60, 80, 100} with
 // T ∈ {1e2, 1e4, 1e4, 1e5, 1e5, 1e5} and δ = 0.01 (Section V-A).
 //
-// One block per subfigure; within a block, one series column per variant at
-// log-spaced checkpoints. Pass --full=false for a faster smoke run.
+// Thin spec-driven binary: the whole figure is the declarative grid
+// scenario::Fig4Scenarios (also runnable as `pdm_run --scenarios=fig4/*`);
+// this main only renders the per-panel checkpoint tables. One block per
+// subfigure; within a block, one series column per variant at log-spaced
+// checkpoints. Pass --full=false for a faster smoke run.
 
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
-#include "bench_common.h"
 #include "common/csv.h"
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
-
-namespace {
-
-struct SubFigure {
-  const char* panel;
-  int dim;
-  int64_t rounds;
-};
-
-}  // namespace
+#include "scenario/experiment.h"
+#include "scenario/scenario_registry.h"
 
 int main(int argc, char** argv) {
   int64_t num_owners = 2000;
@@ -35,53 +29,49 @@ int main(int argc, char** argv) {
   pdm::FlagSet flags("bench_fig4_cumulative_regret");
   flags.AddInt64("owners", &num_owners, "number of data owners behind the broker");
   flags.AddDouble("delta", &delta, "uncertainty buffer for the *+uncertainty variants");
-  flags.AddInt64("seed", reinterpret_cast<int64_t*>(&seed), "workload seed");
+  flags.AddUint64("seed", &seed, "workload seed");
   flags.AddBool("full", &full, "run the paper's full scale (false: 10x fewer rounds)");
   flags.AddString("csv", &csv_path, "optional CSV dump of all series");
   if (!flags.Parse(argc, argv)) return 1;
 
-  const std::vector<SubFigure> subfigures = {
-      {"a", 1, 100},    {"b", 20, 10000},  {"c", 40, 10000},
-      {"d", 60, 100000}, {"e", 80, 100000}, {"f", 100, 100000},
-  };
-  auto variants = pdm::bench::PaperVariants();
+  std::vector<pdm::scenario::ScenarioSpec> specs =
+      pdm::scenario::Fig4Scenarios(num_owners, delta, seed, full);
   pdm::CsvWriter csv(csv_path, {"panel", "n", "variant", "round", "cumulative_regret"});
 
-  for (const SubFigure& sub : subfigures) {
-    int64_t rounds = full ? sub.rounds : std::max<int64_t>(100, sub.rounds / 10);
-    std::printf("=== Fig. 4(%s): n = %d, T = %ld, delta = %.3g ===\n", sub.panel, sub.dim,
-                static_cast<long>(rounds), delta);
-    pdm::WallTimer timer;
-    pdm::bench::LinearWorkload workload = pdm::bench::MakeLinearWorkload(
-        sub.dim, rounds, static_cast<int>(num_owners), seed + static_cast<uint64_t>(sub.dim));
+  // All 24 (panel, variant) scenarios run concurrently; each is a pure
+  // function of its spec, so the grouping below is presentation only.
+  pdm::WallTimer timer;
+  pdm::scenario::ExperimentDriver driver;
+  std::vector<pdm::scenario::ScenarioOutcome> outcomes = driver.Run(specs);
 
-    std::vector<int64_t> checkpoints = pdm::bench::LogCheckpoints(rounds);
-    int64_t stride = std::max<int64_t>(1, rounds / 200);
+  constexpr size_t kVariantsPerPanel = 4;
+  const char* const panels[] = {"a", "b", "c", "d", "e", "f"};
+  for (size_t panel = 0; panel * kVariantsPerPanel < outcomes.size(); ++panel) {
+    const auto* block = &outcomes[panel * kVariantsPerPanel];
+    int64_t rounds = block[0].spec.rounds;
+    std::printf("=== Fig. 4(%s): n = %d, T = %ld, delta = %.3g ===\n", panels[panel],
+                block[0].spec.n, static_cast<long>(rounds), delta);
 
     std::vector<std::string> headers = {"round"};
-    for (const auto& v : variants) headers.push_back(v.label);
+    for (size_t i = 0; i < kVariantsPerPanel; ++i) {
+      headers.push_back(block[i].spec.mechanism);
+    }
     pdm::TablePrinter table(headers);
 
-    std::vector<pdm::SimulationResult> results = pdm::bench::RunLinearVariantsParallel(
-        workload, variants, sub.dim, rounds, delta, stride, /*sim_seed=*/99);
-
-    std::vector<std::vector<pdm::RegretSeriesPoint>> series;
-    for (size_t i = 0; i < variants.size(); ++i) {
-      const pdm::SimulationResult& result = results[i];
-      series.push_back(result.tracker.series());
-      for (const auto& point : result.tracker.series()) {
-        csv.WriteRow({sub.panel, std::to_string(sub.dim), variants[i].label,
-                      std::to_string(point.round),
+    for (size_t i = 0; i < kVariantsPerPanel; ++i) {
+      for (const auto& point : block[i].result.tracker.series()) {
+        csv.WriteRow({panels[panel], std::to_string(block[i].spec.n),
+                      block[i].spec.mechanism, std::to_string(point.round),
                       pdm::FormatDouble(point.cumulative_regret, 4)});
       }
     }
 
-    for (int64_t checkpoint : checkpoints) {
+    for (int64_t checkpoint : pdm::scenario::LogCheckpoints(rounds)) {
       std::vector<std::string> row = {std::to_string(checkpoint)};
-      for (const auto& s : series) {
+      for (size_t i = 0; i < kVariantsPerPanel; ++i) {
         // Last recorded point at or before the checkpoint.
         double regret = 0.0;
-        for (const auto& point : s) {
+        for (const auto& point : block[i].result.tracker.series()) {
           if (point.round <= checkpoint) regret = point.cumulative_regret;
         }
         row.push_back(pdm::FormatDouble(regret, 1));
@@ -89,8 +79,9 @@ int main(int argc, char** argv) {
       table.AddRow(row);
     }
     table.Print(std::cout);
-    std::printf("[%.1fs]\n\n", timer.ElapsedSeconds());
+    std::printf("\n");
   }
+  std::printf("[total %.1fs]\n\n", timer.ElapsedSeconds());
   std::printf(
       "Shape checks (paper): regret grows with n; the reserve variants sit\n"
       "below their no-reserve counterparts; uncertainty adds regret, most\n"

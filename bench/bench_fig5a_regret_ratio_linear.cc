@@ -2,20 +2,22 @@
 // the pricing of noisy linear queries at n = 100, for the four mechanism
 // variants plus the risk-averse baseline that posts the reserve each round.
 //
-// Paper end-of-run ratios (T = 1e5): pure 8.48%, uncertainty 11.19%, reserve
-// 7.77%, reserve+uncertainty 9.87%, risk-averse baseline 18.16%. Early rounds
-// show the reserve variants far below the pure ones — the cold-start
-// mitigation the paper highlights.
+// Thin spec-driven binary over scenario::Fig5aScenarios (also runnable as
+// `pdm_run --scenarios=fig5a/*`). Paper end-of-run ratios (T = 1e5): pure
+// 8.48%, uncertainty 11.19%, reserve 7.77%, reserve+uncertainty 9.87%,
+// risk-averse baseline 18.16%. Early rounds show the reserve variants far
+// below the pure ones — the cold-start mitigation the paper highlights.
 
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
-#include "bench_common.h"
 #include "common/csv.h"
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "scenario/experiment.h"
+#include "scenario/scenario_registry.h"
 
 int main(int argc, char** argv) {
   int64_t dim = 100;
@@ -29,47 +31,39 @@ int main(int argc, char** argv) {
   flags.AddInt64("rounds", &rounds, "horizon T");
   flags.AddInt64("owners", &num_owners, "number of data owners");
   flags.AddDouble("delta", &delta, "uncertainty buffer");
-  flags.AddInt64("seed", reinterpret_cast<int64_t*>(&seed), "workload seed");
+  flags.AddUint64("seed", &seed, "workload seed");
   flags.AddString("csv", &csv_path, "optional CSV dump");
   if (!flags.Parse(argc, argv)) return 1;
 
   std::printf("=== Fig. 5(a): regret ratios, noisy linear query, n = %ld, T = %ld ===\n\n",
               static_cast<long>(dim), static_cast<long>(rounds));
 
-  pdm::bench::LinearWorkload workload = pdm::bench::MakeLinearWorkload(
-      static_cast<int>(dim), rounds, static_cast<int>(num_owners), seed);
-  auto variants = pdm::bench::PaperVariants();
-  int64_t stride = std::max<int64_t>(1, rounds / 400);
-  pdm::CsvWriter csv(csv_path, {"variant", "round", "regret_ratio"});
+  std::vector<pdm::scenario::ScenarioSpec> specs = pdm::scenario::Fig5aScenarios(
+      static_cast<int>(dim), rounds, num_owners, delta, seed);
+  pdm::scenario::ExperimentDriver driver;
+  std::vector<pdm::scenario::ScenarioOutcome> outcomes = driver.Run(specs);
 
+  pdm::CsvWriter csv(csv_path, {"variant", "round", "regret_ratio"});
   std::vector<std::string> headers = {"round"};
-  for (const auto& v : variants) headers.push_back(v.label);
+  for (const auto& outcome : outcomes) headers.push_back(outcome.spec.mechanism);
   headers.push_back("risk-averse");
   pdm::TablePrinter table(headers);
 
-  std::vector<pdm::SimulationResult> results = pdm::bench::RunLinearVariantsParallel(
-      workload, variants, static_cast<int>(dim), rounds, delta, stride, 99);
-
-  std::vector<std::vector<pdm::RegretSeriesPoint>> series;
-  std::vector<double> final_ratio;
   double baseline_final = 0.0;
-  for (size_t i = 0; i < variants.size(); ++i) {
-    const pdm::SimulationResult& result = results[i];
-    series.push_back(result.tracker.series());
-    final_ratio.push_back(result.tracker.regret_ratio());
-    baseline_final = result.tracker.baseline_regret_ratio();
-    for (const auto& point : result.tracker.series()) {
-      csv.WriteRow({variants[i].label, std::to_string(point.round),
+  for (const auto& outcome : outcomes) {
+    baseline_final = outcome.result.tracker.baseline_regret_ratio();
+    for (const auto& point : outcome.result.tracker.series()) {
+      csv.WriteRow({outcome.spec.mechanism, std::to_string(point.round),
                     pdm::FormatDouble(point.regret_ratio, 6)});
     }
   }
 
-  for (int64_t checkpoint : pdm::bench::LogCheckpoints(rounds)) {
+  for (int64_t checkpoint : pdm::scenario::LogCheckpoints(rounds)) {
     std::vector<std::string> row = {std::to_string(checkpoint)};
     double baseline_at = 0.0;
-    for (const auto& s : series) {
+    for (const auto& outcome : outcomes) {
       double ratio = 0.0;
-      for (const auto& point : s) {
+      for (const auto& point : outcome.result.tracker.series()) {
         if (point.round <= checkpoint) {
           ratio = point.regret_ratio;
           baseline_at = point.baseline_regret_ratio;
@@ -84,15 +78,18 @@ int main(int argc, char** argv) {
 
   std::printf("\nfinal ratios (paper: pure 8.48%%, uncertainty 11.19%%, reserve 7.77%%, "
               "reserve+uncertainty 9.87%%, baseline 18.16%%):\n");
-  for (size_t i = 0; i < variants.size(); ++i) {
-    std::printf("  %-22s %6.2f%%\n", variants[i].label.c_str(), 100.0 * final_ratio[i]);
+  for (const auto& outcome : outcomes) {
+    std::printf("  %-22s %6.2f%%\n", outcome.spec.mechanism.c_str(),
+                100.0 * outcome.result.tracker.regret_ratio());
   }
   std::printf("  %-22s %6.2f%%\n", "risk-averse baseline", 100.0 * baseline_final);
   if (baseline_final > 0.0) {
+    double reserve_ratio = outcomes[2].result.tracker.regret_ratio();
+    double reserve_unc_ratio = outcomes[3].result.tracker.regret_ratio();
     std::printf("\nreduction vs baseline: reserve %.2f%%, reserve+uncertainty %.2f%% "
                 "(paper: 57.19%%, 45.64%%)\n",
-                100.0 * (1.0 - final_ratio[2] / baseline_final),
-                100.0 * (1.0 - final_ratio[3] / baseline_final));
+                100.0 * (1.0 - reserve_ratio / baseline_final),
+                100.0 * (1.0 - reserve_unc_ratio / baseline_final));
   }
   return 0;
 }

@@ -3,8 +3,10 @@
 // and the reserve versions with log-ratio log(q)/log(v) ∈ {0.4, 0.6, 0.8},
 // each against the risk-averse baseline that posts the reserve every round.
 //
-// Paper end-of-run ratios: pure 4.57%, ratio 0.4 4.01%, 0.6 3.83%, 0.8
-// 3.79%; baselines 23.40%, 17.00%, 9.33%; reductions 82.88%, 77.46%, 59.39%.
+// Thin spec-driven binary over scenario::Fig5bScenarios (also runnable as
+// `pdm_run --scenarios=fig5b/*`). Paper end-of-run ratios: pure 4.57%,
+// ratio 0.4 4.01%, 0.6 3.83%, 0.8 3.79%; baselines 23.40%, 17.00%, 9.33%;
+// reductions 82.88%, 77.46%, 59.39%.
 //
 // Reconciliation note (see DESIGN.md §3): with the honest ball prior
 // R = √2·‖θ* − c₁‖, n = 55 needs ≈n(n+1)·ln(width/ε) ≈ 25k bisection rounds
@@ -17,45 +19,15 @@
 
 #include <cstdio>
 #include <iostream>
-#include <memory>
 #include <vector>
 
-#include "bench_common.h"
 #include "common/csv.h"
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
-#include "market/airbnb_market.h"
-#include "pricing/generalized_engine.h"
-
-namespace {
-
-pdm::SimulationResult RunRatio(const pdm::AirbnbMarket& market, bool use_reserve,
-                               int64_t rounds, int64_t stride,
-                               double oracle_prior_radius) {
-  pdm::EllipsoidEngineConfig base_config;
-  base_config.dim = pdm::AirbnbFeatureSpace::kDim;
-  base_config.horizon = rounds;
-  if (oracle_prior_radius > 0.0) {
-    base_config.initial_center = market.theta;
-    base_config.initial_radius = oracle_prior_radius;
-  } else {
-    base_config.initial_radius = market.recommended_radius;
-    base_config.initial_center = market.recommended_center;
-  }
-  base_config.use_reserve = use_reserve;
-  pdm::GeneralizedPricingEngine engine(
-      std::make_unique<pdm::EllipsoidPricingEngine>(base_config),
-      std::make_shared<pdm::ExpLink>(), std::make_shared<pdm::IdentityFeatureMap>());
-  pdm::ReplayQueryStream stream(&market.rounds);
-  pdm::SimulationOptions options;
-  options.rounds = rounds;
-  options.series_stride = stride;
-  pdm::Rng rng(5);
-  return pdm::RunMarket(&stream, &engine, options, &rng);
-}
-
-}  // namespace
+#include "features/airbnb_features.h"
+#include "scenario/experiment.h"
+#include "scenario/scenario_registry.h"
 
 int main(int argc, char** argv) {
   int64_t listings = 74111;
@@ -64,7 +36,7 @@ int main(int argc, char** argv) {
   std::string csv_path;
   pdm::FlagSet flags("bench_fig5b_accommodation");
   flags.AddInt64("listings", &listings, "number of booking requests T");
-  flags.AddInt64("seed", reinterpret_cast<int64_t*>(&seed), "dataset seed");
+  flags.AddUint64("seed", &seed, "dataset seed");
   flags.AddDouble("oracle_prior_radius", &oracle_prior_radius,
                   "if > 0, center the initial knowledge set on the offline fit with this "
                   "radius (0.005 reproduces the tight-prior regime the paper's finals "
@@ -74,50 +46,39 @@ int main(int argc, char** argv) {
 
   std::printf("=== Fig. 5(b): accommodation rental, log-linear model, n = %d, T = %ld ===\n\n",
               pdm::AirbnbFeatureSpace::kDim, static_cast<long>(listings));
-  int64_t stride = std::max<int64_t>(1, listings / 400);
   pdm::CsvWriter csv(csv_path, {"config", "round", "regret_ratio"});
 
-  struct Run {
-    std::string label;
-    double ratio;  // 0 = pure (no reserve)
+  std::vector<pdm::scenario::ScenarioSpec> specs =
+      pdm::scenario::Fig5bScenarios(listings, seed, oracle_prior_radius);
+  pdm::scenario::ExperimentDriver driver;
+  std::vector<pdm::scenario::ScenarioOutcome> outcomes = driver.Run(specs);
+
+  auto label_of = [](const pdm::scenario::ScenarioSpec& spec) {
+    // "fig5b/pure" -> "pure", "fig5b/ratio=0.4" -> "ratio=0.4".
+    return spec.name.substr(spec.name.find('/') + 1);
   };
-  const std::vector<Run> runs = {
-      {"pure", 0.0}, {"ratio=0.4", 0.4}, {"ratio=0.6", 0.6}, {"ratio=0.8", 0.8}};
 
   std::vector<std::string> headers = {"round"};
-  for (const auto& run : runs) headers.push_back(run.label);
+  for (const auto& outcome : outcomes) headers.push_back(label_of(outcome.spec));
   pdm::TablePrinter table(headers);
 
-  std::vector<std::vector<pdm::RegretSeriesPoint>> series;
-  std::vector<double> final_ratio, baseline_ratio, tail_ratio;
-  double test_mse = 0.0;
-  for (const Run& run : runs) {
-    pdm::AirbnbMarketConfig config;
-    config.num_listings = listings;
-    config.log_reserve_ratio = run.ratio;
-    pdm::Rng rng(seed);  // identical listings across configurations
-    pdm::AirbnbMarket market = pdm::BuildAirbnbMarket(config, &rng);
-    test_mse = market.test_mse;
-    pdm::SimulationResult result = RunRatio(market, /*use_reserve=*/run.ratio > 0.0,
-                                            listings, stride, oracle_prior_radius);
-    series.push_back(result.tracker.series());
-    final_ratio.push_back(result.tracker.regret_ratio());
-    baseline_ratio.push_back(result.tracker.baseline_regret_ratio());
-    const auto& s = result.tracker.series();
+  std::vector<double> tail_ratio;
+  for (const auto& outcome : outcomes) {
+    const auto& s = outcome.result.tracker.series();
     tail_ratio.push_back(
         s.size() >= 5 ? pdm::TailRegretRatio(s[s.size() - 1 - s.size() / 5], s.back())
-                      : result.tracker.regret_ratio());
-    for (const auto& point : result.tracker.series()) {
-      csv.WriteRow({run.label, std::to_string(point.round),
+                      : outcome.result.tracker.regret_ratio());
+    for (const auto& point : s) {
+      csv.WriteRow({label_of(outcome.spec), std::to_string(point.round),
                     pdm::FormatDouble(point.regret_ratio, 6)});
     }
   }
 
-  for (int64_t checkpoint : pdm::bench::LogCheckpoints(listings)) {
+  for (int64_t checkpoint : pdm::scenario::LogCheckpoints(listings)) {
     std::vector<std::string> row = {std::to_string(checkpoint)};
-    for (const auto& s : series) {
+    for (const auto& outcome : outcomes) {
       double ratio = 0.0;
-      for (const auto& point : s) {
+      for (const auto& point : outcome.result.tracker.series()) {
         if (point.round <= checkpoint) ratio = point.regret_ratio;
       }
       row.push_back(pdm::FormatDouble(100.0 * ratio, 2) + "%");
@@ -126,13 +87,17 @@ int main(int argc, char** argv) {
   }
   table.Print(std::cout);
 
+  double test_mse =
+      driver.factory().FindAirbnbMarket(driver.Capped(specs.front()))->test_mse;
   std::printf("\noffline OLS test MSE: %.3f (paper: 0.226)\n\n", test_mse);
   std::printf("final ratios (paper: pure 4.57%%, 0.4 4.01%%, 0.6 3.83%%, 0.8 3.79%%):\n");
-  for (size_t i = 0; i < runs.size(); ++i) {
+  for (size_t i = 0; i < outcomes.size(); ++i) {
     std::printf("  %-10s cumulative %6.2f%%  tail(last 20%%) %6.2f%%",
-                runs[i].label.c_str(), 100.0 * final_ratio[i], 100.0 * tail_ratio[i]);
-    if (runs[i].ratio > 0.0) {
-      std::printf("   risk-averse baseline %6.2f%%", 100.0 * baseline_ratio[i]);
+                label_of(outcomes[i].spec).c_str(),
+                100.0 * outcomes[i].result.tracker.regret_ratio(), 100.0 * tail_ratio[i]);
+    if (outcomes[i].spec.airbnb.log_reserve_ratio > 0.0) {
+      std::printf("   risk-averse baseline %6.2f%%",
+                  100.0 * outcomes[i].result.tracker.baseline_regret_ratio());
     }
     std::printf("\n");
   }

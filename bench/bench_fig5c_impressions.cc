@@ -3,9 +3,11 @@
 // n ∈ {128, 1024} in both the sparse encoding (all hashed coordinates) and
 // the dense encoding (only non-zero-weight coordinates).
 //
-// Paper end-of-run ratios (T = 1e5): n=128 sparse 2.02%, dense 0.41%;
-// n=1024 sparse 8.04%, dense 0.89%. The sparse curves fall more slowly —
-// early rounds are spent eliminating zero-weight coordinates.
+// Thin spec-driven binary over scenario::Fig5cScenarios (also runnable as
+// `pdm_run --scenarios=fig5c/*`). Paper end-of-run ratios (T = 1e5): n=128
+// sparse 2.02%, dense 0.41%; n=1024 sparse 8.04%, dense 0.89%. The sparse
+// curves fall more slowly — early rounds are spent eliminating zero-weight
+// coordinates.
 //
 // Default rounds for the n=1024 sparse case are reduced (O(n²) per round);
 // pass --rounds_sparse_1024=100000 for the paper's full scale.
@@ -15,23 +17,20 @@
 // more than the whole horizon at n ≥ 128 — so their cumulative ratios stay
 // near the cold-start level. The paper's sparse finals (2.02%/8.04%) are only
 // reachable with an effectively tight prior around the offline FTRL fit; the
-// bench therefore also reports an oracle-prior sparse run (center = θ̂,
+// grid therefore also includes an oracle-prior sparse run (center = θ̂,
 // R = 0.005). Dense encodings converge honestly and their tail ratios match
 // the paper's finals.
 
 #include <cstdio>
 #include <iostream>
-#include <memory>
 #include <vector>
 
-#include "bench_common.h"
 #include "common/csv.h"
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
-#include "common/timer.h"
-#include "market/avazu_market.h"
-#include "pricing/generalized_engine.h"
+#include "scenario/experiment.h"
+#include "scenario/scenario_registry.h"
 
 int main(int argc, char** argv) {
   int64_t rounds = 100000;
@@ -44,87 +43,62 @@ int main(int argc, char** argv) {
   flags.AddInt64("rounds_sparse_1024", &rounds_sparse_1024,
                  "horizon for the n=1024 sparse case (paper: 100000)");
   flags.AddInt64("train_samples", &train_samples, "offline FTRL training examples");
-  flags.AddInt64("seed", reinterpret_cast<int64_t*>(&seed), "dataset seed");
+  flags.AddUint64("seed", &seed, "dataset seed");
   flags.AddString("csv", &csv_path, "optional CSV dump");
   if (!flags.Parse(argc, argv)) return 1;
 
   std::printf("=== Fig. 5(c): impression pricing, logistic model, pure version ===\n\n");
   pdm::CsvWriter csv(csv_path, {"config", "round", "regret_ratio"});
 
-  for (int hashed_dim : {128, 1024}) {
-    pdm::Rng rng(seed);
-    pdm::AvazuLikeConfig data_config;
-    pdm::AvazuLikeClickLog click_log(data_config, &rng);
-    pdm::AvazuMarketConfig market_config;
-    market_config.hashed_dim = hashed_dim;
-    market_config.train_samples = train_samples;
-    market_config.eval_samples = 20000;
-    pdm::AvazuMarket market = pdm::BuildAvazuMarket(market_config, click_log, &rng);
-    std::printf("n = %d: offline FTRL log-loss %.3f, non-zero weights %d "
-                "(paper: %.3f / %d)\n",
-                hashed_dim, market.logloss, market.nonzero_weights,
-                hashed_dim == 128 ? 0.420 : 0.406, hashed_dim == 128 ? 21 : 23);
+  std::vector<pdm::scenario::ScenarioSpec> specs = pdm::scenario::Fig5cScenarios(
+      rounds, rounds_sparse_1024, train_samples, seed);
+  pdm::scenario::ExperimentDriver driver;
+  std::vector<pdm::scenario::ScenarioOutcome> outcomes = driver.Run(specs);
 
-    for (int mode = 0; mode < 3; ++mode) {
-      // mode 0: sparse honest prior; 1: sparse oracle prior; 2: dense.
-      bool dense = mode == 2;
-      bool oracle_prior = mode == 1;
-      int64_t run_rounds =
-          (!dense && hashed_dim == 1024) ? rounds_sparse_1024 : rounds;
-      pdm::WallTimer timer;
-      pdm::AvazuQueryStream stream(&click_log, &market, hashed_dim, dense);
-      pdm::EllipsoidEngineConfig base_config;
-      base_config.dim = stream.feature_dim();
-      base_config.horizon = run_rounds;
-      if (oracle_prior) {
-        base_config.initial_center = market.theta;
-        base_config.initial_radius = 0.005;
-      } else {
-        base_config.initial_radius = market.recommended_radius;
-      }
-      base_config.use_reserve = false;  // pure version
-      pdm::GeneralizedPricingEngine engine(
-          std::make_unique<pdm::EllipsoidPricingEngine>(base_config),
-          std::make_shared<pdm::LogisticLink>(market.bias),
-          std::make_shared<pdm::IdentityFeatureMap>());
-      pdm::SimulationOptions options;
-      options.rounds = run_rounds;
-      options.series_stride = std::max<int64_t>(1, run_rounds / 200);
-      pdm::Rng sim_rng(77);
-      pdm::SimulationResult result = pdm::RunMarket(&stream, &engine, options, &sim_rng);
-
-      std::string label =
-          "n=" + std::to_string(hashed_dim) +
-          (dense ? " dense(d=" + std::to_string(stream.feature_dim()) + ")"
-                 : (oracle_prior ? " sparse, oracle prior" : " sparse, honest prior"));
-      pdm::TablePrinter table({"round", "regret ratio"});
-      for (int64_t checkpoint : pdm::bench::LogCheckpoints(run_rounds)) {
-        double ratio = 0.0;
-        for (const auto& point : result.tracker.series()) {
-          if (point.round <= checkpoint) ratio = point.regret_ratio;
-        }
-        table.AddRow({std::to_string(checkpoint),
-                      pdm::FormatDouble(100.0 * ratio, 2) + "%"});
-      }
-      std::printf("\n--- %s (T = %ld) ---\n", label.c_str(),
-                  static_cast<long>(run_rounds));
-      table.Print(std::cout);
-      const auto& s = result.tracker.series();
-      double tail = s.size() >= 5
-                        ? pdm::TailRegretRatio(s[s.size() - 1 - s.size() / 5], s.back())
-                        : result.tracker.regret_ratio();
-      std::printf("final regret ratio: %.2f%% (tail over last 20%%: %.2f%%)  [%.1fs]\n",
-                  100.0 * result.tracker.regret_ratio(), 100.0 * tail,
-                  timer.ElapsedSeconds());
-      for (const auto& point : result.tracker.series()) {
-        csv.WriteRow({label, std::to_string(point.round),
-                      pdm::FormatDouble(point.regret_ratio, 6)});
-      }
+  int last_dim = 0;
+  for (const auto& outcome : outcomes) {
+    const pdm::scenario::ScenarioSpec& spec = outcome.spec;
+    const pdm::AvazuMarket* market = driver.factory().FindAvazuMarket(spec);
+    if (spec.n != last_dim) {
+      last_dim = spec.n;
+      std::printf("n = %d: offline FTRL log-loss %.3f, non-zero weights %d "
+                  "(paper: %.3f / %d)\n",
+                  spec.n, market->logloss, market->nonzero_weights,
+                  spec.n == 128 ? 0.420 : 0.406, spec.n == 128 ? 21 : 23);
     }
-    std::printf("\n");
+
+    std::string label =
+        "n=" + std::to_string(spec.n) +
+        (spec.avazu.dense
+             ? " dense(d=" + std::to_string(market->support.size()) + ")"
+             : (spec.avazu.oracle_prior_radius > 0.0 ? " sparse, oracle prior"
+                                                     : " sparse, honest prior"));
+    pdm::TablePrinter table({"round", "regret ratio"});
+    for (int64_t checkpoint : pdm::scenario::LogCheckpoints(spec.rounds)) {
+      double ratio = 0.0;
+      for (const auto& point : outcome.result.tracker.series()) {
+        if (point.round <= checkpoint) ratio = point.regret_ratio;
+      }
+      table.AddRow({std::to_string(checkpoint),
+                    pdm::FormatDouble(100.0 * ratio, 2) + "%"});
+    }
+    std::printf("\n--- %s (T = %ld) ---\n", label.c_str(),
+                static_cast<long>(spec.rounds));
+    table.Print(std::cout);
+    const auto& s = outcome.result.tracker.series();
+    double tail = s.size() >= 5
+                      ? pdm::TailRegretRatio(s[s.size() - 1 - s.size() / 5], s.back())
+                      : outcome.result.tracker.regret_ratio();
+    std::printf("final regret ratio: %.2f%% (tail over last 20%%: %.2f%%)  [%.1fs]\n",
+                100.0 * outcome.result.tracker.regret_ratio(), 100.0 * tail,
+                outcome.result.wall_seconds);
+    for (const auto& point : s) {
+      csv.WriteRow({label, std::to_string(point.round),
+                    pdm::FormatDouble(point.regret_ratio, 6)});
+    }
   }
   std::printf(
-      "Shape checks (paper): dense ratios far below sparse at equal rounds;\n"
+      "\nShape checks (paper): dense ratios far below sparse at equal rounds;\n"
       "sparse n=1024 falls more slowly than sparse n=128 (zero-weight\n"
       "elimination dominates early rounds). Paper finals: 2.02%%/0.41%%\n"
       "(n=128 sparse/dense), 8.04%%/0.89%% (n=1024).\n");

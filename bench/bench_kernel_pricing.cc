@@ -9,90 +9,60 @@
 //
 // The correct model converges to the ε-floor; the misspecified one plateaus
 // at its approximation error. A landmark-budget sweep shows the fixed-budget
-// substitution's knob.
+// substitution's knob. Thin spec-driven binary over
+// scenario::KernelScenarios (also `pdm_run --scenarios=kernel/*`).
 
 #include <cstdio>
 #include <iostream>
-#include <memory>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
-#include "market/kernel_market.h"
-#include "market/simulator.h"
-#include "pricing/ellipsoid_engine.h"
-#include "pricing/generalized_engine.h"
-
-namespace {
-
-pdm::SimulationResult RunKernelEngine(const pdm::KernelMarketConfig& config,
-                                      int64_t rounds, uint64_t seed) {
-  pdm::Rng rng(seed);
-  pdm::KernelQueryStream stream(config, &rng);
-  pdm::EllipsoidEngineConfig base_config;
-  base_config.dim = config.num_landmarks;
-  base_config.horizon = rounds;
-  base_config.initial_radius = stream.RecommendedRadius();
-  base_config.use_reserve = config.reserve_fraction > 0.0;
-  pdm::GeneralizedPricingEngine engine(
-      std::make_unique<pdm::EllipsoidPricingEngine>(base_config),
-      std::make_shared<pdm::IdentityLink>(),
-      std::make_shared<pdm::KernelFeatureMap>(stream.feature_map()));
-  pdm::SimulationOptions options;
-  options.rounds = rounds;
-  return pdm::RunMarket(&stream, &engine, options, &rng);
-}
-
-pdm::SimulationResult RunMisspecifiedLinear(const pdm::KernelMarketConfig& config,
-                                            int64_t rounds, uint64_t seed) {
-  pdm::Rng rng(seed);
-  pdm::KernelQueryStream stream(config, &rng);
-  pdm::EllipsoidEngineConfig engine_config;
-  engine_config.dim = config.input_dim;
-  engine_config.horizon = rounds;
-  engine_config.initial_radius = 4.0 * stream.RecommendedRadius();
-  engine_config.use_reserve = config.reserve_fraction > 0.0;
-  pdm::EllipsoidPricingEngine engine(engine_config);
-  pdm::SimulationOptions options;
-  options.rounds = rounds;
-  return pdm::RunMarket(&stream, &engine, options, &rng);
-}
-
-}  // namespace
+#include "scenario/experiment.h"
+#include "scenario/scenario_registry.h"
 
 int main(int argc, char** argv) {
   int64_t rounds = 20000;
   uint64_t seed = 9;
   pdm::FlagSet flags("bench_kernel_pricing");
   flags.AddInt64("rounds", &rounds, "horizon T");
-  flags.AddInt64("seed", reinterpret_cast<int64_t*>(&seed), "workload seed");
+  flags.AddUint64("seed", &seed, "workload seed");
   if (!flags.Parse(argc, argv)) return 1;
 
   std::printf("=== Kernelized model (Section IV-A): correct vs misspecified ===\n\n");
-  pdm::KernelMarketConfig config;
+  std::vector<pdm::scenario::ScenarioSpec> specs =
+      pdm::scenario::KernelScenarios(rounds, seed);
+  pdm::scenario::ExperimentDriver driver;
+  std::vector<pdm::scenario::ScenarioOutcome> outcomes = driver.Run(specs);
+
+  auto find = [&](const std::string& name) -> const pdm::scenario::ScenarioOutcome& {
+    for (const auto& outcome : outcomes) {
+      if (outcome.spec.name == name) return outcome;
+    }
+    std::fprintf(stderr, "missing scenario %s\n", name.c_str());
+    std::abort();
+  };
 
   pdm::TablePrinter table({"engine", "regret ratio", "sold", "exploratory"});
-  pdm::SimulationResult kernel_result = RunKernelEngine(config, rounds, seed);
-  pdm::SimulationResult linear_result = RunMisspecifiedLinear(config, rounds, seed);
-  table.AddRow({"kernelized (m=10)",
-                pdm::FormatDouble(100.0 * kernel_result.tracker.regret_ratio(), 2) + "%",
-                std::to_string(kernel_result.tracker.sales()),
-                std::to_string(kernel_result.engine_counters.exploratory_rounds)});
-  table.AddRow({"linear on raw x (misspecified)",
-                pdm::FormatDouble(100.0 * linear_result.tracker.regret_ratio(), 2) + "%",
-                std::to_string(linear_result.tracker.sales()),
-                std::to_string(linear_result.engine_counters.exploratory_rounds)});
+  for (const auto* outcome : {&find("kernel/m=10"), &find("kernel/misspecified-linear")}) {
+    const char* label = outcome->spec.kernel.misspecified_linear
+                            ? "linear on raw x (misspecified)"
+                            : "kernelized (m=10)";
+    table.AddRow({label,
+                  pdm::FormatDouble(100.0 * outcome->result.tracker.regret_ratio(), 2) + "%",
+                  std::to_string(outcome->result.tracker.sales()),
+                  std::to_string(outcome->result.engine_counters.exploratory_rounds)});
+  }
   table.Print(std::cout);
 
   std::printf("\n--- landmark budget sweep (fixed-budget substitution knob) ---\n");
   pdm::TablePrinter sweep({"landmarks m", "regret ratio", "exploratory"});
-  for (int m : {5, 10, 20, 40}) {
-    pdm::KernelMarketConfig c = config;
-    c.num_landmarks = m;
-    pdm::SimulationResult result = RunKernelEngine(c, rounds, seed);
-    sweep.AddRow({std::to_string(m),
-                  pdm::FormatDouble(100.0 * result.tracker.regret_ratio(), 2) + "%",
-                  std::to_string(result.engine_counters.exploratory_rounds)});
+  for (const auto& outcome : outcomes) {
+    if (outcome.spec.kernel.misspecified_linear) continue;
+    sweep.AddRow({std::to_string(outcome.spec.n),
+                  pdm::FormatDouble(100.0 * outcome.result.tracker.regret_ratio(), 2) + "%",
+                  std::to_string(outcome.result.engine_counters.exploratory_rounds)});
   }
   sweep.Print(std::cout);
   std::printf(

@@ -2,19 +2,22 @@
 // the version with reserve price — mean (standard deviation) of the market
 // value, reserve price, posted price, and regret, for each (n, T).
 //
-// Paper reference values (means): n=20: value 3.874, reserve 3.388, posted
-// 3.685, regret 0.166; n=100: value 8.824, reserve 7.221, posted 8.820,
-// regret 0.686. Exact values depend on the (proprietary) dataset; the shape
-// to check is value ≳ posted > reserve and regret ≪ value.
+// Thin spec-driven binary over scenario::Table1Scenarios (also runnable as
+// `pdm_run --scenarios=table1/*`). Paper reference values (means): n=20:
+// value 3.874, reserve 3.388, posted 3.685, regret 0.166; n=100: value
+// 8.824, reserve 7.221, posted 8.820, regret 0.686. Exact values depend on
+// the (proprietary) dataset; the shape to check is value ≳ posted > reserve
+// and regret ≪ value.
 
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
-#include "bench_common.h"
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "scenario/experiment.h"
+#include "scenario/scenario_registry.h"
 
 namespace {
 
@@ -32,31 +35,20 @@ int main(int argc, char** argv) {
   pdm::FlagSet flags("bench_table1_round_stats");
   flags.AddInt64("owners", &num_owners, "number of data owners");
   flags.AddBool("full", &full, "run the paper's full scale (false: 10x fewer rounds)");
-  flags.AddInt64("seed", reinterpret_cast<int64_t*>(&seed), "workload seed");
+  flags.AddUint64("seed", &seed, "workload seed");
   if (!flags.Parse(argc, argv)) return 1;
 
-  struct Config {
-    int dim;
-    int64_t rounds;
-  };
-  const std::vector<Config> configs = {{1, 100},     {20, 10000},  {40, 10000},
-                                       {60, 100000}, {80, 100000}, {100, 100000}};
-
   std::printf("=== Table I: per-round statistics, version with reserve price ===\n\n");
+  std::vector<pdm::scenario::ScenarioSpec> specs =
+      pdm::scenario::Table1Scenarios(num_owners, full, seed);
+  pdm::scenario::ExperimentDriver driver;
+  std::vector<pdm::scenario::ScenarioOutcome> outcomes = driver.Run(specs);
+
   pdm::TablePrinter table(
       {"n", "T", "market value", "reserve price", "posted price", "regret"});
-  pdm::bench::Variant reserve_variant{"reserve", true, false};
-
-  for (const Config& config : configs) {
-    int64_t rounds = full ? config.rounds : std::max<int64_t>(100, config.rounds / 10);
-    pdm::bench::LinearWorkload workload = pdm::bench::MakeLinearWorkload(
-        config.dim, rounds, static_cast<int>(num_owners),
-        seed + static_cast<uint64_t>(config.dim));
-    pdm::SimulationResult result = pdm::bench::RunLinearVariant(
-        workload, reserve_variant, config.dim, rounds, /*delta=*/0.0,
-        /*series_stride=*/0, /*sim_seed=*/99);
-    const pdm::RegretTracker& tracker = result.tracker;
-    table.AddRow({std::to_string(config.dim), std::to_string(rounds),
+  for (const auto& outcome : outcomes) {
+    const pdm::RegretTracker& tracker = outcome.result.tracker;
+    table.AddRow({std::to_string(outcome.spec.n), std::to_string(outcome.spec.rounds),
                   MeanStd(tracker.value_stats()), MeanStd(tracker.reserve_stats()),
                   MeanStd(tracker.price_stats()), MeanStd(tracker.regret_stats())});
   }

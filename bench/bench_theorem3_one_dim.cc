@@ -2,15 +2,21 @@
 // regret with ε = log₂(T)/T. We sweep T over four decades and report the
 // cumulative regret alongside regret/log₂(T), which should stay bounded
 // (roughly constant) if the logarithmic growth holds.
+//
+// Thin spec-driven binary over scenario::Theorem3Scenarios (also runnable as
+// `pdm_run --scenarios=theorem3/*`).
 
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
-#include "bench_common.h"
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "pricing/interval_engine.h"
+#include "scenario/experiment.h"
+#include "scenario/scenario_registry.h"
 
 int main(int argc, char** argv) {
   int64_t max_rounds = 1000000;
@@ -21,22 +27,21 @@ int main(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) return 1;
 
   std::printf("=== Theorem 3: one-dimensional pure version, regret ~ O(log T) ===\n\n");
+  std::vector<pdm::scenario::ScenarioSpec> specs =
+      pdm::scenario::Theorem3Scenarios(max_rounds, num_owners);
+  pdm::scenario::ExperimentDriver driver;
+  std::vector<pdm::scenario::ScenarioOutcome> outcomes = driver.Run(specs);
+
   pdm::TablePrinter table(
       {"T", "epsilon", "cumulative regret", "regret / log2(T)", "exploratory rounds"});
-
-  pdm::bench::Variant pure{"pure", false, false};
-  for (int64_t rounds = 100; rounds <= max_rounds; rounds *= 10) {
-    pdm::bench::LinearWorkload workload = pdm::bench::MakeLinearWorkload(
-        1, std::min<int64_t>(rounds, 4096), static_cast<int>(num_owners), 7);
-    // n = 1 rounds are identical (x = 1, v = √2); replay wraps the workload.
-    pdm::SimulationResult result = pdm::bench::RunLinearVariant(
-        workload, pure, 1, rounds, /*delta=*/0.0, /*series_stride=*/0, 99);
+  for (const auto& outcome : outcomes) {
+    int64_t rounds = outcome.spec.rounds;
     double log2t = std::log2(static_cast<double>(rounds));
     table.AddRow({std::to_string(rounds),
                   pdm::FormatDouble(pdm::DefaultIntervalEpsilon(rounds, 0.0), 6),
-                  pdm::FormatDouble(result.tracker.cumulative_regret(), 3),
-                  pdm::FormatDouble(result.tracker.cumulative_regret() / log2t, 4),
-                  std::to_string(result.engine_counters.exploratory_rounds)});
+                  pdm::FormatDouble(outcome.result.tracker.cumulative_regret(), 3),
+                  pdm::FormatDouble(outcome.result.tracker.cumulative_regret() / log2t, 4),
+                  std::to_string(outcome.result.engine_counters.exploratory_rounds)});
   }
   table.Print(std::cout);
   std::printf(

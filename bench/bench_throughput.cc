@@ -3,7 +3,10 @@
 // noisy-linear-query workload (Application 1). This is the perf trajectory
 // bench: besides the human-readable table it emits a machine-readable
 // BENCH_throughput.json (schema pdm.bench_throughput.v1) so successive
-// commits can be compared mechanically.
+// commits can be compared mechanically. The sweep itself is declarative —
+// scenario::ThroughputScenarios — and runs through the same ExperimentDriver
+// as pdm_run (which also covers this grid, as `throughput/*`, in the richer
+// pdm.run.v1 schema).
 //
 // Each scenario replays the same recorded query sequence through RunMarket;
 // the reported wall time covers only the market loop (stream fill + PostPrice
@@ -16,55 +19,52 @@
 #include <string>
 #include <vector>
 
-#include "bench_common.h"
 #include "common/flags.h"
-#include "common/memory.h"
+#include "common/json_writer.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "scenario/experiment.h"
+#include "scenario/scenario_registry.h"
 
 namespace {
 
-struct ThroughputRow {
-  std::string scenario;
-  std::string variant;
-  int dim = 0;
-  int64_t rounds = 0;
-  double wall_seconds = 0.0;
-  double rounds_per_sec = 0.0;
-  double ns_per_round = 0.0;
-  int64_t rss_bytes = 0;
-};
-
-/// Writes the sweep as pdm.bench_throughput.v1 JSON. Hand-rolled: the schema
-/// is flat and the repo deliberately has no third-party JSON dependency.
+/// Writes the sweep as pdm.bench_throughput.v1 JSON (the scenario key stays
+/// "variant/n=dim" so the rounds/sec trajectory remains comparable across
+/// commits). `rss_bytes` is process VmRSS after the sweep.
 void WriteJson(const std::string& path, int64_t rounds_per_scenario,
                int64_t workload_rounds, double delta,
-               const std::vector<ThroughputRow>& rows) {
+               const std::vector<pdm::scenario::ScenarioOutcome>& outcomes) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
     return;
   }
-  out << "{\n";
-  out << "  \"schema\": \"pdm.bench_throughput.v1\",\n";
-  out << "  \"rounds_per_scenario\": " << rounds_per_scenario << ",\n";
-  out << "  \"workload_rounds\": " << workload_rounds << ",\n";
-  out << "  \"delta\": " << pdm::FormatDouble(delta, 6) << ",\n";
-  out << "  \"results\": [\n";
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const ThroughputRow& r = rows[i];
-    out << "    {\"scenario\": \"" << r.scenario << "\", "
-        << "\"variant\": \"" << r.variant << "\", "
-        << "\"dim\": " << r.dim << ", "
-        << "\"rounds\": " << r.rounds << ", "
-        << "\"wall_seconds\": " << pdm::FormatDouble(r.wall_seconds, 6) << ", "
-        << "\"rounds_per_sec\": " << pdm::FormatDouble(r.rounds_per_sec, 1) << ", "
-        << "\"ns_per_round\": " << pdm::FormatDouble(r.ns_per_round, 1) << ", "
-        << "\"rss_bytes\": " << r.rss_bytes << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
+  pdm::JsonWriter json(&out);
+  json.BeginObject();
+  json.Field("schema", "pdm.bench_throughput.v1");
+  json.Field("rounds_per_scenario", rounds_per_scenario);
+  json.Field("workload_rounds", workload_rounds);
+  json.Field("delta", delta);
+  json.Key("results");
+  json.BeginArray();
+  for (const pdm::scenario::ScenarioOutcome& outcome : outcomes) {
+    const pdm::scenario::ScenarioSpec& spec = outcome.spec;
+    double wall = outcome.result.wall_seconds;
+    double rounds = static_cast<double>(spec.rounds);
+    json.BeginObject();
+    json.Field("scenario", spec.mechanism + "/n=" + std::to_string(spec.n));
+    json.Field("variant", spec.mechanism);
+    json.Field("dim", spec.n);
+    json.Field("rounds", spec.rounds);
+    json.Field("wall_seconds", wall);
+    json.Field("rounds_per_sec", wall > 0.0 ? rounds / wall : 0.0);
+    json.Field("ns_per_round", wall * 1e9 / rounds);
+    json.Field("rss_bytes", outcome.rss_bytes);
+    json.EndObject();
   }
-  out << "  ]\n";
-  out << "}\n";
+  json.EndArray();
+  json.EndObject();
+  out << "\n";
 }
 
 }  // namespace
@@ -83,54 +83,38 @@ int main(int argc, char** argv) {
                  "distinct precomputed queries per dimension");
   flags.AddInt64("owners", &num_owners, "data owners behind the workload");
   flags.AddDouble("delta", &delta, "uncertainty buffer for the *+uncertainty variants");
-  flags.AddInt64("seed", reinterpret_cast<int64_t*>(&seed), "workload seed");
+  flags.AddUint64("seed", &seed, "workload seed");
   flags.AddBool("smoke", &smoke, "short CI mode (caps rounds at 20000)");
   flags.AddString("out", &out_path, "machine-readable JSON output path");
   if (!flags.Parse(argc, argv)) return 1;
   if (smoke && rounds > 20000) rounds = 20000;
 
-  const std::vector<int> dims = {2, 5, 10, 20, 50};
-  const std::vector<pdm::bench::Variant> variants = pdm::bench::PaperVariants();
+  std::vector<pdm::scenario::ScenarioSpec> specs = pdm::scenario::ThroughputScenarios(
+      rounds, workload_rounds, num_owners, delta, seed);
+  std::printf("=== throughput sweep: %ld rounds/scenario, %zu scenarios ===\n\n",
+              static_cast<long>(rounds), specs.size());
 
-  std::printf("=== throughput sweep: %ld rounds/scenario, %zu dims x %zu variants ===\n\n",
-              static_cast<long>(rounds), dims.size(), variants.size());
+  // Scenarios run serially on purpose: concurrent scenarios would contend
+  // for cores and distort per-scenario wall times.
+  pdm::scenario::RunOptions options;
+  options.num_threads = 1;
+  pdm::scenario::ExperimentDriver driver(options);
+  std::vector<pdm::scenario::ScenarioOutcome> outcomes = driver.Run(specs);
 
-  std::vector<ThroughputRow> rows;
   pdm::TablePrinter table({"scenario", "rounds/s", "ns/round", "rss_mib"});
-  for (int dim : dims) {
-    pdm::bench::LinearWorkload workload = pdm::bench::MakeLinearWorkload(
-        dim, workload_rounds, static_cast<int>(num_owners), seed);
-    for (const pdm::bench::Variant& variant : variants) {
-      pdm::ScenarioSpec spec = pdm::bench::LinearVariantScenario(
-          &workload, variant, dim, rounds, delta, /*series_stride=*/0,
-          /*sim_seed=*/seed + static_cast<uint64_t>(dim));
-      spec.name = variant.label + "/n=" + std::to_string(dim);
-      // Scenarios run serially on purpose: concurrent scenarios would contend
-      // for cores and distort per-scenario wall times.
-      pdm::ScenarioResult result = pdm::SimulationRunner::RunScenario(spec);
-
-      ThroughputRow row;
-      row.scenario = spec.name;
-      row.variant = variant.label;
-      row.dim = dim;
-      row.rounds = rounds;
-      row.wall_seconds = result.result.wall_seconds;
-      row.rounds_per_sec =
-          row.wall_seconds > 0.0 ? static_cast<double>(rounds) / row.wall_seconds : 0.0;
-      row.ns_per_round =
-          row.wall_seconds * 1e9 / static_cast<double>(rounds);
-      row.rss_bytes = pdm::CurrentRssBytes();
-      rows.push_back(row);
-
-      table.AddRow({row.scenario, pdm::FormatDouble(row.rounds_per_sec, 0),
-                    pdm::FormatDouble(row.ns_per_round, 1),
-                    pdm::FormatDouble(static_cast<double>(row.rss_bytes) / (1024.0 * 1024.0),
-                                      1)});
-    }
+  for (const pdm::scenario::ScenarioOutcome& outcome : outcomes) {
+    double wall = outcome.result.wall_seconds;
+    double per_sec = wall > 0.0 ? static_cast<double>(outcome.spec.rounds) / wall : 0.0;
+    table.AddRow({outcome.spec.mechanism + "/n=" + std::to_string(outcome.spec.n),
+                  pdm::FormatDouble(per_sec, 0),
+                  pdm::FormatDouble(wall * 1e9 / static_cast<double>(outcome.spec.rounds), 1),
+                  pdm::FormatDouble(static_cast<double>(outcome.rss_bytes) /
+                                        (1024.0 * 1024.0),
+                                    1)});
   }
   table.Print(std::cout);
 
-  WriteJson(out_path, rounds, workload_rounds, delta, rows);
-  std::printf("\nwrote %s (%zu scenarios)\n", out_path.c_str(), rows.size());
+  WriteJson(out_path, rounds, workload_rounds, delta, outcomes);
+  std::printf("\nwrote %s (%zu scenarios)\n", out_path.c_str(), outcomes.size());
   return 0;
 }

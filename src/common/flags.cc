@@ -15,6 +15,12 @@ void FlagSet::AddInt64(const std::string& name, int64_t* value, const std::strin
   flags_.push_back({name, Type::kInt64, value, help, std::to_string(*value)});
 }
 
+void FlagSet::AddUint64(const std::string& name, uint64_t* value, const std::string& help) {
+  PDM_CHECK(value != nullptr);
+  PDM_CHECK(Find(name) == nullptr);
+  flags_.push_back({name, Type::kUint64, value, help, std::to_string(*value)});
+}
+
 void FlagSet::AddDouble(const std::string& name, double* value, const std::string& help) {
   PDM_CHECK(value != nullptr);
   PDM_CHECK(Find(name) == nullptr);
@@ -46,6 +52,12 @@ bool FlagSet::Assign(const Flag& flag, const std::string& text) const {
       auto parsed = ParseInt64(text);
       if (!parsed) return false;
       *static_cast<int64_t*>(flag.target) = *parsed;
+      return true;
+    }
+    case Type::kUint64: {
+      auto parsed = ParseUint64(text);
+      if (!parsed) return false;
+      *static_cast<uint64_t*>(flag.target) = *parsed;
       return true;
     }
     case Type::kDouble: {
@@ -80,32 +92,43 @@ bool FlagSet::Parse(int argc, char** argv) {
       return false;
     }
     std::string body = arg.substr(2);
-    std::string name;
-    std::string value;
     size_t eq = body.find('=');
-    if (eq != std::string::npos) {
-      name = body.substr(0, eq);
-      value = body.substr(eq + 1);
-    } else {
-      name = body;
-      // Bools may omit the value ("--verbose"); everything else consumes the
-      // next argument.
-      const Flag* flag = Find(name);
-      if (flag != nullptr && flag->type == Type::kBool &&
-          (i + 1 >= argc || StartsWith(argv[i + 1], "--"))) {
-        value = "true";
-      } else if (i + 1 < argc) {
-        value = argv[++i];
-      } else {
-        std::fprintf(stderr, "%s: flag --%s is missing a value\n", program_.c_str(),
-                     name.c_str());
-        return false;
-      }
-    }
+    std::string name = eq == std::string::npos ? body : body.substr(0, eq);
+    // Resolve the name before consuming a value so a bare unknown flag is
+    // reported as unknown, not as "missing a value".
     const Flag* flag = Find(name);
     if (flag == nullptr) {
-      std::fprintf(stderr, "%s: unknown flag --%s\n%s", program_.c_str(), name.c_str(),
-                   Usage().c_str());
+      std::fprintf(stderr, "%s: unknown flag --%s\n", program_.c_str(), name.c_str());
+      // Suggest the closest registered name when the typo is within a third
+      // of the flag's length — close enough to be a slip, not a guess.
+      const Flag* closest = nullptr;
+      size_t best = name.size();
+      for (const Flag& candidate : flags_) {
+        size_t distance = EditDistance(name, candidate.name);
+        if (distance < best) {
+          best = distance;
+          closest = &candidate;
+        }
+      }
+      if (closest != nullptr && best * 3 <= closest->name.size()) {
+        std::fprintf(stderr, "  did you mean --%s?\n", closest->name.c_str());
+      }
+      std::fprintf(stderr, "known flags: %s\n", KnownFlagList().c_str());
+      return false;
+    }
+    std::string value;
+    if (eq != std::string::npos) {
+      value = body.substr(eq + 1);
+    } else if (flag->type == Type::kBool &&
+               (i + 1 >= argc || StartsWith(argv[i + 1], "--"))) {
+      // Bools may omit the value ("--verbose"); everything else consumes the
+      // next argument.
+      value = "true";
+    } else if (i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      std::fprintf(stderr, "%s: flag --%s is missing a value\n", program_.c_str(),
+                   name.c_str());
       return false;
     }
     if (!Assign(*flag, value)) {
@@ -115,6 +138,16 @@ bool FlagSet::Parse(int argc, char** argv) {
     }
   }
   return true;
+}
+
+std::string FlagSet::KnownFlagList() const {
+  if (flags_.empty()) return "(none; only --help)";
+  std::string out;
+  for (const Flag& flag : flags_) {
+    if (!out.empty()) out += ", ";
+    out += "--" + flag.name;
+  }
+  return out;
 }
 
 std::string FlagSet::Usage() const {

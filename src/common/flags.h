@@ -31,19 +31,27 @@ class FlagSet {
   /// Registers a flag bound to `*value`; the current content of `*value` is
   /// treated as the default and shown in `--help` output.
   void AddInt64(const std::string& name, int64_t* value, const std::string& help);
+  void AddUint64(const std::string& name, uint64_t* value, const std::string& help);
   void AddDouble(const std::string& name, double* value, const std::string& help);
   void AddBool(const std::string& name, bool* value, const std::string& help);
   void AddString(const std::string& name, std::string* value, const std::string& help);
 
   /// Parses argv. Returns false (after printing a message to stderr) on an
-  /// unknown flag, a malformed value, or `--help`.
+  /// unknown flag, a malformed value, or `--help`. An unknown flag reports
+  /// the full list of known flags — and the closest-named one when the typo
+  /// is close enough — instead of the error disappearing into a wall of
+  /// usage text.
   bool Parse(int argc, char** argv);
 
   /// Human-readable usage text listing all registered flags.
   std::string Usage() const;
 
+  /// Comma-separated "--name" list of every registered flag, in registration
+  /// order (what the unknown-flag error prints).
+  std::string KnownFlagList() const;
+
  private:
-  enum class Type { kInt64, kDouble, kBool, kString };
+  enum class Type { kInt64, kUint64, kDouble, kBool, kString };
   struct Flag {
     std::string name;
     Type type;

@@ -1,0 +1,183 @@
+#include "common/json_writer.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace pdm {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          // UTF-8 continuation bytes pass through untouched; JSON strings
+          // are UTF-8 and only the ASCII control range needs escaping.
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter::JsonWriter(std::ostream* os, int indent) : os_(os), indent_(indent) {
+  PDM_CHECK(os_ != nullptr);
+  PDM_CHECK(indent_ >= 0);
+}
+
+JsonWriter::~JsonWriter() {
+  // A half-written document is a bug in the emitter, not a recoverable I/O
+  // condition; fail loudly rather than ship truncated JSON.
+  PDM_CHECK(done());
+}
+
+bool JsonWriter::done() const { return root_written_ && stack_.empty() && !key_pending_; }
+
+void JsonWriter::NewlineIndent() {
+  if (indent_ == 0) return;
+  *os_ << '\n';
+  for (size_t i = 0; i < stack_.size() * static_cast<size_t>(indent_); ++i) *os_ << ' ';
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) {
+    PDM_CHECK(!root_written_);  // exactly one top-level value
+    return;
+  }
+  Level& level = stack_.back();
+  if (level.scope == Scope::kObject) {
+    PDM_CHECK(key_pending_);  // object values require a preceding Key()
+    return;
+  }
+  if (level.entries > 0) *os_ << ',';
+  NewlineIndent();
+}
+
+void JsonWriter::AfterValue() {
+  key_pending_ = false;
+  if (stack_.empty()) {
+    root_written_ = true;
+  } else {
+    ++stack_.back().entries;
+  }
+}
+
+void JsonWriter::Key(std::string_view key) {
+  PDM_CHECK(!stack_.empty() && stack_.back().scope == Scope::kObject);
+  PDM_CHECK(!key_pending_);
+  if (stack_.back().entries > 0) *os_ << ',';
+  NewlineIndent();
+  *os_ << '"' << JsonEscape(key) << "\":";
+  if (indent_ > 0) *os_ << ' ';
+  key_pending_ = true;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  key_pending_ = false;
+  *os_ << '{';
+  stack_.push_back({Scope::kObject});
+}
+
+void JsonWriter::EndObject() {
+  PDM_CHECK(!stack_.empty() && stack_.back().scope == Scope::kObject);
+  PDM_CHECK(!key_pending_);  // a Key() without its value
+  bool had_entries = stack_.back().entries > 0;
+  stack_.pop_back();
+  if (had_entries) NewlineIndent();
+  *os_ << '}';
+  AfterValue();
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  key_pending_ = false;
+  *os_ << '[';
+  stack_.push_back({Scope::kArray});
+}
+
+void JsonWriter::EndArray() {
+  PDM_CHECK(!stack_.empty() && stack_.back().scope == Scope::kArray);
+  bool had_entries = stack_.back().entries > 0;
+  stack_.pop_back();
+  if (had_entries) NewlineIndent();
+  *os_ << ']';
+  AfterValue();
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  *os_ << '"' << JsonEscape(value) << '"';
+  AfterValue();
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  *os_ << value;
+  AfterValue();
+}
+
+void JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  *os_ << value;
+  AfterValue();
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    *os_ << "null";
+  } else {
+    // Shortest decimal form that parses back to the same bits. to_chars
+    // never produces JSON-invalid output for finite doubles (no leading '+',
+    // no bare '.'), unlike printf's %g with exotic locales.
+    char buf[32];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+    PDM_CHECK(ec == std::errc());
+    os_->write(buf, ptr - buf);
+  }
+  AfterValue();
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  *os_ << (value ? "true" : "false");
+  AfterValue();
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  *os_ << "null";
+  AfterValue();
+}
+
+}  // namespace pdm

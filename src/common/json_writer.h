@@ -1,0 +1,95 @@
+#ifndef PDM_COMMON_JSON_WRITER_H_
+#define PDM_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// Streaming JSON emitter for the machine-readable bench/run documents
+/// (`pdm.run.v1`, `pdm.bench_throughput.v1`). The repo deliberately vendors
+/// no third-party JSON library; this writer owns the three things the
+/// hand-rolled `fprintf` emission it replaced got wrong or could not check:
+///
+///   * string escaping — quotes, backslashes, and control characters become
+///     valid JSON escapes (`\n`, `\u001b`, ...), so scenario names and file
+///     paths can never corrupt the document;
+///   * non-finite doubles — JSON has no NaN/Infinity literal; they are
+///     emitted as `null` (the consumer-side convention for "not measured");
+///   * nesting discipline — Begin/End mismatches and missing keys trip a
+///     `PDM_CHECK` at write time instead of producing a silently truncated
+///     document.
+///
+/// Doubles are formatted with the shortest representation that round-trips
+/// (`std::to_chars`), so emitted numbers parse back to the exact bits.
+
+namespace pdm {
+
+/// Returns `text` with JSON string escaping applied (no surrounding quotes).
+std::string JsonEscape(std::string_view text);
+
+class JsonWriter {
+ public:
+  /// Writes onto `os` with `indent` spaces per nesting level (0 = compact,
+  /// single line). The caller keeps ownership of the stream.
+  explicit JsonWriter(std::ostream* os, int indent = 2);
+
+  /// Exactly one top-level value must be written; the destructor checks the
+  /// document was completed (all Begin* calls matched by End*).
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Names the next value; only valid directly inside an object.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void UInt(uint64_t value);
+  /// NaN and ±Infinity are emitted as `null`.
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Key + value in one call (object context only).
+  void Field(std::string_view key, std::string_view value) { Key(key); String(value); }
+  void Field(std::string_view key, const char* value) { Key(key); String(value); }
+  void Field(std::string_view key, int value) { Key(key); Int(value); }
+  void Field(std::string_view key, int64_t value) { Key(key); Int(value); }
+  void Field(std::string_view key, uint64_t value) { Key(key); UInt(value); }
+  void Field(std::string_view key, double value) { Key(key); Double(value); }
+  void Field(std::string_view key, bool value) { Key(key); Bool(value); }
+
+  /// True once the single top-level value has been fully written.
+  bool done() const;
+
+ private:
+  enum class Scope { kObject, kArray };
+  struct Level {
+    Scope scope;
+    int entries = 0;
+  };
+
+  /// Pre-value bookkeeping: separators, newline/indent, key discipline.
+  void BeforeValue();
+  void AfterValue();
+  void NewlineIndent();
+
+  std::ostream* os_;
+  int indent_;
+  std::vector<Level> stack_;
+  bool key_pending_ = false;
+  bool root_written_ = false;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_COMMON_JSON_WRITER_H_

@@ -1,5 +1,6 @@
 #include "common/string_util.h"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cstdio>
@@ -67,6 +68,17 @@ std::optional<int64_t> ParseInt64(std::string_view text) {
   return value;
 }
 
+std::optional<uint64_t> ParseUint64(std::string_view text) {
+  text = Trim(text);
+  if (text.empty()) return std::nullopt;
+  uint64_t value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
 std::optional<bool> ParseBool(std::string_view text) {
   std::string lowered = ToLower(Trim(text));
   if (lowered == "true" || lowered == "1" || lowered == "yes" || lowered == "on") {
@@ -82,6 +94,48 @@ std::string FormatDouble(double value, int precision) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
   return buffer;
+}
+
+bool GlobMatch(std::string_view pattern, std::string_view text) {
+  // Iterative two-pointer matcher with backtracking to the last '*'. Linear
+  // in |text|·(stars+1); no recursion, no allocation.
+  size_t p = 0, t = 0;
+  size_t star = std::string_view::npos;  // position of the last '*' seen
+  size_t star_t = 0;                     // text position it was tried at
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string_view::npos) {
+      // Let the last '*' swallow one more character and retry.
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  // Single-row dynamic program over the shorter string.
+  std::vector<size_t> row(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) row[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    size_t diagonal = row[0];
+    row[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      size_t substitute = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[i];
+      row[i] = std::min({substitute, row[i] + 1, row[i - 1] + 1});
+    }
+  }
+  return row[a.size()];
 }
 
 }  // namespace pdm

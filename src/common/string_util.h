@@ -29,11 +29,21 @@ std::string ToLower(std::string_view text);
 /// garbage, overflow, or empty input.
 std::optional<double> ParseDouble(std::string_view text);
 std::optional<int64_t> ParseInt64(std::string_view text);
+std::optional<uint64_t> ParseUint64(std::string_view text);
 std::optional<bool> ParseBool(std::string_view text);
 
 /// Formats `value` with `precision` significant fractional digits, e.g.
 /// FormatDouble(3.14159, 2) == "3.14".
 std::string FormatDouble(double value, int precision);
+
+/// Glob matching with `*` (any sequence, including empty) and `?` (any single
+/// character); every other character matches literally. Used to select
+/// scenarios by name ("fig4/*", "throughput/*/n=2?").
+bool GlobMatch(std::string_view pattern, std::string_view text);
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs) between
+/// two byte strings; drives the flag parser's "did you mean" suggestions.
+size_t EditDistance(std::string_view a, std::string_view b);
 
 }  // namespace pdm
 

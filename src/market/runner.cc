@@ -20,17 +20,17 @@ SimulationRunner::SimulationRunner(const RunnerOptions& options) {
   num_threads_ = threads;
 }
 
-ScenarioResult SimulationRunner::RunScenario(const ScenarioSpec& spec) {
+JobResult SimulationRunner::RunJob(const SimulationJob& spec) {
   SimulationScratch scratch;
-  return RunScenario(spec, &scratch);
+  return RunJob(spec, &scratch);
 }
 
-ScenarioResult SimulationRunner::RunScenario(const ScenarioSpec& spec,
+JobResult SimulationRunner::RunJob(const SimulationJob& spec,
                                              SimulationScratch* scratch) {
   PDM_CHECK(spec.make_stream != nullptr);
   PDM_CHECK(spec.make_engine != nullptr);
 
-  // The scenario's entire randomness flows from this one generator: stream
+  // The job's entire randomness flows from this one generator: stream
   // construction consumes a prefix, the market loop the rest. That makes the
   // outcome a pure function of the spec, independent of which worker thread
   // runs it or when.
@@ -40,7 +40,7 @@ ScenarioResult SimulationRunner::RunScenario(const ScenarioSpec& spec,
   PDM_CHECK(stream != nullptr);
   PDM_CHECK(engine != nullptr);
 
-  ScenarioResult out;
+  JobResult out;
   out.name = spec.name;
   out.seed = spec.seed;
   out.engine_name = engine->name();
@@ -48,39 +48,39 @@ ScenarioResult SimulationRunner::RunScenario(const ScenarioSpec& spec,
   return out;
 }
 
-std::vector<ScenarioResult> SimulationRunner::RunAll(
-    const std::vector<ScenarioSpec>& scenarios) const {
-  std::vector<ScenarioResult> results(scenarios.size());
-  if (scenarios.empty()) return results;
+std::vector<JobResult> SimulationRunner::RunAll(
+    const std::vector<SimulationJob>& jobs) const {
+  std::vector<JobResult> results(jobs.size());
+  if (jobs.empty()) return results;
 
   const int workers =
-      static_cast<int>(std::min<size_t>(scenarios.size(),
+      static_cast<int>(std::min<size_t>(jobs.size(),
                                         static_cast<size_t>(num_threads_)));
   if (workers <= 1) {
     SimulationScratch scratch;
-    for (size_t i = 0; i < scenarios.size(); ++i) {
-      results[i] = RunScenario(scenarios[i], &scratch);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      results[i] = RunJob(jobs[i], &scratch);
     }
     return results;
   }
 
   // Work-stealing by atomic ticket: each worker claims the next unclaimed
-  // scenario index. Results land in their own slots, so no locking is needed
+  // job index. Results land in their own slots, so no locking is needed
   // and the output order matches the input order exactly. Exceptions are
-  // parked per-slot and rethrown after the join so a throwing scenario
+  // parked per-slot and rethrown after the join so a throwing job
   // behaves the same as on the serial path instead of std::terminate-ing
   // the process.
-  std::vector<std::exception_ptr> errors(scenarios.size());
+  std::vector<std::exception_ptr> errors(jobs.size());
   std::atomic<size_t> next{0};
   auto worker = [&]() {
     // Per-thread scratch: the round buffers are allocated once per worker
-    // and reused across every scenario the worker claims.
+    // and reused across every job the worker claims.
     SimulationScratch scratch;
     for (;;) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= scenarios.size()) return;
+      if (i >= jobs.size()) return;
       try {
-        results[i] = RunScenario(scenarios[i], &scratch);
+        results[i] = RunJob(jobs[i], &scratch);
       } catch (...) {
         errors[i] = std::current_exception();
       }
@@ -97,11 +97,11 @@ std::vector<ScenarioResult> SimulationRunner::RunAll(
   return results;
 }
 
-void PrintComparisonTable(const std::vector<ScenarioResult>& results,
+void PrintComparisonTable(const std::vector<JobResult>& results,
                           std::ostream& os) {
   TablePrinter table({"scenario", "engine", "seed", "rounds", "sales", "regret",
                       "regret%", "explore", "skip", "wall_s"});
-  for (const ScenarioResult& r : results) {
+  for (const JobResult& r : results) {
     const RegretTracker& tracker = r.result.tracker;
     const EngineCounters& counters = r.result.engine_counters;
     table.AddRow({

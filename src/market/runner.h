@@ -14,25 +14,28 @@
 #include "rng/rng.h"
 
 /// \file
-/// Multi-scenario batch executor on top of `RunMarket`.
+/// Multi-job batch executor on top of `RunMarket`.
 ///
-/// A `ScenarioSpec` names one (stream, engine, options, seed) configuration;
-/// `SimulationRunner` executes a batch of them on a `std::thread` pool.
-/// Every scenario draws from its own `Rng(seed)` — first to construct the
-/// stream, then to drive the rounds — so results are bit-identical regardless
-/// of worker count or scheduling order, and identical to a serial
-/// `RunMarket` call with the same seed. This is the harness the benches use
-/// to sweep mechanism variants, workloads, and horizons concurrently.
+/// A `SimulationJob` wires one (stream, engine, options, seed) configuration
+/// into runnable factories; `SimulationRunner` executes a batch of them on a
+/// `std::thread` pool. Every job draws from its own `Rng(seed)` — first to
+/// construct the stream, then to drive the rounds — so results are
+/// bit-identical regardless of worker count or scheduling order, and
+/// identical to a serial `RunMarket` call with the same seed.
+///
+/// This is the execution substrate; the *declarative* description of what to
+/// run (dataset, mechanism, horizon, seeds) is `scenario::ScenarioSpec` one
+/// layer down, which `scenario::ExperimentDriver` lowers onto jobs.
 
 namespace pdm {
 
-/// One named simulation configuration. The factories are invoked on the
-/// worker thread that runs the scenario; they must not share mutable state
-/// with other scenarios.
-struct ScenarioSpec {
+/// One named, fully wired simulation. The factories are invoked on the
+/// worker thread that runs the job; they must not share mutable state with
+/// other jobs.
+struct SimulationJob {
   /// Label used in the comparison table (e.g. "reserve+uncertainty/n=20").
   std::string name;
-  /// Builds the workload stream. The `Rng` is the scenario's own stream,
+  /// Builds the workload stream. The `Rng` is the job's own random stream,
   /// already seeded with `seed`; use it for any setup randomness (θ* draws,
   /// contract sampling, ...).
   std::function<std::unique_ptr<QueryStream>(Rng*)> make_stream;
@@ -40,12 +43,12 @@ struct ScenarioSpec {
   std::function<std::unique_ptr<PricingEngine>()> make_engine;
   /// Forwarded to `RunMarket`.
   SimulationOptions options;
-  /// Seed of the scenario's private `Rng`; equal seeds give equal results.
+  /// Seed of the job's private `Rng`; equal seeds give equal results.
   uint64_t seed = 0;
 };
 
-/// Outcome of one scenario.
-struct ScenarioResult {
+/// Outcome of one job.
+struct JobResult {
   std::string name;
   uint64_t seed = 0;
   /// Name reported by the engine (for the comparison table).
@@ -63,20 +66,20 @@ class SimulationRunner {
  public:
   explicit SimulationRunner(const RunnerOptions& options = {});
 
-  /// Runs every scenario, at most `num_threads` concurrently. The returned
-  /// vector is index-aligned with `scenarios` and deterministic for fixed
+  /// Runs every job, at most `num_threads` concurrently. The returned
+  /// vector is index-aligned with `jobs` and deterministic for fixed
   /// specs regardless of thread count.
-  std::vector<ScenarioResult> RunAll(const std::vector<ScenarioSpec>& scenarios) const;
+  std::vector<JobResult> RunAll(const std::vector<SimulationJob>& jobs) const;
 
-  /// Runs one scenario synchronously on the calling thread. `RunAll` is
+  /// Runs one job synchronously on the calling thread. `RunAll` is
   /// exactly a concurrent map of this function.
-  static ScenarioResult RunScenario(const ScenarioSpec& spec);
+  static JobResult RunJob(const SimulationJob& spec);
 
   /// Scratch-reusing variant: `RunAll` workers hold one `SimulationScratch`
-  /// per thread and pass it to every scenario they execute, so the per-round
-  /// buffers are allocated once per worker rather than once per scenario.
+  /// per thread and pass it to every job they execute, so the per-round
+  /// buffers are allocated once per worker rather than once per job.
   /// Results are bit-identical to the convenience overload.
-  static ScenarioResult RunScenario(const ScenarioSpec& spec,
+  static JobResult RunJob(const SimulationJob& spec,
                                     SimulationScratch* scratch);
 
   /// Effective worker count after resolving the 0 = hardware default.
@@ -87,9 +90,9 @@ class SimulationRunner {
 };
 
 /// Renders a batch outcome as a fixed-width comparison table (one row per
-/// scenario: rounds, sales, regret, regret ratio, exploratory/skip counts,
+/// job: rounds, sales, regret, regret ratio, exploratory/skip counts,
 /// wall time) via `common/table_printer`.
-void PrintComparisonTable(const std::vector<ScenarioResult>& results,
+void PrintComparisonTable(const std::vector<JobResult>& results,
                           std::ostream& os);
 
 }  // namespace pdm

@@ -12,6 +12,7 @@
 ///   privacy/ → data/ → features/ → learning/                 (market substrate)
 ///   pricing/                                                 (the contribution)
 ///   market/                                                  (simulation layer)
+///   scenario/                                                (declarative experiments)
 ///
 /// Typical entry points:
 ///  * `pdm::EllipsoidPricingEngine` — the posted-price mechanism (n ≥ 2).
@@ -21,10 +22,14 @@
 ///    kernelized).
 ///  * `pdm::RunMarket` — the round-by-round simulation loop with Eq.-(1)
 ///    regret accounting.
-///  * `pdm::SimulationRunner` — thread-pooled batch executor that sweeps many
-///    named (stream, engine) scenarios concurrently and deterministically.
+///  * `pdm::SimulationRunner` — thread-pooled batch executor that runs many
+///    wired (stream, engine, seed) jobs concurrently and deterministically.
 ///  * `pdm::NoisyLinearQueryStream` / `BuildAirbnbMarket` / `BuildAvazuMarket`
 ///    / `KernelQueryStream` — the paper's application workloads.
+///  * `pdm::scenario::ScenarioRegistry::PaperExhibits()` — every paper
+///    exhibit as a declarative `scenario::ScenarioSpec`, executed by
+///    `scenario::ExperimentDriver` (the engine behind `bench/pdm_run`) and
+///    expandable into new grids with `scenario::Sweep`.
 ///
 /// See README.md for a quickstart and the hot-path performance conventions,
 /// and DESIGN.md for the system inventory and the recorded deviations from
@@ -47,6 +52,12 @@
 #include "pricing/interval_engine.h"
 #include "pricing/link_functions.h"
 #include "pricing/pricing_engine.h"
+#include "scenario/experiment.h"
+#include "scenario/linear_workload.h"
+#include "scenario/mechanism_registry.h"
+#include "scenario/scenario_registry.h"
+#include "scenario/scenario_spec.h"
+#include "scenario/stream_factory.h"
 
 namespace pdm {
 

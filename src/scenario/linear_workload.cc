@@ -1,0 +1,23 @@
+#include "scenario/linear_workload.h"
+
+namespace pdm::scenario {
+
+LinearWorkload MakeLinearWorkload(int dim, int64_t rounds, int num_owners,
+                                  uint64_t seed) {
+  NoisyLinearMarketConfig config;
+  config.feature_dim = dim;
+  config.num_owners = num_owners;
+  config.value_noise_sigma = 0.0;
+  Rng rng(seed);
+  NoisyLinearQueryStream stream(config, &rng);
+  LinearWorkload workload;
+  workload.theta = stream.theta();
+  workload.recommended_radius = stream.RecommendedRadius();
+  workload.rounds.reserve(static_cast<size_t>(rounds));
+  for (int64_t t = 0; t < rounds; ++t) {
+    workload.rounds.push_back(stream.Next(&rng));
+  }
+  return workload;
+}
+
+}  // namespace pdm::scenario

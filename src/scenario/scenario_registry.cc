@@ -1,0 +1,403 @@
+#include "scenario/scenario_registry.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "features/airbnb_features.h"
+#include "pricing/ellipsoid_engine.h"
+#include "rng/subgaussian.h"
+
+namespace pdm::scenario {
+
+namespace {
+
+/// "20" for integral values, shortest round-trip decimal otherwise — the
+/// suffix Sweep appends to scenario names.
+std::string ShortNumber(double value) {
+  if (std::isfinite(value) && value == std::floor(value) && std::abs(value) < 1e15) {
+    return std::to_string(static_cast<int64_t>(value));
+  }
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  PDM_CHECK(ec == std::errc());
+  return std::string(buf, ptr);
+}
+
+/// The paper's four published variants, in the evaluation's order.
+const char* const kPaperVariants[] = {"pure", "uncertainty", "reserve",
+                                      "reserve+uncertainty"};
+
+}  // namespace
+
+void ScenarioRegistry::Add(ScenarioSpec spec) {
+  PDM_CHECK(!spec.name.empty());
+  PDM_CHECK(Find(spec.name) == nullptr);
+  specs_.push_back(std::move(spec));
+}
+
+void ScenarioRegistry::AddAll(std::vector<ScenarioSpec> specs) {
+  for (ScenarioSpec& spec : specs) Add(std::move(spec));
+}
+
+const ScenarioSpec* ScenarioRegistry::Find(std::string_view name) const {
+  for (const ScenarioSpec& spec : specs_) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ScenarioRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(specs_.size());
+  for (const ScenarioSpec& spec : specs_) names.push_back(spec.name);
+  return names;
+}
+
+std::vector<ScenarioSpec> ScenarioRegistry::Match(std::string_view patterns) const {
+  std::vector<std::string> globs;
+  for (const std::string& part : Split(patterns, ',')) {
+    std::string_view trimmed = Trim(part);
+    if (!trimmed.empty()) globs.emplace_back(trimmed);
+  }
+  std::vector<ScenarioSpec> selected;
+  for (const ScenarioSpec& spec : specs_) {
+    for (const std::string& glob : globs) {
+      if (GlobMatch(glob, spec.name) || GlobMatch(glob, spec.family)) {
+        selected.push_back(spec);
+        break;
+      }
+    }
+  }
+  return selected;
+}
+
+std::vector<ScenarioSpec> Sweep(const ScenarioSpec& base, const std::string& field,
+                                const std::vector<double>& values) {
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(values.size());
+  for (double value : values) {
+    ScenarioSpec spec = base;
+    if (field == "n") {
+      spec.n = static_cast<int>(value);
+    } else if (field == "rounds") {
+      spec.rounds = static_cast<int64_t>(value);
+    } else if (field == "delta") {
+      spec.delta = value;
+    } else if (field == "epsilon") {
+      spec.epsilon = value;
+    } else if (field == "owners") {
+      spec.linear.num_owners = static_cast<int>(value);
+    } else if (field == "workload_seed") {
+      spec.workload_seed = static_cast<uint64_t>(value);
+    } else if (field == "sim_seed") {
+      spec.sim_seed = static_cast<uint64_t>(value);
+    } else {
+      std::fprintf(stderr, "Sweep: unknown field '%s'\n", field.c_str());
+      PDM_CHECK(false);
+    }
+    spec.name = base.name + "/" + field + "=" + ShortNumber(value);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+// ---------------------------------------------------------------------------
+// Exhibit builders. Every constant below is the corresponding legacy bench's
+// hand-wired value; tests/scenario_test.cc pins the bit-identical agreement.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One noisy-linear-query variant run (the fig4/fig5a/table1 lowering):
+/// workload precomputed at `workload_seed`, replayed with per-variant noise.
+ScenarioSpec LinearVariantSpec(const std::string& family, const std::string& name,
+                               const char* mechanism, int dim, int64_t rounds,
+                               int64_t num_owners, double delta, uint64_t workload_seed,
+                               uint64_t sim_seed, int64_t series_stride) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.family = family;
+  spec.stream = StreamKind::kLinear;
+  spec.mechanism = mechanism;
+  spec.n = dim;
+  spec.rounds = rounds;
+  spec.delta = delta;
+  spec.linear.num_owners = static_cast<int>(num_owners);
+  spec.workload_seed = workload_seed;
+  spec.sim_seed = sim_seed;
+  spec.series_stride = series_stride;
+  return spec;
+}
+
+}  // namespace
+
+std::vector<ScenarioSpec> Fig4Scenarios(int64_t num_owners, double delta, uint64_t seed,
+                                        bool full) {
+  struct SubFigure {
+    const char* panel;
+    int dim;
+    int64_t rounds;
+  };
+  const SubFigure subfigures[] = {
+      {"a", 1, 100},     {"b", 20, 10000},  {"c", 40, 10000},
+      {"d", 60, 100000}, {"e", 80, 100000}, {"f", 100, 100000},
+  };
+  std::vector<ScenarioSpec> specs;
+  for (const SubFigure& sub : subfigures) {
+    int64_t rounds = full ? sub.rounds : std::max<int64_t>(100, sub.rounds / 10);
+    int64_t stride = std::max<int64_t>(1, rounds / 200);
+    for (const char* variant : kPaperVariants) {
+      specs.push_back(LinearVariantSpec(
+          "fig4", std::string("fig4/") + sub.panel + "/" + variant, variant, sub.dim,
+          rounds, num_owners, delta, seed + static_cast<uint64_t>(sub.dim),
+          /*sim_seed=*/99, stride));
+    }
+  }
+  return specs;
+}
+
+std::vector<ScenarioSpec> Fig5aScenarios(int dim, int64_t rounds, int64_t num_owners,
+                                         double delta, uint64_t seed) {
+  std::vector<ScenarioSpec> specs;
+  int64_t stride = std::max<int64_t>(1, rounds / 400);
+  for (const char* variant : kPaperVariants) {
+    specs.push_back(LinearVariantSpec("fig5a", std::string("fig5a/") + variant, variant,
+                                      dim, rounds, num_owners, delta, seed,
+                                      /*sim_seed=*/99, stride));
+  }
+  return specs;
+}
+
+std::vector<ScenarioSpec> Fig5bScenarios(int64_t listings, uint64_t seed,
+                                         double oracle_prior_radius) {
+  struct Run {
+    const char* label;
+    double ratio;  // 0 = pure (no reserve)
+  };
+  const Run runs[] = {{"pure", 0.0}, {"ratio=0.4", 0.4}, {"ratio=0.6", 0.6},
+                      {"ratio=0.8", 0.8}};
+  std::vector<ScenarioSpec> specs;
+  for (const Run& run : runs) {
+    ScenarioSpec spec;
+    spec.name = std::string("fig5b/") + run.label;
+    spec.family = "fig5b";
+    spec.stream = StreamKind::kAirbnb;
+    spec.mechanism = run.ratio > 0.0 ? "reserve" : "pure";
+    spec.n = AirbnbFeatureSpace::kDim;
+    spec.rounds = listings;
+    spec.link = LinkKind::kExp;
+    spec.airbnb.log_reserve_ratio = run.ratio;
+    spec.airbnb.oracle_prior_radius = oracle_prior_radius;
+    spec.workload_seed = seed;
+    spec.sim_seed = 5;
+    spec.series_stride = std::max<int64_t>(1, listings / 400);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<ScenarioSpec> Fig5cScenarios(int64_t rounds, int64_t rounds_sparse_1024,
+                                         int64_t train_samples, uint64_t seed) {
+  std::vector<ScenarioSpec> specs;
+  for (int hashed_dim : {128, 1024}) {
+    struct Mode {
+      const char* label;
+      bool dense;
+      bool oracle;
+    };
+    const Mode modes[] = {{"sparse-honest", false, false},
+                          {"sparse-oracle", false, true},
+                          {"dense", true, false}};
+    for (const Mode& mode : modes) {
+      int64_t run_rounds =
+          (!mode.dense && hashed_dim == 1024) ? rounds_sparse_1024 : rounds;
+      ScenarioSpec spec;
+      spec.name =
+          "fig5c/n=" + std::to_string(hashed_dim) + "/" + mode.label;
+      spec.family = "fig5c";
+      spec.stream = StreamKind::kAvazu;
+      spec.mechanism = "pure";  // impressions carry no reserve
+      spec.n = hashed_dim;
+      spec.rounds = run_rounds;
+      spec.link = LinkKind::kLogistic;
+      spec.avazu.dense = mode.dense;
+      spec.avazu.train_samples = train_samples;
+      spec.avazu.eval_samples = 20000;
+      spec.avazu.oracle_prior_radius = mode.oracle ? 0.005 : 0.0;
+      spec.workload_seed = seed;
+      spec.sim_seed = 77;
+      spec.series_stride = std::max<int64_t>(1, run_rounds / 200);
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+std::vector<ScenarioSpec> Table1Scenarios(int64_t num_owners, bool full, uint64_t seed) {
+  struct Config {
+    int dim;
+    int64_t rounds;
+  };
+  const Config configs[] = {{1, 100},      {20, 10000},   {40, 10000},
+                            {60, 100000},  {80, 100000},  {100, 100000}};
+  std::vector<ScenarioSpec> specs;
+  for (const Config& config : configs) {
+    int64_t rounds = full ? config.rounds : std::max<int64_t>(100, config.rounds / 10);
+    specs.push_back(LinearVariantSpec(
+        "table1", "table1/n=" + std::to_string(config.dim), "reserve", config.dim,
+        rounds, num_owners, /*delta=*/0.0, seed + static_cast<uint64_t>(config.dim),
+        /*sim_seed=*/99, /*series_stride=*/0));
+  }
+  return specs;
+}
+
+std::vector<ScenarioSpec> ThroughputScenarios(int64_t rounds, int64_t workload_rounds,
+                                              int64_t num_owners, double delta,
+                                              uint64_t seed) {
+  std::vector<ScenarioSpec> specs;
+  for (int dim : {2, 5, 10, 20, 50}) {
+    for (const char* variant : kPaperVariants) {
+      ScenarioSpec spec = LinearVariantSpec(
+          "throughput",
+          std::string("throughput/") + variant + "/n=" + std::to_string(dim), variant,
+          dim, rounds, num_owners, delta, seed,
+          /*sim_seed=*/seed + static_cast<uint64_t>(dim), /*series_stride=*/0);
+      spec.linear.workload_rounds = workload_rounds;
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+std::vector<ScenarioSpec> Theorem3Scenarios(int64_t max_rounds, int64_t num_owners) {
+  std::vector<ScenarioSpec> specs;
+  for (int64_t rounds = 100; rounds <= max_rounds; rounds *= 10) {
+    // n = 1 rounds are identical (x = 1, v = √2); the replay wraps a short
+    // recorded workload instead of materialising T rounds.
+    ScenarioSpec spec = LinearVariantSpec(
+        "theorem3", "theorem3/T=" + std::to_string(rounds), "pure", /*dim=*/1, rounds,
+        num_owners, /*delta=*/0.0, /*workload_seed=*/7, /*sim_seed=*/99,
+        /*series_stride=*/0);
+    spec.linear.workload_rounds = std::min<int64_t>(rounds, 4096);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<ScenarioSpec> ColdstartScenarios(int dim, int64_t rounds, int64_t num_owners,
+                                             double delta, int64_t seeds) {
+  std::vector<ScenarioSpec> specs;
+  int64_t stride = std::max<int64_t>(1, rounds / 100);
+  for (int64_t seed = 0; seed < seeds; ++seed) {
+    for (const char* variant : kPaperVariants) {
+      specs.push_back(LinearVariantSpec(
+          "coldstart",
+          "coldstart/s" + std::to_string(seed) + "/" + variant, variant, dim, rounds,
+          num_owners, delta, /*workload_seed=*/1000 + static_cast<uint64_t>(seed),
+          /*sim_seed=*/99 + static_cast<uint64_t>(seed), stride));
+    }
+  }
+  return specs;
+}
+
+std::vector<ScenarioSpec> AblationDeltaScenarios(int dim, int64_t rounds,
+                                                 int64_t num_owners, double delta_star) {
+  // The market noise stays fixed at the evaluation's calibration for δ*
+  // while the engine's buffer sweeps around it.
+  ScenarioSpec base = LinearVariantSpec("ablation", "ablation/delta",
+                                        "reserve+uncertainty", dim, rounds, num_owners,
+                                        /*delta=*/delta_star, /*workload_seed=*/1,
+                                        /*sim_seed=*/99, /*series_stride=*/0);
+  base.linear.noise_sigma = SigmaForBuffer(delta_star, 2.0, rounds);
+  std::vector<double> deltas;
+  for (double multiplier : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    deltas.push_back(multiplier * delta_star);
+  }
+  return Sweep(base, "delta", deltas);
+}
+
+std::vector<ScenarioSpec> AblationEpsilonScenarios(int dim, int64_t rounds,
+                                                   int64_t num_owners) {
+  ScenarioSpec base = LinearVariantSpec("ablation", "ablation/epsilon", "reserve", dim,
+                                        rounds, num_owners, /*delta=*/0.0,
+                                        /*workload_seed=*/1, /*sim_seed=*/99,
+                                        /*series_stride=*/0);
+  base.linear.noise_sigma = 0.0;
+  double default_epsilon = DefaultEllipsoidEpsilon(dim, rounds, 0.0);
+  std::vector<double> epsilons;
+  for (double multiplier : {0.1, 0.3, 1.0, 3.0, 10.0, 30.0}) {
+    epsilons.push_back(multiplier * default_epsilon);
+  }
+  return Sweep(base, "epsilon", epsilons);
+}
+
+std::vector<ScenarioSpec> KernelScenarios(int64_t rounds, uint64_t seed) {
+  std::vector<ScenarioSpec> specs;
+  for (int landmarks : {5, 10, 20, 40}) {
+    ScenarioSpec spec;
+    spec.name = "kernel/m=" + std::to_string(landmarks);
+    spec.family = "kernel";
+    spec.stream = StreamKind::kKernel;
+    spec.mechanism = "reserve";  // reserve_fraction 0.6 > 0
+    spec.n = landmarks;
+    spec.rounds = rounds;
+    spec.sim_seed = seed;  // stream construction + loop share one Rng
+    specs.push_back(std::move(spec));
+  }
+  ScenarioSpec misspecified;
+  misspecified.name = "kernel/misspecified-linear";
+  misspecified.family = "kernel";
+  misspecified.stream = StreamKind::kKernel;
+  misspecified.mechanism = "reserve";
+  misspecified.n = 10;  // the workload's landmark count; the engine sees raw x
+  misspecified.rounds = rounds;
+  misspecified.sim_seed = seed;
+  misspecified.kernel.misspecified_linear = true;
+  specs.push_back(std::move(misspecified));
+  return specs;
+}
+
+std::vector<ScenarioSpec> Lemma8Scenarios(int64_t max_horizon) {
+  std::vector<ScenarioSpec> specs;
+  for (int64_t horizon = 50; horizon <= max_horizon; horizon *= 2) {
+    for (bool unsafe : {false, true}) {
+      ScenarioSpec spec;
+      spec.name = std::string("lemma8/") + (unsafe ? "unsafe" : "safe") +
+                  "/T=" + std::to_string(horizon);
+      spec.family = "lemma8";
+      spec.stream = StreamKind::kAdversarial;
+      spec.mechanism = unsafe ? "reserve-unsafe" : "reserve";
+      spec.n = 2;
+      spec.rounds = horizon;
+      spec.sim_seed = 4;
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+const ScenarioRegistry& ScenarioRegistry::PaperExhibits() {
+  static const ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry();
+    r->AddAll(Fig4Scenarios());
+    r->AddAll(Fig5aScenarios());
+    r->AddAll(Fig5bScenarios());
+    r->AddAll(Fig5cScenarios());
+    r->AddAll(Table1Scenarios());
+    r->AddAll(ThroughputScenarios());
+    r->AddAll(Theorem3Scenarios());
+    r->AddAll(ColdstartScenarios());
+    r->AddAll(AblationDeltaScenarios());
+    r->AddAll(AblationEpsilonScenarios());
+    r->AddAll(KernelScenarios());
+    r->AddAll(Lemma8Scenarios());
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace pdm::scenario

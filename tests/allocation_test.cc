@@ -27,6 +27,8 @@
 #include "pricing/generalized_engine.h"
 #include "pricing/interval_engine.h"
 #include "pricing/link_functions.h"
+#include "scenario/mechanism_registry.h"
+#include "scenario/stream_factory.h"
 
 // ---------------------------------------------------------------------------
 // Replaceable operator new/delete hooks. Every allocation in this binary
@@ -190,6 +192,47 @@ TEST(SteadyStateAllocations, GeneralizedEngineOverKernelStream) {
       std::make_shared<KernelFeatureMap>(stream.feature_map()));
 
   ExpectSteadyStateAllocationFree(&stream, &engine, /*seed=*/61);
+}
+
+TEST(SteadyStateAllocations, MechanismRegistryBuiltEnginesOverScenarioStreams) {
+  // The declarative path must inherit the hot-path guarantee: engines built
+  // by scenario::MechanismRegistry over scenario::StreamFactory streams are
+  // the same wiring as above, assembled by name instead of by hand.
+  scenario::StreamFactory factory;
+  for (const char* mechanism :
+       {"pure", "uncertainty", "reserve", "reserve+uncertainty", "risk-averse"}) {
+    scenario::ScenarioSpec spec;
+    spec.name = std::string("alloc/linear/") + mechanism;
+    spec.stream = scenario::StreamKind::kLinear;
+    spec.mechanism = mechanism;
+    spec.n = 8;
+    spec.rounds = kWarmupRounds + kMeasuredRounds;
+    spec.delta = 0.01;
+    spec.linear.num_owners = 120;
+    spec.workload_seed = 11;
+    scenario::WorkloadInfo info = factory.Prepare(spec);
+    Rng rng(21);
+    std::unique_ptr<QueryStream> stream = factory.CreateStream(spec, &rng);
+    std::unique_ptr<PricingEngine> engine =
+        scenario::MechanismRegistry::Builtin().Build(spec, info);
+    ExpectSteadyStateAllocationFree(stream.get(), engine.get(), /*seed=*/21);
+  }
+
+  // The generalized (kernel map + link) composition through the registry.
+  scenario::ScenarioSpec kernel_spec;
+  kernel_spec.name = "alloc/kernel/reserve";
+  kernel_spec.stream = scenario::StreamKind::kKernel;
+  kernel_spec.mechanism = "reserve";
+  kernel_spec.n = 6;
+  kernel_spec.kernel.input_dim = 3;
+  kernel_spec.rounds = kWarmupRounds + kMeasuredRounds;
+  kernel_spec.sim_seed = 51;
+  scenario::WorkloadInfo info = factory.Prepare(kernel_spec);
+  Rng rng(kernel_spec.sim_seed);
+  std::unique_ptr<QueryStream> stream = factory.CreateStream(kernel_spec, &rng);
+  std::unique_ptr<PricingEngine> engine =
+      scenario::MechanismRegistry::Builtin().Build(kernel_spec, info);
+  ExpectSteadyStateAllocationFree(stream.get(), engine.get(), /*seed=*/61);
 }
 
 TEST(SteadyStateAllocations, RunMarketScratchReuse) {

@@ -134,6 +134,39 @@ TEST(RunningStats, MergeIntoEmpty) {
   EXPECT_DOUBLE_EQ(a.mean(), 5.0);
 }
 
+// ---------------------------------------------------------------- glob
+
+TEST(GlobMatch, LiteralAndWildcards) {
+  EXPECT_TRUE(GlobMatch("fig4", "fig4"));
+  EXPECT_FALSE(GlobMatch("fig4", "fig5"));
+  EXPECT_TRUE(GlobMatch("fig4/*", "fig4/b/reserve"));
+  EXPECT_FALSE(GlobMatch("fig4/*", "fig5a/pure"));
+  EXPECT_TRUE(GlobMatch("*", "anything at all"));
+  EXPECT_TRUE(GlobMatch("*", ""));
+  EXPECT_TRUE(GlobMatch("throughput/*/n=2?", "throughput/pure/n=20"));
+  EXPECT_FALSE(GlobMatch("throughput/*/n=2?", "throughput/pure/n=2"));
+  EXPECT_TRUE(GlobMatch("a*b*c", "a-x-b-y-c"));
+  EXPECT_FALSE(GlobMatch("a*b*c", "a-x-b-y"));
+  EXPECT_TRUE(GlobMatch("?", "x"));
+  EXPECT_FALSE(GlobMatch("?", ""));
+  // '*' must be able to match across '/' (selecting whole families).
+  EXPECT_TRUE(GlobMatch("lemma8/*", "lemma8/unsafe/T=3200"));
+}
+
+TEST(GlobMatch, BacktracksThroughRepeatedPrefixes) {
+  EXPECT_TRUE(GlobMatch("*abc", "ababc"));
+  EXPECT_TRUE(GlobMatch("a*bc", "abbc"));
+  EXPECT_FALSE(GlobMatch("*abc", "ababd"));
+}
+
+TEST(EditDistance, KnownDistances) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("scenario", "scnario"), 1u);
+}
+
 // ---------------------------------------------------------------- flags
 
 TEST(FlagSet, ParsesAllTypes) {
@@ -159,6 +192,53 @@ TEST(FlagSet, RejectsUnknownFlag) {
   FlagSet flags("test");
   const char* argv[] = {"test", "--nope=1"};
   EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)));
+}
+
+TEST(FlagSet, BareUnknownFlagIsReportedAsUnknown) {
+  // A trailing unknown flag with no value used to be misreported as
+  // "missing a value"; it must fail as unknown (and must not consume the
+  // next argument as its value when one follows).
+  int64_t rounds = 5;
+  FlagSet flags("test");
+  flags.AddInt64("rounds", &rounds, "rounds");
+  const char* bare[] = {"test", "--nope"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(bare)));
+  const char* with_next[] = {"test", "--nope", "--rounds=9"};
+  EXPECT_FALSE(flags.Parse(3, const_cast<char**>(with_next)));
+  EXPECT_EQ(rounds, 5);  // nothing was assigned on the error path
+}
+
+TEST(FlagSet, ParsesUint64) {
+  uint64_t seed = 7;
+  FlagSet flags("test");
+  flags.AddUint64("seed", &seed, "seed");
+  // The upper half of the uint64 range (> INT64_MAX) must parse.
+  const char* argv[] = {"test", "--seed=18446744073709551615"};
+  ASSERT_TRUE(flags.Parse(2, const_cast<char**>(argv)));
+  EXPECT_EQ(seed, 18446744073709551615ull);
+
+  const char* negative[] = {"test", "--seed=-3"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(negative)));
+}
+
+TEST(StringUtil, ParseUint64) {
+  EXPECT_EQ(ParseUint64("0"), 0ull);
+  EXPECT_EQ(ParseUint64("18446744073709551615"), 18446744073709551615ull);
+  EXPECT_FALSE(ParseUint64("18446744073709551616").has_value());  // overflow
+  EXPECT_FALSE(ParseUint64("-1").has_value());
+  EXPECT_FALSE(ParseUint64("12x").has_value());
+  EXPECT_FALSE(ParseUint64("").has_value());
+}
+
+TEST(FlagSet, KnownFlagListNamesEveryFlag) {
+  int64_t rounds = 1;
+  double eps = 0.1;
+  FlagSet flags("test");
+  flags.AddInt64("rounds", &rounds, "rounds");
+  flags.AddDouble("eps", &eps, "epsilon");
+  std::string known = flags.KnownFlagList();
+  EXPECT_EQ(known, "--rounds, --eps");
+  EXPECT_EQ(FlagSet("empty").KnownFlagList(), "(none; only --help)");
 }
 
 TEST(FlagSet, RejectsBadValue) {

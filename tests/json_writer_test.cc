@@ -1,0 +1,149 @@
+// common/json_writer: escaping edge cases, nesting discipline, non-finite
+// doubles, and round-trip-exact number formatting.
+
+#include "common/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace pdm {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("hello world"), "hello world");
+  EXPECT_EQ(JsonEscape(""), "");
+  EXPECT_EQ(JsonEscape("reserve+uncertainty/n=20"), "reserve+uncertainty/n=20");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("C:\\path\\file"), "C:\\\\path\\\\file");
+}
+
+TEST(JsonEscape, EscapesNamedControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape("a\tb"), "a\\tb");
+  EXPECT_EQ(JsonEscape("a\rb"), "a\\rb");
+  EXPECT_EQ(JsonEscape("a\bb"), "a\\bb");
+  EXPECT_EQ(JsonEscape("a\fb"), "a\\fb");
+}
+
+TEST(JsonEscape, EscapesRemainingControlRangeAsUnicode) {
+  EXPECT_EQ(JsonEscape(std::string("a\x01z")), "a\\u0001z");
+  EXPECT_EQ(JsonEscape(std::string("a\x1fz")), "a\\u001fz");
+  // NUL inside a std::string is data, not a terminator.
+  EXPECT_EQ(JsonEscape(std::string("a\0z", 3)), "a\\u0000z");
+}
+
+TEST(JsonEscape, LeavesUtf8BytesAlone) {
+  // "ε" is U+03B5, two UTF-8 bytes above the control range.
+  EXPECT_EQ(JsonEscape("\xce\xb5 = 0.01"), "\xce\xb5 = 0.01");
+}
+
+TEST(JsonWriter, WritesNestedDocument) {
+  std::ostringstream os;
+  {
+    JsonWriter json(&os, /*indent=*/0);
+    json.BeginObject();
+    json.Field("schema", "pdm.run.v1");
+    json.Field("count", 2);
+    json.Key("results");
+    json.BeginArray();
+    json.BeginObject();
+    json.Field("ok", true);
+    json.EndObject();
+    json.Null();
+    json.EndArray();
+    json.EndObject();
+    EXPECT_TRUE(json.done());
+  }
+  EXPECT_EQ(os.str(),
+            "{\"schema\":\"pdm.run.v1\",\"count\":2,\"results\":"
+            "[{\"ok\":true},null]}");
+}
+
+TEST(JsonWriter, IndentedOutputIsStable) {
+  std::ostringstream os;
+  JsonWriter json(&os);
+  json.BeginObject();
+  json.Field("a", 1);
+  json.Key("b");
+  json.BeginArray();
+  json.Int(1);
+  json.Int(2);
+  json.EndArray();
+  json.EndObject();
+  EXPECT_EQ(os.str(), "{\n  \"a\": 1,\n  \"b\": [\n    1,\n    2\n  ]\n}");
+}
+
+TEST(JsonWriter, EmptyContainersStayOnOneLine) {
+  std::ostringstream os;
+  JsonWriter json(&os);
+  json.BeginObject();
+  json.Key("empty_array");
+  json.BeginArray();
+  json.EndArray();
+  json.Key("empty_object");
+  json.BeginObject();
+  json.EndObject();
+  json.EndObject();
+  EXPECT_EQ(os.str(), "{\n  \"empty_array\": [],\n  \"empty_object\": {}\n}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  JsonWriter json(&os, 0);
+  json.BeginArray();
+  json.Double(std::numeric_limits<double>::quiet_NaN());
+  json.Double(std::numeric_limits<double>::infinity());
+  json.Double(-std::numeric_limits<double>::infinity());
+  json.Double(1.5);
+  json.EndArray();
+  EXPECT_EQ(os.str(), "[null,null,null,1.5]");
+}
+
+TEST(JsonWriter, DoublesRoundTripExactly) {
+  for (double value : {0.1, 1.0 / 3.0, 1e-300, 6.02214076e23, -0.0, 123456789.123456}) {
+    std::ostringstream os;
+    JsonWriter json(&os, 0);
+    json.Double(value);
+    double parsed = std::stod(os.str());
+    EXPECT_EQ(parsed, value) << os.str();
+  }
+}
+
+TEST(JsonWriter, IntegerWidths) {
+  std::ostringstream os;
+  JsonWriter json(&os, 0);
+  json.BeginArray();
+  json.Int(std::numeric_limits<int64_t>::min());
+  json.Int(std::numeric_limits<int64_t>::max());
+  json.UInt(std::numeric_limits<uint64_t>::max());
+  json.EndArray();
+  EXPECT_EQ(os.str(),
+            "[-9223372036854775808,9223372036854775807,18446744073709551615]");
+}
+
+TEST(JsonWriter, KeysAreEscaped) {
+  std::ostringstream os;
+  JsonWriter json(&os, 0);
+  json.BeginObject();
+  json.Field("we\"ird\nkey", 1);
+  json.EndObject();
+  EXPECT_EQ(os.str(), "{\"we\\\"ird\\nkey\":1}");
+}
+
+TEST(JsonWriter, TopLevelScalarIsADocument) {
+  std::ostringstream os;
+  JsonWriter json(&os, 0);
+  EXPECT_FALSE(json.done());
+  json.String("alone");
+  EXPECT_TRUE(json.done());
+  EXPECT_EQ(os.str(), "\"alone\"");
+}
+
+}  // namespace
+}  // namespace pdm

@@ -33,9 +33,9 @@ EllipsoidEngineConfig EngineFor(int dim, int64_t horizon, bool use_reserve,
   return config;
 }
 
-ScenarioSpec VariantScenario(const std::string& name, int dim, int64_t rounds,
+SimulationJob VariantScenario(const std::string& name, int dim, int64_t rounds,
                              bool use_reserve, double delta, uint64_t seed) {
-  ScenarioSpec spec;
+  SimulationJob spec;
   spec.name = name;
   spec.seed = seed;
   spec.options.rounds = rounds;
@@ -51,8 +51,8 @@ ScenarioSpec VariantScenario(const std::string& name, int dim, int64_t rounds,
 
 /// The paper's four mechanism variants plus a second dimension — a ≥4-scenario
 /// batch with distinct seeds, engines, and stream setups.
-std::vector<ScenarioSpec> VariantBatch() {
-  std::vector<ScenarioSpec> batch;
+std::vector<SimulationJob> VariantBatch() {
+  std::vector<SimulationJob> batch;
   batch.push_back(VariantScenario("pure/n=5", 5, 400, false, 0.0, 11));
   batch.push_back(VariantScenario("uncertainty/n=5", 5, 400, false, 0.01, 22));
   batch.push_back(VariantScenario("reserve/n=5", 5, 400, true, 0.0, 33));
@@ -62,7 +62,7 @@ std::vector<ScenarioSpec> VariantBatch() {
   return batch;
 }
 
-void ExpectSameOutcome(const ScenarioResult& a, const ScenarioResult& b) {
+void ExpectSameOutcome(const JobResult& a, const JobResult& b) {
   EXPECT_EQ(a.name, b.name);
   EXPECT_EQ(a.seed, b.seed);
   EXPECT_EQ(a.engine_name, b.engine_name);
@@ -88,8 +88,8 @@ void ExpectSameOutcome(const ScenarioResult& a, const ScenarioResult& b) {
 }
 
 TEST(SimulationRunner, ResultsInvariantAcrossThreadCounts) {
-  std::vector<ScenarioSpec> batch = VariantBatch();
-  std::vector<std::vector<ScenarioResult>> runs;
+  std::vector<SimulationJob> batch = VariantBatch();
+  std::vector<std::vector<JobResult>> runs;
   for (int threads : {1, 2, 8}) {
     RunnerOptions options;
     options.num_threads = threads;
@@ -103,14 +103,14 @@ TEST(SimulationRunner, ResultsInvariantAcrossThreadCounts) {
 }
 
 TEST(SimulationRunner, MatchesSerialRunMarket) {
-  std::vector<ScenarioSpec> batch = VariantBatch();
+  std::vector<SimulationJob> batch = VariantBatch();
   RunnerOptions options;
   options.num_threads = 4;
-  std::vector<ScenarioResult> parallel = SimulationRunner(options).RunAll(batch);
+  std::vector<JobResult> parallel = SimulationRunner(options).RunAll(batch);
   ASSERT_EQ(parallel.size(), batch.size());
 
   for (size_t i = 0; i < batch.size(); ++i) {
-    // Hand-rolled serial equivalent of RunScenario: one Rng per scenario,
+    // Hand-rolled serial equivalent of RunJob: one Rng per scenario,
     // stream construction first, then the market loop.
     Rng rng(batch[i].seed);
     std::unique_ptr<QueryStream> stream = batch[i].make_stream(&rng);
@@ -131,10 +131,10 @@ TEST(SimulationRunner, MatchesSerialRunMarket) {
 }
 
 TEST(SimulationRunner, RepeatedRunsAreDeterministic) {
-  std::vector<ScenarioSpec> batch = VariantBatch();
+  std::vector<SimulationJob> batch = VariantBatch();
   SimulationRunner runner(RunnerOptions{/*num_threads=*/8});
-  std::vector<ScenarioResult> first = runner.RunAll(batch);
-  std::vector<ScenarioResult> second = runner.RunAll(batch);
+  std::vector<JobResult> first = runner.RunAll(batch);
+  std::vector<JobResult> second = runner.RunAll(batch);
   ASSERT_EQ(first.size(), second.size());
   for (size_t i = 0; i < first.size(); ++i) {
     ExpectSameOutcome(first[i], second[i]);
@@ -156,13 +156,13 @@ TEST(SimulationRunner, EmptyBatchReturnsEmptyOnEveryThreadCount) {
 TEST(SimulationRunner, MoreThreadsThanScenarios) {
   // A 64-thread pool over a 2-scenario batch must neither hang nor distort
   // results: idle workers exit cleanly, outcomes match the serial path.
-  std::vector<ScenarioSpec> batch = {
+  std::vector<SimulationJob> batch = {
       VariantScenario("reserve/n=4", 4, 300, true, 0.0, 101),
       VariantScenario("pure/n=4", 4, 300, false, 0.0, 202),
   };
-  std::vector<ScenarioResult> wide =
+  std::vector<JobResult> wide =
       SimulationRunner(RunnerOptions{/*num_threads=*/64}).RunAll(batch);
-  std::vector<ScenarioResult> serial =
+  std::vector<JobResult> serial =
       SimulationRunner(RunnerOptions{/*num_threads=*/1}).RunAll(batch);
   ASSERT_EQ(wide.size(), batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
@@ -173,8 +173,8 @@ TEST(SimulationRunner, MoreThreadsThanScenarios) {
 TEST(SimulationRunner, WorkerExceptionRethrownToCaller) {
   // A throwing scenario must surface on the calling thread (not terminate the
   // process), exactly as it would on the serial path.
-  std::vector<ScenarioSpec> batch = VariantBatch();
-  ScenarioSpec poison = batch[0];
+  std::vector<SimulationJob> batch = VariantBatch();
+  SimulationJob poison = batch[0];
   poison.name = "poison";
   poison.make_stream = [](Rng*) -> std::unique_ptr<QueryStream> {
     throw std::runtime_error("stream construction failed");
@@ -190,12 +190,12 @@ TEST(SimulationRunner, WorkerExceptionRethrownToCaller) {
 TEST(SimulationRunner, HealthyScenariosUnaffectedByThrowingSibling) {
   // The rethrow happens after the join, so the healthy scenarios still ran;
   // rerunning only them gives the same results as a clean batch.
-  std::vector<ScenarioSpec> clean = VariantBatch();
-  std::vector<ScenarioResult> expected =
+  std::vector<SimulationJob> clean = VariantBatch();
+  std::vector<JobResult> expected =
       SimulationRunner(RunnerOptions{/*num_threads=*/4}).RunAll(clean);
 
-  std::vector<ScenarioSpec> dirty = VariantBatch();
-  ScenarioSpec poison = dirty[0];
+  std::vector<SimulationJob> dirty = VariantBatch();
+  SimulationJob poison = dirty[0];
   poison.name = "poison";
   poison.make_engine = []() -> std::unique_ptr<PricingEngine> {
     throw std::runtime_error("engine construction failed");
@@ -204,7 +204,7 @@ TEST(SimulationRunner, HealthyScenariosUnaffectedByThrowingSibling) {
   EXPECT_THROW(SimulationRunner(RunnerOptions{/*num_threads=*/4}).RunAll(dirty),
                std::runtime_error);
 
-  std::vector<ScenarioResult> again =
+  std::vector<JobResult> again =
       SimulationRunner(RunnerOptions{/*num_threads=*/4}).RunAll(clean);
   ASSERT_EQ(again.size(), expected.size());
   for (size_t i = 0; i < expected.size(); ++i) {
@@ -218,13 +218,13 @@ TEST(SimulationRunner, ZeroThreadsResolvesToHardwareConcurrency) {
 }
 
 TEST(SimulationRunner, ComparisonTableListsEveryScenario) {
-  std::vector<ScenarioSpec> batch = VariantBatch();
-  std::vector<ScenarioResult> results =
+  std::vector<SimulationJob> batch = VariantBatch();
+  std::vector<JobResult> results =
       SimulationRunner(RunnerOptions{/*num_threads=*/4}).RunAll(batch);
   std::ostringstream os;
   PrintComparisonTable(results, os);
   const std::string table = os.str();
-  for (const ScenarioSpec& spec : batch) {
+  for (const SimulationJob& spec : batch) {
     EXPECT_NE(table.find(spec.name), std::string::npos) << spec.name;
   }
   EXPECT_NE(table.find("regret%"), std::string::npos);
