@@ -12,6 +12,7 @@
 //   pdm_run --scenarios='throughput/*/n=2?'      # glob on any name part
 //   pdm_run --scenarios='fig4,table1' --max_rounds=2000   # CI smoke grid
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/table_printer.h"
 #include "scenario/experiment.h"
 #include "scenario/scenario_registry.h"
 
@@ -41,16 +43,23 @@ int main(int argc, char** argv) {
   flags.AddBool("list", &list, "list the registered scenarios and exit");
   flags.AddBool("series", &series, "include regret series in the JSON");
   flags.AddBool("table", &table, "print the comparison table");
-  if (!flags.Parse(argc, argv)) return 1;
+  // --help exits cleanly: asking for the flag list is not an error.
+  if (!flags.Parse(argc, argv)) return flags.help_requested() ? 0 : 1;
 
   const pdm::scenario::ScenarioRegistry& registry =
       pdm::scenario::ScenarioRegistry::PaperExhibits();
   if (list) {
-    for (const auto& spec : registry.specs()) {
-      std::printf("%-40s %-12s %-20s n=%-5d T=%ld\n", spec.name.c_str(),
-                  pdm::scenario::StreamKindName(spec.stream), spec.mechanism.c_str(),
-                  spec.n, static_cast<long>(spec.rounds));
+    std::vector<pdm::scenario::ScenarioSpec> sorted = registry.specs();
+    std::sort(sorted.begin(), sorted.end(),
+              [](const pdm::scenario::ScenarioSpec& a,
+                 const pdm::scenario::ScenarioSpec& b) { return a.name < b.name; });
+    pdm::TablePrinter table({"scenario", "stream", "mechanism", "n", "T"});
+    for (const auto& spec : sorted) {
+      table.AddRow({spec.name, pdm::scenario::StreamKindName(spec.stream),
+                    spec.mechanism, std::to_string(spec.n),
+                    std::to_string(spec.rounds)});
     }
+    table.Print(std::cout);
     std::printf("\n%zu scenarios registered\n", registry.size());
     return 0;
   }

@@ -1,0 +1,213 @@
+#include "broker/broker.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace pdm::broker {
+
+uint64_t TicketBaseForIndex(size_t session_index) {
+  return (static_cast<uint64_t>(session_index) + 1) << 40;
+}
+
+Broker::Broker(const BrokerConfig& config) : config_(config) {
+  PDM_CHECK(config_.num_shards >= 1);
+  shards_ = std::vector<Shard>(static_cast<size_t>(config_.num_shards));
+}
+
+Status Broker::OpenSession(std::string product, std::unique_ptr<PricingEngine> engine) {
+  if (product.empty()) return Status::InvalidArgument("empty product name");
+  if (engine == nullptr) {
+    return Status::InvalidArgument("null engine for product '" + product + "'");
+  }
+  std::unique_lock lock(dir_mu_);
+  if (index_.find(product) != index_.end()) {
+    return Status::FailedPrecondition("product '" + product + "' is already open");
+  }
+  size_t index = sessions_.size();
+  if (index >= (uint64_t{1} << 24) - 1) {
+    return Status::FailedPrecondition("session-slot space exhausted");
+  }
+  sessions_.push_back(std::make_unique<PricingSession>(product, std::move(engine),
+                                                      TicketBaseForIndex(index)));
+  index_.emplace(std::move(product), index);
+  return Status::Ok();
+}
+
+Status Broker::OpenSession(std::string product, const scenario::ScenarioSpec& spec,
+                           const scenario::WorkloadInfo& info) {
+  if (!scenario::MechanismRegistry::Builtin().Contains(spec.mechanism)) {
+    return Status::InvalidArgument("unknown mechanism '" + spec.mechanism +
+                                   "' for product '" + product + "'");
+  }
+  if (info.engine_dim < 1) {
+    return Status::InvalidArgument("workload reports engine_dim " +
+                                   std::to_string(info.engine_dim));
+  }
+  return OpenSession(std::move(product),
+                     scenario::MechanismRegistry::Builtin().Build(spec, info));
+}
+
+Status Broker::CloseSession(std::string_view product) {
+  std::unique_lock lock(dir_mu_);
+  auto it = index_.find(product);
+  if (it == index_.end()) {
+    return Status::NotFound("unknown product '" + std::string(product) + "'");
+  }
+  // The exclusive directory lock excludes all request traffic, so no shard
+  // lock can be mid-operation on this session.
+  sessions_[it->second].reset();
+  index_.erase(it);
+  return Status::Ok();
+}
+
+bool Broker::FindIndexLocked(std::string_view product, size_t* index) const {
+  auto it = index_.find(product);
+  if (it == index_.end()) return false;
+  *index = it->second;
+  return true;
+}
+
+Status Broker::PostPrice(const PriceRequest& request, Quote* quote) {
+  if (quote == nullptr) return Status::InvalidArgument("null quote output");
+  std::shared_lock dir(dir_mu_);
+  size_t index;
+  if (!FindIndexLocked(request.product, &index)) {
+    quote->ticket = 0;
+    quote->status = StatusCode::kNotFound;
+    return Status::NotFound("unknown product '" + std::string(request.product) + "'");
+  }
+  std::lock_guard shard(shard_for(index));
+  return sessions_[index]->PostPrice(request.features, request.reserve, quote);
+}
+
+Status Broker::PostPrices(std::span<const PriceRequest> requests,
+                          std::span<Quote> quotes) {
+  if (requests.size() != quotes.size()) {
+    return Status::InvalidArgument(
+        "request/quote span size mismatch: " + std::to_string(requests.size()) +
+        " vs " + std::to_string(quotes.size()));
+  }
+  Status first_error;
+  std::shared_lock dir(dir_mu_);
+  // Batches overwhelmingly target runs of the same product (the per-client
+  // hot path), so the directory lookup and shard lock are carried across
+  // consecutive same-product requests instead of being re-acquired 64 times
+  // per batch.
+  std::string_view cached_product;
+  size_t cached_index = 0;
+  bool have_cached = false;
+  std::unique_lock<std::mutex> shard;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (!have_cached || requests[i].product != cached_product) {
+      size_t index;
+      if (!FindIndexLocked(requests[i].product, &index)) {
+        quotes[i].ticket = 0;
+        quotes[i].status = StatusCode::kNotFound;
+        if (first_error.ok()) {
+          first_error = Status::NotFound("unknown product '" +
+                                         std::string(requests[i].product) + "'");
+        }
+        continue;
+      }
+      std::mutex& mu = shard_for(index);
+      if (!have_cached || &mu != shard.mutex()) {
+        if (shard.owns_lock()) shard.unlock();
+        shard = std::unique_lock<std::mutex>(mu);
+      }
+      cached_product = requests[i].product;
+      cached_index = index;
+      have_cached = true;
+    }
+    Status status = sessions_[cached_index]->PostPrice(requests[i].features,
+                                                       requests[i].reserve, &quotes[i]);
+    if (!status.ok() && first_error.ok()) first_error = std::move(status);
+  }
+  return first_error;
+}
+
+Status Broker::Observe(uint64_t ticket, bool accepted) {
+  uint64_t slot = ticket >> 40;
+  if (slot == 0) {
+    return Status::NotFound("malformed ticket " + std::to_string(ticket));
+  }
+  size_t index = static_cast<size_t>(slot - 1);
+  std::shared_lock dir(dir_mu_);
+  if (index >= sessions_.size() || sessions_[index] == nullptr) {
+    return Status::NotFound("ticket " + std::to_string(ticket) +
+                            " references no open session");
+  }
+  std::lock_guard shard(shard_for(index));
+  return sessions_[index]->Observe(ticket, accepted);
+}
+
+Status Broker::EstimateValue(std::string_view product, std::span<const double> features,
+                             ValueInterval* out) const {
+  std::shared_lock dir(dir_mu_);
+  size_t index;
+  if (!FindIndexLocked(product, &index)) {
+    return Status::NotFound("unknown product '" + std::string(product) + "'");
+  }
+  std::lock_guard shard(shard_for(index));
+  return sessions_[index]->EstimateValue(features, out);
+}
+
+Status Broker::Snapshot(std::string_view product, SessionSnapshot* out) const {
+  std::shared_lock dir(dir_mu_);
+  size_t index;
+  if (!FindIndexLocked(product, &index)) {
+    return Status::NotFound("unknown product '" + std::string(product) + "'");
+  }
+  std::lock_guard shard(shard_for(index));
+  return sessions_[index]->Snapshot(out);
+}
+
+Status Broker::Restore(std::string_view product, const SessionSnapshot& snapshot) {
+  std::shared_lock dir(dir_mu_);
+  size_t index;
+  if (!FindIndexLocked(product, &index)) {
+    return Status::NotFound("unknown product '" + std::string(product) + "'");
+  }
+  std::lock_guard shard(shard_for(index));
+  return sessions_[index]->Restore(snapshot);
+}
+
+Status Broker::GetSessionInfo(std::string_view product, SessionInfo* out) const {
+  if (out == nullptr) return Status::InvalidArgument("null info output");
+  std::shared_lock dir(dir_mu_);
+  size_t index;
+  if (!FindIndexLocked(product, &index)) {
+    return Status::NotFound("unknown product '" + std::string(product) + "'");
+  }
+  std::lock_guard shard(shard_for(index));
+  const PricingSession& session = *sessions_[index];
+  out->product = session.product();
+  out->engine_name = session.engine().name();
+  out->pending = session.pending_count();
+  out->quotes_issued = session.quotes_issued();
+  out->feedback_received = session.feedback_received();
+  out->counters = session.engine().counters();
+  return Status::Ok();
+}
+
+std::vector<std::string> Broker::Products() const {
+  std::shared_lock dir(dir_mu_);
+  std::vector<std::string> names;
+  names.reserve(index_.size());
+  for (const auto& [name, index] : index_) names.push_back(name);
+  return names;
+}
+
+size_t Broker::session_count() const {
+  std::shared_lock dir(dir_mu_);
+  return index_.size();
+}
+
+const PricingEngine* Broker::FindEngine(std::string_view product) const {
+  std::shared_lock dir(dir_mu_);
+  size_t index;
+  if (!FindIndexLocked(product, &index)) return nullptr;
+  return &sessions_[index]->engine();
+}
+
+}  // namespace pdm::broker

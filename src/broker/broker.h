@@ -1,0 +1,159 @@
+#ifndef PDM_BROKER_BROKER_H_
+#define PDM_BROKER_BROKER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "broker/session.h"
+#include "common/status.h"
+#include "scenario/mechanism_registry.h"
+#include "scenario/scenario_spec.h"
+
+/// \file
+/// The serving front end: one `Broker` owns many named `PricingSession`s —
+/// one per data product — behind a shard of striped locks (DESIGN.md §9).
+///
+/// This is the production-facing redesign of the public surface: where the
+/// simulation layers expose "one engine in a loop", the broker exposes a
+/// concurrency-safe request/feedback API in the style of an exchange front
+/// end. Requests name their product; quotes carry ticket ids whose high bits
+/// route feedback back to the owning session without any global ticket
+/// table; feedback may be delayed and interleaved across products. Misuse
+/// (unknown product, duplicate/unknown ticket, dimension mismatch) returns a
+/// `pdm::Status` — the broker never aborts on client input.
+///
+/// Concurrency model: the product directory is guarded by a shared mutex
+/// (shared for request traffic, exclusive only while opening/closing
+/// sessions); session state is guarded by striped per-shard mutexes, so
+/// traffic on different products proceeds in parallel up to the stripe
+/// count. Steady-state PostPrice/Observe round trips perform zero heap
+/// allocations (tests/allocation_test.cc); `bench/bench_broker_throughput`
+/// tracks the multi-threaded round-trip rate.
+
+namespace pdm::broker {
+
+struct BrokerConfig {
+  /// Lock stripes sessions are distributed over. More stripes = more
+  /// products served truly concurrently; sessions map to stripes by index
+  /// modulo this count.
+  int num_shards = 16;
+};
+
+/// One price request of the batched entry point.
+struct PriceRequest {
+  /// Product (session) name.
+  std::string_view product;
+  /// Raw feature vector x_t; its length must match the session engine's
+  /// input dimension.
+  std::span<const double> features;
+  /// Reserve price q_t.
+  double reserve = 0.0;
+};
+
+/// Monitoring/test surface for one session.
+struct SessionInfo {
+  std::string product;
+  std::string engine_name;
+  int64_t pending = 0;
+  int64_t quotes_issued = 0;
+  int64_t feedback_received = 0;
+  EngineCounters counters;
+};
+
+class Broker {
+ public:
+  explicit Broker(const BrokerConfig& config = {});
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  /// Opens a session serving `product` with a caller-built engine. Errors:
+  /// InvalidArgument (empty name, null engine), FailedPrecondition
+  /// (duplicate product).
+  Status OpenSession(std::string product, std::unique_ptr<PricingEngine> engine);
+
+  /// Registry path: builds the engine for `spec` (mechanism name, link,
+  /// geometry) through `scenario::MechanismRegistry::Builtin()` and opens a
+  /// session named `product`. Errors: additionally InvalidArgument for an
+  /// unknown mechanism name.
+  Status OpenSession(std::string product, const scenario::ScenarioSpec& spec,
+                     const scenario::WorkloadInfo& info);
+
+  /// Closes a session; its tickets become unroutable (Observe → NotFound).
+  Status CloseSession(std::string_view product);
+
+  /// Prices one request, filling `*quote` (ticket, price, flags).
+  Status PostPrice(const PriceRequest& request, Quote* quote);
+
+  /// Batched round-trip entry point: prices `requests[i]` into `quotes[i]`.
+  /// Requests for different products may hit different lock stripes; the
+  /// batch is processed in order within each session. Individual request
+  /// failures do not abort the batch — each failed quote carries its status
+  /// code (and ticket 0) and the returned Status is the first failure.
+  /// Errors: InvalidArgument when the spans' sizes differ.
+  Status PostPrices(std::span<const PriceRequest> requests, std::span<Quote> quotes);
+
+  /// Routes accept/reject feedback to the ticket's session. Errors:
+  /// NotFound (ticket of a closed session, unknown or already-resolved
+  /// ticket — duplicate feedback lands here).
+  Status Observe(uint64_t ticket, bool accepted);
+
+  /// Current knowledge-set bounds for a query (diagnostic surface).
+  Status EstimateValue(std::string_view product, std::span<const double> features,
+                       ValueInterval* out) const;
+
+  /// Captures the product's full resumable session state.
+  Status Snapshot(std::string_view product, SessionSnapshot* out) const;
+
+  /// Restores a snapshot into the product's session (engine families must
+  /// match; see PricingSession::Restore for the ticket-base contract).
+  Status Restore(std::string_view product, const SessionSnapshot& snapshot);
+
+  /// Monitoring/test surface.
+  Status GetSessionInfo(std::string_view product, SessionInfo* out) const;
+  std::vector<std::string> Products() const;
+  size_t session_count() const;
+
+  /// The session's engine, for read-only diagnostics while no concurrent
+  /// traffic targets the product (tests, the driver); nullptr when unknown.
+  const PricingEngine* FindEngine(std::string_view product) const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+  };
+
+  /// Looks up a session index under a directory lock the caller holds.
+  /// Returns false when the product is unknown or closed.
+  bool FindIndexLocked(std::string_view product, size_t* index) const;
+
+  std::mutex& shard_for(size_t session_index) const {
+    return shards_[session_index % shards_.size()].mu;
+  }
+
+  BrokerConfig config_;
+  mutable std::shared_mutex dir_mu_;
+  /// Product name → index into `sessions_`. Transparent comparator so hot
+  /// lookups take string_views without materializing a std::string.
+  std::map<std::string, size_t, std::less<>> index_;
+  /// Append-only (slots are nulled on close, never erased), so indices — and
+  /// the ticket bases derived from them — stay stable for the broker's life.
+  std::vector<std::unique_ptr<PricingSession>> sessions_;
+  std::vector<Shard> shards_;
+};
+
+/// The ticket base a broker assigns to its i-th session (index+1 in the
+/// high 24 bits; the session fills the low 40 with slot index + generation,
+/// see PricingSession's ticket layout).
+uint64_t TicketBaseForIndex(size_t session_index);
+
+}  // namespace pdm::broker
+
+#endif  // PDM_BROKER_BROKER_H_

@@ -1,0 +1,70 @@
+#include "broker/driver.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "market/regret_tracker.h"
+#include "market/round.h"
+#include "scenario/mechanism_registry.h"
+
+namespace pdm::broker {
+
+BrokerRunOutcome RunScenarioThroughBroker(const scenario::ScenarioSpec& spec,
+                                          scenario::StreamFactory* factory,
+                                          Broker* broker) {
+  PDM_CHECK(factory != nullptr);
+  PDM_CHECK(broker != nullptr);
+  PDM_CHECK(spec.rounds > 0);
+
+  scenario::WorkloadInfo info = factory->Prepare(spec);
+  std::unique_ptr<PricingEngine> engine =
+      scenario::MechanismRegistry::Builtin().Build(spec, info);
+  // The stream may be adaptive (Lemma 8) and probe the engine's knowledge
+  // set; keep a raw pointer across the ownership transfer to the broker.
+  const PricingEngine* engine_view = engine.get();
+  Status opened = broker->OpenSession(spec.name, std::move(engine));
+  PDM_CHECK(opened.ok());
+
+  // Same Rng lifecycle as SimulationRunner::RunJob: stream construction
+  // consumes a prefix of Rng(sim_seed), the market loop the rest (§4).
+  Rng rng(spec.sim_seed);
+  std::unique_ptr<QueryStream> stream = factory->CreateStream(spec, &rng);
+  stream->BindEngine(engine_view);
+
+  BrokerRunOutcome outcome;
+  outcome.result.tracker = RegretTracker(spec.series_stride);
+
+  WallTimer total_timer;
+  MarketRound round;
+  Quote quote;
+  PostedPrice posted;
+  for (int64_t t = 0; t < spec.rounds; ++t) {
+    stream->Next(&rng, &round);
+    Status status =
+        broker->PostPrice({spec.name, round.features, round.reserve}, &quote);
+    PDM_CHECK(status.ok());
+    // Immediate feedback: resolve the sale and answer the ticket before the
+    // next request — the regime bit-identical to RunMarket's alternation.
+    bool accepted = !quote.certain_no_sale && quote.price <= round.value;
+    status = broker->Observe(quote.ticket, accepted);
+    PDM_CHECK(status.ok());
+    posted.price = quote.price;
+    posted.exploratory = quote.exploratory;
+    posted.certain_no_sale = quote.certain_no_sale;
+    outcome.result.tracker.Observe(round, posted, accepted);
+  }
+  outcome.result.wall_seconds = total_timer.ElapsedSeconds();
+  outcome.result.engine_counters = engine_view->counters();
+  outcome.engine_name = engine_view->name();
+  return outcome;
+}
+
+BrokerRunOutcome RunScenarioThroughBroker(const scenario::ScenarioSpec& spec,
+                                          scenario::StreamFactory* factory) {
+  Broker broker;
+  return RunScenarioThroughBroker(spec, factory, &broker);
+}
+
+}  // namespace pdm::broker

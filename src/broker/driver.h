@@ -1,0 +1,43 @@
+#ifndef PDM_BROKER_DRIVER_H_
+#define PDM_BROKER_DRIVER_H_
+
+#include <string>
+
+#include "broker/broker.h"
+#include "market/simulator.h"
+#include "scenario/scenario_spec.h"
+#include "scenario/stream_factory.h"
+
+/// \file
+/// Executes declarative registry scenarios *through the broker surface*
+/// instead of calling the engine directly, so the serving path is pinned
+/// against the simulation path: with immediate feedback (every quote
+/// answered before the next request) a broker run is bit-identical to
+/// `RunMarket` on the same spec — same prices, same cuts, same regret
+/// accounting (tests/broker_test.cc pins fig5a and table1 specs).
+
+namespace pdm::broker {
+
+/// One scenario executed through a broker session.
+struct BrokerRunOutcome {
+  /// Name reported by the session's engine.
+  std::string engine_name;
+  SimulationResult result;
+};
+
+/// Runs `spec` through a session on `broker` (opened under `spec.name`,
+/// which must not already be in use), with immediate ticketed feedback.
+/// `factory` prepares/caches the workload exactly as `ExperimentDriver`
+/// does, so shared artifacts are reused across runs. The session stays open
+/// afterwards for inspection; close it via `broker->CloseSession(spec.name)`.
+BrokerRunOutcome RunScenarioThroughBroker(const scenario::ScenarioSpec& spec,
+                                          scenario::StreamFactory* factory,
+                                          Broker* broker);
+
+/// Convenience overload with a private single-session broker.
+BrokerRunOutcome RunScenarioThroughBroker(const scenario::ScenarioSpec& spec,
+                                          scenario::StreamFactory* factory);
+
+}  // namespace pdm::broker
+
+#endif  // PDM_BROKER_DRIVER_H_

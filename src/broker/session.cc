@@ -1,0 +1,225 @@
+#include "broker/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace pdm::broker {
+
+PricingSession::PricingSession(std::string product,
+                               std::unique_ptr<PricingEngine> engine,
+                               uint64_t ticket_base)
+    : product_(std::move(product)),
+      engine_(std::move(engine)),
+      ticket_base_(ticket_base) {
+  PDM_CHECK(!product_.empty());
+  PDM_CHECK(engine_ != nullptr);
+}
+
+Status PricingSession::PostPrice(std::span<const double> features, double reserve,
+                                 Quote* quote) {
+  if (quote == nullptr) return Status::InvalidArgument("null quote output");
+  quote->ticket = 0;
+  quote->status = StatusCode::kOk;
+  int want = engine_->input_dim();
+  if (static_cast<int>(features.size()) != want) {
+    quote->status = StatusCode::kInvalidArgument;
+    return Status::InvalidArgument(
+        "dimension mismatch for product '" + product_ + "': got " +
+        std::to_string(features.size()) + " features, engine expects " +
+        std::to_string(want));
+  }
+
+  // Engines without detached-feedback support keep the pending round
+  // attached; a second outstanding quote would trip their alternation CHECK,
+  // so refuse it as a client error instead.
+  if (has_attached_pending_) {
+    quote->status = StatusCode::kFailedPrecondition;
+    return Status::FailedPrecondition(
+        "product '" + product_ +
+        "': engine without detached-feedback support already has an "
+        "outstanding ticket");
+  }
+
+  // Bridge the span into the engine's Vector parameter; the buffer reaches
+  // steady-state capacity after the first request of each dimension.
+  features_buf_.assign(features.begin(), features.end());
+  PostedPrice posted = engine_->PostPrice(features_buf_, reserve);
+
+  size_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else if (slots_.size() <= kSlotMask) {
+    index = slots_.size();
+    slots_.emplace_back();
+  } else {
+    quote->status = StatusCode::kFailedPrecondition;
+    return Status::FailedPrecondition(
+        "product '" + product_ + "': ticket-slot space exhausted (" +
+        std::to_string(slots_.size()) + " quotes outstanding)");
+  }
+  TicketSlot& slot = slots_[index];
+  if (!engine_->DetachPending(&slot.cut)) {
+    // Third-party engine without the serving hooks: the round stays attached
+    // inside the engine and this ticket is the only one allowed outstanding.
+    slot.cut.kind = kAttachedKind;
+    has_attached_pending_ = true;
+  }
+  // The slot index goes into the ticket's middle bits (O(1) feedback
+  // routing); the bumped generation makes recycled slots reject duplicate
+  // or stale tickets.
+  slot.generation = (slot.generation + 1) & kGenMask;
+  slot.issued_at = static_cast<uint64_t>(quotes_issued_);
+  slot.ticket = ticket_base_ | (static_cast<uint64_t>(index) << kGenBits) |
+                slot.generation;
+  ++pending_count_;
+  ++quotes_issued_;
+
+  quote->ticket = slot.ticket;
+  quote->price = posted.price;
+  quote->exploratory = posted.exploratory;
+  quote->certain_no_sale = posted.certain_no_sale;
+  return Status::Ok();
+}
+
+Status PricingSession::Observe(uint64_t ticket, bool accepted) {
+  size_t index = static_cast<size_t>((ticket >> kGenBits) & kSlotMask);
+  if (ticket == 0 || index >= slots_.size() || slots_[index].ticket != ticket) {
+    return Status::NotFound("product '" + product_ +
+                            "': unknown or already-resolved ticket " +
+                            std::to_string(ticket));
+  }
+  TicketSlot& slot = slots_[index];
+  if (slot.cut.kind == kAttachedKind) {
+    engine_->Observe(accepted);
+    has_attached_pending_ = false;
+  } else {
+    engine_->ObserveDetached(slot.cut, accepted);
+  }
+  slot.ticket = 0;
+  free_slots_.push_back(index);
+  --pending_count_;
+  ++feedback_received_;
+  return Status::Ok();
+}
+
+Status PricingSession::EstimateValue(std::span<const double> features,
+                                     ValueInterval* out) const {
+  if (out == nullptr) return Status::InvalidArgument("null interval output");
+  int want = engine_->input_dim();
+  if (static_cast<int>(features.size()) != want) {
+    return Status::InvalidArgument(
+        "dimension mismatch for product '" + product_ + "': got " +
+        std::to_string(features.size()) + " features, engine expects " +
+        std::to_string(want));
+  }
+  // EstimateValueInterval is a const observer; the bridge buffer is the only
+  // mutable touch, so cast rather than making the whole session mutable.
+  Vector* buf = const_cast<Vector*>(&features_buf_);
+  buf->assign(features.begin(), features.end());
+  *out = engine_->EstimateValueInterval(*buf);
+  return Status::Ok();
+}
+
+Status PricingSession::Snapshot(SessionSnapshot* out) const {
+  if (out == nullptr) return Status::InvalidArgument("null snapshot output");
+  SessionSnapshot snap;
+  if (!engine_->SaveSnapshot(&snap.engine)) {
+    return Status::Unimplemented("product '" + product_ + "': engine '" +
+                                 engine_->name() + "' has no snapshot support");
+  }
+  snap.product = product_;
+  snap.quotes_issued = quotes_issued_;
+  snap.feedback_received = feedback_received_;
+  snap.pending.reserve(static_cast<size_t>(pending_count_));
+  std::vector<uint64_t> issue_order;
+  issue_order.reserve(static_cast<size_t>(pending_count_));
+  for (const TicketSlot& slot : slots_) {
+    if (slot.ticket == 0) continue;
+    if (slot.cut.kind == kAttachedKind) {
+      return Status::FailedPrecondition(
+          "product '" + product_ +
+          "': outstanding attached round cannot be snapshotted");
+    }
+    snap.pending.push_back({slot.ticket, slot.cut});
+    issue_order.push_back(slot.issued_at);
+  }
+  // Issue order, so restore replays the table deterministically.
+  std::vector<size_t> order(snap.pending.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&issue_order](size_t a, size_t b) {
+    return issue_order[a] < issue_order[b];
+  });
+  std::vector<PendingTicketState> sorted;
+  sorted.reserve(snap.pending.size());
+  for (size_t i : order) sorted.push_back(std::move(snap.pending[i]));
+  snap.pending = std::move(sorted);
+  *out = std::move(snap);
+  return Status::Ok();
+}
+
+Status PricingSession::Restore(const SessionSnapshot& snapshot) {
+  // Validate everything before mutating anything, so a rejected snapshot
+  // leaves the session exactly as it was.
+  std::vector<uint64_t> seen_slots;
+  seen_slots.reserve(snapshot.pending.size());
+  for (const PendingTicketState& p : snapshot.pending) {
+    if ((p.ticket >> (kSlotBits + kGenBits)) != (ticket_base_ >> (kSlotBits + kGenBits)) ||
+        p.ticket == 0) {
+      return Status::FailedPrecondition(
+          "pending ticket " + std::to_string(p.ticket) +
+          " does not belong to this session's ticket base; drain feedback "
+          "before migrating across broker slots");
+    }
+    // A decoded blob may be structurally valid yet carry cut kinds no engine
+    // issues (corruption, foreign writers). Reject them here: once restored
+    // they would abort inside ObserveDetached instead of returning a Status.
+    bool valid_kind = (p.cut.kind >= 1 && p.cut.kind <= 3) ||
+                      (p.cut.kind == 0 && p.cut.wrapped_skip);
+    if (!valid_kind) {
+      return Status::FailedPrecondition(
+          "pending ticket " + std::to_string(p.ticket) +
+          " carries invalid cut kind " + std::to_string(p.cut.kind));
+    }
+    seen_slots.push_back((p.ticket >> kGenBits) & kSlotMask);
+  }
+  std::sort(seen_slots.begin(), seen_slots.end());
+  if (std::adjacent_find(seen_slots.begin(), seen_slots.end()) != seen_slots.end()) {
+    return Status::FailedPrecondition(
+        "two pending tickets collide on one ticket slot");
+  }
+  if (!engine_->LoadSnapshot(snapshot.engine)) {
+    return Status::FailedPrecondition(
+        "product '" + product_ + "': engine '" + engine_->name() +
+        "' cannot load a '" + snapshot.engine.engine + "' (dim " +
+        std::to_string(snapshot.engine.dim) + ") snapshot");
+  }
+  quotes_issued_ = snapshot.quotes_issued;
+  feedback_received_ = snapshot.feedback_received;
+  slots_.clear();
+  free_slots_.clear();
+  has_attached_pending_ = false;
+  pending_count_ = 0;
+  // Pending tickets return to the slots their ids encode; issue-order
+  // stamps restart at 0..n-1, which stay below every future stamp
+  // (quotes_issued_ ≥ n).
+  for (size_t i = 0; i < snapshot.pending.size(); ++i) {
+    const PendingTicketState& p = snapshot.pending[i];
+    size_t index = static_cast<size_t>((p.ticket >> kGenBits) & kSlotMask);
+    if (slots_.size() <= index) slots_.resize(index + 1);
+    TicketSlot& slot = slots_[index];
+    slot.ticket = p.ticket;
+    slot.generation = static_cast<uint32_t>(p.ticket & kGenMask);
+    slot.issued_at = i;
+    slot.cut = p.cut;
+    ++pending_count_;
+  }
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].ticket == 0) free_slots_.push_back(i);
+  }
+  return Status::Ok();
+}
+
+}  // namespace pdm::broker

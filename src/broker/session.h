@@ -1,0 +1,156 @@
+#ifndef PDM_BROKER_SESSION_H_
+#define PDM_BROKER_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "broker/snapshot.h"
+#include "common/status.h"
+#include "pricing/engine_state.h"
+#include "pricing/pricing_engine.h"
+
+/// \file
+/// One data product's pricing session: a `PricingEngine` behind a ticketed
+/// request/feedback surface (DESIGN.md §9).
+///
+/// Where the simulation layer's `RunMarket` enforces the Fig. 2 strict
+/// PostPrice/Observe alternation (and `PDM_CHECK`-aborts on misuse), a
+/// session is a *serving* object: `PostPrice` returns a `Quote` carrying a
+/// ticket id, the posting-time cut context is detached from the engine and
+/// buffered per ticket, and `Observe(ticket, accepted)` may arrive later, in
+/// any order, interleaved with further quotes. Client-facing misuse
+/// (dimension mismatch, unknown or already-resolved ticket) returns a
+/// `pdm::Status` instead of aborting the process.
+///
+/// Feedback semantics under delay: cut contexts are applied to the knowledge
+/// set in the order feedback *arrives*, each with its posting-time support.
+/// When feedback is immediate (every quote answered before the next request)
+/// this is bit-identical to the classic alternating protocol — pinned
+/// against `RunMarket` in tests/broker_test.cc.
+///
+/// A session is not internally synchronized; `Broker` wraps sessions in
+/// striped locks. Steady-state PostPrice/Observe round trips perform zero
+/// heap allocations (ticket slots, their direction buffers, and the feature
+/// bridge buffer are all recycled — tests/allocation_test.cc).
+
+namespace pdm::broker {
+
+/// The serving-side answer to one price request.
+struct Quote {
+  /// Feedback ticket; 0 when the request failed (see `status`).
+  uint64_t ticket = 0;
+  /// The price shown to the consumer (value space).
+  double price = 0.0;
+  /// True if the exploratory (bisection) price was chosen.
+  bool exploratory = false;
+  /// True when the engine proved no price ≥ the reserve can sell; the offer
+  /// should be withheld (accounting still treats the quote as posted).
+  bool certain_no_sale = false;
+  /// Per-request outcome for the batched entry point (kOk on success).
+  StatusCode status = StatusCode::kOk;
+};
+
+class PricingSession {
+ public:
+  /// Default base for standalone sessions (a broker passes a per-slot base).
+  static constexpr uint64_t kDefaultTicketBase = uint64_t{1} << 40;
+
+  /// Ticket id layout: [63..40] session base, [39..20] slot index inside the
+  /// session's ticket table, [19..0] per-slot generation. Feedback routing is
+  /// therefore O(1) end to end — broker → session from the high bits, session
+  /// → slot from the middle bits — with the generation guarding against
+  /// duplicate or stale tickets after a slot is recycled.
+  static constexpr int kSlotBits = 20;
+  static constexpr int kGenBits = 20;
+  static constexpr uint64_t kSlotMask = (uint64_t{1} << kSlotBits) - 1;
+  static constexpr uint64_t kGenMask = (uint64_t{1} << kGenBits) - 1;
+
+  /// Takes ownership of the engine. `ticket_base` is OR-ed into every issued
+  /// ticket id; the broker uses the high bits to route feedback to the
+  /// owning session without a global ticket table.
+  PricingSession(std::string product, std::unique_ptr<PricingEngine> engine,
+                 uint64_t ticket_base = kDefaultTicketBase);
+
+  PricingSession(const PricingSession&) = delete;
+  PricingSession& operator=(const PricingSession&) = delete;
+
+  const std::string& product() const { return product_; }
+  const PricingEngine& engine() const { return *engine_; }
+  uint64_t ticket_base() const { return ticket_base_; }
+
+  /// Prices one request. On success fills `*quote` (with a fresh ticket) and
+  /// detaches the engine's pending cut context into the ticket table.
+  /// Errors: InvalidArgument (dimension mismatch, null quote),
+  /// FailedPrecondition (engine without detached-feedback support already
+  /// has an outstanding ticket; ticket-slot space exhausted at 2^20
+  /// outstanding quotes).
+  Status PostPrice(std::span<const double> features, double reserve, Quote* quote);
+
+  /// Applies accept/reject feedback for `ticket` and retires it — O(1), the
+  /// ticket encodes its slot. Errors: NotFound (unknown, foreign, or
+  /// already-resolved ticket — duplicate feedback lands here, the ticket was
+  /// retired by its first resolution and the slot generation rejects it).
+  Status Observe(uint64_t ticket, bool accepted);
+
+  /// Current knowledge-set bounds for a query (diagnostic surface).
+  Status EstimateValue(std::span<const double> features, ValueInterval* out) const;
+
+  /// Quotes issued and still awaiting feedback.
+  int64_t pending_count() const { return pending_count_; }
+  int64_t quotes_issued() const { return quotes_issued_; }
+  int64_t feedback_received() const { return feedback_received_; }
+
+  /// Captures the full resumable session state. Errors: Unimplemented (the
+  /// engine has no snapshot support), FailedPrecondition (an engine without
+  /// detached-feedback support holds an attached pending round).
+  Status Snapshot(SessionSnapshot* out) const;
+
+  /// Restores state captured by Snapshot on a session with a compatible
+  /// engine (same family and dimension — typically built from the same
+  /// `ScenarioSpec`). Outstanding tickets are restored verbatim; their ids
+  /// embed the snapshotting session's ticket base, so restore into a broker
+  /// slot with the same base (or drain feedback before snapshotting).
+  /// Errors: FailedPrecondition (engine/snapshot mismatch, foreign ticket
+  /// base on a pending ticket).
+  Status Restore(const SessionSnapshot& snapshot);
+
+ private:
+  /// One buffered quote awaiting feedback. Slots are recycled through
+  /// `free_slots_`, so their cut contexts' direction buffers reach a steady
+  /// capacity and stop allocating.
+  struct TicketSlot {
+    uint64_t ticket = 0;  ///< 0 = free
+    /// Bumped on every issue from this slot (the ticket's low bits).
+    uint32_t generation = 0;
+    /// Issue-order stamp (the value of quotes_issued_ at issue time);
+    /// orders the pending table in snapshots.
+    uint64_t issued_at = 0;
+    PendingCut cut;
+  };
+
+  /// Sentinel `PendingCut::kind` for engines without DetachPending support:
+  /// the pending round stayed attached inside the engine, and Observe must
+  /// use the classic call (at most one such ticket can be outstanding).
+  static constexpr int kAttachedKind = -1;
+
+  std::string product_;
+  std::unique_ptr<PricingEngine> engine_;
+  uint64_t ticket_base_;
+  /// True while an engine without DetachPending support holds its round
+  /// attached — at most one ticket may then be outstanding.
+  bool has_attached_pending_ = false;
+  int64_t pending_count_ = 0;
+  int64_t quotes_issued_ = 0;
+  int64_t feedback_received_ = 0;
+  /// Bridge buffer: span request → the Vector the engine API takes.
+  Vector features_buf_;
+  std::vector<TicketSlot> slots_;
+  std::vector<size_t> free_slots_;
+};
+
+}  // namespace pdm::broker
+
+#endif  // PDM_BROKER_SESSION_H_

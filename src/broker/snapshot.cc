@@ -1,0 +1,228 @@
+#include "broker/snapshot.h"
+
+#include <cstring>
+
+namespace pdm::broker {
+namespace {
+
+/// 8-byte magic + format version. The magic doubles as an endianness/format
+/// sentinel: the layout below is little-endian (the only platforms this repo
+/// targets), and a corrupted or foreign blob fails fast on the first bytes.
+constexpr char kMagic[8] = {'P', 'D', 'M', 'S', 'N', 'A', 'P', '1'};
+constexpr uint32_t kVersion = 1;
+
+// ------------------------------------------------------------------- writer
+
+void PutBytes(std::string* out, const void* data, size_t size) {
+  out->append(static_cast<const char*>(data), size);
+}
+
+void PutU8(std::string* out, uint8_t v) { PutBytes(out, &v, sizeof v); }
+void PutU32(std::string* out, uint32_t v) { PutBytes(out, &v, sizeof v); }
+void PutU64(std::string* out, uint64_t v) { PutBytes(out, &v, sizeof v); }
+void PutI32(std::string* out, int32_t v) { PutBytes(out, &v, sizeof v); }
+void PutI64(std::string* out, int64_t v) { PutBytes(out, &v, sizeof v); }
+
+/// Doubles travel as raw IEEE-754 bit patterns: exact round trip, NaN-safe.
+void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  PutBytes(out, s.data(), s.size());
+}
+
+void PutVector(std::string* out, const Vector& v) {
+  PutU32(out, static_cast<uint32_t>(v.size()));
+  for (double d : v) PutF64(out, d);
+}
+
+void PutCounters(std::string* out, const EngineCounters& c) {
+  PutI64(out, c.rounds);
+  PutI64(out, c.exploratory_rounds);
+  PutI64(out, c.conservative_rounds);
+  PutI64(out, c.skipped_rounds);
+  PutI64(out, c.cuts_applied);
+  PutI64(out, c.cuts_discarded);
+}
+
+// ------------------------------------------------------------------- reader
+
+/// Bounds-checked cursor over the encoded bytes. Every Get reports failure
+/// instead of reading past the end, so a truncated blob decodes to a clean
+/// InvalidArgument rather than UB.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool GetBytes(void* out, size_t size) {
+    if (bytes_.size() - pos_ < size) return false;
+    std::memcpy(out, bytes_.data() + pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  bool GetU8(uint8_t* v) { return GetBytes(v, sizeof *v); }
+  bool GetU32(uint32_t* v) { return GetBytes(v, sizeof *v); }
+  bool GetU64(uint64_t* v) { return GetBytes(v, sizeof *v); }
+  bool GetI32(int32_t* v) { return GetBytes(v, sizeof *v); }
+  bool GetI64(int64_t* v) { return GetBytes(v, sizeof *v); }
+
+  bool GetF64(double* v) {
+    uint64_t bits;
+    if (!GetU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof *v);
+    return true;
+  }
+
+  bool GetString(std::string* s) {
+    uint32_t size;
+    if (!GetU32(&size)) return false;
+    if (bytes_.size() - pos_ < size) return false;
+    s->assign(bytes_.data() + pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  bool GetVector(Vector* v) {
+    uint32_t size;
+    if (!GetU32(&size)) return false;
+    // Length sanity before resizing: the payload must actually be present.
+    if ((bytes_.size() - pos_) / sizeof(double) < size) return false;
+    v->resize(size);
+    for (double& d : *v) {
+      if (!GetF64(&d)) return false;
+    }
+    return true;
+  }
+
+  bool GetCounters(EngineCounters* c) {
+    return GetI64(&c->rounds) && GetI64(&c->exploratory_rounds) &&
+           GetI64(&c->conservative_rounds) && GetI64(&c->skipped_rounds) &&
+           GetI64(&c->cuts_applied) && GetI64(&c->cuts_discarded);
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string EncodeSessionSnapshot(const SessionSnapshot& snapshot) {
+  std::string out;
+  PutBytes(&out, kMagic, sizeof kMagic);
+  PutU32(&out, kVersion);
+  PutString(&out, snapshot.product);
+  // Engine state.
+  const EngineSnapshot& e = snapshot.engine;
+  PutString(&out, e.engine);
+  PutI32(&out, e.dim);
+  PutF64(&out, e.epsilon);
+  PutF64(&out, e.delta);
+  PutVector(&out, e.center);
+  PutI32(&out, e.shape.rows());
+  PutI32(&out, e.shape.cols());
+  for (int r = 0; r < e.shape.rows(); ++r) {
+    for (int c = 0; c < e.shape.cols(); ++c) PutF64(&out, e.shape(r, c));
+  }
+  PutI32(&out, e.cuts_since_symmetrize);
+  PutF64(&out, e.lo);
+  PutF64(&out, e.hi);
+  PutCounters(&out, e.counters);
+  // Session state.
+  PutI64(&out, snapshot.quotes_issued);
+  PutI64(&out, snapshot.feedback_received);
+  PutU32(&out, static_cast<uint32_t>(snapshot.pending.size()));
+  for (const PendingTicketState& p : snapshot.pending) {
+    PutU64(&out, p.ticket);
+    PutI32(&out, p.cut.kind);
+    PutF64(&out, p.cut.price);
+    PutF64(&out, p.cut.x);
+    PutU8(&out, p.cut.wrapped_skip ? 1 : 0);
+    PutF64(&out, p.cut.support.lower);
+    PutF64(&out, p.cut.support.upper);
+    PutF64(&out, p.cut.support.half_width);
+    PutF64(&out, p.cut.support.midpoint);
+    PutVector(&out, p.cut.support.direction);
+  }
+  return out;
+}
+
+Status DecodeSessionSnapshot(std::string_view bytes, SessionSnapshot* out) {
+  if (out == nullptr) return Status::InvalidArgument("null snapshot output");
+  Reader reader(bytes);
+  char magic[8];
+  if (!reader.GetBytes(magic, sizeof magic) ||
+      std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    return Status::InvalidArgument("not a pdm.snap document (bad magic)");
+  }
+  uint32_t version;
+  if (!reader.GetU32(&version)) return Status::InvalidArgument("truncated header");
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported pdm.snap version " +
+                                   std::to_string(version));
+  }
+
+  SessionSnapshot snap;
+  EngineSnapshot& e = snap.engine;
+  int32_t dim, rows, cols, cuts;
+  if (!reader.GetString(&snap.product) || !reader.GetString(&e.engine) ||
+      !reader.GetI32(&dim) || !reader.GetF64(&e.epsilon) || !reader.GetF64(&e.delta) ||
+      !reader.GetVector(&e.center) || !reader.GetI32(&rows) || !reader.GetI32(&cols)) {
+    return Status::InvalidArgument("truncated engine state");
+  }
+  if (dim < 0 || rows < 0 || cols < 0 ||
+      static_cast<uint64_t>(rows) * static_cast<uint64_t>(cols) >
+          bytes.size() / sizeof(double)) {
+    return Status::InvalidArgument("implausible engine geometry");
+  }
+  e.dim = dim;
+  e.shape = Matrix(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      double v;
+      if (!reader.GetF64(&v)) return Status::InvalidArgument("truncated shape matrix");
+      e.shape(r, c) = v;
+    }
+  }
+  if (!reader.GetI32(&cuts) || !reader.GetF64(&e.lo) || !reader.GetF64(&e.hi) ||
+      !reader.GetCounters(&e.counters)) {
+    return Status::InvalidArgument("truncated engine state");
+  }
+  e.cuts_since_symmetrize = cuts;
+
+  uint32_t pending_count;
+  if (!reader.GetI64(&snap.quotes_issued) || !reader.GetI64(&snap.feedback_received) ||
+      !reader.GetU32(&pending_count)) {
+    return Status::InvalidArgument("truncated session state");
+  }
+  // Each pending entry is ≥ 53 bytes; reject counts the payload can't hold.
+  if (pending_count > bytes.size() / 53) {
+    return Status::InvalidArgument("implausible pending-ticket count");
+  }
+  snap.pending.resize(pending_count);
+  for (PendingTicketState& p : snap.pending) {
+    uint8_t wrapped_skip;
+    if (!reader.GetU64(&p.ticket) || !reader.GetI32(&p.cut.kind) ||
+        !reader.GetF64(&p.cut.price) || !reader.GetF64(&p.cut.x) ||
+        !reader.GetU8(&wrapped_skip) || !reader.GetF64(&p.cut.support.lower) ||
+        !reader.GetF64(&p.cut.support.upper) ||
+        !reader.GetF64(&p.cut.support.half_width) ||
+        !reader.GetF64(&p.cut.support.midpoint) ||
+        !reader.GetVector(&p.cut.support.direction)) {
+      return Status::InvalidArgument("truncated pending ticket");
+    }
+    p.cut.wrapped_skip = wrapped_skip != 0;
+  }
+  if (!reader.AtEnd()) return Status::InvalidArgument("trailing bytes after snapshot");
+  *out = std::move(snap);
+  return Status::Ok();
+}
+
+}  // namespace pdm::broker

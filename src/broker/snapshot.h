@@ -1,0 +1,58 @@
+#ifndef PDM_BROKER_SNAPSHOT_H_
+#define PDM_BROKER_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "pricing/engine_state.h"
+
+/// \file
+/// Serialized session state for checkpoint and migration (DESIGN.md §9).
+///
+/// A `SessionSnapshot` is everything a `PricingSession` needs to resume
+/// exactly where it left off: the engine's knowledge set and counters
+/// (`EngineSnapshot`), the session-level counters, and every quote still
+/// awaiting feedback (ticket id plus its posting-time cut context).
+/// `EncodeSessionSnapshot`/`DecodeSessionSnapshot`
+/// give it a stable byte representation — format `pdm.snap.v1`, a
+/// little-endian binary layout with length-prefixed strings and doubles
+/// stored as raw IEEE-754 bit patterns, so a decode → encode round trip is
+/// byte-identical and a restored engine is *bit*-identical (no decimal
+/// round-tripping anywhere).
+
+namespace pdm::broker {
+
+/// One quote awaiting feedback at snapshot time.
+struct PendingTicketState {
+  uint64_t ticket = 0;
+  PendingCut cut;
+};
+
+/// Full resumable state of one pricing session.
+struct SessionSnapshot {
+  /// Product the session was serving when snapshotted (informational: a
+  /// snapshot may be restored under a different product name).
+  std::string product;
+  EngineSnapshot engine;
+  int64_t quotes_issued = 0;
+  int64_t feedback_received = 0;
+  /// Outstanding tickets in issue order. Their ids embed the session's
+  /// ticket base and slot index, so restoring into a broker slot with a
+  /// different base requires draining feedback first (see
+  /// PricingSession::Restore).
+  std::vector<PendingTicketState> pending;
+};
+
+/// Serializes to the versioned `pdm.snap.v1` byte format.
+std::string EncodeSessionSnapshot(const SessionSnapshot& snapshot);
+
+/// Parses bytes produced by EncodeSessionSnapshot (any supported version).
+/// Returns InvalidArgument on a malformed or truncated document.
+Status DecodeSessionSnapshot(std::string_view bytes, SessionSnapshot* out);
+
+}  // namespace pdm::broker
+
+#endif  // PDM_BROKER_SNAPSHOT_H_

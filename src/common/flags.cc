@@ -80,9 +80,11 @@ bool FlagSet::Assign(const Flag& flag, const std::string& text) const {
 }
 
 bool FlagSet::Parse(int argc, char** argv) {
+  help_requested_ = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
       std::fprintf(stderr, "%s", Usage().c_str());
       return false;
     }

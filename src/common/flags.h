@@ -43,6 +43,10 @@ class FlagSet {
   /// usage text.
   bool Parse(int argc, char** argv);
 
+  /// True when the last Parse returned false because of `--help`/`-h` (the
+  /// usage text was printed); binaries exit 0 in that case, not 1.
+  bool help_requested() const { return help_requested_; }
+
   /// Human-readable usage text listing all registered flags.
   std::string Usage() const;
 
@@ -65,6 +69,7 @@ class FlagSet {
 
   std::string program_;
   std::vector<Flag> flags_;
+  bool help_requested_ = false;
 };
 
 }  // namespace pdm

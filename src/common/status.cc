@@ -1,0 +1,31 @@
+#include "common/status.h"
+
+namespace pdm {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kFailedPrecondition:
+      return "failed-precondition";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace pdm

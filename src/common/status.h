@@ -1,0 +1,73 @@
+#ifndef PDM_COMMON_STATUS_H_
+#define PDM_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+/// \file
+/// Lightweight recoverable-error value for client-facing APIs.
+///
+/// The simulation layers treat misuse as programmer error and abort
+/// (`PDM_CHECK`), which is right for an algorithm driven by our own loop but
+/// wrong for a serving surface where a malformed request must not take the
+/// broker down. `pdm::Status` is the serving-side alternative: OK carries no
+/// message and allocates nothing (so returning it from a hot path preserves
+/// the zero-allocation steady state, DESIGN.md §6); error statuses carry a
+/// code plus a human-readable message and may allocate — errors are off the
+/// hot path by definition.
+
+namespace pdm {
+
+enum class StatusCode {
+  kOk = 0,
+  /// A request referenced something that does not exist (unknown product,
+  /// unknown or already-resolved ticket).
+  kNotFound,
+  /// A request was malformed (dimension mismatch, size mismatch, empty name).
+  kInvalidArgument,
+  /// The target exists but is in a state that forbids the operation
+  /// (duplicate product name, snapshot/engine family mismatch).
+  kFailedPrecondition,
+  /// The operation is not available on this engine (no snapshot support).
+  kUnimplemented,
+};
+
+/// Human-readable code name ("ok", "not-found", ...).
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  /// Default-constructed Status is OK; no allocation.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code-name>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_COMMON_STATUS_H_

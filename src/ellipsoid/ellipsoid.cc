@@ -14,6 +14,14 @@ Ellipsoid::Ellipsoid(Vector center, Matrix shape)
   PDM_CHECK(dim() >= 2);
 }
 
+Ellipsoid Ellipsoid::FromSnapshotState(Vector center, Matrix shape,
+                                       int cuts_since_symmetrize) {
+  PDM_CHECK(cuts_since_symmetrize >= 0 && cuts_since_symmetrize < 32);
+  Ellipsoid out(std::move(center), std::move(shape));
+  out.cuts_since_symmetrize_ = cuts_since_symmetrize;
+  return out;
+}
+
 Ellipsoid Ellipsoid::Ball(int dim, double radius) {
   PDM_CHECK(dim >= 2);
   PDM_CHECK(radius > 0.0);

@@ -100,6 +100,17 @@ class Ellipsoid {
   /// Numerical health checks: symmetric, finite, positive diagonal.
   bool LooksHealthy() const;
 
+  /// Cuts applied since the last drift-control re-symmetrization. Part of
+  /// the serialized engine state: restoring it keeps a resumed cut sequence
+  /// bit-identical to an uninterrupted one (the re-symmetrization would
+  /// otherwise fire at different cut counts and perturb low-order bits).
+  int cuts_since_symmetrize() const { return cuts_since_symmetrize_; }
+
+  /// Rebuilds an ellipsoid from serialized state (broker session snapshots,
+  /// DESIGN.md §9). `cuts_since_symmetrize` must be in [0, 32).
+  static Ellipsoid FromSnapshotState(Vector center, Matrix shape,
+                                     int cuts_since_symmetrize);
+
  private:
   /// Shared implementation: `sign` +1 keeps below (rejection), −1 keeps
   /// above (acceptance). `ax` is the raw support mat-vec A·x and

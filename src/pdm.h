@@ -13,6 +13,7 @@
 ///   pricing/                                                 (the contribution)
 ///   market/                                                  (simulation layer)
 ///   scenario/                                                (declarative experiments)
+///   broker/                                                  (serving front end)
 ///
 /// Typical entry points:
 ///  * `pdm::EllipsoidPricingEngine` — the posted-price mechanism (n ≥ 2).
@@ -30,12 +31,19 @@
 ///    exhibit as a declarative `scenario::ScenarioSpec`, executed by
 ///    `scenario::ExperimentDriver` (the engine behind `bench/pdm_run`) and
 ///    expandable into new grids with `scenario::Sweep`.
+///  * `pdm::broker::Broker` — the serving front end: named multi-product
+///    sessions behind striped locks, ticketed delayed feedback, batched
+///    `PostPrices`, and session `Snapshot`/`Restore` (DESIGN.md §9).
 ///
 /// See README.md for a quickstart and the hot-path performance conventions,
 /// and DESIGN.md for the system inventory and the recorded deviations from
 /// the paper (each bench binary prints its paper-vs-measured comparison
 /// inline).
 
+#include "broker/broker.h"
+#include "broker/driver.h"
+#include "broker/session.h"
+#include "broker/snapshot.h"
 #include "ellipsoid/ellipsoid.h"
 #include "market/adversarial.h"
 #include "market/airbnb_market.h"
@@ -47,6 +55,7 @@
 #include "market/simulator.h"
 #include "pricing/baselines.h"
 #include "pricing/ellipsoid_engine.h"
+#include "pricing/engine_state.h"
 #include "pricing/feature_maps.h"
 #include "pricing/generalized_engine.h"
 #include "pricing/interval_engine.h"

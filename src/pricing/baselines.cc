@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "pricing/engine_state.h"
 
 namespace pdm {
 
@@ -28,6 +29,47 @@ ValueInterval ReservePriceBaseline::EstimateValueInterval(const Vector& features
   (void)features;
   return ValueInterval{-std::numeric_limits<double>::infinity(),
                        std::numeric_limits<double>::infinity()};
+}
+
+bool ReservePriceBaseline::DetachPending(PendingCut* out) {
+  PDM_CHECK(out != nullptr);
+  if (!pending_) return false;
+  out->kind = 1;  // "posted, awaiting feedback" — no context beyond that
+  out->price = 0.0;
+  out->x = 0.0;
+  out->wrapped_skip = false;
+  pending_ = false;
+  return true;
+}
+
+void ReservePriceBaseline::ObserveDetached(const PendingCut& cut, bool accepted) {
+  PDM_CHECK(!pending_);
+  PDM_CHECK(cut.kind != 0);
+  (void)accepted;  // the baseline never learns
+}
+
+bool ReservePriceBaseline::SaveSnapshot(EngineSnapshot* out) const {
+  PDM_CHECK(out != nullptr);
+  if (pending_) return false;
+  out->engine = "baseline";
+  out->dim = dim_;
+  out->epsilon = 0.0;
+  out->delta = 0.0;
+  out->center.clear();
+  out->shape = Matrix(0, 0);
+  out->cuts_since_symmetrize = 0;
+  out->lo = 0.0;
+  out->hi = 0.0;
+  out->counters = counters_;
+  return true;
+}
+
+bool ReservePriceBaseline::LoadSnapshot(const EngineSnapshot& snapshot) {
+  if (snapshot.engine != "baseline") return false;
+  if (snapshot.dim != dim_) return false;
+  if (pending_) return false;
+  counters_ = snapshot.counters;
+  return true;
 }
 
 PostedPrice FixedPriceBaseline::PostPrice(const Vector& features, double reserve) {

@@ -24,6 +24,14 @@ class ReservePriceBaseline : public PricingEngine {
   const EngineCounters& counters() const override { return counters_; }
   std::string name() const override { return "risk-averse"; }
 
+  /// Serving hooks: the baseline carries no cut context (it never learns),
+  /// so detach/observe only track the outstanding-round bit, and snapshots
+  /// are the counters alone.
+  bool DetachPending(PendingCut* out) override;
+  void ObserveDetached(const PendingCut& cut, bool accepted) override;
+  bool SaveSnapshot(EngineSnapshot* out) const override;
+  bool LoadSnapshot(const EngineSnapshot& snapshot) override;
+
  private:
   int dim_;
   EngineCounters counters_;

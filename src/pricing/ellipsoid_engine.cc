@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "pricing/engine_state.h"
 
 namespace pdm {
 
@@ -98,23 +99,28 @@ void EllipsoidPricingEngine::Observe(bool accepted) {
   PDM_CHECK(pending_ != PendingKind::kNone);
   PendingKind kind = pending_;
   pending_ = PendingKind::kNone;
+  ApplyFeedback(kind, pending_support_, pending_price_, accepted);
+}
 
+void EllipsoidPricingEngine::ApplyFeedback(PendingKind kind,
+                                           const SupportInterval& support,
+                                           double price, bool accepted) {
   if (kind == PendingKind::kSkip) return;
   bool may_cut =
       kind == PendingKind::kExploratory ||
       (kind == PendingKind::kConservative && config_.allow_conservative_cuts);
   if (!may_cut) return;
-  if (pending_support_.half_width <= 0.0) return;  // degenerate probe direction
+  if (support.half_width <= 0.0) return;  // degenerate probe direction
 
   double n = static_cast<double>(config_.dim);
-  double mid = pending_support_.midpoint;
-  double half_width = pending_support_.half_width;
+  double mid = support.midpoint;
+  double half_width = support.half_width;
   if (!accepted) {
     // Rejection ⇒ p ≥ v ≥ xᵀθ* − δ: cut below the effective price p + δ
     // (Lines 14–19). α = (mid − (p + δ)) / √(xᵀAx).
-    double alpha = (mid - (pending_price_ + config_.delta)) / half_width;
+    double alpha = (mid - (price + config_.delta)) / half_width;
     if (alpha >= -1.0 / n && alpha < 1.0) {
-      ellipsoid_.CutKeepBelow(pending_support_, alpha);
+      ellipsoid_.CutKeepBelow(support, alpha);
       ++counters_.cuts_applied;
     } else {
       ++counters_.cuts_discarded;
@@ -122,14 +128,73 @@ void EllipsoidPricingEngine::Observe(bool accepted) {
   } else {
     // Acceptance ⇒ p ≤ v ≤ xᵀθ* + δ: cut above the effective price p − δ
     // (Lines 20–25). Validity window −α ∈ [−1/n, 1).
-    double alpha = (mid - (pending_price_ - config_.delta)) / half_width;
+    double alpha = (mid - (price - config_.delta)) / half_width;
     if (-alpha >= -1.0 / n && -alpha < 1.0) {
-      ellipsoid_.CutKeepAbove(pending_support_, alpha);
+      ellipsoid_.CutKeepAbove(support, alpha);
       ++counters_.cuts_applied;
     } else {
       ++counters_.cuts_discarded;
     }
   }
+}
+
+bool EllipsoidPricingEngine::DetachPending(PendingCut* out) {
+  PDM_CHECK(out != nullptr);
+  if (pending_ == PendingKind::kNone) return false;
+  out->kind = static_cast<int>(pending_);
+  out->price = pending_price_;
+  out->x = 0.0;
+  out->wrapped_skip = false;
+  // Vector copy-assignment reuses the slot's capacity, so recycled cut
+  // slots keep the steady state allocation-free.
+  out->support.lower = pending_support_.lower;
+  out->support.upper = pending_support_.upper;
+  out->support.half_width = pending_support_.half_width;
+  out->support.midpoint = pending_support_.midpoint;
+  out->support.direction = pending_support_.direction;
+  pending_ = PendingKind::kNone;
+  return true;
+}
+
+void EllipsoidPricingEngine::ObserveDetached(const PendingCut& cut, bool accepted) {
+  PDM_CHECK(pending_ == PendingKind::kNone);
+  PDM_CHECK(cut.kind != static_cast<int>(PendingKind::kNone));
+  ApplyFeedback(static_cast<PendingKind>(cut.kind), cut.support, cut.price, accepted);
+}
+
+bool EllipsoidPricingEngine::SaveSnapshot(EngineSnapshot* out) const {
+  PDM_CHECK(out != nullptr);
+  if (pending_ != PendingKind::kNone) return false;
+  out->engine = "ellipsoid";
+  out->dim = config_.dim;
+  out->epsilon = epsilon_;
+  out->delta = config_.delta;
+  out->center = ellipsoid_.center();
+  out->shape = ellipsoid_.shape();
+  out->cuts_since_symmetrize = ellipsoid_.cuts_since_symmetrize();
+  out->lo = 0.0;
+  out->hi = 0.0;
+  out->counters = counters_;
+  return true;
+}
+
+bool EllipsoidPricingEngine::LoadSnapshot(const EngineSnapshot& snapshot) {
+  if (snapshot.engine != "ellipsoid") return false;
+  if (snapshot.dim != config_.dim) return false;
+  if (static_cast<int>(snapshot.center.size()) != config_.dim) return false;
+  if (snapshot.shape.rows() != config_.dim || snapshot.shape.cols() != config_.dim) {
+    return false;
+  }
+  if (snapshot.cuts_since_symmetrize < 0 || snapshot.cuts_since_symmetrize >= 32) {
+    return false;
+  }
+  if (pending_ != PendingKind::kNone) return false;
+  ellipsoid_ = Ellipsoid::FromSnapshotState(snapshot.center, snapshot.shape,
+                                            snapshot.cuts_since_symmetrize);
+  epsilon_ = snapshot.epsilon;
+  config_.delta = snapshot.delta;
+  counters_ = snapshot.counters;
+  return true;
 }
 
 ValueInterval EllipsoidPricingEngine::EstimateValueInterval(const Vector& features) const {

@@ -66,6 +66,14 @@ class EllipsoidPricingEngine : public PricingEngine {
   const EngineCounters& counters() const override { return counters_; }
   std::string name() const override;
 
+  /// Serving hooks (DESIGN.md §9): the pending support/price move into the
+  /// ticket's cut context, and snapshots carry the full ellipsoid state
+  /// (center, shape, symmetrization phase) plus counters.
+  bool DetachPending(PendingCut* out) override;
+  void ObserveDetached(const PendingCut& cut, bool accepted) override;
+  bool SaveSnapshot(EngineSnapshot* out) const override;
+  bool LoadSnapshot(const EngineSnapshot& snapshot) override;
+
   /// The knowledge set E_t (diagnostics, tests, Lemma 6/7 volume tracking).
   const Ellipsoid& knowledge_set() const { return ellipsoid_; }
   const EllipsoidEngineConfig& config() const { return config_; }
@@ -74,6 +82,12 @@ class EllipsoidPricingEngine : public PricingEngine {
 
  private:
   enum class PendingKind { kNone, kExploratory, kConservative, kSkip };
+
+  /// Shared feedback path of Observe and ObserveDetached: applies the
+  /// accept/reject bit with the given posting-time context. Bit-identical
+  /// between the attached and detached calls by construction.
+  void ApplyFeedback(PendingKind kind, const SupportInterval& support,
+                     double price, bool accepted);
 
   EllipsoidEngineConfig config_;
   double epsilon_;

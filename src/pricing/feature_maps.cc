@@ -39,4 +39,6 @@ int KernelFeatureMap::output_dim(int input_dim) const {
   return map_->output_dim();
 }
 
+int KernelFeatureMap::input_dim() const { return map_->input_dim(); }
+
 }  // namespace pdm

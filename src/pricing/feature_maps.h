@@ -30,6 +30,11 @@ class FeatureMap {
   /// Output dimension m of φ given the raw input dimension.
   virtual int output_dim(int input_dim) const = 0;
 
+  /// Fixed raw input dimension the map accepts, or -1 when the map is
+  /// dimension-agnostic (identity, elementwise transforms) — the broker's
+  /// request validation then falls back to the engine dimension.
+  virtual int input_dim() const { return -1; }
+
   virtual std::string name() const = 0;
 };
 
@@ -67,6 +72,7 @@ class KernelFeatureMap : public FeatureMap {
   Vector Map(const Vector& x) const override;
   void MapInto(const Vector& x, Vector* out) const override;
   int output_dim(int input_dim) const override;
+  int input_dim() const override;
   std::string name() const override { return "landmark-kernel"; }
 
  private:

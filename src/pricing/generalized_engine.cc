@@ -1,8 +1,10 @@
 #include "pricing/generalized_engine.h"
 
 #include <algorithm>
+#include <string_view>
 
 #include "common/check.h"
+#include "pricing/engine_state.h"
 
 namespace pdm {
 
@@ -52,6 +54,54 @@ ValueInterval GeneralizedPricingEngine::EstimateValueInterval(const Vector& feat
 
 std::string GeneralizedPricingEngine::name() const {
   return base_->name() + "/" + link_->name();
+}
+
+int GeneralizedPricingEngine::input_dim() const {
+  int raw = map_->input_dim();
+  return raw > 0 ? raw : base_->dim();
+}
+
+bool GeneralizedPricingEngine::DetachPending(PendingCut* out) {
+  PDM_CHECK(out != nullptr);
+  if (pending_skip_) {
+    pending_skip_ = false;
+    out->kind = 0;
+    out->price = 0.0;
+    out->x = 0.0;
+    out->wrapped_skip = true;
+    return true;
+  }
+  if (!base_->DetachPending(out)) return false;
+  out->wrapped_skip = false;
+  return true;
+}
+
+void GeneralizedPricingEngine::ObserveDetached(const PendingCut& cut, bool accepted) {
+  PDM_CHECK(!pending_skip_);
+  if (cut.wrapped_skip) return;  // the round never reached the base engine
+  base_->ObserveDetached(cut, accepted);
+}
+
+bool GeneralizedPricingEngine::SaveSnapshot(EngineSnapshot* out) const {
+  PDM_CHECK(out != nullptr);
+  if (pending_skip_) return false;
+  if (!base_->SaveSnapshot(out)) return false;
+  out->engine = "generalized(" + out->engine + ")";
+  return true;
+}
+
+bool GeneralizedPricingEngine::LoadSnapshot(const EngineSnapshot& snapshot) {
+  constexpr std::string_view kPrefix = "generalized(";
+  if (snapshot.engine.size() < kPrefix.size() + 1 ||
+      snapshot.engine.compare(0, kPrefix.size(), kPrefix) != 0 ||
+      snapshot.engine.back() != ')') {
+    return false;
+  }
+  if (pending_skip_) return false;
+  EngineSnapshot unwrapped = snapshot;
+  unwrapped.engine =
+      snapshot.engine.substr(kPrefix.size(), snapshot.engine.size() - kPrefix.size() - 1);
+  return base_->LoadSnapshot(unwrapped);
 }
 
 }  // namespace pdm

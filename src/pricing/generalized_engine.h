@@ -39,6 +39,18 @@ class GeneralizedPricingEngine : public PricingEngine {
 
   const PricingEngine& base() const { return *base_; }
 
+  /// Raw feature dimension the map accepts (≠ dim() for kernel maps).
+  int input_dim() const override;
+
+  /// Serving hooks (DESIGN.md §9): link-range skips are flagged on the cut
+  /// context; everything else passes through to the base engine, whose
+  /// snapshot is re-tagged "generalized(<base>)" — the wrapper itself holds
+  /// no persistent state.
+  bool DetachPending(PendingCut* out) override;
+  void ObserveDetached(const PendingCut& cut, bool accepted) override;
+  bool SaveSnapshot(EngineSnapshot* out) const override;
+  bool LoadSnapshot(const EngineSnapshot& snapshot) override;
+
  private:
   /// Scratch buffers reused across rounds so steady-state calls perform no
   /// heap allocation (the workspace convention of README's Performance

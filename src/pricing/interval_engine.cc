@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "pricing/engine_state.h"
 
 namespace pdm {
 
@@ -69,8 +70,12 @@ void IntervalPricingEngine::Observe(bool accepted) {
   PDM_CHECK(pending_ != PendingKind::kNone);
   PendingKind kind = pending_;
   pending_ = PendingKind::kNone;
+  ApplyFeedback(kind, pending_x_, pending_price_, accepted);
+}
+
+void IntervalPricingEngine::ApplyFeedback(PendingKind kind, double x, double price,
+                                          bool accepted) {
   if (kind != PendingKind::kExploratory) return;  // conservative/skip: no cut
-  double x = pending_x_;
   if (x == 0.0) return;  // the price carried no information about θ*
 
   // Rejection ⇒ x·θ* ≥ v ... more precisely p ≥ v = x·θ* − δ_t ⇒
@@ -79,14 +84,14 @@ void IntervalPricingEngine::Observe(bool accepted) {
   double new_lo = lo_;
   double new_hi = hi_;
   if (!accepted) {
-    double bound = (pending_price_ + config_.delta) / x;
+    double bound = (price + config_.delta) / x;
     if (x > 0.0) {
       new_hi = std::min(new_hi, bound);
     } else {
       new_lo = std::max(new_lo, bound);
     }
   } else {
-    double bound = (pending_price_ - config_.delta) / x;
+    double bound = (price - config_.delta) / x;
     if (x > 0.0) {
       new_lo = std::max(new_lo, bound);
     } else {
@@ -102,6 +107,52 @@ void IntervalPricingEngine::Observe(bool accepted) {
     // ≤ 1/T probability event of Eq. 6); keep the previous interval.
     ++counters_.cuts_discarded;
   }
+}
+
+bool IntervalPricingEngine::DetachPending(PendingCut* out) {
+  PDM_CHECK(out != nullptr);
+  if (pending_ == PendingKind::kNone) return false;
+  out->kind = static_cast<int>(pending_);
+  out->price = pending_price_;
+  out->x = pending_x_;
+  out->wrapped_skip = false;
+  pending_ = PendingKind::kNone;
+  return true;
+}
+
+void IntervalPricingEngine::ObserveDetached(const PendingCut& cut, bool accepted) {
+  PDM_CHECK(pending_ == PendingKind::kNone);
+  PDM_CHECK(cut.kind != static_cast<int>(PendingKind::kNone));
+  ApplyFeedback(static_cast<PendingKind>(cut.kind), cut.x, cut.price, accepted);
+}
+
+bool IntervalPricingEngine::SaveSnapshot(EngineSnapshot* out) const {
+  PDM_CHECK(out != nullptr);
+  if (pending_ != PendingKind::kNone) return false;
+  out->engine = "interval";
+  out->dim = 1;
+  out->epsilon = epsilon_;
+  out->delta = config_.delta;
+  out->center.clear();
+  out->shape = Matrix(0, 0);
+  out->cuts_since_symmetrize = 0;
+  out->lo = lo_;
+  out->hi = hi_;
+  out->counters = counters_;
+  return true;
+}
+
+bool IntervalPricingEngine::LoadSnapshot(const EngineSnapshot& snapshot) {
+  if (snapshot.engine != "interval") return false;
+  if (snapshot.dim != 1) return false;
+  if (!(snapshot.lo <= snapshot.hi)) return false;
+  if (pending_ != PendingKind::kNone) return false;
+  lo_ = snapshot.lo;
+  hi_ = snapshot.hi;
+  epsilon_ = snapshot.epsilon;
+  config_.delta = snapshot.delta;
+  counters_ = snapshot.counters;
+  return true;
 }
 
 ValueInterval IntervalPricingEngine::EstimateValueInterval(const Vector& features) const {

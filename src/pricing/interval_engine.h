@@ -46,12 +46,22 @@ class IntervalPricingEngine : public PricingEngine {
   const EngineCounters& counters() const override { return counters_; }
   std::string name() const override;
 
+  /// Serving hooks (DESIGN.md §9): the pending (x, price) pair moves into
+  /// the ticket's cut context; snapshots carry [lo, hi] plus counters.
+  bool DetachPending(PendingCut* out) override;
+  void ObserveDetached(const PendingCut& cut, bool accepted) override;
+  bool SaveSnapshot(EngineSnapshot* out) const override;
+  bool LoadSnapshot(const EngineSnapshot& snapshot) override;
+
   double theta_lower() const { return lo_; }
   double theta_upper() const { return hi_; }
   double epsilon() const { return epsilon_; }
 
  private:
   enum class PendingKind { kNone, kExploratory, kConservative, kSkip };
+
+  /// Shared feedback path of Observe and ObserveDetached.
+  void ApplyFeedback(PendingKind kind, double x, double price, bool accepted);
 
   // The 1-d knowledge set is two scalars, so this engine needs no vector
   // workspace: rounds are allocation-free by construction (covered by the

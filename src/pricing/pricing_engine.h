@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/check.h"
 #include "linalg/vector_ops.h"
 
 /// \file
@@ -14,8 +15,18 @@
 /// price to the consumer, then reports the binary accept/reject feedback via
 /// Observe. PostPrice and Observe must strictly alternate — the engine's
 /// knowledge-set update depends on the pending round's context.
+///
+/// The serving layer (src/broker, DESIGN.md §9) relaxes the alternation
+/// without changing the math: right after PostPrice it *detaches* the
+/// pending cut context into a `PendingCut` ticket and re-injects it when the
+/// (possibly delayed) feedback arrives. The optional hooks at the bottom of
+/// the interface implement that path; engines that support them also expose
+/// `EngineSnapshot` save/load for session checkpointing.
 
 namespace pdm {
+
+struct PendingCut;      // pricing/engine_state.h
+struct EngineSnapshot;  // pricing/engine_state.h
 
 /// The broker's decision for one round.
 struct PostedPrice {
@@ -73,6 +84,59 @@ class PricingEngine {
 
   /// Short identifier used in bench/table output (e.g. "reserve+uncertainty").
   virtual std::string name() const = 0;
+
+  // -------------------------------------------------------------------------
+  // Serving hooks (src/broker). All built-in engines implement them; the
+  // defaults below keep third-party engines source-compatible — a broker
+  // falls back to strict alternation when DetachPending reports
+  // unsupported, and snapshotting is simply unavailable.
+  // -------------------------------------------------------------------------
+
+  /// Raw feature dimension PostPrice accepts. Equals dim() except for
+  /// engines wrapping a dimension-changing feature map (the broker validates
+  /// request dimensions against this, not against the z-space dim()).
+  virtual int input_dim() const { return dim(); }
+
+  /// Moves the round awaiting feedback out of the engine into `*out`
+  /// (clearing the engine's own pending state, so another PostPrice may
+  /// follow immediately). Returns false when unsupported *or* when no round
+  /// is pending; `out`'s buffers are reused across calls. Calling
+  /// ObserveDetached with the detached context right away is bit-identical
+  /// to the classic Observe call.
+  virtual bool DetachPending(PendingCut* out) {
+    (void)out;
+    return false;
+  }
+
+  /// Applies accept/reject feedback for a round previously externalized by
+  /// DetachPending on this engine. Must not be called while a non-detached
+  /// round is pending. Cut contexts are applied in the order feedback
+  /// arrives, each against the *current* knowledge set with its
+  /// *posting-time* support (see DESIGN.md §9 for the semantics under
+  /// delayed feedback).
+  virtual void ObserveDetached(const PendingCut& cut, bool accepted) {
+    (void)cut;
+    (void)accepted;
+    PDM_CHECK(false && "engine does not support detached feedback");
+  }
+
+  /// Writes the engine's full persistent state (knowledge set, thresholds,
+  /// counters) into `*out`. Returns false when unsupported or when a
+  /// non-detached round is pending (pending context belongs to the broker's
+  /// ticket table, not the engine snapshot).
+  virtual bool SaveSnapshot(EngineSnapshot* out) const {
+    (void)out;
+    return false;
+  }
+
+  /// Restores state previously produced by SaveSnapshot on a compatible
+  /// engine (same family tag and dimension). Returns false on a mismatch;
+  /// on success subsequent prices are bit-identical to the engine that was
+  /// snapshotted.
+  virtual bool LoadSnapshot(const EngineSnapshot& snapshot) {
+    (void)snapshot;
+    return false;
+  }
 };
 
 }  // namespace pdm

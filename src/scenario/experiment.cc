@@ -55,6 +55,11 @@ std::vector<ScenarioOutcome> ExperimentDriver::Run(
   runner_options.num_threads = options_.num_threads;
   std::vector<JobResult> results = SimulationRunner(runner_options).RunAll(jobs);
 
+  // Process-wide VmRSS is sampled exactly once per batch — after every
+  // scenario has completed — and replicated onto each row: the key is part
+  // of the pdm.bench_throughput.v1 row schema, but per-row attribution is
+  // meaningless when concurrent scenarios share the address space
+  // (single-sample semantics documented in DESIGN.md §8).
   int64_t rss = CurrentRssBytes();
   for (size_t i = 0; i < results.size(); ++i) {
     outcomes[i].engine_name = std::move(results[i].engine_name);

@@ -15,6 +15,7 @@
 #include <new>
 #include <vector>
 
+#include "broker/broker.h"
 #include "common/memory.h"
 #include "market/linear_market.h"
 #include "market/airbnb_market.h"
@@ -233,6 +234,59 @@ TEST(SteadyStateAllocations, MechanismRegistryBuiltEnginesOverScenarioStreams) {
   std::unique_ptr<PricingEngine> engine =
       scenario::MechanismRegistry::Builtin().Build(kernel_spec, info);
   ExpectSteadyStateAllocationFree(stream.get(), engine.get(), /*seed=*/61);
+}
+
+TEST(SteadyStateAllocations, BrokerTicketedRoundTrips) {
+  // The serving surface must inherit the hot-path guarantee end to end:
+  // product lookup, PostPrice (span → engine bridge), ticket issue + cut
+  // detach, and Observe (ticket retire + detached cut) — all through the
+  // striped-lock Broker front end, with several tickets in flight so slot
+  // recycling is exercised. Ok statuses carry no message and allocate
+  // nothing (DESIGN.md §9).
+  scenario::StreamFactory factory;
+  scenario::ScenarioSpec spec;
+  spec.name = "alloc/broker/linear";
+  spec.stream = scenario::StreamKind::kLinear;
+  spec.mechanism = "reserve+uncertainty";
+  spec.n = 8;
+  spec.rounds = kWarmupRounds + kMeasuredRounds;
+  spec.delta = 0.01;
+  spec.linear.num_owners = 120;
+  spec.workload_seed = 11;
+  scenario::WorkloadInfo info = factory.Prepare(spec);
+
+  broker::Broker broker;
+  ASSERT_TRUE(broker.OpenSession(spec.name, spec, info).ok());
+  Rng rng(21);
+  std::unique_ptr<QueryStream> stream = factory.CreateStream(spec, &rng);
+  stream->BindEngine(broker.FindEngine(spec.name));
+
+  constexpr int kWindow = 4;  // outstanding tickets per batch
+  MarketRound rounds[kWindow];
+  broker::Quote quotes[kWindow];
+  auto drive = [&](int iterations) {
+    for (int it = 0; it < iterations; ++it) {
+      for (int i = 0; i < kWindow; ++i) {
+        stream->Next(&rng, &rounds[i]);
+        pdm::Status status = broker.PostPrice(
+            {spec.name, rounds[i].features, rounds[i].reserve}, &quotes[i]);
+        ASSERT_TRUE(status.ok());
+      }
+      for (int i = 0; i < kWindow; ++i) {
+        bool accepted =
+            !quotes[i].certain_no_sale && quotes[i].price <= rounds[i].value;
+        ASSERT_TRUE(broker.Observe(quotes[i].ticket, accepted).ok());
+      }
+    }
+  };
+
+  drive(kWarmupRounds / kWindow);
+  int64_t before = ThreadAllocationCount();
+  drive(kMeasuredRounds / kWindow);
+  int64_t after = ThreadAllocationCount();
+  EXPECT_EQ(after - before, 0)
+      << (after - before) << " allocations in " << kMeasuredRounds
+      << " steady-state broker round trips";
 }
 
 TEST(SteadyStateAllocations, RunMarketScratchReuse) {

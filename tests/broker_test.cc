@@ -1,0 +1,744 @@
+// The serving layer (DESIGN.md §9): ticket lifecycle, status-based misuse
+// handling, batched pricing, snapshot/restore, and the two load-bearing
+// guarantees — (1) immediate-feedback broker execution is bit-identical to
+// RunMarket for registry specs, and (2) any legal interleaving of ticketed
+// feedback across products leaves every product's engine in exactly the
+// state sequential execution produces.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "broker/broker.h"
+#include "broker/driver.h"
+#include "broker/session.h"
+#include "broker/snapshot.h"
+#include "market/round.h"
+#include "market/simulator.h"
+#include "pricing/ellipsoid_engine.h"
+#include "pricing/engine_state.h"
+#include "pricing/feature_maps.h"
+#include "pricing/generalized_engine.h"
+#include "pricing/interval_engine.h"
+#include "pricing/link_functions.h"
+#include "rng/rng.h"
+#include "scenario/mechanism_registry.h"
+#include "scenario/scenario_registry.h"
+#include "scenario/stream_factory.h"
+
+namespace pdm::broker {
+namespace {
+
+using scenario::MechanismRegistry;
+using scenario::ScenarioRegistry;
+using scenario::ScenarioSpec;
+using scenario::StreamFactory;
+using scenario::WorkloadInfo;
+
+// Mirror of ExperimentDriver::Capped: shrink a registry spec to test scale
+// without changing its workload identity beyond what the driver itself does.
+ScenarioSpec Capped(ScenarioSpec spec, int64_t max_rounds) {
+  if (max_rounds > 0 && spec.rounds > max_rounds) {
+    spec.rounds = max_rounds;
+    if (spec.linear.workload_rounds > 0) {
+      spec.linear.workload_rounds = std::min(spec.linear.workload_rounds, spec.rounds);
+    }
+    if (spec.series_stride > spec.rounds) spec.series_stride = 0;
+  }
+  return spec;
+}
+
+/// The classic simulation path for the same spec: factory stream + registry
+/// engine + RunMarket, with the runner's exact Rng lifecycle.
+SimulationResult RunDirect(const ScenarioSpec& spec, StreamFactory* factory) {
+  WorkloadInfo info = factory->Prepare(spec);
+  std::unique_ptr<PricingEngine> engine = MechanismRegistry::Builtin().Build(spec, info);
+  Rng rng(spec.sim_seed);
+  std::unique_ptr<QueryStream> stream = factory->CreateStream(spec, &rng);
+  SimulationOptions options;
+  options.rounds = spec.rounds;
+  options.series_stride = spec.series_stride;
+  return RunMarket(stream.get(), engine.get(), options, &rng);
+}
+
+ScenarioSpec LinearSpec(const std::string& name, int n, int64_t rounds,
+                        const std::string& mechanism, uint64_t workload_seed) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.family = "brokertest";
+  spec.stream = scenario::StreamKind::kLinear;
+  spec.mechanism = mechanism;
+  spec.n = n;
+  spec.rounds = rounds;
+  spec.delta = 0.01;
+  spec.linear.num_owners = 200;
+  spec.workload_seed = workload_seed;
+  spec.sim_seed = 99;
+  return spec;
+}
+
+std::unique_ptr<PricingEngine> BuildEngine(const ScenarioSpec& spec,
+                                           StreamFactory* factory) {
+  return MechanismRegistry::Builtin().Build(spec, factory->Prepare(spec));
+}
+
+// ------------------------------------------------------ ticket lifecycle
+
+TEST(Broker, TicketLifecycleAndSessionInfo) {
+  StreamFactory factory;
+  ScenarioSpec spec = LinearSpec("credit/score", 8, 2000, "reserve", 11);
+  Broker broker;
+  ASSERT_TRUE(broker.OpenSession(spec.name, spec, factory.Prepare(spec)).ok());
+
+  Rng rng(spec.sim_seed);
+  std::unique_ptr<QueryStream> stream = factory.CreateStream(spec, &rng);
+  MarketRound round;
+  stream->Next(&rng, &round);
+
+  Quote quote;
+  ASSERT_TRUE(broker.PostPrice({spec.name, round.features, round.reserve}, &quote).ok());
+  EXPECT_NE(quote.ticket, 0u);
+  EXPECT_EQ(quote.status, StatusCode::kOk);
+
+  SessionInfo info;
+  ASSERT_TRUE(broker.GetSessionInfo(spec.name, &info).ok());
+  EXPECT_EQ(info.pending, 1);
+  EXPECT_EQ(info.quotes_issued, 1);
+  EXPECT_EQ(info.feedback_received, 0);
+  EXPECT_EQ(info.counters.rounds, 1);
+
+  EXPECT_TRUE(broker.Observe(quote.ticket, true).ok());
+  ASSERT_TRUE(broker.GetSessionInfo(spec.name, &info).ok());
+  EXPECT_EQ(info.pending, 0);
+  EXPECT_EQ(info.feedback_received, 1);
+
+  // Duplicate feedback: the ticket was retired by its first resolution.
+  Status dup = broker.Observe(quote.ticket, true);
+  EXPECT_EQ(dup.code(), StatusCode::kNotFound);
+
+  // Tickets are session-scoped: consecutive quotes get distinct ids.
+  Quote second;
+  stream->Next(&rng, &round);
+  ASSERT_TRUE(broker.PostPrice({spec.name, round.features, round.reserve}, &second).ok());
+  EXPECT_NE(second.ticket, quote.ticket);
+  EXPECT_TRUE(broker.Observe(second.ticket, false).ok());
+}
+
+TEST(Broker, MisuseReturnsStatusInsteadOfAborting) {
+  StreamFactory factory;
+  ScenarioSpec spec = LinearSpec("energy/meter", 6, 2000, "reserve", 13);
+  Broker broker;
+  ASSERT_TRUE(broker.OpenSession(spec.name, spec, factory.Prepare(spec)).ok());
+
+  // Unknown product.
+  std::array<double, 6> x{1, 1, 1, 1, 1, 1};
+  Quote quote;
+  Status status = broker.PostPrice({"no/such/product", x, 0.5}, &quote);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(quote.ticket, 0u);
+  EXPECT_EQ(quote.status, StatusCode::kNotFound);
+
+  // Dimension mismatch.
+  std::array<double, 3> short_x{1, 1, 1};
+  status = broker.PostPrice({spec.name, short_x, 0.5}, &quote);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(quote.ticket, 0u);
+  EXPECT_NE(status.message().find("dimension mismatch"), std::string::npos);
+
+  // Unknown ticket / malformed ticket.
+  EXPECT_EQ(broker.Observe(0, true).code(), StatusCode::kNotFound);
+  EXPECT_EQ(broker.Observe(uint64_t{7} << 40 | 123, true).code(), StatusCode::kNotFound);
+
+  // Duplicate product.
+  status = broker.OpenSession(spec.name, spec, factory.Prepare(spec));
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+
+  // Batch span mismatch.
+  std::vector<PriceRequest> requests(2);
+  std::vector<Quote> quotes(1);
+  EXPECT_EQ(broker.PostPrices(requests, quotes).code(), StatusCode::kInvalidArgument);
+
+  // Empty product / null engine at open.
+  EXPECT_EQ(broker.OpenSession("", spec, factory.Prepare(spec)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(broker.OpenSession("x", nullptr).code(), StatusCode::kInvalidArgument);
+
+  // Closing makes the product and its tickets unroutable.
+  ASSERT_TRUE(broker.PostPrice({spec.name, std::span<const double>(x), 0.5}, &quote).ok());
+  ASSERT_TRUE(broker.CloseSession(spec.name).ok());
+  EXPECT_EQ(broker.Observe(quote.ticket, true).code(), StatusCode::kNotFound);
+  EXPECT_EQ(broker.CloseSession(spec.name).code(), StatusCode::kNotFound);
+  EXPECT_EQ(broker.PostPrice({spec.name, x, 0.5}, &quote).code(), StatusCode::kNotFound);
+}
+
+TEST(Broker, BatchedPostPricesMatchesSingleRequests) {
+  StreamFactory factory;
+  ScenarioSpec spec_a = LinearSpec("batch/a", 8, 4000, "reserve", 21);
+  ScenarioSpec spec_b = LinearSpec("batch/b", 8, 4000, "reserve+uncertainty", 22);
+
+  // Reference broker priced one by one; batch broker priced through
+  // PostPrices with interleaved products. Same engines, same streams.
+  Broker single, batched;
+  ASSERT_TRUE(single.OpenSession(spec_a.name, spec_a, factory.Prepare(spec_a)).ok());
+  ASSERT_TRUE(single.OpenSession(spec_b.name, spec_b, factory.Prepare(spec_b)).ok());
+  ASSERT_TRUE(batched.OpenSession(spec_a.name, spec_a, factory.Prepare(spec_a)).ok());
+  ASSERT_TRUE(batched.OpenSession(spec_b.name, spec_b, factory.Prepare(spec_b)).ok());
+
+  Rng rng_a(spec_a.sim_seed), rng_b(spec_b.sim_seed);
+  std::unique_ptr<QueryStream> stream_a = factory.CreateStream(spec_a, &rng_a);
+  std::unique_ptr<QueryStream> stream_b = factory.CreateStream(spec_b, &rng_b);
+
+  constexpr int kBatches = 50;
+  constexpr int kPerProduct = 4;
+  std::vector<MarketRound> rounds(2 * kPerProduct);
+  std::vector<PriceRequest> requests(2 * kPerProduct);
+  std::vector<Quote> quotes(2 * kPerProduct);
+  for (int batch = 0; batch < kBatches; ++batch) {
+    for (int i = 0; i < kPerProduct; ++i) {
+      stream_a->Next(&rng_a, &rounds[2 * i]);
+      stream_b->Next(&rng_b, &rounds[2 * i + 1]);
+      requests[2 * i] = {spec_a.name, rounds[2 * i].features, rounds[2 * i].reserve};
+      requests[2 * i + 1] = {spec_b.name, rounds[2 * i + 1].features,
+                             rounds[2 * i + 1].reserve};
+    }
+    // NB: one product sees several outstanding tickets per batch, so the
+    // reference path must follow the same op order — all posts, then all
+    // feedback — just through the one-at-a-time entry point.
+    std::vector<Quote> reference(2 * kPerProduct);
+    for (int i = 0; i < 2 * kPerProduct; ++i) {
+      ASSERT_TRUE(single.PostPrice(requests[i], &reference[i]).ok());
+    }
+    ASSERT_TRUE(batched.PostPrices(requests, quotes).ok());
+    for (int i = 0; i < 2 * kPerProduct; ++i) {
+      EXPECT_EQ(quotes[i].price, reference[i].price);
+      EXPECT_EQ(quotes[i].exploratory, reference[i].exploratory);
+      EXPECT_EQ(quotes[i].certain_no_sale, reference[i].certain_no_sale);
+      bool accepted =
+          !reference[i].certain_no_sale && reference[i].price <= rounds[i].value;
+      ASSERT_TRUE(single.Observe(reference[i].ticket, accepted).ok());
+      ASSERT_TRUE(batched.Observe(quotes[i].ticket, accepted).ok());
+    }
+  }
+
+  // Both paths left the engines in identical states.
+  for (const std::string& product : {spec_a.name, spec_b.name}) {
+    SessionSnapshot snap_single, snap_batched;
+    ASSERT_TRUE(single.Snapshot(product, &snap_single).ok());
+    ASSERT_TRUE(batched.Snapshot(product, &snap_batched).ok());
+    EXPECT_EQ(EncodeSessionSnapshot(snap_single), EncodeSessionSnapshot(snap_batched))
+        << product;
+  }
+}
+
+// --------------------------------------------- bit-identity with RunMarket
+
+TEST(BrokerDriver, ImmediateFeedbackBitIdenticalToRunMarketForFig5aAndTable1) {
+  const ScenarioRegistry& registry = ScenarioRegistry::PaperExhibits();
+  StreamFactory factory;
+  std::vector<ScenarioSpec> specs;
+  for (const ScenarioSpec& spec : registry.Match("fig5a")) {
+    specs.push_back(Capped(spec, 1500));
+  }
+  for (const ScenarioSpec& spec : registry.Match("table1")) {
+    specs.push_back(Capped(spec, 1500));
+  }
+  ASSERT_EQ(specs.size(), 10u);
+
+  for (const ScenarioSpec& spec : specs) {
+    SimulationResult direct = RunDirect(spec, &factory);
+    BrokerRunOutcome broker = RunScenarioThroughBroker(spec, &factory);
+
+    // Bit-identical accounting: double comparisons are exact on purpose.
+    EXPECT_EQ(broker.result.tracker.cumulative_regret(),
+              direct.tracker.cumulative_regret())
+        << spec.name;
+    EXPECT_EQ(broker.result.tracker.cumulative_revenue(),
+              direct.tracker.cumulative_revenue())
+        << spec.name;
+    EXPECT_EQ(broker.result.tracker.cumulative_value(),
+              direct.tracker.cumulative_value())
+        << spec.name;
+    EXPECT_EQ(broker.result.tracker.sales(), direct.tracker.sales()) << spec.name;
+    EXPECT_EQ(broker.result.engine_counters.exploratory_rounds,
+              direct.engine_counters.exploratory_rounds)
+        << spec.name;
+    EXPECT_EQ(broker.result.engine_counters.cuts_applied,
+              direct.engine_counters.cuts_applied)
+        << spec.name;
+    EXPECT_EQ(broker.result.engine_counters.skipped_rounds,
+              direct.engine_counters.skipped_rounds)
+        << spec.name;
+  }
+}
+
+TEST(BrokerDriver, BitIdenticalOnKernelAndOneDimensionalSpecs) {
+  const ScenarioRegistry& registry = ScenarioRegistry::PaperExhibits();
+  StreamFactory factory;
+  for (const char* name : {"kernel/m=10", "theorem3/T=1000"}) {
+    const ScenarioSpec* found = registry.Find(name);
+    ASSERT_NE(found, nullptr) << name;
+    ScenarioSpec spec = Capped(*found, 1000);
+    SimulationResult direct = RunDirect(spec, &factory);
+    BrokerRunOutcome broker = RunScenarioThroughBroker(spec, &factory);
+    EXPECT_EQ(broker.result.tracker.cumulative_regret(),
+              direct.tracker.cumulative_regret())
+        << name;
+    EXPECT_EQ(broker.result.tracker.sales(), direct.tracker.sales()) << name;
+    EXPECT_EQ(broker.result.engine_counters.cuts_applied,
+              direct.engine_counters.cuts_applied)
+        << name;
+  }
+}
+
+// --------------------------------------------- delayed / interleaved feedback
+
+// Drives one product's rounds through `broker` with per-product alternation
+// but under an external scheduler: NextOp()==true posts, false delivers the
+// oldest pending feedback.
+class ProductScript {
+ public:
+  ProductScript(ScenarioSpec spec, StreamFactory* factory, Broker* broker)
+      : spec_(std::move(spec)), broker_(broker) {
+    WorkloadInfo info = factory->Prepare(spec_);
+    Status status = broker_->OpenSession(spec_.name, spec_, info);
+    PDM_CHECK(status.ok());
+    rng_ = std::make_unique<Rng>(spec_.sim_seed);
+    stream_ = factory->CreateStream(spec_, rng_.get());
+    stream_->BindEngine(broker_->FindEngine(spec_.name));
+  }
+
+  bool CanPost() const { return posted_ < spec_.rounds && !awaiting_feedback_; }
+  bool CanObserve() const { return awaiting_feedback_; }
+  bool Done() const { return posted_ == spec_.rounds && !awaiting_feedback_; }
+
+  void Post() {
+    stream_->Next(rng_.get(), &round_);
+    Quote quote;
+    Status status =
+        broker_->PostPrice({spec_.name, round_.features, round_.reserve}, &quote);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    pending_ticket_ = quote.ticket;
+    pending_accept_ = !quote.certain_no_sale && quote.price <= round_.value;
+    awaiting_feedback_ = true;
+    ++posted_;
+  }
+
+  void Observe() {
+    Status status = broker_->Observe(pending_ticket_, pending_accept_);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    awaiting_feedback_ = false;
+  }
+
+  const std::string& product() const { return spec_.name; }
+
+ private:
+  ScenarioSpec spec_;
+  Broker* broker_;
+  std::unique_ptr<Rng> rng_;
+  std::unique_ptr<QueryStream> stream_;
+  MarketRound round_;
+  int64_t posted_ = 0;
+  bool awaiting_feedback_ = false;
+  uint64_t pending_ticket_ = 0;
+  bool pending_accept_ = false;
+};
+
+TEST(Broker, AnyCrossProductInterleavingMatchesSequentialExecution) {
+  constexpr int64_t kRounds = 600;
+  StreamFactory factory;
+  auto spec_a = LinearSpec("interleave/a", 8, kRounds, "reserve", 31);
+  auto spec_b = LinearSpec("interleave/b", 10, kRounds, "reserve+uncertainty", 32);
+
+  // Sequential reference: each product runs start-to-finish on its own.
+  std::string reference_a, reference_b;
+  {
+    Broker broker;
+    ProductScript a(spec_a, &factory, &broker);
+    while (!a.Done()) {
+      a.Post();
+      a.Observe();
+    }
+    ProductScript b(spec_b, &factory, &broker);
+    while (!b.Done()) {
+      b.Post();
+      b.Observe();
+    }
+    SessionSnapshot snap;
+    ASSERT_TRUE(broker.Snapshot(spec_a.name, &snap).ok());
+    reference_a = EncodeSessionSnapshot(snap);
+    ASSERT_TRUE(broker.Snapshot(spec_b.name, &snap).ok());
+    reference_b = EncodeSessionSnapshot(snap);
+  }
+
+  // Property: every random legal interleaving reproduces both reference
+  // states exactly. The scheduler draws from a seeded Rng per trial.
+  for (uint64_t trial = 0; trial < 8; ++trial) {
+    Broker broker;
+    ProductScript a(spec_a, &factory, &broker);
+    ProductScript b(spec_b, &factory, &broker);
+    Rng scheduler(1000 + trial);
+    int cross_product_delays = 0;
+    while (!a.Done() || !b.Done()) {
+      // Collect the legal moves, then pick one uniformly.
+      struct Move {
+        ProductScript* script;
+        bool post;
+      };
+      std::vector<Move> moves;
+      if (a.CanPost()) moves.push_back({&a, true});
+      if (a.CanObserve()) moves.push_back({&a, false});
+      if (b.CanPost()) moves.push_back({&b, true});
+      if (b.CanObserve()) moves.push_back({&b, false});
+      ASSERT_FALSE(moves.empty());
+      const Move& move = moves[scheduler.NextUint64() % moves.size()];
+      if (move.post) {
+        move.script->Post();
+      } else {
+        move.script->Observe();
+      }
+      if (a.CanObserve() && b.CanObserve()) ++cross_product_delays;
+      if (HasFatalFailure()) return;
+    }
+    // The schedule really interleaved (both products held open tickets).
+    EXPECT_GT(cross_product_delays, 0);
+
+    SessionSnapshot snap;
+    ASSERT_TRUE(broker.Snapshot(spec_a.name, &snap).ok());
+    EXPECT_EQ(EncodeSessionSnapshot(snap), reference_a) << "trial " << trial;
+    ASSERT_TRUE(broker.Snapshot(spec_b.name, &snap).ok());
+    EXPECT_EQ(EncodeSessionSnapshot(snap), reference_b) << "trial " << trial;
+  }
+}
+
+TEST(Broker, OutOfOrderFeedbackWithinAProductIsAcceptedAndDeterministic) {
+  // Within one product, delayed feedback is *legal* (cuts apply in arrival
+  // order with posting-time context, DESIGN.md §9); this pins that the
+  // broker accepts it and that the outcome is a deterministic function of
+  // the arrival order.
+  StreamFactory factory;
+  ScenarioSpec spec = LinearSpec("ooo/a", 8, 4000, "reserve", 41);
+
+  auto run_with_order = [&](bool reverse) {
+    Broker broker;
+    PDM_CHECK(broker.OpenSession(spec.name, spec, factory.Prepare(spec)).ok());
+    Rng rng(spec.sim_seed);
+    std::unique_ptr<QueryStream> stream = factory.CreateStream(spec, &rng);
+    MarketRound round;
+    constexpr int kWindow = 8;
+    std::array<Quote, kWindow> quotes;
+    std::array<bool, kWindow> accepts{};
+    for (int block = 0; block < 40; ++block) {
+      for (int i = 0; i < kWindow; ++i) {
+        stream->Next(&rng, &round);
+        Status status =
+            broker.PostPrice({spec.name, round.features, round.reserve}, &quotes[i]);
+        PDM_CHECK(status.ok());
+        accepts[i] = !quotes[i].certain_no_sale && quotes[i].price <= round.value;
+      }
+      for (int i = 0; i < kWindow; ++i) {
+        int j = reverse ? kWindow - 1 - i : i;
+        PDM_CHECK(broker.Observe(quotes[j].ticket, accepts[j]).ok());
+      }
+    }
+    SessionSnapshot snap;
+    PDM_CHECK(broker.Snapshot(spec.name, &snap).ok());
+    return EncodeSessionSnapshot(snap);
+  };
+
+  std::string in_order_1 = run_with_order(false);
+  std::string in_order_2 = run_with_order(false);
+  std::string reversed = run_with_order(true);
+  EXPECT_EQ(in_order_1, in_order_2);  // deterministic
+  // The cut sequences genuinely differ between arrival orders (the engine
+  // state diverges), yet both are serviced without error.
+  EXPECT_NE(in_order_1, reversed);
+}
+
+// ------------------------------------------------------- snapshot / restore
+
+TEST(BrokerSnapshot, CodecRoundTripsByteExactly) {
+  StreamFactory factory;
+  ScenarioSpec spec = LinearSpec("snap/codec", 8, 2000, "reserve+uncertainty", 51);
+  Broker broker;
+  ASSERT_TRUE(broker.OpenSession(spec.name, spec, factory.Prepare(spec)).ok());
+
+  Rng rng(spec.sim_seed);
+  std::unique_ptr<QueryStream> stream = factory.CreateStream(spec, &rng);
+  MarketRound round;
+  // Leave two tickets open so the pending table is exercised.
+  Quote open_a, open_b;
+  for (int t = 0; t < 200; ++t) {
+    stream->Next(&rng, &round);
+    Quote quote;
+    ASSERT_TRUE(broker.PostPrice({spec.name, round.features, round.reserve}, &quote).ok());
+    if (t < 198) {
+      ASSERT_TRUE(
+          broker.Observe(quote.ticket, quote.price <= round.value && !quote.certain_no_sale)
+              .ok());
+    } else if (t == 198) {
+      open_a = quote;
+    } else {
+      open_b = quote;
+    }
+  }
+
+  SessionSnapshot snap;
+  ASSERT_TRUE(broker.Snapshot(spec.name, &snap).ok());
+  EXPECT_EQ(snap.pending.size(), 2u);
+  EXPECT_EQ(snap.quotes_issued, 200);
+  EXPECT_EQ(snap.feedback_received, 198);
+
+  std::string bytes = EncodeSessionSnapshot(snap);
+  SessionSnapshot decoded;
+  Status status = DecodeSessionSnapshot(bytes, &decoded);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  // Decode → encode is byte-identical (doubles travel as bit patterns).
+  EXPECT_EQ(EncodeSessionSnapshot(decoded), bytes);
+  EXPECT_EQ(decoded.product, spec.name);
+  EXPECT_EQ(decoded.engine.engine, "ellipsoid");
+  EXPECT_EQ(decoded.engine.dim, 8);
+  EXPECT_EQ(decoded.pending.size(), 2u);
+  EXPECT_EQ(decoded.pending[0].ticket, open_a.ticket);
+  EXPECT_EQ(decoded.pending[1].ticket, open_b.ticket);
+
+  // Corruption and truncation decode to InvalidArgument, never UB/abort.
+  for (size_t cut : {size_t{0}, size_t{4}, size_t{11}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    SessionSnapshot scratch;
+    EXPECT_EQ(DecodeSessionSnapshot(std::string_view(bytes).substr(0, cut), &scratch)
+                  .code(),
+              StatusCode::kInvalidArgument)
+        << cut;
+  }
+  std::string corrupt = bytes;
+  corrupt[0] = 'X';
+  SessionSnapshot scratch;
+  EXPECT_EQ(DecodeSessionSnapshot(corrupt, &scratch).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BrokerSnapshot, RestoreResumesMidSimulationWithIdenticalPrices) {
+  constexpr int64_t kTotal = 3000;
+  constexpr int64_t kCheckpoint = 1100;
+  StreamFactory factory;
+  ScenarioSpec spec = LinearSpec("snap/resume", 10, kTotal, "reserve", 61);
+
+  // Record the full query sequence once so both halves see identical input.
+  std::vector<MarketRound> rounds(kTotal);
+  factory.Prepare(spec);
+  {
+    Rng rng(spec.sim_seed);
+    std::unique_ptr<QueryStream> stream = factory.CreateStream(spec, &rng);
+    for (int64_t t = 0; t < kTotal; ++t) stream->Next(&rng, &rounds[t]);
+  }
+
+  auto drive = [&](Broker* broker, int64_t from, int64_t to,
+                   std::vector<double>* prices) {
+    for (int64_t t = from; t < to; ++t) {
+      Quote quote;
+      Status status =
+          broker->PostPrice({spec.name, rounds[t].features, rounds[t].reserve}, &quote);
+      PDM_CHECK(status.ok());
+      PDM_CHECK(
+          broker->Observe(quote.ticket,
+                          !quote.certain_no_sale && quote.price <= rounds[t].value)
+              .ok());
+      if (prices != nullptr) prices->push_back(quote.price);
+    }
+  };
+
+  // Uninterrupted run.
+  std::vector<double> uninterrupted;
+  std::string checkpoint_bytes;
+  {
+    Broker broker;
+    ASSERT_TRUE(broker.OpenSession(spec.name, spec, factory.Prepare(spec)).ok());
+    drive(&broker, 0, kCheckpoint, nullptr);
+    SessionSnapshot snap;
+    ASSERT_TRUE(broker.Snapshot(spec.name, &snap).ok());
+    checkpoint_bytes = EncodeSessionSnapshot(snap);
+    drive(&broker, kCheckpoint, kTotal, &uninterrupted);
+  }
+
+  // A fresh broker + fresh engine, resumed from the serialized checkpoint —
+  // the migration path. Subsequent prices must be identical bit for bit.
+  std::vector<double> resumed;
+  {
+    Broker broker;
+    ASSERT_TRUE(broker.OpenSession(spec.name, spec, factory.Prepare(spec)).ok());
+    SessionSnapshot snap;
+    ASSERT_TRUE(DecodeSessionSnapshot(checkpoint_bytes, &snap).ok());
+    Status status = broker.Restore(spec.name, snap);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    SessionInfo info;
+    ASSERT_TRUE(broker.GetSessionInfo(spec.name, &info).ok());
+    EXPECT_EQ(info.quotes_issued, kCheckpoint);
+    EXPECT_EQ(info.counters.rounds, kCheckpoint);
+    drive(&broker, kCheckpoint, kTotal, &resumed);
+  }
+
+  ASSERT_EQ(resumed.size(), uninterrupted.size());
+  for (size_t i = 0; i < resumed.size(); ++i) {
+    ASSERT_EQ(resumed[i], uninterrupted[i]) << "diverged at resumed round " << i;
+  }
+}
+
+TEST(BrokerSnapshot, RestoreRejectsMismatchedEngine) {
+  StreamFactory factory;
+  ScenarioSpec spec8 = LinearSpec("mismatch/n8", 8, 1000, "reserve", 71);
+  ScenarioSpec spec12 = LinearSpec("mismatch/n12", 12, 1000, "reserve", 72);
+  Broker broker;
+  ASSERT_TRUE(broker.OpenSession(spec8.name, spec8, factory.Prepare(spec8)).ok());
+  ASSERT_TRUE(broker.OpenSession(spec12.name, spec12, factory.Prepare(spec12)).ok());
+
+  SessionSnapshot snap;
+  ASSERT_TRUE(broker.Snapshot(spec8.name, &snap).ok());
+  // Same family, wrong dimension → refused, state untouched.
+  EXPECT_EQ(broker.Restore(spec12.name, snap).code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------- generalized wrapper
+
+TEST(BrokerSession, LinkRangeSkipsFlowThroughTickets) {
+  // A logistic-link engine proves any reserve ≥ sup g = 1 unsellable; the
+  // wrapper short-circuits before the base engine. The session must ticket
+  // those rounds too (accounting stays uniform) and resolve them as no-ops.
+  EllipsoidEngineConfig base;
+  base.dim = 4;
+  base.horizon = 1000;
+  base.initial_radius = 2.0;
+  auto engine = std::make_unique<GeneralizedPricingEngine>(
+      std::make_unique<EllipsoidPricingEngine>(base),
+      std::make_shared<LogisticLink>(0.0), std::make_shared<IdentityFeatureMap>());
+  PricingSession session("ads/ctr", std::move(engine));
+
+  std::array<double, 4> x{0.3, -0.2, 0.4, 0.1};
+  Quote quote;
+  ASSERT_TRUE(session.PostPrice(x, /*reserve=*/1.5, &quote).ok());
+  EXPECT_TRUE(quote.certain_no_sale);
+  ASSERT_TRUE(session.Observe(quote.ticket, false).ok());
+
+  // A normal round afterwards still works and cuts.
+  ASSERT_TRUE(session.PostPrice(x, /*reserve=*/0.2, &quote).ok());
+  EXPECT_FALSE(quote.certain_no_sale);
+  ASSERT_TRUE(session.Observe(quote.ticket, true).ok());
+  EXPECT_EQ(session.engine().counters().rounds, 1);  // skip never hit the base
+}
+
+// ------------------------------------------------------------ concurrency
+
+TEST(Broker, ConcurrentTrafficAcrossProductsIsSafeAndComplete) {
+  // One product per thread plus one shared product all threads contend on;
+  // run under TSan in CI. Totals must add up exactly afterwards.
+  constexpr int kThreads = 4;
+  constexpr int64_t kRoundsPerThread = 1500;
+  StreamFactory factory;
+  Broker broker;
+
+  std::vector<ScenarioSpec> specs;
+  for (int i = 0; i < kThreads; ++i) {
+    specs.push_back(
+        LinearSpec("mt/own" + std::to_string(i), 6, kRoundsPerThread, "reserve", 80 + i));
+    ASSERT_TRUE(broker.OpenSession(specs[i].name, specs[i], factory.Prepare(specs[i])).ok());
+  }
+  ScenarioSpec shared = LinearSpec("mt/shared", 6, kRoundsPerThread, "reserve", 90);
+  ASSERT_TRUE(broker.OpenSession(shared.name, shared, factory.Prepare(shared)).ok());
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      Rng rng(specs[i].sim_seed + i);
+      std::unique_ptr<QueryStream> own_stream = factory.CreateStream(specs[i], &rng);
+      std::unique_ptr<QueryStream> shared_stream = factory.CreateStream(shared, &rng);
+      MarketRound round;
+      Quote quote;
+      for (int64_t t = 0; t < kRoundsPerThread; ++t) {
+        own_stream->Next(&rng, &round);
+        Status status =
+            broker.PostPrice({specs[i].name, round.features, round.reserve}, &quote);
+        PDM_CHECK(status.ok());
+        PDM_CHECK(broker
+                      .Observe(quote.ticket,
+                               !quote.certain_no_sale && quote.price <= round.value)
+                      .ok());
+        shared_stream->Next(&rng, &round);
+        status = broker.PostPrice({shared.name, round.features, round.reserve}, &quote);
+        PDM_CHECK(status.ok());
+        PDM_CHECK(broker
+                      .Observe(quote.ticket,
+                               !quote.certain_no_sale && quote.price <= round.value)
+                      .ok());
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  SessionInfo info;
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_TRUE(broker.GetSessionInfo(specs[i].name, &info).ok());
+    EXPECT_EQ(info.quotes_issued, kRoundsPerThread);
+    EXPECT_EQ(info.feedback_received, kRoundsPerThread);
+    EXPECT_EQ(info.pending, 0);
+    EXPECT_EQ(info.counters.rounds, kRoundsPerThread);
+  }
+  ASSERT_TRUE(broker.GetSessionInfo(shared.name, &info).ok());
+  EXPECT_EQ(info.quotes_issued, kThreads * kRoundsPerThread);
+  EXPECT_EQ(info.feedback_received, kThreads * kRoundsPerThread);
+  EXPECT_EQ(info.pending, 0);
+}
+
+// ---------------------------------------------------------- engine detach
+
+TEST(EngineDetach, DetachThenObserveMatchesClassicObserve) {
+  // Unit-level pin of the serving hooks: the detached path must drive the
+  // knowledge set exactly like the classic alternation, engine by engine.
+  Rng rng(7);
+  EllipsoidEngineConfig config;
+  config.dim = 5;
+  config.horizon = 2000;
+  config.initial_radius = 2.0;
+  config.delta = 0.01;
+  EllipsoidPricingEngine classic(config), detached(config);
+
+  Vector x(5);
+  PendingCut cut;
+  for (int t = 0; t < 800; ++t) {
+    for (double& v : x) v = rng.NextUniform(-1.0, 1.0);
+    double reserve = rng.NextUniform(0.0, 0.8);
+    PostedPrice a = classic.PostPrice(x, reserve);
+    PostedPrice b = detached.PostPrice(x, reserve);
+    ASSERT_EQ(a.price, b.price);
+    bool accepted = rng.NextUniform(0.0, 1.0) < 0.5;
+    classic.Observe(accepted);
+    ASSERT_TRUE(detached.DetachPending(&cut));
+    detached.ObserveDetached(cut, accepted);
+  }
+  EXPECT_EQ(classic.counters().cuts_applied, detached.counters().cuts_applied);
+  EXPECT_EQ(classic.knowledge_set().center(), detached.knowledge_set().center());
+
+  IntervalEngineConfig iconfig;
+  iconfig.horizon = 2000;
+  IntervalPricingEngine iclassic(iconfig), idetached(iconfig);
+  Vector x1(1);
+  for (int t = 0; t < 400; ++t) {
+    x1[0] = rng.NextUniform(0.1, 1.0);
+    double reserve = rng.NextUniform(0.0, 0.5);
+    PostedPrice a = iclassic.PostPrice(x1, reserve);
+    PostedPrice b = idetached.PostPrice(x1, reserve);
+    ASSERT_EQ(a.price, b.price);
+    bool accepted = rng.NextUniform(0.0, 1.0) < 0.5;
+    iclassic.Observe(accepted);
+    ASSERT_TRUE(idetached.DetachPending(&cut));
+    idetached.ObserveDetached(cut, accepted);
+  }
+  EXPECT_EQ(iclassic.theta_lower(), idetached.theta_lower());
+  EXPECT_EQ(iclassic.theta_upper(), idetached.theta_upper());
+}
+
+}  // namespace
+}  // namespace pdm::broker
