@@ -1,211 +1,113 @@
 // Serving-path throughput: multi-threaded clients driving ticketed pricing
-// round trips (batched PostPrices + per-ticket Observe) through the Broker
-// front end, one data product per client thread (DESIGN.md §9).
+// round trips (batched handle-keyed PostPrices + batched Observes) through
+// the Broker front end (DESIGN.md §9).
 //
 // Where bench_throughput measures the bare engine loop, this bench measures
-// the *serving overhead on top of it*: product lookup under the shared
-// directory lock, striped shard locking, the span→Vector feature bridge,
-// ticket issue + pending-cut detach, and feedback routing. Emits a
-// machine-readable BENCH_broker.json (schema pdm.bench_broker.v1) so the
-// aggregate round-trip rate can be compared across commits.
+// the *serving overhead on top of it*: snapshot-directory routing, the
+// per-session lock, the span→Vector feature bridge, ticket issue +
+// pending-cut detach, and feedback routing. `--products` decouples the
+// client count from the product count, so both regimes are measurable:
 //
-//   bench_broker_throughput                    # 8 client threads, n=20
+//   bench_broker_throughput                        # 8 clients, one product each
+//   bench_broker_throughput --threads=8 --products=1   # all clients contend
 //   bench_broker_throughput --threads=16 --batch=128
-//   bench_broker_throughput --smoke            # short CI mode
+//   bench_broker_throughput --smoke                # short CI mode
+//
+// Emits a machine-readable BENCH_broker.json (schema pdm.bench_broker.v1,
+// plus the products / per-thread-distribution fields added in PR 5) so the
+// aggregate — and the per-thread min/median, which the aggregate can hide —
+// can be compared across commits. The thread-count scaling *curve* lives in
+// bench_broker_scaling (schema pdm.bench_broker.v2).
 
-#include <algorithm>
-#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
-#include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
-#include "broker/broker.h"
+#include "broker_bench_util.h"
 #include "common/flags.h"
 #include "common/json_writer.h"
 #include "common/memory.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
-#include "common/timer.h"
-#include "market/round.h"
-#include "rng/rng.h"
-#include "scenario/scenario_spec.h"
-#include "scenario/stream_factory.h"
-
-namespace {
-
-struct ClientResult {
-  std::string product;
-  std::string variant;
-  int64_t rounds = 0;
-  double wall_seconds = 0.0;
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
   int64_t threads = 8;
+  int64_t products = 0;
   int64_t rounds = 200000;
   int64_t batch = 64;
-  int64_t dim = 20;
-  int64_t workload_rounds = 2048;
-  int64_t num_owners = 512;
-  int64_t shards = 16;
-  double delta = 0.01;
-  uint64_t seed = 1;
+  pdm::broker_bench::ProductSetup setup;
   bool smoke = false;
   std::string out_path = "BENCH_broker.json";
   pdm::FlagSet flags("bench_broker_throughput");
-  flags.AddInt64("threads", &threads, "client threads (one product each)");
+  flags.AddInt64("threads", &threads, "client threads");
+  flags.AddInt64("products", &products,
+                 "distinct products; clients map round-robin (0 = one per "
+                 "thread, 1 = fully contended)");
   flags.AddInt64("rounds", &rounds, "timed round trips per client");
   flags.AddInt64("batch", &batch, "requests per PostPrices batch");
-  flags.AddInt64("dim", &dim, "feature dimension n of every product");
-  flags.AddInt64("workload_rounds", &workload_rounds,
+  flags.AddInt64("dim", &setup.dim, "feature dimension n of every product");
+  flags.AddInt64("workload_rounds", &setup.workload_rounds,
                  "distinct precomputed queries per product");
-  flags.AddInt64("owners", &num_owners, "data owners behind each workload");
-  flags.AddInt64("shards", &shards, "broker lock stripes");
-  flags.AddDouble("delta", &delta, "uncertainty buffer for the *+uncertainty variants");
-  flags.AddUint64("seed", &seed, "base workload seed");
+  flags.AddInt64("owners", &setup.num_owners, "data owners behind each workload");
+  flags.AddDouble("delta", &setup.delta,
+                  "uncertainty buffer for the *+uncertainty variants");
+  flags.AddUint64("seed", &setup.seed, "base workload seed");
   flags.AddBool("smoke", &smoke, "short CI mode (caps rounds at 20000)");
   flags.AddString("out", &out_path, "machine-readable JSON output path ('' disables)");
   if (!flags.Parse(argc, argv)) return flags.help_requested() ? 0 : 1;
   if (smoke && rounds > 20000) rounds = 20000;
-  if (threads < 1 || rounds < 1 || batch < 1 || dim < 1) {
-    std::fprintf(stderr, "threads/rounds/batch/dim must be positive\n");
+  if (products == 0) products = threads;
+  if (threads < 1 || rounds < 1 || batch < 1 || setup.dim < 1 || products < 1 ||
+      setup.workload_rounds < 1) {
+    std::fprintf(stderr,
+                 "threads/rounds/batch/dim/products/workload_rounds must be "
+                 "positive\n");
     return 1;
   }
+  setup.rounds = rounds;
 
-  const char* kVariants[] = {"pure", "uncertainty", "reserve", "reserve+uncertainty"};
-
-  // Serial setup: one product per client, each with its own precomputed
-  // linear workload and registry-built engine; query sequences are recorded
-  // up front so the timed region measures broker round trips only.
+  // Serial setup: products with precomputed workloads and registry-built
+  // engines; query sequences are recorded up front so the timed region
+  // measures broker round trips only.
   pdm::scenario::StreamFactory factory;
-  pdm::broker::BrokerConfig config;
-  config.num_shards = static_cast<int>(shards);
-  pdm::broker::Broker broker(config);
+  pdm::broker::Broker broker;
+  std::vector<pdm::broker_bench::ProductWorkload> workloads =
+      pdm::broker_bench::OpenProducts(&factory, &broker, products, setup, "client");
 
-  std::vector<std::string> products(static_cast<size_t>(threads));
-  std::vector<std::string> variants(static_cast<size_t>(threads));
-  std::vector<std::vector<pdm::MarketRound>> recorded(static_cast<size_t>(threads));
-  for (int64_t i = 0; i < threads; ++i) {
-    pdm::scenario::ScenarioSpec spec;
-    variants[i] = kVariants[i % 4];
-    spec.name = "client" + std::to_string(i) + "/" + variants[i] +
-                "/n=" + std::to_string(dim);
-    spec.family = "broker-bench";
-    spec.stream = pdm::scenario::StreamKind::kLinear;
-    spec.mechanism = variants[i];
-    spec.n = static_cast<int>(dim);
-    spec.rounds = rounds;
-    spec.delta = delta;
-    spec.linear.num_owners = static_cast<int>(num_owners);
-    spec.linear.workload_rounds = workload_rounds;
-    spec.workload_seed = seed + static_cast<uint64_t>(i);
-    spec.sim_seed = 99 + static_cast<uint64_t>(i);
-    products[i] = spec.name;
+  std::printf(
+      "=== broker round-trip sweep: %ld clients x %ld rounds over %ld products, "
+      "batch %ld, n=%ld ===\n\n",
+      static_cast<long>(threads), static_cast<long>(rounds),
+      static_cast<long>(products), static_cast<long>(batch),
+      static_cast<long>(setup.dim));
 
-    pdm::scenario::WorkloadInfo info = factory.Prepare(spec);
-    pdm::Status opened = broker.OpenSession(spec.name, spec, info);
-    if (!opened.ok()) {
-      std::fprintf(stderr, "OpenSession: %s\n", opened.ToString().c_str());
-      return 1;
-    }
-    pdm::Rng rng(spec.sim_seed);
-    std::unique_ptr<pdm::QueryStream> stream = factory.CreateStream(spec, &rng);
-    recorded[i].resize(static_cast<size_t>(workload_rounds));
-    for (pdm::MarketRound& round : recorded[i]) stream->Next(&rng, &round);
-  }
-
-  std::printf("=== broker round-trip sweep: %ld clients x %ld rounds, batch %ld, n=%ld ===\n\n",
-              static_cast<long>(threads), static_cast<long>(rounds),
-              static_cast<long>(batch), static_cast<long>(dim));
-
-  // Timed region: all clients start together; the aggregate rate uses the
-  // region wall time (first start to last finish), the honest serving view.
-  std::atomic<int64_t> ready{0};
-  std::atomic<bool> go{false};
-  std::vector<ClientResult> results(static_cast<size_t>(threads));
-  std::vector<std::thread> workers;
-  for (int64_t i = 0; i < threads; ++i) {
-    workers.emplace_back([&, i] {
-      const std::vector<pdm::MarketRound>& ring = recorded[i];
-      const std::string& product = products[i];
-      std::vector<pdm::broker::PriceRequest> requests(static_cast<size_t>(batch));
-      std::vector<pdm::broker::Quote> quotes(static_cast<size_t>(batch));
-      std::vector<const pdm::MarketRound*> batch_rounds(static_cast<size_t>(batch));
-      ready.fetch_add(1);
-      while (!go.load(std::memory_order_acquire)) {
-      }
-      pdm::WallTimer timer;
-      size_t cursor = 0;
-      int64_t done = 0;
-      while (done < rounds) {
-        int64_t this_batch = std::min<int64_t>(batch, rounds - done);
-        for (int64_t k = 0; k < this_batch; ++k) {
-          const pdm::MarketRound& round = ring[cursor];
-          cursor = cursor + 1 == ring.size() ? 0 : cursor + 1;
-          batch_rounds[k] = &round;
-          requests[k] = {product, round.features, round.reserve};
-        }
-        pdm::Status status =
-            broker.PostPrices({requests.data(), static_cast<size_t>(this_batch)},
-                              {quotes.data(), static_cast<size_t>(this_batch)});
-        if (!status.ok()) {
-          std::fprintf(stderr, "PostPrices: %s\n", status.ToString().c_str());
-          std::abort();
-        }
-        for (int64_t k = 0; k < this_batch; ++k) {
-          bool accepted = !quotes[k].certain_no_sale &&
-                          quotes[k].price <= batch_rounds[k]->value;
-          status = broker.Observe(quotes[k].ticket, accepted);
-          if (!status.ok()) {
-            std::fprintf(stderr, "Observe: %s\n", status.ToString().c_str());
-            std::abort();
-          }
-        }
-        done += this_batch;
-      }
-      results[i].product = product;
-      results[i].variant = variants[i];
-      results[i].rounds = rounds;
-      results[i].wall_seconds = timer.ElapsedSeconds();
-    });
-  }
-  while (ready.load() < threads) {
-  }
-  pdm::WallTimer region_timer;
-  go.store(true, std::memory_order_release);
-  for (std::thread& worker : workers) worker.join();
-  double region_seconds = region_timer.ElapsedSeconds();
-
-  int64_t total_rounds = threads * rounds;
-  double aggregate_per_sec =
-      region_seconds > 0.0 ? static_cast<double>(total_rounds) / region_seconds : 0.0;
+  pdm::broker_bench::RegionResult region =
+      pdm::broker_bench::RunClients(&broker, workloads, threads, rounds, batch);
+  pdm::broker_bench::ThreadRateStats rates =
+      pdm::broker_bench::RateStats(region.clients);
+  double aggregate_per_sec = region.aggregate_rounds_per_sec();
   int64_t rss_bytes = pdm::CurrentRssBytes();
 
   pdm::TablePrinter table({"client", "rounds/s", "ns/round"});
-  for (const ClientResult& result : results) {
-    double per_sec = result.wall_seconds > 0.0
-                         ? static_cast<double>(result.rounds) / result.wall_seconds
-                         : 0.0;
-    table.AddRow({result.product, pdm::FormatDouble(per_sec, 0),
+  for (const pdm::broker_bench::ClientResult& result : region.clients) {
+    table.AddRow({result.product, pdm::FormatDouble(result.rounds_per_sec(), 0),
                   pdm::FormatDouble(result.wall_seconds * 1e9 /
                                         static_cast<double>(result.rounds),
                                     1)});
   }
   table.AddRow({"aggregate", pdm::FormatDouble(aggregate_per_sec, 0),
-                pdm::FormatDouble(region_seconds * 1e9 /
-                                      static_cast<double>(total_rounds),
+                pdm::FormatDouble(region.region_seconds * 1e9 /
+                                      static_cast<double>(region.total_rounds),
                                   1)});
   table.Print(std::cout);
-  std::printf("\naggregate: %.2fM priced round trips/s over %ld clients (rss %.1f MiB)\n",
-              aggregate_per_sec / 1e6, static_cast<long>(threads),
-              static_cast<double>(rss_bytes) / (1024.0 * 1024.0));
+  std::printf(
+      "\naggregate: %.2fM priced round trips/s over %ld clients "
+      "(per-thread min %.2fM / median %.2fM, rss %.1f MiB)\n",
+      aggregate_per_sec / 1e6, static_cast<long>(threads), rates.min / 1e6,
+      rates.median / 1e6, static_cast<double>(rss_bytes) / (1024.0 * 1024.0));
 
   if (!out_path.empty()) {
     std::ofstream out(out_path);
@@ -217,33 +119,34 @@ int main(int argc, char** argv) {
     json.BeginObject();
     json.Field("schema", "pdm.bench_broker.v1");
     json.Field("threads", threads);
+    json.Field("products", products);
     json.Field("rounds_per_thread", rounds);
     json.Field("batch", batch);
-    json.Field("dim", dim);
-    json.Field("shards", shards);
-    json.Field("workload_rounds", workload_rounds);
-    json.Field("delta", delta);
+    json.Field("dim", setup.dim);
+    json.Field("workload_rounds", setup.workload_rounds);
+    json.Field("delta", setup.delta);
     json.Key("aggregate");
     json.BeginObject();
-    json.Field("rounds", total_rounds);
-    json.Field("wall_seconds", region_seconds);
+    json.Field("rounds", region.total_rounds);
+    json.Field("wall_seconds", region.region_seconds);
     json.Field("rounds_per_sec", aggregate_per_sec);
-    json.Field("ns_per_round",
-               region_seconds * 1e9 / static_cast<double>(total_rounds));
+    json.Field("ns_per_round", region.region_seconds * 1e9 /
+                                   static_cast<double>(region.total_rounds));
+    json.Field("per_thread_min_rounds_per_sec", rates.min);
+    json.Field("per_thread_median_rounds_per_sec", rates.median);
     json.Field("rss_bytes", rss_bytes);
     json.EndObject();
     json.Key("results");
     json.BeginArray();
-    for (const ClientResult& result : results) {
+    for (const pdm::broker_bench::ClientResult& result : region.clients) {
       double wall = result.wall_seconds;
       json.BeginObject();
       json.Field("scenario", result.product);
       json.Field("variant", result.variant);
-      json.Field("dim", dim);
+      json.Field("dim", setup.dim);
       json.Field("rounds", result.rounds);
       json.Field("wall_seconds", wall);
-      json.Field("rounds_per_sec",
-                 wall > 0.0 ? static_cast<double>(result.rounds) / wall : 0.0);
+      json.Field("rounds_per_sec", result.rounds_per_sec());
       json.Field("ns_per_round", wall * 1e9 / static_cast<double>(result.rounds));
       json.Field("rss_bytes", rss_bytes);
       json.EndObject();
@@ -251,8 +154,8 @@ int main(int argc, char** argv) {
     json.EndArray();
     json.EndObject();
     out << "\n";
-    std::printf("wrote %s (%zu clients, schema pdm.bench_broker.v1)\n", out_path.c_str(),
-                results.size());
+    std::printf("wrote %s (%zu clients, schema pdm.bench_broker.v1)\n",
+                out_path.c_str(), region.clients.size());
   }
   return 0;
 }

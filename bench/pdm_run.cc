@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "broker/driver.h"
 #include "common/flags.h"
 #include "common/table_printer.h"
 #include "scenario/experiment.h"
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
   bool list = false;
   bool series = false;
   bool table = true;
+  bool through_broker = false;
   pdm::FlagSet flags("pdm_run");
   flags.AddString("scenarios", &scenarios,
                   "comma-separated glob patterns over scenario names/families");
@@ -43,6 +45,9 @@ int main(int argc, char** argv) {
   flags.AddBool("list", &list, "list the registered scenarios and exit");
   flags.AddBool("series", &series, "include regret series in the JSON");
   flags.AddBool("table", &table, "print the comparison table");
+  flags.AddBool("through_broker", &through_broker,
+                "execute through the Broker serving surface (handle fast "
+                "path; bit-identical to the direct path)");
   // --help exits cleanly: asking for the flag list is not an error.
   if (!flags.Parse(argc, argv)) return flags.help_requested() ? 0 : 1;
 
@@ -78,8 +83,10 @@ int main(int argc, char** argv) {
   pdm::scenario::RunOptions options;
   options.num_threads = static_cast<int>(threads);
   options.max_rounds = max_rounds;
-  pdm::scenario::ExperimentDriver driver(options);
-  std::vector<pdm::scenario::ScenarioOutcome> outcomes = driver.Run(selected);
+  std::vector<pdm::scenario::ScenarioOutcome> outcomes =
+      through_broker
+          ? pdm::broker::RunScenariosThroughBroker(selected, options)
+          : pdm::scenario::ExperimentDriver(options).Run(selected);
 
   if (table) pdm::scenario::PrintOutcomeTable(outcomes, std::cout);
 
@@ -90,7 +97,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     pdm::scenario::RunMetadata meta;
-    meta.generator = "pdm_run";
+    meta.generator = through_broker ? "pdm_run --through_broker" : "pdm_run";
     meta.selection = scenarios;
     meta.max_rounds = max_rounds;
     meta.num_threads = options.num_threads;

@@ -1,12 +1,15 @@
 // Serving quickstart: a Broker pricing several data products concurrently
 // through the ticketed request/feedback API (DESIGN.md §9).
 //
-// Three things the simulation loop (examples/quickstart.cpp) cannot do:
+// Four things the simulation loop (examples/quickstart.cpp) cannot do:
 //   1. multiple named products behind one front end, with batched pricing;
-//   2. feedback delayed and interleaved across products via tickets;
-//   3. checkpointing a live session and resuming it bit-identically.
+//   2. a resolve-once ProductHandle fast path that skips name hashing on
+//      every steady-state request;
+//   3. feedback delayed and interleaved across products via tickets;
+//   4. checkpointing a live session and resuming it bit-identically.
 
 #include <cstdio>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -45,6 +48,12 @@ int main() {
     }
   }
 
+  // Steady-state clients resolve each product once; every request after
+  // that routes by handle — no string hashing, no directory contention.
+  pdm::broker::ProductHandle wearables_handle, mobility_handle;
+  broker.Resolve(wearables.name, &wearables_handle);
+  broker.Resolve(mobility.name, &mobility_handle);
+
   // Client loop: batch-price both products, then answer tickets — the
   // feedback for one product may arrive while the other already has new
   // quotes outstanding; the broker buffers each ticket's cut context.
@@ -53,15 +62,16 @@ int main() {
   auto stream_b = factory.CreateStream(mobility, &rng_b);
 
   pdm::MarketRound round_a, round_b;
-  std::vector<pdm::broker::PriceRequest> requests(2);
+  std::vector<pdm::broker::HandleRequest> requests(2);
   std::vector<pdm::broker::Quote> quotes(2);
   int sales = 0;
   for (int t = 0; t < 500; ++t) {
     stream_a->Next(&rng_a, &round_a);
     stream_b->Next(&rng_b, &round_b);
-    requests[0] = {wearables.name, round_a.features, round_a.reserve};
-    requests[1] = {mobility.name, round_b.features, round_b.reserve};
-    pdm::Status status = broker.PostPrices(requests, quotes);
+    requests[0] = {wearables_handle, round_a.features, round_a.reserve};
+    requests[1] = {mobility_handle, round_b.features, round_b.reserve};
+    pdm::Status status = broker.PostPrices(
+        std::span<const pdm::broker::HandleRequest>(requests), quotes);
     if (!status.ok()) {
       std::fprintf(stderr, "PostPrices: %s\n", status.ToString().c_str());
       return 1;

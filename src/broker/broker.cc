@@ -1,36 +1,86 @@
 #include "broker/broker.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
 
 namespace pdm::broker {
+namespace {
+
+/// Ticket-base space is 24 bits (PricingSession's layout), so a broker can
+/// open at most 2^24 - 2 sessions over its lifetime (slots are tombstoned
+/// on close, never reused).
+constexpr size_t kMaxSessions = (size_t{1} << 24) - 2;
+
+Status StaleHandleError() {
+  return Status::NotFound("stale, closed, or foreign product handle");
+}
+
+/// Per-thread scratch for the batched entry points. Reaching into a
+/// thread_local keeps the batch paths allocation-free in steady state (the
+/// vectors retain their high-water capacity) without putting scratch in the
+/// shared Broker object, where it would need locking.
+struct BatchScratch {
+  /// Bitmask over the batch: 1 = already processed by an earlier group.
+  std::vector<uint64_t> done;
+  /// Name-keyed batches lowered onto the handle path.
+  std::vector<HandleRequest> handle_requests;
+
+  void ResetDone(size_t batch_size) {
+    done.assign((batch_size + 63) / 64, 0);
+  }
+  bool Done(size_t i) const { return (done[i >> 6] >> (i & 63)) & 1; }
+  void MarkDone(size_t i) { done[i >> 6] |= uint64_t{1} << (i & 63); }
+};
+
+BatchScratch& Scratch() {
+  thread_local BatchScratch scratch;
+  return scratch;
+}
+
+}  // namespace
 
 uint64_t TicketBaseForIndex(size_t session_index) {
   return (static_cast<uint64_t>(session_index) + 1) << 40;
 }
 
-Broker::Broker(const BrokerConfig& config) : config_(config) {
-  PDM_CHECK(config_.num_shards >= 1);
-  shards_ = std::vector<Shard>(static_cast<size_t>(config_.num_shards));
+Broker::Broker(const BrokerConfig& config) {
+  // BrokerConfig::num_shards is retired (DESIGN.md §9); accept any value so
+  // PR 4-era callers keep working, but nothing is striped anymore.
+  (void)config;
+  directory_.Publish(std::make_unique<const Directory>());
 }
+
+Broker::~Broker() = default;
 
 Status Broker::OpenSession(std::string product, std::unique_ptr<PricingEngine> engine) {
   if (product.empty()) return Status::InvalidArgument("empty product name");
   if (engine == nullptr) {
     return Status::InvalidArgument("null engine for product '" + product + "'");
   }
-  std::unique_lock lock(dir_mu_);
-  if (index_.find(product) != index_.end()) {
+  std::lock_guard control(control_mu_);
+  const Directory* current = directory_.Load();
+  if (current->by_name.find(product) != current->by_name.end()) {
     return Status::FailedPrecondition("product '" + product + "' is already open");
   }
-  size_t index = sessions_.size();
-  if (index >= (uint64_t{1} << 24) - 1) {
+  size_t index = slot_storage_.size();
+  if (index >= kMaxSessions) {
     return Status::FailedPrecondition("session-slot space exhausted");
   }
-  sessions_.push_back(std::make_unique<PricingSession>(product, std::move(engine),
-                                                      TicketBaseForIndex(index)));
-  index_.emplace(std::move(product), index);
+  auto slot = std::make_unique<SessionSlot>();
+  slot->session = std::make_unique<PricingSession>(product, std::move(engine),
+                                                   TicketBaseForIndex(index));
+  // Open-generation stamp: odd = open. Relaxed is enough — the slot becomes
+  // reachable only through the release-published directory snapshot below.
+  slot->state.store(1, std::memory_order_relaxed);
+
+  auto next = std::make_unique<Directory>(*current);
+  next->slots.push_back(slot.get());
+  next->by_name.emplace(std::move(product),
+                        ProductHandle{static_cast<uint32_t>(index), 1});
+  slot_storage_.push_back(std::move(slot));
+  directory_.Publish(std::move(next));
   return Status::Ok();
 }
 
@@ -49,36 +99,164 @@ Status Broker::OpenSession(std::string product, const scenario::ScenarioSpec& sp
 }
 
 Status Broker::CloseSession(std::string_view product) {
-  std::unique_lock lock(dir_mu_);
-  auto it = index_.find(product);
-  if (it == index_.end()) {
+  std::lock_guard control(control_mu_);
+  const Directory* current = directory_.Load();
+  auto it = current->by_name.find(product);
+  if (it == current->by_name.end()) {
     return Status::NotFound("unknown product '" + std::string(product) + "'");
   }
-  // The exclusive directory lock excludes all request traffic, so no shard
-  // lock can be mid-operation on this session.
-  sessions_[it->second].reset();
-  index_.erase(it);
+  SessionSlot* slot = current->slots[it->second.index];
+  {
+    // Taking the session lock fences out in-flight traffic; the state bump
+    // (odd → even) makes every request that arrives afterwards — or that was
+    // blocked on the lock — fail its re-check and return NotFound without
+    // touching the (now destroyed) session.
+    std::lock_guard session_lock(slot->mu);
+    slot->state.store(it->second.generation + 1, std::memory_order_release);
+    slot->session.reset();
+  }
+  auto next = std::make_unique<Directory>(*current);
+  next->by_name.erase(std::string(product));
+  directory_.Publish(std::move(next));
   return Status::Ok();
 }
 
-bool Broker::FindIndexLocked(std::string_view product, size_t* index) const {
-  auto it = index_.find(product);
-  if (it == index_.end()) return false;
-  *index = it->second;
-  return true;
+Status Broker::Resolve(std::string_view product, ProductHandle* handle) const {
+  if (handle == nullptr) return Status::InvalidArgument("null handle output");
+  const Directory* dir = directory_.Load();
+  auto it = dir->by_name.find(product);
+  if (it == dir->by_name.end()) {
+    *handle = ProductHandle{};
+    return Status::NotFound("unknown product '" + std::string(product) + "'");
+  }
+  *handle = it->second;
+  return Status::Ok();
+}
+
+Broker::SessionSlot* Broker::ProbeHandle(ProductHandle handle) const {
+  if (!handle.valid() || (handle.generation & 1) == 0) return nullptr;
+  const Directory* dir = directory_.Load();
+  if (handle.index >= dir->slots.size()) return nullptr;
+  SessionSlot* slot = dir->slots[handle.index];
+  if (slot->state.load(std::memory_order_acquire) != handle.generation) {
+    return nullptr;
+  }
+  return slot;
+}
+
+Broker::SessionSlot* Broker::ProbeTicket(uint64_t ticket, uint32_t* state_out) const {
+  uint64_t base = ticket >> 40;
+  if (base == 0) return nullptr;
+  size_t index = static_cast<size_t>(base - 1);
+  const Directory* dir = directory_.Load();
+  if (index >= dir->slots.size()) return nullptr;
+  SessionSlot* slot = dir->slots[index];
+  uint32_t state = slot->state.load(std::memory_order_acquire);
+  if ((state & 1) == 0) return nullptr;
+  *state_out = state;
+  return slot;
+}
+
+Broker::LockedSlot Broker::AcquireHandle(ProductHandle handle) const {
+  LockedSlot acquired;
+  SessionSlot* slot = ProbeHandle(handle);
+  if (slot == nullptr) return acquired;
+  std::unique_lock<std::mutex> lock(slot->mu);
+  // Re-check under the lock: a close may have won the race after the probe.
+  // `state` is only written under `mu`, so relaxed is sufficient here.
+  if (slot->state.load(std::memory_order_relaxed) != handle.generation) {
+    return acquired;
+  }
+  acquired.slot = slot;
+  acquired.lock = std::move(lock);
+  return acquired;
+}
+
+Broker::LockedSlot Broker::AcquireTicket(uint64_t ticket) const {
+  LockedSlot acquired;
+  uint32_t state = 0;
+  SessionSlot* slot = ProbeTicket(ticket, &state);
+  if (slot == nullptr) return acquired;
+  std::unique_lock<std::mutex> lock(slot->mu);
+  if (slot->state.load(std::memory_order_relaxed) != state) {
+    return acquired;
+  }
+  acquired.slot = slot;
+  acquired.lock = std::move(lock);
+  return acquired;
+}
+
+Status Broker::PostPrice(ProductHandle handle, std::span<const double> features,
+                         double reserve, Quote* quote) {
+  if (quote == nullptr) return Status::InvalidArgument("null quote output");
+  LockedSlot acquired = AcquireHandle(handle);
+  if (!acquired) {
+    quote->ticket = 0;
+    quote->status = StatusCode::kNotFound;
+    return StaleHandleError();
+  }
+  return acquired.session()->PostPrice(features, reserve, quote);
 }
 
 Status Broker::PostPrice(const PriceRequest& request, Quote* quote) {
   if (quote == nullptr) return Status::InvalidArgument("null quote output");
-  std::shared_lock dir(dir_mu_);
-  size_t index;
-  if (!FindIndexLocked(request.product, &index)) {
+  ProductHandle handle;
+  Status resolved = Resolve(request.product, &handle);
+  if (!resolved.ok()) {
     quote->ticket = 0;
-    quote->status = StatusCode::kNotFound;
-    return Status::NotFound("unknown product '" + std::string(request.product) + "'");
+    quote->status = resolved.code();
+    return resolved;
   }
-  std::lock_guard shard(shard_for(index));
-  return sessions_[index]->PostPrice(request.features, request.reserve, quote);
+  return PostPrice(handle, request.features, request.reserve, quote);
+}
+
+Status Broker::PostPricesGrouped(std::span<const HandleRequest> requests,
+                                 std::span<Quote> quotes, size_t* error_index) {
+  Status first_error;
+  *error_index = requests.size();
+  BatchScratch& scratch = Scratch();
+  scratch.ResetDone(requests.size());
+  // Group by session: the first unprocessed request opens its session's
+  // group, takes that session's lock exactly once, and drains every later
+  // request for the same session in batch order. O(batch × groups) scans,
+  // zero allocations, and — crucially — one lock acquisition per session
+  // per batch instead of one per request. Groups execute in leader order,
+  // not batch order, so "first failure" is tracked by batch position.
+  auto record = [&](size_t j, Status status) {
+    if (!status.ok() && j < *error_index) {
+      *error_index = j;
+      first_error = std::move(status);
+    }
+  };
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (scratch.Done(i)) continue;
+    const ProductHandle handle = requests[i].handle;
+    LockedSlot acquired = AcquireHandle(handle);
+    for (size_t j = i; j < requests.size(); ++j) {
+      if (scratch.Done(j) || requests[j].handle != handle) continue;
+      scratch.MarkDone(j);
+      if (!acquired) {
+        quotes[j].ticket = 0;
+        quotes[j].status = StatusCode::kNotFound;
+        record(j, StaleHandleError());
+        continue;
+      }
+      record(j, acquired.session()->PostPrice(requests[j].features,
+                                              requests[j].reserve, &quotes[j]));
+    }
+  }
+  return first_error;
+}
+
+Status Broker::PostPrices(std::span<const HandleRequest> requests,
+                          std::span<Quote> quotes) {
+  if (requests.size() != quotes.size()) {
+    return Status::InvalidArgument(
+        "request/quote span size mismatch: " + std::to_string(requests.size()) +
+        " vs " + std::to_string(quotes.size()));
+  }
+  size_t error_index = 0;
+  return PostPricesGrouped(requests, quotes, &error_index);
 }
 
 Status Broker::PostPrices(std::span<const PriceRequest> requests,
@@ -88,99 +266,133 @@ Status Broker::PostPrices(std::span<const PriceRequest> requests,
         "request/quote span size mismatch: " + std::to_string(requests.size()) +
         " vs " + std::to_string(quotes.size()));
   }
-  Status first_error;
-  std::shared_lock dir(dir_mu_);
-  // Batches overwhelmingly target runs of the same product (the per-client
-  // hot path), so the directory lookup and shard lock are carried across
-  // consecutive same-product requests instead of being re-acquired 64 times
-  // per batch.
+  // Lower names onto the handle path once per batch. Runs of the same
+  // product (the common client pattern) resolve once; the grouped handle
+  // batch then takes each session lock once. The returned Status is the
+  // failure at the *lowest batch position*, whether it came from name
+  // resolution here or from the session level inside the grouped batch —
+  // resolution failures keep their "unknown product" message.
+  Status resolve_error;
+  size_t resolve_error_index = requests.size();
+  BatchScratch& scratch = Scratch();
+  scratch.handle_requests.resize(requests.size());
   std::string_view cached_product;
-  size_t cached_index = 0;
+  ProductHandle cached_handle;
+  Status cached_status;
   bool have_cached = false;
-  std::unique_lock<std::mutex> shard;
   for (size_t i = 0; i < requests.size(); ++i) {
     if (!have_cached || requests[i].product != cached_product) {
-      size_t index;
-      if (!FindIndexLocked(requests[i].product, &index)) {
-        quotes[i].ticket = 0;
-        quotes[i].status = StatusCode::kNotFound;
-        if (first_error.ok()) {
-          first_error = Status::NotFound("unknown product '" +
-                                         std::string(requests[i].product) + "'");
-        }
-        continue;
-      }
-      std::mutex& mu = shard_for(index);
-      if (!have_cached || &mu != shard.mutex()) {
-        if (shard.owns_lock()) shard.unlock();
-        shard = std::unique_lock<std::mutex>(mu);
-      }
+      cached_status = Resolve(requests[i].product, &cached_handle);
       cached_product = requests[i].product;
-      cached_index = index;
       have_cached = true;
     }
-    Status status = sessions_[cached_index]->PostPrice(requests[i].features,
-                                                       requests[i].reserve, &quotes[i]);
-    if (!status.ok() && first_error.ok()) first_error = std::move(status);
+    if (!cached_status.ok() && i < resolve_error_index) {
+      resolve_error = cached_status;
+      resolve_error_index = i;
+    }
+    scratch.handle_requests[i] = {cached_handle, requests[i].features,
+                                  requests[i].reserve};
+  }
+  size_t batch_error_index = requests.size();
+  Status batch_error = PostPricesGrouped(
+      std::span<const HandleRequest>(scratch.handle_requests), quotes,
+      &batch_error_index);
+  // At equal positions the resolution error wins: it names the product.
+  if (resolve_error_index <= batch_error_index && !resolve_error.ok()) {
+    return resolve_error;
+  }
+  return batch_error;
+}
+
+Status Broker::Observe(uint64_t ticket, bool accepted) {
+  LockedSlot acquired = AcquireTicket(ticket);
+  if (!acquired) {
+    return Status::NotFound("ticket " + std::to_string(ticket) +
+                            " references no open session");
+  }
+  return acquired.session()->Observe(ticket, accepted);
+}
+
+Status Broker::Observes(std::span<const FeedbackRequest> feedback,
+                        std::span<StatusCode> codes) {
+  if (!codes.empty() && codes.size() != feedback.size()) {
+    return Status::InvalidArgument(
+        "feedback/code span size mismatch: " + std::to_string(feedback.size()) +
+        " vs " + std::to_string(codes.size()));
+  }
+  Status first_error;
+  size_t error_index = feedback.size();
+  BatchScratch& scratch = Scratch();
+  scratch.ResetDone(feedback.size());
+  // Groups execute in leader order, so "first failure" is by batch position.
+  auto record = [&](size_t i, const Status& status) {
+    if (!codes.empty()) codes[i] = status.code();
+    if (!status.ok() && i < error_index) {
+      error_index = i;
+      first_error = status;
+    }
+  };
+  // Same grouping discipline as the batched PostPrices: one session lock
+  // acquisition per distinct ticket base per batch, items in batch order.
+  for (size_t i = 0; i < feedback.size(); ++i) {
+    if (scratch.Done(i)) continue;
+    const uint64_t base = feedback[i].ticket >> 40;
+    LockedSlot acquired = AcquireTicket(feedback[i].ticket);
+    for (size_t j = i; j < feedback.size(); ++j) {
+      if (scratch.Done(j) || (feedback[j].ticket >> 40) != base) continue;
+      scratch.MarkDone(j);
+      if (!acquired) {
+        record(j, Status::NotFound("ticket " + std::to_string(feedback[j].ticket) +
+                                   " references no open session"));
+        continue;
+      }
+      record(j, acquired.session()->Observe(feedback[j].ticket, feedback[j].accepted));
+    }
   }
   return first_error;
 }
 
-Status Broker::Observe(uint64_t ticket, bool accepted) {
-  uint64_t slot = ticket >> 40;
-  if (slot == 0) {
-    return Status::NotFound("malformed ticket " + std::to_string(ticket));
-  }
-  size_t index = static_cast<size_t>(slot - 1);
-  std::shared_lock dir(dir_mu_);
-  if (index >= sessions_.size() || sessions_[index] == nullptr) {
-    return Status::NotFound("ticket " + std::to_string(ticket) +
-                            " references no open session");
-  }
-  std::lock_guard shard(shard_for(index));
-  return sessions_[index]->Observe(ticket, accepted);
+Status Broker::EstimateValue(ProductHandle handle, std::span<const double> features,
+                             ValueInterval* out) const {
+  LockedSlot acquired = AcquireHandle(handle);
+  if (!acquired) return StaleHandleError();
+  return acquired.session()->EstimateValue(features, out);
 }
 
 Status Broker::EstimateValue(std::string_view product, std::span<const double> features,
                              ValueInterval* out) const {
-  std::shared_lock dir(dir_mu_);
-  size_t index;
-  if (!FindIndexLocked(product, &index)) {
-    return Status::NotFound("unknown product '" + std::string(product) + "'");
-  }
-  std::lock_guard shard(shard_for(index));
-  return sessions_[index]->EstimateValue(features, out);
+  ProductHandle handle;
+  Status resolved = Resolve(product, &handle);
+  if (!resolved.ok()) return resolved;
+  return EstimateValue(handle, features, out);
 }
 
 Status Broker::Snapshot(std::string_view product, SessionSnapshot* out) const {
-  std::shared_lock dir(dir_mu_);
-  size_t index;
-  if (!FindIndexLocked(product, &index)) {
-    return Status::NotFound("unknown product '" + std::string(product) + "'");
-  }
-  std::lock_guard shard(shard_for(index));
-  return sessions_[index]->Snapshot(out);
+  ProductHandle handle;
+  Status resolved = Resolve(product, &handle);
+  if (!resolved.ok()) return resolved;
+  LockedSlot acquired = AcquireHandle(handle);
+  if (!acquired) return StaleHandleError();
+  return acquired.session()->Snapshot(out);
 }
 
 Status Broker::Restore(std::string_view product, const SessionSnapshot& snapshot) {
-  std::shared_lock dir(dir_mu_);
-  size_t index;
-  if (!FindIndexLocked(product, &index)) {
-    return Status::NotFound("unknown product '" + std::string(product) + "'");
-  }
-  std::lock_guard shard(shard_for(index));
-  return sessions_[index]->Restore(snapshot);
+  ProductHandle handle;
+  Status resolved = Resolve(product, &handle);
+  if (!resolved.ok()) return resolved;
+  LockedSlot acquired = AcquireHandle(handle);
+  if (!acquired) return StaleHandleError();
+  return acquired.session()->Restore(snapshot);
 }
 
 Status Broker::GetSessionInfo(std::string_view product, SessionInfo* out) const {
   if (out == nullptr) return Status::InvalidArgument("null info output");
-  std::shared_lock dir(dir_mu_);
-  size_t index;
-  if (!FindIndexLocked(product, &index)) {
-    return Status::NotFound("unknown product '" + std::string(product) + "'");
-  }
-  std::lock_guard shard(shard_for(index));
-  const PricingSession& session = *sessions_[index];
+  ProductHandle handle;
+  Status resolved = Resolve(product, &handle);
+  if (!resolved.ok()) return resolved;
+  LockedSlot acquired = AcquireHandle(handle);
+  if (!acquired) return StaleHandleError();
+  const PricingSession& session = *acquired.session();
   out->product = session.product();
   out->engine_name = session.engine().name();
   out->pending = session.pending_count();
@@ -191,23 +403,25 @@ Status Broker::GetSessionInfo(std::string_view product, SessionInfo* out) const 
 }
 
 std::vector<std::string> Broker::Products() const {
-  std::shared_lock dir(dir_mu_);
+  const Directory* dir = directory_.Load();
   std::vector<std::string> names;
-  names.reserve(index_.size());
-  for (const auto& [name, index] : index_) names.push_back(name);
+  names.reserve(dir->by_name.size());
+  for (const auto& [name, handle] : dir->by_name) names.push_back(name);
+  // The snapshot map is unordered; keep the public listing deterministic.
+  std::sort(names.begin(), names.end());
   return names;
 }
 
 size_t Broker::session_count() const {
-  std::shared_lock dir(dir_mu_);
-  return index_.size();
+  return directory_.Load()->by_name.size();
 }
 
 const PricingEngine* Broker::FindEngine(std::string_view product) const {
-  std::shared_lock dir(dir_mu_);
-  size_t index;
-  if (!FindIndexLocked(product, &index)) return nullptr;
-  return &sessions_[index]->engine();
+  ProductHandle handle;
+  if (!Resolve(product, &handle).ok()) return nullptr;
+  LockedSlot acquired = AcquireHandle(handle);
+  if (!acquired) return nullptr;
+  return &acquired.session()->engine();
 }
 
 }  // namespace pdm::broker

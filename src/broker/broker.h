@@ -1,52 +1,78 @@
 #ifndef PDM_BROKER_BROKER_H_
 #define PDM_BROKER_BROKER_H_
 
+#include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "broker/session.h"
+#include "common/concurrency.h"
 #include "common/status.h"
 #include "scenario/mechanism_registry.h"
 #include "scenario/scenario_spec.h"
 
 /// \file
 /// The serving front end: one `Broker` owns many named `PricingSession`s —
-/// one per data product — behind a shard of striped locks (DESIGN.md §9).
+/// one per data product — behind a contention-free routing layer
+/// (DESIGN.md §9).
 ///
 /// This is the production-facing redesign of the public surface: where the
 /// simulation layers expose "one engine in a loop", the broker exposes a
 /// concurrency-safe request/feedback API in the style of an exchange front
-/// end. Requests name their product; quotes carry ticket ids whose high bits
-/// route feedback back to the owning session without any global ticket
-/// table; feedback may be delayed and interleaved across products. Misuse
-/// (unknown product, duplicate/unknown ticket, dimension mismatch) returns a
-/// `pdm::Status` — the broker never aborts on client input.
+/// end. Requests name their product (or carry a resolved `ProductHandle`);
+/// quotes carry ticket ids whose high bits route feedback back to the owning
+/// session without any global ticket table; feedback may be delayed and
+/// interleaved across products. Misuse (unknown product, stale handle,
+/// duplicate/unknown ticket, dimension mismatch) returns a `pdm::Status` —
+/// the broker never aborts on client input.
 ///
-/// Concurrency model: the product directory is guarded by a shared mutex
-/// (shared for request traffic, exclusive only while opening/closing
-/// sessions); session state is guarded by striped per-shard mutexes, so
-/// traffic on different products proceeds in parallel up to the stripe
-/// count. Steady-state PostPrice/Observe round trips perform zero heap
-/// allocations (tests/allocation_test.cc); `bench/bench_broker_throughput`
-/// tracks the multi-threaded round-trip rate.
+/// Concurrency model (full treatment in DESIGN.md §9): the product directory
+/// is an immutable snapshot published through one atomic pointer
+/// (`common/concurrency.h`), so request traffic performs *zero* atomic
+/// read-modify-writes on shared state — a plain acquire load finds the
+/// session, and the only lock taken is that session's own cache-line-padded
+/// mutex. Sessions live in a grow-only slab (slots are tombstoned on close,
+/// never reused), which is what makes `ProductHandle`s and ticket bases
+/// stable for the broker's life. Steady-state PostPrice/Observe round trips
+/// perform zero heap allocations (tests/allocation_test.cc);
+/// `bench/bench_broker_throughput` and `bench/bench_broker_scaling` track
+/// the multi-threaded round-trip rate and its scaling curve.
 
 namespace pdm::broker {
 
 struct BrokerConfig {
-  /// Lock stripes sessions are distributed over. More stripes = more
-  /// products served truly concurrently; sessions map to stripes by index
-  /// modulo this count.
+  /// Retired (PR 5): sessions no longer share striped locks — every session
+  /// owns a cache-line-padded mutex, so there is no stripe count to tune.
+  /// The field survives only so callers written against the PR 4 surface
+  /// keep compiling; its value is ignored (migration notes: DESIGN.md §9).
   int num_shards = 16;
 };
 
-/// One price request of the batched entry point.
+/// A resolved fast-path reference to one open product: slab index plus the
+/// slot's open-generation stamp. Steady-state clients `Resolve` once and
+/// skip the name hash on every subsequent request. Handles stay valid until
+/// the product is closed; a stale handle fails with NotFound (never UB —
+/// slots are never reused, so a retired handle can only miss). Handles are
+/// broker-specific; presenting one to a different Broker is misuse and gets
+/// NotFound at best.
+struct ProductHandle {
+  static constexpr uint32_t kInvalidIndex = 0xFFFFFFFFu;
+  /// Slab index of the session slot.
+  uint32_t index = kInvalidIndex;
+  /// The slot's state stamp observed at resolve time (odd = open).
+  uint32_t generation = 0;
+
+  bool valid() const { return index != kInvalidIndex; }
+  friend bool operator==(const ProductHandle&, const ProductHandle&) = default;
+};
+
+/// One price request of the name-keyed batched entry point.
 struct PriceRequest {
   /// Product (session) name.
   std::string_view product;
@@ -55,6 +81,20 @@ struct PriceRequest {
   std::span<const double> features;
   /// Reserve price q_t.
   double reserve = 0.0;
+};
+
+/// One price request of the handle-keyed batched entry point (the
+/// steady-state fast path: no string hashing anywhere).
+struct HandleRequest {
+  ProductHandle handle;
+  std::span<const double> features;
+  double reserve = 0.0;
+};
+
+/// One feedback item of the batched `Observes` entry point.
+struct FeedbackRequest {
+  uint64_t ticket = 0;
+  bool accepted = false;
 };
 
 /// Monitoring/test surface for one session.
@@ -70,9 +110,12 @@ struct SessionInfo {
 class Broker {
  public:
   explicit Broker(const BrokerConfig& config = {});
+  ~Broker();
 
   Broker(const Broker&) = delete;
   Broker& operator=(const Broker&) = delete;
+
+  // ------------------------------------------------------ control plane
 
   /// Opens a session serving `product` with a caller-built engine. Errors:
   /// InvalidArgument (empty name, null engine), FailedPrecondition
@@ -86,18 +129,35 @@ class Broker {
   Status OpenSession(std::string product, const scenario::ScenarioSpec& spec,
                      const scenario::WorkloadInfo& info);
 
-  /// Closes a session; its tickets become unroutable (Observe → NotFound).
+  /// Closes a session; its tickets and any resolved handles become
+  /// unroutable (→ NotFound). Reopening the same name later creates a fresh
+  /// slot — old handles stay dead.
   Status CloseSession(std::string_view product);
 
-  /// Prices one request, filling `*quote` (ticket, price, flags).
-  Status PostPrice(const PriceRequest& request, Quote* quote);
+  /// Resolves `product` to a fast-path handle (one immutable-map lookup).
+  /// Errors: NotFound (unknown product), InvalidArgument (null output).
+  Status Resolve(std::string_view product, ProductHandle* handle) const;
 
-  /// Batched round-trip entry point: prices `requests[i]` into `quotes[i]`.
-  /// Requests for different products may hit different lock stripes; the
-  /// batch is processed in order within each session. Individual request
-  /// failures do not abort the batch — each failed quote carries its status
-  /// code (and ticket 0) and the returned Status is the first failure.
-  /// Errors: InvalidArgument when the spans' sizes differ.
+  // ------------------------------------------------- request fast path
+
+  /// Prices one request against a resolved handle, filling `*quote`
+  /// (ticket, price, flags). Errors: NotFound (stale/closed/foreign
+  /// handle), plus the session-level statuses (dimension mismatch, ...).
+  Status PostPrice(ProductHandle handle, std::span<const double> features,
+                   double reserve, Quote* quote);
+
+  /// Handle-keyed batch: prices `requests[i]` into `quotes[i]`, grouping
+  /// the batch by session so each session's lock is taken once per batch
+  /// (not once per request). Within one session, requests are processed in
+  /// batch order. Individual request failures do not abort the batch — each
+  /// failed quote carries its status code (and ticket 0) and the returned
+  /// Status is the failure at the lowest batch position. Errors:
+  /// InvalidArgument when the spans' sizes differ.
+  Status PostPrices(std::span<const HandleRequest> requests, std::span<Quote> quotes);
+
+  /// Name-keyed wrappers over the handle path (one directory lookup per
+  /// distinct name run, then identical routing).
+  Status PostPrice(const PriceRequest& request, Quote* quote);
   Status PostPrices(std::span<const PriceRequest> requests, std::span<Quote> quotes);
 
   /// Routes accept/reject feedback to the ticket's session. Errors:
@@ -105,8 +165,21 @@ class Broker {
   /// ticket — duplicate feedback lands here).
   Status Observe(uint64_t ticket, bool accepted);
 
+  /// Batched feedback, grouped by owning session exactly like PostPrices
+  /// (one lock acquisition per session per batch, items in batch order
+  /// within a session). `codes`, when non-empty, must match `feedback` in
+  /// size and receives the per-item outcome; the returned Status is the
+  /// failure at the lowest batch position. Errors: InvalidArgument on a
+  /// size mismatch.
+  Status Observes(std::span<const FeedbackRequest> feedback,
+                  std::span<StatusCode> codes = {});
+
+  // ----------------------------------------------------- diagnostics
+
   /// Current knowledge-set bounds for a query (diagnostic surface).
   Status EstimateValue(std::string_view product, std::span<const double> features,
+                       ValueInterval* out) const;
+  Status EstimateValue(ProductHandle handle, std::span<const double> features,
                        ValueInterval* out) const;
 
   /// Captures the product's full resumable session state.
@@ -126,27 +199,73 @@ class Broker {
   const PricingEngine* FindEngine(std::string_view product) const;
 
  private:
-  struct Shard {
-    mutable std::mutex mu;
+  /// One slab slot: the per-session lock plus the session it guards, padded
+  /// to its own cache line so traffic on neighbouring sessions never
+  /// false-shares. `state` is the open-generation stamp (odd = open, even =
+  /// closed); it is bumped under `mu`, so holders of `mu` may read it
+  /// relaxed, while the lock-free pre-check uses acquire.
+  struct alignas(kCacheLineSize) SessionSlot {
+    std::atomic<uint32_t> state{0};
+    std::mutex mu;
+    /// Guarded by `mu` (+ a state check: non-null iff state is odd).
+    std::unique_ptr<PricingSession> session;
   };
 
-  /// Looks up a session index under a directory lock the caller holds.
-  /// Returns false when the product is unknown or closed.
-  bool FindIndexLocked(std::string_view product, size_t* index) const;
+  /// Transparent string hashing so hot name lookups take string_views.
+  struct StringViewHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
 
-  std::mutex& shard_for(size_t session_index) const {
-    return shards_[session_index % shards_.size()].mu;
-  }
+  /// The immutable directory snapshot: name → handle for resolution, plus
+  /// the grow-only slot view for index routing (tickets, handles). A new
+  /// snapshot is published on every open/close; readers see either the old
+  /// or the new one, both internally consistent.
+  struct Directory {
+    std::unordered_map<std::string, ProductHandle, StringViewHash, std::equal_to<>>
+        by_name;
+    std::vector<SessionSlot*> slots;
+  };
 
-  BrokerConfig config_;
-  mutable std::shared_mutex dir_mu_;
-  /// Product name → index into `sessions_`. Transparent comparator so hot
-  /// lookups take string_views without materializing a std::string.
-  std::map<std::string, size_t, std::less<>> index_;
-  /// Append-only (slots are nulled on close, never erased), so indices — and
-  /// the ticket bases derived from them — stay stable for the broker's life.
-  std::vector<std::unique_ptr<PricingSession>> sessions_;
-  std::vector<Shard> shards_;
+  /// Loads the current directory and validates `handle` against it without
+  /// locking. Returns the slot when the handle *may* be live (the caller
+  /// must re-check `state` under the slot lock), nullptr when certainly
+  /// stale/foreign.
+  SessionSlot* ProbeHandle(ProductHandle handle) const;
+
+  /// Maps a ticket to its owning slot (no liveness guarantee; same re-check
+  /// contract as ProbeHandle).
+  SessionSlot* ProbeTicket(uint64_t ticket, uint32_t* state_out) const;
+
+  /// A slot acquired through the full probe → lock → re-check protocol;
+  /// empty (`slot == nullptr`) when the target is stale or closed. Single
+  /// point of truth for the close-race guarantee: every read-side method
+  /// goes through Acquire*.
+  struct LockedSlot {
+    SessionSlot* slot = nullptr;
+    std::unique_lock<std::mutex> lock;
+    explicit operator bool() const { return slot != nullptr; }
+    PricingSession* session() const { return slot->session.get(); }
+  };
+  LockedSlot AcquireHandle(ProductHandle handle) const;
+  LockedSlot AcquireTicket(uint64_t ticket) const;
+
+  /// The grouped batch core behind both PostPrices overloads. `*error_index`
+  /// receives the batch position of the returned failure (`requests.size()`
+  /// when everything succeeded), letting the name-keyed wrapper merge
+  /// resolution failures by position.
+  Status PostPricesGrouped(std::span<const HandleRequest> requests,
+                           std::span<Quote> quotes, size_t* error_index);
+
+  /// Serializes directory mutations (open/close); never taken on the
+  /// request path. Session-state mutations (Restore, feedback) need only
+  /// the slot lock.
+  mutable std::mutex control_mu_;
+  /// Slot storage: grow-only, stable addresses, freed on destruction.
+  std::vector<std::unique_ptr<SessionSlot>> slot_storage_;
+  SnapshotPtr<Directory> directory_;
 };
 
 /// The ticket base a broker assigns to its i-th session (index+1 in the

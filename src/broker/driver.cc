@@ -1,9 +1,16 @@
 #include "broker/driver.h"
 
+#include <algorithm>
+#include <atomic>
 #include <memory>
+#include <string>
+#include <thread>
+#include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
+#include "common/memory.h"
 #include "common/timer.h"
 #include "market/regret_tracker.h"
 #include "market/round.h"
@@ -15,17 +22,34 @@ BrokerRunOutcome RunScenarioThroughBroker(const scenario::ScenarioSpec& spec,
                                           scenario::StreamFactory* factory,
                                           Broker* broker) {
   PDM_CHECK(factory != nullptr);
+  return RunScenarioThroughBroker(spec, factory->Prepare(spec), factory, broker);
+}
+
+namespace {
+
+/// Shared core of the Run* entry points: executes `spec` through a session
+/// opened under `product` (usually spec.name; the batch driver passes a
+/// uniquified name when specs collide).
+BrokerRunOutcome RunSpecOnBroker(const scenario::ScenarioSpec& spec,
+                                 const scenario::WorkloadInfo& info,
+                                 const std::string& product,
+                                 scenario::StreamFactory* factory, Broker* broker) {
+  PDM_CHECK(factory != nullptr);
   PDM_CHECK(broker != nullptr);
   PDM_CHECK(spec.rounds > 0);
 
-  scenario::WorkloadInfo info = factory->Prepare(spec);
   std::unique_ptr<PricingEngine> engine =
       scenario::MechanismRegistry::Builtin().Build(spec, info);
   // The stream may be adaptive (Lemma 8) and probe the engine's knowledge
   // set; keep a raw pointer across the ownership transfer to the broker.
   const PricingEngine* engine_view = engine.get();
-  Status opened = broker->OpenSession(spec.name, std::move(engine));
+  Status opened = broker->OpenSession(product, std::move(engine));
   PDM_CHECK(opened.ok());
+  // Steady-state clients resolve once and never touch the name directory
+  // again — the driver pins that fast path, not the string-keyed wrapper.
+  ProductHandle handle;
+  Status resolved = broker->Resolve(product, &handle);
+  PDM_CHECK(resolved.ok());
 
   // Same Rng lifecycle as SimulationRunner::RunJob: stream construction
   // consumes a prefix of Rng(sim_seed), the market loop the rest (§4).
@@ -42,8 +66,7 @@ BrokerRunOutcome RunScenarioThroughBroker(const scenario::ScenarioSpec& spec,
   PostedPrice posted;
   for (int64_t t = 0; t < spec.rounds; ++t) {
     stream->Next(&rng, &round);
-    Status status =
-        broker->PostPrice({spec.name, round.features, round.reserve}, &quote);
+    Status status = broker->PostPrice(handle, round.features, round.reserve, &quote);
     PDM_CHECK(status.ok());
     // Immediate feedback: resolve the sale and answer the ticket before the
     // next request — the regime bit-identical to RunMarket's alternation.
@@ -61,10 +84,81 @@ BrokerRunOutcome RunScenarioThroughBroker(const scenario::ScenarioSpec& spec,
   return outcome;
 }
 
+}  // namespace
+
+BrokerRunOutcome RunScenarioThroughBroker(const scenario::ScenarioSpec& spec,
+                                          const scenario::WorkloadInfo& info,
+                                          scenario::StreamFactory* factory,
+                                          Broker* broker) {
+  return RunSpecOnBroker(spec, info, spec.name, factory, broker);
+}
+
 BrokerRunOutcome RunScenarioThroughBroker(const scenario::ScenarioSpec& spec,
                                           scenario::StreamFactory* factory) {
   Broker broker;
   return RunScenarioThroughBroker(spec, factory, &broker);
+}
+
+std::vector<scenario::ScenarioOutcome> RunScenariosThroughBroker(
+    const std::vector<scenario::ScenarioSpec>& specs,
+    const scenario::RunOptions& options) {
+  scenario::StreamFactory factory;
+  std::vector<scenario::ScenarioOutcome> outcomes(specs.size());
+
+  // Serial phase: caps + shared workload preparation, exactly like
+  // ExperimentDriver::Run (the StreamFactory Prepare contract — Prepare is
+  // serial-only, so workers receive their WorkloadInfo instead of calling
+  // Prepare concurrently). Session names are uniquified up front: the
+  // shared broker needs distinct products, but ExperimentDriver accepts
+  // duplicate spec names, and parity with it is the contract.
+  std::vector<scenario::WorkloadInfo> infos(specs.size());
+  std::vector<std::string> session_names(specs.size());
+  std::unordered_set<std::string> used_names;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    outcomes[i].spec = scenario::CapRounds(specs[i], options.max_rounds);
+    infos[i] = factory.Prepare(outcomes[i].spec);
+    session_names[i] = outcomes[i].spec.name;
+    for (int suffix = 2; !used_names.insert(session_names[i]).second; ++suffix) {
+      session_names[i] = outcomes[i].spec.name + "#" + std::to_string(suffix);
+    }
+  }
+
+  // Fan out over one shared broker: every scenario opens its own product
+  // (OpenSession is the control plane, serialized internally), then prices
+  // through the contention-free handle path. Each outcome is a pure
+  // function of its spec, so worker count and scheduling cannot change it.
+  int num_threads = options.num_threads;
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 1;
+  }
+  num_threads = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(num_threads), specs.size()));
+  if (num_threads < 1) num_threads = 1;
+
+  Broker broker;
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    for (size_t i = next.fetch_add(1); i < specs.size(); i = next.fetch_add(1)) {
+      BrokerRunOutcome run = RunSpecOnBroker(outcomes[i].spec, infos[i],
+                                             session_names[i], &factory, &broker);
+      outcomes[i].engine_name = std::move(run.engine_name);
+      outcomes[i].result = std::move(run.result);
+    }
+  };
+  if (num_threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i) workers.emplace_back(worker);
+    for (std::thread& thread : workers) thread.join();
+  }
+
+  // Single-sample VmRSS semantics, as in ExperimentDriver (DESIGN.md §8).
+  int64_t rss = CurrentRssBytes();
+  for (scenario::ScenarioOutcome& outcome : outcomes) outcome.rss_bytes = rss;
+  return outcomes;
 }
 
 }  // namespace pdm::broker

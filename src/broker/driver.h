@@ -2,9 +2,11 @@
 #define PDM_BROKER_DRIVER_H_
 
 #include <string>
+#include <vector>
 
 #include "broker/broker.h"
 #include "market/simulator.h"
+#include "scenario/experiment.h"
 #include "scenario/scenario_spec.h"
 #include "scenario/stream_factory.h"
 
@@ -15,6 +17,11 @@
 /// answered before the next request) a broker run is bit-identical to
 /// `RunMarket` on the same spec — same prices, same cuts, same regret
 /// accounting (tests/broker_test.cc pins fig5a and table1 specs).
+///
+/// Both entry points drive the steady-state *handle* fast path
+/// (`Broker::Resolve` once, then handle-keyed `PostPrice`): the driver is
+/// how serving-parity runs are produced at scale, so it exercises the
+/// routing layer real clients should use.
 
 namespace pdm::broker {
 
@@ -34,9 +41,34 @@ BrokerRunOutcome RunScenarioThroughBroker(const scenario::ScenarioSpec& spec,
                                           scenario::StreamFactory* factory,
                                           Broker* broker);
 
+/// Worker-phase overload: takes the `WorkloadInfo` from a serial-phase
+/// `factory->Prepare(spec)` instead of calling Prepare itself, so it is
+/// safe to run concurrently with other workers' CreateStream calls
+/// (`StreamFactory`'s Prepare is serial-only; only CreateStream is
+/// thread-safe). The batch driver below uses this path.
+BrokerRunOutcome RunScenarioThroughBroker(const scenario::ScenarioSpec& spec,
+                                          const scenario::WorkloadInfo& info,
+                                          scenario::StreamFactory* factory,
+                                          Broker* broker);
+
 /// Convenience overload with a private single-session broker.
 BrokerRunOutcome RunScenarioThroughBroker(const scenario::ScenarioSpec& spec,
                                           scenario::StreamFactory* factory);
+
+/// The serving-side counterpart of `ExperimentDriver::Run`: executes every
+/// spec (after the `options.max_rounds` cap) through sessions on ONE shared
+/// broker — all products open concurrently, every worker thread on the
+/// handle fast path — and returns outcomes index-aligned with `specs`, in
+/// the same shape `WriteRunJson` consumes. Duplicate spec names are legal
+/// (as they are for ExperimentDriver); colliding sessions get uniquified
+/// internal product names. Workloads are prepared serially first (the
+/// StreamFactory contract), then scenarios fan out over
+/// `options.num_threads` workers (0 = hardware default, 1 = serial).
+/// Results are bit-identical to `ExperimentDriver::Run` on the same specs
+/// and to any worker count (`pdm_run --through_broker`).
+std::vector<scenario::ScenarioOutcome> RunScenariosThroughBroker(
+    const std::vector<scenario::ScenarioSpec>& specs,
+    const scenario::RunOptions& options);
 
 }  // namespace pdm::broker
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "broker/snapshot.h"
+#include "common/concurrency.h"
 #include "common/status.h"
 #include "pricing/engine_state.h"
 #include "pricing/pricing_engine.h"
@@ -31,8 +32,9 @@
 /// this is bit-identical to the classic alternating protocol — pinned
 /// against `RunMarket` in tests/broker_test.cc.
 ///
-/// A session is not internally synchronized; `Broker` wraps sessions in
-/// striped locks. Steady-state PostPrice/Observe round trips perform zero
+/// A session is not internally synchronized; `Broker` guards each session
+/// with its own cache-line-padded lock (DESIGN.md §9). Steady-state
+/// PostPrice/Observe round trips perform zero
 /// heap allocations (ticket slots, their direction buffers, and the feature
 /// bridge buffer are all recycled — tests/allocation_test.cc).
 
@@ -120,8 +122,11 @@ class PricingSession {
  private:
   /// One buffered quote awaiting feedback. Slots are recycled through
   /// `free_slots_`, so their cut contexts' direction buffers reach a steady
-  /// capacity and stop allocating.
-  struct TicketSlot {
+  /// capacity and stop allocating. Cache-line-padded: two sessions' ticket
+  /// tables are touched by different threads under different locks, and
+  /// padding keeps their entries (and the allocator blocks around them)
+  /// from ever sharing a line (DESIGN.md §9).
+  struct alignas(kCacheLineSize) TicketSlot {
     uint64_t ticket = 0;  ///< 0 = free
     /// Bumped on every issue from this slot (the ticket's low bits).
     uint32_t generation = 0;

@@ -32,8 +32,10 @@
 ///    `scenario::ExperimentDriver` (the engine behind `bench/pdm_run`) and
 ///    expandable into new grids with `scenario::Sweep`.
 ///  * `pdm::broker::Broker` — the serving front end: named multi-product
-///    sessions behind striped locks, ticketed delayed feedback, batched
-///    `PostPrices`, and session `Snapshot`/`Restore` (DESIGN.md §9).
+///    sessions behind a contention-free snapshot directory with a
+///    `ProductHandle` fast path, ticketed delayed feedback, session-grouped
+///    batched `PostPrices`/`Observes`, and session `Snapshot`/`Restore`
+///    (DESIGN.md §9).
 ///
 /// See README.md for a quickstart and the hot-path performance conventions,
 /// and DESIGN.md for the system inventory and the recorded deviations from

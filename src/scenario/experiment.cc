@@ -13,17 +13,7 @@ namespace pdm::scenario {
 ExperimentDriver::ExperimentDriver(const RunOptions& options) : options_(options) {}
 
 ScenarioSpec ExperimentDriver::Capped(const ScenarioSpec& spec) const {
-  ScenarioSpec capped = spec;
-  if (options_.max_rounds > 0 && capped.rounds > options_.max_rounds) {
-    capped.rounds = options_.max_rounds;
-    // Recorded workloads never need to outsize the capped horizon.
-    if (capped.linear.workload_rounds > 0) {
-      capped.linear.workload_rounds =
-          std::min(capped.linear.workload_rounds, capped.rounds);
-    }
-    if (capped.series_stride > capped.rounds) capped.series_stride = 0;
-  }
-  return capped;
+  return CapRounds(spec, options_.max_rounds);
 }
 
 std::vector<ScenarioOutcome> ExperimentDriver::Run(

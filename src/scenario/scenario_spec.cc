@@ -1,5 +1,7 @@
 #include "scenario/scenario_spec.h"
 
+#include <algorithm>
+
 #include "features/airbnb_features.h"
 #include "scenario/mechanism_registry.h"
 
@@ -83,6 +85,20 @@ std::string Validate(const ScenarioSpec& spec) {
       break;
   }
   return "";
+}
+
+ScenarioSpec CapRounds(const ScenarioSpec& spec, int64_t max_rounds) {
+  ScenarioSpec capped = spec;
+  if (max_rounds > 0 && capped.rounds > max_rounds) {
+    capped.rounds = max_rounds;
+    // Recorded workloads never need to outsize the capped horizon.
+    if (capped.linear.workload_rounds > 0) {
+      capped.linear.workload_rounds =
+          std::min(capped.linear.workload_rounds, capped.rounds);
+    }
+    if (capped.series_stride > capped.rounds) capped.series_stride = 0;
+  }
+  return capped;
 }
 
 }  // namespace pdm::scenario

@@ -157,6 +157,14 @@ struct ScenarioSpec {
 /// link/stream mismatch, non-positive horizon, ...).
 std::string Validate(const ScenarioSpec& spec);
 
+/// Shrinks `spec` to at most `max_rounds` rounds without changing its
+/// workload identity beyond what the horizon cap implies: recorded linear
+/// workloads never outsize the capped horizon, and a series stride larger
+/// than the horizon is dropped. `max_rounds <= 0` is a no-op. This is the
+/// one capping rule every driver shares (`ExperimentDriver::Capped`,
+/// `broker::RunScenariosThroughBroker`, the CI smoke grids).
+ScenarioSpec CapRounds(const ScenarioSpec& spec, int64_t max_rounds);
+
 }  // namespace pdm::scenario
 
 #endif  // PDM_SCENARIO_SCENARIO_SPEC_H_

@@ -10,9 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdlib>
 #include <memory>
 #include <new>
+#include <span>
 #include <vector>
 
 #include "broker/broker.h"
@@ -287,6 +289,74 @@ TEST(SteadyStateAllocations, BrokerTicketedRoundTrips) {
   EXPECT_EQ(after - before, 0)
       << (after - before) << " allocations in " << kMeasuredRounds
       << " steady-state broker round trips";
+}
+
+TEST(SteadyStateAllocations, BrokerHandlePathBatchedMixedProductRoundTrips) {
+  // The PR 5 fast path end to end: snapshot-directory probe (no string
+  // hashing), per-session lock, grouped batched PostPrices over a batch
+  // that interleaves TWO products, and grouped batched Observes. All of it
+  // — including the per-thread batch scratch and each session's ticket
+  // table — must reach steady-state capacity and stop allocating.
+  scenario::StreamFactory factory;
+  broker::Broker broker;
+  std::array<scenario::ScenarioSpec, 2> specs;
+  std::array<broker::ProductHandle, 2> handles;
+  std::array<std::unique_ptr<QueryStream>, 2> streams;
+  std::array<Rng, 2> rngs{Rng(21), Rng(22)};
+  const char* mechanisms[] = {"reserve+uncertainty", "reserve"};
+  for (int p = 0; p < 2; ++p) {
+    scenario::ScenarioSpec& spec = specs[p];
+    spec.name = std::string("alloc/broker/handle") + std::to_string(p);
+    spec.stream = scenario::StreamKind::kLinear;
+    spec.mechanism = mechanisms[p];
+    spec.n = 8;
+    spec.rounds = kWarmupRounds + kMeasuredRounds;
+    spec.delta = 0.01;
+    spec.linear.num_owners = 120;
+    spec.workload_seed = 31 + static_cast<uint64_t>(p);
+    scenario::WorkloadInfo info = factory.Prepare(spec);
+    ASSERT_TRUE(broker.OpenSession(spec.name, spec, info).ok());
+    ASSERT_TRUE(broker.Resolve(spec.name, &handles[p]).ok());
+    streams[p] = factory.CreateStream(spec, &rngs[p]);
+    streams[p]->BindEngine(broker.FindEngine(spec.name));
+  }
+
+  constexpr int kWindow = 8;  // 4 tickets per product per batch, interleaved
+  MarketRound rounds[kWindow];
+  broker::HandleRequest requests[kWindow];
+  broker::Quote quotes[kWindow];
+  broker::FeedbackRequest feedback[kWindow];
+  StatusCode codes[kWindow];
+  auto drive = [&](int iterations) {
+    for (int it = 0; it < iterations; ++it) {
+      for (int i = 0; i < kWindow; ++i) {
+        int p = i % 2;  // alternate products within the batch
+        streams[p]->Next(&rngs[p], &rounds[i]);
+        requests[i] = {handles[p], rounds[i].features, rounds[i].reserve};
+      }
+      ASSERT_TRUE(broker.PostPrices(std::span<const broker::HandleRequest>(requests),
+                                    std::span<broker::Quote>(quotes))
+                      .ok());
+      for (int i = 0; i < kWindow; ++i) {
+        feedback[i].ticket = quotes[i].ticket;
+        feedback[i].accepted =
+            !quotes[i].certain_no_sale && quotes[i].price <= rounds[i].value;
+      }
+      ASSERT_TRUE(broker
+                      .Observes(std::span<const broker::FeedbackRequest>(feedback),
+                                std::span<StatusCode>(codes))
+                      .ok());
+      for (StatusCode code : codes) ASSERT_EQ(code, StatusCode::kOk);
+    }
+  };
+
+  drive(kWarmupRounds / kWindow);
+  int64_t before = ThreadAllocationCount();
+  drive(kMeasuredRounds / kWindow);
+  int64_t after = ThreadAllocationCount();
+  EXPECT_EQ(after - before, 0)
+      << (after - before) << " allocations in " << kMeasuredRounds
+      << " steady-state handle-path broker round trips";
 }
 
 TEST(SteadyStateAllocations, RunMarketScratchReuse) {

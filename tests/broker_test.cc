@@ -602,6 +602,312 @@ TEST(BrokerSnapshot, RestoreRejectsMismatchedEngine) {
   EXPECT_EQ(broker.Restore(spec12.name, snap).code(), StatusCode::kFailedPrecondition);
 }
 
+// ------------------------------------------------------- handle fast path
+
+TEST(BrokerHandle, ResolveAndHandlePathMatchesNamePath) {
+  StreamFactory factory;
+  ScenarioSpec spec = LinearSpec("handle/match", 8, 3000, "reserve", 101);
+
+  Broker by_name, by_handle;
+  ASSERT_TRUE(by_name.OpenSession(spec.name, spec, factory.Prepare(spec)).ok());
+  ASSERT_TRUE(by_handle.OpenSession(spec.name, spec, factory.Prepare(spec)).ok());
+  ProductHandle handle;
+  ASSERT_TRUE(by_handle.Resolve(spec.name, &handle).ok());
+  ASSERT_TRUE(handle.valid());
+
+  Rng rng_a(spec.sim_seed), rng_b(spec.sim_seed);
+  std::unique_ptr<QueryStream> stream_a = factory.CreateStream(spec, &rng_a);
+  std::unique_ptr<QueryStream> stream_b = factory.CreateStream(spec, &rng_b);
+  MarketRound round_a, round_b;
+  for (int t = 0; t < 500; ++t) {
+    stream_a->Next(&rng_a, &round_a);
+    stream_b->Next(&rng_b, &round_b);
+    Quote quote_a, quote_b;
+    ASSERT_TRUE(
+        by_name.PostPrice({spec.name, round_a.features, round_a.reserve}, &quote_a)
+            .ok());
+    ASSERT_TRUE(
+        by_handle.PostPrice(handle, round_b.features, round_b.reserve, &quote_b).ok());
+    ASSERT_EQ(quote_a.price, quote_b.price);
+    ASSERT_EQ(quote_a.ticket, quote_b.ticket);
+    bool accepted = !quote_a.certain_no_sale && quote_a.price <= round_a.value;
+    ASSERT_TRUE(by_name.Observe(quote_a.ticket, accepted).ok());
+    ASSERT_TRUE(by_handle.Observe(quote_b.ticket, accepted).ok());
+  }
+
+  // The diagnostic observer routes identically too.
+  ValueInterval via_name, via_handle;
+  ASSERT_TRUE(by_name.EstimateValue(spec.name, round_a.features, &via_name).ok());
+  ASSERT_TRUE(by_handle.EstimateValue(handle, round_b.features, &via_handle).ok());
+  EXPECT_EQ(via_name.lower, via_handle.lower);
+  EXPECT_EQ(via_name.upper, via_handle.upper);
+}
+
+TEST(BrokerHandle, StaleHandleMisuseReturnsStatusInsteadOfAborting) {
+  StreamFactory factory;
+  ScenarioSpec spec = LinearSpec("handle/stale", 6, 2000, "reserve", 103);
+  Broker broker;
+  ASSERT_TRUE(broker.OpenSession(spec.name, spec, factory.Prepare(spec)).ok());
+
+  ProductHandle handle;
+  ASSERT_TRUE(broker.Resolve(spec.name, &handle).ok());
+  std::array<double, 6> x{1, 1, 1, 1, 1, 1};
+  Quote quote;
+  ASSERT_TRUE(broker.PostPrice(handle, x, 0.2, &quote).ok());
+  ASSERT_TRUE(broker.Observe(quote.ticket, true).ok());
+
+  // Closing kills the handle...
+  ASSERT_TRUE(broker.CloseSession(spec.name).ok());
+  Status stale = broker.PostPrice(handle, x, 0.2, &quote);
+  EXPECT_EQ(stale.code(), StatusCode::kNotFound);
+  EXPECT_EQ(quote.ticket, 0u);
+  EXPECT_EQ(quote.status, StatusCode::kNotFound);
+  EXPECT_EQ(broker.EstimateValue(handle, x, nullptr).code(), StatusCode::kNotFound);
+
+  // ...and reopening the same name revives the *product* but not the old
+  // handle: slots are never reused, so the stale handle stays dead forever.
+  ASSERT_TRUE(broker.OpenSession(spec.name, spec, factory.Prepare(spec)).ok());
+  EXPECT_EQ(broker.PostPrice(handle, x, 0.2, &quote).code(), StatusCode::kNotFound);
+  ProductHandle fresh;
+  ASSERT_TRUE(broker.Resolve(spec.name, &fresh).ok());
+  EXPECT_NE(fresh, handle);
+  EXPECT_TRUE(broker.PostPrice(fresh, x, 0.2, &quote).ok());
+  ASSERT_TRUE(broker.Observe(quote.ticket, false).ok());
+
+  // Default-constructed and out-of-range handles are plain NotFound.
+  EXPECT_EQ(broker.PostPrice(ProductHandle{}, x, 0.2, &quote).code(),
+            StatusCode::kNotFound);
+  ProductHandle forged;
+  forged.index = 12345;
+  forged.generation = 1;
+  EXPECT_EQ(broker.PostPrice(forged, x, 0.2, &quote).code(), StatusCode::kNotFound);
+
+  // Unknown product resolves to an invalid handle + NotFound.
+  ProductHandle unknown;
+  EXPECT_EQ(broker.Resolve("no/such/product", &unknown).code(), StatusCode::kNotFound);
+  EXPECT_FALSE(unknown.valid());
+}
+
+TEST(BrokerHandle, BatchedHandleAndFeedbackPathsMatchSingleRequests) {
+  StreamFactory factory;
+  ScenarioSpec spec_a = LinearSpec("hbatch/a", 8, 4000, "reserve", 105);
+  ScenarioSpec spec_b = LinearSpec("hbatch/b", 8, 4000, "reserve+uncertainty", 106);
+
+  Broker single, batched;
+  for (Broker* broker : {&single, &batched}) {
+    ASSERT_TRUE(broker->OpenSession(spec_a.name, spec_a, factory.Prepare(spec_a)).ok());
+    ASSERT_TRUE(broker->OpenSession(spec_b.name, spec_b, factory.Prepare(spec_b)).ok());
+  }
+  ProductHandle handle_a, handle_b;
+  ASSERT_TRUE(batched.Resolve(spec_a.name, &handle_a).ok());
+  ASSERT_TRUE(batched.Resolve(spec_b.name, &handle_b).ok());
+
+  Rng rng_a(spec_a.sim_seed), rng_b(spec_b.sim_seed);
+  std::unique_ptr<QueryStream> stream_a = factory.CreateStream(spec_a, &rng_a);
+  std::unique_ptr<QueryStream> stream_b = factory.CreateStream(spec_b, &rng_b);
+
+  constexpr int kBatches = 50;
+  constexpr int kPerProduct = 4;
+  std::vector<MarketRound> rounds(2 * kPerProduct);
+  std::vector<HandleRequest> requests(2 * kPerProduct);
+  std::vector<Quote> quotes(2 * kPerProduct);
+  std::vector<FeedbackRequest> feedback(2 * kPerProduct);
+  std::vector<StatusCode> codes(2 * kPerProduct);
+  for (int batch = 0; batch < kBatches; ++batch) {
+    // Interleave the two products inside one batch, so the grouped path
+    // must visit non-consecutive entries per session.
+    for (int i = 0; i < kPerProduct; ++i) {
+      stream_a->Next(&rng_a, &rounds[2 * i]);
+      stream_b->Next(&rng_b, &rounds[2 * i + 1]);
+      requests[2 * i] = {handle_a, rounds[2 * i].features, rounds[2 * i].reserve};
+      requests[2 * i + 1] = {handle_b, rounds[2 * i + 1].features,
+                             rounds[2 * i + 1].reserve};
+    }
+    std::vector<Quote> reference(2 * kPerProduct);
+    for (int i = 0; i < 2 * kPerProduct; ++i) {
+      ASSERT_TRUE(
+          single
+              .PostPrice({i % 2 == 0 ? spec_a.name : spec_b.name,
+                          rounds[i].features, rounds[i].reserve},
+                         &reference[i])
+              .ok());
+    }
+    ASSERT_TRUE(batched.PostPrices(std::span<const HandleRequest>(requests), quotes)
+                    .ok());
+    for (int i = 0; i < 2 * kPerProduct; ++i) {
+      EXPECT_EQ(quotes[i].price, reference[i].price);
+      EXPECT_EQ(quotes[i].ticket, reference[i].ticket);
+      bool accepted =
+          !reference[i].certain_no_sale && reference[i].price <= rounds[i].value;
+      ASSERT_TRUE(single.Observe(reference[i].ticket, accepted).ok());
+      feedback[i] = {quotes[i].ticket, accepted};
+    }
+    ASSERT_TRUE(batched.Observes(feedback, codes).ok());
+    for (StatusCode code : codes) ASSERT_EQ(code, StatusCode::kOk);
+  }
+
+  for (const std::string& product : {spec_a.name, spec_b.name}) {
+    SessionSnapshot snap_single, snap_batched;
+    ASSERT_TRUE(single.Snapshot(product, &snap_single).ok());
+    ASSERT_TRUE(batched.Snapshot(product, &snap_batched).ok());
+    EXPECT_EQ(EncodeSessionSnapshot(snap_single), EncodeSessionSnapshot(snap_batched))
+        << product;
+  }
+
+  // Per-item codes surface failures without aborting the batch: replaying
+  // the last feedback batch hits only already-resolved tickets.
+  Status replay = batched.Observes(feedback, codes);
+  EXPECT_EQ(replay.code(), StatusCode::kNotFound);
+  for (StatusCode code : codes) EXPECT_EQ(code, StatusCode::kNotFound);
+}
+
+TEST(Broker, BatchedFirstErrorIsLowestBatchPosition) {
+  // The batch Status contract: groups execute in leader order, but the
+  // returned Status is the failure at the lowest batch *position* — whether
+  // it came from name resolution or the session level.
+  StreamFactory factory;
+  ScenarioSpec spec = LinearSpec("batcherr/a", 6, 2000, "reserve", 121);
+  Broker broker;
+  ASSERT_TRUE(broker.OpenSession(spec.name, spec, factory.Prepare(spec)).ok());
+
+  std::array<double, 6> x{0.2, 0.4, 0.1, 0.3, 0.5, 0.2};
+  std::array<double, 3> short_x{1, 1, 1};
+  std::vector<Quote> quotes(2);
+
+  // Session-level failure at position 0 beats a resolve failure at 1.
+  std::vector<PriceRequest> requests = {{spec.name, short_x, 0.1},
+                                        {"no/such/product", x, 0.1}};
+  Status status = broker.PostPrices(requests, quotes);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(quotes[0].status, StatusCode::kInvalidArgument);
+  EXPECT_EQ(quotes[1].status, StatusCode::kNotFound);
+
+  // Swapped, the resolve failure wins and keeps its product-naming message.
+  requests = {{"no/such/product", x, 0.1}, {spec.name, short_x, 0.1}};
+  status = broker.PostPrices(requests, quotes);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.message().find("no/such/product"), std::string::npos);
+}
+
+TEST(Broker, ConcurrentDirectoryMutationUnderLoad) {
+  // The tentpole property of the snapshot directory: AddProduct/
+  // RemoveProduct (control plane) racing PostPrice/Observe on *other*
+  // products must never block, corrupt, or leak into them. Two stable
+  // products take traffic (one via names, one via a pre-resolved handle)
+  // while a mutator thread churns open/close on short-lived products and
+  // occasionally quotes them. Run under TSan in CI.
+  constexpr int64_t kRoundsPerWorker = 4000;
+  constexpr int kChurnIterations = 250;
+  StreamFactory factory;
+  Broker broker;
+
+  ScenarioSpec stable_a = LinearSpec("churn/stable-a", 6, kRoundsPerWorker, "reserve", 111);
+  ScenarioSpec stable_b =
+      LinearSpec("churn/stable-b", 6, kRoundsPerWorker, "reserve+uncertainty", 112);
+  ScenarioSpec churn = LinearSpec("churn/ephemeral", 6, 2000, "reserve", 113);
+  ASSERT_TRUE(broker.OpenSession(stable_a.name, stable_a, factory.Prepare(stable_a)).ok());
+  ASSERT_TRUE(broker.OpenSession(stable_b.name, stable_b, factory.Prepare(stable_b)).ok());
+  // Serial phase: the mutator reuses this info, so Prepare never races the
+  // workers' CreateStream calls.
+  WorkloadInfo churn_info = factory.Prepare(churn);
+
+  auto worker = [&](const ScenarioSpec& spec, bool use_handle) {
+    Rng rng(spec.sim_seed);
+    std::unique_ptr<QueryStream> stream = factory.CreateStream(spec, &rng);
+    ProductHandle handle;
+    if (use_handle) PDM_CHECK(broker.Resolve(spec.name, &handle).ok());
+    MarketRound round;
+    Quote quote;
+    for (int64_t t = 0; t < kRoundsPerWorker; ++t) {
+      stream->Next(&rng, &round);
+      Status status =
+          use_handle
+              ? broker.PostPrice(handle, round.features, round.reserve, &quote)
+              : broker.PostPrice({spec.name, round.features, round.reserve}, &quote);
+      PDM_CHECK(status.ok());
+      PDM_CHECK(broker
+                    .Observe(quote.ticket,
+                             !quote.certain_no_sale && quote.price <= round.value)
+                    .ok());
+    }
+  };
+
+  std::thread thread_a(worker, stable_a, /*use_handle=*/false);
+  std::thread thread_b(worker, stable_b, /*use_handle=*/true);
+  std::thread mutator([&] {
+    std::array<double, 6> x{0.2, 0.4, 0.1, 0.3, 0.5, 0.2};
+    for (int i = 0; i < kChurnIterations; ++i) {
+      PDM_CHECK(broker.OpenSession(churn.name, churn, churn_info).ok());
+      ProductHandle handle;
+      PDM_CHECK(broker.Resolve(churn.name, &handle).ok());
+      Quote quote;
+      Status status = broker.PostPrice(handle, x, 0.1, &quote);
+      PDM_CHECK(status.ok());
+      PDM_CHECK(broker.Observe(quote.ticket, false).ok());
+      PDM_CHECK(broker.CloseSession(churn.name).ok());
+      // A racer may legally see either world; what it must never see is a
+      // crash, a deadlock, or traffic bleeding into another product.
+      status = broker.PostPrice(handle, x, 0.1, &quote);
+      PDM_CHECK(status.code() == StatusCode::kNotFound);
+    }
+  });
+  thread_a.join();
+  thread_b.join();
+  mutator.join();
+
+  SessionInfo info;
+  for (const ScenarioSpec* spec : {&stable_a, &stable_b}) {
+    ASSERT_TRUE(broker.GetSessionInfo(spec->name, &info).ok());
+    EXPECT_EQ(info.quotes_issued, kRoundsPerWorker) << spec->name;
+    EXPECT_EQ(info.feedback_received, kRoundsPerWorker) << spec->name;
+    EXPECT_EQ(info.pending, 0) << spec->name;
+    EXPECT_EQ(info.counters.rounds, kRoundsPerWorker) << spec->name;
+  }
+  // The churn product ended closed; its name is gone from the directory.
+  EXPECT_EQ(broker.GetSessionInfo(churn.name, &info).code(), StatusCode::kNotFound);
+  EXPECT_EQ(broker.session_count(), 2u);
+}
+
+// ------------------------------------------- batch driver (serving parity)
+
+TEST(BrokerDriver, BatchRunThroughBrokerMatchesExperimentDriver) {
+  // RunScenariosThroughBroker is the serving-side ExperimentDriver::Run:
+  // same specs, one shared broker, handle fast path, bit-identical results
+  // at any worker count.
+  const ScenarioRegistry& registry = ScenarioRegistry::PaperExhibits();
+  std::vector<ScenarioSpec> specs;
+  for (const ScenarioSpec& spec : registry.Match("fig5a")) specs.push_back(spec);
+  ASSERT_EQ(specs.size(), 4u);
+
+  scenario::RunOptions options;
+  options.max_rounds = 1200;
+  options.num_threads = 1;
+  scenario::ExperimentDriver driver(options);
+  std::vector<scenario::ScenarioOutcome> direct = driver.Run(specs);
+  std::vector<scenario::ScenarioOutcome> serial = RunScenariosThroughBroker(specs, options);
+  options.num_threads = 4;
+  std::vector<scenario::ScenarioOutcome> threaded =
+      RunScenariosThroughBroker(specs, options);
+
+  ASSERT_EQ(direct.size(), serial.size());
+  ASSERT_EQ(direct.size(), threaded.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    for (const std::vector<scenario::ScenarioOutcome>* outcomes : {&serial, &threaded}) {
+      const scenario::ScenarioOutcome& broker_outcome = (*outcomes)[i];
+      EXPECT_EQ(broker_outcome.spec.name, direct[i].spec.name);
+      EXPECT_EQ(broker_outcome.engine_name, direct[i].engine_name);
+      EXPECT_EQ(broker_outcome.result.tracker.cumulative_regret(),
+                direct[i].result.tracker.cumulative_regret())
+          << direct[i].spec.name;
+      EXPECT_EQ(broker_outcome.result.tracker.sales(), direct[i].result.tracker.sales())
+          << direct[i].spec.name;
+      EXPECT_EQ(broker_outcome.result.engine_counters.cuts_applied,
+                direct[i].result.engine_counters.cuts_applied)
+          << direct[i].spec.name;
+    }
+  }
+}
+
 // ---------------------------------------------------- generalized wrapper
 
 TEST(BrokerSession, LinkRangeSkipsFlowThroughTickets) {

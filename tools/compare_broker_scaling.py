@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Tolerance-based comparison of two pdm.bench_broker.v2 documents.
+
+Usage:
+    compare_broker_scaling.py BASELINE CURRENT [--tolerance=0.25]
+                              [--metric=aggregate_rounds_per_sec]
+
+Joins the two documents on each series row's "series" key and fails (exit 1)
+when CURRENT's metric falls more than TOLERANCE below BASELINE's for any
+series, naming every regressed series with both rates and the shortfall.
+Improvements and new series never fail; a series present in BASELINE but
+missing from CURRENT fails (a silently dropped regime is a regression of the
+harness itself).
+
+Benchmark rates are hardware-dependent, so absolute comparison is only
+meaningful between documents produced on the same machine class. The v2
+document records `hardware_concurrency`; when baseline and current disagree
+on it, the script prints a prominent notice and exits 0 without comparing
+(pass --ignore-hardware-mismatch to force the comparison anyway). To arm
+the CI gate, refresh the committed baseline from a runner-produced artifact
+(`BENCH_broker_scaling.ci.json`) rather than a dev-box run — see README
+"Performance".
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "pdm.bench_broker.v2"
+
+
+def load_doc(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fp:
+            doc = json.load(fp)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"compare_broker_scaling: cannot read {path}: {err}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(
+            f"compare_broker_scaling: {path} has schema "
+            f"{doc.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    rows = {}
+    for row in doc.get("series", []):
+        name = row.get("series")
+        if not name:
+            sys.exit(f"compare_broker_scaling: {path} has a series row without a name")
+        if name in rows:
+            sys.exit(f"compare_broker_scaling: {path} repeats series {name!r}")
+        rows[name] = row
+    if not rows:
+        sys.exit(f"compare_broker_scaling: {path} contains no series rows")
+    return doc, rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly measured JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression per series (default 0.25)",
+    )
+    parser.add_argument(
+        "--metric",
+        default="aggregate_rounds_per_sec",
+        help="series field to compare (default aggregate_rounds_per_sec)",
+    )
+    parser.add_argument(
+        "--ignore-hardware-mismatch",
+        action="store_true",
+        help="compare even when the documents report different "
+        "hardware_concurrency (absolute rates are NOT comparable across "
+        "machine classes; expect noise)",
+    )
+    args = parser.parse_args()
+    if not 0.0 <= args.tolerance < 1.0:
+        sys.exit("compare_broker_scaling: --tolerance must be in [0, 1)")
+
+    base_doc, baseline = load_doc(args.baseline)
+    cur_doc, current = load_doc(args.current)
+
+    base_hw = base_doc.get("hardware_concurrency")
+    cur_hw = cur_doc.get("hardware_concurrency")
+    if (
+        base_hw is not None
+        and cur_hw is not None
+        and base_hw != cur_hw
+        and not args.ignore_hardware_mismatch
+    ):
+        print(
+            f"SKIPPED: baseline was recorded with hardware_concurrency={base_hw}, "
+            f"current has {cur_hw} — absolute rates are not comparable across "
+            "machine classes, so no gate was applied.\n"
+            "To arm the gate, refresh the committed baseline from a run on this "
+            "machine class (e.g. commit CI's BENCH_broker_scaling.ci.json "
+            "artifact as BENCH_broker_scaling.json — README 'Performance'), or "
+            "pass --ignore-hardware-mismatch to force the comparison."
+        )
+        return 0
+
+    failures = []
+    improvements = 0
+    for name in sorted(baseline):
+        base_row = baseline[name]
+        if name not in current:
+            failures.append(f"  {name}: present in baseline but missing from current")
+            continue
+        base = base_row.get(args.metric)
+        cur = current[name].get(args.metric)
+        if base is None or cur is None:
+            failures.append(f"  {name}: metric {args.metric!r} missing from a document")
+            continue
+        if base <= 0:
+            continue
+        ratio = cur / base
+        if ratio < 1.0 - args.tolerance:
+            failures.append(
+                f"  {name}: {args.metric} regressed {100 * (1 - ratio):.1f}% "
+                f"(baseline {base:,.0f} -> current {cur:,.0f}, "
+                f"tolerance {100 * args.tolerance:.0f}%)"
+            )
+        elif ratio > 1.0:
+            improvements += 1
+
+    new_series = sorted(set(current) - set(baseline))
+    if new_series:
+        print(f"note: {len(new_series)} series not in baseline: {', '.join(new_series)}")
+
+    if failures:
+        print(
+            f"FAIL: {len(failures)} of {len(baseline)} series regressed beyond "
+            f"{100 * args.tolerance:.0f}% ({args.baseline} -> {args.current}):"
+        )
+        print("\n".join(failures))
+        print(
+            "If the slowdown is expected, refresh the committed baseline "
+            "(README 'Performance')."
+        )
+        return 1
+    print(
+        f"OK: {len(baseline)} series within {100 * args.tolerance:.0f}% of baseline "
+        f"({improvements} improved)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
