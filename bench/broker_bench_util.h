@@ -48,6 +48,59 @@ struct ProductWorkload {
   std::vector<MarketRound> recorded;
 };
 
+/// The spec of the i-th bench product — the single source of truth for the
+/// product name, seeds, and engine variant. The TCP server binary and the
+/// load generator both build products from this, which is what lets a
+/// loadgen reconstruct the server's product names and query rings from the
+/// shared (setup, prefix) parameters without any control-plane wire API.
+inline scenario::ScenarioSpec ProductSpec(int64_t i, const ProductSetup& setup,
+                                          const std::string& name_prefix) {
+  scenario::ScenarioSpec spec;
+  spec.mechanism = kVariants[i % 4];
+  spec.name = name_prefix + std::to_string(i) + "/" + spec.mechanism +
+              "/n=" + std::to_string(setup.dim);
+  spec.family = "broker-bench";
+  spec.stream = scenario::StreamKind::kLinear;
+  spec.n = static_cast<int>(setup.dim);
+  spec.rounds = setup.rounds;
+  spec.delta = setup.delta;
+  spec.linear.num_owners = static_cast<int>(setup.num_owners);
+  spec.linear.workload_rounds = setup.workload_rounds;
+  spec.workload_seed = setup.seed + static_cast<uint64_t>(i);
+  spec.sim_seed = 99 + static_cast<uint64_t>(i);
+  return spec;
+}
+
+/// Records the i-th product's precomputed query ring (no broker involved).
+inline ProductWorkload RecordWorkload(scenario::StreamFactory* factory, int64_t i,
+                                      const ProductSetup& setup,
+                                      const std::string& name_prefix) {
+  scenario::ScenarioSpec spec = ProductSpec(i, setup, name_prefix);
+  ProductWorkload product;
+  product.name = spec.name;
+  product.variant = spec.mechanism;
+  (void)factory->Prepare(spec);  // ensure the shared workload exists (cached)
+  Rng rng(spec.sim_seed);
+  std::unique_ptr<QueryStream> stream = factory->CreateStream(spec, &rng);
+  product.recorded.resize(static_cast<size_t>(setup.workload_rounds));
+  for (MarketRound& round : product.recorded) stream->Next(&rng, &round);
+  return product;
+}
+
+/// Client-side view: the query rings alone, for a loadgen talking to a
+/// remote broker that opened the same (setup, prefix) products.
+inline std::vector<ProductWorkload> BuildWorkloads(scenario::StreamFactory* factory,
+                                                   int64_t count,
+                                                   const ProductSetup& setup,
+                                                   const std::string& name_prefix) {
+  std::vector<ProductWorkload> products;
+  products.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    products.push_back(RecordWorkload(factory, i, setup, name_prefix));
+  }
+  return products;
+}
+
 /// Opens `count` products on `broker` (each with its own precomputed linear
 /// workload and registry-built engine) and records their query sequences.
 /// Exits the process on setup failure — this is bench scaffolding.
@@ -58,33 +111,15 @@ inline std::vector<ProductWorkload> OpenProducts(scenario::StreamFactory* factor
                                                  const std::string& name_prefix) {
   std::vector<ProductWorkload> products(static_cast<size_t>(count));
   for (int64_t i = 0; i < count; ++i) {
-    scenario::ScenarioSpec spec;
-    ProductWorkload& product = products[static_cast<size_t>(i)];
-    product.variant = kVariants[i % 4];
-    spec.name = name_prefix + std::to_string(i) + "/" + product.variant +
-                "/n=" + std::to_string(setup.dim);
-    spec.family = "broker-bench";
-    spec.stream = scenario::StreamKind::kLinear;
-    spec.mechanism = product.variant;
-    spec.n = static_cast<int>(setup.dim);
-    spec.rounds = setup.rounds;
-    spec.delta = setup.delta;
-    spec.linear.num_owners = static_cast<int>(setup.num_owners);
-    spec.linear.workload_rounds = setup.workload_rounds;
-    spec.workload_seed = setup.seed + static_cast<uint64_t>(i);
-    spec.sim_seed = 99 + static_cast<uint64_t>(i);
-    product.name = spec.name;
-
+    scenario::ScenarioSpec spec = ProductSpec(i, setup, name_prefix);
     scenario::WorkloadInfo info = factory->Prepare(spec);
     Status opened = broker->OpenSession(spec.name, spec, info);
     if (!opened.ok()) {
       std::fprintf(stderr, "OpenSession: %s\n", opened.ToString().c_str());
       std::exit(1);
     }
-    Rng rng(spec.sim_seed);
-    std::unique_ptr<QueryStream> stream = factory->CreateStream(spec, &rng);
-    product.recorded.resize(static_cast<size_t>(setup.workload_rounds));
-    for (MarketRound& round : product.recorded) stream->Next(&rng, &round);
+    products[static_cast<size_t>(i)] =
+        RecordWorkload(factory, i, setup, name_prefix);
   }
   return products;
 }

@@ -1,0 +1,97 @@
+// Standalone `pdm.wire.v1` TCP server: opens a fleet of bench products on a
+// Broker and serves them until SIGINT/SIGTERM (or --max_seconds). The
+// products are the deterministic (setup, prefix) fleet from
+// broker_bench_util, so a `loadgen` started with the same --products/--dim/
+// --seed flags reconstructs the product names and query rings on its own —
+// no control-plane protocol needed (DESIGN.md §10).
+//
+//   pdm_serve                          # ephemeral port, printed on stdout
+//   pdm_serve --port=7411 --products=4
+//   pdm_serve --max_seconds=60         # CI smoke: self-terminating
+//
+// Prints exactly one "LISTENING <port>" line to stdout once ready (scripts
+// scrape it to find the ephemeral port).
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "broker_bench_util.h"
+#include "common/flags.h"
+#include "server/server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true, std::memory_order_release); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int64_t port = 0;
+  int64_t products = 2;
+  int64_t max_seconds = 0;
+  pdm::broker_bench::ProductSetup setup;
+  pdm::FlagSet flags("pdm_serve");
+  flags.AddString("host", &host, "IPv4 literal to bind");
+  flags.AddInt64("port", &port, "TCP port (0 = ephemeral)");
+  flags.AddInt64("products", &products, "bench products to open");
+  flags.AddInt64("dim", &setup.dim, "feature dimension n of every product");
+  flags.AddInt64("workload_rounds", &setup.workload_rounds,
+                 "distinct precomputed queries per product");
+  flags.AddInt64("owners", &setup.num_owners, "data owners behind each workload");
+  flags.AddInt64("rounds", &setup.rounds, "spec horizon (engine schedule input)");
+  flags.AddDouble("delta", &setup.delta,
+                  "uncertainty buffer for the *+uncertainty variants");
+  flags.AddUint64("seed", &setup.seed, "base workload seed");
+  flags.AddInt64("max_seconds", &max_seconds,
+                 "self-terminate after this many seconds (0 = run until signal)");
+  if (!flags.Parse(argc, argv)) return flags.help_requested() ? 0 : 1;
+  if (port < 0 || port > 65535 || products < 1) {
+    std::fprintf(stderr, "bad --port/--products\n");
+    return 1;
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  pdm::scenario::StreamFactory factory;
+  pdm::broker::Broker broker;
+  pdm::broker_bench::OpenProducts(&factory, &broker, products, setup, "serve/");
+
+  pdm::server::ServerConfig config;
+  config.host = host;
+  config.port = static_cast<uint16_t>(port);
+  pdm::server::TcpServer server(&broker, config);
+  pdm::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "Start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("LISTENING %u\n", server.port());
+  std::fflush(stdout);
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(max_seconds > 0 ? max_seconds : 0);
+  while (!g_stop.load(std::memory_order_acquire)) {
+    if (max_seconds > 0 && std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  server.Stop();
+  pdm::server::ServerStats stats = server.stats();
+  std::printf("served %lld frames (%lld coalesced in %lld runs) over %lld "
+              "connections; %lld protocol errors\n",
+              static_cast<long long>(stats.frames_served),
+              static_cast<long long>(stats.frames_coalesced),
+              static_cast<long long>(stats.coalesced_runs),
+              static_cast<long long>(stats.connections_accepted),
+              static_cast<long long>(stats.protocol_errors));
+  return 0;
+}

@@ -204,6 +204,14 @@ class Broker {
   /// false-shares. `state` is the open-generation stamp (odd = open, even =
   /// closed); it is bumped under `mu`, so holders of `mu` may read it
   /// relaxed, while the lock-free pre-check uses acquire.
+  ///
+  /// Wrap-safety: slots are tombstoned on close and never reused, so one
+  /// slot's stamp only ever steps 0 → 1 (open) → 2 (closed) — the uint32_t
+  /// cannot wrap however hard open/close churns, because churn consumes
+  /// fresh slots, not fresh generations. The churn bound lives in the slab
+  /// instead: a broker refuses to open more than 2^24 - 2 sessions over its
+  /// lifetime (FailedPrecondition "session-slot space exhausted"), which is
+  /// also what keeps ticket bases unique forever (DESIGN.md §9).
   struct alignas(kCacheLineSize) SessionSlot {
     std::atomic<uint32_t> state{0};
     std::mutex mu;

@@ -47,18 +47,33 @@ Status PricingSession::PostPrice(std::span<const double> features, double reserv
   features_buf_.assign(features.begin(), features.end());
   PostedPrice posted = engine_->PostPrice(features_buf_, reserve);
 
-  size_t index;
-  if (!free_slots_.empty()) {
-    index = free_slots_.back();
+  // A slot whose generation has reached kGenMask is never reissued: bumping
+  // past the mask would wrap the generation back to a value a long-stale
+  // ticket may still carry, and that stale id would then alias a live quote
+  // (ABA). Observe retires such slots instead of freeing them; the pop loop
+  // below re-checks defensively (restored tables can carry arbitrary
+  // generations).
+  size_t index = slots_.size();
+  while (!free_slots_.empty()) {
+    size_t candidate = free_slots_.back();
     free_slots_.pop_back();
-  } else if (slots_.size() <= kSlotMask) {
-    index = slots_.size();
-    slots_.emplace_back();
-  } else {
-    quote->status = StatusCode::kFailedPrecondition;
-    return Status::FailedPrecondition(
-        "product '" + product_ + "': ticket-slot space exhausted (" +
-        std::to_string(slots_.size()) + " quotes outstanding)");
+    if (slots_[candidate].generation < kGenMask) {
+      index = candidate;
+      break;
+    }
+    ++slots_retired_;
+  }
+  if (index == slots_.size()) {
+    if (slots_.size() <= kSlotMask) {
+      slots_.emplace_back();
+    } else {
+      quote->status = StatusCode::kFailedPrecondition;
+      return Status::FailedPrecondition(
+          "product '" + product_ + "': ticket-slot space exhausted (" +
+          std::to_string(pending_count_) + " quotes outstanding, " +
+          std::to_string(slots_retired_) + " slots retired at the generation "
+          "bound)");
+    }
   }
   TicketSlot& slot = slots_[index];
   if (!engine_->DetachPending(&slot.cut)) {
@@ -69,8 +84,10 @@ Status PricingSession::PostPrice(std::span<const double> features, double reserv
   }
   // The slot index goes into the ticket's middle bits (O(1) feedback
   // routing); the bumped generation makes recycled slots reject duplicate
-  // or stale tickets.
-  slot.generation = (slot.generation + 1) & kGenMask;
+  // or stale tickets. No mask on the bump: the allocation above guarantees
+  // generation < kGenMask, so the increment saturates at kGenMask instead of
+  // ever wrapping to an already-issued value.
+  slot.generation = slot.generation + 1;
   slot.issued_at = static_cast<uint64_t>(quotes_issued_);
   slot.ticket = ticket_base_ | (static_cast<uint64_t>(index) << kGenBits) |
                 slot.generation;
@@ -99,7 +116,14 @@ Status PricingSession::Observe(uint64_t ticket, bool accepted) {
     engine_->ObserveDetached(slot.cut, accepted);
   }
   slot.ticket = 0;
-  free_slots_.push_back(index);
+  if (slot.generation < kGenMask) {
+    free_slots_.push_back(index);
+  } else {
+    // Generation saturated: retire the slot forever rather than wrap its
+    // generation into values old tickets may still carry (ABA; see the
+    // ticket-layout contract in session.h and DESIGN.md §9).
+    ++slots_retired_;
+  }
   --pending_count_;
   ++feedback_received_;
   return Status::Ok();
@@ -202,6 +226,7 @@ Status PricingSession::Restore(const SessionSnapshot& snapshot) {
   free_slots_.clear();
   has_attached_pending_ = false;
   pending_count_ = 0;
+  slots_retired_ = 0;
   // Pending tickets return to the slots their ids encode; issue-order
   // stamps restart at 0..n-1, which stay below every future stamp
   // (quotes_issued_ ≥ n).

@@ -65,6 +65,13 @@ class PricingSession {
   /// therefore O(1) end to end — broker → session from the high bits, session
   /// → slot from the middle bits — with the generation guarding against
   /// duplicate or stale tickets after a slot is recycled.
+  ///
+  /// The generation never wraps: a slot whose generation reaches `kGenMask`
+  /// is *retired* on resolution instead of returning to the free list
+  /// (wrapping would let a ticket issued 2^20 recycles ago alias a freshly
+  /// issued one — ABA). One slot therefore serves at most 2^20 - 1 tickets,
+  /// and a session at most ~2^40 over its lifetime, after which PostPrice
+  /// saturates with FailedPrecondition (bounds: DESIGN.md §9).
   static constexpr int kSlotBits = 20;
   static constexpr int kGenBits = 20;
   static constexpr uint64_t kSlotMask = (uint64_t{1} << kSlotBits) - 1;
@@ -104,6 +111,9 @@ class PricingSession {
   int64_t pending_count() const { return pending_count_; }
   int64_t quotes_issued() const { return quotes_issued_; }
   int64_t feedback_received() const { return feedback_received_; }
+  /// Ticket slots permanently retired at the generation bound (never
+  /// recycled again — the wrap-refusal path; monitoring/test surface).
+  int64_t retired_ticket_slots() const { return slots_retired_; }
 
   /// Captures the full resumable session state. Errors: Unimplemented (the
   /// engine has no snapshot support), FailedPrecondition (an engine without
@@ -150,6 +160,7 @@ class PricingSession {
   int64_t pending_count_ = 0;
   int64_t quotes_issued_ = 0;
   int64_t feedback_received_ = 0;
+  int64_t slots_retired_ = 0;
   /// Bridge buffer: span request → the Vector the engine API takes.
   Vector features_buf_;
   std::vector<TicketSlot> slots_;

@@ -1,0 +1,72 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace pdm {
+namespace {
+
+/// Buckets for magnitudes 2^kSubBucketBits .. 2^44 plus the exact range
+/// below kSubBuckets: one group of kSubBuckets per power of two.
+constexpr size_t kBucketCount =
+    (44 - LatencyHistogram::kSubBucketBits + 1) * LatencyHistogram::kSubBuckets;
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBucketCount, 0) {}
+
+size_t LatencyHistogram::BucketIndex(uint64_t nanos) {
+  if (nanos > kMaxValue) nanos = kMaxValue;
+  if (nanos < kSubBuckets) return static_cast<size_t>(nanos);
+  int exponent = std::bit_width(nanos) - 1;
+  uint64_t sub = (nanos >> (exponent - kSubBucketBits)) - kSubBuckets;
+  return static_cast<size_t>(exponent - kSubBucketBits + 1) * kSubBuckets +
+         static_cast<size_t>(sub);
+}
+
+uint64_t LatencyHistogram::BucketFloor(size_t index) {
+  size_t group = index >> kSubBucketBits;
+  uint64_t sub = index & (kSubBuckets - 1);
+  if (group == 0) return sub;
+  return (kSubBuckets + sub) << (group - 1);
+}
+
+void LatencyHistogram::Record(uint64_t nanos) {
+  ++buckets_[BucketIndex(nanos)];
+  if (count_ == 0 || nanos < min_) min_ = nanos;
+  if (nanos > max_) max_ = nanos;
+  sum_ += static_cast<double>(nanos);
+  ++count_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+uint64_t LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  // The smallest bucket whose cumulative count reaches ceil(q * count).
+  int64_t rank = static_cast<int64_t>(std::ceil(q * static_cast<double>(count_)));
+  rank = std::clamp<int64_t>(rank, 1, count_);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += static_cast<int64_t>(buckets_[i]);
+    if (cumulative >= rank) return BucketFloor(i);
+  }
+  return max_;
+}
+
+double LatencyHistogram::mean() const {
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+}  // namespace pdm

@@ -1,0 +1,67 @@
+#ifndef PDM_COMMON_HISTOGRAM_H_
+#define PDM_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Log-linear latency histogram for the serving benches (DESIGN.md §10).
+///
+/// `LatencyHistogram` records non-negative nanosecond values into buckets
+/// whose width grows with magnitude — 2^kSubBucketBits linear sub-buckets
+/// per power of two — so one fixed ~23 KiB array covers 1 ns to ~5 hours
+/// with a bounded relative error of 2^-kSubBucketBits (< 1.6 %) per sample.
+/// That is the right trade for round-trip latency tails: `Quantile(0.999)`
+/// needs resolution *proportional* to the value, and recording must be O(1)
+/// with no allocation (the serving bench records on its event loop).
+///
+/// Values are truncated to the bucket floor, so reported quantiles are
+/// conservative (never above the true sample quantile by more than one
+/// bucket width); `min`/`max` are tracked exactly.
+
+namespace pdm {
+
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per power of two; the relative resolution is
+  /// 2^-kSubBucketBits.
+  static constexpr int kSubBucketBits = 6;
+  static constexpr uint64_t kSubBuckets = uint64_t{1} << kSubBucketBits;
+  /// Largest distinguishable value (~5.2 hours in ns); larger samples clamp
+  /// into the top bucket.
+  static constexpr uint64_t kMaxValue = (uint64_t{1} << 44) - 1;
+
+  LatencyHistogram();
+
+  /// Records one sample (nanoseconds). O(1), allocation-free.
+  void Record(uint64_t nanos);
+
+  /// Folds `other`'s samples into this histogram.
+  void Merge(const LatencyHistogram& other);
+
+  /// The q-quantile (q in [0, 1]) as a nanosecond value: the floor of the
+  /// smallest bucket whose cumulative count reaches q * count. 0 when empty.
+  uint64_t Quantile(double q) const;
+
+  int64_t count() const { return count_; }
+  uint64_t min() const { return count_ > 0 ? min_ : 0; }
+  uint64_t max() const { return max_; }
+  /// Mean of the exact recorded values (the sum is kept exactly).
+  double mean() const;
+
+ private:
+  static size_t BucketIndex(uint64_t nanos);
+  /// Inclusive lower edge of bucket `index` (what Quantile reports).
+  static uint64_t BucketFloor(size_t index);
+
+  std::vector<uint64_t> buckets_;
+  int64_t count_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_COMMON_HISTOGRAM_H_

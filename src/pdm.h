@@ -14,6 +14,7 @@
 ///   market/                                                  (simulation layer)
 ///   scenario/                                                (declarative experiments)
 ///   broker/                                                  (serving front end)
+///   server/                                                  (wire protocol / TCP)
 ///
 /// Typical entry points:
 ///  * `pdm::EllipsoidPricingEngine` — the posted-price mechanism (n ≥ 2).
@@ -36,6 +37,10 @@
 ///    `ProductHandle` fast path, ticketed delayed feedback, session-grouped
 ///    batched `PostPrices`/`Observes`, and session `Snapshot`/`Restore`
 ///    (DESIGN.md §9).
+///  * `pdm::server::TcpServer` / `pdm::server::Client` — the broker on the
+///    wire: the `pdm.wire.v1` framed binary protocol over TCP, with
+///    pipelined-run coalescing into the batched broker paths and graceful
+///    drain (DESIGN.md §10).
 ///
 /// See README.md for a quickstart and the hot-path performance conventions,
 /// and DESIGN.md for the system inventory and the recorded deviations from
@@ -69,6 +74,9 @@
 #include "scenario/scenario_registry.h"
 #include "scenario/scenario_spec.h"
 #include "scenario/stream_factory.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/wire.h"
 
 namespace pdm {
 

@@ -1,0 +1,334 @@
+#include "server/client.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pdm::server {
+namespace {
+
+using pdm::broker::FeedbackRequest;
+using pdm::broker::HandleRequest;
+using pdm::broker::ProductHandle;
+using pdm::broker::Quote;
+
+void PutFeatures(WireWriter* w, std::span<const double> features) {
+  w->PutU32(static_cast<uint32_t>(features.size()));
+  for (double v : features) w->PutF64(v);
+}
+
+}  // namespace
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  Disconnect();
+  return ConnectTcp(host, port, &fd_);
+}
+
+void Client::Disconnect() {
+  fd_.Reset();
+  queued_.clear();
+  pending_.clear();
+}
+
+// ----------------------------------------------------------- pipelining
+
+uint64_t Client::QueuePostPrice(ProductHandle handle, std::span<const double> features,
+                                double reserve) {
+  uint64_t id = NextId();
+  WireWriter w(&queued_);
+  size_t frame = w.BeginFrame();
+  w.PutRequestHeader(Opcode::kPostPrice, id);
+  w.PutU32(handle.index);
+  w.PutU32(handle.generation);
+  w.PutF64(reserve);
+  PutFeatures(&w, features);
+  w.EndFrame(frame);
+  return id;
+}
+
+uint64_t Client::QueueObserve(uint64_t ticket, bool accepted) {
+  uint64_t id = NextId();
+  WireWriter w(&queued_);
+  size_t frame = w.BeginFrame();
+  w.PutRequestHeader(Opcode::kObserve, id);
+  w.PutU64(ticket);
+  w.PutU8(accepted ? 1 : 0);
+  w.EndFrame(frame);
+  return id;
+}
+
+uint64_t Client::QueuePing() {
+  uint64_t id = NextId();
+  WireWriter w(&queued_);
+  size_t frame = w.BeginFrame();
+  w.PutRequestHeader(Opcode::kPing, id);
+  w.EndFrame(frame);
+  return id;
+}
+
+Status Client::Flush() {
+  if (!fd_.valid()) return Status::FailedPrecondition("client not connected");
+  size_t sent = 0;
+  while (sent < queued_.size()) {
+    ssize_t n = ::send(fd_.get(), queued_.data() + sent, queued_.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    queued_.erase(0, sent);
+    return Status::FailedPrecondition(std::string("send: ") + std::strerror(errno));
+  }
+  queued_.clear();
+  return Status::Ok();
+}
+
+Status Client::ReadFrame(std::string* payload) {
+  for (;;) {
+    std::string_view view;
+    size_t next;
+    FrameResult r = NextFrame(pending_, 0, &view, &next);
+    if (r == FrameResult::kMalformed) {
+      return Status::FailedPrecondition("oversized response frame");
+    }
+    if (r == FrameResult::kFrame) {
+      payload->assign(view);
+      pending_.erase(0, next);
+      return Status::Ok();
+    }
+    char chunk[16 << 10];
+    ssize_t n = ::recv(fd_.get(), chunk, sizeof chunk, 0);
+    if (n > 0) {
+      pending_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::FailedPrecondition("connection closed by server");
+    if (errno == EINTR) continue;
+    return Status::FailedPrecondition(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+Status Client::ReadResponse(Response* out) {
+  if (!fd_.valid()) return Status::FailedPrecondition("client not connected");
+  std::string payload;
+  Status s = ReadFrame(&payload);
+  if (!s.ok()) return s;
+
+  WireReader r(payload);
+  uint8_t op_byte, code_byte;
+  if (!r.GetU8(&op_byte) || !r.GetU64(&out->id) || !r.GetU8(&code_byte)) {
+    return Status::FailedPrecondition("truncated response header");
+  }
+  out->op = static_cast<Opcode>(op_byte);
+  StatusCode code = StatusCodeFromWire(code_byte);
+  out->quotes.clear();
+  out->codes.clear();
+
+  auto decode_error = [] { return Status::FailedPrecondition("malformed response body"); };
+
+  // Batch ops always carry message + per-item results regardless of status.
+  if (out->op == Opcode::kPostPrices) {
+    std::string_view message;
+    uint32_t count;
+    if (!r.GetString(&message) || !r.GetU32(&count)) return decode_error();
+    out->status = code == StatusCode::kOk ? Status::Ok()
+                                          : Status(code, std::string(message));
+    out->quotes.resize(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      uint8_t flags, item_code;
+      if (!r.GetU64(&out->quotes[i].ticket) || !r.GetF64(&out->quotes[i].price) ||
+          !r.GetU8(&flags) || !r.GetU8(&item_code)) {
+        return decode_error();
+      }
+      out->quotes[i].exploratory = (flags & kQuoteExploratory) != 0;
+      out->quotes[i].certain_no_sale = (flags & kQuoteCertainNoSale) != 0;
+      out->quotes[i].status = StatusCodeFromWire(item_code);
+    }
+    return Status::Ok();
+  }
+  if (out->op == Opcode::kObserves) {
+    std::string_view message;
+    uint32_t count;
+    if (!r.GetString(&message) || !r.GetU32(&count)) return decode_error();
+    out->status = code == StatusCode::kOk ? Status::Ok()
+                                          : Status(code, std::string(message));
+    out->codes.resize(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      uint8_t item_code;
+      if (!r.GetU8(&item_code)) return decode_error();
+      out->codes[i] = StatusCodeFromWire(item_code);
+    }
+    return Status::Ok();
+  }
+
+  // Single ops: non-OK carries the message; OK carries the op body.
+  if (code != StatusCode::kOk) {
+    std::string_view message;
+    if (!r.GetString(&message)) return decode_error();
+    out->status = Status(code, std::string(message));
+    return Status::Ok();
+  }
+  out->status = Status::Ok();
+  switch (out->op) {
+    case Opcode::kPing:
+    case Opcode::kObserve:
+      return r.AtEnd() ? Status::Ok() : decode_error();
+    case Opcode::kResolve:
+      if (!r.GetU32(&out->handle.index) || !r.GetU32(&out->handle.generation)) {
+        return decode_error();
+      }
+      return Status::Ok();
+    case Opcode::kPostPrice: {
+      uint8_t flags;
+      if (!r.GetU64(&out->quote.ticket) || !r.GetF64(&out->quote.price) ||
+          !r.GetU8(&flags)) {
+        return decode_error();
+      }
+      out->quote.exploratory = (flags & kQuoteExploratory) != 0;
+      out->quote.certain_no_sale = (flags & kQuoteCertainNoSale) != 0;
+      out->quote.status = StatusCode::kOk;
+      return Status::Ok();
+    }
+    case Opcode::kEstimateValue:
+      if (!r.GetF64(&out->interval.lower) || !r.GetF64(&out->interval.upper)) {
+        return decode_error();
+      }
+      return Status::Ok();
+    default:
+      return decode_error();
+  }
+}
+
+// ----------------------------------------------------- synchronous calls
+
+Status Client::Ping() {
+  QueuePing();
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response resp;
+  s = ReadResponse(&resp);
+  if (!s.ok()) return s;
+  return resp.status;
+}
+
+Status Client::Resolve(std::string_view product, ProductHandle* handle) {
+  uint64_t id = NextId();
+  WireWriter w(&queued_);
+  size_t frame = w.BeginFrame();
+  w.PutRequestHeader(Opcode::kResolve, id);
+  w.PutString(product);
+  w.EndFrame(frame);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response resp;
+  s = ReadResponse(&resp);
+  if (!s.ok()) return s;
+  if (resp.status.ok() && handle != nullptr) *handle = resp.handle;
+  return resp.status;
+}
+
+Status Client::PostPrice(ProductHandle handle, std::span<const double> features,
+                         double reserve, Quote* quote) {
+  QueuePostPrice(handle, features, reserve);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response resp;
+  s = ReadResponse(&resp);
+  if (!s.ok()) return s;
+  if (quote != nullptr) {
+    *quote = resp.quote;
+    if (!resp.status.ok()) {
+      quote->ticket = 0;
+      quote->status = resp.status.code();
+    }
+  }
+  return resp.status;
+}
+
+Status Client::Observe(uint64_t ticket, bool accepted) {
+  QueueObserve(ticket, accepted);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response resp;
+  s = ReadResponse(&resp);
+  if (!s.ok()) return s;
+  return resp.status;
+}
+
+Status Client::EstimateValue(ProductHandle handle, std::span<const double> features,
+                             ValueInterval* out) {
+  uint64_t id = NextId();
+  WireWriter w(&queued_);
+  size_t frame = w.BeginFrame();
+  w.PutRequestHeader(Opcode::kEstimateValue, id);
+  w.PutU32(handle.index);
+  w.PutU32(handle.generation);
+  PutFeatures(&w, features);
+  w.EndFrame(frame);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response resp;
+  s = ReadResponse(&resp);
+  if (!s.ok()) return s;
+  if (resp.status.ok() && out != nullptr) *out = resp.interval;
+  return resp.status;
+}
+
+Status Client::PostPrices(std::span<const HandleRequest> requests,
+                          std::span<Quote> quotes) {
+  if (requests.size() != quotes.size()) {
+    return Status::InvalidArgument("requests/quotes size mismatch");
+  }
+  uint64_t id = NextId();
+  WireWriter w(&queued_);
+  size_t frame = w.BeginFrame();
+  w.PutRequestHeader(Opcode::kPostPrices, id);
+  w.PutU32(static_cast<uint32_t>(requests.size()));
+  for (const HandleRequest& req : requests) {
+    w.PutU32(req.handle.index);
+    w.PutU32(req.handle.generation);
+    w.PutF64(req.reserve);
+    PutFeatures(&w, req.features);
+  }
+  w.EndFrame(frame);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response resp;
+  s = ReadResponse(&resp);
+  if (!s.ok()) return s;
+  if (resp.quotes.size() == quotes.size()) {
+    for (size_t i = 0; i < quotes.size(); ++i) quotes[i] = resp.quotes[i];
+  }
+  return resp.status;
+}
+
+Status Client::Observes(std::span<const FeedbackRequest> feedback,
+                        std::span<StatusCode> codes) {
+  if (!codes.empty() && codes.size() != feedback.size()) {
+    return Status::InvalidArgument("feedback/codes size mismatch");
+  }
+  uint64_t id = NextId();
+  WireWriter w(&queued_);
+  size_t frame = w.BeginFrame();
+  w.PutRequestHeader(Opcode::kObserves, id);
+  w.PutU32(static_cast<uint32_t>(feedback.size()));
+  for (const FeedbackRequest& fb : feedback) {
+    w.PutU64(fb.ticket);
+    w.PutU8(fb.accepted ? 1 : 0);
+  }
+  w.EndFrame(frame);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response resp;
+  s = ReadResponse(&resp);
+  if (!s.ok()) return s;
+  if (!codes.empty() && resp.codes.size() == codes.size()) {
+    for (size_t i = 0; i < codes.size(); ++i) codes[i] = resp.codes[i];
+  }
+  return resp.status;
+}
+
+}  // namespace pdm::server

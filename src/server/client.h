@@ -1,0 +1,113 @@
+#ifndef PDM_SERVER_CLIENT_H_
+#define PDM_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "broker/broker.h"
+#include "common/status.h"
+#include "server/net.h"
+#include "server/wire.h"
+
+/// \file
+/// Blocking `pdm.wire.v1` client (DESIGN.md §10).
+///
+/// Two surfaces over one connection:
+///
+///  * Synchronous calls (`Resolve`, `PostPrice`, `Observe`, ...) mirror the
+///    `Broker` method signatures one-to-one: send one frame, wait for its
+///    response, reconstruct the `pdm::Status`. A scenario driven through
+///    these calls is bit-identical to driving the broker in-process
+///    (tests/server_test.cc).
+///
+///  * Pipelined calls (`QueuePostPrice`/`QueueObserve` + `Flush` +
+///    `ReadResponse`) queue many frames before writing, letting the server
+///    coalesce the run into batched broker calls; `ReadResponse` decodes
+///    responses in server order (which is request order). The load
+///    generator and the coalescing tests live on this surface.
+///
+/// A `Client` is single-threaded by contract — one connection, one request
+/// stream. Concurrency is modeled as one Client per thread (the server
+/// multiplexes).
+
+namespace pdm::server {
+
+/// One decoded response frame (union-style: the fields that matter depend
+/// on `op`; `status` is always meaningful).
+struct Response {
+  Opcode op = Opcode::kPing;
+  uint64_t id = 0;
+  Status status;
+  broker::Quote quote;                 ///< kPostPrice
+  broker::ProductHandle handle;        ///< kResolve
+  ValueInterval interval;              ///< kEstimateValue
+  std::vector<broker::Quote> quotes;   ///< kPostPrices
+  std::vector<StatusCode> codes;       ///< kObserves
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() = default;
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to `host:port` (TCP_NODELAY). Errors: FailedPrecondition.
+  Status Connect(const std::string& host, uint16_t port);
+  void Disconnect();
+  bool connected() const { return fd_.valid(); }
+
+  // ------------------------------------------------- synchronous calls
+
+  /// Round-trip liveness probe.
+  Status Ping();
+
+  Status Resolve(std::string_view product, broker::ProductHandle* handle);
+  Status PostPrice(broker::ProductHandle handle, std::span<const double> features,
+                   double reserve, broker::Quote* quote);
+  Status Observe(uint64_t ticket, bool accepted);
+  Status EstimateValue(broker::ProductHandle handle, std::span<const double> features,
+                       ValueInterval* out);
+
+  /// Wire batch ops (one frame each; mirror the Broker batch semantics:
+  /// per-item codes plus first-error Status).
+  Status PostPrices(std::span<const broker::HandleRequest> requests,
+                    std::span<broker::Quote> quotes);
+  Status Observes(std::span<const broker::FeedbackRequest> feedback,
+                  std::span<StatusCode> codes = {});
+
+  // -------------------------------------------------- pipelined surface
+
+  /// Queues one request frame without writing; returns its request id.
+  uint64_t QueuePostPrice(broker::ProductHandle handle,
+                          std::span<const double> features, double reserve);
+  uint64_t QueueObserve(uint64_t ticket, bool accepted);
+  uint64_t QueuePing();
+
+  /// Writes every queued frame to the socket (one send stream — the server
+  /// sees the whole run at once and can coalesce it).
+  Status Flush();
+
+  /// Blocking-reads and decodes the next response frame. Responses arrive
+  /// in request order. `out->status` carries the op's outcome; the returned
+  /// Status reports transport/decode failures only.
+  Status ReadResponse(Response* out);
+
+ private:
+  uint64_t NextId() { return next_id_++; }
+  /// Reads until `pending_` holds one complete frame; yields its payload.
+  Status ReadFrame(std::string* payload);
+
+  UniqueFd fd_;
+  uint64_t next_id_ = 1;
+  std::string queued_;   ///< frames queued and not yet written
+  std::string pending_;  ///< bytes read and not yet decoded
+};
+
+}  // namespace pdm::server
+
+#endif  // PDM_SERVER_CLIENT_H_

@@ -1,0 +1,102 @@
+#include "server/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pdm::server {
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Parses a dotted-quad host into `*addr`. Hostname resolution is
+/// intentionally out of scope (no getaddrinfo: the serving layer binds
+/// loopback/interface addresses given as literals).
+bool ParseHost(const std::string& host, in_addr* addr) {
+  return inet_pton(AF_INET, host.c_str(), addr) == 1;
+}
+
+}  // namespace
+
+void UniqueFd::Reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Status ListenTcp(const std::string& host, uint16_t port, UniqueFd* out,
+                 uint16_t* bound_port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (!ParseHost(host, &addr.sin_addr)) {
+    return Status::InvalidArgument("listen: not an IPv4 literal: '" + host + "'");
+  }
+
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::FailedPrecondition(Errno("socket"));
+
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    return Status::FailedPrecondition(Errno("bind"));
+  }
+  if (::listen(fd.get(), SOMAXCONN) != 0) {
+    return Status::FailedPrecondition(Errno("listen"));
+  }
+
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      return Status::FailedPrecondition(Errno("getsockname"));
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+
+  *out = std::move(fd);
+  return Status::Ok();
+}
+
+Status ConnectTcp(const std::string& host, uint16_t port, UniqueFd* out) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (!ParseHost(host, &addr.sin_addr)) {
+    return Status::InvalidArgument("connect: not an IPv4 literal: '" + host + "'");
+  }
+
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::FailedPrecondition(Errno("socket"));
+
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    return Status::FailedPrecondition(Errno("connect"));
+  }
+  SetNoDelay(fd.get());
+
+  *out = std::move(fd);
+  return Status::Ok();
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::FailedPrecondition(Errno("fcntl(O_NONBLOCK)"));
+  }
+  return Status::Ok();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace pdm::server

@@ -1,0 +1,622 @@
+#include "server/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/status.h"
+
+namespace pdm::server {
+namespace {
+
+using pdm::broker::FeedbackRequest;
+using pdm::broker::HandleRequest;
+using pdm::broker::ProductHandle;
+using pdm::broker::Quote;
+
+/// Fixed request/response header: u8 opcode + u64 request id.
+constexpr size_t kHeaderBytes = 1 + 8;
+
+/// Compact the consumed prefix of a read buffer once it crosses this size
+/// (compacting on every frame would make buffered pipelining O(n^2)).
+constexpr size_t kCompactThreshold = size_t{64} << 10;
+
+uint8_t QuoteFlags(const Quote& q) {
+  uint8_t flags = 0;
+  if (q.exploratory) flags |= kQuoteExploratory;
+  if (q.certain_no_sale) flags |= kQuoteCertainNoSale;
+  return flags;
+}
+
+/// Single-op error response: header + message string.
+void WriteError(std::string* out, Opcode op, uint64_t id, StatusCode code,
+                std::string_view message) {
+  WireWriter w(out);
+  size_t frame = w.BeginFrame();
+  w.PutResponseHeader(op, id, code);
+  w.PutString(message);
+  w.EndFrame(frame);
+}
+
+/// Single kPostPrice OK response.
+void WriteQuote(std::string* out, uint64_t id, const Quote& q) {
+  WireWriter w(out);
+  size_t frame = w.BeginFrame();
+  w.PutResponseHeader(Opcode::kPostPrice, id, StatusCode::kOk);
+  w.PutU64(q.ticket);
+  w.PutF64(q.price);
+  w.PutU8(QuoteFlags(q));
+  w.EndFrame(frame);
+}
+
+/// Decoded single price request (the coalescable op). `features` indexes
+/// into the caller's scratch, resolved to spans once the scratch is final.
+struct PriceFrame {
+  uint64_t id = 0;
+  ProductHandle handle;
+  double reserve = 0.0;
+  size_t features_at = 0;
+  size_t features_len = 0;
+};
+
+/// Decodes the body of one kPostPrice request, appending features to
+/// `*scratch`. False on a malformed body.
+bool DecodePriceBody(WireReader* r, std::vector<double>* scratch, PriceFrame* out) {
+  uint32_t n;
+  if (!r->GetU32(&out->handle.index)) return false;
+  if (!r->GetU32(&out->handle.generation)) return false;
+  if (!r->GetF64(&out->reserve)) return false;
+  if (!r->GetU32(&n)) return false;
+  if (r->remaining() < size_t{n} * 8) return false;
+  out->features_at = scratch->size();
+  out->features_len = n;
+  for (uint32_t i = 0; i < n; ++i) {
+    double v;
+    r->GetF64(&v);
+    scratch->push_back(v);
+  }
+  return r->AtEnd();
+}
+
+struct ObserveFrame {
+  uint64_t id = 0;
+  FeedbackRequest feedback;
+};
+
+bool DecodeObserveBody(WireReader* r, ObserveFrame* out) {
+  uint8_t accepted;
+  if (!r->GetU64(&out->feedback.ticket)) return false;
+  if (!r->GetU8(&accepted)) return false;
+  out->feedback.accepted = accepted != 0;
+  return r->AtEnd();
+}
+
+}  // namespace
+
+/// One accepted connection: nonblocking socket plus buffered frame I/O.
+struct TcpServer::Connection {
+  UniqueFd fd;
+  std::string in;
+  size_t in_offset = 0;  ///< consumed prefix of `in`
+  std::string out;
+  size_t out_offset = 0;  ///< flushed prefix of `out`
+  bool peer_closed = false;
+  bool dead = false;
+
+  bool output_pending() const { return out_offset < out.size(); }
+};
+
+TcpServer::TcpServer(broker::Broker* broker, const ServerConfig& config)
+    : broker_(broker), config_(config) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already running");
+  }
+  Status s = ListenTcp(config_.host, config_.port, &listen_fd_, &port_);
+  if (!s.ok()) return s;
+  s = SetNonBlocking(listen_fd_.get());
+  if (!s.ok()) return s;
+
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) {
+    return Status::FailedPrecondition(std::string("pipe: ") + std::strerror(errno));
+  }
+  wake_read_ = UniqueFd(pipefd[0]);
+  wake_write_ = UniqueFd(pipefd[1]);
+  (void)SetNonBlocking(wake_read_.get());
+  (void)SetNonBlocking(wake_write_.get());
+
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  loop_ = std::thread(&TcpServer::EventLoop, this);
+  return Status::Ok();
+}
+
+void TcpServer::Stop() {
+  if (!stop_.exchange(true, std::memory_order_acq_rel)) {
+    char byte = 1;
+    if (wake_write_.valid()) {
+      [[maybe_unused]] ssize_t n = ::write(wake_write_.get(), &byte, 1);
+    }
+  }
+  if (loop_.joinable()) loop_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+ServerStats TcpServer::stats() const {
+  ServerStats s;
+  s.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
+  s.frames_served = frames_served_.load(std::memory_order_relaxed);
+  s.frames_coalesced = frames_coalesced_.load(std::memory_order_relaxed);
+  s.coalesced_runs = coalesced_runs_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void TcpServer::EventLoop() {
+  std::vector<pollfd> fds;
+  bool draining = false;
+  std::chrono::steady_clock::time_point drain_deadline{};
+
+  for (;;) {
+    if (!draining && stop_.load(std::memory_order_acquire)) {
+      // Drain entry: stop accepting, serve everything already buffered, and
+      // give slow peers a bounded window to take their responses.
+      draining = true;
+      listen_fd_.Reset();
+      for (auto& conn : connections_) {
+        if (conn->dead) continue;
+        if (!ServeBufferedFrames(conn.get()) || !FlushWrites(conn.get())) {
+          conn->dead = true;
+        }
+      }
+      drain_deadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(config_.drain_timeout_ms);
+    }
+
+    // Reap connections that are done: dead, or fully flushed while the peer
+    // (or the drain) has no more input for us.
+    std::erase_if(connections_, [draining](const std::unique_ptr<Connection>& c) {
+      return c->dead || ((c->peer_closed || draining) && !c->output_pending());
+    });
+
+    if (draining &&
+        (connections_.empty() || std::chrono::steady_clock::now() >= drain_deadline)) {
+      break;
+    }
+
+    fds.clear();
+    if (!draining) fds.push_back({listen_fd_.get(), POLLIN, 0});
+    fds.push_back({wake_read_.get(), POLLIN, 0});
+    const size_t first_conn = fds.size();
+    const size_t num_conns = connections_.size();
+    for (size_t i = 0; i < num_conns; ++i) {
+      Connection* conn = connections_[i].get();
+      short events = draining ? 0 : POLLIN;
+      if (conn->output_pending()) events |= POLLOUT;
+      fds.push_back({conn->fd.get(), events, 0});
+    }
+
+    int timeout_ms = -1;
+    if (draining) {
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          drain_deadline - std::chrono::steady_clock::now());
+      timeout_ms = static_cast<int>(std::max<int64_t>(0, left.count()));
+    }
+    int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;  // poll failure is unrecoverable for the loop
+    }
+
+    size_t at = 0;
+    if (!draining) {
+      if (fds[at].revents & POLLIN) AcceptNew();
+      ++at;
+    }
+    if (fds[at].revents & POLLIN) {
+      char sink[64];
+      while (::read(wake_read_.get(), sink, sizeof sink) > 0) {
+      }
+    }
+
+    for (size_t i = 0; i < num_conns; ++i) {
+      Connection* conn = connections_[i].get();
+      short revents = fds[first_conn + i].revents;
+      if (revents == 0 || conn->dead) continue;
+
+      if (revents & POLLOUT) {
+        if (!FlushWrites(conn)) {
+          conn->dead = true;
+          continue;
+        }
+      }
+      if (!draining && (revents & (POLLIN | POLLHUP | POLLERR))) {
+        // Read everything available, then serve the buffered frames.
+        char chunk[16 << 10];
+        for (;;) {
+          ssize_t n = ::recv(conn->fd.get(), chunk, sizeof chunk, 0);
+          if (n > 0) {
+            conn->in.append(chunk, static_cast<size_t>(n));
+            continue;
+          }
+          if (n == 0) {
+            conn->peer_closed = true;  // half-close: still flush responses
+            break;
+          }
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          if (errno == EINTR) continue;
+          conn->dead = true;
+          break;
+        }
+        if (conn->dead) continue;
+        if (!ServeBufferedFrames(conn) || !FlushWrites(conn)) conn->dead = true;
+      }
+    }
+  }
+
+  connections_.clear();
+  listen_fd_.Reset();
+}
+
+void TcpServer::AcceptNew() {
+  for (;;) {
+    int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept errors: retry on the next poll round
+    }
+    UniqueFd owned(fd);
+    if (!SetNonBlocking(fd).ok()) continue;  // drops `owned`
+    SetNoDelay(fd);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = std::move(owned);
+    connections_.push_back(std::move(conn));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool TcpServer::ServeBufferedFrames(Connection* conn) {
+  // Split out every complete frame first: coalescing needs to see the whole
+  // pipelined run, not one frame at a time.
+  std::vector<std::string_view> frames;
+  size_t offset = conn->in_offset;
+  for (;;) {
+    std::string_view payload;
+    size_t next;
+    FrameResult r = NextFrame(conn->in, offset, &payload, &next);
+    if (r == FrameResult::kMalformed) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (r == FrameResult::kNeedMore) break;
+    frames.push_back(payload);
+    offset = next;
+  }
+
+  size_t at = 0;
+  while (at < frames.size()) {
+    // A frame too short for the fixed header cannot be answered (there is
+    // no id to echo) — that is a framing violation, drop the connection.
+    if (frames[at].size() < kHeaderBytes) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    at += ServeRun(conn, frames, at);
+  }
+
+  conn->in_offset = offset;
+  if (conn->in_offset == conn->in.size()) {
+    conn->in.clear();
+    conn->in_offset = 0;
+  } else if (conn->in_offset > kCompactThreshold) {
+    conn->in.erase(0, conn->in_offset);
+    conn->in_offset = 0;
+  }
+  return true;
+}
+
+size_t TcpServer::ServeRun(Connection* conn, const std::vector<std::string_view>& frames,
+                           size_t at) {
+  const uint8_t op = static_cast<uint8_t>(frames[at][0]);
+
+  // Coalescing: a pipelined run of single-op kPostPrice (kObserve) frames
+  // becomes one batched broker call — one session-lock acquisition per run.
+  // A frame of another opcode, a short header, or a malformed body ends the
+  // run; the run is only taken when at least two frames qualify.
+  if (op == static_cast<uint8_t>(Opcode::kPostPrice)) {
+    std::vector<double> scratch;
+    std::vector<PriceFrame> run;
+    size_t taken = at;
+    while (taken < frames.size() && frames[taken].size() >= kHeaderBytes &&
+           static_cast<uint8_t>(frames[taken][0]) == op) {
+      WireReader r(frames[taken]);
+      uint8_t opcode;
+      PriceFrame pf;
+      r.GetU8(&opcode);
+      r.GetU64(&pf.id);
+      if (!DecodePriceBody(&r, &scratch, &pf)) break;
+      run.push_back(pf);
+      ++taken;
+    }
+    if (run.size() >= 2) {
+      std::vector<HandleRequest> requests(run.size());
+      std::vector<Quote> quotes(run.size());
+      for (size_t i = 0; i < run.size(); ++i) {
+        requests[i].handle = run[i].handle;
+        requests[i].reserve = run[i].reserve;
+        requests[i].features = std::span<const double>(
+            scratch.data() + run[i].features_at, run[i].features_len);
+      }
+      (void)broker_->PostPrices(requests, quotes);
+      for (size_t i = 0; i < run.size(); ++i) {
+        if (quotes[i].status == StatusCode::kOk) {
+          WriteQuote(&conn->out, run[i].id, quotes[i]);
+        } else {
+          WriteError(&conn->out, Opcode::kPostPrice, run[i].id, quotes[i].status,
+                     std::string("batched request failed: ") +
+                         StatusCodeName(quotes[i].status));
+        }
+      }
+      frames_served_.fetch_add(static_cast<int64_t>(run.size()),
+                               std::memory_order_relaxed);
+      frames_coalesced_.fetch_add(static_cast<int64_t>(run.size()),
+                                  std::memory_order_relaxed);
+      coalesced_runs_.fetch_add(1, std::memory_order_relaxed);
+      return run.size();
+    }
+  } else if (op == static_cast<uint8_t>(Opcode::kObserve)) {
+    std::vector<ObserveFrame> run;
+    size_t taken = at;
+    while (taken < frames.size() && frames[taken].size() >= kHeaderBytes &&
+           static_cast<uint8_t>(frames[taken][0]) == op) {
+      WireReader r(frames[taken]);
+      uint8_t opcode;
+      ObserveFrame of;
+      r.GetU8(&opcode);
+      r.GetU64(&of.id);
+      if (!DecodeObserveBody(&r, &of)) break;
+      run.push_back(of);
+      ++taken;
+    }
+    if (run.size() >= 2) {
+      std::vector<FeedbackRequest> feedback(run.size());
+      std::vector<StatusCode> codes(run.size());
+      for (size_t i = 0; i < run.size(); ++i) feedback[i] = run[i].feedback;
+      (void)broker_->Observes(feedback, codes);
+      for (size_t i = 0; i < run.size(); ++i) {
+        if (codes[i] == StatusCode::kOk) {
+          WireWriter w(&conn->out);
+          size_t frame = w.BeginFrame();
+          w.PutResponseHeader(Opcode::kObserve, run[i].id, StatusCode::kOk);
+          w.EndFrame(frame);
+        } else {
+          WriteError(&conn->out, Opcode::kObserve, run[i].id, codes[i],
+                     std::string("batched request failed: ") + StatusCodeName(codes[i]));
+        }
+      }
+      frames_served_.fetch_add(static_cast<int64_t>(run.size()),
+                               std::memory_order_relaxed);
+      frames_coalesced_.fetch_add(static_cast<int64_t>(run.size()),
+                                  std::memory_order_relaxed);
+      coalesced_runs_.fetch_add(1, std::memory_order_relaxed);
+      return run.size();
+    }
+  }
+
+  ServeFrame(conn, frames[at]);
+  return 1;
+}
+
+void TcpServer::ServeFrame(Connection* conn, std::string_view payload) {
+  WireReader r(payload);
+  uint8_t op_byte = 0;
+  uint64_t id = 0;
+  r.GetU8(&op_byte);
+  r.GetU64(&id);
+  frames_served_.fetch_add(1, std::memory_order_relaxed);
+
+  if (!ValidOpcode(op_byte)) {
+    WriteError(&conn->out, static_cast<Opcode>(op_byte), id,
+               StatusCode::kInvalidArgument,
+               "unknown opcode " + std::to_string(op_byte));
+    return;
+  }
+  const Opcode op = static_cast<Opcode>(op_byte);
+  std::string* out = &conn->out;
+
+  auto malformed = [&] {
+    WriteError(out, op, id, StatusCode::kInvalidArgument, "malformed request body");
+  };
+
+  switch (op) {
+    case Opcode::kPing: {
+      WireWriter w(out);
+      size_t frame = w.BeginFrame();
+      w.PutResponseHeader(op, id, StatusCode::kOk);
+      w.EndFrame(frame);
+      return;
+    }
+
+    case Opcode::kResolve: {
+      std::string_view product;
+      if (!r.GetString(&product) || !r.AtEnd()) return malformed();
+      ProductHandle handle;
+      Status s = broker_->Resolve(product, &handle);
+      if (!s.ok()) return WriteError(out, op, id, s.code(), s.message());
+      WireWriter w(out);
+      size_t frame = w.BeginFrame();
+      w.PutResponseHeader(op, id, StatusCode::kOk);
+      w.PutU32(handle.index);
+      w.PutU32(handle.generation);
+      w.EndFrame(frame);
+      return;
+    }
+
+    case Opcode::kPostPrice: {
+      std::vector<double> scratch;
+      PriceFrame pf;
+      if (!DecodePriceBody(&r, &scratch, &pf)) return malformed();
+      Quote quote;
+      Status s = broker_->PostPrice(
+          pf.handle, std::span<const double>(scratch.data(), pf.features_len),
+          pf.reserve, &quote);
+      if (!s.ok()) return WriteError(out, op, id, s.code(), s.message());
+      WriteQuote(out, id, quote);
+      return;
+    }
+
+    case Opcode::kObserve: {
+      ObserveFrame of;
+      if (!DecodeObserveBody(&r, &of)) return malformed();
+      Status s = broker_->Observe(of.feedback.ticket, of.feedback.accepted);
+      if (!s.ok()) return WriteError(out, op, id, s.code(), s.message());
+      WireWriter w(out);
+      size_t frame = w.BeginFrame();
+      w.PutResponseHeader(op, id, StatusCode::kOk);
+      w.EndFrame(frame);
+      return;
+    }
+
+    case Opcode::kEstimateValue: {
+      ProductHandle handle;
+      uint32_t n;
+      if (!r.GetU32(&handle.index) || !r.GetU32(&handle.generation) ||
+          !r.GetU32(&n) || r.remaining() != size_t{n} * 8) {
+        return malformed();
+      }
+      std::vector<double> features(n);
+      for (uint32_t i = 0; i < n; ++i) r.GetF64(&features[i]);
+      ValueInterval interval;
+      Status s = broker_->EstimateValue(handle, features, &interval);
+      if (!s.ok()) return WriteError(out, op, id, s.code(), s.message());
+      WireWriter w(out);
+      size_t frame = w.BeginFrame();
+      w.PutResponseHeader(op, id, StatusCode::kOk);
+      w.PutF64(interval.lower);
+      w.PutF64(interval.upper);
+      w.EndFrame(frame);
+      return;
+    }
+
+    case Opcode::kPostPrices: {
+      // Batch responses always carry: message string, u32 count, then per
+      // item (u64 ticket, f64 price, u8 flags, u8 status). A body decode
+      // failure answers with count 0.
+      uint32_t count;
+      std::vector<double> scratch;
+      std::vector<PriceFrame> items;
+      bool ok = r.GetU32(&count);
+      if (ok) {
+        items.reserve(count);
+        for (uint32_t i = 0; i < count; ++i) {
+          PriceFrame pf;
+          uint32_t n;
+          if (!r.GetU32(&pf.handle.index) || !r.GetU32(&pf.handle.generation) ||
+              !r.GetF64(&pf.reserve) || !r.GetU32(&n) ||
+              r.remaining() < size_t{n} * 8) {
+            ok = false;
+            break;
+          }
+          pf.features_at = scratch.size();
+          pf.features_len = n;
+          for (uint32_t j = 0; j < n; ++j) {
+            double v;
+            r.GetF64(&v);
+            scratch.push_back(v);
+          }
+          items.push_back(pf);
+        }
+        if (ok && !r.AtEnd()) ok = false;
+      }
+      WireWriter w(out);
+      size_t frame = w.BeginFrame();
+      if (!ok) {
+        w.PutResponseHeader(op, id, StatusCode::kInvalidArgument);
+        w.PutString("malformed batch body");
+        w.PutU32(0);
+        w.EndFrame(frame);
+        return;
+      }
+      std::vector<HandleRequest> requests(items.size());
+      std::vector<Quote> quotes(items.size());
+      for (size_t i = 0; i < items.size(); ++i) {
+        requests[i].handle = items[i].handle;
+        requests[i].reserve = items[i].reserve;
+        requests[i].features = std::span<const double>(
+            scratch.data() + items[i].features_at, items[i].features_len);
+      }
+      Status s = broker_->PostPrices(requests, quotes);
+      w.PutResponseHeader(op, id, s.code());
+      w.PutString(s.message());
+      w.PutU32(static_cast<uint32_t>(quotes.size()));
+      for (const Quote& q : quotes) {
+        w.PutU64(q.ticket);
+        w.PutF64(q.price);
+        w.PutU8(QuoteFlags(q));
+        w.PutU8(StatusCodeToWire(q.status));
+      }
+      w.EndFrame(frame);
+      return;
+    }
+
+    case Opcode::kObserves: {
+      // Batch responses: message string, u32 count, then per item u8 status.
+      uint32_t count;
+      std::vector<FeedbackRequest> feedback;
+      bool ok = r.GetU32(&count) && r.remaining() == size_t{count} * 9;
+      if (ok) {
+        feedback.resize(count);
+        for (uint32_t i = 0; i < count; ++i) {
+          uint8_t accepted = 0;
+          r.GetU64(&feedback[i].ticket);
+          r.GetU8(&accepted);
+          feedback[i].accepted = accepted != 0;
+        }
+      }
+      WireWriter w(out);
+      size_t frame = w.BeginFrame();
+      if (!ok) {
+        w.PutResponseHeader(op, id, StatusCode::kInvalidArgument);
+        w.PutString("malformed batch body");
+        w.PutU32(0);
+        w.EndFrame(frame);
+        return;
+      }
+      std::vector<StatusCode> codes(feedback.size());
+      Status s = broker_->Observes(feedback, codes);
+      w.PutResponseHeader(op, id, s.code());
+      w.PutString(s.message());
+      w.PutU32(static_cast<uint32_t>(codes.size()));
+      for (StatusCode code : codes) w.PutU8(StatusCodeToWire(code));
+      w.EndFrame(frame);
+      return;
+    }
+  }
+}
+
+bool TcpServer::FlushWrites(Connection* conn) {
+  while (conn->output_pending()) {
+    ssize_t n = ::send(conn->fd.get(), conn->out.data() + conn->out_offset,
+                       conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  conn->out.clear();
+  conn->out_offset = 0;
+  return true;
+}
+
+}  // namespace pdm::server

@@ -1,0 +1,128 @@
+#ifndef PDM_SERVER_SERVER_H_
+#define PDM_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "broker/broker.h"
+#include "common/status.h"
+#include "server/net.h"
+#include "server/wire.h"
+
+/// \file
+/// The TCP serving front end: a `TcpServer` exposes one `Broker` over the
+/// `pdm.wire.v1` framed protocol (DESIGN.md §10).
+///
+/// Architecture: one event-loop thread multiplexes the listen socket and
+/// every accepted connection through `poll`, with nonblocking I/O and
+/// per-connection read/write buffers. Requests of one connection are
+/// answered strictly in arrival order; different connections interleave
+/// freely. There is no per-connection thread — the broker's contention story
+/// (snapshot directory, per-session locks) already scales across callers, so
+/// the server's job is purely to move frames, and a single loop keeps the
+/// serving path allocation-light and trivially TSan-clean.
+///
+/// Pipelining is rewarded: when a connection's read buffer holds a *run* of
+/// consecutive `kPostPrice` (or `kObserve`) frames, the loop coalesces the
+/// run into one `Broker::PostPrices` (`Observes`) call — one session-lock
+/// acquisition per run instead of one per request — then emits the per-frame
+/// responses individually. A client that pipelines N requests gets batch-path
+/// throughput without ever speaking the batch opcodes.
+///
+/// Shutdown drains gracefully: `Stop()` stops accepting, serves every frame
+/// already buffered, flushes pending responses, and closes connections —
+/// bounded by `ServerConfig::drain_timeout_ms` so a stalled peer cannot wedge
+/// shutdown.
+
+namespace pdm::server {
+
+struct ServerConfig {
+  /// IPv4 literal to bind.
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back through `port()`.
+  uint16_t port = 0;
+  /// Upper bound on the Stop() drain (flushing responses to slow peers).
+  int drain_timeout_ms = 2000;
+};
+
+/// Monitoring counters, readable concurrently with the event loop.
+struct ServerStats {
+  int64_t connections_accepted = 0;
+  int64_t frames_served = 0;
+  /// Frames answered through a coalesced PostPrices/Observes run (subset of
+  /// frames_served) and the number of such runs (>= 2 frames each).
+  int64_t frames_coalesced = 0;
+  int64_t coalesced_runs = 0;
+  /// Connections dropped for framing violations (oversized/truncated
+  /// frames, unknown opcodes decode to error responses, not drops).
+  int64_t protocol_errors = 0;
+};
+
+class TcpServer {
+ public:
+  /// `broker` must outlive the server and is shared with any in-process
+  /// callers — the wire surface and the C++ surface hit the same sessions.
+  TcpServer(broker::Broker* broker, const ServerConfig& config = {});
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens, and starts the event-loop thread. Errors:
+  /// FailedPrecondition (bind/listen failure), InvalidArgument (bad host).
+  Status Start();
+
+  /// Graceful drain: stop accepting, serve buffered frames, flush, close.
+  /// Idempotent; returns once the loop thread has exited.
+  void Stop();
+
+  /// The bound port (valid after Start succeeded).
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  ServerStats stats() const;
+
+ private:
+  struct Connection;
+
+  void EventLoop();
+  void AcceptNew();
+  /// Serves every complete frame in `conn`'s read buffer; returns false when
+  /// the connection must be dropped (framing violation).
+  bool ServeBufferedFrames(Connection* conn);
+  /// Decodes and answers one frame into `conn`'s write buffer.
+  void ServeFrame(Connection* conn, std::string_view payload);
+  /// Coalesces a run of identical single-op frames starting at `frames[at]`;
+  /// returns the number of frames consumed (>= 1).
+  size_t ServeRun(Connection* conn, const std::vector<std::string_view>& frames,
+                  size_t at);
+  /// Nonblocking flush of `conn`'s write buffer; false on fatal write error.
+  bool FlushWrites(Connection* conn);
+
+  broker::Broker* broker_;
+  ServerConfig config_;
+
+  UniqueFd listen_fd_;
+  UniqueFd wake_read_, wake_write_;  ///< self-pipe: Stop() wakes poll()
+  uint16_t port_ = 0;
+
+  std::thread loop_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> frames_served_{0};
+  std::atomic<int64_t> frames_coalesced_{0};
+  std::atomic<int64_t> coalesced_runs_{0};
+  std::atomic<int64_t> protocol_errors_{0};
+};
+
+}  // namespace pdm::server
+
+#endif  // PDM_SERVER_SERVER_H_

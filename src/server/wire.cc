@@ -1,0 +1,31 @@
+#include "server/wire.h"
+
+namespace pdm::server {
+
+bool ValidOpcode(uint8_t code) {
+  return code >= static_cast<uint8_t>(Opcode::kResolve) &&
+         code <= static_cast<uint8_t>(Opcode::kPing);
+}
+
+uint8_t StatusCodeToWire(StatusCode code) { return static_cast<uint8_t>(code); }
+
+StatusCode StatusCodeFromWire(uint8_t wire) {
+  if (wire > static_cast<uint8_t>(StatusCode::kUnimplemented)) {
+    return StatusCode::kInvalidArgument;
+  }
+  return static_cast<StatusCode>(wire);
+}
+
+FrameResult NextFrame(std::string_view buffer, size_t offset,
+                      std::string_view* payload, size_t* next_offset) {
+  if (buffer.size() - offset < kFrameHeaderBytes) return FrameResult::kNeedMore;
+  uint32_t size;
+  std::memcpy(&size, buffer.data() + offset, sizeof size);
+  if (size > kMaxFramePayloadBytes) return FrameResult::kMalformed;
+  if (buffer.size() - offset - kFrameHeaderBytes < size) return FrameResult::kNeedMore;
+  *payload = buffer.substr(offset + kFrameHeaderBytes, size);
+  *next_offset = offset + kFrameHeaderBytes + size;
+  return FrameResult::kFrame;
+}
+
+}  // namespace pdm::server

@@ -1,0 +1,182 @@
+#ifndef PDM_SERVER_WIRE_H_
+#define PDM_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+/// \file
+/// The `pdm.wire.v1` framed binary protocol (DESIGN.md §10).
+///
+/// Every message — request or response — travels as one *frame*: a u32
+/// little-endian payload length followed by that many payload bytes. The
+/// payload starts with a fixed header (u8 opcode, u64 request id); requests
+/// append an op-specific body, responses insert a u8 `pdm::StatusCode` after
+/// the header and append either an error message (non-OK) or the op's result
+/// body (OK). Ids are client-chosen and echoed verbatim, so clients may
+/// pipeline arbitrarily and match responses out of a single read stream.
+/// The server answers frames of one connection strictly in arrival order.
+///
+/// Like `pdm.snap.v1`, the layout is little-endian with doubles as raw
+/// IEEE-754 bit patterns — a quote decoded from the wire is *bit*-identical
+/// to the quote the broker produced, which is what makes the loopback replay
+/// test's bit-identity pin possible (tests/server_test.cc).
+///
+/// This header holds the shared low-level codec (bounds-checked reader,
+/// appending writer, frame splitting); the server and client assemble the
+/// actual op payloads from these primitives so there is exactly one encoding
+/// of each primitive on both sides.
+
+namespace pdm::server {
+
+/// Protocol identifier (mirrors the JSON schema naming convention).
+inline constexpr char kProtocolName[] = "pdm.wire.v1";
+
+/// A frame is `u32 payload_size` + payload.
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+/// Upper bound on one payload. Large enough for a 4096-request batch at
+/// n = 100; anything bigger is a corrupt or hostile stream and the
+/// connection is closed rather than buffered without bound.
+inline constexpr size_t kMaxFramePayloadBytes = size_t{4} << 20;
+
+enum class Opcode : uint8_t {
+  kResolve = 1,
+  kPostPrice = 2,
+  kObserve = 3,
+  kEstimateValue = 4,
+  kPostPrices = 5,
+  kObserves = 6,
+  kPing = 7,
+};
+
+/// Quote flag bits on the wire (`Quote::exploratory`/`certain_no_sale`).
+inline constexpr uint8_t kQuoteExploratory = 1u << 0;
+inline constexpr uint8_t kQuoteCertainNoSale = 1u << 1;
+
+/// True when `code` is a valid request opcode.
+bool ValidOpcode(uint8_t code);
+
+/// Round-trips a StatusCode through its wire byte; out-of-range bytes decode
+/// to kInvalidArgument (a foreign peer must never crash the decoder).
+uint8_t StatusCodeToWire(StatusCode code);
+StatusCode StatusCodeFromWire(uint8_t wire);
+
+// --------------------------------------------------------------- writer
+
+/// Appends wire primitives to a caller-owned byte buffer. `BeginFrame`
+/// reserves the length prefix and `EndFrame` patches it, so whole frames are
+/// assembled in place with no intermediate copies.
+class WireWriter {
+ public:
+  explicit WireWriter(std::string* out) : out_(out) {}
+
+  /// Starts a frame and returns the patch cookie for EndFrame.
+  size_t BeginFrame() {
+    size_t at = out_->size();
+    PutU32(0);
+    return at;
+  }
+
+  /// Patches the length prefix written by the matching BeginFrame.
+  void EndFrame(size_t cookie) {
+    uint32_t payload = static_cast<uint32_t>(out_->size() - cookie - kFrameHeaderBytes);
+    std::memcpy(out_->data() + cookie, &payload, sizeof payload);
+  }
+
+  void PutU8(uint8_t v) { out_->append(reinterpret_cast<const char*>(&v), sizeof v); }
+  void PutU32(uint32_t v) { out_->append(reinterpret_cast<const char*>(&v), sizeof v); }
+  void PutU64(uint64_t v) { out_->append(reinterpret_cast<const char*>(&v), sizeof v); }
+
+  /// Raw IEEE-754 bit pattern — exact round trip, NaN-safe.
+  void PutF64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    PutU64(bits);
+  }
+
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    out_->append(s.data(), s.size());
+  }
+
+  /// Request/response headers.
+  void PutRequestHeader(Opcode op, uint64_t id) {
+    PutU8(static_cast<uint8_t>(op));
+    PutU64(id);
+  }
+  void PutResponseHeader(Opcode op, uint64_t id, StatusCode code) {
+    PutU8(static_cast<uint8_t>(op));
+    PutU64(id);
+    PutU8(StatusCodeToWire(code));
+  }
+
+ private:
+  std::string* out_;
+};
+
+// --------------------------------------------------------------- reader
+
+/// Bounds-checked cursor over one frame payload. Every Get reports failure
+/// instead of reading past the end, so a truncated or hostile payload
+/// decodes to a clean error, never UB.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool GetU8(uint8_t* v) { return GetBytes(v, sizeof *v); }
+  bool GetU32(uint32_t* v) { return GetBytes(v, sizeof *v); }
+  bool GetU64(uint64_t* v) { return GetBytes(v, sizeof *v); }
+
+  bool GetF64(double* v) {
+    uint64_t bits;
+    if (!GetU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof *v);
+    return true;
+  }
+
+  /// Length-prefixed string; the view aliases the payload buffer.
+  bool GetString(std::string_view* s) {
+    uint32_t size;
+    if (!GetU32(&size)) return false;
+    if (bytes_.size() - pos_ < size) return false;
+    *s = bytes_.substr(pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  bool GetBytes(void* out, size_t size) {
+    if (bytes_.size() - pos_ < size) return false;
+    std::memcpy(out, bytes_.data() + pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------ frame split
+
+enum class FrameResult {
+  kFrame,      ///< one complete frame extracted
+  kNeedMore,   ///< buffer holds a partial frame; read more bytes
+  kMalformed,  ///< length prefix exceeds kMaxFramePayloadBytes — close
+};
+
+/// Examines `buffer` starting at `offset`. On kFrame, `*payload` views the
+/// payload bytes inside `buffer` and `*next_offset` is where the following
+/// frame starts. The caller owns compaction of consumed bytes.
+FrameResult NextFrame(std::string_view buffer, size_t offset,
+                      std::string_view* payload, size_t* next_offset);
+
+}  // namespace pdm::server
+
+#endif  // PDM_SERVER_WIRE_H_

@@ -1046,5 +1046,101 @@ TEST(EngineDetach, DetachThenObserveMatchesClassicObserve) {
   EXPECT_EQ(iclassic.theta_upper(), idetached.theta_upper());
 }
 
+// ------------------------------------------ generation wrap refusal (§9)
+
+// The ticket-slot generation saturates at kGenMask instead of wrapping: a
+// slot at the bound is retired on resolution, never recycled, so a ticket
+// issued 2^20 recycles ago can never alias a fresh quote (ABA). Driving a
+// slot to the bound for real takes 2^20 - 1 issues, so the test
+// fast-forwards through Restore — pending tickets re-enter the table with
+// whatever generation their id encodes.
+TEST(BrokerSession, GenerationSaturatesAndRetiresSlotInsteadOfWrapping) {
+  StreamFactory factory;
+  ScenarioSpec spec = LinearSpec("wrap/session", 4, 100, "reserve", 77);
+  PricingSession session("wrap/session", BuildEngine(spec, &factory));
+
+  Rng rng(spec.sim_seed);
+  std::unique_ptr<QueryStream> stream = factory.CreateStream(spec, &rng);
+  MarketRound round;
+  stream->Next(&rng, &round);
+
+  // One real quote gives the snapshot a genuine pending cut.
+  Quote quote;
+  ASSERT_TRUE(session.PostPrice(round.features, round.reserve, &quote).ok());
+  SessionSnapshot snap;
+  ASSERT_TRUE(session.Snapshot(&snap).ok());
+  ASSERT_EQ(snap.pending.size(), 1u);
+
+  // Fast-forward: re-enter the table one issue below the generation bound.
+  const uint64_t kGenMask = PricingSession::kGenMask;
+  uint64_t near_bound = (snap.pending[0].ticket & ~kGenMask) | (kGenMask - 1);
+  snap.pending[0].ticket = near_bound;
+  ASSERT_TRUE(session.Restore(snap).ok());
+  EXPECT_EQ(session.retired_ticket_slots(), 0);
+
+  // Resolving the near-bound ticket recycles the slot one last time...
+  ASSERT_TRUE(session.Observe(near_bound, true).ok());
+  stream->Next(&rng, &round);
+  ASSERT_TRUE(session.PostPrice(round.features, round.reserve, &quote).ok());
+  uint64_t at_bound = quote.ticket;
+  // ...and the bump saturates exactly at the bound (same slot, generation
+  // kGenMask) — it must NOT wrap to a small generation a stale ticket
+  // could still carry.
+  EXPECT_EQ(at_bound & kGenMask, kGenMask);
+  EXPECT_EQ(at_bound >> PricingSession::kGenBits,
+            near_bound >> PricingSession::kGenBits);
+
+  // Resolution at the bound retires the slot permanently.
+  ASSERT_TRUE(session.Observe(at_bound, false).ok());
+  EXPECT_EQ(session.retired_ticket_slots(), 1);
+  EXPECT_EQ(session.Observe(at_bound, true).code(), StatusCode::kNotFound);
+
+  // The next quote comes from a FRESH slot, never the retired one.
+  stream->Next(&rng, &round);
+  ASSERT_TRUE(session.PostPrice(round.features, round.reserve, &quote).ok());
+  EXPECT_NE((quote.ticket >> PricingSession::kGenBits) & PricingSession::kSlotMask,
+            (at_bound >> PricingSession::kGenBits) & PricingSession::kSlotMask);
+  EXPECT_EQ(quote.ticket & kGenMask, 1u);  // fresh slot, first generation
+  ASSERT_TRUE(session.Observe(quote.ticket, true).ok());
+  EXPECT_EQ(session.retired_ticket_slots(), 1);
+  EXPECT_EQ(session.pending_count(), 0);
+}
+
+// A ticket restored already AT the bound resolves normally once and its
+// slot retires immediately — the session keeps serving from other slots.
+TEST(BrokerSession, TicketRestoredAtGenerationBoundRetiresOnResolution) {
+  StreamFactory factory;
+  ScenarioSpec spec = LinearSpec("wrap/at-bound", 4, 100, "reserve", 78);
+  PricingSession session("wrap/at-bound", BuildEngine(spec, &factory));
+
+  Rng rng(spec.sim_seed);
+  std::unique_ptr<QueryStream> stream = factory.CreateStream(spec, &rng);
+  MarketRound round;
+  stream->Next(&rng, &round);
+  Quote quote;
+  ASSERT_TRUE(session.PostPrice(round.features, round.reserve, &quote).ok());
+  SessionSnapshot snap;
+  ASSERT_TRUE(session.Snapshot(&snap).ok());
+  ASSERT_EQ(snap.pending.size(), 1u);
+
+  const uint64_t kGenMask = PricingSession::kGenMask;
+  uint64_t at_bound = (snap.pending[0].ticket & ~kGenMask) | kGenMask;
+  snap.pending[0].ticket = at_bound;
+  ASSERT_TRUE(session.Restore(snap).ok());
+
+  ASSERT_TRUE(session.Observe(at_bound, true).ok());
+  EXPECT_EQ(session.retired_ticket_slots(), 1);
+
+  // Serving continues on fresh slots; the engine state is unharmed.
+  stream->Next(&rng, &round);
+  ASSERT_TRUE(session.PostPrice(round.features, round.reserve, &quote).ok());
+  EXPECT_NE((quote.ticket >> PricingSession::kGenBits) & PricingSession::kSlotMask,
+            (at_bound >> PricingSession::kGenBits) & PricingSession::kSlotMask);
+  ValueInterval interval;
+  EXPECT_TRUE(session.EstimateValue(round.features, &interval).ok());
+  ASSERT_TRUE(session.Observe(quote.ticket, false).ok());
+  EXPECT_EQ(session.pending_count(), 0);
+}
+
 }  // namespace
 }  // namespace pdm::broker

@@ -6,6 +6,7 @@
 
 #include "common/csv.h"
 #include "common/flags.h"
+#include "common/histogram.h"
 #include "common/memory.h"
 #include "common/stats.h"
 #include "common/string_util.h"
@@ -320,6 +321,82 @@ TEST(CsvWriter, EmptyPathIsInactive) {
 TEST(Memory, RssIsPositiveOnLinux) {
   EXPECT_GT(CurrentRssBytes(), 0);
   EXPECT_GT(CurrentRssMiB(), 0.0);
+}
+
+// --------------------------------------------------------------- histogram
+
+TEST(LatencyHistogram, EmptyReportsZeros) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.count(), 0);
+  EXPECT_EQ(hist.min(), 0u);
+  EXPECT_EQ(hist.max(), 0u);
+  EXPECT_EQ(hist.mean(), 0.0);
+  EXPECT_EQ(hist.Quantile(0.5), 0u);
+  EXPECT_EQ(hist.Quantile(1.0), 0u);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  // Below 2^kSubBucketBits every bucket is one nanosecond wide: the
+  // histogram is lossless there and quantiles are exact order statistics.
+  LatencyHistogram hist;
+  for (uint64_t v : {5u, 1u, 9u, 3u, 7u}) hist.Record(v);
+  EXPECT_EQ(hist.count(), 5);
+  EXPECT_EQ(hist.min(), 1u);
+  EXPECT_EQ(hist.max(), 9u);
+  EXPECT_EQ(hist.mean(), 5.0);
+  EXPECT_EQ(hist.Quantile(0.0), 1u);
+  EXPECT_EQ(hist.Quantile(0.2), 1u);
+  EXPECT_EQ(hist.Quantile(0.5), 5u);
+  EXPECT_EQ(hist.Quantile(1.0), 9u);
+}
+
+TEST(LatencyHistogram, QuantileRelativeErrorIsBounded) {
+  // Across magnitudes the bucket floor may undershoot the true value, but
+  // never by more than 2^-kSubBucketBits of it (the log-linear contract).
+  const double kResolution =
+      1.0 / static_cast<double>(LatencyHistogram::kSubBuckets);
+  for (uint64_t value : {100u, 1000u, 123456u, 7654321u, 987654321u}) {
+    LatencyHistogram hist;
+    hist.Record(value);
+    uint64_t reported = hist.Quantile(0.5);
+    EXPECT_LE(reported, value);
+    EXPECT_GE(static_cast<double>(reported),
+              static_cast<double>(value) * (1.0 - kResolution))
+        << "value " << value;
+    // min/max stay exact even when the bucket floor truncates.
+    EXPECT_EQ(hist.min(), value);
+    EXPECT_EQ(hist.max(), value);
+  }
+}
+
+TEST(LatencyHistogram, OversizedSamplesClampToTopBucket) {
+  LatencyHistogram hist;
+  hist.Record(LatencyHistogram::kMaxValue);
+  hist.Record(~uint64_t{0});  // clamps into the top bucket
+  EXPECT_EQ(hist.count(), 2);
+  // Interior quantiles come from the (clamped) top bucket; the extremes
+  // report the exact tracked values, clamping notwithstanding.
+  EXPECT_LE(hist.Quantile(0.5), LatencyHistogram::kMaxValue);
+  EXPECT_GT(hist.Quantile(0.5), LatencyHistogram::kMaxValue / 2);
+  EXPECT_EQ(hist.Quantile(1.0), ~uint64_t{0});
+  EXPECT_EQ(hist.min(), LatencyHistogram::kMaxValue);
+  EXPECT_EQ(hist.max(), ~uint64_t{0});
+}
+
+TEST(LatencyHistogram, MergeMatchesRecordingEverythingInOne) {
+  LatencyHistogram a, b, whole;
+  for (uint64_t v = 1; v <= 2000; ++v) {
+    (v % 3 == 0 ? a : b).Record(v * 17);
+    whole.Record(v * 17);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+  EXPECT_EQ(a.mean(), whole.mean());
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(a.Quantile(q), whole.Quantile(q)) << "q=" << q;
+  }
 }
 
 // ---------------------------------------------------------------- umbrella

@@ -1,0 +1,583 @@
+// The TCP serving front end (DESIGN.md §10): wire codec round trips, the
+// loopback replay pin (a scenario driven through the TCP server is
+// bit-identical to driving the broker in-process), pipelined-run coalescing
+// equivalence, wire batch-op parity, malformed-frame handling, concurrent
+// clients (the TSan target), and graceful drain.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+#include "broker/broker.h"
+#include "broker/driver.h"
+#include "broker/snapshot.h"
+#include "market/regret_tracker.h"
+#include "market/round.h"
+#include "rng/rng.h"
+#include "scenario/scenario_spec.h"
+#include "scenario/stream_factory.h"
+#include "server/client.h"
+#include "server/net.h"
+#include "server/server.h"
+#include "server/wire.h"
+
+namespace pdm::server {
+namespace {
+
+using broker::Broker;
+using broker::FeedbackRequest;
+using broker::HandleRequest;
+using broker::ProductHandle;
+using broker::Quote;
+using broker::SessionSnapshot;
+using scenario::ScenarioSpec;
+using scenario::StreamFactory;
+
+ScenarioSpec LinearSpec(const std::string& name, int n, int64_t rounds,
+                        const std::string& mechanism, uint64_t workload_seed) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.family = "servertest";
+  spec.stream = scenario::StreamKind::kLinear;
+  spec.mechanism = mechanism;
+  spec.n = n;
+  spec.rounds = rounds;
+  spec.delta = 0.01;
+  spec.linear.num_owners = 200;
+  spec.workload_seed = workload_seed;
+  spec.sim_seed = 99;
+  return spec;
+}
+
+void OpenSpec(Broker* broker, StreamFactory* factory, const ScenarioSpec& spec) {
+  ASSERT_TRUE(broker->OpenSession(spec.name, spec, factory->Prepare(spec)).ok());
+}
+
+std::string SnapshotBytes(const Broker& broker, const std::string& product) {
+  SessionSnapshot snap;
+  Status s = broker.Snapshot(product, &snap);
+  PDM_CHECK(s.ok());
+  return broker::EncodeSessionSnapshot(snap);
+}
+
+// ------------------------------------------------------------ wire codec
+
+TEST(Wire, PrimitivesRoundTripBitExactly) {
+  std::string bytes;
+  WireWriter w(&bytes);
+  size_t frame = w.BeginFrame();
+  w.PutU8(0x7F);
+  w.PutU32(0xDEADBEEFu);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutF64(-0.1);  // not exactly representable: the bits must survive
+  w.PutF64(std::numeric_limits<double>::quiet_NaN());
+  w.PutString("pdm/\xE2\x82\xAC");  // embedded UTF-8 stays raw bytes
+  w.EndFrame(frame);
+
+  std::string_view payload;
+  size_t next = 0;
+  ASSERT_EQ(NextFrame(bytes, 0, &payload, &next), FrameResult::kFrame);
+  EXPECT_EQ(next, bytes.size());
+
+  WireReader r(payload);
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  double f1, f2;
+  std::string_view s;
+  ASSERT_TRUE(r.GetU8(&u8));
+  ASSERT_TRUE(r.GetU32(&u32));
+  ASSERT_TRUE(r.GetU64(&u64));
+  ASSERT_TRUE(r.GetF64(&f1));
+  ASSERT_TRUE(r.GetF64(&f2));
+  ASSERT_TRUE(r.GetString(&s));
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(u8, 0x7F);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(f1, -0.1);
+  EXPECT_TRUE(std::isnan(f2));
+  EXPECT_EQ(s, "pdm/\xE2\x82\xAC");
+
+  // Truncated reads report failure instead of reading past the end.
+  WireReader truncated(payload.substr(0, 3));
+  ASSERT_TRUE(truncated.GetU8(&u8));
+  EXPECT_FALSE(truncated.GetU32(&u32));
+}
+
+TEST(Wire, FrameSplitHandlesPartialAndMalformed) {
+  std::string bytes;
+  WireWriter w(&bytes);
+  size_t frame = w.BeginFrame();
+  w.PutU64(42);
+  w.EndFrame(frame);
+
+  std::string_view payload;
+  size_t next = 0;
+  // Every strict prefix is incomplete.
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_EQ(NextFrame(std::string_view(bytes).substr(0, cut), 0, &payload, &next),
+              FrameResult::kNeedMore);
+  }
+  ASSERT_EQ(NextFrame(bytes, 0, &payload, &next), FrameResult::kFrame);
+  EXPECT_EQ(payload.size(), 8u);
+
+  // A length prefix beyond the cap is a framing violation.
+  std::string huge;
+  WireWriter hw(&huge);
+  hw.PutU32(static_cast<uint32_t>(kMaxFramePayloadBytes + 1));
+  EXPECT_EQ(NextFrame(huge, 0, &payload, &next), FrameResult::kMalformed);
+}
+
+// --------------------------------------------------- basic round trips
+
+TEST(TcpServer, PingResolveAndErrorsRoundTrip) {
+  StreamFactory factory;
+  Broker broker;
+  ScenarioSpec spec = LinearSpec("wire/basic", 6, 500, "reserve", 21);
+  OpenSpec(&broker, &factory, spec);
+
+  TcpServer server(&broker);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  EXPECT_TRUE(client.Ping().ok());
+
+  // Resolve over the wire must agree with the in-process directory.
+  ProductHandle wire_handle, local_handle;
+  ASSERT_TRUE(client.Resolve(spec.name, &wire_handle).ok());
+  ASSERT_TRUE(broker.Resolve(spec.name, &local_handle).ok());
+  EXPECT_EQ(wire_handle, local_handle);
+
+  // Errors arrive as reconstructed Status with code AND message.
+  Status missing = client.Resolve("no/such/product", &wire_handle);
+  EXPECT_EQ(missing.code(), StatusCode::kNotFound);
+  EXPECT_FALSE(missing.message().empty());
+
+  // A stale handle fails with NotFound end to end.
+  Quote quote;
+  std::vector<double> x(6, 0.1);
+  ProductHandle stale{local_handle.index, local_handle.generation + 2};
+  EXPECT_EQ(client.PostPrice(stale, x, 0.0, &quote).code(), StatusCode::kNotFound);
+  EXPECT_EQ(quote.ticket, 0u);
+
+  // EstimateValue returns the exact bits the broker computes.
+  ValueInterval wire_iv, local_iv;
+  ASSERT_TRUE(client.EstimateValue(local_handle, x, &wire_iv).ok());
+  ASSERT_TRUE(broker.EstimateValue(local_handle, x, &local_iv).ok());
+  EXPECT_EQ(wire_iv.lower, local_iv.lower);
+  EXPECT_EQ(wire_iv.upper, local_iv.upper);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+// ------------------------------------------------- the loopback replay pin
+
+// The acceptance pin: a scenario replayed through the TCP server on
+// loopback — same seeds, immediate ticketed feedback — produces the same
+// quotes, accepts, and regret accounting as RunScenarioThroughBroker, and
+// leaves the engine in the byte-identical state.
+TEST(TcpServer, ScenarioThroughTcpIsBitIdenticalToInProcess) {
+  const char* kMechanisms[] = {"pure", "reserve+uncertainty"};
+  for (const char* mechanism : kMechanisms) {
+    SCOPED_TRACE(mechanism);
+    ScenarioSpec spec = LinearSpec(std::string("wire/replay/") + mechanism, 8,
+                                   1500, mechanism, 33);
+
+    // In-process reference.
+    StreamFactory ref_factory;
+    Broker ref_broker;
+    broker::BrokerRunOutcome reference =
+        broker::RunScenarioThroughBroker(spec, &ref_factory, &ref_broker);
+
+    // The same spec through TCP.
+    StreamFactory factory;
+    Broker broker;
+    OpenSpec(&broker, &factory, spec);
+    TcpServer server(&broker);
+    ASSERT_TRUE(server.Start().ok());
+    Client client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+    ProductHandle handle;
+    ASSERT_TRUE(client.Resolve(spec.name, &handle).ok());
+
+    // Driver loop, verbatim, with the driver's exact Rng lifecycle — just
+    // with the broker calls replaced by wire calls.
+    Rng rng(spec.sim_seed);
+    std::unique_ptr<QueryStream> stream = factory.CreateStream(spec, &rng);
+    stream->BindEngine(broker.FindEngine(spec.name));
+    RegretTracker tracker(spec.series_stride);
+    MarketRound round;
+    Quote quote;
+    PostedPrice posted;
+    for (int64_t t = 0; t < spec.rounds; ++t) {
+      stream->Next(&rng, &round);
+      ASSERT_TRUE(client.PostPrice(handle, round.features, round.reserve, &quote).ok());
+      bool accepted = !quote.certain_no_sale && quote.price <= round.value;
+      ASSERT_TRUE(client.Observe(quote.ticket, accepted).ok());
+      posted.price = quote.price;
+      posted.exploratory = quote.exploratory;
+      posted.certain_no_sale = quote.certain_no_sale;
+      tracker.Observe(round, posted, accepted);
+    }
+    server.Stop();
+
+    // Regret accounting: exact double equality, not tolerance.
+    const RegretTracker& ref = reference.result.tracker;
+    EXPECT_EQ(tracker.rounds(), ref.rounds());
+    EXPECT_EQ(tracker.sales(), ref.sales());
+    EXPECT_EQ(tracker.cumulative_regret(), ref.cumulative_regret());
+    EXPECT_EQ(tracker.cumulative_revenue(), ref.cumulative_revenue());
+    EXPECT_EQ(tracker.oracle_revenue(), ref.oracle_revenue());
+
+    // Engine state: byte-identical snapshots.
+    EXPECT_EQ(SnapshotBytes(broker, spec.name), SnapshotBytes(ref_broker, spec.name));
+  }
+}
+
+// ------------------------------------------------------- coalescing
+
+// Pipelined single-op frames are coalesced into batched broker calls —
+// and that rewrite must be invisible: same quotes, same final engine state
+// as the same requests issued sequentially.
+TEST(TcpServer, PipelinedRunsCoalesceAndMatchSequential) {
+  ScenarioSpec spec = LinearSpec("wire/pipeline", 6, 4000, "reserve", 44);
+  constexpr int kRounds = 120;
+  constexpr int kBatch = 8;
+
+  // Twin A: pipelined through TCP.
+  StreamFactory factory_a;
+  Broker broker_a;
+  OpenSpec(&broker_a, &factory_a, spec);
+  // Twin B: sequential in-process calls.
+  StreamFactory factory_b;
+  Broker broker_b;
+  OpenSpec(&broker_b, &factory_b, spec);
+  ProductHandle handle_b;
+  ASSERT_TRUE(broker_b.Resolve(spec.name, &handle_b).ok());
+
+  TcpServer server(&broker_a);
+  ASSERT_TRUE(server.Start().ok());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ProductHandle handle_a;
+  ASSERT_TRUE(client.Resolve(spec.name, &handle_a).ok());
+
+  // Shared deterministic query sequence.
+  Rng rng(spec.sim_seed);
+  std::unique_ptr<QueryStream> stream = factory_a.CreateStream(spec, &rng);
+  std::vector<MarketRound> rounds(kRounds);
+  for (MarketRound& round : rounds) stream->Next(&rng, &round);
+
+  for (int base = 0; base < kRounds; base += kBatch) {
+    // Pipeline a run of kBatch PostPrice frames in ONE flush.
+    for (int k = 0; k < kBatch; ++k) {
+      const MarketRound& round = rounds[base + k];
+      client.QueuePostPrice(handle_a, round.features, round.reserve);
+    }
+    ASSERT_TRUE(client.Flush().ok());
+    std::vector<Quote> wire_quotes(kBatch);
+    for (int k = 0; k < kBatch; ++k) {
+      Response resp;
+      ASSERT_TRUE(client.ReadResponse(&resp).ok());
+      ASSERT_TRUE(resp.status.ok());
+      wire_quotes[k] = resp.quote;
+    }
+    // Sequential twin must produce bit-identical quotes.
+    for (int k = 0; k < kBatch; ++k) {
+      const MarketRound& round = rounds[base + k];
+      Quote seq_quote;
+      ASSERT_TRUE(
+          broker_b.PostPrice(handle_b, round.features, round.reserve, &seq_quote).ok());
+      EXPECT_EQ(wire_quotes[k].ticket, seq_quote.ticket);
+      EXPECT_EQ(wire_quotes[k].price, seq_quote.price);
+      EXPECT_EQ(wire_quotes[k].exploratory, seq_quote.exploratory);
+      EXPECT_EQ(wire_quotes[k].certain_no_sale, seq_quote.certain_no_sale);
+    }
+    // Feedback: a pipelined Observe run for A, sequential for B.
+    for (int k = 0; k < kBatch; ++k) {
+      const MarketRound& round = rounds[base + k];
+      bool accepted =
+          !wire_quotes[k].certain_no_sale && wire_quotes[k].price <= round.value;
+      client.QueueObserve(wire_quotes[k].ticket, accepted);
+      ASSERT_TRUE(broker_b.Observe(wire_quotes[k].ticket, accepted).ok());
+    }
+    ASSERT_TRUE(client.Flush().ok());
+    for (int k = 0; k < kBatch; ++k) {
+      Response resp;
+      ASSERT_TRUE(client.ReadResponse(&resp).ok());
+      EXPECT_TRUE(resp.status.ok());
+    }
+  }
+
+  // The server must actually have taken the coalesced path.
+  ServerStats stats = server.stats();
+  EXPECT_GT(stats.coalesced_runs, 0);
+  EXPECT_GT(stats.frames_coalesced, 0);
+  server.Stop();
+
+  EXPECT_EQ(SnapshotBytes(broker_a, spec.name), SnapshotBytes(broker_b, spec.name));
+}
+
+// ------------------------------------------------------ wire batch ops
+
+TEST(TcpServer, WireBatchOpsMirrorBrokerBatchSemantics) {
+  ScenarioSpec spec = LinearSpec("wire/batch", 5, 2000, "uncertainty", 55);
+  StreamFactory factory_a, factory_b;
+  Broker broker_a, broker_b;
+  OpenSpec(&broker_a, &factory_a, spec);
+  OpenSpec(&broker_b, &factory_b, spec);
+  ProductHandle handle_b;
+  ASSERT_TRUE(broker_b.Resolve(spec.name, &handle_b).ok());
+
+  TcpServer server(&broker_a);
+  ASSERT_TRUE(server.Start().ok());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ProductHandle handle_a;
+  ASSERT_TRUE(client.Resolve(spec.name, &handle_a).ok());
+
+  Rng rng(spec.sim_seed);
+  std::unique_ptr<QueryStream> stream = factory_a.CreateStream(spec, &rng);
+  constexpr int kBatch = 6;
+  std::vector<MarketRound> rounds(kBatch);
+  for (MarketRound& round : rounds) stream->Next(&rng, &round);
+
+  // Position 2 targets a dead handle: the batch must not abort, the item
+  // must carry NotFound, and the returned Status is that first error.
+  auto build = [&](ProductHandle good) {
+    std::vector<HandleRequest> requests(kBatch);
+    for (int k = 0; k < kBatch; ++k) {
+      requests[k] = {good, rounds[k].features, rounds[k].reserve};
+    }
+    requests[2].handle = ProductHandle{good.index, good.generation + 2};
+    return requests;
+  };
+
+  std::vector<Quote> wire_quotes(kBatch), local_quotes(kBatch);
+  Status wire_status = client.PostPrices(build(handle_a), wire_quotes);
+  Status local_status = broker_b.PostPrices(build(handle_b), local_quotes);
+  EXPECT_EQ(wire_status.code(), local_status.code());
+  EXPECT_EQ(wire_status.code(), StatusCode::kNotFound);
+  for (int k = 0; k < kBatch; ++k) {
+    EXPECT_EQ(wire_quotes[k].status, local_quotes[k].status) << "item " << k;
+    EXPECT_EQ(wire_quotes[k].ticket, local_quotes[k].ticket) << "item " << k;
+    EXPECT_EQ(wire_quotes[k].price, local_quotes[k].price) << "item " << k;
+  }
+
+  // Batched feedback with one duplicate: per-item codes must match too.
+  std::vector<FeedbackRequest> feedback;
+  for (int k = 0; k < kBatch; ++k) {
+    if (wire_quotes[k].ticket != 0) feedback.push_back({wire_quotes[k].ticket, true});
+  }
+  feedback.push_back(feedback.front());  // duplicate → NotFound at that slot
+  std::vector<StatusCode> wire_codes(feedback.size()), local_codes(feedback.size());
+  wire_status = client.Observes(feedback, wire_codes);
+  local_status = broker_b.Observes(feedback, local_codes);
+  EXPECT_EQ(wire_status.code(), local_status.code());
+  for (size_t k = 0; k < feedback.size(); ++k) {
+    EXPECT_EQ(wire_codes[k], local_codes[k]) << "item " << k;
+  }
+  server.Stop();
+
+  EXPECT_EQ(SnapshotBytes(broker_a, spec.name), SnapshotBytes(broker_b, spec.name));
+}
+
+// --------------------------------------------------- malformed traffic
+
+TEST(TcpServer, UnknownOpcodeGetsErrorResponseAndConnectionSurvives) {
+  Broker broker;
+  TcpServer server(&broker);
+  ASSERT_TRUE(server.Start().ok());
+
+  UniqueFd fd;
+  ASSERT_TRUE(ConnectTcp("127.0.0.1", server.port(), &fd).ok());
+  std::string bytes;
+  WireWriter w(&bytes);
+  size_t frame = w.BeginFrame();
+  w.PutRequestHeader(static_cast<Opcode>(200), 7);
+  w.EndFrame(frame);
+  ASSERT_EQ(::send(fd.get(), bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+
+  // Expect a kInvalidArgument error response (id echoed), then liveness.
+  std::string in;
+  char chunk[512];
+  std::string_view payload;
+  size_t next = 0;
+  for (;;) {
+    if (NextFrame(in, 0, &payload, &next) == FrameResult::kFrame) break;
+    ssize_t n = ::recv(fd.get(), chunk, sizeof chunk, 0);
+    ASSERT_GT(n, 0);
+    in.append(chunk, static_cast<size_t>(n));
+  }
+  WireReader r(payload);
+  uint8_t op, code;
+  uint64_t id;
+  ASSERT_TRUE(r.GetU8(&op) && r.GetU64(&id) && r.GetU8(&code));
+  EXPECT_EQ(id, 7u);
+  EXPECT_EQ(StatusCodeFromWire(code), StatusCode::kInvalidArgument);
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.protocol_errors, 0);  // decodable header → answered, not dropped
+  server.Stop();
+}
+
+TEST(TcpServer, FramingViolationsDropTheConnection) {
+  Broker broker;
+  TcpServer server(&broker);
+  ASSERT_TRUE(server.Start().ok());
+
+  struct Violation {
+    const char* what;
+    std::string bytes;
+  };
+  std::string oversized;
+  {
+    WireWriter w(&oversized);
+    w.PutU32(static_cast<uint32_t>(kMaxFramePayloadBytes + 1));
+  }
+  std::string short_header;
+  {
+    WireWriter w(&short_header);
+    size_t frame = w.BeginFrame();
+    w.PutU8(1);  // 1-byte payload: too short for opcode+id
+    w.EndFrame(frame);
+  }
+  const Violation kViolations[] = {{"oversized length prefix", oversized},
+                                   {"payload shorter than header", short_header}};
+  int64_t errors_before = server.stats().protocol_errors;
+  for (const Violation& violation : kViolations) {
+    SCOPED_TRACE(violation.what);
+    UniqueFd fd;
+    ASSERT_TRUE(ConnectTcp("127.0.0.1", server.port(), &fd).ok());
+    ASSERT_EQ(::send(fd.get(), violation.bytes.data(), violation.bytes.size(), 0),
+              static_cast<ssize_t>(violation.bytes.size()));
+    // The server must close on us (recv sees EOF, never a response).
+    char chunk[64];
+    ssize_t n = ::recv(fd.get(), chunk, sizeof chunk, 0);
+    EXPECT_EQ(n, 0);
+  }
+  EXPECT_EQ(server.stats().protocol_errors, errors_before + 2);
+  server.Stop();
+}
+
+// ------------------------------------------------- concurrency (TSan)
+
+// Several clients over real sockets against one server, each hammering its
+// own product, with Stop() racing the tail of the traffic — the TSan
+// target for the server event loop and its stats counters.
+TEST(TcpServer, ConcurrentClientsServeCleanly) {
+  constexpr int kClients = 4;
+  constexpr int kRounds = 150;
+  StreamFactory factory;
+  Broker broker;
+  std::vector<ScenarioSpec> specs;
+  for (int c = 0; c < kClients; ++c) {
+    specs.push_back(LinearSpec("wire/mt/" + std::to_string(c), 4, 2000,
+                               c % 2 == 0 ? "pure" : "reserve", 60 + c));
+    OpenSpec(&broker, &factory, specs.back());
+  }
+  TcpServer server(&broker);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<std::vector<MarketRound>> rings(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    Rng rng(specs[c].sim_seed);
+    std::unique_ptr<QueryStream> stream = factory.CreateStream(specs[c], &rng);
+    rings[c].resize(64);
+    for (MarketRound& round : rings[c]) stream->Next(&rng, &round);
+  }
+
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      ProductHandle handle;
+      if (!client.Resolve(specs[c].name, &handle).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int t = 0; t < kRounds; ++t) {
+        const MarketRound& round = rings[c][t % rings[c].size()];
+        Quote quote;
+        if (!client.PostPrice(handle, round.features, round.reserve, &quote).ok() ||
+            !client.Observe(quote.ticket, quote.price <= round.value).ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.connections_accepted, kClients);
+  EXPECT_GE(stats.frames_served, int64_t{kClients} * (1 + 2 * kRounds));
+  server.Stop();
+
+  for (int c = 0; c < kClients; ++c) {
+    broker::SessionInfo info;
+    ASSERT_TRUE(broker.GetSessionInfo(specs[c].name, &info).ok());
+    EXPECT_EQ(info.pending, 0) << specs[c].name;
+    EXPECT_EQ(info.quotes_issued, kRounds) << specs[c].name;
+  }
+}
+
+// ------------------------------------------------------ graceful drain
+
+TEST(TcpServer, StopDrainsBufferedRequestsBeforeClosing) {
+  Broker broker;
+  TcpServer server(&broker);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  constexpr int kPings = 100;
+  for (int i = 0; i < kPings; ++i) client.QueuePing();
+  ASSERT_TRUE(client.Flush().ok());
+
+  // Wait until the server has *served* the frames (responses queued or
+  // flushed), then stop. Drain must deliver every response.
+  for (int spin = 0; spin < 2000 && server.stats().frames_served < kPings; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(server.stats().frames_served, kPings);
+  server.Stop();
+  EXPECT_FALSE(server.running());
+
+  for (int i = 0; i < kPings; ++i) {
+    Response resp;
+    ASSERT_TRUE(client.ReadResponse(&resp).ok()) << "response " << i;
+    EXPECT_TRUE(resp.status.ok());
+  }
+  // After the drain the connection is closed server-side.
+  Response resp;
+  EXPECT_FALSE(client.ReadResponse(&resp).ok());
+
+  // Stop is idempotent, and a stopped server can be probed safely.
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace pdm::server

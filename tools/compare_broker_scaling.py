@@ -92,6 +92,15 @@ def main():
         and base_hw != cur_hw
         and not args.ignore_hardware_mismatch
     ):
+        # The ::warning:: line is a GitHub Actions annotation: a silently
+        # disarmed gate once hid a dead baseline for a whole PR cycle, so the
+        # skip must be loud in the checks UI, not just in a log nobody reads.
+        print(
+            "::warning title=broker scaling gate skipped::baseline "
+            f"hardware_concurrency={base_hw} does not match runner {cur_hw}; "
+            "the perf gate is NOT armed. Refresh the committed baseline from "
+            "a CI artifact (README 'Performance')."
+        )
         print(
             f"SKIPPED: baseline was recorded with hardware_concurrency={base_hw}, "
             f"current has {cur_hw} — absolute rates are not comparable across "
@@ -116,6 +125,14 @@ def main():
             failures.append(f"  {name}: metric {args.metric!r} missing from a document")
             continue
         if base <= 0:
+            # A non-positive baseline metric can never gate anything — it is
+            # a broken baseline (truncated run, wrong field), not a slow one.
+            # Skipping it silently would disarm the series forever.
+            failures.append(
+                f"  {name}: baseline {args.metric} is {base!r} (non-positive) — "
+                "the baseline is broken; re-record it instead of comparing "
+                "against it"
+            )
             continue
         ratio = cur / base
         if ratio < 1.0 - args.tolerance:

@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Tolerance-based comparison of two pdm.bench_serving.v1 documents.
+
+Usage:
+    compare_serving.py BASELINE CURRENT [--latency-tolerance=1.0]
+                       [--throughput-tolerance=0.25]
+
+Joins the two documents on each series row's "series" key and fails (exit 1)
+when, for any series:
+
+  * a latency quantile (p50/p99/p999, nanoseconds) rises more than
+    LATENCY_TOLERANCE above baseline (1.0 = may double), or
+  * achieved_rounds_per_sec falls more than THROUGHPUT_TOLERANCE below
+    baseline, or
+  * the series ran with errors, or is missing from CURRENT.
+
+Latency gates are deliberately loose by default: tail quantiles on shared CI
+runners are noisy, and the gate's job is to catch order-of-magnitude serving
+regressions (a lost coalescing path, an accidental Nagle re-enable), not
+5% jitter.
+
+Like compare_broker_scaling.py, absolute numbers are only comparable within
+one machine class: when the two documents disagree on hardware_concurrency
+the script emits a ::warning:: annotation and exits 0 without comparing
+(pass --ignore-hardware-mismatch to force). A non-positive baseline value
+for any gated metric fails loudly — a broken baseline must be re-recorded,
+not silently skipped.
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "pdm.bench_serving.v1"
+LATENCY_QUANTILES = ("p50", "p99", "p999")
+THROUGHPUT_METRIC = "achieved_rounds_per_sec"
+
+
+def load_doc(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fp:
+            doc = json.load(fp)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"compare_serving: cannot read {path}: {err}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(
+            f"compare_serving: {path} has schema "
+            f"{doc.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    rows = {}
+    for row in doc.get("series", []):
+        name = row.get("series")
+        if not name:
+            sys.exit(f"compare_serving: {path} has a series row without a name")
+        if name in rows:
+            sys.exit(f"compare_serving: {path} repeats series {name!r}")
+        rows[name] = row
+    if not rows:
+        sys.exit(f"compare_serving: {path} contains no series rows")
+    return doc, rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly measured JSON")
+    parser.add_argument(
+        "--latency-tolerance",
+        type=float,
+        default=1.0,
+        help="allowed fractional latency increase per quantile "
+        "(default 1.0 = latency may double before failing)",
+    )
+    parser.add_argument(
+        "--throughput-tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional throughput regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--ignore-hardware-mismatch",
+        action="store_true",
+        help="compare even when the documents report different "
+        "hardware_concurrency (latency is NOT comparable across machine "
+        "classes; expect noise)",
+    )
+    args = parser.parse_args()
+    if args.latency_tolerance < 0.0:
+        sys.exit("compare_serving: --latency-tolerance must be >= 0")
+    if not 0.0 <= args.throughput_tolerance < 1.0:
+        sys.exit("compare_serving: --throughput-tolerance must be in [0, 1)")
+
+    base_doc, baseline = load_doc(args.baseline)
+    cur_doc, current = load_doc(args.current)
+
+    base_hw = base_doc.get("hardware_concurrency")
+    cur_hw = cur_doc.get("hardware_concurrency")
+    if (
+        base_hw is not None
+        and cur_hw is not None
+        and base_hw != cur_hw
+        and not args.ignore_hardware_mismatch
+    ):
+        print(
+            "::warning title=serving latency gate skipped::baseline "
+            f"hardware_concurrency={base_hw} does not match runner {cur_hw}; "
+            "the latency gate is NOT armed. Refresh the committed baseline "
+            "from a CI artifact (README 'Serving over TCP')."
+        )
+        print(
+            f"SKIPPED: baseline was recorded with hardware_concurrency={base_hw}, "
+            f"current has {cur_hw} — latency is not comparable across machine "
+            "classes, so no gate was applied.\n"
+            "To arm the gate, refresh the committed baseline from a run on this "
+            "machine class (e.g. commit CI's BENCH_serving.ci.json artifact as "
+            "BENCH_serving.json — README 'Serving over TCP'), or pass "
+            "--ignore-hardware-mismatch to force the comparison."
+        )
+        return 0
+
+    failures = []
+    improvements = 0
+    for name in sorted(baseline):
+        base_row = baseline[name]
+        if name not in current:
+            failures.append(f"  {name}: present in baseline but missing from current")
+            continue
+        cur_row = current[name]
+
+        if cur_row.get("errors", 0):
+            failures.append(
+                f"  {name}: current run reported {cur_row['errors']} request errors"
+            )
+
+        # Latency: higher is worse.
+        base_lat = base_row.get("latency_ns", {})
+        cur_lat = cur_row.get("latency_ns", {})
+        for quantile in LATENCY_QUANTILES:
+            base = base_lat.get(quantile)
+            cur = cur_lat.get(quantile)
+            if base is None or cur is None:
+                failures.append(
+                    f"  {name}: latency quantile {quantile!r} missing from a document"
+                )
+                continue
+            if base <= 0:
+                failures.append(
+                    f"  {name}: baseline latency {quantile} is {base!r} "
+                    "(non-positive) — the baseline is broken; re-record it "
+                    "instead of comparing against it"
+                )
+                continue
+            ratio = cur / base
+            if ratio > 1.0 + args.latency_tolerance:
+                failures.append(
+                    f"  {name}: {quantile} latency rose {100 * (ratio - 1):.0f}% "
+                    f"(baseline {base / 1e3:,.1f}us -> current {cur / 1e3:,.1f}us, "
+                    f"tolerance {100 * args.latency_tolerance:.0f}%)"
+                )
+            elif ratio < 1.0:
+                improvements += 1
+
+        # Throughput: lower is worse.
+        base = base_row.get(THROUGHPUT_METRIC)
+        cur = cur_row.get(THROUGHPUT_METRIC)
+        if base is None or cur is None:
+            failures.append(
+                f"  {name}: metric {THROUGHPUT_METRIC!r} missing from a document"
+            )
+        elif base <= 0:
+            failures.append(
+                f"  {name}: baseline {THROUGHPUT_METRIC} is {base!r} "
+                "(non-positive) — the baseline is broken; re-record it instead "
+                "of comparing against it"
+            )
+        else:
+            ratio = cur / base
+            if ratio < 1.0 - args.throughput_tolerance:
+                failures.append(
+                    f"  {name}: {THROUGHPUT_METRIC} regressed "
+                    f"{100 * (1 - ratio):.1f}% (baseline {base:,.0f} -> "
+                    f"current {cur:,.0f}, tolerance "
+                    f"{100 * args.throughput_tolerance:.0f}%)"
+                )
+            elif ratio > 1.0:
+                improvements += 1
+
+    new_series = sorted(set(current) - set(baseline))
+    if new_series:
+        print(f"note: {len(new_series)} series not in baseline: {', '.join(new_series)}")
+
+    if failures:
+        print(
+            f"FAIL: {len(failures)} serving gate failure(s) "
+            f"({args.baseline} -> {args.current}):"
+        )
+        print("\n".join(failures))
+        print(
+            "If the slowdown is expected, refresh the committed baseline "
+            "(README 'Serving over TCP')."
+        )
+        return 1
+    print(
+        f"OK: {len(baseline)} series within tolerance "
+        f"(latency +{100 * args.latency_tolerance:.0f}%, throughput "
+        f"-{100 * args.throughput_tolerance:.0f}%; {improvements} metrics improved)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

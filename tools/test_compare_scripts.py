@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Unit tests for the CI compare scripts (stdlib unittest; registered with
+CTest as `compare_scripts_test`).
+
+The scripts are exercised as subprocesses — exit status and stdout are their
+public contract with CI. The regression pinned here is the silently disarmed
+gate: a baseline with a non-positive metric, or a hardware mismatch, must be
+LOUD (hard failure, or exit 0 with a ::warning:: annotation), never a quiet
+pass.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS = pathlib.Path(__file__).resolve().parent
+SCALING = TOOLS / "compare_broker_scaling.py"
+SERVING = TOOLS / "compare_serving.py"
+
+
+def run(script, *argv):
+    proc = subprocess.run(
+        [sys.executable, str(script), *argv],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    return proc.returncode, proc.stdout
+
+
+def scaling_doc(rate=100000.0, hw=4, series="own-product/t=1", extra_series=()):
+    rows = [
+        {
+            "series": series,
+            "aggregate_rounds_per_sec": rate,
+        }
+    ]
+    for name, value in extra_series:
+        rows.append({"series": name, "aggregate_rounds_per_sec": value})
+    return {
+        "schema": "pdm.bench_broker.v2",
+        "hardware_concurrency": hw,
+        "series": rows,
+    }
+
+
+def serving_doc(p50=100000, p99=500000, p999=900000, rps=8000.0, hw=4, errors=0):
+    return {
+        "schema": "pdm.bench_serving.v1",
+        "hardware_concurrency": hw,
+        "series": [
+            {
+                "series": "round-trip",
+                "errors": errors,
+                "achieved_rounds_per_sec": rps,
+                "latency_ns": {"p50": p50, "p99": p99, "p999": p999},
+            }
+        ],
+    }
+
+
+class CompareScriptTest(unittest.TestCase):
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self._dir.cleanup)
+
+    def write(self, name, doc):
+        path = pathlib.Path(self._dir.name) / name
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        return str(path)
+
+    # ------------------------------------------------ scaling: pass/fail
+
+    def test_scaling_ok(self):
+        base = self.write("base.json", scaling_doc(rate=100000.0))
+        cur = self.write("cur.json", scaling_doc(rate=99000.0))
+        code, out = run(SCALING, base, cur)
+        self.assertEqual(code, 0, out)
+        self.assertIn("OK", out)
+
+    def test_scaling_regression_fails(self):
+        base = self.write("base.json", scaling_doc(rate=100000.0))
+        cur = self.write("cur.json", scaling_doc(rate=50000.0))
+        code, out = run(SCALING, base, cur)
+        self.assertEqual(code, 1, out)
+        self.assertIn("regressed", out)
+
+    def test_scaling_missing_series_fails(self):
+        base = self.write(
+            "base.json",
+            scaling_doc(extra_series=[("shared-product/t=1", 90000.0)]),
+        )
+        cur = self.write("cur.json", scaling_doc())
+        code, out = run(SCALING, base, cur)
+        self.assertEqual(code, 1, out)
+        self.assertIn("missing from current", out)
+
+    # -------------------------------- scaling: the disarmed-gate bugfixes
+
+    def test_scaling_zero_baseline_fails_loudly(self):
+        """A non-positive baseline metric must FAIL, not silently pass."""
+        base = self.write("base.json", scaling_doc(rate=0.0))
+        cur = self.write("cur.json", scaling_doc(rate=100.0))
+        code, out = run(SCALING, base, cur)
+        self.assertEqual(code, 1, out)
+        self.assertIn("non-positive", out)
+        self.assertIn("re-record", out)
+
+    def test_scaling_hardware_mismatch_skips_with_warning_annotation(self):
+        base = self.write("base.json", scaling_doc(hw=1))
+        cur = self.write("cur.json", scaling_doc(hw=4, rate=10.0))
+        code, out = run(SCALING, base, cur)
+        self.assertEqual(code, 0, out)
+        self.assertIn("SKIPPED", out)
+        self.assertIn("::warning", out)
+
+    def test_scaling_hardware_mismatch_forced_comparison(self):
+        base = self.write("base.json", scaling_doc(hw=1, rate=100000.0))
+        cur = self.write("cur.json", scaling_doc(hw=4, rate=10.0))
+        code, out = run(SCALING, base, cur, "--ignore-hardware-mismatch")
+        self.assertEqual(code, 1, out)
+        self.assertIn("regressed", out)
+
+    # ------------------------------------------------------- serving
+
+    def test_serving_ok(self):
+        base = self.write("base.json", serving_doc())
+        cur = self.write("cur.json", serving_doc(p99=520000, rps=7900.0))
+        code, out = run(SERVING, base, cur)
+        self.assertEqual(code, 0, out)
+        self.assertIn("OK", out)
+
+    def test_serving_latency_regression_fails(self):
+        base = self.write("base.json", serving_doc(p99=500000))
+        cur = self.write("cur.json", serving_doc(p99=2000000))
+        code, out = run(SERVING, base, cur)
+        self.assertEqual(code, 1, out)
+        self.assertIn("p99 latency rose", out)
+
+    def test_serving_latency_within_tolerance_passes(self):
+        # Default latency tolerance is 1.0: doubling is the boundary.
+        base = self.write("base.json", serving_doc(p999=900000))
+        cur = self.write("cur.json", serving_doc(p999=1700000))
+        code, out = run(SERVING, base, cur)
+        self.assertEqual(code, 0, out)
+
+    def test_serving_throughput_regression_fails(self):
+        base = self.write("base.json", serving_doc(rps=8000.0))
+        cur = self.write("cur.json", serving_doc(rps=4000.0))
+        code, out = run(SERVING, base, cur)
+        self.assertEqual(code, 1, out)
+        self.assertIn("achieved_rounds_per_sec", out)
+
+    def test_serving_errors_fail(self):
+        base = self.write("base.json", serving_doc())
+        cur = self.write("cur.json", serving_doc(errors=3))
+        code, out = run(SERVING, base, cur)
+        self.assertEqual(code, 1, out)
+        self.assertIn("request errors", out)
+
+    def test_serving_zero_baseline_fails_loudly(self):
+        base = self.write("base.json", serving_doc(p50=0))
+        cur = self.write("cur.json", serving_doc())
+        code, out = run(SERVING, base, cur)
+        self.assertEqual(code, 1, out)
+        self.assertIn("non-positive", out)
+
+    def test_serving_hardware_mismatch_skips_with_warning_annotation(self):
+        base = self.write("base.json", serving_doc(hw=1))
+        cur = self.write("cur.json", serving_doc(hw=4, p99=10**9))
+        code, out = run(SERVING, base, cur)
+        self.assertEqual(code, 0, out)
+        self.assertIn("SKIPPED", out)
+        self.assertIn("::warning", out)
+
+    def test_serving_missing_series_fails(self):
+        base = self.write("base.json", serving_doc())
+        doc = serving_doc()
+        doc["series"][0]["series"] = "renamed"
+        cur = self.write("cur.json", doc)
+        code, out = run(SERVING, base, cur)
+        self.assertEqual(code, 1, out)
+        self.assertIn("missing from current", out)
+
+    def test_serving_wrong_schema_rejected(self):
+        base = self.write("base.json", serving_doc())
+        cur = self.write("cur.json", scaling_doc())
+        code, out = run(SERVING, base, cur)
+        self.assertNotEqual(code, 0, out)
+        self.assertIn("schema", out)
+
+
+if __name__ == "__main__":
+    unittest.main()
