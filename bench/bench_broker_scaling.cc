@@ -11,16 +11,19 @@
 //                   and measures lock hand-off overhead
 //
 // Emits BENCH_broker_scaling.json (schema pdm.bench_broker.v2): one series
-// row per (regime, threads) cell with the aggregate rate, the per-thread
-// min/median (the aggregate can hide a starved client), and the parallel
-// efficiency relative to the same regime's single-thread cell. The
-// repository commits a baseline at the repo root; CI re-runs the sweep in
-// smoke mode and `tools/compare_broker_scaling.py` fails the build when any
-// series regresses beyond tolerance (README "Performance").
+// row per (regime, threads, batch) cell — `--batch` is a sweep list, so the
+// grid also measures how PostPrices batch size trades against thread-level
+// contention (the batched matrix–panel quote path, DESIGN.md §11) — with the
+// aggregate rate, the per-thread min/median (the aggregate can hide a starved
+// client), and the parallel efficiency relative to the same (regime, batch)
+// single-thread cell. The repository commits a baseline at the repo root; CI
+// re-runs the sweep in smoke mode and `tools/compare_broker_scaling.py`
+// fails the build when any series regresses beyond tolerance or the series
+// sets diverge (README "Performance").
 //
 //   bench_broker_scaling                       # full sweep
 //   bench_broker_scaling --smoke               # CI mode (caps rounds at 50000)
-//   bench_broker_scaling --threads_list=1,4 --regime=own-product
+//   bench_broker_scaling --threads_list=1,4 --regime=own-product --batch=1,32
 
 #include <cstdint>
 #include <cstdio>
@@ -44,6 +47,7 @@ struct Cell {
   std::string series;
   std::string regime;
   int64_t threads = 0;
+  int64_t batch = 0;
   int64_t products = 0;
   int64_t total_rounds = 0;
   double wall_seconds = 0.0;
@@ -53,23 +57,13 @@ struct Cell {
   double efficiency = 0.0;
 };
 
-bool ParseThreadsList(const std::string& csv, std::vector<int64_t>* out) {
-  out->clear();
-  for (const std::string& part : pdm::Split(csv, ',')) {
-    std::optional<int64_t> value = pdm::ParseInt64(pdm::Trim(part));
-    if (!value.has_value() || *value < 1) return false;
-    out->push_back(*value);
-  }
-  return !out->empty();
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string threads_csv = "1,2,4,8,16";
   std::string regime_filter = "";
   int64_t rounds = 200000;
-  int64_t batch = 64;
+  std::string batch_csv = "1,8,64";
   pdm::broker_bench::ProductSetup setup;
   bool smoke = false;
   std::string out_path = "BENCH_broker_scaling.json";
@@ -79,7 +73,9 @@ int main(int argc, char** argv) {
                   "run only one regime ('own-product' or 'shared-product'; "
                   "'' = both)");
   flags.AddInt64("rounds", &rounds, "timed round trips per client");
-  flags.AddInt64("batch", &batch, "requests per PostPrices batch");
+  flags.AddString("batch", &batch_csv,
+                  "comma-separated requests-per-PostPrices batch sizes "
+                  "(sweep dimension)");
   flags.AddInt64("dim", &setup.dim, "feature dimension n of every product");
   flags.AddInt64("workload_rounds", &setup.workload_rounds,
                  "distinct precomputed queries per product");
@@ -92,12 +88,17 @@ int main(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) return flags.help_requested() ? 0 : 1;
   if (smoke && rounds > 50000) rounds = 50000;
   std::vector<int64_t> thread_counts;
-  if (!ParseThreadsList(threads_csv, &thread_counts)) {
+  if (!pdm::broker_bench::ParseCsvInt64s(threads_csv, &thread_counts)) {
     std::fprintf(stderr, "bad --threads_list '%s'\n", threads_csv.c_str());
     return 1;
   }
-  if (rounds < 1 || batch < 1 || setup.dim < 1 || setup.workload_rounds < 1) {
-    std::fprintf(stderr, "rounds/batch/dim/workload_rounds must be positive\n");
+  std::vector<int64_t> batches;
+  if (!pdm::broker_bench::ParseCsvInt64s(batch_csv, &batches)) {
+    std::fprintf(stderr, "bad --batch '%s'\n", batch_csv.c_str());
+    return 1;
+  }
+  if (rounds < 1 || setup.dim < 1 || setup.workload_rounds < 1) {
+    std::fprintf(stderr, "rounds/dim/workload_rounds must be positive\n");
     return 1;
   }
   setup.rounds = rounds;
@@ -108,71 +109,78 @@ int main(int argc, char** argv) {
   };
   const Regime kRegimes[] = {{"own-product", false}, {"shared-product", true}};
 
-  std::printf("=== broker scaling sweep: threads {%s} x regimes, %ld rounds/client, "
-              "batch %ld, n=%ld ===\n\n",
-              threads_csv.c_str(), static_cast<long>(rounds),
-              static_cast<long>(batch), static_cast<long>(setup.dim));
+  std::printf("=== broker scaling sweep: threads {%s} x batch {%s} x regimes, "
+              "%ld rounds/client, n=%ld ===\n\n",
+              threads_csv.c_str(), batch_csv.c_str(), static_cast<long>(rounds),
+              static_cast<long>(setup.dim));
 
   std::vector<Cell> cells;
   for (const Regime& regime : kRegimes) {
     if (!regime_filter.empty() && regime_filter != regime.name) continue;
-    size_t regime_first_cell = cells.size();
-    for (int64_t threads : thread_counts) {
-      // Fresh broker + fresh engines per cell: cells must not inherit each
-      // other's knowledge-set refinement (cut cadence changes the rate).
-      pdm::scenario::StreamFactory factory;
-      pdm::broker::Broker broker;
-      int64_t products = regime.shared_product ? 1 : threads;
-      std::vector<pdm::broker_bench::ProductWorkload> workloads =
-          pdm::broker_bench::OpenProducts(&factory, &broker, products, setup,
-                                          std::string(regime.name) + "/client");
-      pdm::broker_bench::RegionResult region =
-          pdm::broker_bench::RunClients(&broker, workloads, threads, rounds, batch);
-      pdm::broker_bench::ThreadRateStats rates =
-          pdm::broker_bench::RateStats(region.clients);
+    for (int64_t batch : batches) {
+      size_t group_first_cell = cells.size();
+      for (int64_t threads : thread_counts) {
+        // Fresh broker + fresh engines per cell: cells must not inherit each
+        // other's knowledge-set refinement (cut cadence changes the rate).
+        pdm::scenario::StreamFactory factory;
+        pdm::broker::Broker broker;
+        int64_t products = regime.shared_product ? 1 : threads;
+        std::vector<pdm::broker_bench::ProductWorkload> workloads =
+            pdm::broker_bench::OpenProducts(&factory, &broker, products, setup,
+                                            std::string(regime.name) + "/client");
+        pdm::broker_bench::RegionResult region =
+            pdm::broker_bench::RunClients(&broker, workloads, threads, rounds,
+                                          batch);
+        pdm::broker_bench::ThreadRateStats rates =
+            pdm::broker_bench::RateStats(region.clients);
 
-      Cell cell;
-      cell.regime = regime.name;
-      cell.series = std::string(regime.name) + "/t=" + std::to_string(threads);
-      cell.threads = threads;
-      cell.products = products;
-      cell.total_rounds = region.total_rounds;
-      cell.wall_seconds = region.region_seconds;
-      cell.aggregate = region.aggregate_rounds_per_sec();
-      cell.per_thread_min = rates.min;
-      cell.per_thread_median = rates.median;
-      cells.push_back(cell);
-    }
-    // Efficiency is relative to this regime's t=1 cell wherever it appears
-    // in --threads_list; without one there is no reference, and the field
-    // is NaN (JSON null) rather than silently wrong.
-    double single_thread_aggregate = 0.0;
-    for (size_t i = regime_first_cell; i < cells.size(); ++i) {
-      if (cells[i].threads == 1) single_thread_aggregate = cells[i].aggregate;
-    }
-    for (size_t i = regime_first_cell; i < cells.size(); ++i) {
-      cells[i].efficiency =
-          single_thread_aggregate > 0.0
-              ? cells[i].aggregate / (static_cast<double>(cells[i].threads) *
-                                      single_thread_aggregate)
-              : std::numeric_limits<double>::quiet_NaN();
+        Cell cell;
+        cell.regime = regime.name;
+        cell.series = std::string(regime.name) + "/t=" + std::to_string(threads) +
+                      "/b=" + std::to_string(batch);
+        cell.threads = threads;
+        cell.batch = batch;
+        cell.products = products;
+        cell.total_rounds = region.total_rounds;
+        cell.wall_seconds = region.region_seconds;
+        cell.aggregate = region.aggregate_rounds_per_sec();
+        cell.per_thread_min = rates.min;
+        cell.per_thread_median = rates.median;
+        cells.push_back(cell);
+      }
+      // Efficiency is relative to this (regime, batch) group's t=1 cell
+      // wherever it appears in --threads_list; without one there is no
+      // reference, and the field is NaN (JSON null) rather than silently
+      // wrong.
+      double single_thread_aggregate = 0.0;
+      for (size_t i = group_first_cell; i < cells.size(); ++i) {
+        if (cells[i].threads == 1) single_thread_aggregate = cells[i].aggregate;
+      }
+      for (size_t i = group_first_cell; i < cells.size(); ++i) {
+        cells[i].efficiency =
+            single_thread_aggregate > 0.0
+                ? cells[i].aggregate / (static_cast<double>(cells[i].threads) *
+                                        single_thread_aggregate)
+                : std::numeric_limits<double>::quiet_NaN();
+      }
     }
   }
 
   int64_t rss_bytes = pdm::CurrentRssBytes();
   pdm::TablePrinter table(
-      {"series", "threads", "aggregate/s", "thread-min/s", "thread-median/s",
-       "efficiency"});
+      {"series", "threads", "batch", "aggregate/s", "thread-min/s",
+       "thread-median/s", "efficiency"});
   for (const Cell& cell : cells) {
     table.AddRow({cell.series, std::to_string(cell.threads),
+                  std::to_string(cell.batch),
                   pdm::FormatDouble(cell.aggregate, 0),
                   pdm::FormatDouble(cell.per_thread_min, 0),
                   pdm::FormatDouble(cell.per_thread_median, 0),
                   pdm::FormatDouble(cell.efficiency, 3)});
   }
   table.Print(std::cout);
-  std::printf("\n(efficiency = aggregate / (threads x same-regime t=1 aggregate); "
-              "hardware concurrency %u, rss %.1f MiB)\n",
+  std::printf("\n(efficiency = aggregate / (threads x same-(regime,batch) t=1 "
+              "aggregate); hardware concurrency %u, rss %.1f MiB)\n",
               std::thread::hardware_concurrency(),
               static_cast<double>(rss_bytes) / (1024.0 * 1024.0));
 
@@ -186,7 +194,7 @@ int main(int argc, char** argv) {
     json.BeginObject();
     json.Field("schema", "pdm.bench_broker.v2");
     json.Field("rounds_per_thread", rounds);
-    json.Field("batch", batch);
+    json.Field("batch_list", batch_csv);
     json.Field("dim", setup.dim);
     json.Field("workload_rounds", setup.workload_rounds);
     json.Field("delta", setup.delta);
@@ -200,6 +208,7 @@ int main(int argc, char** argv) {
       json.Field("series", cell.series);
       json.Field("regime", cell.regime);
       json.Field("threads", cell.threads);
+      json.Field("batch", cell.batch);
       json.Field("products", cell.products);
       json.Field("rounds", cell.total_rounds);
       json.Field("wall_seconds", cell.wall_seconds);

@@ -2,8 +2,8 @@
 // n ∈ {2, 5, 10, 20, 50} × the four mechanism variants, on the precomputed
 // noisy-linear-query workload (Application 1). This is the perf trajectory
 // bench: besides the human-readable table it emits a machine-readable
-// BENCH_throughput.json (schema pdm.bench_throughput.v1) so successive
-// commits can be compared mechanically. The sweep itself is declarative —
+// BENCH_throughput.json (schema pdm.bench_throughput.v2) so successive
+// commits can be compared mechanically. The classic sweep is declarative —
 // scenario::ThroughputScenarios — and runs through the same ExperimentDriver
 // as pdm_run (which also covers this grid, as `throughput/*`, in the richer
 // pdm.run.v1 schema).
@@ -11,6 +11,15 @@
 // Each scenario replays the same recorded query sequence through RunMarket;
 // the reported wall time covers only the market loop (stream fill + PostPrice
 // + Observe + regret accounting), not workload construction.
+//
+// The `--batch` flag adds the batched same-product sweep (DESIGN.md §11):
+// for each dimension, a single "reserve" product served through the Broker
+// handle path with K-quote PostPrices + K-ticket Observes per round trip,
+// K sweeping the batch list. K = 1 goes through the identical call path
+// (degenerating to the scalar engine quote), so the b=K / b=1 ratio isolates
+// what the matrix–panel kernel and the amortized session crossing buy.
+// Batched rows carry scenario keys "batched/reserve/n=<dim>/b=<K>" and a
+// `batch` field; classic rows carry batch = 1.
 
 #include <cstdint>
 #include <cstdio>
@@ -19,8 +28,10 @@
 #include <string>
 #include <vector>
 
+#include "broker_bench_util.h"
 #include "common/flags.h"
 #include "common/json_writer.h"
+#include "common/memory.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "scenario/experiment.h"
@@ -28,12 +39,79 @@
 
 namespace {
 
-/// Writes the sweep as pdm.bench_throughput.v1 JSON (the scenario key stays
-/// "variant/n=dim" so the rounds/sec trajectory remains comparable across
-/// commits). `rss_bytes` is process VmRSS after the sweep.
+/// One cell of the batched same-product sweep.
+struct BatchedCell {
+  std::string scenario;
+  int64_t dim = 0;
+  int64_t batch = 0;
+  int64_t rounds = 0;
+  double wall_seconds = 0.0;
+  int64_t rss_bytes = 0;
+
+  double rounds_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(rounds) / wall_seconds : 0.0;
+  }
+};
+
+/// Runs the batched same-product sweep: dims × batch sizes, one fresh broker
+/// and "reserve" product per cell so no cell inherits another's knowledge-set
+/// refinement (cut cadence changes the rate).
+std::vector<BatchedCell> RunBatchedSweep(const std::vector<int64_t>& batches,
+                                         int64_t rounds, int64_t workload_rounds,
+                                         int64_t num_owners, double delta,
+                                         uint64_t seed) {
+  // kVariants[2] == "reserve": the mechanism the acceptance bar is measured
+  // on, and the one with the richest decision ladder (skip/explore/refine).
+  constexpr int64_t kReserveProduct = 2;
+  std::vector<BatchedCell> cells;
+  for (int64_t dim : {2, 5, 10, 20, 50}) {
+    for (int64_t batch : batches) {
+      pdm::broker_bench::ProductSetup setup;
+      setup.dim = dim;
+      setup.workload_rounds = workload_rounds;
+      setup.num_owners = num_owners;
+      setup.rounds = rounds;
+      setup.delta = delta;
+      setup.seed = seed;
+      pdm::scenario::StreamFactory factory;
+      pdm::broker::Broker broker;
+      pdm::scenario::ScenarioSpec spec =
+          pdm::broker_bench::ProductSpec(kReserveProduct, setup, "batched/");
+      pdm::scenario::WorkloadInfo info = factory.Prepare(spec);
+      pdm::Status opened = broker.OpenSession(spec.name, spec, info);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "OpenSession: %s\n", opened.ToString().c_str());
+        std::exit(1);
+      }
+      pdm::broker_bench::ProductWorkload product =
+          pdm::broker_bench::RecordWorkload(&factory, kReserveProduct, setup,
+                                            "batched/");
+      pdm::broker_bench::ClientResult result = pdm::broker_bench::RunClient(
+          &broker, product, rounds, batch, /*cursor=*/0);
+
+      BatchedCell cell;
+      cell.scenario = "batched/reserve/n=" + std::to_string(dim) +
+                      "/b=" + std::to_string(batch);
+      cell.dim = dim;
+      cell.batch = batch;
+      cell.rounds = result.rounds;
+      cell.wall_seconds = result.wall_seconds;
+      cell.rss_bytes = pdm::CurrentRssBytes();
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+/// Writes the sweep as pdm.bench_throughput.v2 JSON. Classic scenario keys
+/// stay "variant/n=dim" (with batch = 1) so the rounds/sec trajectory remains
+/// joinable across commits, including against old v1 documents; batched rows
+/// add the "batched/..." key space. `rss_bytes` is process VmRSS after the
+/// sweep.
 void WriteJson(const std::string& path, int64_t rounds_per_scenario,
                int64_t workload_rounds, double delta,
-               const std::vector<pdm::scenario::ScenarioOutcome>& outcomes) {
+               const std::vector<pdm::scenario::ScenarioOutcome>& outcomes,
+               const std::vector<BatchedCell>& batched) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
@@ -41,7 +119,7 @@ void WriteJson(const std::string& path, int64_t rounds_per_scenario,
   }
   pdm::JsonWriter json(&out);
   json.BeginObject();
-  json.Field("schema", "pdm.bench_throughput.v1");
+  json.Field("schema", "pdm.bench_throughput.v2");
   json.Field("rounds_per_scenario", rounds_per_scenario);
   json.Field("workload_rounds", workload_rounds);
   json.Field("delta", delta);
@@ -55,11 +133,28 @@ void WriteJson(const std::string& path, int64_t rounds_per_scenario,
     json.Field("scenario", spec.mechanism + "/n=" + std::to_string(spec.n));
     json.Field("variant", spec.mechanism);
     json.Field("dim", spec.n);
+    json.Field("batch", static_cast<int64_t>(1));
     json.Field("rounds", spec.rounds);
     json.Field("wall_seconds", wall);
     json.Field("rounds_per_sec", wall > 0.0 ? rounds / wall : 0.0);
     json.Field("ns_per_round", wall * 1e9 / rounds);
     json.Field("rss_bytes", outcome.rss_bytes);
+    json.EndObject();
+  }
+  for (const BatchedCell& cell : batched) {
+    json.BeginObject();
+    json.Field("scenario", cell.scenario);
+    json.Field("variant", "reserve");
+    json.Field("dim", cell.dim);
+    json.Field("batch", cell.batch);
+    json.Field("rounds", cell.rounds);
+    json.Field("wall_seconds", cell.wall_seconds);
+    json.Field("rounds_per_sec", cell.rounds_per_sec());
+    json.Field("ns_per_round", cell.rounds > 0
+                                   ? cell.wall_seconds * 1e9 /
+                                         static_cast<double>(cell.rounds)
+                                   : 0.0);
+    json.Field("rss_bytes", cell.rss_bytes);
     json.EndObject();
   }
   json.EndArray();
@@ -76,6 +171,7 @@ int main(int argc, char** argv) {
   double delta = 0.01;
   uint64_t seed = 1;
   bool smoke = false;
+  std::string batch_csv = "1,4,8,16,32";
   std::string out_path = "BENCH_throughput.json";
   pdm::FlagSet flags("bench_throughput");
   flags.AddInt64("rounds", &rounds, "timed rounds per scenario");
@@ -85,9 +181,18 @@ int main(int argc, char** argv) {
   flags.AddDouble("delta", &delta, "uncertainty buffer for the *+uncertainty variants");
   flags.AddUint64("seed", &seed, "workload seed");
   flags.AddBool("smoke", &smoke, "short CI mode (caps rounds at 20000)");
+  flags.AddString("batch", &batch_csv,
+                  "comma-separated batch sizes for the batched same-product "
+                  "sweep ('' disables it)");
   flags.AddString("out", &out_path, "machine-readable JSON output path");
   if (!flags.Parse(argc, argv)) return 1;
   if (smoke && rounds > 20000) rounds = 20000;
+  std::vector<int64_t> batches;
+  if (!batch_csv.empty() &&
+      !pdm::broker_bench::ParseCsvInt64s(batch_csv, &batches)) {
+    std::fprintf(stderr, "bad --batch '%s'\n", batch_csv.c_str());
+    return 1;
+  }
 
   std::vector<pdm::scenario::ScenarioSpec> specs = pdm::scenario::ThroughputScenarios(
       rounds, workload_rounds, num_owners, delta, seed);
@@ -114,7 +219,29 @@ int main(int argc, char** argv) {
   }
   table.Print(std::cout);
 
-  WriteJson(out_path, rounds, workload_rounds, delta, outcomes);
-  std::printf("\nwrote %s (%zu scenarios)\n", out_path.c_str(), outcomes.size());
+  std::vector<BatchedCell> batched;
+  if (!batches.empty()) {
+    std::printf("\n=== batched same-product sweep (broker handle path): "
+                "batch {%s} ===\n\n",
+                batch_csv.c_str());
+    batched =
+        RunBatchedSweep(batches, rounds, workload_rounds, num_owners, delta, seed);
+    pdm::TablePrinter batched_table({"scenario", "quotes/s", "ns/quote", "rss_mib"});
+    for (const BatchedCell& cell : batched) {
+      batched_table.AddRow(
+          {cell.scenario, pdm::FormatDouble(cell.rounds_per_sec(), 0),
+           pdm::FormatDouble(cell.wall_seconds * 1e9 /
+                                 static_cast<double>(cell.rounds),
+                             1),
+           pdm::FormatDouble(static_cast<double>(cell.rss_bytes) /
+                                 (1024.0 * 1024.0),
+                             1)});
+    }
+    batched_table.Print(std::cout);
+  }
+
+  WriteJson(out_path, rounds, workload_rounds, delta, outcomes, batched);
+  std::printf("\nwrote %s (%zu rows)\n", out_path.c_str(),
+              outcomes.size() + batched.size());
   return 0;
 }

@@ -7,11 +7,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "broker/broker.h"
+#include "common/string_util.h"
 #include "common/timer.h"
 #include "market/round.h"
 #include "rng/rng.h"
@@ -30,6 +32,19 @@ namespace pdm::broker_bench {
 /// The four published mechanism variants, assigned to products round-robin.
 inline const char* const kVariants[] = {"pure", "uncertainty", "reserve",
                                         "reserve+uncertainty"};
+
+/// Parses a comma-separated list of positive integers (the shape of the
+/// `--batch` / `--threads_list` sweep flags). Returns false on any malformed
+/// or non-positive entry, or an empty list.
+inline bool ParseCsvInt64s(const std::string& csv, std::vector<int64_t>* out) {
+  out->clear();
+  for (const std::string& part : Split(csv, ',')) {
+    std::optional<int64_t> value = ParseInt64(Trim(part));
+    if (!value.has_value() || *value < 1) return false;
+    out->push_back(*value);
+  }
+  return !out->empty();
+}
 
 struct ProductSetup {
   int64_t dim = 20;

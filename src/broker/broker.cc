@@ -26,6 +26,13 @@ struct BatchScratch {
   std::vector<uint64_t> done;
   /// Name-keyed batches lowered onto the handle path.
   std::vector<HandleRequest> handle_requests;
+  /// One session's share of a mixed batch, gathered for the session-level
+  /// batched entry point: the contiguous request/quote views handed to
+  /// PricingSession::PostPrices plus each item's original batch position
+  /// for the scatter back.
+  std::vector<SessionRequest> session_requests;
+  std::vector<Quote> session_quotes;
+  std::vector<size_t> positions;
 
   void ResetDone(size_t batch_size) {
     done.assign((batch_size + 63) / 64, 0);
@@ -232,6 +239,7 @@ Status Broker::PostPricesGrouped(std::span<const HandleRequest> requests,
     if (scratch.Done(i)) continue;
     const ProductHandle handle = requests[i].handle;
     LockedSlot acquired = AcquireHandle(handle);
+    scratch.positions.clear();
     for (size_t j = i; j < requests.size(); ++j) {
       if (scratch.Done(j) || requests[j].handle != handle) continue;
       scratch.MarkDone(j);
@@ -241,8 +249,37 @@ Status Broker::PostPricesGrouped(std::span<const HandleRequest> requests,
         record(j, StaleHandleError());
         continue;
       }
+      scratch.positions.push_back(j);
+    }
+    if (scratch.positions.empty()) continue;
+    if (scratch.positions.size() == 1) {
+      const size_t j = scratch.positions[0];
       record(j, acquired.session()->PostPrice(requests[j].features,
                                               requests[j].reserve, &quotes[j]));
+      continue;
+    }
+    // Gather the group into the session's batched entry point: batched
+    // engines then spend one matrix–panel pass per kQuoteTile-sized run
+    // (DESIGN.md §11) instead of one mat-vec per request, still under the
+    // single lock acquisition. Quotes are scattered back to their original
+    // batch positions; per-request failures already sit in each quote's
+    // status, and the group's first failure maps back through `positions`
+    // (which is increasing, so lowest group position = lowest batch
+    // position).
+    scratch.session_requests.clear();
+    for (size_t j : scratch.positions) {
+      scratch.session_requests.push_back({requests[j].features, requests[j].reserve});
+    }
+    scratch.session_quotes.resize(scratch.positions.size());
+    size_t group_error = scratch.positions.size();
+    Status group_status = acquired.session()->PostPrices(
+        std::span<const SessionRequest>(scratch.session_requests),
+        std::span<Quote>(scratch.session_quotes), &group_error);
+    for (size_t g = 0; g < scratch.positions.size(); ++g) {
+      quotes[scratch.positions[g]] = scratch.session_quotes[g];
+    }
+    if (!group_status.ok() && group_error < scratch.positions.size()) {
+      record(scratch.positions[group_error], std::move(group_status));
     }
   }
   return first_error;

@@ -42,11 +42,32 @@ Status PricingSession::PostPrice(std::span<const double> features, double reserv
         "outstanding ticket");
   }
 
+  // Slot allocation runs before the engine is consulted: a failed
+  // allocation must not leave a pending round dangling inside the engine.
+  size_t index = 0;
+  Status alloc = AllocateSlot(&index);
+  if (!alloc.ok()) {
+    quote->status = alloc.code();
+    return alloc;
+  }
+
   // Bridge the span into the engine's Vector parameter; the buffer reaches
   // steady-state capacity after the first request of each dimension.
   features_buf_.assign(features.begin(), features.end());
   PostedPrice posted = engine_->PostPrice(features_buf_, reserve);
 
+  TicketSlot& slot = slots_[index];
+  if (!engine_->DetachPending(&slot.cut)) {
+    // Third-party engine without the serving hooks: the round stays attached
+    // inside the engine and this ticket is the only one allowed outstanding.
+    slot.cut.kind = kAttachedKind;
+    has_attached_pending_ = true;
+  }
+  FinishIssue(index, posted, quote);
+  return Status::Ok();
+}
+
+Status PricingSession::AllocateSlot(size_t* out_index) {
   // A slot whose generation has reached kGenMask is never reissued: bumping
   // past the mask would wrap the generation back to a value a long-stale
   // ticket may still carry, and that stale id would then alias a live quote
@@ -67,7 +88,6 @@ Status PricingSession::PostPrice(std::span<const double> features, double reserv
     if (slots_.size() <= kSlotMask) {
       slots_.emplace_back();
     } else {
-      quote->status = StatusCode::kFailedPrecondition;
       return Status::FailedPrecondition(
           "product '" + product_ + "': ticket-slot space exhausted (" +
           std::to_string(pending_count_) + " quotes outstanding, " +
@@ -75,16 +95,15 @@ Status PricingSession::PostPrice(std::span<const double> features, double reserv
           "bound)");
     }
   }
+  *out_index = index;
+  return Status::Ok();
+}
+
+void PricingSession::FinishIssue(size_t index, const PostedPrice& posted, Quote* quote) {
   TicketSlot& slot = slots_[index];
-  if (!engine_->DetachPending(&slot.cut)) {
-    // Third-party engine without the serving hooks: the round stays attached
-    // inside the engine and this ticket is the only one allowed outstanding.
-    slot.cut.kind = kAttachedKind;
-    has_attached_pending_ = true;
-  }
   // The slot index goes into the ticket's middle bits (O(1) feedback
   // routing); the bumped generation makes recycled slots reject duplicate
-  // or stale tickets. No mask on the bump: the allocation above guarantees
+  // or stale tickets. No mask on the bump: AllocateSlot guarantees
   // generation < kGenMask, so the increment saturates at kGenMask instead of
   // ever wrapping to an already-issued value.
   slot.generation = slot.generation + 1;
@@ -98,7 +117,95 @@ Status PricingSession::PostPrice(std::span<const double> features, double reserv
   quote->price = posted.price;
   quote->exploratory = posted.exploratory;
   quote->certain_no_sale = posted.certain_no_sale;
-  return Status::Ok();
+}
+
+Status PricingSession::PostPrices(std::span<const SessionRequest> requests,
+                                  std::span<Quote> quotes, size_t* error_index) {
+  if (requests.size() != quotes.size()) {
+    if (error_index != nullptr) *error_index = 0;
+    return Status::InvalidArgument(
+        "request/quote span size mismatch: " + std::to_string(requests.size()) +
+        " vs " + std::to_string(quotes.size()));
+  }
+  Status first_error;
+  size_t first_error_index = requests.size();
+  auto record = [&](size_t i, Status status) {
+    if (!status.ok() && i < first_error_index) {
+      first_error_index = i;
+      first_error = std::move(status);
+    }
+  };
+
+  if (!engine_->SupportsBatchedQuotes()) {
+    // Scalar fallback: engines without the batch hook (interval, baselines,
+    // third-party) price request by request — same results, no panel.
+    for (size_t i = 0; i < requests.size(); ++i) {
+      record(i, PostPrice(requests[i].features, requests[i].reserve, &quotes[i]));
+    }
+    if (error_index != nullptr) *error_index = first_error_index;
+    return first_error;
+  }
+
+  const int want = engine_->input_dim();
+  for (size_t start = 0; start < requests.size();
+       start += static_cast<size_t>(kQuoteTile)) {
+    const size_t end =
+        std::min(requests.size(), start + static_cast<size_t>(kQuoteTile));
+    // Pass 1: validate and allocate ticket slots in request order — the same
+    // free-list pops the scalar path would perform, so the issued ticket ids
+    // are identical — and pack the valid queries into the feature panel.
+    panel_buf_.resize((end - start) * static_cast<size_t>(want));
+    reserve_buf_.resize(end - start);
+    tile_slots_.clear();
+    tile_positions_.clear();
+    size_t m = 0;
+    for (size_t i = start; i < end; ++i) {
+      Quote& quote = quotes[i];
+      quote.ticket = 0;
+      quote.status = StatusCode::kOk;
+      if (static_cast<int>(requests[i].features.size()) != want) {
+        quote.status = StatusCode::kInvalidArgument;
+        record(i, Status::InvalidArgument(
+                      "dimension mismatch for product '" + product_ + "': got " +
+                      std::to_string(requests[i].features.size()) +
+                      " features, engine expects " + std::to_string(want)));
+        continue;
+      }
+      size_t index = 0;
+      Status alloc = AllocateSlot(&index);
+      if (!alloc.ok()) {
+        quote.status = alloc.code();
+        record(i, std::move(alloc));
+        continue;
+      }
+      std::copy(requests[i].features.begin(), requests[i].features.end(),
+                panel_buf_.begin() + m * static_cast<size_t>(want));
+      reserve_buf_[m] = requests[i].reserve;
+      tile_slots_.push_back(index);
+      tile_positions_.push_back(i);
+      ++m;
+    }
+    if (m == 0) continue;
+
+    // Pass 2: one engine pass for the whole tile. The cut pointers are
+    // collected only now — every allocation is done, so `slots_` can no
+    // longer reallocate under them. The engine writes each detached cut
+    // context straight into its ticket slot.
+    posted_buf_.resize(m);
+    cut_buf_.resize(m);
+    for (size_t j = 0; j < m; ++j) cut_buf_[j] = &slots_[tile_slots_[j]].cut;
+    engine_->PostPriceBatch(panel_buf_.data(), static_cast<int>(m),
+                            reserve_buf_.data(), posted_buf_.data(),
+                            cut_buf_.data());
+
+    // Pass 3: issue tickets in request order (generation bumps, issue-order
+    // stamps, and counters land exactly as the scalar path would).
+    for (size_t j = 0; j < m; ++j) {
+      FinishIssue(tile_slots_[j], posted_buf_[j], &quotes[tile_positions_[j]]);
+    }
+  }
+  if (error_index != nullptr) *error_index = first_error_index;
+  return first_error;
 }
 
 Status PricingSession::Observe(uint64_t ticket, bool accepted) {

@@ -40,6 +40,15 @@
 
 namespace pdm::broker {
 
+/// One request of the session-level batched entry point (the broker gathers
+/// each session's share of a mixed batch into a span of these).
+struct SessionRequest {
+  /// Raw feature vector x_t; length must match the engine's input dimension.
+  std::span<const double> features;
+  /// Reserve price q_t.
+  double reserve = 0.0;
+};
+
 /// The serving-side answer to one price request.
 struct Quote {
   /// Feedback ticket; 0 when the request failed (see `status`).
@@ -98,6 +107,26 @@ class PricingSession {
   /// outstanding quotes).
   Status PostPrice(std::span<const double> features, double reserve, Quote* quote);
 
+  /// Panel tile of the batched quoting path: PostPrices hands the engine at
+  /// most this many queries per PostPriceBatch call, so the packing scratch
+  /// is compile-time bounded (kQuoteTile × dim doubles) no matter how large
+  /// a batch a client sends.
+  static constexpr int kQuoteTile = 32;
+
+  /// Prices `requests[i]` into `quotes[i]` in batch order. When the engine
+  /// supports batched quotes (PricingEngine::SupportsBatchedQuotes), each
+  /// kQuoteTile-sized run is packed into a feature panel and priced with one
+  /// engine pass — bit-identical to sequential PostPrice calls, including
+  /// the issued ticket ids (slots are allocated in request order, exactly as
+  /// the scalar path would). Engines without batch support fall back to the
+  /// scalar loop. Individual request failures do not abort the batch: each
+  /// failed quote carries its status (and ticket 0), the returned Status is
+  /// the failure at the lowest batch position, and `*error_index` (when
+  /// non-null) receives that position (`requests.size()` when everything
+  /// succeeded). Errors: InvalidArgument when the spans' sizes differ.
+  Status PostPrices(std::span<const SessionRequest> requests, std::span<Quote> quotes,
+                    size_t* error_index = nullptr);
+
   /// Applies accept/reject feedback for `ticket` and retires it — O(1), the
   /// ticket encodes its slot. Errors: NotFound (unknown, foreign, or
   /// already-resolved ticket — duplicate feedback lands here, the ticket was
@@ -151,6 +180,18 @@ class PricingSession {
   /// use the classic call (at most one such ticket can be outstanding).
   static constexpr int kAttachedKind = -1;
 
+  /// Pops (or grows) a free ticket slot, retiring generation-saturated
+  /// candidates along the way. Fails with FailedPrecondition when the slot
+  /// space is exhausted. Runs *before* the engine is consulted, so a failed
+  /// allocation never leaves a dangling pending round inside the engine.
+  Status AllocateSlot(size_t* out_index);
+
+  /// Shared tail of the scalar and batched quote paths: bumps the slot
+  /// generation, stamps issue order, composes the ticket id, updates the
+  /// session counters, and fills `*quote` from `posted`. The slot's cut
+  /// context must already be populated.
+  void FinishIssue(size_t index, const PostedPrice& posted, Quote* quote);
+
   std::string product_;
   std::unique_ptr<PricingEngine> engine_;
   uint64_t ticket_base_;
@@ -165,6 +206,18 @@ class PricingSession {
   Vector features_buf_;
   std::vector<TicketSlot> slots_;
   std::vector<size_t> free_slots_;
+
+  // PostPrices tile workspaces, bounded by kQuoteTile and reused across
+  // batches so the batched path is allocation-free in steady state: the
+  // packed feature panel and reserves handed to the engine, the per-tile
+  // posted-price and cut-pointer tables, and the slot/batch-position maps
+  // that tie engine outputs back to tickets and caller quotes.
+  Vector panel_buf_;
+  Vector reserve_buf_;
+  std::vector<PostedPrice> posted_buf_;
+  std::vector<PendingCut*> cut_buf_;
+  std::vector<size_t> tile_slots_;
+  std::vector<size_t> tile_positions_;
 };
 
 }  // namespace pdm::broker

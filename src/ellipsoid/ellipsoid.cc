@@ -57,6 +57,39 @@ void Ellipsoid::Support(const Vector& x, SupportInterval* out) const {
   // direction keeps the raw A·x; the cuts fold in the 1/half_width scaling.
 }
 
+void Ellipsoid::SupportBatch(const double* panel, int k, SupportInterval* out) const {
+  PDM_CHECK(k >= 0);
+  if (k == 0) return;
+  PDM_CHECK(panel != nullptr && out != nullptr);
+  const int n = dim();
+  // One matrix–panel pass computes every query's A·x_j; resize never shrinks
+  // capacity, so the workspace reaches a steady high-water mark and stops
+  // allocating.
+  batch_panel_ws_.resize(static_cast<size_t>(k) * static_cast<size_t>(n));
+  shape_.MatPanelInto(panel, k, batch_panel_ws_.data());
+  for (int j = 0; j < k; ++j) {
+    const double* x = panel + static_cast<size_t>(j) * n;
+    const double* ax = batch_panel_ws_.data() + static_cast<size_t>(j) * n;
+    SupportInterval& o = out[j];
+    // Same per-query arithmetic as Support(): midpoint and quadratic form
+    // through the shared Dot kernel, degenerate handling identical.
+    o.midpoint = Dot(x, center_.data(), static_cast<size_t>(n));
+    double quad = Dot(x, ax, static_cast<size_t>(n));
+    if (quad <= 0.0 || !std::isfinite(quad)) {
+      o.lower = o.upper = o.midpoint;
+      o.half_width = 0.0;
+      o.direction.clear();  // keeps capacity; "empty when half_width = 0"
+      continue;
+    }
+    o.half_width = std::sqrt(quad);
+    o.lower = o.midpoint - o.half_width;
+    o.upper = o.midpoint + o.half_width;
+    // Copy the raw A·x_j out of the workspace panel; assign reuses the
+    // caller's buffer capacity, so recycled intervals stay allocation-free.
+    o.direction.assign(ax, ax + n);
+  }
+}
+
 double Ellipsoid::CutAlpha(const Vector& x, double cut_value) const {
   SupportInterval s = Support(x);
   PDM_CHECK(s.half_width > 0.0);

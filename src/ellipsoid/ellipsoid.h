@@ -64,6 +64,19 @@ class Ellipsoid {
   /// results to the by-value overload.
   void Support(const Vector& x, SupportInterval* out) const;
 
+  /// Batched support: `panel` packs k query vectors query-major (query j at
+  /// panel + j·dim()), `out[0..k)` receive exactly what k sequential
+  /// Support(x_j, &out[j]) calls would produce — BIT-IDENTICAL per query,
+  /// because the matrix–panel pass keeps each query's reduction order equal
+  /// to the mat-vec pass (Matrix::MatPanelInto) and the midpoint/quadratic
+  /// dots run the same kernel. One streamed O(k·n²) pass over A replaces k
+  /// cold O(n²) passes (DESIGN.md §11). The A·X workspace panel is a mutable
+  /// member reused across calls (steady-state calls allocate nothing once
+  /// out[j].direction buffers reach capacity), which also means concurrent
+  /// SupportBatch calls on one Ellipsoid are NOT safe — the broker serializes
+  /// per-session access, and engines own their ellipsoids exclusively.
+  void SupportBatch(const double* panel, int k, SupportInterval* out) const;
+
   /// Signed cut position α for hyperplane {θ : xᵀθ = cut_value}.
   double CutAlpha(const Vector& x, double cut_value) const;
 
@@ -124,6 +137,10 @@ class Ellipsoid {
   /// the fused update is ~1 ulp per cut; re-symmetrizing every few dozen
   /// cuts keeps it far below tolerance without paying O(n²) every round).
   int cuts_since_symmetrize_ = 0;
+  /// SupportBatch's A·X target panel, reused across calls (grow-only) so the
+  /// batched hot path stays allocation-free in steady state. Mutable scratch,
+  /// not logical state — see the SupportBatch thread-safety note.
+  mutable Vector batch_panel_ws_;
 };
 
 }  // namespace pdm

@@ -7,24 +7,75 @@
 namespace pdm {
 namespace {
 
-/// Row-major mat-vec with a reassociated 4-accumulator inner reduction (see
-/// vector_ops.cc's DotKernel for the rationale). `x` must not alias `y`.
+/// One row·vector dot with a reassociated 4-accumulator stride-4 reduction
+/// (see vector_ops.cc's DotKernel for the rationale), shared by the mat-vec
+/// and matrix–panel kernels below so "bit-identical per query" is structural:
+/// both inline literally this op sequence. Must stay inline-only — a separate
+/// compiled copy could be specialized differently per call site.
+inline double RowDot(const double* __restrict row, const double* __restrict x,
+                     int cols) {
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  int c = 0;
+  for (; c + 4 <= cols; c += 4) {
+    acc[0] += row[c] * x[c];
+    acc[1] += row[c + 1] * x[c + 1];
+    acc[2] += row[c + 2] * x[c + 2];
+    acc[3] += row[c + 3] * x[c + 3];
+  }
+  double total = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+  for (; c < cols; ++c) total += row[c] * x[c];
+  return total;
+}
+
+/// Row-major mat-vec. `x` must not alias `y`.
 PDM_TARGET_CLONES
 void MatVecKernel(const double* __restrict data, int rows, int cols,
                   const double* __restrict x, double* __restrict y) {
   for (int r = 0; r < rows; ++r) {
-    const double* __restrict row = data + static_cast<size_t>(r) * cols;
-    double acc[4] = {0.0, 0.0, 0.0, 0.0};
-    int c = 0;
-    for (; c + 4 <= cols; c += 4) {
-      acc[0] += row[c] * x[c];
-      acc[1] += row[c + 1] * x[c + 1];
-      acc[2] += row[c + 2] * x[c + 2];
-      acc[3] += row[c + 3] * x[c + 3];
+    y[r] = RowDot(data + static_cast<size_t>(r) * cols, x, cols);
+  }
+}
+
+/// Matrix–panel kernel: Y ← A·X for a query-major packed panel of k vectors,
+/// blocked 4 queries wide so each A row is touched four times back to back —
+/// one pass over A per block instead of one per query, which keeps the row
+/// in L1 (and, once A outgrows L1, turns k memory sweeps into k/4). Each
+/// query's dot is RowDot itself, so every output column is bit-identical to
+/// a standalone MatVecKernel pass by construction. Remainder queries
+/// (k mod 4) run through MatVecKernel.
+///
+/// Deliberately NOT a fully fused inner loop: a version that interleaved the
+/// four queries' accumulator arrays inside one c-loop defeated GCC's SLP
+/// vectorizer (it serialized the reductions through scalar adds plus lane
+/// shuffles, ~3× slower than this shape at n ≥ 20). Four sequential RowDot
+/// calls vectorize exactly like the mat-vec path while still amortizing the
+/// row traffic. The identity additionally requires that the compiler not
+/// contract mul+add into FMA differently per call site, so this layer builds
+/// with -ffp-contract=off (CMakeLists.txt).
+PDM_TARGET_CLONES
+void MatPanelKernel(const double* __restrict data, int rows, int cols,
+                    const double* __restrict panel, int k, double* __restrict y) {
+  int j = 0;
+  for (; j + 4 <= k; j += 4) {
+    const double* __restrict x0 = panel + static_cast<size_t>(j) * cols;
+    const double* __restrict x1 = panel + static_cast<size_t>(j + 1) * cols;
+    const double* __restrict x2 = panel + static_cast<size_t>(j + 2) * cols;
+    const double* __restrict x3 = panel + static_cast<size_t>(j + 3) * cols;
+    double* __restrict y0 = y + static_cast<size_t>(j) * rows;
+    double* __restrict y1 = y + static_cast<size_t>(j + 1) * rows;
+    double* __restrict y2 = y + static_cast<size_t>(j + 2) * rows;
+    double* __restrict y3 = y + static_cast<size_t>(j + 3) * rows;
+    for (int r = 0; r < rows; ++r) {
+      const double* __restrict row = data + static_cast<size_t>(r) * cols;
+      y0[r] = RowDot(row, x0, cols);
+      y1[r] = RowDot(row, x1, cols);
+      y2[r] = RowDot(row, x2, cols);
+      y3[r] = RowDot(row, x3, cols);
     }
-    double total = (acc[0] + acc[1]) + (acc[2] + acc[3]);
-    for (; c < cols; ++c) total += row[c] * x[c];
-    y[r] = total;
+  }
+  for (; j < k; ++j) {
+    MatVecKernel(data, rows, cols, panel + static_cast<size_t>(j) * cols,
+                 y + static_cast<size_t>(j) * rows);
   }
 }
 
@@ -79,6 +130,13 @@ void Matrix::MatVecInto(const Vector& x, Vector* y) const {
   PDM_DCHECK(&x != y);
   y->resize(static_cast<size_t>(rows_));
   MatVecKernel(data_.data(), rows_, cols_, x.data(), y->data());
+}
+
+void Matrix::MatPanelInto(const double* panel, int k, double* y) const {
+  PDM_CHECK(k >= 0);
+  if (k == 0) return;
+  PDM_CHECK(panel != nullptr && y != nullptr);
+  MatPanelKernel(data_.data(), rows_, cols_, panel, k, y);
 }
 
 Vector Matrix::MatTVec(const Vector& x) const {

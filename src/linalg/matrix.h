@@ -49,6 +49,18 @@ class Matrix {
   /// per-round hot kernel of the ellipsoid support computation.
   void MatVecInto(const Vector& x, Vector* y) const;
 
+  /// Y ← A·X for a packed panel of k query vectors: one streamed pass over A
+  /// instead of k mat-vec passes. `panel` is query-major — query j occupies
+  /// panel[j·cols() .. j·cols()+cols()) — and `y` is filled query-major the
+  /// same way: y[j·rows() + r] = (A·x_j)[r], so y must hold k·rows() doubles.
+  /// Per query the inner reduction uses exactly MatVecInto's association
+  /// order, so each output column is BIT-IDENTICAL to a standalone MatVecInto
+  /// call on that query; the kernel only interleaves the independent per-query
+  /// dependency chains (register-blocked 4 queries wide) so each A row is
+  /// loaded once per block instead of once per query. `panel` must not alias
+  /// `y`. This is the batched-quote hot kernel (DESIGN.md §11).
+  void MatPanelInto(const double* panel, int k, double* y) const;
+
   /// y = Aᵀ·x.
   Vector MatTVec(const Vector& x) const;
 

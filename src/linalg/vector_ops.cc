@@ -52,6 +52,10 @@ double Dot(const Vector& a, const Vector& b) {
   return DotKernel(a.data(), b.data(), a.size());
 }
 
+double Dot(const double* a, const double* b, size_t n) {
+  return DotKernel(a, b, n);
+}
+
 double Norm2(const Vector& a) { return std::sqrt(Dot(a, a)); }
 
 double NormInf(const Vector& a) {

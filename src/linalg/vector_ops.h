@@ -1,6 +1,7 @@
 #ifndef PDM_LINALG_VECTOR_OPS_H_
 #define PDM_LINALG_VECTOR_OPS_H_
 
+#include <cstddef>
 #include <vector>
 
 /// \file
@@ -29,6 +30,11 @@ Vector BasisVector(int n, int i);
 /// reassociated (SIMD-friendly) 4-accumulator reduction — deterministic per
 /// build and machine, equal to the sequential sum up to rounding.
 double Dot(const Vector& a, const Vector& b);
+
+/// Raw-buffer overload of Dot for packed panels (DESIGN.md §11); runs the
+/// same kernel, so it is bit-identical to the Vector overload on equal
+/// contents.
+double Dot(const double* a, const double* b, size_t n);
 
 /// Euclidean norm ‖a‖₂.
 double Norm2(const Vector& a);

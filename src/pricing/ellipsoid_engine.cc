@@ -95,6 +95,77 @@ PostedPrice EllipsoidPricingEngine::PostPrice(const Vector& features, double res
   return posted;
 }
 
+void EllipsoidPricingEngine::PostPriceBatch(const double* panel, int k,
+                                            const double* reserves, PostedPrice* posted,
+                                            PendingCut* const* cuts) {
+  PDM_CHECK(pending_ == PendingKind::kNone);
+  PDM_CHECK(k >= 0);
+  if (k == 0) return;
+  PDM_CHECK(panel != nullptr && reserves != nullptr && posted != nullptr &&
+            cuts != nullptr);
+  if (k == 1) {
+    // A single query gains nothing from the panel kernel; route it through
+    // the scalar path (bridging the raw pointer into the Vector signature —
+    // assign reuses the bridge buffer's capacity).
+    batch_features_.assign(panel, panel + config_.dim);
+    posted[0] = PostPrice(batch_features_, reserves[0]);
+    PDM_CHECK(DetachPending(cuts[0]));
+    return;
+  }
+
+  // Grow-only: shrinking would destroy the recycled per-entry direction
+  // buffers and reintroduce steady-state allocation.
+  if (static_cast<int>(batch_support_.size()) < k) {
+    batch_support_.resize(static_cast<size_t>(k));
+  }
+  // One matrix–panel pass for all k supports; every quote below prices
+  // against this same frozen knowledge set, which is exactly what sequential
+  // PostPrice+DetachPending pairs do (detaching prevents any cut in between).
+  ellipsoid_.SupportBatch(panel, k, batch_support_.data());
+
+  for (int j = 0; j < k; ++j) {
+    const SupportInterval& support = batch_support_[static_cast<size_t>(j)];
+    ++counters_.rounds;
+    double q = config_.use_reserve ? reserves[j] : -std::numeric_limits<double>::infinity();
+
+    // The same Algorithm 2 decision ladder as PostPrice, fused with
+    // DetachPending's context export.
+    PostedPrice& out = posted[j];
+    PendingKind kind;
+    if (config_.use_reserve && q >= support.upper + config_.delta) {
+      ++counters_.skipped_rounds;
+      out.price = q;
+      out.exploratory = false;
+      out.certain_no_sale = true;
+      kind = PendingKind::kSkip;
+    } else if (support.upper - support.lower > epsilon_) {
+      out.price = std::max(q, support.midpoint);
+      out.exploratory = true;
+      out.certain_no_sale = false;
+      kind = PendingKind::kExploratory;
+      ++counters_.exploratory_rounds;
+    } else {
+      out.price = std::max(q, support.lower - config_.delta);
+      out.exploratory = false;
+      out.certain_no_sale = false;
+      kind = PendingKind::kConservative;
+      ++counters_.conservative_rounds;
+    }
+
+    PendingCut* cut = cuts[j];
+    cut->kind = static_cast<int>(kind);
+    cut->price = out.price;
+    cut->x = 0.0;
+    cut->wrapped_skip = false;
+    cut->support.lower = support.lower;
+    cut->support.upper = support.upper;
+    cut->support.half_width = support.half_width;
+    cut->support.midpoint = support.midpoint;
+    // Copy-assignment reuses the ticket slot's capacity (see DetachPending).
+    cut->support.direction = support.direction;
+  }
+}
+
 void EllipsoidPricingEngine::Observe(bool accepted) {
   PDM_CHECK(pending_ != PendingKind::kNone);
   PendingKind kind = pending_;

@@ -74,6 +74,13 @@ class EllipsoidPricingEngine : public PricingEngine {
   bool SaveSnapshot(EngineSnapshot* out) const override;
   bool LoadSnapshot(const EngineSnapshot& snapshot) override;
 
+  /// Batched quoting (DESIGN.md §11): one Ellipsoid::SupportBatch pass covers
+  /// the whole panel, then the per-query Algorithm 2 decision logic runs
+  /// unchanged. Bit-identical to k sequential PostPrice+DetachPending pairs.
+  bool SupportsBatchedQuotes() const override { return true; }
+  void PostPriceBatch(const double* panel, int k, const double* reserves,
+                      PostedPrice* posted, PendingCut* const* cuts) override;
+
   /// The knowledge set E_t (diagnostics, tests, Lemma 6/7 volume tracking).
   const Ellipsoid& knowledge_set() const { return ellipsoid_; }
   const EllipsoidEngineConfig& config() const { return config_; }
@@ -103,6 +110,14 @@ class EllipsoidPricingEngine : public PricingEngine {
   PendingKind pending_ = PendingKind::kNone;
   SupportInterval pending_support_;
   double pending_price_ = 0.0;
+
+  // PostPriceBatch workspaces, grown to the high-water batch size and then
+  // reused: batch_support_ holds the panel's support intervals (its entries'
+  // direction buffers are recycled, and the vector is never shrunk — shrinking
+  // would free those buffers) and batch_features_ bridges the k=1 scalar
+  // fallback into PostPrice's Vector signature.
+  std::vector<SupportInterval> batch_support_;
+  Vector batch_features_;
 };
 
 }  // namespace pdm

@@ -36,6 +36,71 @@ PostedPrice GeneralizedPricingEngine::PostPrice(const Vector& features, double r
   return posted;
 }
 
+void GeneralizedPricingEngine::PostPriceBatch(const double* panel, int k,
+                                              const double* reserves,
+                                              PostedPrice* posted,
+                                              PendingCut* const* cuts) {
+  PDM_CHECK(!pending_skip_);
+  PDM_CHECK(k >= 0);
+  if (k == 0) return;
+  PDM_CHECK(panel != nullptr && reserves != nullptr && posted != nullptr &&
+            cuts != nullptr);
+  const int in_dim = input_dim();
+  const int z_dim = base_->dim();
+
+  // Pass 1: resolve link-range skips in the wrapper (they never reach the
+  // base engine — same as the scalar path) and φ-map the survivors into a
+  // packed z-space panel. The scatter tables remember each survivor's batch
+  // position so pass 3 can write results back in place.
+  ws_.z_panel.resize(static_cast<size_t>(k) * static_cast<size_t>(z_dim));
+  ws_.z_reserves.resize(static_cast<size_t>(k));
+  ws_.z_posted.resize(static_cast<size_t>(k));
+  ws_.z_cuts.resize(static_cast<size_t>(k));
+  ws_.z_positions.resize(static_cast<size_t>(k));
+  int m = 0;
+  for (int j = 0; j < k; ++j) {
+    if (reserves[j] >= link_->range_sup()) {
+      // Scalar skip ≡ PostPrice's early return + DetachPending's
+      // wrapped-skip export: price = reserve, certain no sale, and the cut
+      // context (including its support buffer) is left untouched apart from
+      // the wrapped_skip routing fields.
+      posted[j].price = reserves[j];
+      posted[j].exploratory = false;
+      posted[j].certain_no_sale = true;
+      cuts[j]->kind = 0;
+      cuts[j]->price = 0.0;
+      cuts[j]->x = 0.0;
+      cuts[j]->wrapped_skip = true;
+      continue;
+    }
+    const double* x = panel + static_cast<size_t>(j) * in_dim;
+    ws_.raw_bridge.assign(x, x + in_dim);
+    map_->MapInto(ws_.raw_bridge, &ws_.z_features);
+    PDM_CHECK(static_cast<int>(ws_.z_features.size()) == z_dim);
+    std::copy(ws_.z_features.begin(), ws_.z_features.end(),
+              ws_.z_panel.begin() + static_cast<size_t>(m) * z_dim);
+    ws_.z_reserves[static_cast<size_t>(m)] = link_->Inverse(reserves[j]);
+    ws_.z_cuts[static_cast<size_t>(m)] = cuts[j];
+    ws_.z_positions[static_cast<size_t>(m)] = j;
+    ++m;
+  }
+  if (m == 0) return;
+
+  // Pass 2: one base-engine batch over the surviving z-space panel. The base
+  // writes the detached cut contexts straight into the caller's slots.
+  base_->PostPriceBatch(ws_.z_panel.data(), m, ws_.z_reserves.data(),
+                        ws_.z_posted.data(), ws_.z_cuts.data());
+
+  // Pass 3: scatter the z-space decisions back through the link, exactly as
+  // the scalar path does per round.
+  for (int i = 0; i < m; ++i) {
+    int j = ws_.z_positions[static_cast<size_t>(i)];
+    PostedPrice out = ws_.z_posted[static_cast<size_t>(i)];
+    out.price = std::max(link_->Apply(out.price), reserves[j]);
+    posted[j] = out;
+  }
+}
+
 void GeneralizedPricingEngine::Observe(bool accepted) {
   if (pending_skip_) {
     pending_skip_ = false;

@@ -51,6 +51,16 @@ class GeneralizedPricingEngine : public PricingEngine {
   bool SaveSnapshot(EngineSnapshot* out) const override;
   bool LoadSnapshot(const EngineSnapshot& snapshot) override;
 
+  /// Batched quoting (DESIGN.md §11): link-range skips are resolved in the
+  /// wrapper; the surviving queries are φ-mapped into a z-space panel and
+  /// handed to the base engine's batch in one call. Bit-identical to k
+  /// sequential PostPrice+DetachPending pairs on this wrapper.
+  bool SupportsBatchedQuotes() const override {
+    return base_->SupportsBatchedQuotes();
+  }
+  void PostPriceBatch(const double* panel, int k, const double* reserves,
+                      PostedPrice* posted, PendingCut* const* cuts) override;
+
  private:
   /// Scratch buffers reused across rounds so steady-state calls perform no
   /// heap allocation (the workspace convention of README's Performance
@@ -58,10 +68,21 @@ class GeneralizedPricingEngine : public PricingEngine {
   /// the adaptive-stream hot path; it gets its own buffer so interleaved
   /// diagnostic calls never clobber the pending round's φ(x).
   struct Workspace {
-    /// φ(x) target of MapInto in PostPrice.
+    /// φ(x) target of MapInto in PostPrice (and the per-query map target of
+    /// PostPriceBatch, which never runs concurrently with a pending round).
     Vector z_features;
     /// φ(x) target of MapInto in EstimateValueInterval.
     Vector z_estimate;
+    /// PostPriceBatch scratch, grown to the high-water batch size: the raw
+    /// feature bridge for MapInto, the packed z-space panel and reserves for
+    /// the base engine, and the compacted posted/cut/position tables for the
+    /// non-skipped queries.
+    Vector raw_bridge;
+    Vector z_panel;
+    Vector z_reserves;
+    std::vector<PostedPrice> z_posted;
+    std::vector<PendingCut*> z_cuts;
+    std::vector<int> z_positions;
   };
 
   std::unique_ptr<PricingEngine> base_;

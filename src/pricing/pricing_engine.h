@@ -120,6 +120,33 @@ class PricingEngine {
     PDM_CHECK(false && "engine does not support detached feedback");
   }
 
+  /// True when the engine implements PostPriceBatch. Engines reporting
+  /// support must also support DetachPending — the batched call fuses
+  /// PostPrice + DetachPending per query, so it only makes sense on engines
+  /// that already run the ticketed feedback protocol.
+  virtual bool SupportsBatchedQuotes() const { return false; }
+
+  /// Quotes k same-engine queries in one pass. `panel` packs the raw feature
+  /// vectors query-major (query j occupies panel + j·input_dim()),
+  /// `reserves[j]` is query j's reserve, `posted[j]` receives the decision
+  /// and `*cuts[j]` the detached cut context — exactly what the sequence
+  /// { PostPrice(x_j, reserves[j]); DetachPending(cuts[j]); } would produce,
+  /// BIT-IDENTICAL per query (DESIGN.md §11). Because every cut context is
+  /// detached before the next quote, no knowledge-set update happens inside
+  /// the batch: the whole panel prices against one frozen knowledge set,
+  /// which is what lets the ellipsoid engine spend a single matrix–panel
+  /// pass on it. Leaves no round attached. The default CHECK-fails; callers
+  /// must consult SupportsBatchedQuotes() first.
+  virtual void PostPriceBatch(const double* panel, int k, const double* reserves,
+                              PostedPrice* posted, PendingCut* const* cuts) {
+    (void)panel;
+    (void)k;
+    (void)reserves;
+    (void)posted;
+    (void)cuts;
+    PDM_CHECK(false && "engine does not support batched quotes");
+  }
+
   /// Writes the engine's full persistent state (knowledge set, thresholds,
   /// counters) into `*out`. Returns false when unsupported or when a
   /// non-detached round is pending (pending context belongs to the broker's

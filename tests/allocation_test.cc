@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdlib>
 #include <memory>
@@ -26,6 +27,7 @@
 #include "market/round.h"
 #include "market/simulator.h"
 #include "pricing/ellipsoid_engine.h"
+#include "pricing/engine_state.h"
 #include "pricing/feature_maps.h"
 #include "pricing/generalized_engine.h"
 #include "pricing/interval_engine.h"
@@ -357,6 +359,126 @@ TEST(SteadyStateAllocations, BrokerHandlePathBatchedMixedProductRoundTrips) {
   EXPECT_EQ(after - before, 0)
       << (after - before) << " allocations in " << kMeasuredRounds
       << " steady-state handle-path broker round trips";
+}
+
+TEST(SteadyStateAllocations, BatchedEnginePanelQuotes) {
+  // The batched quoting path at the engine layer (DESIGN.md §11): a full
+  // panel of PostPriceBatch quotes plus their detached feedback must stop
+  // allocating once the engine's panel workspaces and the caller's cut
+  // contexts reach steady-state capacity.
+  NoisyLinearMarketConfig market;
+  market.feature_dim = 8;
+  market.num_owners = 120;
+  market.value_noise_sigma = 0.003;
+  Rng setup_rng(81);
+  NoisyLinearQueryStream stream(market, &setup_rng);
+
+  EllipsoidEngineConfig config;
+  config.dim = market.feature_dim;
+  config.horizon = kWarmupRounds + kMeasuredRounds;
+  config.initial_radius = stream.RecommendedRadius();
+  config.delta = 0.01;
+  EllipsoidPricingEngine engine(config);
+  ASSERT_TRUE(engine.SupportsBatchedQuotes());
+  stream.BindEngine(&engine);
+
+  constexpr int kBatch = 32;
+  const int dim = market.feature_dim;
+  MarketRound round;
+  std::vector<double> panel(static_cast<size_t>(kBatch) * dim);
+  double reserves[kBatch];
+  double values[kBatch];
+  PostedPrice posted[kBatch];
+  std::vector<PendingCut> cuts(kBatch);
+  std::vector<PendingCut*> cut_ptrs(kBatch);
+  for (int i = 0; i < kBatch; ++i) cut_ptrs[i] = &cuts[static_cast<size_t>(i)];
+
+  Rng rng(91);
+  auto drive = [&](int iterations) {
+    for (int it = 0; it < iterations; ++it) {
+      for (int i = 0; i < kBatch; ++i) {
+        stream.Next(&rng, &round);
+        std::copy(round.features.begin(), round.features.end(),
+                  panel.begin() + static_cast<size_t>(i) * dim);
+        reserves[i] = round.reserve;
+        values[i] = round.value;
+      }
+      engine.PostPriceBatch(panel.data(), kBatch, reserves, posted, cut_ptrs.data());
+      for (int i = 0; i < kBatch; ++i) {
+        bool accepted = !posted[i].certain_no_sale && posted[i].price <= values[i];
+        engine.ObserveDetached(cuts[static_cast<size_t>(i)], accepted);
+      }
+    }
+  };
+
+  drive(kWarmupRounds / kBatch);
+  int64_t before = ThreadAllocationCount();
+  drive(kMeasuredRounds / kBatch);
+  int64_t after = ThreadAllocationCount();
+  EXPECT_EQ(after - before, 0)
+      << (after - before) << " allocations in " << kMeasuredRounds
+      << " steady-state batched engine rounds";
+}
+
+TEST(SteadyStateAllocations, BrokerHandlePathFullTileSameProductBatches) {
+  // A full kQuoteTile same-product batch through the handle path: the
+  // broker's gather/scatter scratch, the session's panel pack, the engine's
+  // matrix–panel pass, and the batched feedback must all be allocation-free
+  // in steady state.
+  scenario::StreamFactory factory;
+  broker::Broker broker;
+  scenario::ScenarioSpec spec;
+  spec.name = "alloc/broker/paneltile";
+  spec.stream = scenario::StreamKind::kLinear;
+  spec.mechanism = "reserve+uncertainty";
+  spec.n = 8;
+  spec.rounds = kWarmupRounds + kMeasuredRounds;
+  spec.delta = 0.01;
+  spec.linear.num_owners = 120;
+  spec.workload_seed = 41;
+  scenario::WorkloadInfo info = factory.Prepare(spec);
+  ASSERT_TRUE(broker.OpenSession(spec.name, spec, info).ok());
+  broker::ProductHandle handle;
+  ASSERT_TRUE(broker.Resolve(spec.name, &handle).ok());
+  Rng rng(51);
+  std::unique_ptr<QueryStream> stream = factory.CreateStream(spec, &rng);
+  stream->BindEngine(broker.FindEngine(spec.name));
+
+  constexpr int kWindow = broker::PricingSession::kQuoteTile;
+  MarketRound rounds[kWindow];
+  broker::HandleRequest requests[kWindow];
+  broker::Quote quotes[kWindow];
+  broker::FeedbackRequest feedback[kWindow];
+  StatusCode codes[kWindow];
+  auto drive = [&](int iterations) {
+    for (int it = 0; it < iterations; ++it) {
+      for (int i = 0; i < kWindow; ++i) {
+        stream->Next(&rng, &rounds[i]);
+        requests[i] = {handle, rounds[i].features, rounds[i].reserve};
+      }
+      ASSERT_TRUE(broker.PostPrices(std::span<const broker::HandleRequest>(requests),
+                                    std::span<broker::Quote>(quotes))
+                      .ok());
+      for (int i = 0; i < kWindow; ++i) {
+        feedback[i].ticket = quotes[i].ticket;
+        feedback[i].accepted =
+            !quotes[i].certain_no_sale && quotes[i].price <= rounds[i].value;
+      }
+      ASSERT_TRUE(broker
+                      .Observes(std::span<const broker::FeedbackRequest>(feedback),
+                                std::span<StatusCode>(codes))
+                      .ok());
+      for (StatusCode code : codes) ASSERT_EQ(code, StatusCode::kOk);
+    }
+  };
+
+  drive(kWarmupRounds / kWindow);
+  int64_t before = ThreadAllocationCount();
+  drive(kMeasuredRounds / kWindow);
+  int64_t after = ThreadAllocationCount();
+  EXPECT_EQ(after - before, 0)
+      << (after - before) << " allocations in " << kMeasuredRounds
+      << " steady-state full-tile batched broker round trips";
 }
 
 TEST(SteadyStateAllocations, RunMarketScratchReuse) {

@@ -235,6 +235,81 @@ TEST(Broker, BatchedPostPricesMatchesSingleRequests) {
   }
 }
 
+TEST(Broker, BatchedSameProductRunsMatchSingleAcrossTilesAndEngines) {
+  // Long same-product runs hit the session's panel path across several
+  // kQuoteTile tiles (70 > 2×32), the n = 1 product routes to the interval
+  // engine (no batch support — the scalar fallback inside PostPrices), and
+  // the kernel product runs the generalized wrapper's skip/panel split.
+  // Everything must be bit-identical to the one-at-a-time entry point,
+  // tickets included.
+  StreamFactory factory;
+  ScenarioSpec linear = LinearSpec("tile/linear", 20, 40000, "reserve", 41);
+  ScenarioSpec one_d = LinearSpec("tile/interval", 1, 40000, "reserve", 42);
+  const ScenarioSpec* kernel_found =
+      ScenarioRegistry::PaperExhibits().Find("kernel/m=10");
+  ASSERT_NE(kernel_found, nullptr);
+  ScenarioSpec kernel = Capped(*kernel_found, 40000);
+  kernel.name = "tile/kernel";
+
+  Broker single, batched;
+  for (Broker* broker : {&single, &batched}) {
+    ASSERT_TRUE(broker->OpenSession(linear.name, linear, factory.Prepare(linear)).ok());
+    ASSERT_TRUE(broker->OpenSession(one_d.name, one_d, factory.Prepare(one_d)).ok());
+    ASSERT_TRUE(broker->OpenSession(kernel.name, kernel, factory.Prepare(kernel)).ok());
+  }
+  struct Run {
+    const std::string* product;
+    int dim;
+    int count;
+  };
+  const std::array<Run, 3> runs = {{
+      {&linear.name, single.FindEngine(linear.name)->input_dim(), 70},
+      {&one_d.name, single.FindEngine(one_d.name)->input_dim(), 5},
+      {&kernel.name, single.FindEngine(kernel.name)->input_dim(), 9},
+  }};
+
+  Rng rng(4242);
+  constexpr int kBatches = 25;
+  for (int batch = 0; batch < kBatches; ++batch) {
+    std::vector<Vector> features;
+    std::vector<PriceRequest> requests;
+    // Requests hold spans into `features`; reserve up front so push_back
+    // never reallocates under them.
+    features.reserve(static_cast<size_t>(runs[0].count + runs[1].count + runs[2].count));
+    for (const Run& run : runs) {
+      for (int i = 0; i < run.count; ++i) {
+        features.push_back(rng.GaussianVector(run.dim));
+        // Reserves reach high enough to trigger certain-no-sale skips (and
+        // the generalized wrapper's link-range skip) inside a panel.
+        requests.push_back({*run.product, features.back(), rng.NextUniform(0.0, 1.5)});
+      }
+    }
+    std::vector<Quote> reference(requests.size());
+    std::vector<Quote> quotes(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      ASSERT_TRUE(single.PostPrice(requests[i], &reference[i]).ok());
+    }
+    ASSERT_TRUE(batched.PostPrices(requests, quotes).ok());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      ASSERT_EQ(quotes[i].ticket, reference[i].ticket) << "batch=" << batch << " i=" << i;
+      ASSERT_EQ(quotes[i].price, reference[i].price) << "batch=" << batch << " i=" << i;
+      ASSERT_EQ(quotes[i].exploratory, reference[i].exploratory);
+      ASSERT_EQ(quotes[i].certain_no_sale, reference[i].certain_no_sale);
+      bool accepted = rng.NextUniform(0.0, 1.0) < 0.5;
+      ASSERT_TRUE(single.Observe(reference[i].ticket, accepted).ok());
+      ASSERT_TRUE(batched.Observe(quotes[i].ticket, accepted).ok());
+    }
+  }
+
+  for (const Run& run : runs) {
+    SessionSnapshot snap_single, snap_batched;
+    ASSERT_TRUE(single.Snapshot(*run.product, &snap_single).ok());
+    ASSERT_TRUE(batched.Snapshot(*run.product, &snap_batched).ok());
+    EXPECT_EQ(EncodeSessionSnapshot(snap_single), EncodeSessionSnapshot(snap_batched))
+        << *run.product;
+  }
+}
+
 // --------------------------------------------- bit-identity with RunMarket
 
 TEST(BrokerDriver, ImmediateFeedbackBitIdenticalToRunMarketForFig5aAndTable1) {

@@ -229,6 +229,64 @@ TEST(Ellipsoid, SupportOutParamMatchesByValueBitwise) {
   }
 }
 
+TEST(Ellipsoid, SupportBatchMatchesSequentialSupportBitwise) {
+  // SupportBatch over a query-major panel must equal K sequential Support
+  // calls bit for bit — the DESIGN.md §11 contract that lets the batched
+  // serving path replace the scalar one without changing a single quote.
+  // Cuts between rounds make later panels probe non-trivial geometry.
+  Rng rng(606);
+  for (int d : {2, 3, 20, 50}) {
+    Ellipsoid e = Ellipsoid::Ball(d, 2.0);
+    for (int k : {1, 2, 7, 32}) {
+      Vector panel(static_cast<size_t>(k) * d);
+      for (double& v : panel) v = rng.NextGaussian();
+      std::vector<SupportInterval> batched(static_cast<size_t>(k));
+      for (SupportInterval& s : batched) s.direction.assign(7, -42.0);  // dirty
+      e.SupportBatch(panel.data(), k, batched.data());
+      Vector x(static_cast<size_t>(d));
+      SupportInterval expected;
+      for (int j = 0; j < k; ++j) {
+        x.assign(panel.begin() + static_cast<size_t>(j) * d,
+                 panel.begin() + static_cast<size_t>(j + 1) * d);
+        e.Support(x, &expected);
+        const SupportInterval& got = batched[static_cast<size_t>(j)];
+        ASSERT_EQ(expected.lower, got.lower) << "d=" << d << " k=" << k << " j=" << j;
+        ASSERT_EQ(expected.upper, got.upper) << "d=" << d << " k=" << k << " j=" << j;
+        ASSERT_EQ(expected.half_width, got.half_width)
+            << "d=" << d << " k=" << k << " j=" << j;
+        ASSERT_EQ(expected.midpoint, got.midpoint)
+            << "d=" << d << " k=" << k << " j=" << j;
+        ASSERT_EQ(expected.direction, got.direction)
+            << "d=" << d << " k=" << k << " j=" << j;
+      }
+      // Refine the ellipsoid so the next k probes a different knowledge set.
+      if (batched[0].half_width > 0.0) {
+        e.CutKeepBelow(batched[0], 0.05);
+      }
+    }
+  }
+}
+
+TEST(Ellipsoid, SupportBatchClearsDirectionOnDegenerateColumn) {
+  // A collapsed direction inside a panel must degenerate exactly like the
+  // scalar path: zero width, empty direction — while its neighbours in the
+  // same panel stay untouched.
+  Matrix a = Matrix::ScaledIdentity(2, 1.0);
+  a(1, 1) = 0.0;
+  Ellipsoid e(Zeros(2), a);
+  Vector panel{1.0, 0.0,   // healthy column (probes the live axis)
+               0.0, 1.0};  // degenerate column (probes the collapsed axis)
+  std::vector<SupportInterval> out(2);
+  out[1].direction.assign(4, 3.0);  // stale content from a previous round
+  e.SupportBatch(panel.data(), 2, out.data());
+  EXPECT_GT(out[0].half_width, 0.0);
+  EXPECT_DOUBLE_EQ(out[1].half_width, 0.0);
+  EXPECT_TRUE(out[1].direction.empty());
+  SupportInterval scalar = e.Support(Vector{0.0, 1.0});
+  EXPECT_EQ(scalar.lower, out[1].lower);
+  EXPECT_EQ(scalar.upper, out[1].upper);
+}
+
 TEST(Ellipsoid, SupportOutParamClearsDirectionOnDegenerate) {
   Matrix a = Matrix::ScaledIdentity(2, 1.0);
   a(1, 1) = 0.0;

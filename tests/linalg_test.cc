@@ -207,6 +207,52 @@ TEST(MatrixInPlace, MatVecIntoMatchesByValueBitwise) {
   }
 }
 
+TEST(MatrixPanel, MatPanelIntoMatchesMatVecBitwise) {
+  // The batched kernel must produce each query's result bit-identical to a
+  // standalone MatVecInto pass — the register-blocking may only interleave
+  // the independent per-query reduction chains, never reassociate within
+  // one. Dims cover non-multiples of 4 (scalar-tail coverage) and k covers
+  // the blocked path, the remainder path, and their mix.
+  Rng rng(404);
+  for (int n : {2, 3, 5, 8, 13, 20, 50}) {
+    Matrix m(n, n);
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) m(r, c) = rng.NextGaussian();
+    }
+    for (int k : {1, 2, 4, 7, 32}) {
+      Vector panel(static_cast<size_t>(k) * n);
+      for (double& v : panel) v = rng.NextGaussian();
+      Vector y(static_cast<size_t>(k) * n, 99.0);  // dirty reused buffer
+      m.MatPanelInto(panel.data(), k, y.data());
+      Vector x(static_cast<size_t>(n));
+      Vector expected;
+      for (int j = 0; j < k; ++j) {
+        x.assign(panel.begin() + static_cast<size_t>(j) * n,
+                 panel.begin() + static_cast<size_t>(j + 1) * n);
+        m.MatVecInto(x, &expected);
+        for (int r = 0; r < n; ++r) {
+          ASSERT_EQ(y[static_cast<size_t>(j) * n + r], expected[static_cast<size_t>(r)])
+              << "n=" << n << " k=" << k << " j=" << j << " r=" << r;
+        }
+      }
+    }
+  }
+}
+
+TEST(MatrixPanel, ZeroQueriesIsANoOp) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  m.MatPanelInto(nullptr, 0, nullptr);  // k = 0 must not touch the pointers
+}
+
+TEST(VectorOps, RawDotMatchesVectorDotBitwise) {
+  Rng rng(505);
+  for (int n : {1, 3, 4, 7, 20, 50}) {
+    Vector a = rng.GaussianVector(n);
+    Vector b = rng.GaussianVector(n);
+    ASSERT_EQ(Dot(a.data(), b.data(), a.size()), Dot(a, b)) << "n=" << n;
+  }
+}
+
 TEST(MatrixInPlace, ReusedBufferStableAcrossCalls) {
   // Second call into the same buffer must not depend on the first's content.
   Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});

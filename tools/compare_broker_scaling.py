@@ -8,9 +8,11 @@ Usage:
 Joins the two documents on each series row's "series" key and fails (exit 1)
 when CURRENT's metric falls more than TOLERANCE below BASELINE's for any
 series, naming every regressed series with both rates and the shortfall.
-Improvements and new series never fail; a series present in BASELINE but
-missing from CURRENT fails (a silently dropped regime is a regression of the
-harness itself).
+Improvements never fail, but the series-name sets must match exactly: a
+series present in only one document fails in either direction — silently
+dropped (a harness regression) and silently added (an unadopted sweep cell
+the gate would never arm) alike. Refresh the committed baseline whenever the
+sweep grid legitimately changes.
 
 Benchmark rates are hardware-dependent, so absolute comparison is only
 meaningful between documents produced on the same machine class. The v2
@@ -144,13 +146,18 @@ def main():
         elif ratio > 1.0:
             improvements += 1
 
-    new_series = sorted(set(current) - set(baseline))
-    if new_series:
-        print(f"note: {len(new_series)} series not in baseline: {', '.join(new_series)}")
+    # The symmetric half of the set diff: series only in CURRENT. The
+    # missing-from-current direction already failed above, row by row.
+    for name in sorted(set(current) - set(baseline)):
+        failures.append(
+            f"  {name}: present in current but missing from baseline — the "
+            "series sets must match (refresh the committed baseline to adopt "
+            "the new sweep cell)"
+        )
 
     if failures:
         print(
-            f"FAIL: {len(failures)} of {len(baseline)} series regressed beyond "
+            f"FAIL: {len(failures)} series mismatched or regressed beyond "
             f"{100 * args.tolerance:.0f}% ({args.baseline} -> {args.current}):"
         )
         print("\n".join(failures))

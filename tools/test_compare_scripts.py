@@ -98,6 +98,23 @@ class CompareScriptTest(unittest.TestCase):
         self.assertEqual(code, 1, out)
         self.assertIn("missing from current", out)
 
+    def test_scaling_new_series_in_current_fails(self):
+        """The set diff is symmetric: a series only in CURRENT fails too.
+
+        A sweep cell the committed baseline has never adopted is a gate that
+        can never arm; it must force a baseline refresh, not slide by as an
+        unmonitored extra row.
+        """
+        base = self.write("base.json", scaling_doc())
+        cur = self.write(
+            "cur.json",
+            scaling_doc(extra_series=[("own-product/t=1/b=8", 90000.0)]),
+        )
+        code, out = run(SCALING, base, cur)
+        self.assertEqual(code, 1, out)
+        self.assertIn("missing from baseline", out)
+        self.assertIn("refresh the committed baseline", out)
+
     # -------------------------------- scaling: the disarmed-gate bugfixes
 
     def test_scaling_zero_baseline_fails_loudly(self):
