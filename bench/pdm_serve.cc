@@ -93,5 +93,15 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.coalesced_runs),
               static_cast<long long>(stats.connections_accepted),
               static_cast<long long>(stats.protocol_errors));
+  std::printf("memory: %zu sessions (%zu resident, %zu evicted); slab slots "
+              "%zu live / %zu tombstoned / %zu free; %llu evictions, %llu "
+              "fault-ins, %zu spill bytes, %lld retired ticket slots\n",
+              stats.open_sessions, stats.resident_sessions,
+              stats.evicted_sessions, stats.slab_live_slots,
+              stats.slab_tombstoned_slots, stats.slab_free_slots,
+              static_cast<unsigned long long>(stats.evictions),
+              static_cast<unsigned long long>(stats.fault_ins),
+              stats.spill_bytes,
+              static_cast<long long>(stats.retired_ticket_slots));
   return 0;
 }

@@ -1,6 +1,8 @@
 #include "broker/broker.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <utility>
 
 #include "common/check.h"
@@ -52,16 +54,57 @@ uint64_t TicketBaseForIndex(size_t session_index) {
   return (static_cast<uint64_t>(session_index) + 1) << 40;
 }
 
-Broker::Broker(const BrokerConfig& config) {
-  // BrokerConfig::num_shards is retired (DESIGN.md §9); accept any value so
-  // PR 4-era callers keep working, but nothing is striped anymore.
-  (void)config;
+void Broker::PoolDeleter::operator()(PricingSession* session) const {
+  std::lock_guard lock(broker->arena_mu_);
+  broker->session_pool_.Destroy(session);
+}
+
+Broker::Broker(const BrokerConfig& config) : config_(config) {
+  if (!config_.spill_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.spill_dir, ec);
+    // A failed create surfaces on the first eviction attempt; the broker
+    // itself stays usable as a pure hot-tier broker.
+  }
   directory_.Publish(std::make_unique<const Directory>());
 }
 
-Broker::~Broker() = default;
+Broker::~Broker() {
+  // Slots live in the arena, so ~Broker runs their destructors explicitly
+  // (sessions return to the pool through PoolDeleter — both the pool and
+  // the arena outlive this loop because the member destructors have not run
+  // yet). Evicted slots leave no trace: their spill files are removed.
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i]->evicted) {
+      std::error_code ec;
+      std::filesystem::remove(SpillPath(i), ec);
+    }
+    slots_[i]->~SessionSlot();
+  }
+}
+
+Broker::SessionSlot* Broker::NewSlot() {
+  void* storage = arena_.Allocate(sizeof(SessionSlot), alignof(SessionSlot));
+  SessionSlot* slot = ::new (storage) SessionSlot();
+  slots_.push_back(slot);
+  return slot;
+}
+
+Broker::SessionPtr Broker::MakePooledSession(std::string product,
+                                             std::unique_ptr<PricingEngine> engine,
+                                             uint64_t ticket_base) {
+  std::lock_guard lock(arena_mu_);
+  PricingSession* raw =
+      session_pool_.Create(std::move(product), std::move(engine), ticket_base);
+  return SessionPtr(raw, PoolDeleter(this));
+}
+
+std::string Broker::SpillPath(size_t index) const {
+  return config_.spill_dir + "/slot-" + std::to_string(index) + ".snap";
+}
 
 Status Broker::OpenSession(std::string product, std::unique_ptr<PricingEngine> engine) {
+  EnforceResidencyLimit();
   if (product.empty()) return Status::InvalidArgument("empty product name");
   if (engine == nullptr) {
     return Status::InvalidArgument("null engine for product '" + product + "'");
@@ -71,38 +114,87 @@ Status Broker::OpenSession(std::string product, std::unique_ptr<PricingEngine> e
   if (current->by_name.find(product) != current->by_name.end()) {
     return Status::FailedPrecondition("product '" + product + "' is already open");
   }
-  size_t index = slot_storage_.size();
+  size_t index = slots_.size();
   if (index >= kMaxSessions) {
     return Status::FailedPrecondition("session-slot space exhausted");
   }
-  auto slot = std::make_unique<SessionSlot>();
-  slot->session = std::make_unique<PricingSession>(product, std::move(engine),
-                                                   TicketBaseForIndex(index));
+  SessionSlot* slot = NewSlot();
+  slot->session = MakePooledSession(product, std::move(engine), TicketBaseForIndex(index));
+  slot->last_touch_epoch.store(sweep_epoch_.load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
   // Open-generation stamp: odd = open. Relaxed is enough — the slot becomes
   // reachable only through the release-published directory snapshot below.
   slot->state.store(1, std::memory_order_relaxed);
+  resident_sessions_.fetch_add(1, std::memory_order_relaxed);
 
   auto next = std::make_unique<Directory>(*current);
-  next->slots.push_back(slot.get());
+  next->slots.push_back(slot);
   next->by_name.emplace(std::move(product),
                         ProductHandle{static_cast<uint32_t>(index), 1});
-  slot_storage_.push_back(std::move(slot));
   directory_.Publish(std::move(next));
   return Status::Ok();
 }
 
 Status Broker::OpenSession(std::string product, const scenario::ScenarioSpec& spec,
                            const scenario::WorkloadInfo& info) {
+  std::span<const std::string> one(&product, 1);
+  return OpenSessions(one, spec, info);
+}
+
+Status Broker::OpenSessions(std::span<const std::string> products,
+                            const scenario::ScenarioSpec& spec,
+                            const scenario::WorkloadInfo& info) {
+  EnforceResidencyLimit();
+  if (products.empty()) return Status::Ok();
   if (!scenario::MechanismRegistry::Builtin().Contains(spec.mechanism)) {
-    return Status::InvalidArgument("unknown mechanism '" + spec.mechanism +
-                                   "' for product '" + product + "'");
+    return Status::InvalidArgument("unknown mechanism '" + spec.mechanism + "'");
   }
   if (info.engine_dim < 1) {
     return Status::InvalidArgument("workload reports engine_dim " +
                                    std::to_string(info.engine_dim));
   }
-  return OpenSession(std::move(product),
-                     scenario::MechanismRegistry::Builtin().Build(spec, info));
+  std::lock_guard control(control_mu_);
+  const Directory* current = directory_.Load();
+  if (slots_.size() + products.size() > kMaxSessions) {
+    return Status::FailedPrecondition("session-slot space exhausted");
+  }
+  // All-or-nothing validation against the current directory AND the batch
+  // itself, before any slot is allocated.
+  for (size_t i = 0; i < products.size(); ++i) {
+    if (products[i].empty()) return Status::InvalidArgument("empty product name");
+    if (current->by_name.find(products[i]) != current->by_name.end()) {
+      return Status::FailedPrecondition("product '" + products[i] +
+                                        "' is already open");
+    }
+    for (size_t j = i + 1; j < products.size(); ++j) {
+      if (products[i] == products[j]) {
+        return Status::FailedPrecondition("product '" + products[i] +
+                                          "' appears twice in the batch");
+      }
+    }
+  }
+
+  // One shared recipe and ONE directory copy + publish for the whole batch:
+  // this is what keeps a million-product open O(N) instead of O(N²)
+  // (DESIGN.md §12).
+  auto recipe = std::make_shared<const RebuildRecipe>(RebuildRecipe{spec, info});
+  auto next = std::make_unique<Directory>(*current);
+  uint64_t epoch = sweep_epoch_.load(std::memory_order_relaxed);
+  for (const std::string& product : products) {
+    size_t index = slots_.size();
+    SessionSlot* slot = NewSlot();
+    slot->recipe = recipe;
+    slot->session = MakePooledSession(
+        product, scenario::MechanismRegistry::Builtin().Build(spec, info),
+        TicketBaseForIndex(index));
+    slot->last_touch_epoch.store(epoch, std::memory_order_relaxed);
+    slot->state.store(1, std::memory_order_relaxed);
+    next->slots.push_back(slot);
+    next->by_name.emplace(product, ProductHandle{static_cast<uint32_t>(index), 1});
+  }
+  resident_sessions_.fetch_add(products.size(), std::memory_order_relaxed);
+  directory_.Publish(std::move(next));
+  return Status::Ok();
 }
 
 Status Broker::CloseSession(std::string_view product) {
@@ -120,8 +212,19 @@ Status Broker::CloseSession(std::string_view product) {
     // touching the (now destroyed) session.
     std::lock_guard session_lock(slot->mu);
     slot->state.store(it->second.generation + 1, std::memory_order_release);
-    slot->session.reset();
+    if (slot->evicted) {
+      // Close-while-cold: drop the spill file, nothing to fault back in.
+      std::error_code ec;
+      std::filesystem::remove(SpillPath(it->second.index), ec);
+      spill_bytes_.fetch_sub(slot->spill_size, std::memory_order_relaxed);
+      slot->spill_size = 0;
+      slot->evicted = false;
+    } else {
+      slot->session.reset();
+      resident_sessions_.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
+  ++slots_tombstoned_;
   auto next = std::make_unique<Directory>(*current);
   next->by_name.erase(std::string(product));
   directory_.Publish(std::move(next));
@@ -164,7 +267,41 @@ Broker::SessionSlot* Broker::ProbeTicket(uint64_t ticket, uint32_t* state_out) c
   return slot;
 }
 
-Broker::LockedSlot Broker::AcquireHandle(ProductHandle handle) const {
+bool Broker::FaultInLocked(SessionSlot* slot, size_t index) {
+  std::string path = SpillPath(index);
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+    if (in.bad()) return false;
+  }
+  SessionSnapshot snapshot;
+  if (!DecodeSessionSnapshot(bytes, &snapshot).ok()) return false;
+  PDM_CHECK(slot->recipe != nullptr);  // only recipe sessions are evicted
+  SessionPtr session = MakePooledSession(
+      snapshot.product,
+      scenario::MechanismRegistry::Builtin().Build(slot->recipe->spec,
+                                                   slot->recipe->info),
+      TicketBaseForIndex(index));
+  // Restore is bit-exact: pdm.snap.v1 carries raw IEEE-754 bit patterns, and
+  // the rebuilt engine restores the knowledge set, counters, symmetrization
+  // phase, and every outstanding ticket (same ticket base — the slot never
+  // moved), so the resumed session is indistinguishable from one that was
+  // never evicted (pinned in tests/broker_test.cc).
+  if (!session->Restore(snapshot).ok()) return false;
+  slot->session = std::move(session);
+  slot->evicted = false;
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  spill_bytes_.fetch_sub(slot->spill_size, std::memory_order_relaxed);
+  slot->spill_size = 0;
+  resident_sessions_.fetch_add(1, std::memory_order_relaxed);
+  fault_ins_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+Broker::LockedSlot Broker::AcquireHandle(ProductHandle handle) {
   LockedSlot acquired;
   SessionSlot* slot = ProbeHandle(handle);
   if (slot == nullptr) return acquired;
@@ -174,12 +311,18 @@ Broker::LockedSlot Broker::AcquireHandle(ProductHandle handle) const {
   if (slot->state.load(std::memory_order_relaxed) != handle.generation) {
     return acquired;
   }
+  if (slot->evicted && !FaultInLocked(slot, handle.index)) {
+    return acquired;
+  }
+  // LRU touch: a plain relaxed store — never a shared RMW on the hot path.
+  slot->last_touch_epoch.store(sweep_epoch_.load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
   acquired.slot = slot;
   acquired.lock = std::move(lock);
   return acquired;
 }
 
-Broker::LockedSlot Broker::AcquireTicket(uint64_t ticket) const {
+Broker::LockedSlot Broker::AcquireTicket(uint64_t ticket) {
   LockedSlot acquired;
   uint32_t state = 0;
   SessionSlot* slot = ProbeTicket(ticket, &state);
@@ -188,14 +331,133 @@ Broker::LockedSlot Broker::AcquireTicket(uint64_t ticket) const {
   if (slot->state.load(std::memory_order_relaxed) != state) {
     return acquired;
   }
+  if (slot->evicted &&
+      !FaultInLocked(slot, static_cast<size_t>((ticket >> 40) - 1))) {
+    return acquired;
+  }
+  slot->last_touch_epoch.store(sweep_epoch_.load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
   acquired.slot = slot;
   acquired.lock = std::move(lock);
   return acquired;
 }
 
+void Broker::EnforceResidencyLimit() {
+  size_t limit = config_.max_resident_sessions;
+  if (limit == 0 || config_.spill_dir.empty()) return;
+  if (resident_sessions_.load(std::memory_order_relaxed) <= limit) return;
+  // Try-lock: if another thread is already sweeping (or the control plane
+  // is mutating the directory), this request proceeds un-throttled rather
+  // than convoying — the cap is a soft target.
+  std::unique_lock control(control_mu_, std::try_to_lock);
+  if (!control.owns_lock()) return;
+  EvictLocked(limit);
+}
+
+size_t Broker::EvictIdleSessions(size_t max_resident) {
+  if (config_.spill_dir.empty()) return 0;
+  std::lock_guard control(control_mu_);
+  return EvictLocked(max_resident);
+}
+
+size_t Broker::EvictLocked(size_t max_resident) {
+  size_t resident = resident_sessions_.load(std::memory_order_relaxed);
+  if (resident <= max_resident) return 0;
+  // Advance the sweep epoch first: sessions touched after this point stamp
+  // the new epoch and read as recently-used in the NEXT sweep — a CLOCK-style
+  // LRU approximation that costs the hot path nothing.
+  uint64_t sweep = sweep_epoch_.fetch_add(1, std::memory_order_relaxed);
+  const Directory* dir = directory_.Load();
+  // Rank candidates by (approximate) staleness without any slot locks; the
+  // per-victim re-check happens under the slot lock inside EvictSlotLocked.
+  std::vector<std::pair<uint64_t, size_t>> candidates;
+  candidates.reserve(dir->slots.size());
+  for (size_t i = 0; i < dir->slots.size(); ++i) {
+    SessionSlot* slot = dir->slots[i];
+    if ((slot->state.load(std::memory_order_acquire) & 1) == 0) continue;
+    if (slot->recipe == nullptr) continue;  // caller-built: not evictable
+    uint64_t touched = slot->last_touch_epoch.load(std::memory_order_relaxed);
+    // Touches racing with this sweep stamp the post-bump epoch (sweep + 1);
+    // anything at or below `sweep` was touched before the sweep began and is
+    // fair game, ranked by staleness below.
+    if (touched > sweep) continue;
+    candidates.emplace_back(touched, i);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  size_t evicted = 0;
+  for (const auto& [touched, index] : candidates) {
+    if (resident_sessions_.load(std::memory_order_relaxed) <= max_resident) break;
+    SessionSlot* slot = dir->slots[index];
+    std::lock_guard slot_lock(slot->mu);
+    if ((slot->state.load(std::memory_order_relaxed) & 1) == 0) continue;
+    if (slot->evicted || slot->session == nullptr) continue;
+    if (EvictSlotLocked(slot, index)) ++evicted;
+  }
+  return evicted;
+}
+
+bool Broker::EvictSlotLocked(SessionSlot* slot, size_t index) {
+  SessionSnapshot snapshot;
+  // Engines without snapshot support (or holding an attached pending round)
+  // are skipped — they simply stay resident.
+  if (!slot->session->Snapshot(&snapshot).ok()) return false;
+  std::string bytes = EncodeSessionSnapshot(snapshot);
+  std::string path = SpillPath(index);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out.good()) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+      return false;
+    }
+  }
+  slot->session.reset();
+  slot->evicted = true;
+  slot->spill_size = bytes.size();
+  spill_bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  resident_sessions_.fetch_sub(1, std::memory_order_relaxed);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+BrokerStats Broker::Stats() const {
+  BrokerStats stats;
+  std::lock_guard control(control_mu_);
+  const Directory* dir = directory_.Load();
+  stats.open_sessions = dir->by_name.size();
+  stats.slab_total_slots = slots_.size();
+  stats.slab_tombstoned_slots = slots_tombstoned_;
+  stats.slab_live_slots = slots_.size() - slots_tombstoned_;
+  stats.slab_free_capacity = kMaxSessions - slots_.size();
+  stats.resident_sessions = resident_sessions_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.fault_ins = fault_ins_.load(std::memory_order_relaxed);
+  stats.spill_bytes = spill_bytes_.load(std::memory_order_relaxed);
+  for (SessionSlot* slot : dir->slots) {
+    if ((slot->state.load(std::memory_order_acquire) & 1) == 0) continue;
+    std::lock_guard slot_lock(slot->mu);
+    if ((slot->state.load(std::memory_order_relaxed) & 1) == 0) continue;
+    if (slot->evicted) {
+      ++stats.evicted_sessions;
+    } else if (slot->session != nullptr) {
+      stats.retired_ticket_slots += slot->session->retired_ticket_slots();
+    }
+  }
+  {
+    std::lock_guard arena_lock(const_cast<Broker*>(this)->arena_mu_);
+    stats.arena_bytes_reserved = arena_.bytes_reserved();
+    stats.arena_bytes_used = arena_.bytes_used();
+  }
+  return stats;
+}
+
 Status Broker::PostPrice(ProductHandle handle, std::span<const double> features,
                          double reserve, Quote* quote) {
   if (quote == nullptr) return Status::InvalidArgument("null quote output");
+  EnforceResidencyLimit();
   LockedSlot acquired = AcquireHandle(handle);
   if (!acquired) {
     quote->ticket = 0;
@@ -292,6 +554,7 @@ Status Broker::PostPrices(std::span<const HandleRequest> requests,
         "request/quote span size mismatch: " + std::to_string(requests.size()) +
         " vs " + std::to_string(quotes.size()));
   }
+  EnforceResidencyLimit();
   size_t error_index = 0;
   return PostPricesGrouped(requests, quotes, &error_index);
 }
@@ -303,6 +566,7 @@ Status Broker::PostPrices(std::span<const PriceRequest> requests,
         "request/quote span size mismatch: " + std::to_string(requests.size()) +
         " vs " + std::to_string(quotes.size()));
   }
+  EnforceResidencyLimit();
   // Lower names onto the handle path once per batch. Runs of the same
   // product (the common client pattern) resolve once; the grouped handle
   // batch then takes each session lock once. The returned Status is the
@@ -342,6 +606,7 @@ Status Broker::PostPrices(std::span<const PriceRequest> requests,
 }
 
 Status Broker::Observe(uint64_t ticket, bool accepted) {
+  EnforceResidencyLimit();
   LockedSlot acquired = AcquireTicket(ticket);
   if (!acquired) {
     return Status::NotFound("ticket " + std::to_string(ticket) +
@@ -357,6 +622,7 @@ Status Broker::Observes(std::span<const FeedbackRequest> feedback,
         "feedback/code span size mismatch: " + std::to_string(feedback.size()) +
         " vs " + std::to_string(codes.size()));
   }
+  EnforceResidencyLimit();
   Status first_error;
   size_t error_index = feedback.size();
   BatchScratch& scratch = Scratch();
@@ -391,7 +657,9 @@ Status Broker::Observes(std::span<const FeedbackRequest> feedback,
 
 Status Broker::EstimateValue(ProductHandle handle, std::span<const double> features,
                              ValueInterval* out) const {
-  LockedSlot acquired = AcquireHandle(handle);
+  // Acquire* may fault an evicted session back in: physically mutating,
+  // logically const (the observable pricing state is unchanged).
+  LockedSlot acquired = const_cast<Broker*>(this)->AcquireHandle(handle);
   if (!acquired) return StaleHandleError();
   return acquired.session()->EstimateValue(features, out);
 }
@@ -408,7 +676,7 @@ Status Broker::Snapshot(std::string_view product, SessionSnapshot* out) const {
   ProductHandle handle;
   Status resolved = Resolve(product, &handle);
   if (!resolved.ok()) return resolved;
-  LockedSlot acquired = AcquireHandle(handle);
+  LockedSlot acquired = const_cast<Broker*>(this)->AcquireHandle(handle);
   if (!acquired) return StaleHandleError();
   return acquired.session()->Snapshot(out);
 }
@@ -427,7 +695,7 @@ Status Broker::GetSessionInfo(std::string_view product, SessionInfo* out) const 
   ProductHandle handle;
   Status resolved = Resolve(product, &handle);
   if (!resolved.ok()) return resolved;
-  LockedSlot acquired = AcquireHandle(handle);
+  LockedSlot acquired = const_cast<Broker*>(this)->AcquireHandle(handle);
   if (!acquired) return StaleHandleError();
   const PricingSession& session = *acquired.session();
   out->product = session.product();
@@ -456,7 +724,7 @@ size_t Broker::session_count() const {
 const PricingEngine* Broker::FindEngine(std::string_view product) const {
   ProductHandle handle;
   if (!Resolve(product, &handle).ok()) return nullptr;
-  LockedSlot acquired = AcquireHandle(handle);
+  LockedSlot acquired = const_cast<Broker*>(this)->AcquireHandle(handle);
   if (!acquired) return nullptr;
   return &acquired.session()->engine();
 }

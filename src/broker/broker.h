@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "broker/session.h"
+#include "common/arena.h"
 #include "common/concurrency.h"
 #include "common/status.h"
 #include "scenario/mechanism_registry.h"
@@ -43,24 +44,43 @@
 /// perform zero heap allocations (tests/allocation_test.cc);
 /// `bench/bench_broker_throughput` and `bench/bench_broker_scaling` track
 /// the multi-threaded round-trip rate and its scaling curve.
+///
+/// Memory model at scale (DESIGN.md §12): slot and session objects live in a
+/// slab arena (`common/arena.h`) — slots are bump-allocated and never freed
+/// (their lifetime IS the broker's), session objects recycle through an
+/// `ArenaPool` as products close, evict, and fault back in. A configurable
+/// cold tier bounds resident engine state: when more than
+/// `max_resident_sessions` sessions hold live engines, the least-recently
+/// touched evictable sessions are serialized through the `pdm.snap.v1` codec
+/// to `spill_dir` and their in-memory state is dropped; the next request
+/// that touches an evicted product faults it back in transparently, and the
+/// snapshot round trip makes the resumed session *bit-identical* to one that
+/// was never evicted. Handles and outstanding tickets remain valid across
+/// the round trip — the slot (and its ticket base) never moves.
 
 namespace pdm::broker {
 
 struct BrokerConfig {
-  /// Retired (PR 5): sessions no longer share striped locks — every session
-  /// owns a cache-line-padded mutex, so there is no stripe count to tune.
-  /// The field survives only so callers written against the PR 4 surface
-  /// keep compiling; its value is ignored (migration notes: DESIGN.md §9).
-  int num_shards = 16;
+  /// Cold-tier spill directory (created on demand). Empty disables the cold
+  /// tier entirely: nothing is ever evicted and `max_resident_sessions` is
+  /// ignored.
+  std::string spill_dir;
+  /// Soft cap on sessions holding live in-memory engines. 0 = unlimited.
+  /// When the resident count exceeds the cap, request-path entry points
+  /// trigger an eviction sweep (least-recently-touched first) down to the
+  /// cap. Only registry-opened sessions (those with a rebuild recipe) are
+  /// evictable; sessions opened with caller-built engines always stay
+  /// resident, as does any session whose snapshot is not currently capturable.
+  size_t max_resident_sessions = 0;
 };
 
 /// A resolved fast-path reference to one open product: slab index plus the
 /// slot's open-generation stamp. Steady-state clients `Resolve` once and
 /// skip the name hash on every subsequent request. Handles stay valid until
-/// the product is closed; a stale handle fails with NotFound (never UB —
-/// slots are never reused, so a retired handle can only miss). Handles are
-/// broker-specific; presenting one to a different Broker is misuse and gets
-/// NotFound at best.
+/// the product is closed (eviction to the cold tier does NOT invalidate
+/// handles); a stale handle fails with NotFound (never UB — slots are never
+/// reused, so a retired handle can only miss). Handles are broker-specific;
+/// presenting one to a different Broker is misuse and gets NotFound at best.
 struct ProductHandle {
   static constexpr uint32_t kInvalidIndex = 0xFFFFFFFFu;
   /// Slab index of the session slot.
@@ -107,6 +127,34 @@ struct SessionInfo {
   EngineCounters counters;
 };
 
+/// Broker-wide memory and occupancy counters (monitoring surface; the TCP
+/// server folds these into its ServerStats shutdown line).
+struct BrokerStats {
+  /// Products currently open (directory size).
+  size_t open_sessions = 0;
+  /// Open sessions holding a live in-memory engine.
+  size_t resident_sessions = 0;
+  /// Open sessions currently spilled to the cold tier.
+  size_t evicted_sessions = 0;
+  /// Slab occupancy: slots serving an open session / tombstoned by close /
+  /// total ever allocated / remaining lifetime capacity.
+  size_t slab_live_slots = 0;
+  size_t slab_tombstoned_slots = 0;
+  size_t slab_total_slots = 0;
+  size_t slab_free_capacity = 0;
+  /// Cumulative cold-tier traffic.
+  uint64_t evictions = 0;
+  uint64_t fault_ins = 0;
+  /// Bytes currently held in spill files.
+  size_t spill_bytes = 0;
+  /// Ticket slots permanently retired at the generation bound, summed over
+  /// resident sessions (evicted sessions' retirements reappear on fault-in).
+  int64_t retired_ticket_slots = 0;
+  /// Slab-arena footprint (slot + session blocks).
+  size_t arena_bytes_reserved = 0;
+  size_t arena_bytes_used = 0;
+};
+
 class Broker {
  public:
   explicit Broker(const BrokerConfig& config = {});
@@ -117,21 +165,36 @@ class Broker {
 
   // ------------------------------------------------------ control plane
 
-  /// Opens a session serving `product` with a caller-built engine. Errors:
+  /// Opens a session serving `product` with a caller-built engine. Such a
+  /// session has no rebuild recipe and is therefore never evicted. Errors:
   /// InvalidArgument (empty name, null engine), FailedPrecondition
   /// (duplicate product).
   Status OpenSession(std::string product, std::unique_ptr<PricingEngine> engine);
 
   /// Registry path: builds the engine for `spec` (mechanism name, link,
   /// geometry) through `scenario::MechanismRegistry::Builtin()` and opens a
-  /// session named `product`. Errors: additionally InvalidArgument for an
-  /// unknown mechanism name.
+  /// session named `product`. The (spec, info) pair is retained as the
+  /// session's rebuild recipe, making it cold-tier evictable. Errors:
+  /// additionally InvalidArgument for an unknown mechanism name.
   Status OpenSession(std::string product, const scenario::ScenarioSpec& spec,
                      const scenario::WorkloadInfo& info);
 
+  /// Bulk registry open: every product in `products` gets its own session
+  /// built from the shared (spec, info) recipe, all published in ONE
+  /// directory snapshot. This is the scale path: a directory publish copies
+  /// the whole name map, so opening N products one by one costs O(N²) map
+  /// work and retains N snapshot generations, while one batch costs O(N)
+  /// and retains one (DESIGN.md §12). All-or-nothing: on any validation
+  /// failure (empty/duplicate name, unknown mechanism, slab exhaustion)
+  /// nothing is opened.
+  Status OpenSessions(std::span<const std::string> products,
+                      const scenario::ScenarioSpec& spec,
+                      const scenario::WorkloadInfo& info);
+
   /// Closes a session; its tickets and any resolved handles become
   /// unroutable (→ NotFound). Reopening the same name later creates a fresh
-  /// slot — old handles stay dead.
+  /// slot — old handles stay dead. Closing an evicted session removes its
+  /// spill file without faulting it in.
   Status CloseSession(std::string_view product);
 
   /// Resolves `product` to a fast-path handle (one immutable-map lookup).
@@ -174,6 +237,32 @@ class Broker {
   Status Observes(std::span<const FeedbackRequest> feedback,
                   std::span<StatusCode> codes = {});
 
+  // ----------------------------------------------------- cold tier
+
+  /// Evicts least-recently-touched evictable sessions until at most
+  /// `max_resident` remain resident (or no candidates are left). Returns
+  /// the number evicted. A no-op (returns 0) when the broker has no
+  /// spill_dir. Also the manual monitoring hook — the request path calls
+  /// the same sweep automatically when `max_resident_sessions` is exceeded.
+  size_t EvictIdleSessions(size_t max_resident);
+
+  /// Broker-wide occupancy/memory counters (takes each live slot's lock
+  /// briefly; intended for monitoring cadence, not the request path).
+  BrokerStats Stats() const;
+
+  /// Lock-free counter reads, cheap enough for the request path (the memory
+  /// soak bench classifies per-touch latency by watching fault_in_count()
+  /// move across a touch).
+  uint64_t fault_in_count() const {
+    return fault_ins_.load(std::memory_order_relaxed);
+  }
+  uint64_t eviction_count() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  size_t resident_count() const {
+    return resident_sessions_.load(std::memory_order_relaxed);
+  }
+
   // ----------------------------------------------------- diagnostics
 
   /// Current knowledge-set bounds for a query (diagnostic surface).
@@ -196,9 +285,31 @@ class Broker {
 
   /// The session's engine, for read-only diagnostics while no concurrent
   /// traffic targets the product (tests, the driver); nullptr when unknown.
+  /// Faults an evicted session in like any other touch.
   const PricingEngine* FindEngine(std::string_view product) const;
 
  private:
+  /// How a registry-opened session is rebuilt at fault-in time: the same
+  /// (spec, info) pair that built its engine at open. Shared across a bulk
+  /// open, so a million-product batch stores ONE recipe, not a million.
+  struct RebuildRecipe {
+    scenario::ScenarioSpec spec;
+    scenario::WorkloadInfo info;
+  };
+
+  /// Pooled-session deleter: returns the object's storage to the broker's
+  /// arena pool instead of the heap (see common/arena.h).
+  struct PoolDeleter {
+    // Explicit constructors (not an NSDMI): a nested class's default member
+    // initializers only parse at the enclosing class's closing brace, which
+    // would leave unique_ptr's default constructor unusable inside Broker.
+    PoolDeleter() : broker(nullptr) {}
+    explicit PoolDeleter(Broker* b) : broker(b) {}
+    void operator()(PricingSession* session) const;
+    Broker* broker;
+  };
+  using SessionPtr = std::unique_ptr<PricingSession, PoolDeleter>;
+
   /// One slab slot: the per-session lock plus the session it guards, padded
   /// to its own cache line so traffic on neighbouring sessions never
   /// false-shares. `state` is the open-generation stamp (odd = open, even =
@@ -212,11 +323,28 @@ class Broker {
   /// instead: a broker refuses to open more than 2^24 - 2 sessions over its
   /// lifetime (FailedPrecondition "session-slot space exhausted"), which is
   /// also what keeps ticket bases unique forever (DESIGN.md §9).
+  ///
+  /// Cold-tier state: an *evicted* slot keeps its odd `state` (handles and
+  /// tickets stay routable) but holds no session — `evicted` is true and
+  /// the serialized bytes sit in the spill file. `last_touch_epoch` is the
+  /// eviction sweep's LRU clock: Acquire* stamps it with the current sweep
+  /// epoch using plain relaxed stores, so the request hot path stays free
+  /// of shared read-modify-writes (DESIGN.md §9's core invariant).
   struct alignas(kCacheLineSize) SessionSlot {
     std::atomic<uint32_t> state{0};
     std::mutex mu;
-    /// Guarded by `mu` (+ a state check: non-null iff state is odd).
-    std::unique_ptr<PricingSession> session;
+    /// Guarded by `mu` (+ a state check: non-null iff state is odd and the
+    /// slot is not evicted).
+    SessionPtr session;
+    /// Guarded by `mu`.
+    bool evicted = false;
+    /// Bytes of this slot's spill file (0 unless evicted). Guarded by `mu`.
+    size_t spill_size = 0;
+    /// Immutable after the slot is published; null for caller-built engines
+    /// (such sessions are never evicted).
+    std::shared_ptr<const RebuildRecipe> recipe;
+    /// LRU clock stamp (see above). Plain loads/stores only.
+    std::atomic<uint64_t> last_touch_epoch{0};
   };
 
   /// Transparent string hashing so hot name lookups take string_views.
@@ -230,7 +358,8 @@ class Broker {
   /// The immutable directory snapshot: name → handle for resolution, plus
   /// the grow-only slot view for index routing (tickets, handles). A new
   /// snapshot is published on every open/close; readers see either the old
-  /// or the new one, both internally consistent.
+  /// or the new one, both internally consistent. Eviction and fault-in do
+  /// NOT republish — they change only slot-local state.
   struct Directory {
     std::unordered_map<std::string, ProductHandle, StringViewHash, std::equal_to<>>
         by_name;
@@ -250,15 +379,49 @@ class Broker {
   /// A slot acquired through the full probe → lock → re-check protocol;
   /// empty (`slot == nullptr`) when the target is stale or closed. Single
   /// point of truth for the close-race guarantee: every read-side method
-  /// goes through Acquire*.
+  /// goes through Acquire*. Acquire* also services the cold tier: touching
+  /// an evicted slot faults the session back in (still under only the slot
+  /// lock — fault-in never takes control_mu_, so it cannot deadlock with an
+  /// eviction sweep holding control_mu_ and waiting on slot locks).
   struct LockedSlot {
     SessionSlot* slot = nullptr;
     std::unique_lock<std::mutex> lock;
     explicit operator bool() const { return slot != nullptr; }
     PricingSession* session() const { return slot->session.get(); }
   };
-  LockedSlot AcquireHandle(ProductHandle handle) const;
-  LockedSlot AcquireTicket(uint64_t ticket) const;
+  LockedSlot AcquireHandle(ProductHandle handle);
+  LockedSlot AcquireTicket(uint64_t ticket);
+
+  /// Allocates one slot from the arena and registers it for teardown.
+  SessionSlot* NewSlot();
+
+  /// Builds a session object in the arena pool.
+  SessionPtr MakePooledSession(std::string product,
+                               std::unique_ptr<PricingEngine> engine,
+                               uint64_t ticket_base);
+
+  /// Restores an evicted slot's session from its spill file. Requires
+  /// `slot->mu` held and `slot->evicted`. Returns false (slot stays
+  /// evicted) when the spill file is unreadable or no longer decodes — the
+  /// touching request then fails like a stale handle.
+  bool FaultInLocked(SessionSlot* slot, size_t index);
+
+  /// Spill file for slot `index`.
+  std::string SpillPath(size_t index) const;
+
+  /// Request-path residency enforcement: when the resident count exceeds
+  /// the configured cap, runs one eviction sweep. Called with NO locks held
+  /// (takes control_mu_ with try-lock so concurrent requests never convoy
+  /// behind one sweep).
+  void EnforceResidencyLimit();
+
+  /// The sweep core; control_mu_ must be held.
+  size_t EvictLocked(size_t max_resident);
+
+  /// Serializes a resident session to its spill file and drops the
+  /// in-memory state. Requires control_mu_ AND slot->mu held. Returns false
+  /// when the session is not evictable right now.
+  bool EvictSlotLocked(SessionSlot* slot, size_t index);
 
   /// The grouped batch core behind both PostPrices overloads. `*error_index`
   /// receives the batch position of the returned failure (`requests.size()`
@@ -267,13 +430,36 @@ class Broker {
   Status PostPricesGrouped(std::span<const HandleRequest> requests,
                            std::span<Quote> quotes, size_t* error_index);
 
-  /// Serializes directory mutations (open/close); never taken on the
-  /// request path. Session-state mutations (Restore, feedback) need only
-  /// the slot lock.
+  BrokerConfig config_;
+
+  /// Serializes directory mutations (open/close) and eviction sweeps; never
+  /// taken on the request path (fault-in included). Session-state mutations
+  /// (Restore, feedback) need only the slot lock.
   mutable std::mutex control_mu_;
-  /// Slot storage: grow-only, stable addresses, freed on destruction.
-  std::vector<std::unique_ptr<SessionSlot>> slot_storage_;
+  /// Backing store for slot and session objects (DESIGN.md §12): slots are
+  /// bump-allocated and live until ~Broker; session objects recycle through
+  /// the pool as products close/evict/fault-in. `arena_mu_` guards both —
+  /// pool mutations happen on open/close (control plane) and on fault-in
+  /// (request threads, under a slot lock), so they need their own tiny lock.
+  std::mutex arena_mu_;
+  SlabArena arena_;
+  ArenaPool<PricingSession> session_pool_{&arena_};
+  /// Slot registry for teardown (slots are trivially reachable through the
+  /// directory too, but tombstoned slots leave the directory's by_name map;
+  /// this vector is the complete list). Guarded by control_mu_.
+  std::vector<SessionSlot*> slots_;
+  size_t slots_tombstoned_ = 0;
+
   SnapshotPtr<Directory> directory_;
+
+  /// Cold-tier bookkeeping. The atomics are read on the request path
+  /// (EnforceResidencyLimit) but only ever *modified* under either
+  /// control_mu_ (eviction) or a slot lock (fault-in).
+  std::atomic<uint64_t> sweep_epoch_{1};
+  std::atomic<size_t> resident_sessions_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> fault_ins_{0};
+  std::atomic<size_t> spill_bytes_{0};
 };
 
 /// The ticket base a broker assigns to its i-th session (index+1 in the

@@ -287,6 +287,16 @@ Status PricingSession::Snapshot(SessionSnapshot* out) const {
   sorted.reserve(snap.pending.size());
   for (size_t i : order) sorted.push_back(std::move(snap.pending[i]));
   snap.pending = std::move(sorted);
+  // Full allocator state, so a restored session issues bit-identical future
+  // tickets (the cold-tier eviction contract — see SessionSnapshot).
+  snap.has_ticket_table = true;
+  snap.slot_generations.reserve(slots_.size());
+  for (const TicketSlot& slot : slots_) snap.slot_generations.push_back(slot.generation);
+  snap.free_slots.reserve(free_slots_.size());
+  for (size_t index : free_slots_) {
+    snap.free_slots.push_back(static_cast<uint32_t>(index));
+  }
+  snap.slots_retired = slots_retired_;
   *out = std::move(snap);
   return Status::Ok();
 }
@@ -321,6 +331,31 @@ Status PricingSession::Restore(const SessionSnapshot& snapshot) {
     return Status::FailedPrecondition(
         "two pending tickets collide on one ticket slot");
   }
+  if (snapshot.has_ticket_table) {
+    // The table must cover every pending slot, and its free stack must name
+    // distinct slots that no pending ticket occupies.
+    size_t table_size = snapshot.slot_generations.size();
+    if (table_size > kSlotMask + 1) {
+      return Status::FailedPrecondition("ticket table exceeds the slot space");
+    }
+    if (!seen_slots.empty() && seen_slots.back() >= table_size) {
+      return Status::FailedPrecondition(
+          "pending ticket names a slot outside the snapshot's ticket table");
+    }
+    std::vector<uint64_t> occupied = seen_slots;
+    for (uint32_t index : snapshot.free_slots) {
+      if (index >= table_size) {
+        return Status::FailedPrecondition(
+            "free-stack entry outside the snapshot's ticket table");
+      }
+      occupied.push_back(index);
+    }
+    std::sort(occupied.begin(), occupied.end());
+    if (std::adjacent_find(occupied.begin(), occupied.end()) != occupied.end()) {
+      return Status::FailedPrecondition(
+          "free-stack entry collides with a pending ticket or repeats");
+    }
+  }
   if (!engine_->LoadSnapshot(snapshot.engine)) {
     return Status::FailedPrecondition(
         "product '" + product_ + "': engine '" + engine_->name() +
@@ -348,6 +383,22 @@ Status PricingSession::Restore(const SessionSnapshot& snapshot) {
     slot.cut = p.cut;
     ++pending_count_;
   }
+  if (snapshot.has_ticket_table) {
+    // Exact allocator state: free-slot generations, recycle-stack order, and
+    // the retired count all come back verbatim, so future ticket ids are
+    // bit-identical to the uninterrupted session. Slots holding a pending
+    // ticket already took their generation from the ticket itself (the id is
+    // authoritative — fast-forwarded snapshots rewrite only the ticket).
+    slots_.resize(snapshot.slot_generations.size());
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].ticket == 0) slots_[i].generation = snapshot.slot_generations[i];
+    }
+    free_slots_.assign(snapshot.free_slots.begin(), snapshot.free_slots.end());
+    slots_retired_ = snapshot.slots_retired;
+    return Status::Ok();
+  }
+  // Legacy snapshot without the table: rebuild a minimal one. Prices resume
+  // bit-identically; future ticket ids may differ from the original session.
   for (size_t i = 0; i < slots_.size(); ++i) {
     if (slots_[i].ticket == 0) free_slots_.push_back(i);
   }

@@ -99,6 +99,17 @@ class Reader {
     return true;
   }
 
+  bool GetU32Array(std::vector<uint32_t>* v) {
+    uint32_t size;
+    if (!GetU32(&size)) return false;
+    if ((bytes_.size() - pos_) / sizeof(uint32_t) < size) return false;
+    v->resize(size);
+    for (uint32_t& x : *v) {
+      if (!GetU32(&x)) return false;
+    }
+    return true;
+  }
+
   bool GetCounters(EngineCounters* c) {
     return GetI64(&c->rounds) && GetI64(&c->exploratory_rounds) &&
            GetI64(&c->conservative_rounds) && GetI64(&c->skipped_rounds) &&
@@ -150,6 +161,16 @@ std::string EncodeSessionSnapshot(const SessionSnapshot& snapshot) {
     PutF64(&out, p.cut.support.half_width);
     PutF64(&out, p.cut.support.midpoint);
     PutVector(&out, p.cut.support.direction);
+  }
+  // Optional trailing section (still pdm.snap.v1: old decoders never existed
+  // without it in the wild, and this decoder treats end-of-bytes as "absent").
+  if (snapshot.has_ticket_table) {
+    PutU8(&out, 1);  // section tag: ticket-slot allocator state
+    PutU32(&out, static_cast<uint32_t>(snapshot.slot_generations.size()));
+    for (uint32_t gen : snapshot.slot_generations) PutU32(&out, gen);
+    PutU32(&out, static_cast<uint32_t>(snapshot.free_slots.size()));
+    for (uint32_t index : snapshot.free_slots) PutU32(&out, index);
+    PutI64(&out, snapshot.slots_retired);
   }
   return out;
 }
@@ -219,6 +240,20 @@ Status DecodeSessionSnapshot(std::string_view bytes, SessionSnapshot* out) {
       return Status::InvalidArgument("truncated pending ticket");
     }
     p.cut.wrapped_skip = wrapped_skip != 0;
+  }
+  // Optional ticket-table section: end-of-bytes means a legacy blob without
+  // it (Restore then rebuilds a minimal slot table).
+  if (!reader.AtEnd()) {
+    uint8_t tag;
+    if (!reader.GetU8(&tag) || tag != 1) {
+      return Status::InvalidArgument("unknown trailing section in snapshot");
+    }
+    if (!reader.GetU32Array(&snap.slot_generations) ||
+        !reader.GetU32Array(&snap.free_slots) ||
+        !reader.GetI64(&snap.slots_retired)) {
+      return Status::InvalidArgument("truncated ticket-table section");
+    }
+    snap.has_ticket_table = true;
   }
   if (!reader.AtEnd()) return Status::InvalidArgument("trailing bytes after snapshot");
   *out = std::move(snap);

@@ -44,6 +44,24 @@ struct SessionSnapshot {
   /// different base requires draining feedback first (see
   /// PricingSession::Restore).
   std::vector<PendingTicketState> pending;
+  /// Optional ticket-slot allocator state. When present (every snapshot a
+  /// `PricingSession` produces carries it), Restore reproduces the slot
+  /// table exactly — free-slot generations, recycle-stack order, retired
+  /// count — so a restored session issues *bit-identical* future tickets to
+  /// the uninterrupted original (the cold-tier eviction contract,
+  /// DESIGN.md §12). Absent in legacy `pdm.snap.v1` blobs without the
+  /// trailing section; Restore then rebuilds a minimal table (prices stay
+  /// bit-identical, ticket ids may differ). For slots holding a pending
+  /// ticket the ticket's own generation bits stay authoritative —
+  /// `slot_generations` matters for the free and retired slots the pending
+  /// list cannot describe.
+  bool has_ticket_table = false;
+  /// Per-slot generation, index-aligned with the session's slot table.
+  std::vector<uint32_t> slot_generations;
+  /// The recycle stack (indices into the slot table), bottom first.
+  std::vector<uint32_t> free_slots;
+  /// Slots permanently retired at the generation bound.
+  int64_t slots_retired = 0;
 };
 
 /// Serializes to the versioned `pdm.snap.v1` byte format.

@@ -1,0 +1,18 @@
+#include "common/arena.h"
+
+namespace pdm {
+
+void SlabArena::NewChunk(size_t min_size, size_t align) {
+  // A chunk must fit the worst-case aligned request; oversized allocations
+  // get a dedicated chunk rather than forcing every chunk to be huge.
+  size_t payload = chunk_bytes_;
+  size_t worst = min_size + align;
+  if (worst > payload) payload = worst;
+  void* raw = ::operator new(payload, std::align_val_t(kCacheLineSize));
+  chunks_.emplace_back(raw);
+  cursor_ = reinterpret_cast<uintptr_t>(raw);
+  limit_ = cursor_ + payload;
+  bytes_reserved_ += payload;
+}
+
+}  // namespace pdm

@@ -1,0 +1,151 @@
+#ifndef PDM_COMMON_ARENA_H_
+#define PDM_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/concurrency.h"
+
+/// \file
+/// Slab arena for session-scale state (DESIGN.md §12).
+///
+/// At a million products the broker's per-session bookkeeping becomes the
+/// allocator's problem: one malloc per slot and one per session object means
+/// millions of small allocations with interleaved lifetimes — heap metadata
+/// overhead per object, fragmentation as sessions close, and no locality
+/// between a slot and its neighbours in the slab index. The arena replaces
+/// that with two building blocks:
+///
+///  - `SlabArena`: a chunked bump allocator. Allocation is a pointer bump
+///    within the current chunk (O(1), no per-object metadata); chunks are
+///    cache-line-aligned and never freed until the arena dies, which is
+///    exactly the lifetime of the broker's grow-only slot slab.
+///  - `ArenaPool<T>`: a fixed-size object pool on top of an arena with an
+///    intrusive free list. `Destroy` pushes the object's storage onto the
+///    list; the next `Create` pops it — so open/close/open session churn
+///    recycles storage instead of growing the arena, and a *steady-state*
+///    open performs no heap allocation at all.
+///
+/// Neither type is thread-safe; the broker serializes structural mutations
+/// (open/close/evict/fault-in) behind its own locks.
+
+namespace pdm {
+
+class SlabArena {
+ public:
+  /// Default chunk payload: 64 KiB holds ~340 cache-line-aligned session
+  /// slots per chunk, large enough to amortize the chunk malloc to noise.
+  static constexpr size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit SlabArena(size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes) {
+    PDM_CHECK(chunk_bytes_ > 0);
+  }
+
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  /// Returns `size` bytes aligned to `align` (≥ the cache line by default:
+  /// arena objects are concurrency-adjacent broker state, and false sharing
+  /// between neighbouring slots would defeat the point). The memory lives
+  /// until the arena is destroyed — there is no per-object free; pair with
+  /// ArenaPool for recyclable objects.
+  void* Allocate(size_t size, size_t align = kCacheLineSize) {
+    PDM_CHECK(size > 0);
+    PDM_CHECK(align > 0 && (align & (align - 1)) == 0);
+    uintptr_t p = (cursor_ + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+    if (p + size > limit_) {
+      NewChunk(size, align);
+      p = (cursor_ + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+      PDM_CHECK(p + size <= limit_);
+    }
+    cursor_ = p + size;
+    bytes_used_ = bytes_used_ + size;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Total bytes handed out by Allocate (excludes alignment padding).
+  size_t bytes_used() const { return bytes_used_; }
+  /// Total bytes reserved from the system across all chunks.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+  size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct FreeDeleter {
+    void operator()(void* p) const { ::operator delete(p, std::align_val_t(kCacheLineSize)); }
+  };
+
+  void NewChunk(size_t min_size, size_t align);
+
+  size_t chunk_bytes_;
+  std::vector<std::unique_ptr<void, FreeDeleter>> chunks_;
+  uintptr_t cursor_ = 0;  ///< next free byte in the current chunk
+  uintptr_t limit_ = 0;   ///< one past the current chunk's payload
+  size_t bytes_used_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+/// Object pool over a SlabArena: Create/Destroy with storage recycling.
+/// Destroyed objects' storage is reused for the next Create (intrusive free
+/// list through the dead object's first pointer-width bytes), so sustained
+/// churn reaches a high-water mark and stops consuming arena space.
+template <typename T>
+class ArenaPool {
+ public:
+  explicit ArenaPool(SlabArena* arena) : arena_(arena) { PDM_CHECK(arena_ != nullptr); }
+
+  ArenaPool(const ArenaPool&) = delete;
+  ArenaPool& operator=(const ArenaPool&) = delete;
+
+  template <typename... Args>
+  T* Create(Args&&... args) {
+    void* storage;
+    if (free_list_ != nullptr) {
+      storage = free_list_;
+      free_list_ = free_list_->next;
+      ++recycled_;
+    } else {
+      storage = arena_->Allocate(kBlockSize, kBlockAlign);
+    }
+    ++live_;
+    return ::new (storage) T(std::forward<Args>(args)...);
+  }
+
+  void Destroy(T* object) {
+    PDM_CHECK(object != nullptr);
+    PDM_CHECK(live_ > 0);
+    object->~T();
+    FreeNode* node = ::new (static_cast<void*>(object)) FreeNode{free_list_};
+    free_list_ = node;
+    --live_;
+  }
+
+  size_t live() const { return live_; }
+  /// Creates served from the free list rather than fresh arena space.
+  size_t recycled() const { return recycled_; }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  // A dead object's storage must be able to hold the free-list link, and
+  // alignment must satisfy both T and the arena's cache-line floor.
+  static constexpr size_t kBlockSize =
+      sizeof(T) > sizeof(FreeNode) ? sizeof(T) : sizeof(FreeNode);
+  static constexpr size_t kBlockAlign =
+      alignof(T) > kCacheLineSize ? alignof(T) : kCacheLineSize;
+
+  SlabArena* arena_;
+  FreeNode* free_list_ = nullptr;
+  size_t live_ = 0;
+  size_t recycled_ = 0;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_COMMON_ARENA_H_

@@ -14,9 +14,25 @@ Ellipsoid::Ellipsoid(Vector center, Matrix shape)
   PDM_CHECK(dim() >= 2);
 }
 
+Ellipsoid::Ellipsoid(Vector center, PackedSymMatrix shape)
+    : center_(std::move(center)),
+      shape_(0, 0),
+      packed_shape_(std::move(shape)),
+      packed_mode_(true) {
+  PDM_CHECK(static_cast<int>(center_.size()) == packed_shape_.dim());
+  PDM_CHECK(dim() >= 2);
+}
+
 Ellipsoid Ellipsoid::FromSnapshotState(Vector center, Matrix shape,
-                                       int cuts_since_symmetrize) {
+                                       int cuts_since_symmetrize, bool packed) {
   PDM_CHECK(cuts_since_symmetrize >= 0 && cuts_since_symmetrize < 32);
+  if (packed) {
+    // Exact re-pack: the upper triangle of the serialized dense shape is the
+    // packed state that produced it (DenseShape mirrors, never averages).
+    Ellipsoid out(std::move(center), PackedSymMatrix::FromDense(shape));
+    out.cuts_since_symmetrize_ = cuts_since_symmetrize;
+    return out;
+  }
   Ellipsoid out(std::move(center), std::move(shape));
   out.cuts_since_symmetrize_ = cuts_since_symmetrize;
   return out;
@@ -26,6 +42,20 @@ Ellipsoid Ellipsoid::Ball(int dim, double radius) {
   PDM_CHECK(dim >= 2);
   PDM_CHECK(radius > 0.0);
   return Ellipsoid(Zeros(dim), Matrix::ScaledIdentity(dim, radius * radius));
+}
+
+Ellipsoid Ellipsoid::PackedBall(int dim, double radius) {
+  PDM_CHECK(dim >= 2);
+  PDM_CHECK(radius > 0.0);
+  return Ellipsoid(Zeros(dim), PackedSymMatrix::ScaledIdentity(dim, radius * radius));
+}
+
+Matrix Ellipsoid::DenseShape() const {
+  return packed_mode_ ? packed_shape_.ToDense() : shape_;
+}
+
+double Ellipsoid::ShapeQuadraticForm(const Vector& x) const {
+  return packed_mode_ ? packed_shape_.QuadraticForm(x) : shape_.QuadraticForm(x);
 }
 
 SupportInterval Ellipsoid::Support(const Vector& x) const {
@@ -41,7 +71,11 @@ void Ellipsoid::Support(const Vector& x, SupportInterval* out) const {
   out->midpoint = Dot(x, center_);
   // One O(n²) pass computes both A·x (the support direction) and xᵀAx; the
   // caller's direction buffer is reused as the A·x target.
-  shape_.MatVecInto(x, &out->direction);
+  if (packed_mode_) {
+    packed_shape_.MatVecInto(x, &out->direction);
+  } else {
+    shape_.MatVecInto(x, &out->direction);
+  }
   double quad = Dot(x, out->direction);
   if (quad <= 0.0 || !std::isfinite(quad)) {
     // Collapsed (or numerically indefinite) direction: the probe width is
@@ -66,7 +100,11 @@ void Ellipsoid::SupportBatch(const double* panel, int k, SupportInterval* out) c
   // capacity, so the workspace reaches a steady high-water mark and stops
   // allocating.
   batch_panel_ws_.resize(static_cast<size_t>(k) * static_cast<size_t>(n));
-  shape_.MatPanelInto(panel, k, batch_panel_ws_.data());
+  if (packed_mode_) {
+    packed_shape_.MatPanelInto(panel, k, batch_panel_ws_.data());
+  } else {
+    shape_.MatPanelInto(panel, k, batch_panel_ws_.data());
+  }
   for (int j = 0; j < k; ++j) {
     const double* x = panel + static_cast<size_t>(j) * n;
     const double* ax = batch_panel_ws_.data() + static_cast<size_t>(j) * n;
@@ -120,10 +158,18 @@ void Ellipsoid::Cut(const Vector& ax, double half_width, double alpha, double si
   // factor · (A − (coef/half_width²) · ax·axᵀ), and c ← c − sign·step·b
   // becomes c − (sign·step/half_width)·ax — the normalized direction is
   // never materialized.
-  shape_.FusedScaleRankOne(factor, coef / (half_width * half_width), ax);
-  if (++cuts_since_symmetrize_ >= 32) {
-    shape_.Symmetrize();
-    cuts_since_symmetrize_ = 0;
+  if (packed_mode_) {
+    packed_shape_.FusedScaleRankOne(factor, coef / (half_width * half_width), ax);
+    // Packed storage is symmetric by construction — nothing to re-average —
+    // but the counter keeps the dense schedule so snapshots stay
+    // mode-agnostic (and so the dense/packed control flow never diverges).
+    if (++cuts_since_symmetrize_ >= 32) cuts_since_symmetrize_ = 0;
+  } else {
+    shape_.FusedScaleRankOne(factor, coef / (half_width * half_width), ax);
+    if (++cuts_since_symmetrize_ >= 32) {
+      shape_.Symmetrize();
+      cuts_since_symmetrize_ = 0;
+    }
   }
   AxpyInPlace(-sign * step / half_width, ax, &center_);
 }
@@ -153,22 +199,27 @@ void Ellipsoid::CutKeepAbove(const SupportInterval& support, double alpha) {
 bool Ellipsoid::Contains(const Vector& theta, double tol) const {
   PDM_CHECK(static_cast<int>(theta.size()) == dim());
   Vector diff = Sub(theta, center_);
+  // Diagnostics are O(n³) already; packed mode materializes a dense copy.
+  Matrix dense = DenseShape();
   Matrix l(0, 0);
-  if (!CholeskyFactor(shape_, &l)) return false;
+  if (!CholeskyFactor(dense, &l)) return false;
   Vector y = CholeskySolve(l, diff);
   return Dot(diff, y) <= 1.0 + tol;
 }
 
 double Ellipsoid::LogVolumeUnnormalized() const {
+  Matrix dense = DenseShape();
   Matrix l(0, 0);
-  PDM_CHECK(CholeskyFactor(shape_, &l));
+  PDM_CHECK(CholeskyFactor(dense, &l));
   return 0.5 * CholeskyLogDet(l);
 }
 
-double Ellipsoid::SmallestShapeEigenvalue() const { return SmallestEigenvalue(shape_); }
+double Ellipsoid::SmallestShapeEigenvalue() const {
+  return SmallestEigenvalue(DenseShape());
+}
 
 Vector Ellipsoid::AxisWidths() const {
-  EigenSymResult eig = JacobiEigenSymmetric(shape_);
+  EigenSymResult eig = JacobiEigenSymmetric(DenseShape());
   Vector widths(eig.eigenvalues.size());
   for (size_t i = 0; i < widths.size(); ++i) {
     widths[i] = 2.0 * std::sqrt(std::max(0.0, eig.eigenvalues[i]));
@@ -179,6 +230,19 @@ Vector Ellipsoid::AxisWidths() const {
 bool Ellipsoid::LooksHealthy() const {
   for (double v : center_) {
     if (!std::isfinite(v)) return false;
+  }
+  if (packed_mode_) {
+    // Asymmetry is structurally zero; check finiteness of the whole packed
+    // triangle and positivity of the diagonal.
+    for (int r = 0; r < packed_shape_.dim(); ++r) {
+      if (packed_shape_.At(r, r) <= 0.0 || !std::isfinite(packed_shape_.At(r, r))) {
+        return false;
+      }
+      for (int c = r + 1; c < packed_shape_.dim(); ++c) {
+        if (!std::isfinite(packed_shape_.At(r, c))) return false;
+      }
+    }
+    return true;
   }
   for (int r = 0; r < shape_.rows(); ++r) {
     if (shape_(r, r) <= 0.0 || !std::isfinite(shape_(r, r))) return false;

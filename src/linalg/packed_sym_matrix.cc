@@ -1,0 +1,189 @@
+#include "linalg/packed_sym_matrix.h"
+
+#include "common/arch.h"
+
+namespace pdm {
+namespace {
+
+/// y ← A·x for packed upper-triangular row-major storage. One streamed pass
+/// over the n(n+1)/2 entries: row r contributes its diagonal plus, for each
+/// off-diagonal entry a = A(r,c) (c > r), a gather into row r's accumulator
+/// (a·x[c]) and a scatter into y[c] (a·x[r]) — each stored entry serves both
+/// mirror positions, which is what halves the memory traffic against the
+/// dense mat-vec. The op order is fixed (scatters land in r-then-c order,
+/// each row's gather reduction is sequential), making the kernel
+/// deterministic; it is NOT the dense kernel's order, so packed-vs-dense is
+/// a tolerance pin, not a bitwise one (see the header).
+PDM_TARGET_CLONES
+void PackedMatVecKernel(const double* __restrict data, int n,
+                        const double* __restrict x, double* __restrict y) {
+  for (int r = 0; r < n; ++r) y[r] = 0.0;
+  const double* __restrict row = data;
+  for (int r = 0; r < n; ++r) {
+    const double xr = x[r];
+    double acc = row[0] * xr;  // diagonal
+    for (int c = r + 1; c < n; ++c) {
+      const double a = row[c - r];
+      acc += a * x[c];
+      y[c] += a * xr;
+    }
+    y[r] += acc;
+    row += n - r;
+  }
+}
+
+/// Panel kernel: 4 queries per pass over the packed data, each query's op
+/// sequence literally PackedMatVecKernel's (same zero-init, same per-row
+/// gather/scatter order), so every output column is bit-identical to a
+/// standalone mat-vec by construction — only the independent per-query
+/// chains are interleaved to amortize the packed-row traffic. Remainder
+/// queries (k mod 4) run the scalar kernel.
+PDM_TARGET_CLONES
+void PackedMatPanelKernel(const double* __restrict data, int n,
+                          const double* __restrict panel, int k,
+                          double* __restrict y) {
+  int j = 0;
+  for (; j + 4 <= k; j += 4) {
+    const double* __restrict x0 = panel + static_cast<size_t>(j) * n;
+    const double* __restrict x1 = panel + static_cast<size_t>(j + 1) * n;
+    const double* __restrict x2 = panel + static_cast<size_t>(j + 2) * n;
+    const double* __restrict x3 = panel + static_cast<size_t>(j + 3) * n;
+    double* __restrict y0 = y + static_cast<size_t>(j) * n;
+    double* __restrict y1 = y + static_cast<size_t>(j + 1) * n;
+    double* __restrict y2 = y + static_cast<size_t>(j + 2) * n;
+    double* __restrict y3 = y + static_cast<size_t>(j + 3) * n;
+    for (int r = 0; r < n; ++r) {
+      y0[r] = 0.0;
+      y1[r] = 0.0;
+      y2[r] = 0.0;
+      y3[r] = 0.0;
+    }
+    const double* __restrict row = data;
+    for (int r = 0; r < n; ++r) {
+      const double xr0 = x0[r];
+      const double xr1 = x1[r];
+      const double xr2 = x2[r];
+      const double xr3 = x3[r];
+      double acc0 = row[0] * xr0;
+      double acc1 = row[0] * xr1;
+      double acc2 = row[0] * xr2;
+      double acc3 = row[0] * xr3;
+      for (int c = r + 1; c < n; ++c) {
+        const double a = row[c - r];
+        acc0 += a * x0[c];
+        y0[c] += a * xr0;
+        acc1 += a * x1[c];
+        y1[c] += a * xr1;
+        acc2 += a * x2[c];
+        y2[c] += a * xr2;
+        acc3 += a * x3[c];
+        y3[c] += a * xr3;
+      }
+      y0[r] += acc0;
+      y1[r] += acc1;
+      y2[r] += acc2;
+      y3[r] += acc3;
+      row += n - r;
+    }
+  }
+  for (; j < k; ++j) {
+    PackedMatVecKernel(data, n, panel + static_cast<size_t>(j) * n,
+                       y + static_cast<size_t>(j) * n);
+  }
+}
+
+/// A ← factor·(A − coef·b·bᵀ) over the packed triangle. Per stored entry the
+/// expression factor·(a − (coef·b[r])·b[c]) is exactly what the dense kernel
+/// computes for its upper-triangle copy.
+PDM_TARGET_CLONES
+void PackedFusedScaleRankOneKernel(double* __restrict data, int n, double factor,
+                                   double coef, const double* __restrict b) {
+  double* __restrict row = data;
+  for (int r = 0; r < n; ++r) {
+    const double cr = coef * b[r];
+    for (int c = r; c < n; ++c) {
+      row[c - r] = factor * (row[c - r] - cr * b[c]);
+    }
+    row += n - r;
+  }
+}
+
+}  // namespace
+
+PackedSymMatrix::PackedSymMatrix(int n) : n_(n) {
+  PDM_CHECK(n >= 0);
+  data_.assign(static_cast<size_t>(n) * (n + 1) / 2, 0.0);
+}
+
+PackedSymMatrix PackedSymMatrix::ScaledIdentity(int n, double diag) {
+  PackedSymMatrix m(n);
+  for (int i = 0; i < n; ++i) m.At(i, i) = diag;
+  return m;
+}
+
+PackedSymMatrix PackedSymMatrix::FromDense(const Matrix& dense) {
+  PDM_CHECK(dense.rows() == dense.cols());
+  PackedSymMatrix m(dense.rows());
+  size_t idx = 0;
+  for (int r = 0; r < dense.rows(); ++r) {
+    for (int c = r; c < dense.cols(); ++c) m.data_[idx++] = dense(r, c);
+  }
+  return m;
+}
+
+Matrix PackedSymMatrix::ToDense() const {
+  Matrix dense(n_, n_);
+  size_t idx = 0;
+  for (int r = 0; r < n_; ++r) {
+    for (int c = r; c < n_; ++c) {
+      dense(r, c) = data_[idx];
+      dense(c, r) = data_[idx];
+      ++idx;
+    }
+  }
+  return dense;
+}
+
+void PackedSymMatrix::MatVecInto(const Vector& x, Vector* y) const {
+  PDM_CHECK(static_cast<int>(x.size()) == n_);
+  PDM_DCHECK(&x != y);
+  y->resize(static_cast<size_t>(n_));
+  PackedMatVecKernel(data_.data(), n_, x.data(), y->data());
+}
+
+void PackedSymMatrix::MatPanelInto(const double* panel, int k, double* y) const {
+  PDM_CHECK(k >= 0);
+  if (k == 0) return;
+  PDM_CHECK(panel != nullptr && y != nullptr);
+  PackedMatPanelKernel(data_.data(), n_, panel, k, y);
+}
+
+double PackedSymMatrix::QuadraticForm(const Vector& x) const {
+  PDM_CHECK(static_cast<int>(x.size()) == n_);
+  // xᵀAx = Σ_r a_rr·x_r² + 2·Σ_{r<c} a_rc·x_r·x_c, one pass, no A·x buffer.
+  double acc = 0.0;
+  const double* row = data_.data();
+  for (int r = 0; r < n_; ++r) {
+    const double xr = x[static_cast<size_t>(r)];
+    double partial = row[0] * xr;
+    for (int c = r + 1; c < n_; ++c) {
+      partial += 2.0 * row[c - r] * x[static_cast<size_t>(c)];
+    }
+    acc += partial * xr;
+    row += n_ - r;
+  }
+  return acc;
+}
+
+void PackedSymMatrix::FusedScaleRankOne(double factor, double coef, const Vector& b) {
+  PDM_CHECK(static_cast<int>(b.size()) == n_);
+  PackedFusedScaleRankOneKernel(data_.data(), n_, factor, coef, b.data());
+}
+
+double PackedSymMatrix::Trace() const {
+  double acc = 0.0;
+  for (int i = 0; i < n_; ++i) acc += At(i, i);
+  return acc;
+}
+
+}  // namespace pdm

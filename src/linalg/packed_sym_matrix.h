@@ -1,0 +1,118 @@
+#ifndef PDM_LINALG_PACKED_SYM_MATRIX_H_
+#define PDM_LINALG_PACKED_SYM_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+/// \file
+/// Packed symmetric matrix: the upper triangle of an n×n symmetric matrix
+/// stored row-major in n(n+1)/2 doubles — row r holds entries (r,r)..(r,n-1)
+/// contiguously. This halves the bytes of the ellipsoid shape matrix A, which
+/// dominates per-product session state at serving scale (DESIGN.md §12).
+///
+/// The storage is symmetric *by construction*: there is no lower triangle to
+/// drift out of sync, so the fused cut update needs no periodic
+/// re-symmetrization pass (the dense `Matrix` re-symmetrizes every 32 cuts to
+/// bound 1-ulp-per-cut drift; packed storage has nothing to average).
+///
+/// Determinism contract: every kernel here is a fixed source-level FP op
+/// sequence (the linalg layer builds with -ffp-contract=off), and
+/// `MatPanelInto` runs each query through exactly `MatVecInto`'s op order, so
+/// each panel column is BIT-IDENTICAL to a standalone mat-vec on that query —
+/// the same contract the dense panel kernel gives (DESIGN.md §11). Against
+/// the *dense* kernels the packed mat-vec is only tolerance-equal: a packed
+/// traversal visits each off-diagonal entry once (gather + scatter) where the
+/// dense row pass visits its two mirror copies, so the reduction order
+/// differs and low-order bits may too (documented pin:
+/// tests/linalg_test.cc).
+
+namespace pdm {
+
+class PackedSymMatrix {
+ public:
+  /// Empty 0×0 matrix (the "no packed storage" state).
+  PackedSymMatrix() : n_(0) {}
+
+  /// n×n zeros in packed form.
+  explicit PackedSymMatrix(int n);
+
+  /// diag·I in packed form.
+  static PackedSymMatrix ScaledIdentity(int n, double diag);
+
+  /// Packs the upper triangle of a square dense matrix (entries below the
+  /// diagonal are ignored). Round trip law: FromDense(ToDense()) is exact,
+  /// and ToDense(FromDense(A)) == A whenever A is exactly symmetric.
+  static PackedSymMatrix FromDense(const Matrix& dense);
+
+  /// Mirrors the packed triangle into a full dense symmetric matrix. Exact:
+  /// both mirror copies are the same stored double.
+  Matrix ToDense() const;
+
+  int dim() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  /// Packed element count n(n+1)/2.
+  size_t packed_size() const { return data_.size(); }
+
+  /// Element access for any (r, c) — both triangles map to the one stored
+  /// upper-triangle entry.
+  double& At(int r, int c) {
+    return data_[PackedIndex(r, c)];
+  }
+  double At(int r, int c) const {
+    return data_[PackedIndex(r, c)];
+  }
+
+  /// Raw packed storage (n(n+1)/2 doubles, upper-triangular row-major).
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// y ← A·x (resizing y to n; steady-state reuse performs no allocation).
+  /// `x` must not alias `*y`. Deterministic fixed op order; see the file
+  /// comment for the relation to the dense kernel.
+  void MatVecInto(const Vector& x, Vector* y) const;
+
+  /// Y ← A·X over a query-major packed panel of k vectors, with the same
+  /// layout contract as Matrix::MatPanelInto: query j reads
+  /// panel[j·n .. j·n+n) and writes y[j·n .. j·n+n). Blocked 4 queries wide
+  /// so each packed row is streamed once per block; every output column is
+  /// bit-identical to a standalone MatVecInto on that query. `panel` must
+  /// not alias `y`.
+  void MatPanelInto(const double* panel, int k, double* y) const;
+
+  /// xᵀ·A·x without materializing A·x (allocation-free diagnostics path).
+  double QuadraticForm(const Vector& x) const;
+
+  /// A ← factor·(A − coef·b·bᵀ) over the packed triangle — the fused
+  /// Löwner–John cut update. Entry-for-entry the same op sequence as the
+  /// dense kernel's upper triangle, so as long as a packed and a dense
+  /// ellipsoid hold bit-equal upper triangles, one cut keeps them bit-equal
+  /// (divergence only enters through the dense side's symmetrize pass).
+  void FusedScaleRankOne(double factor, double coef, const Vector& b);
+
+  /// Sum of diagonal entries.
+  double Trace() const;
+
+ private:
+  size_t PackedIndex(int r, int c) const {
+    PDM_DCHECK(r >= 0 && r < n_ && c >= 0 && c < n_);
+    if (r > c) {
+      int t = r;
+      r = c;
+      c = t;
+    }
+    // Row r starts after the r previous rows of lengths n, n-1, ..., n-r+1.
+    return static_cast<size_t>(r) * n_ - static_cast<size_t>(r) * (r - 1) / 2 +
+           static_cast<size_t>(c - r);
+  }
+
+  int n_;
+  std::vector<double> data_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_LINALG_PACKED_SYM_MATRIX_H_

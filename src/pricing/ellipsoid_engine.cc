@@ -28,13 +28,17 @@ double DefaultEllipsoidEpsilon(int dim, int64_t horizon, double delta) {
 namespace {
 
 Ellipsoid MakeInitialEllipsoid(const EllipsoidEngineConfig& config) {
+  double diag = config.initial_radius * config.initial_radius;
   if (config.initial_center.empty()) {
-    return Ellipsoid::Ball(config.dim, config.initial_radius);
+    return config.packed_shape ? Ellipsoid::PackedBall(config.dim, config.initial_radius)
+                               : Ellipsoid::Ball(config.dim, config.initial_radius);
   }
   PDM_CHECK(static_cast<int>(config.initial_center.size()) == config.dim);
-  return Ellipsoid(config.initial_center,
-                   Matrix::ScaledIdentity(config.dim,
-                                          config.initial_radius * config.initial_radius));
+  if (config.packed_shape) {
+    return Ellipsoid(config.initial_center,
+                     PackedSymMatrix::ScaledIdentity(config.dim, diag));
+  }
+  return Ellipsoid(config.initial_center, Matrix::ScaledIdentity(config.dim, diag));
 }
 
 }  // namespace
@@ -241,7 +245,10 @@ bool EllipsoidPricingEngine::SaveSnapshot(EngineSnapshot* out) const {
   out->epsilon = epsilon_;
   out->delta = config_.delta;
   out->center = ellipsoid_.center();
-  out->shape = ellipsoid_.shape();
+  // DenseShape: a plain copy in dense mode, an exact symmetric mirror in
+  // packed mode — either way the snapshot byte format stays one dense
+  // matrix, and a packed engine re-encodes byte-exactly (DESIGN.md §12).
+  out->shape = ellipsoid_.DenseShape();
   out->cuts_since_symmetrize = ellipsoid_.cuts_since_symmetrize();
   out->lo = 0.0;
   out->hi = 0.0;
@@ -261,7 +268,8 @@ bool EllipsoidPricingEngine::LoadSnapshot(const EngineSnapshot& snapshot) {
   }
   if (pending_ != PendingKind::kNone) return false;
   ellipsoid_ = Ellipsoid::FromSnapshotState(snapshot.center, snapshot.shape,
-                                            snapshot.cuts_since_symmetrize);
+                                            snapshot.cuts_since_symmetrize,
+                                            config_.packed_shape);
   epsilon_ = snapshot.epsilon;
   config_.delta = snapshot.delta;
   counters_ = snapshot.counters;
@@ -273,7 +281,7 @@ ValueInterval EllipsoidPricingEngine::EstimateValueInterval(const Vector& featur
   // midpoint and the quadratic form, not the support direction. Adaptive
   // streams (market/adversarial.h) call this every round.
   double mid = Dot(features, ellipsoid_.center());
-  double quad = ellipsoid_.shape().QuadraticForm(features);
+  double quad = ellipsoid_.ShapeQuadraticForm(features);
   double half = (quad > 0.0 && std::isfinite(quad)) ? std::sqrt(quad) : 0.0;
   return ValueInterval{mid - half, mid + half};
 }

@@ -49,6 +49,13 @@ struct EllipsoidEngineConfig {
   /// ABLATION ONLY: also cut on conservative-price feedback. Unsafe — see
   /// Lemma 8 / bench_lemma8_adversarial.
   bool allow_conservative_cuts = false;
+  /// Store the shape matrix packed (upper triangle only): n(n+1)/2 doubles
+  /// instead of n², halving the dominant per-product bytes at serving scale
+  /// (DESIGN.md §12). Semantically the same algorithm; numerically a
+  /// documented-tolerance twin of the dense default (which stays
+  /// bit-identical to every published pin). Within packed mode all
+  /// determinism contracts hold, including bit-identical snapshot resume.
+  bool packed_shape = false;
 };
 
 /// Theorem 1's threshold choice ε = max(n²/T, 4nδ); see the implementation

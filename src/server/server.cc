@@ -157,6 +157,17 @@ ServerStats TcpServer::stats() const {
   s.frames_coalesced = frames_coalesced_.load(std::memory_order_relaxed);
   s.coalesced_runs = coalesced_runs_.load(std::memory_order_relaxed);
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  broker::BrokerStats b = broker_->Stats();
+  s.open_sessions = b.open_sessions;
+  s.resident_sessions = b.resident_sessions;
+  s.evicted_sessions = b.evicted_sessions;
+  s.slab_live_slots = b.slab_live_slots;
+  s.slab_tombstoned_slots = b.slab_tombstoned_slots;
+  s.slab_free_slots = b.slab_free_capacity;
+  s.evictions = b.evictions;
+  s.fault_ins = b.fault_ins;
+  s.spill_bytes = b.spill_bytes;
+  s.retired_ticket_slots = b.retired_ticket_slots;
   return s;
 }
 

@@ -60,6 +60,25 @@ struct ServerStats {
   /// Connections dropped for framing violations (oversized/truncated
   /// frames, unknown opcodes decode to error responses, not drops).
   int64_t protocol_errors = 0;
+
+  /// Memory-engine occupancy, sampled from the broker at stats() time
+  /// (DESIGN.md §12). Sessions: open = resident + evicted; slab slots:
+  /// live are serving an open session, tombstoned were retired by close and
+  /// are never reused (ticket-base uniqueness), free is remaining lifetime
+  /// capacity. evictions/fault_ins count cumulative cold-tier round trips;
+  /// spill_bytes is the current on-disk cold-tier footprint.
+  size_t open_sessions = 0;
+  size_t resident_sessions = 0;
+  size_t evicted_sessions = 0;
+  size_t slab_live_slots = 0;
+  size_t slab_tombstoned_slots = 0;
+  size_t slab_free_slots = 0;
+  uint64_t evictions = 0;
+  uint64_t fault_ins = 0;
+  size_t spill_bytes = 0;
+  /// Ticket slots permanently retired at the generation bound, summed over
+  /// resident sessions.
+  int64_t retired_ticket_slots = 0;
 };
 
 class TcpServer {

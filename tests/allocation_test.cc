@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "broker/broker.h"
+#include "common/arena.h"
 #include "common/memory.h"
 #include "market/linear_market.h"
 #include "market/airbnb_market.h"
@@ -479,6 +480,123 @@ TEST(SteadyStateAllocations, BrokerHandlePathFullTileSameProductBatches) {
   EXPECT_EQ(after - before, 0)
       << (after - before) << " allocations in " << kMeasuredRounds
       << " steady-state full-tile batched broker round trips";
+}
+
+TEST(SlabArena, BumpAllocationWithinAChunkIsHeapFree) {
+  SlabArena arena;  // 64 KiB chunks
+  // Prime the first chunk (one aligned heap allocation + chunk bookkeeping).
+  void* first = arena.Allocate(64);
+  ASSERT_NE(first, nullptr);
+  ASSERT_EQ(arena.chunk_count(), 1u);
+
+  // Every further in-chunk allocation is a pure pointer bump: no heap.
+  int64_t before = ThreadAllocationCount();
+  for (int i = 0; i < 500; ++i) {
+    void* p = arena.Allocate(64);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % kCacheLineSize, 0u);
+  }
+  EXPECT_EQ(ThreadAllocationCount() - before, 0);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  EXPECT_EQ(arena.bytes_used(), 64u * 501);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+
+  // An oversized request gets its own dedicated chunk instead of failing.
+  void* big = arena.Allocate(256 * 1024);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(arena.chunk_count(), 2u);
+}
+
+TEST(ArenaPool, SteadyStateChurnRecyclesStorageWithoutHeapTraffic) {
+  struct Payload {
+    explicit Payload(int v) : value(v) {}
+    int value;
+    char pad[200];  // bigger than a free-list node; forces real block reuse
+  };
+  SlabArena arena;
+  ArenaPool<Payload> pool(&arena);
+
+  // High-water mark: 32 simultaneously live objects.
+  std::vector<Payload*> live;
+  for (int i = 0; i < 32; ++i) live.push_back(pool.Create(i));
+  EXPECT_EQ(pool.live(), 32u);
+  size_t reserved_at_peak = arena.bytes_reserved();
+  for (Payload* p : live) pool.Destroy(p);
+  live.clear();
+  EXPECT_EQ(pool.live(), 0u);
+
+  // Steady-state churn below the high-water mark: zero heap allocations,
+  // zero arena growth — every Create pops the free list.
+  int64_t before = ThreadAllocationCount();
+  size_t used_before = arena.bytes_used();
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    for (int i = 0; i < 32; ++i) {
+      Payload* p = pool.Create(cycle * 32 + i);
+      ASSERT_EQ(p->value, cycle * 32 + i);
+      live.push_back(p);
+    }
+    for (Payload* p : live) pool.Destroy(p);
+    live.clear();
+  }
+  EXPECT_EQ(ThreadAllocationCount() - before, 0);
+  EXPECT_EQ(arena.bytes_used(), used_before);
+  EXPECT_EQ(arena.bytes_reserved(), reserved_at_peak);
+  EXPECT_EQ(pool.recycled(), 100u * 32);
+  // LIFO recycling: the most recently destroyed block is handed out first
+  // (hot in cache), and blocks stay cache-line-aligned across reuse.
+  Payload* a = pool.Create(1);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % kCacheLineSize, 0u);
+  pool.Destroy(a);
+  Payload* b = pool.Create(2);
+  EXPECT_EQ(static_cast<void*>(a), static_cast<void*>(b));
+  pool.Destroy(b);
+}
+
+TEST(SteadyStateAllocations, BrokerSessionPoolRecyclesAcrossOpenCloseChurn) {
+  // Open/close churn against the broker: session objects come from the
+  // arena pool and are recycled on close, so the per-cycle arena growth is
+  // exactly the (tombstoned, never-reused — ticket-base uniqueness) slot
+  // records and nothing else. The growth per cycle must therefore be
+  // CONSTANT from the first full cycle on; if closed sessions leaked pool
+  // blocks, each cycle would grow by an extra 8 sessions' worth.
+  scenario::StreamFactory factory;
+  scenario::ScenarioSpec spec;
+  spec.name = "alloc/churn/base";
+  spec.stream = scenario::StreamKind::kLinear;
+  spec.mechanism = "reserve";
+  spec.n = 6;
+  spec.rounds = 100;
+  spec.linear.num_owners = 80;
+  spec.workload_seed = 13;
+  scenario::WorkloadInfo info = factory.Prepare(spec);
+
+  broker::Broker broker;
+  auto name_of = [](int i) { return "alloc/churn/p" + std::to_string(i); };
+  auto run_cycle = [&]() {
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(broker.OpenSession(name_of(i), spec, info).ok());
+    }
+    broker::BrokerStats stats = broker.Stats();
+    EXPECT_EQ(stats.slab_live_slots, 8u);
+    EXPECT_EQ(stats.open_sessions, 8u);
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(broker.CloseSession(name_of(i)).ok());
+    }
+  };
+  run_cycle();  // warm the session pool to its high-water mark
+  size_t used_after_warmup = broker.Stats().arena_bytes_used;
+  run_cycle();
+  size_t per_cycle = broker.Stats().arena_bytes_used - used_after_warmup;
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    size_t before = broker.Stats().arena_bytes_used;
+    run_cycle();
+    EXPECT_EQ(broker.Stats().arena_bytes_used - before, per_cycle)
+        << "arena growth changed in cycle " << cycle;
+  }
+  broker::BrokerStats stats = broker.Stats();
+  EXPECT_EQ(stats.slab_live_slots, 0u);
+  EXPECT_EQ(stats.slab_tombstoned_slots, stats.slab_total_slots);
+  EXPECT_EQ(stats.slab_total_slots, 8u * 8);
 }
 
 TEST(SteadyStateAllocations, RunMarketScratchReuse) {

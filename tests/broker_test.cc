@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <array>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -1215,6 +1216,253 @@ TEST(BrokerSession, TicketRestoredAtGenerationBoundRetiresOnResolution) {
   EXPECT_TRUE(session.EstimateValue(round.features, &interval).ok());
   ASSERT_TRUE(session.Observe(quote.ticket, false).ok());
   EXPECT_EQ(session.pending_count(), 0);
+}
+
+// ------------------------------------------------------ cold tier
+
+/// Fresh spill directory for one test (wiped so reruns start clean).
+std::string ColdDir(const std::string& tag) {
+  std::string dir = testing::TempDir() + "/pdm_cold_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(Broker, BatchedOpenIsAtomicAndServesEveryProduct) {
+  StreamFactory factory;
+  ScenarioSpec spec = LinearSpec("batch/base", 6, 2000, "reserve", 31);
+  WorkloadInfo info = factory.Prepare(spec);
+  Broker broker;
+
+  // Validation failures open nothing.
+  std::vector<std::string> dup{"batch/a", "batch/b", "batch/a"};
+  EXPECT_EQ(broker.OpenSessions(dup, spec, info).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(broker.session_count(), 0u);
+  std::vector<std::string> with_empty{"batch/a", ""};
+  EXPECT_EQ(broker.OpenSessions(with_empty, spec, info).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(broker.session_count(), 0u);
+
+  std::vector<std::string> names;
+  for (int i = 0; i < 16; ++i) names.push_back("batch/p" + std::to_string(i));
+  ASSERT_TRUE(broker.OpenSessions(names, spec, info).ok());
+  EXPECT_EQ(broker.session_count(), names.size());
+
+  // A batch-opened product collides with later opens like any other.
+  EXPECT_EQ(broker.OpenSession("batch/p3", spec, info).code(),
+            StatusCode::kFailedPrecondition);
+
+  // Every product serves, and its batch-assigned ticket base routes feedback.
+  Rng rng(spec.sim_seed);
+  std::unique_ptr<QueryStream> stream = factory.CreateStream(spec, &rng);
+  MarketRound round;
+  for (const std::string& name : names) {
+    stream->Next(&rng, &round);
+    Quote quote;
+    ASSERT_TRUE(broker.PostPrice({name, round.features, round.reserve}, &quote).ok());
+    EXPECT_TRUE(broker.Observe(quote.ticket, true).ok());
+  }
+  BrokerStats stats = broker.Stats();
+  EXPECT_EQ(stats.open_sessions, names.size());
+  EXPECT_EQ(stats.resident_sessions, names.size());
+  EXPECT_EQ(stats.slab_live_slots, names.size());
+  EXPECT_EQ(stats.slab_tombstoned_slots, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(BrokerColdTier, RandomizedEvictFaultInMatchesNeverEvictedTwinBitwise) {
+  // The load-bearing cold-tier pin: a broker that randomly evicts and
+  // faults sessions back in must be BIT-identical — every quote, every
+  // snapshot byte — to a twin broker that never evicts, including while
+  // quotes are outstanding across an eviction.
+  StreamFactory factory;
+  ScenarioSpec spec = LinearSpec("cold/base", 8, 4000, "reserve+uncertainty", 21);
+  WorkloadInfo info = factory.Prepare(spec);
+  constexpr int kProducts = 6;
+  std::vector<std::string> names;
+  for (int i = 0; i < kProducts; ++i) names.push_back("cold/p" + std::to_string(i));
+
+  BrokerConfig cold_config;
+  cold_config.spill_dir = ColdDir("twin");
+  Broker cold(cold_config);
+  Broker hot;  // no spill_dir: the never-evicted twin
+  ASSERT_TRUE(cold.OpenSessions(names, spec, info).ok());
+  for (const std::string& name : names) {
+    ASSERT_TRUE(hot.OpenSession(name, spec, info).ok());
+  }
+
+  // One shared query source so both brokers see identical rounds.
+  Rng rng(spec.sim_seed);
+  std::unique_ptr<QueryStream> stream = factory.CreateStream(spec, &rng);
+  MarketRound round;
+  Rng control(20240808);
+  // Tickets deliberately held pending across evictions, resolved later.
+  std::vector<std::pair<uint64_t, uint64_t>> held;  // (cold ticket, hot ticket)
+
+  for (int step = 0; step < 600; ++step) {
+    int p = static_cast<int>(control.NextUint64(kProducts));
+    stream->Next(&rng, &round);
+    Quote cold_quote;
+    Quote hot_quote;
+    ASSERT_TRUE(
+        cold.PostPrice({names[p], round.features, round.reserve}, &cold_quote).ok());
+    ASSERT_TRUE(
+        hot.PostPrice({names[p], round.features, round.reserve}, &hot_quote).ok());
+    ASSERT_EQ(cold_quote.ticket, hot_quote.ticket) << "step " << step;
+    ASSERT_EQ(cold_quote.price, hot_quote.price) << "step " << step;
+    ASSERT_EQ(cold_quote.certain_no_sale, hot_quote.certain_no_sale);
+    bool accepted = (control.NextUint64(3) != 0);
+    if (control.NextUint64(4) == 0 && held.size() < 32) {
+      held.emplace_back(cold_quote.ticket, hot_quote.ticket);
+    } else {
+      ASSERT_EQ(cold.Observe(cold_quote.ticket, accepted).code(),
+                hot.Observe(hot_quote.ticket, accepted).code());
+    }
+    if (control.NextUint64(10) == 0) {
+      // Evict down to a random residency target; the twin never evicts.
+      cold.EvictIdleSessions(control.NextUint64(kProducts));
+    }
+    if (control.NextUint64(8) == 0 && !held.empty()) {
+      size_t h = control.NextUint64(held.size());
+      bool late_accept = (control.NextUint64(2) == 0);
+      ASSERT_EQ(cold.Observe(held[h].first, late_accept).code(),
+                hot.Observe(held[h].second, late_accept).code());
+      held.erase(held.begin() + static_cast<ptrdiff_t>(h));
+    }
+    if (step % 100 == 99) {
+      // Mid-run snapshots must agree byte for byte — even for products
+      // currently sitting in the cold tier (Snapshot faults them in).
+      for (const std::string& name : names) {
+        SessionSnapshot cold_snap;
+        SessionSnapshot hot_snap;
+        ASSERT_TRUE(cold.Snapshot(name, &cold_snap).ok());
+        ASSERT_TRUE(hot.Snapshot(name, &hot_snap).ok());
+        ASSERT_EQ(EncodeSessionSnapshot(cold_snap), EncodeSessionSnapshot(hot_snap))
+            << name << " at step " << step;
+      }
+    }
+  }
+  BrokerStats stats = cold.Stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.fault_ins, 0u);
+  // Drain the held tickets; both brokers end balanced.
+  for (const auto& [cold_ticket, hot_ticket] : held) {
+    ASSERT_EQ(cold.Observe(cold_ticket, true).code(),
+              hot.Observe(hot_ticket, true).code());
+  }
+  for (const std::string& name : names) {
+    SessionInfo cold_info;
+    SessionInfo hot_info;
+    ASSERT_TRUE(cold.GetSessionInfo(name, &cold_info).ok());
+    ASSERT_TRUE(hot.GetSessionInfo(name, &hot_info).ok());
+    EXPECT_EQ(cold_info.pending, 0);
+    EXPECT_EQ(cold_info.quotes_issued, hot_info.quotes_issued);
+    EXPECT_EQ(cold_info.feedback_received, hot_info.feedback_received);
+  }
+}
+
+TEST(BrokerColdTier, ResidencyLimitEvictsAutomaticallyAndStatsTrackIt) {
+  StreamFactory factory;
+  ScenarioSpec spec = LinearSpec("cap/base", 6, 2000, "reserve", 41);
+  WorkloadInfo info = factory.Prepare(spec);
+  constexpr size_t kProducts = 12;
+  constexpr size_t kCap = 4;
+  BrokerConfig config;
+  config.spill_dir = ColdDir("cap");
+  config.max_resident_sessions = kCap;
+  Broker broker(config);
+  std::vector<std::string> names;
+  for (size_t i = 0; i < kProducts; ++i) names.push_back("cap/p" + std::to_string(i));
+  ASSERT_TRUE(broker.OpenSessions(names, spec, info).ok());
+
+  Rng rng(spec.sim_seed);
+  std::unique_ptr<QueryStream> stream = factory.CreateStream(spec, &rng);
+  MarketRound round;
+  // Round-robin touches force every product through evict → fault-in cycles.
+  for (int pass = 0; pass < 4; ++pass) {
+    for (const std::string& name : names) {
+      stream->Next(&rng, &round);
+      Quote quote;
+      ASSERT_TRUE(broker.PostPrice({name, round.features, round.reserve}, &quote).ok());
+      ASSERT_TRUE(broker.Observe(quote.ticket, true).ok());
+    }
+  }
+  BrokerStats stats = broker.Stats();
+  EXPECT_EQ(stats.open_sessions, kProducts);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.fault_ins, 0u);
+  // The cap is a soft target enforced at request entry; after a full pass
+  // the resident set sits at the cap plus at most the products touched
+  // since the last sweep.
+  EXPECT_LE(stats.resident_sessions, kProducts);
+  EXPECT_EQ(stats.resident_sessions + stats.evicted_sessions, kProducts);
+  EXPECT_GT(stats.evicted_sessions, 0u);
+  EXPECT_GT(stats.spill_bytes, 0u);
+  EXPECT_GT(stats.arena_bytes_used, 0u);
+
+  // EstimateValue and GetSessionInfo also fault in transparently.
+  stream->Next(&rng, &round);
+  for (const std::string& name : names) {
+    ValueInterval interval;
+    EXPECT_TRUE(broker.EstimateValue(name, round.features, &interval).ok());
+  }
+}
+
+TEST(BrokerColdTier, CloseWhileEvictedDropsSpillFileWithoutFaultIn) {
+  StreamFactory factory;
+  ScenarioSpec spec = LinearSpec("closecold/base", 6, 2000, "reserve", 51);
+  WorkloadInfo info = factory.Prepare(spec);
+  BrokerConfig config;
+  config.spill_dir = ColdDir("closecold");
+  Broker broker(config);
+  std::vector<std::string> names{"closecold/a", "closecold/b"};
+  ASSERT_TRUE(broker.OpenSessions(names, spec, info).ok());
+  ASSERT_EQ(broker.EvictIdleSessions(0), 2u);
+  BrokerStats stats = broker.Stats();
+  EXPECT_EQ(stats.evicted_sessions, 2u);
+  EXPECT_EQ(stats.resident_sessions, 0u);
+  uint64_t fault_ins_before = stats.fault_ins;
+
+  ASSERT_TRUE(broker.CloseSession("closecold/a").ok());
+  stats = broker.Stats();
+  EXPECT_EQ(stats.open_sessions, 1u);
+  EXPECT_EQ(stats.evicted_sessions, 1u);
+  EXPECT_EQ(stats.slab_tombstoned_slots, 1u);
+  EXPECT_EQ(stats.fault_ins, fault_ins_before);  // close never faults in
+  // Exactly one spill file remains (the still-evicted product's).
+  size_t spill_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(config.spill_dir)) {
+    (void)entry;
+    ++spill_files;
+  }
+  EXPECT_EQ(spill_files, 1u);
+  // The closed product is gone for good; the surviving one faults in fine.
+  Quote quote;
+  Rng rng(spec.sim_seed);
+  std::unique_ptr<QueryStream> stream = factory.CreateStream(spec, &rng);
+  MarketRound round;
+  stream->Next(&rng, &round);
+  EXPECT_EQ(
+      broker.PostPrice({"closecold/a", round.features, round.reserve}, &quote).code(),
+      StatusCode::kNotFound);
+  EXPECT_TRUE(
+      broker.PostPrice({"closecold/b", round.features, round.reserve}, &quote).ok());
+}
+
+TEST(BrokerColdTier, CallerBuiltEnginesAreNeverEvicted) {
+  StreamFactory factory;
+  ScenarioSpec spec = LinearSpec("pinned/base", 6, 2000, "reserve", 61);
+  WorkloadInfo info = factory.Prepare(spec);
+  BrokerConfig config;
+  config.spill_dir = ColdDir("pinned");
+  Broker broker(config);
+  // A caller-built engine has no rebuild recipe → not evictable.
+  ASSERT_TRUE(broker.OpenSession("pinned/custom", BuildEngine(spec, &factory)).ok());
+  ASSERT_TRUE(broker.OpenSession("pinned/registry", spec, info).ok());
+  EXPECT_EQ(broker.EvictIdleSessions(0), 1u);
+  BrokerStats stats = broker.Stats();
+  EXPECT_EQ(stats.resident_sessions, 1u);
+  EXPECT_EQ(stats.evicted_sessions, 1u);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "pricing/ellipsoid_engine.h"
+#include "pricing/engine_state.h"
 #include "rng/rng.h"
 
 namespace pdm {
@@ -242,6 +243,80 @@ TEST(EllipsoidEngine, NamesMatchPaperVariants) {
   EXPECT_EQ(EllipsoidPricingEngine(config).name(), "pure+uncertainty");
   config.delta = 0.0;
   EXPECT_EQ(EllipsoidPricingEngine(config).name(), "pure");
+}
+
+TEST(EllipsoidEngine, PackedModeSnapshotResumesBitIdentically) {
+  // A packed engine's snapshot serializes dense (one codec for both modes)
+  // and must re-encode byte-exactly after a restore, with the restored
+  // engine posting bit-identical prices forever after — the cold-tier
+  // eviction contract (DESIGN.md §12).
+  int dim = 8;
+  EllipsoidEngineConfig config = BaseConfig(dim, 100000);
+  config.packed_shape = true;
+  config.delta = 0.01;
+  EllipsoidPricingEngine engine(config);
+  EXPECT_TRUE(engine.knowledge_set().packed());
+  Rng rng(15);
+  Vector theta = rng.GaussianVector(dim);
+  RescaleToNorm(&theta, std::sqrt(2.0 * dim));
+  for (int t = 0; t < 200; ++t) {
+    Vector x = UnitFeature(dim, &rng);
+    double value = Dot(x, theta);
+    PostedPrice posted = engine.PostPrice(x, 0.6 * value);
+    engine.Observe(!posted.certain_no_sale && posted.price <= value);
+  }
+  EngineSnapshot snap;
+  ASSERT_TRUE(engine.SaveSnapshot(&snap));
+  EllipsoidPricingEngine restored(config);
+  ASSERT_TRUE(restored.LoadSnapshot(snap));
+  EXPECT_TRUE(restored.knowledge_set().packed());
+  EngineSnapshot again;
+  ASSERT_TRUE(restored.SaveSnapshot(&again));
+  ASSERT_EQ(again.center, snap.center);
+  for (int r = 0; r < dim; ++r) {
+    for (int c = 0; c < dim; ++c) {
+      ASSERT_EQ(again.shape(r, c), snap.shape(r, c)) << r << "," << c;
+    }
+  }
+  for (int t = 0; t < 200; ++t) {
+    Vector x = UnitFeature(dim, &rng);
+    double value = Dot(x, theta);
+    PostedPrice a = engine.PostPrice(x, 0.6 * value);
+    PostedPrice b = restored.PostPrice(x, 0.6 * value);
+    ASSERT_EQ(a.price, b.price) << "t=" << t;
+    ASSERT_EQ(a.certain_no_sale, b.certain_no_sale) << "t=" << t;
+    bool accepted = !a.certain_no_sale && a.price <= value;
+    engine.Observe(accepted);
+    restored.Observe(accepted);
+  }
+}
+
+TEST(EllipsoidEngine, PackedModeTracksDenseWithinTolerance) {
+  // Packed is a documented-tolerance twin of the dense default: same
+  // decisions on well-separated inputs, prices agreeing to ~1e-9 over a
+  // long consistent-feedback run (divergence only enters via the dense
+  // side's 32-cut re-symmetrization, which packed storage does not need).
+  int dim = 6;
+  EllipsoidEngineConfig config = BaseConfig(dim, 100000);
+  EllipsoidPricingEngine dense(config);
+  config.packed_shape = true;
+  EllipsoidPricingEngine packed(config);
+  Rng rng(16);
+  Vector theta = rng.GaussianVector(dim);
+  RescaleToNorm(&theta, std::sqrt(2.0 * dim));
+  for (int t = 0; t < 1000; ++t) {
+    Vector x = UnitFeature(dim, &rng);
+    double value = Dot(x, theta);
+    PostedPrice a = dense.PostPrice(x, 0.6 * value);
+    PostedPrice b = packed.PostPrice(x, 0.6 * value);
+    ASSERT_NEAR(a.price, b.price, 1e-9 * std::max(1.0, std::abs(a.price)))
+        << "t=" << t;
+    bool accepted = !a.certain_no_sale && a.price <= value;
+    dense.Observe(accepted);
+    packed.Observe(accepted);
+  }
+  EXPECT_TRUE(packed.knowledge_set().LooksHealthy());
+  EXPECT_EQ(dense.counters().exploratory_rounds, packed.counters().exploratory_rounds);
 }
 
 }  // namespace

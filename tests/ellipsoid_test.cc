@@ -309,5 +309,148 @@ TEST(Ellipsoid, DegenerateDirectionYieldsZeroWidth) {
   EXPECT_DOUBLE_EQ(s.lower, s.upper);
 }
 
+// ---------------------------------------------------------------- packed
+
+TEST(EllipsoidPacked, BallBasicsAndAccessorGuards) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Ellipsoid e = Ellipsoid::PackedBall(3, 2.0);
+  EXPECT_TRUE(e.packed());
+  EXPECT_EQ(e.dim(), 3);
+  EXPECT_DOUBLE_EQ(e.packed_shape().At(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(e.DenseShape()(0, 1), 0.0);
+  EXPECT_TRUE(e.LooksHealthy());
+  EXPECT_DEATH(e.shape(), "PDM_CHECK");
+  Ellipsoid dense = Ellipsoid::Ball(3, 2.0);
+  EXPECT_FALSE(dense.packed());
+  EXPECT_DEATH(dense.packed_shape(), "PDM_CHECK");
+}
+
+TEST(EllipsoidPacked, CutSequenceMatchesDenseUntilFirstSymmetrize) {
+  // Within the dense mode's 32-cut symmetrization window the packed cut is
+  // per-entry bit-identical to the dense one (the packed fused kernel runs
+  // the dense kernel's upper-triangle expression in the same order), and
+  // Support's quadratic form reduces over the same geometry at documented
+  // tolerance. Past the first symmetrize the trajectories may diverge in
+  // low-order bits — which is exactly why packed mode is opt-in.
+  Rng rng(1111);
+  for (int d : {2, 5, 20}) {
+    Ellipsoid dense = Ellipsoid::Ball(d, 2.0);
+    Ellipsoid packed = Ellipsoid::PackedBall(d, 2.0);
+    for (int k = 0; k < 31; ++k) {
+      Vector x = rng.GaussianVector(d);
+      RescaleToNorm(&x, 1.0);
+      SupportInterval sd = dense.Support(x);
+      SupportInterval sp = packed.Support(x);
+      ASSERT_NEAR(sp.half_width, sd.half_width,
+                  1e-12 * std::max(1.0, sd.half_width));
+      ASSERT_NEAR(sp.midpoint, sd.midpoint, 1e-12);
+      if (sd.half_width <= 0.0 || sp.half_width <= 0.0) continue;
+      double alpha = rng.NextUniform(-0.2, 0.2) / d;
+      if (k % 2 == 0) {
+        dense.CutKeepBelow(sd, alpha);
+        packed.CutKeepBelow(sp, alpha);
+      } else {
+        dense.CutKeepAbove(sd, alpha);
+        packed.CutKeepAbove(sp, alpha);
+      }
+      ASSERT_EQ(dense.cuts_since_symmetrize(), packed.cuts_since_symmetrize());
+      for (int r = 0; r < d; ++r) {
+        ASSERT_NEAR(packed.center()[static_cast<size_t>(r)],
+                    dense.center()[static_cast<size_t>(r)], 1e-12)
+            << "d=" << d << " k=" << k;
+        for (int c = r; c < d; ++c) {
+          ASSERT_NEAR(packed.packed_shape().At(r, c), dense.shape()(r, c),
+                      1e-12 * std::max(1.0, std::abs(dense.shape()(r, c))))
+              << "d=" << d << " k=" << k << " " << r << "," << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(EllipsoidPacked, SupportBatchMatchesSequentialSupportBitwise) {
+  // The §11 per-query bit-identity contract holds within packed mode too.
+  Rng rng(1212);
+  for (int d : {2, 3, 20, 50}) {
+    Ellipsoid e = Ellipsoid::PackedBall(d, 2.0);
+    for (int k : {1, 2, 7, 32}) {
+      Vector panel(static_cast<size_t>(k) * d);
+      for (double& v : panel) v = rng.NextGaussian();
+      std::vector<SupportInterval> batched(static_cast<size_t>(k));
+      for (SupportInterval& s : batched) s.direction.assign(7, -42.0);  // dirty
+      e.SupportBatch(panel.data(), k, batched.data());
+      Vector x(static_cast<size_t>(d));
+      SupportInterval expected;
+      for (int j = 0; j < k; ++j) {
+        x.assign(panel.begin() + static_cast<size_t>(j) * d,
+                 panel.begin() + static_cast<size_t>(j + 1) * d);
+        e.Support(x, &expected);
+        const SupportInterval& got = batched[static_cast<size_t>(j)];
+        ASSERT_EQ(expected.lower, got.lower) << "d=" << d << " k=" << k << " j=" << j;
+        ASSERT_EQ(expected.upper, got.upper) << "d=" << d << " k=" << k << " j=" << j;
+        ASSERT_EQ(expected.half_width, got.half_width)
+            << "d=" << d << " k=" << k << " j=" << j;
+        ASSERT_EQ(expected.midpoint, got.midpoint)
+            << "d=" << d << " k=" << k << " j=" << j;
+        ASSERT_EQ(expected.direction, got.direction)
+            << "d=" << d << " k=" << k << " j=" << j;
+      }
+      if (batched[0].half_width > 0.0) {
+        e.CutKeepBelow(batched[0], 0.05);
+      }
+    }
+  }
+}
+
+TEST(EllipsoidPacked, SnapshotRoundTripIsBitExact) {
+  // Packed → dense snapshot → packed must resume bit-identically, including
+  // the symmetrization phase; that is the property cold-tier eviction
+  // (DESIGN.md §12) leans on.
+  Rng rng(1313);
+  Ellipsoid e = Ellipsoid::PackedBall(6, 1.5);
+  for (int k = 0; k < 40; ++k) {  // crosses a 32-cut counter reset
+    Vector x = rng.GaussianVector(6);
+    RescaleToNorm(&x, 1.0);
+    SupportInterval s = e.Support(x);
+    if (s.half_width <= 0.0) continue;
+    e.CutKeepBelow(s, 0.02);
+  }
+  Matrix snap_shape = e.DenseShape();
+  Vector snap_center = e.center();
+  Ellipsoid restored = Ellipsoid::FromSnapshotState(
+      snap_center, snap_shape, e.cuts_since_symmetrize(), /*packed=*/true);
+  EXPECT_TRUE(restored.packed());
+  ASSERT_EQ(restored.cuts_since_symmetrize(), e.cuts_since_symmetrize());
+  for (int r = 0; r < 6; ++r) {
+    ASSERT_EQ(restored.center()[static_cast<size_t>(r)], e.center()[static_cast<size_t>(r)]);
+    for (int c = r; c < 6; ++c) {
+      ASSERT_EQ(restored.packed_shape().At(r, c), e.packed_shape().At(r, c));
+    }
+  }
+  // And the re-encoded snapshot is byte-exact.
+  Matrix again = restored.DenseShape();
+  for (int r = 0; r < 6; ++r) {
+    for (int c = 0; c < 6; ++c) {
+      ASSERT_EQ(again(r, c), snap_shape(r, c));
+    }
+  }
+  // Future cuts evolve both copies identically (same packed arithmetic).
+  Vector x = rng.GaussianVector(6);
+  RescaleToNorm(&x, 1.0);
+  Ellipsoid twin = e;
+  SupportInterval sa = twin.Support(x);
+  SupportInterval sb = restored.Support(x);
+  ASSERT_EQ(sa.half_width, sb.half_width);
+  if (sa.half_width > 0.0) {
+    twin.CutKeepBelow(sa, 0.02);
+    restored.CutKeepBelow(sb, 0.02);
+    for (int r = 0; r < 6; ++r) {
+      for (int c = r; c < 6; ++c) {
+        ASSERT_EQ(twin.packed_shape().At(r, c), restored.packed_shape().At(r, c));
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pdm

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "linalg/matrix.h"
+#include "linalg/packed_sym_matrix.h"
 #include "linalg/sparse_vector.h"
 #include "linalg/vector_ops.h"
 #include "rng/rng.h"
@@ -261,6 +262,140 @@ TEST(MatrixInPlace, ReusedBufferStableAcrossCalls) {
   EXPECT_EQ(y, (Vector{3, 7}));
   m.MatVecInto({2, 0}, &y);
   EXPECT_EQ(y, (Vector{2, 6}));
+}
+
+// ---------------------------------------------------------------- packed
+
+// Random symmetric dense matrix plus its packed twin.
+Matrix RandomSymmetric(int n, Rng* rng) {
+  Matrix m(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = r; c < n; ++c) {
+      double v = rng->NextGaussian();
+      m(r, c) = v;
+      m(c, r) = v;
+    }
+  }
+  return m;
+}
+
+TEST(PackedSymMatrix, IndexMappingAndAccessors) {
+  PackedSymMatrix p(3);
+  EXPECT_EQ(p.dim(), 3);
+  EXPECT_EQ(p.packed_size(), static_cast<size_t>(6));
+  p.At(0, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(p.At(2, 0), 5.0);  // either triangle maps to one slot
+  p.At(1, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(p.At(1, 1), -2.0);
+  PackedSymMatrix id = PackedSymMatrix::ScaledIdentity(3, 2.5);
+  EXPECT_DOUBLE_EQ(id.At(0, 0), 2.5);
+  EXPECT_DOUBLE_EQ(id.At(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(id.Trace(), 7.5);
+}
+
+TEST(PackedSymMatrix, DenseRoundTripIsBitExact) {
+  Rng rng(606);
+  for (int n : {2, 3, 5, 8, 13, 20}) {
+    Matrix dense = RandomSymmetric(n, &rng);
+    PackedSymMatrix packed = PackedSymMatrix::FromDense(dense);
+    Matrix back = packed.ToDense();
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) {
+        ASSERT_EQ(back(r, c), dense(r, c)) << "n=" << n << " " << r << "," << c;
+      }
+    }
+    // Pack → dense → pack must reproduce the stored doubles exactly: the
+    // property the snapshot codec leans on (shapes serialize dense).
+    PackedSymMatrix again = PackedSymMatrix::FromDense(back);
+    for (size_t i = 0; i < packed.packed_size(); ++i) {
+      ASSERT_EQ(again.data()[i], packed.data()[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(PackedSymMatrix, MatVecMatchesDenseWithinTolerance) {
+  // The packed mat-vec accumulates in a different order than the dense
+  // row-dot kernel, so the contract is tolerance, not bits (the header
+  // documents this). Tolerance is relative to the result magnitude.
+  Rng rng(707);
+  for (int n : {2, 3, 5, 8, 13, 20, 50}) {
+    Matrix dense = RandomSymmetric(n, &rng);
+    PackedSymMatrix packed = PackedSymMatrix::FromDense(dense);
+    Vector x = rng.GaussianVector(n);
+    Vector yp(1, 99.0);
+    Vector yd(1, 99.0);
+    packed.MatVecInto(x, &yp);
+    dense.MatVecInto(x, &yd);
+    ASSERT_EQ(yp.size(), static_cast<size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      double scale = std::max(1.0, std::abs(yd[static_cast<size_t>(r)]));
+      ASSERT_NEAR(yp[static_cast<size_t>(r)], yd[static_cast<size_t>(r)], 1e-12 * scale)
+          << "n=" << n << " r=" << r;
+    }
+    double qp = packed.QuadraticForm(x);
+    double qd = dense.QuadraticForm(x);
+    ASSERT_NEAR(qp, qd, 1e-12 * std::max(1.0, std::abs(qd))) << "n=" << n;
+  }
+}
+
+TEST(PackedSymMatrix, MatPanelMatchesMatVecBitwise) {
+  // Same contract as the dense panel kernel: batching may interleave the
+  // independent per-query chains but never reassociate within one, so each
+  // query is bit-identical to a standalone packed mat-vec. Dims and k cover
+  // the 4-wide blocked path, the remainder path, and their mix.
+  Rng rng(808);
+  for (int n : {2, 3, 5, 8, 13, 20, 50}) {
+    PackedSymMatrix packed = PackedSymMatrix::FromDense(RandomSymmetric(n, &rng));
+    for (int k : {1, 2, 4, 7, 32}) {
+      Vector panel(static_cast<size_t>(k) * n);
+      for (double& v : panel) v = rng.NextGaussian();
+      Vector y(static_cast<size_t>(k) * n, 99.0);  // dirty reused buffer
+      packed.MatPanelInto(panel.data(), k, y.data());
+      Vector x(static_cast<size_t>(n));
+      Vector expected;
+      for (int j = 0; j < k; ++j) {
+        x.assign(panel.begin() + static_cast<size_t>(j) * n,
+                 panel.begin() + static_cast<size_t>(j + 1) * n);
+        packed.MatVecInto(x, &expected);
+        for (int r = 0; r < n; ++r) {
+          ASSERT_EQ(y[static_cast<size_t>(j) * n + r], expected[static_cast<size_t>(r)])
+              << "n=" << n << " k=" << k << " j=" << j << " r=" << r;
+        }
+      }
+    }
+  }
+}
+
+TEST(PackedSymMatrix, ZeroQueriesIsANoOp) {
+  PackedSymMatrix p = PackedSymMatrix::ScaledIdentity(2, 1.0);
+  p.MatPanelInto(nullptr, 0, nullptr);  // k = 0 must not touch the pointers
+}
+
+TEST(PackedSymMatrix, FusedScaleRankOneMatchesDenseUpperTriangleBitwise) {
+  // The packed cut update applies factor·(a_rc − (coef·b_r)·b_c) per stored
+  // entry — the same expression, in the same order, as the dense kernel's
+  // upper triangle. That makes a packed cut sequence bit-identical to a
+  // dense one until the dense side's first 32-cut re-symmetrization.
+  Rng rng(909);
+  for (int n : {2, 3, 5, 8, 13, 20}) {
+    Matrix dense = RandomSymmetric(n, &rng);
+    // Shift to strong diagonal dominance so repeated cuts stay tame.
+    for (int r = 0; r < n; ++r) dense(r, r) += 4.0 * n;
+    PackedSymMatrix packed = PackedSymMatrix::FromDense(dense);
+    for (int cut = 0; cut < 31; ++cut) {  // stay below the symmetrize window
+      Vector b = rng.GaussianVector(n);
+      double factor = 1.0 + 0.01 * rng.NextDouble();
+      double coef = 0.05 * rng.NextDouble();
+      dense.FusedScaleRankOne(factor, coef, b);
+      packed.FusedScaleRankOne(factor, coef, b);
+      for (int r = 0; r < n; ++r) {
+        for (int c = r; c < n; ++c) {
+          ASSERT_EQ(packed.At(r, c), dense(r, c))
+              << "n=" << n << " cut=" << cut << " " << r << "," << c;
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -328,6 +328,16 @@ TEST(TcpServer, PipelinedRunsCoalesceAndMatchSequential) {
   ServerStats stats = server.stats();
   EXPECT_GT(stats.coalesced_runs, 0);
   EXPECT_GT(stats.frames_coalesced, 0);
+  // The memory-engine occupancy sampled from the broker rides along: one
+  // open, resident, never-evicted session in one live slab slot.
+  EXPECT_EQ(stats.open_sessions, 1u);
+  EXPECT_EQ(stats.resident_sessions, 1u);
+  EXPECT_EQ(stats.evicted_sessions, 0u);
+  EXPECT_EQ(stats.slab_live_slots, 1u);
+  EXPECT_EQ(stats.slab_tombstoned_slots, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.fault_ins, 0u);
+  EXPECT_EQ(stats.spill_bytes, 0u);
   server.Stop();
 
   EXPECT_EQ(SnapshotBytes(broker_a, spec.name), SnapshotBytes(broker_b, spec.name));

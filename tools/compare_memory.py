@@ -1,0 +1,266 @@
+#!/usr/bin/env python3
+"""Tolerance-based comparison of two pdm.bench_memory.v1 documents.
+
+Usage:
+    compare_memory.py BASELINE CURRENT [--memory-tolerance=0.2]
+                      [--latency-tolerance=1.0] [--min-savings=0.35]
+
+Two kinds of gate:
+
+  * Intra-document (always runs, even across machine classes): CURRENT must
+    contain both the "packed-cold" and "dense-resident" series, and the
+    packed+cold-tier steady-state bytes/product must be at least MIN_SAVINGS
+    lower than the dense fully-resident layout — the DESIGN.md §12 memory
+    engine's reason to exist.
+  * Baseline comparison (joined on each series row's "series" key): fails
+    (exit 1) when bytes_per_product rises more than MEMORY_TOLERANCE above
+    baseline, a latency quantile (resolve/touch/fault-in p50/p99) rises more
+    than LATENCY_TOLERANCE, the current run reported touch errors, or a
+    baseline series is missing from CURRENT.
+
+Like compare_serving.py, absolute numbers are only comparable within one
+machine class: when the two documents disagree on hardware_concurrency the
+baseline comparison emits a ::warning:: annotation and is skipped (pass
+--ignore-hardware-mismatch to force) — the intra-document savings gate still
+runs, since both of its series come from the same machine. A non-positive
+baseline value for any gated metric fails loudly — a broken baseline must be
+re-recorded, not silently skipped.
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "pdm.bench_memory.v1"
+LATENCY_GROUPS = ("resolve_ns", "touch_ns", "fault_in_ns")
+LATENCY_QUANTILES = ("p50", "p99")
+PACKED_SERIES = "packed-cold"
+DENSE_SERIES = "dense-resident"
+
+
+def load_doc(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fp:
+            doc = json.load(fp)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"compare_memory: cannot read {path}: {err}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(
+            f"compare_memory: {path} has schema "
+            f"{doc.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    rows = {}
+    for row in doc.get("series", []):
+        name = row.get("series")
+        if not name:
+            sys.exit(f"compare_memory: {path} has a series row without a name")
+        if name in rows:
+            sys.exit(f"compare_memory: {path} repeats series {name!r}")
+        rows[name] = row
+    if not rows:
+        sys.exit(f"compare_memory: {path} contains no series rows")
+    return doc, rows
+
+
+def check_savings(rows, min_savings, path):
+    """The intra-document gate: packed+cold must beat dense by min_savings."""
+    failures = []
+    for required in (PACKED_SERIES, DENSE_SERIES):
+        if required not in rows:
+            failures.append(f"  {path}: required series {required!r} is missing")
+    if failures:
+        return failures, None
+    dense = rows[DENSE_SERIES].get("bytes_per_product")
+    packed = rows[PACKED_SERIES].get("bytes_per_product")
+    if dense is None or packed is None:
+        return [f"  {path}: bytes_per_product missing from a series row"], None
+    if dense <= 0:
+        return [
+            f"  {path}: dense-resident bytes_per_product is {dense!r} "
+            "(non-positive) — the document is broken; re-record it"
+        ], None
+    savings = 1.0 - packed / dense
+    if savings < min_savings:
+        failures.append(
+            f"  {path}: packed+cold-tier saves only {100 * savings:.1f}% "
+            f"bytes/product over dense-resident (dense {dense:,.0f} -> packed "
+            f"{packed:,.0f}); the gate requires >= {100 * min_savings:.0f}%"
+        )
+    return failures, savings
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly measured JSON")
+    parser.add_argument(
+        "--memory-tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional bytes_per_product increase per series "
+        "(default 0.2)",
+    )
+    parser.add_argument(
+        "--latency-tolerance",
+        type=float,
+        default=1.0,
+        help="allowed fractional latency increase per quantile "
+        "(default 1.0 = latency may double before failing)",
+    )
+    parser.add_argument(
+        "--min-savings",
+        type=float,
+        default=0.35,
+        help="required fractional bytes/product savings of packed-cold over "
+        "dense-resident within CURRENT (default 0.35)",
+    )
+    parser.add_argument(
+        "--ignore-hardware-mismatch",
+        action="store_true",
+        help="run the baseline comparison even when the documents report "
+        "different hardware_concurrency (RSS is NOT comparable across "
+        "machine classes; expect noise)",
+    )
+    args = parser.parse_args()
+    if args.memory_tolerance < 0.0:
+        sys.exit("compare_memory: --memory-tolerance must be >= 0")
+    if args.latency_tolerance < 0.0:
+        sys.exit("compare_memory: --latency-tolerance must be >= 0")
+    if not 0.0 <= args.min_savings < 1.0:
+        sys.exit("compare_memory: --min-savings must be in [0, 1)")
+
+    base_doc, baseline = load_doc(args.baseline)
+    cur_doc, current = load_doc(args.current)
+
+    # The savings gate needs no baseline: both series of CURRENT ran on the
+    # same machine minutes apart.
+    failures, savings = check_savings(current, args.min_savings, args.current)
+
+    base_hw = base_doc.get("hardware_concurrency")
+    cur_hw = cur_doc.get("hardware_concurrency")
+    if (
+        base_hw is not None
+        and cur_hw is not None
+        and base_hw != cur_hw
+        and not args.ignore_hardware_mismatch
+    ):
+        print(
+            "::warning title=memory gate partially skipped::baseline "
+            f"hardware_concurrency={base_hw} does not match runner {cur_hw}; "
+            "the baseline comparison is NOT armed (the intra-document "
+            "savings gate still ran). Refresh the committed baseline from a "
+            "CI artifact (README 'Memory & scale')."
+        )
+        if failures:
+            print(f"FAIL: {len(failures)} memory gate failure(s):")
+            print("\n".join(failures))
+            return 1
+        print(
+            f"OK (savings gate only): packed-cold saves {100 * savings:.1f}% "
+            f"bytes/product (required >= {100 * args.min_savings:.0f}%). "
+            f"Baseline comparison SKIPPED: hardware_concurrency {base_hw} vs "
+            f"{cur_hw} — RSS is not comparable across machine classes."
+        )
+        return 0
+
+    improvements = 0
+    for name in sorted(baseline):
+        base_row = baseline[name]
+        if name not in current:
+            failures.append(f"  {name}: present in baseline but missing from current")
+            continue
+        cur_row = current[name]
+
+        if cur_row.get("touch_errors", 0):
+            failures.append(
+                f"  {name}: current run reported {cur_row['touch_errors']} "
+                "touch errors"
+            )
+
+        # Memory: higher is worse.
+        base = base_row.get("bytes_per_product")
+        cur = cur_row.get("bytes_per_product")
+        if base is None or cur is None:
+            failures.append(
+                f"  {name}: metric 'bytes_per_product' missing from a document"
+            )
+        elif base <= 0:
+            failures.append(
+                f"  {name}: baseline bytes_per_product is {base!r} "
+                "(non-positive) — the baseline is broken; re-record it "
+                "instead of comparing against it"
+            )
+        else:
+            ratio = cur / base
+            if ratio > 1.0 + args.memory_tolerance:
+                failures.append(
+                    f"  {name}: bytes_per_product rose {100 * (ratio - 1):.1f}% "
+                    f"(baseline {base:,.0f} -> current {cur:,.0f}, tolerance "
+                    f"{100 * args.memory_tolerance:.0f}%)"
+                )
+            elif ratio < 1.0:
+                improvements += 1
+
+        # Latency: higher is worse. fault_in_ns may legitimately be empty
+        # (count 0) for the dense series — an all-zero group in BOTH
+        # documents is not a gate.
+        for group in LATENCY_GROUPS:
+            base_lat = base_row.get(group, {})
+            cur_lat = cur_row.get(group, {})
+            if base_lat.get("count") == 0 and cur_lat.get("count") == 0:
+                continue
+            for quantile in LATENCY_QUANTILES:
+                base = base_lat.get(quantile)
+                cur = cur_lat.get(quantile)
+                if base is None or cur is None:
+                    failures.append(
+                        f"  {name}: {group}.{quantile} missing from a document"
+                    )
+                    continue
+                if base <= 0:
+                    failures.append(
+                        f"  {name}: baseline {group}.{quantile} is {base!r} "
+                        "(non-positive) — the baseline is broken; re-record "
+                        "it instead of comparing against it"
+                    )
+                    continue
+                ratio = cur / base
+                if ratio > 1.0 + args.latency_tolerance:
+                    failures.append(
+                        f"  {name}: {group}.{quantile} rose "
+                        f"{100 * (ratio - 1):.0f}% (baseline {base / 1e3:,.1f}us "
+                        f"-> current {cur / 1e3:,.1f}us, tolerance "
+                        f"{100 * args.latency_tolerance:.0f}%)"
+                    )
+                elif ratio < 1.0:
+                    improvements += 1
+
+    new_series = sorted(set(current) - set(baseline))
+    if new_series:
+        print(f"note: {len(new_series)} series not in baseline: {', '.join(new_series)}")
+
+    if failures:
+        print(
+            f"FAIL: {len(failures)} memory gate failure(s) "
+            f"({args.baseline} -> {args.current}):"
+        )
+        print("\n".join(failures))
+        print(
+            "If the growth is expected, refresh the committed baseline "
+            "(README 'Memory & scale')."
+        )
+        return 1
+    print(
+        f"OK: {len(baseline)} series within tolerance (memory "
+        f"+{100 * args.memory_tolerance:.0f}%, latency "
+        f"+{100 * args.latency_tolerance:.0f}%; packed-cold saves "
+        f"{100 * savings:.1f}% bytes/product, required >= "
+        f"{100 * args.min_savings:.0f}%; {improvements} metrics improved)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

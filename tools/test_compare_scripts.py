@@ -19,6 +19,7 @@ import unittest
 TOOLS = pathlib.Path(__file__).resolve().parent
 SCALING = TOOLS / "compare_broker_scaling.py"
 SERVING = TOOLS / "compare_serving.py"
+MEMORY = TOOLS / "compare_memory.py"
 
 
 def run(script, *argv):
@@ -58,6 +59,34 @@ def serving_doc(p50=100000, p99=500000, p999=900000, rps=8000.0, hw=4, errors=0)
                 "achieved_rounds_per_sec": rps,
                 "latency_ns": {"p50": p50, "p99": p99, "p999": p999},
             }
+        ],
+    }
+
+
+def memory_series(name, packed, bytes_per_product, fault_count=0, touch_errors=0):
+    return {
+        "series": name,
+        "packed": packed,
+        "bytes_per_product": bytes_per_product,
+        "touch_errors": touch_errors,
+        "resolve_ns": {"p50": 200, "p99": 900},
+        "touch_ns": {"p50": 2000, "p99": 9000, "count": 10000},
+        "fault_in_ns": {
+            "p50": 5000000 if fault_count else 0,
+            "p99": 12000000 if fault_count else 0,
+            "count": fault_count,
+        },
+    }
+
+
+def memory_doc(dense=10000.0, packed=4000.0, hw=4, touch_errors=0):
+    return {
+        "schema": "pdm.bench_memory.v1",
+        "hardware_concurrency": hw,
+        "series": [
+            memory_series("packed-cold", True, packed, fault_count=5000,
+                          touch_errors=touch_errors),
+            memory_series("dense-resident", False, dense),
         ],
     }
 
@@ -206,6 +235,112 @@ class CompareScriptTest(unittest.TestCase):
         base = self.write("base.json", serving_doc())
         cur = self.write("cur.json", scaling_doc())
         code, out = run(SERVING, base, cur)
+        self.assertNotEqual(code, 0, out)
+        self.assertIn("schema", out)
+
+    # ------------------------------------------------------- memory
+
+    def test_memory_ok(self):
+        base = self.write("base.json", memory_doc())
+        cur = self.write("cur.json", memory_doc(dense=10500.0, packed=4100.0))
+        code, out = run(MEMORY, base, cur)
+        self.assertEqual(code, 0, out)
+        self.assertIn("OK", out)
+
+    def test_memory_bytes_per_product_regression_fails(self):
+        base = self.write("base.json", memory_doc(packed=4000.0))
+        cur = self.write("cur.json", memory_doc(packed=6000.0))
+        code, out = run(MEMORY, base, cur)
+        self.assertEqual(code, 1, out)
+        self.assertIn("bytes_per_product rose", out)
+
+    def test_memory_savings_gate_fails_even_against_matching_baseline(self):
+        """The intra-document gate: packed-cold must beat dense-resident by
+        --min-savings even when CURRENT matches the baseline perfectly."""
+        doc = memory_doc(dense=10000.0, packed=8000.0)  # only 20% savings
+        base = self.write("base.json", doc)
+        cur = self.write("cur.json", doc)
+        code, out = run(MEMORY, base, cur)
+        self.assertEqual(code, 1, out)
+        self.assertIn("saves only 20.0%", out)
+
+    def test_memory_savings_gate_threshold_is_tunable(self):
+        doc = memory_doc(dense=10000.0, packed=8000.0)
+        base = self.write("base.json", doc)
+        cur = self.write("cur.json", doc)
+        code, out = run(MEMORY, base, cur, "--min-savings=0.15")
+        self.assertEqual(code, 0, out)
+
+    def test_memory_missing_required_series_fails(self):
+        base = self.write("base.json", memory_doc())
+        doc = memory_doc()
+        doc["series"] = [doc["series"][1]]  # drop packed-cold
+        cur = self.write("cur.json", doc)
+        code, out = run(MEMORY, base, cur)
+        self.assertEqual(code, 1, out)
+        self.assertIn("'packed-cold' is missing", out)
+
+    def test_memory_touch_errors_fail(self):
+        base = self.write("base.json", memory_doc())
+        cur = self.write("cur.json", memory_doc(touch_errors=2))
+        code, out = run(MEMORY, base, cur)
+        self.assertEqual(code, 1, out)
+        self.assertIn("touch errors", out)
+
+    def test_memory_zero_baseline_fails_loudly(self):
+        base = self.write("base.json", memory_doc(dense=0.0))
+        cur = self.write("cur.json", memory_doc())
+        code, out = run(MEMORY, base, cur)
+        self.assertEqual(code, 1, out)
+        self.assertIn("non-positive", out)
+        self.assertIn("re-record", out)
+
+    def test_memory_fault_latency_regression_fails(self):
+        base = self.write("base.json", memory_doc())
+        doc = memory_doc()
+        doc["series"][0]["fault_in_ns"]["p99"] = 50000000
+        cur = self.write("cur.json", doc)
+        code, out = run(MEMORY, base, cur)
+        self.assertEqual(code, 1, out)
+        self.assertIn("fault_in_ns.p99 rose", out)
+
+    def test_memory_empty_fault_histogram_in_both_documents_is_not_a_gate(self):
+        # The dense series never faults; an all-zero fault_in_ns group on
+        # both sides must not trip the non-positive-baseline check.
+        base = self.write("base.json", memory_doc())
+        cur = self.write("cur.json", memory_doc())
+        code, out = run(MEMORY, base, cur)
+        self.assertEqual(code, 0, out)
+
+    def test_memory_hardware_mismatch_skips_baseline_but_keeps_savings_gate(self):
+        # Baseline comparison skipped (different machine class), but the
+        # intra-document savings gate still runs — and passes here.
+        base = self.write("base.json", memory_doc(hw=1))
+        cur = self.write("cur.json", memory_doc(hw=4, packed=4100.0))
+        code, out = run(MEMORY, base, cur)
+        self.assertEqual(code, 0, out)
+        self.assertIn("SKIPPED", out)
+        self.assertIn("::warning", out)
+        self.assertIn("savings gate", out)
+
+    def test_memory_hardware_mismatch_still_fails_on_lost_savings(self):
+        base = self.write("base.json", memory_doc(hw=1))
+        cur = self.write("cur.json", memory_doc(hw=4, packed=9000.0))
+        code, out = run(MEMORY, base, cur)
+        self.assertEqual(code, 1, out)
+        self.assertIn("saves only", out)
+
+    def test_memory_hardware_mismatch_forced_comparison(self):
+        base = self.write("base.json", memory_doc(hw=1, packed=4000.0))
+        cur = self.write("cur.json", memory_doc(hw=4, packed=6000.0))
+        code, out = run(MEMORY, base, cur, "--ignore-hardware-mismatch")
+        self.assertEqual(code, 1, out)
+        self.assertIn("bytes_per_product rose", out)
+
+    def test_memory_wrong_schema_rejected(self):
+        base = self.write("base.json", memory_doc())
+        cur = self.write("cur.json", serving_doc())
+        code, out = run(MEMORY, base, cur)
         self.assertNotEqual(code, 0, out)
         self.assertIn("schema", out)
 
