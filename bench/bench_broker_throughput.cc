@@ -32,6 +32,7 @@
 #include "common/memory.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "metrics/metrics.h"
 
 int main(int argc, char** argv) {
   int64_t threads = 8;
@@ -41,7 +42,12 @@ int main(int argc, char** argv) {
   pdm::broker_bench::ProductSetup setup;
   bool smoke = false;
   std::string out_path = "BENCH_broker.json";
+  std::string metrics_mode = "none";
   pdm::FlagSet flags("bench_broker_throughput");
+  flags.AddString("metrics", &metrics_mode,
+                  "metric gateway on the hot path: none (sink cells) or live "
+                  "(a wired MetricRegistry) — the <3%% regression gate "
+                  "compares the two");
   flags.AddInt64("threads", &threads, "client threads");
   flags.AddInt64("products", &products,
                  "distinct products; clients map round-robin (0 = one per "
@@ -67,22 +73,29 @@ int main(int argc, char** argv) {
                  "positive\n");
     return 1;
   }
+  if (metrics_mode != "none" && metrics_mode != "live") {
+    std::fprintf(stderr, "--metrics must be 'none' or 'live'\n");
+    return 1;
+  }
   setup.rounds = rounds;
 
   // Serial setup: products with precomputed workloads and registry-built
   // engines; query sequences are recorded up front so the timed region
   // measures broker round trips only.
   pdm::scenario::StreamFactory factory;
-  pdm::broker::Broker broker;
+  pdm::metrics::MetricRegistry registry;
+  pdm::broker::BrokerConfig broker_config;
+  if (metrics_mode == "live") broker_config.metrics = &registry;
+  pdm::broker::Broker broker(broker_config);
   std::vector<pdm::broker_bench::ProductWorkload> workloads =
       pdm::broker_bench::OpenProducts(&factory, &broker, products, setup, "client");
 
   std::printf(
       "=== broker round-trip sweep: %ld clients x %ld rounds over %ld products, "
-      "batch %ld, n=%ld ===\n\n",
+      "batch %ld, n=%ld, metrics=%s ===\n\n",
       static_cast<long>(threads), static_cast<long>(rounds),
       static_cast<long>(products), static_cast<long>(batch),
-      static_cast<long>(setup.dim));
+      static_cast<long>(setup.dim), metrics_mode.c_str());
 
   pdm::broker_bench::RegionResult region =
       pdm::broker_bench::RunClients(&broker, workloads, threads, rounds, batch);
@@ -125,6 +138,7 @@ int main(int argc, char** argv) {
     json.Field("dim", setup.dim);
     json.Field("workload_rounds", setup.workload_rounds);
     json.Field("delta", setup.delta);
+    json.Field("metrics", metrics_mode);
     json.Key("aggregate");
     json.BeginObject();
     json.Field("rounds", region.total_rounds);

@@ -9,8 +9,13 @@
 //   pdm_serve --port=7411 --products=4
 //   pdm_serve --max_seconds=60         # CI smoke: self-terminating
 //
-// Prints exactly one "LISTENING <port>" line to stdout once ready (scripts
-// scrape it to find the ephemeral port).
+// Prints exactly one "LISTENING <port>" line to stdout once ready, followed
+// by one "METRICS <port>" line when the Prometheus scrape endpoint is
+// enabled (scripts scrape both to find the ephemeral ports).
+//
+// One MetricRegistry backs the broker and server instruments, the scrape
+// endpoint, the GetMetrics opcode, and the shutdown stats printed below —
+// a single vocabulary, no duplicated counters (DESIGN.md §13).
 
 #include <atomic>
 #include <chrono>
@@ -22,6 +27,7 @@
 
 #include "broker_bench_util.h"
 #include "common/flags.h"
+#include "metrics/metrics.h"
 #include "server/server.h"
 
 namespace {
@@ -35,12 +41,15 @@ void HandleSignal(int) { g_stop.store(true, std::memory_order_release); }
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int64_t port = 0;
+  int64_t metrics_port = 0;
   int64_t products = 2;
   int64_t max_seconds = 0;
   pdm::broker_bench::ProductSetup setup;
   pdm::FlagSet flags("pdm_serve");
   flags.AddString("host", &host, "IPv4 literal to bind");
   flags.AddInt64("port", &port, "TCP port (0 = ephemeral)");
+  flags.AddInt64("metrics_port", &metrics_port,
+                 "Prometheus scrape port (0 = ephemeral, -1 = disabled)");
   flags.AddInt64("products", &products, "bench products to open");
   flags.AddInt64("dim", &setup.dim, "feature dimension n of every product");
   flags.AddInt64("workload_rounds", &setup.workload_rounds,
@@ -53,21 +62,27 @@ int main(int argc, char** argv) {
   flags.AddInt64("max_seconds", &max_seconds,
                  "self-terminate after this many seconds (0 = run until signal)");
   if (!flags.Parse(argc, argv)) return flags.help_requested() ? 0 : 1;
-  if (port < 0 || port > 65535 || products < 1) {
-    std::fprintf(stderr, "bad --port/--products\n");
+  if (port < 0 || port > 65535 || metrics_port < -1 || metrics_port > 65535 ||
+      products < 1) {
+    std::fprintf(stderr, "bad --port/--metrics_port/--products\n");
     return 1;
   }
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
 
+  pdm::metrics::MetricRegistry registry;
   pdm::scenario::StreamFactory factory;
-  pdm::broker::Broker broker;
+  pdm::broker::BrokerConfig broker_config;
+  broker_config.metrics = &registry;
+  pdm::broker::Broker broker(broker_config);
   pdm::broker_bench::OpenProducts(&factory, &broker, products, setup, "serve/");
 
   pdm::server::ServerConfig config;
   config.host = host;
   config.port = static_cast<uint16_t>(port);
+  config.metrics_port = static_cast<int>(metrics_port);
+  config.metrics = &registry;
   pdm::server::TcpServer server(&broker, config);
   pdm::Status started = server.Start();
   if (!started.ok()) {
@@ -75,6 +90,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("LISTENING %u\n", server.port());
+  if (metrics_port >= 0) std::printf("METRICS %u\n", server.metrics_port());
   std::fflush(stdout);
 
   const auto deadline = std::chrono::steady_clock::now() +
@@ -85,6 +101,8 @@ int main(int argc, char** argv) {
   }
 
   server.Stop();
+  // Shutdown stats read the registry — the idempotent (name, labels) lookup
+  // returns handles on the same cells the serving path wrote.
   pdm::server::ServerStats stats = server.stats();
   std::printf("served %lld frames (%lld coalesced in %lld runs) over %lld "
               "connections; %lld protocol errors\n",
@@ -93,15 +111,31 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.coalesced_runs),
               static_cast<long long>(stats.connections_accepted),
               static_cast<long long>(stats.protocol_errors));
-  std::printf("memory: %zu sessions (%zu resident, %zu evicted); slab slots "
+  std::printf("quotes: %llu posted (%llu accepted, %llu rejected); regret "
+              "proxy %.3f\n",
+              static_cast<unsigned long long>(
+                  registry.GetCounter("pdm_broker_quotes_total", "").value()),
+              static_cast<unsigned long long>(
+                  registry.GetCounter("pdm_broker_accepts_total", "").value()),
+              static_cast<unsigned long long>(
+                  registry.GetCounter("pdm_broker_rejects_total", "").value()),
+              registry.GetGauge("pdm_broker_regret_proxy", "").value());
+  pdm::broker::BrokerStats slab = broker.Stats();
+  std::printf("memory: %.0f sessions (%.0f resident, %.0f evicted); slab slots "
               "%zu live / %zu tombstoned / %zu free; %llu evictions, %llu "
-              "fault-ins, %zu spill bytes, %lld retired ticket slots\n",
-              stats.open_sessions, stats.resident_sessions,
-              stats.evicted_sessions, stats.slab_live_slots,
-              stats.slab_tombstoned_slots, stats.slab_free_slots,
-              static_cast<unsigned long long>(stats.evictions),
-              static_cast<unsigned long long>(stats.fault_ins),
-              stats.spill_bytes,
-              static_cast<long long>(stats.retired_ticket_slots));
+              "fault-ins, %.0f spill bytes, %llu retired ticket slots\n",
+              registry.GetGauge("pdm_broker_open_products", "").value(),
+              registry.GetGauge("pdm_broker_resident_sessions", "").value(),
+              registry.GetGauge("pdm_broker_evicted_sessions", "").value(),
+              slab.slab_live_slots, slab.slab_tombstoned_slots,
+              slab.slab_free_capacity,
+              static_cast<unsigned long long>(
+                  registry.GetCounter("pdm_broker_evictions_total", "").value()),
+              static_cast<unsigned long long>(
+                  registry.GetCounter("pdm_broker_fault_ins_total", "").value()),
+              registry.GetGauge("pdm_broker_spill_bytes", "").value(),
+              static_cast<unsigned long long>(
+                  registry.GetCounter("pdm_broker_ticket_retirements_total", "")
+                      .value()));
   return 0;
 }

@@ -52,6 +52,14 @@ struct ConnectionResult {
   /// Requests answered with a non-OK op status (these never enter the
   /// latency histogram — an error response is not a served quote).
   int64_t errors = 0;
+  /// Client-side tally mirroring the server's metric registry: OK PostPrice
+  /// responses, and OK Observe responses split by the accept decision. The
+  /// CI smoke reconciles these against the scraped pdm_broker_* counters
+  /// (tools/check_metrics.py) — they must match exactly when this load is
+  /// the server's only traffic.
+  int64_t quotes = 0;
+  int64_t accepts = 0;
+  int64_t rejects = 0;
   double wall_seconds = 0.0;
   /// Transport/protocol failure that aborted the connection (OK = clean).
   Status fatal;
@@ -61,6 +69,9 @@ struct LoadResult {
   LatencyHistogram latency;
   int64_t rounds = 0;
   int64_t errors = 0;
+  int64_t quotes = 0;
+  int64_t accepts = 0;
+  int64_t rejects = 0;
   double wall_seconds = 0.0;
   bool ok = true;
 
@@ -100,6 +111,7 @@ inline ConnectionResult RunConnection(server::Client* client_ptr,
   std::vector<const MarketRound*> tick_rounds(static_cast<size_t>(config.batch));
   std::vector<uint64_t> tickets(static_cast<size_t>(config.batch));
   std::vector<bool> accepted(static_cast<size_t>(config.batch));
+  std::vector<bool> queued_accepted(static_cast<size_t>(config.batch));
 
   WallTimer timer;
   int64_t done = 0;
@@ -129,6 +141,7 @@ inline ConnectionResult RunConnection(server::Client* client_ptr,
                  .count()));
       if (resp.status.ok()) {
         result.latency.Record(nanos);
+        ++result.quotes;
         tickets[static_cast<size_t>(k)] = resp.quote.ticket;
         accepted[static_cast<size_t>(k)] =
             !resp.quote.certain_no_sale &&
@@ -139,11 +152,14 @@ inline ConnectionResult RunConnection(server::Client* client_ptr,
       }
     }
 
+    // Responses arrive in request order, so the decision queued at position
+    // i is the one resolved by feedback response i.
     int64_t queued = 0;
     for (int64_t k = 0; k < this_batch; ++k) {
       if (tickets[static_cast<size_t>(k)] == 0) continue;
       client.QueueObserve(tickets[static_cast<size_t>(k)],
                           accepted[static_cast<size_t>(k)]);
+      queued_accepted[static_cast<size_t>(queued)] = accepted[static_cast<size_t>(k)];
       ++queued;
     }
     if (queued > 0) {
@@ -153,7 +169,13 @@ inline ConnectionResult RunConnection(server::Client* client_ptr,
         server::Response resp;
         result.fatal = client.ReadResponse(&resp);
         if (!result.fatal.ok()) return result;
-        if (!resp.status.ok()) ++result.errors;
+        if (!resp.status.ok()) {
+          ++result.errors;
+        } else if (queued_accepted[static_cast<size_t>(k)]) {
+          ++result.accepts;
+        } else {
+          ++result.rejects;
+        }
       }
     }
     done += this_batch;
@@ -218,6 +240,9 @@ inline LoadResult RunLoad(const LoadConfig& config,
     load.latency.Merge(r.latency);
     load.rounds += r.rounds;
     load.errors += r.errors;
+    load.quotes += r.quotes;
+    load.accepts += r.accepts;
+    load.rejects += r.rejects;
   }
   return load;
 }
@@ -252,6 +277,9 @@ inline bool WriteServingJson(const std::string& path, const LoadConfig& config,
   json.Field("series", "round-trip");
   json.Field("rounds", load.rounds);
   json.Field("errors", load.errors);
+  json.Field("quotes", load.quotes);
+  json.Field("accepts", load.accepts);
+  json.Field("rejects", load.rejects);
   json.Field("wall_seconds", load.wall_seconds);
   json.Field("achieved_rounds_per_sec", load.achieved_rounds_per_sec());
   json.Key("latency_ns");

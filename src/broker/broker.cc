@@ -1,6 +1,7 @@
 #include "broker/broker.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <utility>
@@ -66,6 +67,46 @@ Broker::Broker(const BrokerConfig& config) : config_(config) {
     // A failed create surfaces on the first eviction attempt; the broker
     // itself stays usable as a pure hot-tier broker.
   }
+  if (config_.metrics != nullptr) {
+    // Resolved exactly once; after this the gateway is never consulted again
+    // (DESIGN.md §13). Without a gateway the default handles write to sink
+    // cells, so every instrument site stays branch-free.
+    metrics::MetricGateway& gw = *config_.metrics;
+    metrics_.quotes =
+        gw.GetCounter("pdm_broker_quotes_total", "Quotes issued (tickets created).");
+    metrics_.accepts =
+        gw.GetCounter("pdm_broker_accepts_total", "Quotes accepted by consumers.");
+    metrics_.rejects =
+        gw.GetCounter("pdm_broker_rejects_total", "Quotes rejected by consumers.");
+    metrics_.retirements = gw.GetCounter(
+        "pdm_broker_ticket_retirements_total",
+        "Ticket slots permanently retired at the generation bound.");
+    metrics_.evictions = gw.GetCounter("pdm_broker_evictions_total",
+                                       "Sessions evicted to the cold tier.");
+    metrics_.fault_ins = gw.GetCounter(
+        "pdm_broker_fault_ins_total",
+        "Sessions faulted back in from the cold tier.");
+    metrics_.regret = gw.GetGauge(
+        "pdm_broker_regret_proxy",
+        "Cumulative posted-vs-accepted surplus: total value-space price of "
+        "rejected quotes.");
+    metrics_.resident = gw.GetGauge(
+        "pdm_broker_resident_sessions",
+        "Open sessions holding a live in-memory engine.");
+    metrics_.evicted = gw.GetGauge(
+        "pdm_broker_evicted_sessions",
+        "Open sessions currently spilled to the cold tier.");
+    metrics_.open_products =
+        gw.GetGauge("pdm_broker_open_products", "Products currently open.");
+    metrics_.spill = gw.GetGauge(
+        "pdm_broker_spill_bytes", "Bytes currently held in cold-tier spill files.");
+    metrics_.batch_size = gw.GetHistogram(
+        "pdm_broker_batch_size", "Requests per batched PostPrices/Observes call.");
+    metrics_.fault_in_ns = gw.GetHistogram(
+        "pdm_broker_fault_in_ns",
+        "Cold-tier fault-in latency: spill read, decode, engine rebuild, "
+        "restore (nanoseconds).");
+  }
   directory_.Publish(std::make_unique<const Directory>());
 }
 
@@ -126,6 +167,8 @@ Status Broker::OpenSession(std::string product, std::unique_ptr<PricingEngine> e
   // reachable only through the release-published directory snapshot below.
   slot->state.store(1, std::memory_order_relaxed);
   resident_sessions_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.resident.Add(1.0);
+  metrics_.open_products.Add(1.0);
 
   auto next = std::make_unique<Directory>(*current);
   next->slots.push_back(slot);
@@ -193,6 +236,8 @@ Status Broker::OpenSessions(std::span<const std::string> products,
     next->by_name.emplace(product, ProductHandle{static_cast<uint32_t>(index), 1});
   }
   resident_sessions_.fetch_add(products.size(), std::memory_order_relaxed);
+  metrics_.resident.Add(static_cast<double>(products.size()));
+  metrics_.open_products.Add(static_cast<double>(products.size()));
   directory_.Publish(std::move(next));
   return Status::Ok();
 }
@@ -217,13 +262,17 @@ Status Broker::CloseSession(std::string_view product) {
       std::error_code ec;
       std::filesystem::remove(SpillPath(it->second.index), ec);
       spill_bytes_.fetch_sub(slot->spill_size, std::memory_order_relaxed);
+      metrics_.spill.Sub(static_cast<double>(slot->spill_size));
+      metrics_.evicted.Sub(1.0);
       slot->spill_size = 0;
       slot->evicted = false;
     } else {
       slot->session.reset();
       resident_sessions_.fetch_sub(1, std::memory_order_relaxed);
+      metrics_.resident.Sub(1.0);
     }
   }
+  metrics_.open_products.Sub(1.0);
   ++slots_tombstoned_;
   auto next = std::make_unique<Directory>(*current);
   next->by_name.erase(std::string(product));
@@ -268,6 +317,10 @@ Broker::SessionSlot* Broker::ProbeTicket(uint64_t ticket, uint32_t* state_out) c
 }
 
 bool Broker::FaultInLocked(SessionSlot* slot, size_t index) {
+  // Timed end to end — spill read, decode, engine rebuild, restore — into
+  // the fault-in histogram; this is the latency a request pays when it lands
+  // on a cold session (DESIGN.md §12/§13).
+  const auto fault_start = std::chrono::steady_clock::now();
   std::string path = SpillPath(index);
   std::string bytes;
   {
@@ -295,9 +348,17 @@ bool Broker::FaultInLocked(SessionSlot* slot, size_t index) {
   std::error_code ec;
   std::filesystem::remove(path, ec);
   spill_bytes_.fetch_sub(slot->spill_size, std::memory_order_relaxed);
+  metrics_.spill.Sub(static_cast<double>(slot->spill_size));
   slot->spill_size = 0;
   resident_sessions_.fetch_add(1, std::memory_order_relaxed);
   fault_ins_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.resident.Add(1.0);
+  metrics_.evicted.Sub(1.0);
+  metrics_.fault_ins.Increment();
+  metrics_.fault_in_ns.Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - fault_start)
+          .count()));
   return true;
 }
 
@@ -361,37 +422,48 @@ size_t Broker::EvictIdleSessions(size_t max_resident) {
 }
 
 size_t Broker::EvictLocked(size_t max_resident) {
-  size_t resident = resident_sessions_.load(std::memory_order_relaxed);
-  if (resident <= max_resident) return 0;
+  if (resident_sessions_.load(std::memory_order_relaxed) <= max_resident) return 0;
   // Advance the sweep epoch first: sessions touched after this point stamp
-  // the new epoch and read as recently-used in the NEXT sweep — a CLOCK-style
+  // the new epoch and read as recently-used in this sweep — a CLOCK-style
   // LRU approximation that costs the hot path nothing.
   uint64_t sweep = sweep_epoch_.fetch_add(1, std::memory_order_relaxed);
   const Directory* dir = directory_.Load();
-  // Rank candidates by (approximate) staleness without any slot locks; the
-  // per-victim re-check happens under the slot lock inside EvictSlotLocked.
-  std::vector<std::pair<uint64_t, size_t>> candidates;
-  candidates.reserve(dir->slots.size());
-  for (size_t i = 0; i < dir->slots.size(); ++i) {
-    SessionSlot* slot = dir->slots[i];
-    if ((slot->state.load(std::memory_order_acquire) & 1) == 0) continue;
-    if (slot->recipe == nullptr) continue;  // caller-built: not evictable
-    uint64_t touched = slot->last_touch_epoch.load(std::memory_order_relaxed);
-    // Touches racing with this sweep stamp the post-bump epoch (sweep + 1);
-    // anything at or below `sweep` was touched before the sweep began and is
-    // fair game, ranked by staleness below.
-    if (touched > sweep) continue;
-    candidates.emplace_back(touched, i);
-  }
-  std::sort(candidates.begin(), candidates.end());
+  const size_t n = dir->slots.size();
+  if (n == 0) return 0;
   size_t evicted = 0;
-  for (const auto& [touched, index] : candidates) {
-    if (resident_sessions_.load(std::memory_order_relaxed) <= max_resident) break;
-    SessionSlot* slot = dir->slots[index];
-    std::lock_guard slot_lock(slot->mu);
-    if ((slot->state.load(std::memory_order_relaxed) & 1) == 0) continue;
-    if (slot->evicted || slot->session == nullptr) continue;
-    if (EvictSlotLocked(slot, index)) ++evicted;
+  // Incremental CLOCK hand: resume scanning where the previous sweep stopped
+  // instead of rebuilding and sorting an O(N) candidate vector per over-cap
+  // fault (the PR8 bottleneck — at 100k products the sort dominated fault-in
+  // latency). Pass 0 takes only slots untouched since before the previous
+  // sweep (touched < sweep); if the cap is still exceeded after a full
+  // revolution, pass 1 relaxes to everything touched at or before this
+  // sweep's start (touched == sweep) — the same candidate set the old sorted
+  // sweep considered, minus the exact-staleness ordering, which no caller
+  // depends on.
+  for (int pass = 0; pass < 2; ++pass) {
+    const uint64_t threshold = sweep - 1 + static_cast<uint64_t>(pass);
+    for (size_t scanned = 0; scanned < n; ++scanned) {
+      if (resident_sessions_.load(std::memory_order_relaxed) <= max_resident) {
+        return evicted;
+      }
+      const size_t index = clock_hand_ % n;  // directory can grow between sweeps
+      clock_hand_ = (clock_hand_ + 1) % n;
+      SessionSlot* slot = dir->slots[index];
+      if ((slot->state.load(std::memory_order_acquire) & 1) == 0) continue;
+      if (slot->recipe == nullptr) continue;  // caller-built: not evictable
+      // Touches racing with this sweep stamp the post-bump epoch (sweep + 1)
+      // and are skipped; the per-victim re-check happens under the slot lock.
+      if (slot->last_touch_epoch.load(std::memory_order_relaxed) > threshold) {
+        continue;
+      }
+      std::lock_guard slot_lock(slot->mu);
+      if ((slot->state.load(std::memory_order_relaxed) & 1) == 0) continue;
+      if (slot->evicted || slot->session == nullptr) continue;
+      if (slot->last_touch_epoch.load(std::memory_order_relaxed) > threshold) {
+        continue;
+      }
+      if (EvictSlotLocked(slot, index)) ++evicted;
+    }
   }
   return evicted;
 }
@@ -420,6 +492,10 @@ bool Broker::EvictSlotLocked(SessionSlot* slot, size_t index) {
   spill_bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
   resident_sessions_.fetch_sub(1, std::memory_order_relaxed);
   evictions_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.spill.Add(static_cast<double>(bytes.size()));
+  metrics_.resident.Sub(1.0);
+  metrics_.evicted.Add(1.0);
+  metrics_.evictions.Increment();
   return true;
 }
 
@@ -464,7 +540,9 @@ Status Broker::PostPrice(ProductHandle handle, std::span<const double> features,
     quote->status = StatusCode::kNotFound;
     return StaleHandleError();
   }
-  return acquired.session()->PostPrice(features, reserve, quote);
+  Status status = acquired.session()->PostPrice(features, reserve, quote);
+  if (status.ok()) metrics_.quotes.Increment();
+  return status;
 }
 
 Status Broker::PostPrice(const PriceRequest& request, Quote* quote) {
@@ -544,6 +622,13 @@ Status Broker::PostPricesGrouped(std::span<const HandleRequest> requests,
       record(scratch.positions[group_error], std::move(group_status));
     }
   }
+  // One shared-cell RMW per counter per batch: tally locally, flush once.
+  uint64_t issued = 0;
+  for (const Quote& quote : quotes) {
+    if (quote.status == StatusCode::kOk) ++issued;
+  }
+  metrics_.quotes.Add(issued);
+  metrics_.batch_size.Record(requests.size());
   return first_error;
 }
 
@@ -612,7 +697,18 @@ Status Broker::Observe(uint64_t ticket, bool accepted) {
     return Status::NotFound("ticket " + std::to_string(ticket) +
                             " references no open session");
   }
-  return acquired.session()->Observe(ticket, accepted);
+  ObserveResult result;
+  Status status = acquired.session()->Observe(ticket, accepted, &result);
+  if (status.ok()) {
+    if (result.accepted) {
+      metrics_.accepts.Increment();
+    } else {
+      metrics_.rejects.Increment();
+      metrics_.regret.Add(result.price);
+    }
+    if (result.slot_retired) metrics_.retirements.Increment();
+  }
+  return status;
 }
 
 Status Broker::Observes(std::span<const FeedbackRequest> feedback,
@@ -637,6 +733,12 @@ Status Broker::Observes(std::span<const FeedbackRequest> feedback,
   };
   // Same grouping discipline as the batched PostPrices: one session lock
   // acquisition per distinct ticket base per batch, items in batch order.
+  // Outcomes are tallied locally and flushed once per batch — one shared
+  // metric-cell RMW per counter, not one per item.
+  uint64_t accepts = 0;
+  uint64_t rejects = 0;
+  uint64_t retired = 0;
+  double regret = 0.0;
   for (size_t i = 0; i < feedback.size(); ++i) {
     if (scratch.Done(i)) continue;
     const uint64_t base = feedback[i].ticket >> 40;
@@ -649,9 +751,26 @@ Status Broker::Observes(std::span<const FeedbackRequest> feedback,
                                    " references no open session"));
         continue;
       }
-      record(j, acquired.session()->Observe(feedback[j].ticket, feedback[j].accepted));
+      ObserveResult result;
+      Status status =
+          acquired.session()->Observe(feedback[j].ticket, feedback[j].accepted, &result);
+      if (status.ok()) {
+        if (result.accepted) {
+          ++accepts;
+        } else {
+          ++rejects;
+          regret += result.price;
+        }
+        if (result.slot_retired) ++retired;
+      }
+      record(j, status);
     }
   }
+  metrics_.accepts.Add(accepts);
+  metrics_.rejects.Add(rejects);
+  metrics_.retirements.Add(retired);
+  if (rejects != 0) metrics_.regret.Add(regret);
+  metrics_.batch_size.Record(feedback.size());
   return first_error;
 }
 
@@ -703,6 +822,8 @@ Status Broker::GetSessionInfo(std::string_view product, SessionInfo* out) const 
   out->pending = session.pending_count();
   out->quotes_issued = session.quotes_issued();
   out->feedback_received = session.feedback_received();
+  out->posted_value = session.posted_value();
+  out->accepted_value = session.accepted_value();
   out->counters = session.engine().counters();
   return Status::Ok();
 }

@@ -15,6 +15,7 @@
 #include "common/arena.h"
 #include "common/concurrency.h"
 #include "common/status.h"
+#include "metrics/metrics.h"
 #include "scenario/mechanism_registry.h"
 #include "scenario/scenario_spec.h"
 
@@ -72,6 +73,11 @@ struct BrokerConfig {
   /// evictable; sessions opened with caller-built engines always stay
   /// resident, as does any session whose snapshot is not currently capturable.
   size_t max_resident_sessions = 0;
+  /// Telemetry gateway (DESIGN.md §13). Instrument handles are resolved once
+  /// in the Broker constructor; null leaves the default handles, which write
+  /// to process-wide sink cells — the no-op gateway in all but name. The
+  /// gateway must outlive the broker.
+  metrics::MetricGateway* metrics = nullptr;
 };
 
 /// A resolved fast-path reference to one open product: slab index plus the
@@ -124,6 +130,10 @@ struct SessionInfo {
   int64_t pending = 0;
   int64_t quotes_issued = 0;
   int64_t feedback_received = 0;
+  /// Cumulative value-space regret-proxy inputs (see
+  /// PricingSession::posted_value).
+  double posted_value = 0.0;
+  double accepted_value = 0.0;
   EngineCounters counters;
 };
 
@@ -423,6 +433,26 @@ class Broker {
   /// when the session is not evictable right now.
   bool EvictSlotLocked(SessionSlot* slot, size_t index);
 
+  /// Instrument handles, resolved once from `config.metrics` at construction
+  /// (DESIGN.md §13). Default-constructed handles point at process-wide sink
+  /// cells, so every site below writes unconditionally — no branches, no
+  /// nullability — whether or not a live registry is wired.
+  struct Instruments {
+    metrics::Counter quotes;
+    metrics::Counter accepts;
+    metrics::Counter rejects;
+    metrics::Counter retirements;
+    metrics::Counter evictions;
+    metrics::Counter fault_ins;
+    metrics::Gauge regret;
+    metrics::Gauge resident;
+    metrics::Gauge evicted;
+    metrics::Gauge open_products;
+    metrics::Gauge spill;
+    metrics::Histogram batch_size;
+    metrics::Histogram fault_in_ns;
+  };
+
   /// The grouped batch core behind both PostPrices overloads. `*error_index`
   /// receives the batch position of the returned failure (`requests.size()`
   /// when everything succeeded), letting the name-keyed wrapper merge
@@ -454,12 +484,21 @@ class Broker {
 
   /// Cold-tier bookkeeping. The atomics are read on the request path
   /// (EnforceResidencyLimit) but only ever *modified* under either
-  /// control_mu_ (eviction) or a slot lock (fault-in).
+  /// control_mu_ (eviction) or a slot lock (fault-in). They stay separate
+  /// from the metric instruments below: the sweep logic and the lock-free
+  /// accessors need exact control-plane values even when a no-op gateway is
+  /// wired, so the cold-path event sites double-write both.
   std::atomic<uint64_t> sweep_epoch_{1};
   std::atomic<size_t> resident_sessions_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> fault_ins_{0};
   std::atomic<size_t> spill_bytes_{0};
+  /// Incremental CLOCK hand: the directory index where the next eviction
+  /// sweep resumes, so consecutive over-cap faults keep walking forward
+  /// instead of rescanning (and re-sorting) the whole slot table from zero.
+  /// Guarded by control_mu_.
+  size_t clock_hand_ = 0;
+  Instruments metrics_;
 };
 
 /// The ticket base a broker assigns to its i-th session (index+1 in the

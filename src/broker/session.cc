@@ -108,10 +108,12 @@ void PricingSession::FinishIssue(size_t index, const PostedPrice& posted, Quote*
   // ever wrapping to an already-issued value.
   slot.generation = slot.generation + 1;
   slot.issued_at = static_cast<uint64_t>(quotes_issued_);
+  slot.price = posted.price;
   slot.ticket = ticket_base_ | (static_cast<uint64_t>(index) << kGenBits) |
                 slot.generation;
   ++pending_count_;
   ++quotes_issued_;
+  posted_value_ += posted.price;
 
   quote->ticket = slot.ticket;
   quote->price = posted.price;
@@ -208,7 +210,8 @@ Status PricingSession::PostPrices(std::span<const SessionRequest> requests,
   return first_error;
 }
 
-Status PricingSession::Observe(uint64_t ticket, bool accepted) {
+Status PricingSession::Observe(uint64_t ticket, bool accepted,
+                               ObserveResult* result) {
   size_t index = static_cast<size_t>((ticket >> kGenBits) & kSlotMask);
   if (ticket == 0 || index >= slots_.size() || slots_[index].ticket != ticket) {
     return Status::NotFound("product '" + product_ +
@@ -222,6 +225,12 @@ Status PricingSession::Observe(uint64_t ticket, bool accepted) {
   } else {
     engine_->ObserveDetached(slot.cut, accepted);
   }
+  if (accepted) accepted_value_ += slot.price;
+  if (result != nullptr) {
+    result->price = slot.price;
+    result->accepted = accepted;
+    result->slot_retired = false;
+  }
   slot.ticket = 0;
   if (slot.generation < kGenMask) {
     free_slots_.push_back(index);
@@ -230,6 +239,7 @@ Status PricingSession::Observe(uint64_t ticket, bool accepted) {
     // generation into values old tickets may still carry (ABA; see the
     // ticket-layout contract in session.h and DESIGN.md §9).
     ++slots_retired_;
+    if (result != nullptr) result->slot_retired = true;
   }
   --pending_count_;
   ++feedback_received_;
@@ -267,6 +277,8 @@ Status PricingSession::Snapshot(SessionSnapshot* out) const {
   snap.pending.reserve(static_cast<size_t>(pending_count_));
   std::vector<uint64_t> issue_order;
   issue_order.reserve(static_cast<size_t>(pending_count_));
+  std::vector<double> prices;
+  prices.reserve(static_cast<size_t>(pending_count_));
   for (const TicketSlot& slot : slots_) {
     if (slot.ticket == 0) continue;
     if (slot.cut.kind == kAttachedKind) {
@@ -276,6 +288,7 @@ Status PricingSession::Snapshot(SessionSnapshot* out) const {
     }
     snap.pending.push_back({slot.ticket, slot.cut});
     issue_order.push_back(slot.issued_at);
+    prices.push_back(slot.price);
   }
   // Issue order, so restore replays the table deterministically.
   std::vector<size_t> order(snap.pending.size());
@@ -287,6 +300,13 @@ Status PricingSession::Snapshot(SessionSnapshot* out) const {
   sorted.reserve(snap.pending.size());
   for (size_t i : order) sorted.push_back(std::move(snap.pending[i]));
   snap.pending = std::move(sorted);
+  // Value accounting rides along (tag-2 section), aligned with the sorted
+  // pending table, so a faulted-in session keeps its regret-proxy totals.
+  snap.has_value_totals = true;
+  snap.posted_value = posted_value_;
+  snap.accepted_value = accepted_value_;
+  snap.pending_prices.reserve(order.size());
+  for (size_t i : order) snap.pending_prices.push_back(prices[i]);
   // Full allocator state, so a restored session issues bit-identical future
   // tickets (the cold-tier eviction contract — see SessionSnapshot).
   snap.has_ticket_table = true;
@@ -331,6 +351,11 @@ Status PricingSession::Restore(const SessionSnapshot& snapshot) {
     return Status::FailedPrecondition(
         "two pending tickets collide on one ticket slot");
   }
+  if (snapshot.has_value_totals &&
+      snapshot.pending_prices.size() != snapshot.pending.size()) {
+    return Status::FailedPrecondition(
+        "value-accounting section does not match the pending table");
+  }
   if (snapshot.has_ticket_table) {
     // The table must cover every pending slot, and its free stack must name
     // distinct slots that no pending ticket occupies.
@@ -369,6 +394,10 @@ Status PricingSession::Restore(const SessionSnapshot& snapshot) {
   has_attached_pending_ = false;
   pending_count_ = 0;
   slots_retired_ = 0;
+  // Value totals resume where the snapshot left them; pre-metrics blobs
+  // restart the accounting at zero (prices and tickets are unaffected).
+  posted_value_ = snapshot.has_value_totals ? snapshot.posted_value : 0.0;
+  accepted_value_ = snapshot.has_value_totals ? snapshot.accepted_value : 0.0;
   // Pending tickets return to the slots their ids encode; issue-order
   // stamps restart at 0..n-1, which stay below every future stamp
   // (quotes_issued_ ≥ n).
@@ -380,6 +409,7 @@ Status PricingSession::Restore(const SessionSnapshot& snapshot) {
     slot.ticket = p.ticket;
     slot.generation = static_cast<uint32_t>(p.ticket & kGenMask);
     slot.issued_at = i;
+    slot.price = snapshot.has_value_totals ? snapshot.pending_prices[i] : 0.0;
     slot.cut = p.cut;
     ++pending_count_;
   }

@@ -64,6 +64,17 @@ struct Quote {
   StatusCode status = StatusCode::kOk;
 };
 
+/// Per-feedback outcome detail for the metrics layer (DESIGN.md §13): the
+/// value-space price the resolved quote had posted, whether the consumer
+/// accepted, and whether the ticket slot retired at the generation bound.
+/// The broker aggregates these per batch so shared metric cells see one RMW
+/// per counter per batch, not one per item.
+struct ObserveResult {
+  double price = 0.0;
+  bool accepted = false;
+  bool slot_retired = false;
+};
+
 class PricingSession {
  public:
   /// Default base for standalone sessions (a broker passes a per-slot base).
@@ -128,10 +139,13 @@ class PricingSession {
                     size_t* error_index = nullptr);
 
   /// Applies accept/reject feedback for `ticket` and retires it — O(1), the
-  /// ticket encodes its slot. Errors: NotFound (unknown, foreign, or
-  /// already-resolved ticket — duplicate feedback lands here, the ticket was
-  /// retired by its first resolution and the slot generation rejects it).
-  Status Observe(uint64_t ticket, bool accepted);
+  /// ticket encodes its slot. `result`, when non-null, receives the resolved
+  /// quote's posted price and outcome (the metrics layer's per-batch
+  /// aggregation input); it is only written on success. Errors: NotFound
+  /// (unknown, foreign, or already-resolved ticket — duplicate feedback
+  /// lands here, the ticket was retired by its first resolution and the slot
+  /// generation rejects it).
+  Status Observe(uint64_t ticket, bool accepted, ObserveResult* result = nullptr);
 
   /// Current knowledge-set bounds for a query (diagnostic surface).
   Status EstimateValue(std::span<const double> features, ValueInterval* out) const;
@@ -143,6 +157,12 @@ class PricingSession {
   /// Ticket slots permanently retired at the generation bound (never
   /// recycled again — the wrap-refusal path; monitoring/test surface).
   int64_t retired_ticket_slots() const { return slots_retired_; }
+  /// Cumulative value-space accounting behind the regret proxy (DESIGN.md
+  /// §13): the sum of every posted price, and the sum over accepted quotes.
+  /// The difference is revenue quoted but not (yet) captured — pending
+  /// tickets count as posted until their feedback arrives.
+  double posted_value() const { return posted_value_; }
+  double accepted_value() const { return accepted_value_; }
 
   /// Captures the full resumable session state. Errors: Unimplemented (the
   /// engine has no snapshot support), FailedPrecondition (an engine without
@@ -176,6 +196,9 @@ class PricingSession {
     /// Issue-order stamp (the value of quotes_issued_ at issue time);
     /// orders the pending table in snapshots.
     uint64_t issued_at = 0;
+    /// Value-space posted price (the regret-proxy input; `cut.price` is NOT
+    /// usable for this — wrapped engines store it in link space).
+    double price = 0.0;
     PendingCut cut;
   };
 
@@ -206,6 +229,8 @@ class PricingSession {
   int64_t quotes_issued_ = 0;
   int64_t feedback_received_ = 0;
   int64_t slots_retired_ = 0;
+  double posted_value_ = 0.0;
+  double accepted_value_ = 0.0;
   /// Bridge buffer: span request → the Vector the engine API takes.
   Vector features_buf_;
   std::vector<TicketSlot> slots_;

@@ -172,6 +172,13 @@ std::string EncodeSessionSnapshot(const SessionSnapshot& snapshot) {
     for (uint32_t index : snapshot.free_slots) PutU32(&out, index);
     PutI64(&out, snapshot.slots_retired);
   }
+  if (snapshot.has_value_totals) {
+    PutU8(&out, 2);  // section tag: value accounting (regret proxy)
+    PutF64(&out, snapshot.posted_value);
+    PutF64(&out, snapshot.accepted_value);
+    PutU32(&out, static_cast<uint32_t>(snapshot.pending_prices.size()));
+    for (double price : snapshot.pending_prices) PutF64(&out, price);
+  }
   return out;
 }
 
@@ -241,21 +248,43 @@ Status DecodeSessionSnapshot(std::string_view bytes, SessionSnapshot* out) {
     }
     p.cut.wrapped_skip = wrapped_skip != 0;
   }
-  // Optional ticket-table section: end-of-bytes means a legacy blob without
-  // it (Restore then rebuilds a minimal slot table).
-  if (!reader.AtEnd()) {
+  // Optional tagged trailing sections, strictly increasing by tag:
+  // end-of-bytes means a legacy blob without them (Restore then rebuilds a
+  // minimal slot table and resumes value totals at zero).
+  uint8_t last_tag = 0;
+  while (!reader.AtEnd()) {
     uint8_t tag;
-    if (!reader.GetU8(&tag) || tag != 1) {
+    if (!reader.GetU8(&tag) || tag <= last_tag || tag > 2) {
       return Status::InvalidArgument("unknown trailing section in snapshot");
     }
-    if (!reader.GetU32Array(&snap.slot_generations) ||
-        !reader.GetU32Array(&snap.free_slots) ||
-        !reader.GetI64(&snap.slots_retired)) {
-      return Status::InvalidArgument("truncated ticket-table section");
+    last_tag = tag;
+    if (tag == 1) {
+      if (!reader.GetU32Array(&snap.slot_generations) ||
+          !reader.GetU32Array(&snap.free_slots) ||
+          !reader.GetI64(&snap.slots_retired)) {
+        return Status::InvalidArgument("truncated ticket-table section");
+      }
+      snap.has_ticket_table = true;
+    } else {  // tag == 2: value accounting
+      uint32_t price_count;
+      if (!reader.GetF64(&snap.posted_value) ||
+          !reader.GetF64(&snap.accepted_value) ||
+          !reader.GetU32(&price_count)) {
+        return Status::InvalidArgument("truncated value-accounting section");
+      }
+      if (price_count != pending_count) {
+        return Status::InvalidArgument(
+            "value-accounting section does not match the pending table");
+      }
+      snap.pending_prices.resize(price_count);
+      for (double& price : snap.pending_prices) {
+        if (!reader.GetF64(&price)) {
+          return Status::InvalidArgument("truncated value-accounting section");
+        }
+      }
+      snap.has_value_totals = true;
     }
-    snap.has_ticket_table = true;
   }
-  if (!reader.AtEnd()) return Status::InvalidArgument("trailing bytes after snapshot");
   *out = std::move(snap);
   return Status::Ok();
 }

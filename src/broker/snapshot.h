@@ -62,6 +62,15 @@ struct SessionSnapshot {
   std::vector<uint32_t> free_slots;
   /// Slots permanently retired at the generation bound.
   int64_t slots_retired = 0;
+  /// Optional value-accounting section (the regret-proxy inputs, DESIGN.md
+  /// §13): cumulative value-space posted/accepted totals plus each pending
+  /// ticket's posted price, index-aligned with `pending`. Absent in blobs
+  /// written before the metrics layer existed; Restore then resumes the
+  /// totals at zero (prices and tickets are unaffected).
+  bool has_value_totals = false;
+  double posted_value = 0.0;
+  double accepted_value = 0.0;
+  std::vector<double> pending_prices;
 };
 
 /// Serializes to the versioned `pdm.snap.v1` byte format.

@@ -5,14 +5,6 @@
 #include <cmath>
 
 namespace pdm {
-namespace {
-
-/// Buckets for magnitudes 2^kSubBucketBits .. 2^44 plus the exact range
-/// below kSubBuckets: one group of kSubBuckets per power of two.
-constexpr size_t kBucketCount =
-    (44 - LatencyHistogram::kSubBucketBits + 1) * LatencyHistogram::kSubBuckets;
-
-}  // namespace
 
 LatencyHistogram::LatencyHistogram() : buckets_(kBucketCount, 0) {}
 

@@ -31,6 +31,17 @@ class LatencyHistogram {
   /// Largest distinguishable value (~5.2 hours in ns); larger samples clamp
   /// into the top bucket.
   static constexpr uint64_t kMaxValue = (uint64_t{1} << 44) - 1;
+  /// Buckets for magnitudes 2^kSubBucketBits .. 2^44 plus the exact range
+  /// below kSubBuckets: one group of kSubBuckets per power of two.
+  static constexpr size_t kBucketCount =
+      (44 - kSubBucketBits + 1) * static_cast<size_t>(kSubBuckets);
+
+  /// Bucket index for a sample. Public so other layouts over the same
+  /// log-linear grid (the atomic `metrics::HistogramCell`) share one bucket
+  /// geometry and their rendered edges line up with bench quantiles.
+  static size_t BucketIndex(uint64_t nanos);
+  /// Inclusive lower edge of bucket `index` (what Quantile reports).
+  static uint64_t BucketFloor(size_t index);
 
   LatencyHistogram();
 
@@ -51,10 +62,6 @@ class LatencyHistogram {
   double mean() const;
 
  private:
-  static size_t BucketIndex(uint64_t nanos);
-  /// Inclusive lower edge of bucket `index` (what Quantile reports).
-  static uint64_t BucketFloor(size_t index);
-
   std::vector<uint64_t> buckets_;
   int64_t count_ = 0;
   uint64_t min_ = 0;

@@ -176,6 +176,13 @@ Status Client::ReadResponse(Response* out) {
     case Opcode::kPing:
     case Opcode::kObserve:
       return r.AtEnd() ? Status::Ok() : decode_error();
+    case Opcode::kGetMetrics: {
+      std::string_view dump;
+      if (!r.GetString(&dump) || !r.AtEnd()) return decode_error();
+      Status decoded = metrics::DecodeMetricsDump(dump, &out->metrics);
+      if (!decoded.ok()) return decoded;
+      return Status::Ok();
+    }
     case Opcode::kResolve:
       if (!r.GetU32(&out->handle.index) || !r.GetU32(&out->handle.generation)) {
         return decode_error();
@@ -255,6 +262,21 @@ Status Client::Observe(uint64_t ticket, bool accepted) {
   Response resp;
   s = ReadResponse(&resp);
   if (!s.ok()) return s;
+  return resp.status;
+}
+
+Status Client::GetMetrics(metrics::MetricsDump* out) {
+  uint64_t id = NextId();
+  WireWriter w(&queued_);
+  size_t frame = w.BeginFrame();
+  w.PutRequestHeader(Opcode::kGetMetrics, id);
+  w.EndFrame(frame);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response resp;
+  s = ReadResponse(&resp);
+  if (!s.ok()) return s;
+  if (resp.status.ok() && out != nullptr) *out = std::move(resp.metrics);
   return resp.status;
 }
 

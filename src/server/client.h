@@ -9,6 +9,7 @@
 
 #include "broker/broker.h"
 #include "common/status.h"
+#include "metrics/metrics.h"
 #include "server/net.h"
 #include "server/wire.h"
 
@@ -46,6 +47,7 @@ struct Response {
   ValueInterval interval;              ///< kEstimateValue
   std::vector<broker::Quote> quotes;   ///< kPostPrices
   std::vector<StatusCode> codes;       ///< kObserves
+  metrics::MetricsDump metrics;        ///< kGetMetrics
 };
 
 class Client {
@@ -72,6 +74,10 @@ class Client {
   Status Observe(uint64_t ticket, bool accepted);
   Status EstimateValue(broker::ProductHandle handle, std::span<const double> features,
                        ValueInterval* out);
+
+  /// Fetches the server's metric registry as a decoded `pdm.metrics.v1`
+  /// dump — the wire-native alternative to scraping the HTTP metrics port.
+  Status GetMetrics(metrics::MetricsDump* out);
 
   /// Wire batch ops (one frame each; mirror the Broker batch semantics:
   /// per-item codes plus first-error Status).

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <iterator>
 
 #include "common/status.h"
 
@@ -106,12 +107,54 @@ struct TcpServer::Connection {
   size_t out_offset = 0;  ///< flushed prefix of `out`
   bool peer_closed = false;
   bool dead = false;
+  /// Accepted on the metrics port: speaks HTTP, not pdm.wire.v1.
+  bool scrape = false;
+  /// Response fully buffered; close once the write buffer drains.
+  bool close_after_flush = false;
 
   bool output_pending() const { return out_offset < out.size(); }
 };
 
 TcpServer::TcpServer(broker::Broker* broker, const ServerConfig& config)
-    : broker_(broker), config_(config) {}
+    : broker_(broker), config_(config) {
+  registry_ = config_.metrics;
+  if (registry_ == nullptr) {
+    // Private fallback: stats() and GetMetrics must always read real cells,
+    // so the server never wires against sinks even when the process didn't
+    // provide a registry.
+    own_registry_ = std::make_unique<metrics::MetricRegistry>();
+    registry_ = own_registry_.get();
+  }
+  metrics::MetricRegistry& gw = *registry_;
+  metrics_.connections = gw.GetCounter("pdm_server_connections_total",
+                                       "pdm.wire.v1 connections accepted.");
+  static constexpr const char* kOpcodeNames[] = {
+      "invalid",     "resolve",  "post_price", "observe", "estimate_value",
+      "post_prices", "observes", "ping",       "get_metrics"};
+  static_assert(std::size(kOpcodeNames) ==
+                static_cast<size_t>(Opcode::kGetMetrics) + 1);
+  for (size_t op = 0; op < std::size(kOpcodeNames); ++op) {
+    metrics_.frames_by_op[op] =
+        gw.GetCounter("pdm_server_frames_total", "Request frames served, by opcode.",
+                      {{"opcode", kOpcodeNames[op]}});
+  }
+  metrics_.frames_coalesced = gw.GetCounter(
+      "pdm_server_frames_coalesced_total",
+      "Frames answered through a coalesced PostPrices/Observes run.");
+  metrics_.coalesced_runs =
+      gw.GetCounter("pdm_server_coalesced_runs_total",
+                    "Pipelined runs coalesced into one batched broker call.");
+  metrics_.protocol_errors = gw.GetCounter(
+      "pdm_server_protocol_errors_total",
+      "Connections dropped for framing violations.");
+  metrics_.active_connections = gw.GetGauge(
+      "pdm_server_active_connections",
+      "Connections currently held by the event loop (wire and scrape).");
+  metrics_.request_ns = gw.GetHistogram(
+      "pdm_server_request_ns",
+      "Serving latency per run: decode, broker call(s), response encode "
+      "(nanoseconds; one sample per run, coalesced or single).");
+}
 
 TcpServer::~TcpServer() { Stop(); }
 
@@ -123,6 +166,14 @@ Status TcpServer::Start() {
   if (!s.ok()) return s;
   s = SetNonBlocking(listen_fd_.get());
   if (!s.ok()) return s;
+
+  if (config_.metrics_port >= 0) {
+    s = ListenTcp(config_.host, static_cast<uint16_t>(config_.metrics_port),
+                  &metrics_listen_fd_, &metrics_port_);
+    if (!s.ok()) return s;
+    s = SetNonBlocking(metrics_listen_fd_.get());
+    if (!s.ok()) return s;
+  }
 
   int pipefd[2];
   if (::pipe(pipefd) != 0) {
@@ -151,23 +202,16 @@ void TcpServer::Stop() {
 }
 
 ServerStats TcpServer::stats() const {
+  // Reads the same registry cells the scrape endpoint renders — there is no
+  // second set of counters to drift out of sync.
   ServerStats s;
-  s.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
-  s.frames_served = frames_served_.load(std::memory_order_relaxed);
-  s.frames_coalesced = frames_coalesced_.load(std::memory_order_relaxed);
-  s.coalesced_runs = coalesced_runs_.load(std::memory_order_relaxed);
-  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
-  broker::BrokerStats b = broker_->Stats();
-  s.open_sessions = b.open_sessions;
-  s.resident_sessions = b.resident_sessions;
-  s.evicted_sessions = b.evicted_sessions;
-  s.slab_live_slots = b.slab_live_slots;
-  s.slab_tombstoned_slots = b.slab_tombstoned_slots;
-  s.slab_free_slots = b.slab_free_capacity;
-  s.evictions = b.evictions;
-  s.fault_ins = b.fault_ins;
-  s.spill_bytes = b.spill_bytes;
-  s.retired_ticket_slots = b.retired_ticket_slots;
+  s.connections_accepted = static_cast<int64_t>(metrics_.connections.value());
+  uint64_t frames = 0;
+  for (const metrics::Counter& c : metrics_.frames_by_op) frames += c.value();
+  s.frames_served = static_cast<int64_t>(frames);
+  s.frames_coalesced = static_cast<int64_t>(metrics_.frames_coalesced.value());
+  s.coalesced_runs = static_cast<int64_t>(metrics_.coalesced_runs.value());
+  s.protocol_errors = static_cast<int64_t>(metrics_.protocol_errors.value());
   return s;
 }
 
@@ -182,8 +226,14 @@ void TcpServer::EventLoop() {
       // give slow peers a bounded window to take their responses.
       draining = true;
       listen_fd_.Reset();
+      metrics_listen_fd_.Reset();
       for (auto& conn : connections_) {
         if (conn->dead) continue;
+        if (conn->scrape) {
+          ServeScrape(conn.get());
+          if (!FlushWrites(conn.get())) conn->dead = true;
+          continue;
+        }
         if (!ServeBufferedFrames(conn.get()) || !FlushWrites(conn.get())) {
           conn->dead = true;
         }
@@ -192,11 +242,15 @@ void TcpServer::EventLoop() {
                        std::chrono::milliseconds(config_.drain_timeout_ms);
     }
 
-    // Reap connections that are done: dead, or fully flushed while the peer
-    // (or the drain) has no more input for us.
+    // Reap connections that are done: dead, fully flushed while the peer
+    // (or the drain) has no more input for us, or an answered scrape.
+    const size_t conns_before_reap = connections_.size();
     std::erase_if(connections_, [draining](const std::unique_ptr<Connection>& c) {
-      return c->dead || ((c->peer_closed || draining) && !c->output_pending());
+      return c->dead || ((c->peer_closed || draining) && !c->output_pending()) ||
+             (c->close_after_flush && !c->output_pending());
     });
+    metrics_.active_connections.Sub(
+        static_cast<double>(conns_before_reap - connections_.size()));
 
     if (draining &&
         (connections_.empty() || std::chrono::steady_clock::now() >= drain_deadline)) {
@@ -204,7 +258,12 @@ void TcpServer::EventLoop() {
     }
 
     fds.clear();
-    if (!draining) fds.push_back({listen_fd_.get(), POLLIN, 0});
+    if (!draining) {
+      fds.push_back({listen_fd_.get(), POLLIN, 0});
+      if (metrics_listen_fd_.valid()) {
+        fds.push_back({metrics_listen_fd_.get(), POLLIN, 0});
+      }
+    }
     fds.push_back({wake_read_.get(), POLLIN, 0});
     const size_t first_conn = fds.size();
     const size_t num_conns = connections_.size();
@@ -229,8 +288,14 @@ void TcpServer::EventLoop() {
 
     size_t at = 0;
     if (!draining) {
-      if (fds[at].revents & POLLIN) AcceptNew();
+      if (fds[at].revents & POLLIN) AcceptNew(listen_fd_.get(), /*scrape=*/false);
       ++at;
+      if (metrics_listen_fd_.valid()) {
+        if (fds[at].revents & POLLIN) {
+          AcceptNew(metrics_listen_fd_.get(), /*scrape=*/true);
+        }
+        ++at;
+      }
     }
     if (fds[at].revents & POLLIN) {
       char sink[64];
@@ -268,18 +333,25 @@ void TcpServer::EventLoop() {
           break;
         }
         if (conn->dead) continue;
+        if (conn->scrape) {
+          ServeScrape(conn);
+          if (!FlushWrites(conn)) conn->dead = true;
+          continue;
+        }
         if (!ServeBufferedFrames(conn) || !FlushWrites(conn)) conn->dead = true;
       }
     }
   }
 
+  metrics_.active_connections.Sub(static_cast<double>(connections_.size()));
   connections_.clear();
   listen_fd_.Reset();
+  metrics_listen_fd_.Reset();
 }
 
-void TcpServer::AcceptNew() {
+void TcpServer::AcceptNew(int listen_fd, bool scrape) {
   for (;;) {
-    int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
+    int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
       return;  // transient accept errors: retry on the next poll round
@@ -289,9 +361,31 @@ void TcpServer::AcceptNew() {
     SetNoDelay(fd);
     auto conn = std::make_unique<Connection>();
     conn->fd = std::move(owned);
+    conn->scrape = scrape;
     connections_.push_back(std::move(conn));
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.active_connections.Add(1.0);
+    if (!scrape) metrics_.connections.Increment();
   }
+}
+
+void TcpServer::ServeScrape(Connection* conn) {
+  if (conn->close_after_flush) return;  // already answered
+  // Answer once the request header is complete (blank line). The request
+  // line is ignored — every path serves the full registry, which is all a
+  // Prometheus scraper (or curl) needs.
+  if (conn->in.find("\r\n\r\n") == std::string::npos &&
+      conn->in.find("\n\n") == std::string::npos) {
+    if (conn->peer_closed) conn->dead = true;  // header never completed
+    return;
+  }
+  std::string body;
+  registry_->RenderPrometheus(&body);
+  conn->out += "HTTP/1.0 200 OK\r\n";
+  conn->out += "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
+  conn->out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  conn->out += "Connection: close\r\n\r\n";
+  conn->out += body;
+  conn->close_after_flush = true;
 }
 
 bool TcpServer::ServeBufferedFrames(Connection* conn) {
@@ -304,7 +398,7 @@ bool TcpServer::ServeBufferedFrames(Connection* conn) {
     size_t next;
     FrameResult r = NextFrame(conn->in, offset, &payload, &next);
     if (r == FrameResult::kMalformed) {
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.protocol_errors.Increment();
       return false;
     }
     if (r == FrameResult::kNeedMore) break;
@@ -317,10 +411,15 @@ bool TcpServer::ServeBufferedFrames(Connection* conn) {
     // A frame too short for the fixed header cannot be answered (there is
     // no id to echo) — that is a framing violation, drop the connection.
     if (frames[at].size() < kHeaderBytes) {
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.protocol_errors.Increment();
       return false;
     }
+    const auto run_start = std::chrono::steady_clock::now();
     at += ServeRun(conn, frames, at);
+    metrics_.request_ns.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - run_start)
+            .count()));
   }
 
   conn->in_offset = offset;
@@ -376,11 +475,9 @@ size_t TcpServer::ServeRun(Connection* conn, const std::vector<std::string_view>
                          StatusCodeName(quotes[i].status));
         }
       }
-      frames_served_.fetch_add(static_cast<int64_t>(run.size()),
-                               std::memory_order_relaxed);
-      frames_coalesced_.fetch_add(static_cast<int64_t>(run.size()),
-                                  std::memory_order_relaxed);
-      coalesced_runs_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.frames_by_op[op].Add(run.size());
+      metrics_.frames_coalesced.Add(run.size());
+      metrics_.coalesced_runs.Increment();
       return run.size();
     }
   } else if (op == static_cast<uint8_t>(Opcode::kObserve)) {
@@ -413,11 +510,9 @@ size_t TcpServer::ServeRun(Connection* conn, const std::vector<std::string_view>
                      std::string("batched request failed: ") + StatusCodeName(codes[i]));
         }
       }
-      frames_served_.fetch_add(static_cast<int64_t>(run.size()),
-                               std::memory_order_relaxed);
-      frames_coalesced_.fetch_add(static_cast<int64_t>(run.size()),
-                                  std::memory_order_relaxed);
-      coalesced_runs_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.frames_by_op[op].Add(run.size());
+      metrics_.frames_coalesced.Add(run.size());
+      metrics_.coalesced_runs.Increment();
       return run.size();
     }
   }
@@ -432,7 +527,7 @@ void TcpServer::ServeFrame(Connection* conn, std::string_view payload) {
   uint64_t id = 0;
   r.GetU8(&op_byte);
   r.GetU64(&id);
-  frames_served_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.frames_by_op[ValidOpcode(op_byte) ? op_byte : 0].Increment();
 
   if (!ValidOpcode(op_byte)) {
     WriteError(&conn->out, static_cast<Opcode>(op_byte), id,
@@ -452,6 +547,16 @@ void TcpServer::ServeFrame(Connection* conn, std::string_view payload) {
       WireWriter w(out);
       size_t frame = w.BeginFrame();
       w.PutResponseHeader(op, id, StatusCode::kOk);
+      w.EndFrame(frame);
+      return;
+    }
+
+    case Opcode::kGetMetrics: {
+      if (!r.AtEnd()) return malformed();
+      WireWriter w(out);
+      size_t frame = w.BeginFrame();
+      w.PutResponseHeader(op, id, StatusCode::kOk);
+      w.PutString(registry_->EncodeDump());
       w.EndFrame(frame);
       return;
     }

@@ -10,6 +10,7 @@
 
 #include "broker/broker.h"
 #include "common/status.h"
+#include "metrics/metrics.h"
 #include "server/net.h"
 #include "server/wire.h"
 
@@ -47,9 +48,23 @@ struct ServerConfig {
   uint16_t port = 0;
   /// Upper bound on the Stop() drain (flushing responses to slow peers).
   int drain_timeout_ms = 2000;
+  /// Second listen port serving the Prometheus text-exposition scrape
+  /// (`GET /metrics` — any HTTP request gets the full registry). -1 disables
+  /// the scrape endpoint, 0 picks an ephemeral port (read it back through
+  /// `metrics_port()`).
+  int metrics_port = -1;
+  /// Registry backing the server's instruments, the scrape endpoint, and
+  /// the `GetMetrics` opcode. Share it with the broker's `BrokerConfig::
+  /// metrics` so one scrape covers both layers. Null: the server creates a
+  /// private registry (server instruments only) — `stats()` and `GetMetrics`
+  /// always read real cells, never sinks. Must outlive the server.
+  metrics::MetricRegistry* metrics = nullptr;
 };
 
-/// Monitoring counters, readable concurrently with the event loop.
+/// Monitoring counters, readable concurrently with the event loop; a
+/// registry-backed view (the same cells the scrape endpoint renders).
+/// Memory-engine occupancy moved to the `pdm_broker_*` instruments in the
+/// shared registry (DESIGN.md §13); slab internals stay on Broker::Stats().
 struct ServerStats {
   int64_t connections_accepted = 0;
   int64_t frames_served = 0;
@@ -60,25 +75,6 @@ struct ServerStats {
   /// Connections dropped for framing violations (oversized/truncated
   /// frames, unknown opcodes decode to error responses, not drops).
   int64_t protocol_errors = 0;
-
-  /// Memory-engine occupancy, sampled from the broker at stats() time
-  /// (DESIGN.md §12). Sessions: open = resident + evicted; slab slots:
-  /// live are serving an open session, tombstoned were retired by close and
-  /// are never reused (ticket-base uniqueness), free is remaining lifetime
-  /// capacity. evictions/fault_ins count cumulative cold-tier round trips;
-  /// spill_bytes is the current on-disk cold-tier footprint.
-  size_t open_sessions = 0;
-  size_t resident_sessions = 0;
-  size_t evicted_sessions = 0;
-  size_t slab_live_slots = 0;
-  size_t slab_tombstoned_slots = 0;
-  size_t slab_free_slots = 0;
-  uint64_t evictions = 0;
-  uint64_t fault_ins = 0;
-  size_t spill_bytes = 0;
-  /// Ticket slots permanently retired at the generation bound, summed over
-  /// resident sessions.
-  int64_t retired_ticket_slots = 0;
 };
 
 class TcpServer {
@@ -101,18 +97,28 @@ class TcpServer {
 
   /// The bound port (valid after Start succeeded).
   uint16_t port() const { return port_; }
+  /// The bound scrape port (valid after Start succeeded with
+  /// `metrics_port >= 0`; 0 when the endpoint is disabled).
+  uint16_t metrics_port() const { return metrics_port_; }
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   ServerStats stats() const;
+
+  /// The registry backing this server's instruments (the configured one, or
+  /// the private fallback).
+  metrics::MetricRegistry* registry() const { return registry_; }
 
  private:
   struct Connection;
 
   void EventLoop();
-  void AcceptNew();
+  void AcceptNew(int listen_fd, bool scrape);
   /// Serves every complete frame in `conn`'s read buffer; returns false when
   /// the connection must be dropped (framing violation).
   bool ServeBufferedFrames(Connection* conn);
+  /// Answers a buffered HTTP scrape request once its header is complete;
+  /// the response is followed by close (HTTP/1.0, no keep-alive).
+  void ServeScrape(Connection* conn);
   /// Decodes and answers one frame into `conn`'s write buffer.
   void ServeFrame(Connection* conn, std::string_view payload);
   /// Coalesces a run of identical single-op frames starting at `frames[at]`;
@@ -126,8 +132,10 @@ class TcpServer {
   ServerConfig config_;
 
   UniqueFd listen_fd_;
+  UniqueFd metrics_listen_fd_;
   UniqueFd wake_read_, wake_write_;  ///< self-pipe: Stop() wakes poll()
   uint16_t port_ = 0;
+  uint16_t metrics_port_ = 0;
 
   std::thread loop_;
   std::atomic<bool> running_{false};
@@ -135,11 +143,23 @@ class TcpServer {
 
   std::vector<std::unique_ptr<Connection>> connections_;
 
-  std::atomic<int64_t> connections_accepted_{0};
-  std::atomic<int64_t> frames_served_{0};
-  std::atomic<int64_t> frames_coalesced_{0};
-  std::atomic<int64_t> coalesced_runs_{0};
-  std::atomic<int64_t> protocol_errors_{0};
+  /// Instrument handles, resolved once in the constructor (DESIGN.md §13).
+  /// `frames_by_op[op]` covers opcodes 1..kGetMetrics; index 0 counts
+  /// invalid-opcode frames. These cells ARE the stats() surface — the old
+  /// per-server atomics were deleted rather than double-written.
+  struct Instruments {
+    metrics::Counter connections;
+    metrics::Counter frames_by_op[static_cast<size_t>(Opcode::kGetMetrics) + 1];
+    metrics::Counter frames_coalesced;
+    metrics::Counter coalesced_runs;
+    metrics::Counter protocol_errors;
+    metrics::Gauge active_connections;
+    metrics::Histogram request_ns;
+  };
+
+  metrics::MetricRegistry* registry_ = nullptr;
+  std::unique_ptr<metrics::MetricRegistry> own_registry_;
+  Instruments metrics_;
 };
 
 }  // namespace pdm::server

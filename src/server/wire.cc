@@ -4,7 +4,7 @@ namespace pdm::server {
 
 bool ValidOpcode(uint8_t code) {
   return code >= static_cast<uint8_t>(Opcode::kResolve) &&
-         code <= static_cast<uint8_t>(Opcode::kPing);
+         code <= static_cast<uint8_t>(Opcode::kGetMetrics);
 }
 
 uint8_t StatusCodeToWire(StatusCode code) { return static_cast<uint8_t>(code); }

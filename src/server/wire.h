@@ -51,6 +51,9 @@ enum class Opcode : uint8_t {
   kPostPrices = 5,
   kObserves = 6,
   kPing = 7,
+  /// Returns the server's metric registry as a `pdm.metrics.v1` binary dump
+  /// (length-prefixed string body; decode with metrics::DecodeMetricsDump).
+  kGetMetrics = 8,
 };
 
 /// Quote flag bits on the wire (`Quote::exploratory`/`certain_no_sale`).

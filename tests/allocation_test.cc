@@ -21,6 +21,7 @@
 #include "broker/broker.h"
 #include "common/arena.h"
 #include "common/memory.h"
+#include "metrics/metrics.h"
 #include "market/linear_market.h"
 #include "market/airbnb_market.h"
 #include "market/kernel_market.h"
@@ -239,6 +240,102 @@ TEST(SteadyStateAllocations, MechanismRegistryBuiltEnginesOverScenarioStreams) {
   std::unique_ptr<PricingEngine> engine =
       scenario::MechanismRegistry::Builtin().Build(kernel_spec, info);
   ExpectSteadyStateAllocationFree(stream.get(), engine.get(), /*seed=*/61);
+}
+
+TEST(SteadyStateAllocations, MetricInstrumentOpsAreAllocationFree) {
+  // The DESIGN.md §13 hot-path contract: once a handle is resolved,
+  // Increment/Add/Set/Record are single relaxed atomic RMWs — no heap, no
+  // lock. Holds identically for live-registry cells and the no-op gateway's
+  // sink cells (default-constructed handles).
+  pdm::metrics::MetricRegistry registry;
+  pdm::metrics::Counter counter = registry.GetCounter("alloc_total", "h");
+  pdm::metrics::Gauge gauge = registry.GetGauge("alloc_gauge", "h");
+  pdm::metrics::Histogram hist = registry.GetHistogram("alloc_ns", "h");
+  pdm::metrics::Counter sink_counter;   // noop-gateway handles
+  pdm::metrics::Histogram sink_hist;
+
+  int64_t before = ThreadAllocationCount();
+  for (int i = 0; i < kMeasuredRounds; ++i) {
+    counter.Increment();
+    counter.Add(3);
+    gauge.Set(static_cast<double>(i));
+    gauge.Add(1.0);
+    hist.Record(static_cast<uint64_t>(i) * 97);
+    sink_counter.Increment();
+    sink_hist.Record(static_cast<uint64_t>(i));
+  }
+  int64_t after = ThreadAllocationCount();
+  EXPECT_EQ(after - before, 0)
+      << (after - before) << " allocations in " << kMeasuredRounds
+      << " metric instrument rounds";
+}
+
+TEST(SteadyStateAllocations, BrokerRoundTripsWithLiveMetricsRegistry) {
+  // The serving hot path with a LIVE registry wired: the per-round metric
+  // writes (quote counter, accept/reject counters, regret gauge, batch-size
+  // histogram) must not reintroduce heap traffic. Registration allocates at
+  // wiring time only — before the measured window opens.
+  scenario::StreamFactory factory;
+  scenario::ScenarioSpec spec;
+  spec.name = "alloc/broker/live-metrics";
+  spec.stream = scenario::StreamKind::kLinear;
+  spec.mechanism = "reserve+uncertainty";
+  spec.n = 8;
+  spec.rounds = kWarmupRounds + kMeasuredRounds;
+  spec.delta = 0.01;
+  spec.linear.num_owners = 120;
+  spec.workload_seed = 17;
+  scenario::WorkloadInfo info = factory.Prepare(spec);
+
+  metrics::MetricRegistry registry;
+  broker::BrokerConfig config;
+  config.metrics = &registry;
+  broker::Broker broker(config);
+  ASSERT_TRUE(broker.OpenSession(spec.name, spec, info).ok());
+  broker::ProductHandle handle;
+  ASSERT_TRUE(broker.Resolve(spec.name, &handle).ok());
+  Rng rng(27);
+  std::unique_ptr<QueryStream> stream = factory.CreateStream(spec, &rng);
+  stream->BindEngine(broker.FindEngine(spec.name));
+
+  constexpr int kWindow = 8;
+  MarketRound rounds[kWindow];
+  broker::HandleRequest requests[kWindow];
+  broker::Quote quotes[kWindow];
+  broker::FeedbackRequest feedback[kWindow];
+  StatusCode codes[kWindow];
+  auto drive = [&](int iterations) {
+    for (int it = 0; it < iterations; ++it) {
+      for (int i = 0; i < kWindow; ++i) {
+        stream->Next(&rng, &rounds[i]);
+        requests[i] = {handle, rounds[i].features, rounds[i].reserve};
+      }
+      ASSERT_TRUE(broker.PostPrices(std::span<const broker::HandleRequest>(requests),
+                                    std::span<broker::Quote>(quotes))
+                      .ok());
+      for (int i = 0; i < kWindow; ++i) {
+        feedback[i].ticket = quotes[i].ticket;
+        feedback[i].accepted =
+            !quotes[i].certain_no_sale && quotes[i].price <= rounds[i].value;
+      }
+      ASSERT_TRUE(broker
+                      .Observes(std::span<const broker::FeedbackRequest>(feedback),
+                                std::span<StatusCode>(codes))
+                      .ok());
+    }
+  };
+
+  drive(kWarmupRounds / kWindow);
+  int64_t before = ThreadAllocationCount();
+  drive(kMeasuredRounds / kWindow);
+  int64_t after = ThreadAllocationCount();
+  EXPECT_EQ(after - before, 0)
+      << (after - before) << " allocations in " << kMeasuredRounds
+      << " live-metrics broker round trips";
+  // Every priced round trip was counted (iterations truncate to kWindow).
+  EXPECT_EQ(registry.GetCounter("pdm_broker_quotes_total", "").value(),
+            static_cast<uint64_t>((kWarmupRounds / kWindow) * kWindow +
+                                  (kMeasuredRounds / kWindow) * kWindow));
 }
 
 TEST(SteadyStateAllocations, BrokerTicketedRoundTrips) {

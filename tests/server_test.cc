@@ -11,6 +11,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <memory>
 #include <string>
@@ -328,16 +329,18 @@ TEST(TcpServer, PipelinedRunsCoalesceAndMatchSequential) {
   ServerStats stats = server.stats();
   EXPECT_GT(stats.coalesced_runs, 0);
   EXPECT_GT(stats.frames_coalesced, 0);
-  // The memory-engine occupancy sampled from the broker rides along: one
-  // open, resident, never-evicted session in one live slab slot.
-  EXPECT_EQ(stats.open_sessions, 1u);
-  EXPECT_EQ(stats.resident_sessions, 1u);
-  EXPECT_EQ(stats.evicted_sessions, 0u);
-  EXPECT_EQ(stats.slab_live_slots, 1u);
-  EXPECT_EQ(stats.slab_tombstoned_slots, 0u);
-  EXPECT_EQ(stats.evictions, 0u);
-  EXPECT_EQ(stats.fault_ins, 0u);
-  EXPECT_EQ(stats.spill_bytes, 0u);
+  // The memory-engine occupancy lives on Broker::Stats() (the duplicated
+  // ServerStats block moved to the shared metric registry): one open,
+  // resident, never-evicted session in one live slab slot.
+  pdm::broker::BrokerStats occupancy = broker_a.Stats();
+  EXPECT_EQ(occupancy.open_sessions, 1u);
+  EXPECT_EQ(occupancy.resident_sessions, 1u);
+  EXPECT_EQ(occupancy.evicted_sessions, 0u);
+  EXPECT_EQ(occupancy.slab_live_slots, 1u);
+  EXPECT_EQ(occupancy.slab_tombstoned_slots, 0u);
+  EXPECT_EQ(occupancy.evictions, 0u);
+  EXPECT_EQ(occupancy.fault_ins, 0u);
+  EXPECT_EQ(occupancy.spill_bytes, 0u);
   server.Stop();
 
   EXPECT_EQ(SnapshotBytes(broker_a, spec.name), SnapshotBytes(broker_b, spec.name));
@@ -552,6 +555,186 @@ TEST(TcpServer, ConcurrentClientsServeCleanly) {
     EXPECT_EQ(info.pending, 0) << specs[c].name;
     EXPECT_EQ(info.quotes_issued, kRounds) << specs[c].name;
   }
+}
+
+// --------------------------------------------------------- observability
+
+// Blocking loopback HTTP GET against the scrape listener; returns the whole
+// response (headers + body). The scrape endpoint speaks HTTP/1.0 with
+// Connection: close, so EOF delimits the document.
+std::string HttpGet(uint16_t port) {
+  UniqueFd fd;
+  PDM_CHECK(ConnectTcp("127.0.0.1", port, &fd).ok());
+  const char request[] = "GET /metrics HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  PDM_CHECK(::send(fd.get(), request, sizeof(request) - 1, 0) ==
+            static_cast<ssize_t>(sizeof(request) - 1));
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd.get(), chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  return response;
+}
+
+/// The numeric value of the unlabeled series `name` in an exposition
+/// document, or -1 when absent.
+double SeriesValue(const std::string& text, const std::string& name) {
+  std::string needle = "\n" + name + " ";
+  size_t at = text.find(needle);
+  if (at == std::string::npos) return -1.0;
+  return std::strtod(text.c_str() + at + needle.size(), nullptr);
+}
+
+TEST(TcpServer, GetMetricsOpcodeRoundTrip) {
+  // One registry behind the broker AND the server: the dump fetched over
+  // the wire carries both layers' instruments, and the broker counters
+  // reconcile exactly with what this client did.
+  StreamFactory factory;
+  metrics::MetricRegistry registry;
+  broker::BrokerConfig broker_config;
+  broker_config.metrics = &registry;
+  Broker broker(broker_config);
+  ScenarioSpec spec = LinearSpec("wire/getmetrics", 5, 2000, "reserve", 71);
+  OpenSpec(&broker, &factory, spec);
+
+  ServerConfig config;
+  config.metrics = &registry;
+  TcpServer server(&broker, config);
+  ASSERT_TRUE(server.Start().ok());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ProductHandle handle;
+  ASSERT_TRUE(client.Resolve(spec.name, &handle).ok());
+
+  constexpr int kRounds = 50;
+  Rng rng(spec.sim_seed);
+  std::unique_ptr<QueryStream> stream = factory.CreateStream(spec, &rng);
+  stream->BindEngine(broker.FindEngine(spec.name));
+  MarketRound round;
+  Quote quote;
+  uint64_t accepts = 0;
+  for (int t = 0; t < kRounds; ++t) {
+    stream->Next(&rng, &round);
+    ASSERT_TRUE(client.PostPrice(handle, round.features, round.reserve, &quote).ok());
+    bool accepted = !quote.certain_no_sale && quote.price <= round.value;
+    accepts += accepted ? 1 : 0;
+    ASSERT_TRUE(client.Observe(quote.ticket, accepted).ok());
+  }
+
+  metrics::MetricsDump dump;
+  ASSERT_TRUE(client.GetMetrics(&dump).ok());
+  EXPECT_EQ(dump.CounterValue("pdm_broker_quotes_total"),
+            static_cast<uint64_t>(kRounds));
+  EXPECT_EQ(dump.CounterValue("pdm_broker_accepts_total"), accepts);
+  EXPECT_EQ(dump.CounterValue("pdm_broker_rejects_total"), kRounds - accepts);
+  const metrics::DumpInstrument* resident =
+      dump.Find("pdm_broker_resident_sessions");
+  ASSERT_NE(resident, nullptr);
+  EXPECT_DOUBLE_EQ(resident->gauge, 1.0);
+
+  // Server-side instruments ride in the same dump, labeled by opcode. The
+  // GetMetrics frame itself was counted before the dump was encoded.
+  const metrics::DumpInstrument* posts =
+      dump.Find("pdm_server_frames_total", "opcode", "post_price");
+  ASSERT_NE(posts, nullptr);
+  EXPECT_EQ(posts->counter, static_cast<uint64_t>(kRounds));
+  const metrics::DumpInstrument* gets =
+      dump.Find("pdm_server_frames_total", "opcode", "get_metrics");
+  ASSERT_NE(gets, nullptr);
+  EXPECT_EQ(gets->counter, 1u);
+  const metrics::DumpInstrument* latency = dump.Find("pdm_server_request_ns");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GT(latency->hist_count, 0);
+  server.Stop();
+}
+
+TEST(TcpServer, HttpScrapeDuringLoadReconcilesWithClientTally) {
+  // The Prometheus endpoint on the second listen port, scraped WHILE wire
+  // traffic is in flight on the first: mid-load scrapes must parse and stay
+  // monotone, and the post-load scrape must agree exactly with the
+  // client-side tally — the same reconciliation CI's check_metrics.py does.
+  StreamFactory factory;
+  metrics::MetricRegistry registry;
+  broker::BrokerConfig broker_config;
+  broker_config.metrics = &registry;
+  Broker broker(broker_config);
+  ScenarioSpec spec = LinearSpec("wire/scrape", 5, 4000, "reserve+uncertainty", 83);
+  OpenSpec(&broker, &factory, spec);
+
+  ServerConfig config;
+  config.metrics = &registry;
+  config.metrics_port = 0;  // ephemeral
+  TcpServer server(&broker, config);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.metrics_port(), 0);
+
+  constexpr int kRounds = 400;
+  std::atomic<uint64_t> tally_accepts{0};
+  std::atomic<bool> load_done{false};
+  std::thread load([&] {
+    // Signal completion on every exit path so the scrape loop terminates
+    // even if an assertion bails out of the lambda early.
+    struct DoneGuard {
+      std::atomic<bool>* flag;
+      ~DoneGuard() { flag->store(true, std::memory_order_release); }
+    } guard{&load_done};
+    Client client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+    ProductHandle handle;
+    ASSERT_TRUE(client.Resolve(spec.name, &handle).ok());
+    Rng rng(spec.sim_seed);
+    std::unique_ptr<QueryStream> stream = factory.CreateStream(spec, &rng);
+    stream->BindEngine(broker.FindEngine(spec.name));
+    MarketRound round;
+    Quote quote;
+    uint64_t accepts = 0;
+    for (int t = 0; t < kRounds; ++t) {
+      stream->Next(&rng, &round);
+      ASSERT_TRUE(
+          client.PostPrice(handle, round.features, round.reserve, &quote).ok());
+      bool accepted = !quote.certain_no_sale && quote.price <= round.value;
+      accepts += accepted ? 1 : 0;
+      ASSERT_TRUE(client.Observe(quote.ticket, accepted).ok());
+    }
+    tally_accepts.store(accepts, std::memory_order_release);
+  });
+
+  // Concurrent scrapes: every document parses, quotes_total is monotone.
+  // At least one scrape happens even if the load outruns this loop.
+  double last_quotes = 0.0;
+  int scrapes = 0;
+  do {
+    std::string response = HttpGet(server.metrics_port());
+    ASSERT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+    ASSERT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+    double quotes = SeriesValue(response, "pdm_broker_quotes_total");
+    ASSERT_GE(quotes, last_quotes);
+    last_quotes = quotes;
+    ++scrapes;
+  } while (!load_done.load(std::memory_order_acquire));
+  load.join();
+  EXPECT_GT(scrapes, 0);
+
+  // Quiesced: the scrape agrees exactly with what the client measured.
+  std::string response = HttpGet(server.metrics_port());
+  EXPECT_EQ(SeriesValue(response, "pdm_broker_quotes_total"), kRounds);
+  EXPECT_EQ(SeriesValue(response, "pdm_broker_accepts_total"),
+            static_cast<double>(tally_accepts.load()));
+  EXPECT_EQ(SeriesValue(response, "pdm_broker_rejects_total"),
+            static_cast<double>(kRounds - tally_accepts.load()));
+  // The gauge counts the scrape connection rendering this very document (and
+  // possibly the not-yet-reaped wire client): live, small, never negative.
+  EXPECT_GE(SeriesValue(response, "pdm_server_active_connections"), 1.0);
+  EXPECT_LE(SeriesValue(response, "pdm_server_active_connections"), 2.0);
+
+  // Scrape connections are not wire connections: exactly one client counted.
+  metrics::MetricsDump dump;
+  ASSERT_TRUE(
+      metrics::DecodeMetricsDump(registry.EncodeDump(), &dump).ok());
+  EXPECT_EQ(dump.CounterValue("pdm_server_connections_total"), 1u);
+  server.Stop();
 }
 
 // ------------------------------------------------------ graceful drain

@@ -97,11 +97,15 @@ def main():
         # The ::warning:: line is a GitHub Actions annotation: a silently
         # disarmed gate once hid a dead baseline for a whole PR cycle, so the
         # skip must be loud in the checks UI, not just in a log nobody reads.
+        # ONE summary annotation per document, naming every skipped series —
+        # per-series annotations drown the checks UI as gates multiply.
+        skipped = ", ".join(sorted(baseline))
         print(
             "::warning title=broker scaling gate skipped::baseline "
             f"hardware_concurrency={base_hw} does not match runner {cur_hw}; "
-            "the perf gate is NOT armed. Refresh the committed baseline from "
-            "a CI artifact (README 'Performance')."
+            "the perf gate is NOT armed "
+            f"({len(baseline)} series skipped: {skipped}). Refresh the "
+            "committed baseline from a CI artifact (README 'Performance')."
         )
         print(
             f"SKIPPED: baseline was recorded with hardware_concurrency={base_hw}, "

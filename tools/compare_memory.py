@@ -146,10 +146,14 @@ def main():
         and base_hw != cur_hw
         and not args.ignore_hardware_mismatch
     ):
+        # ONE summary annotation per document, naming every skipped series —
+        # per-series annotations drown the checks UI as gates multiply.
+        skipped = ", ".join(sorted(baseline))
         print(
             "::warning title=memory gate partially skipped::baseline "
             f"hardware_concurrency={base_hw} does not match runner {cur_hw}; "
-            "the baseline comparison is NOT armed (the intra-document "
+            "the baseline comparison is NOT armed "
+            f"({len(baseline)} series skipped: {skipped}; the intra-document "
             "savings gate still ran). Refresh the committed baseline from a "
             "CI artifact (README 'Memory & scale')."
         )

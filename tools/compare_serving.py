@@ -103,11 +103,15 @@ def main():
         and base_hw != cur_hw
         and not args.ignore_hardware_mismatch
     ):
+        # ONE summary annotation per document, naming every skipped series —
+        # per-series annotations drown the checks UI as gates multiply.
+        skipped = ", ".join(sorted(baseline))
         print(
             "::warning title=serving latency gate skipped::baseline "
             f"hardware_concurrency={base_hw} does not match runner {cur_hw}; "
-            "the latency gate is NOT armed. Refresh the committed baseline "
-            "from a CI artifact (README 'Serving over TCP')."
+            "the latency gate is NOT armed "
+            f"({len(baseline)} series skipped: {skipped}). Refresh the "
+            "committed baseline from a CI artifact (README 'Serving over TCP')."
         )
         print(
             f"SKIPPED: baseline was recorded with hardware_concurrency={base_hw}, "

@@ -20,6 +20,8 @@ TOOLS = pathlib.Path(__file__).resolve().parent
 SCALING = TOOLS / "compare_broker_scaling.py"
 SERVING = TOOLS / "compare_serving.py"
 MEMORY = TOOLS / "compare_memory.py"
+CHECK_METRICS = TOOLS / "check_metrics.py"
+METRICS_TO_JSON = TOOLS / "metrics_to_json.py"
 
 
 def run(script, *argv):
@@ -48,7 +50,8 @@ def scaling_doc(rate=100000.0, hw=4, series="own-product/t=1", extra_series=()):
     }
 
 
-def serving_doc(p50=100000, p99=500000, p999=900000, rps=8000.0, hw=4, errors=0):
+def serving_doc(p50=100000, p99=500000, p999=900000, rps=8000.0, hw=4, errors=0,
+                quotes=1000, accepts=600, rejects=400):
     return {
         "schema": "pdm.bench_serving.v1",
         "hardware_concurrency": hw,
@@ -56,11 +59,32 @@ def serving_doc(p50=100000, p99=500000, p999=900000, rps=8000.0, hw=4, errors=0)
             {
                 "series": "round-trip",
                 "errors": errors,
+                "quotes": quotes,
+                "accepts": accepts,
+                "rejects": rejects,
                 "achieved_rounds_per_sec": rps,
                 "latency_ns": {"p50": p50, "p99": p99, "p999": p999},
             }
         ],
     }
+
+
+def scrape_text(quotes=1000, accepts=600, rejects=400, protocol_errors=0,
+                omit=()):
+    """A minimal pdm_serve exposition document for check_metrics tests."""
+    lines = []
+    for name, value in (
+        ("pdm_broker_quotes_total", quotes),
+        ("pdm_broker_accepts_total", accepts),
+        ("pdm_broker_rejects_total", rejects),
+        ("pdm_server_protocol_errors_total", protocol_errors),
+    ):
+        if name in omit:
+            continue
+        lines.append(f"# HELP {name} test counter.")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {value}")
+    return "\n".join(lines) + "\n"
 
 
 def memory_series(name, packed, bytes_per_product, fault_count=0, touch_errors=0):
@@ -163,6 +187,22 @@ class CompareScriptTest(unittest.TestCase):
         self.assertIn("SKIPPED", out)
         self.assertIn("::warning", out)
 
+    def test_scaling_skip_annotation_is_one_summary_listing_all_series(self):
+        """ONE ::warning annotation per document, naming every skipped series
+        — not one annotation per series (which drowns the checks UI)."""
+        base = self.write(
+            "base.json",
+            scaling_doc(hw=1, extra_series=[("shared-product/t=1", 90000.0),
+                                            ("own-product/t=8", 80000.0)]),
+        )
+        cur = self.write("cur.json", scaling_doc(hw=4))
+        code, out = run(SCALING, base, cur)
+        self.assertEqual(code, 0, out)
+        self.assertEqual(out.count("::warning"), 1)
+        self.assertIn("3 series skipped", out)
+        for name in ("own-product/t=1", "own-product/t=8", "shared-product/t=1"):
+            self.assertIn(name, out)
+
     def test_scaling_hardware_mismatch_forced_comparison(self):
         base = self.write("base.json", scaling_doc(hw=1, rate=100000.0))
         cur = self.write("cur.json", scaling_doc(hw=4, rate=10.0))
@@ -220,7 +260,8 @@ class CompareScriptTest(unittest.TestCase):
         code, out = run(SERVING, base, cur)
         self.assertEqual(code, 0, out)
         self.assertIn("SKIPPED", out)
-        self.assertIn("::warning", out)
+        self.assertEqual(out.count("::warning"), 1)
+        self.assertIn("series skipped: round-trip", out)
 
     def test_serving_missing_series_fails(self):
         base = self.write("base.json", serving_doc())
@@ -320,7 +361,8 @@ class CompareScriptTest(unittest.TestCase):
         code, out = run(MEMORY, base, cur)
         self.assertEqual(code, 0, out)
         self.assertIn("SKIPPED", out)
-        self.assertIn("::warning", out)
+        self.assertEqual(out.count("::warning"), 1)
+        self.assertIn("series skipped", out)
         self.assertIn("savings gate", out)
 
     def test_memory_hardware_mismatch_still_fails_on_lost_savings(self):
@@ -343,6 +385,149 @@ class CompareScriptTest(unittest.TestCase):
         code, out = run(MEMORY, base, cur)
         self.assertNotEqual(code, 0, out)
         self.assertIn("schema", out)
+
+    # -------------------------------------------- check_metrics (scrapes)
+
+    def write_text(self, name, text):
+        path = pathlib.Path(self._dir.name) / name
+        path.write_text(text, encoding="utf-8")
+        return str(path)
+
+    def test_check_metrics_exact_reconciliation_passes(self):
+        scrape = self.write_text("scrape.txt", scrape_text())
+        serving = self.write("serving.json", serving_doc())
+        code, out = run(CHECK_METRICS, scrape, serving)
+        self.assertEqual(code, 0, out)
+        self.assertIn("reconciles", out)
+        self.assertIn("quotes=1000", out)
+
+    def test_check_metrics_counter_mismatch_fails(self):
+        # One lost quote: client saw 1000, server counted 999.
+        scrape = self.write_text("scrape.txt", scrape_text(quotes=999, rejects=399))
+        serving = self.write("serving.json", serving_doc())
+        code, out = run(CHECK_METRICS, scrape, serving)
+        self.assertEqual(code, 1, out)
+        self.assertIn("exact reconciliation failed", out)
+        self.assertIn("pdm_broker_quotes_total", out)
+
+    def test_check_metrics_leaked_tickets_fail(self):
+        # Internally inconsistent scrape: accepts + rejects < quotes.
+        scrape = self.write_text(
+            "scrape.txt", scrape_text(quotes=1000, accepts=600, rejects=300)
+        )
+        serving = self.write("serving.json", serving_doc(rejects=300))
+        code, out = run(CHECK_METRICS, scrape, serving)
+        self.assertEqual(code, 1, out)
+        self.assertIn("leaked", out)
+
+    def test_check_metrics_missing_counter_fails(self):
+        scrape = self.write_text(
+            "scrape.txt", scrape_text(omit=("pdm_broker_accepts_total",))
+        )
+        serving = self.write("serving.json", serving_doc())
+        code, out = run(CHECK_METRICS, scrape, serving)
+        self.assertEqual(code, 1, out)
+        self.assertIn("missing from the scrape", out)
+
+    def test_check_metrics_protocol_errors_fail(self):
+        scrape = self.write_text("scrape.txt", scrape_text(protocol_errors=2))
+        serving = self.write("serving.json", serving_doc())
+        code, out = run(CHECK_METRICS, scrape, serving)
+        self.assertEqual(code, 1, out)
+        self.assertIn("protocol errors", out)
+
+    def test_check_metrics_old_loadgen_without_tallies_fails_loudly(self):
+        scrape = self.write_text("scrape.txt", scrape_text())
+        doc = serving_doc()
+        for field in ("quotes", "accepts", "rejects"):
+            del doc["series"][0][field]
+        serving = self.write("serving.json", doc)
+        code, out = run(CHECK_METRICS, scrape, serving)
+        self.assertNotEqual(code, 0, out)
+        self.assertIn("rebuild", out)
+
+    def test_check_metrics_sums_tallies_across_series(self):
+        scrape = self.write_text(
+            "scrape.txt", scrape_text(quotes=1500, accepts=900, rejects=600)
+        )
+        doc = serving_doc()
+        doc["series"].append(
+            {"series": "second", "errors": 0, "quotes": 500, "accepts": 300,
+             "rejects": 200, "achieved_rounds_per_sec": 1.0,
+             "latency_ns": {"p50": 1, "p99": 2, "p999": 3}}
+        )
+        serving = self.write("serving.json", doc)
+        code, out = run(CHECK_METRICS, scrape, serving)
+        self.assertEqual(code, 0, out)
+
+    # ------------------------------------------ metrics_to_json (bridge)
+
+    def test_metrics_to_json_converts_families_and_samples(self):
+        scrape = self.write_text("scrape.txt", scrape_text())
+        code, out = run(METRICS_TO_JSON, scrape)
+        self.assertEqual(code, 0, out)
+        doc = json.loads(out)
+        self.assertEqual(doc["schema"], "pdm.metrics_json.v1")
+        by_name = {f["name"]: f for f in doc["families"]}
+        quotes = by_name["pdm_broker_quotes_total"]
+        self.assertEqual(quotes["type"], "counter")
+        self.assertEqual(quotes["help"], "test counter.")
+        self.assertEqual(quotes["samples"], [
+            {"name": "pdm_broker_quotes_total", "labels": {}, "value": 1000}
+        ])
+
+    def test_metrics_to_json_groups_histogram_suffixes_and_labels(self):
+        text = (
+            "# HELP pdm_server_request_ns Wire request latency.\n"
+            "# TYPE pdm_server_request_ns histogram\n"
+            'pdm_server_request_ns_bucket{le="1023"} 5\n'
+            'pdm_server_request_ns_bucket{le="+Inf"} 7\n'
+            "pdm_server_request_ns_sum 12345\n"
+            "pdm_server_request_ns_count 7\n"
+            "# HELP pdm_server_frames_total Frames by opcode.\n"
+            "# TYPE pdm_server_frames_total counter\n"
+            'pdm_server_frames_total{opcode="post_price"} 9\n'
+        )
+        scrape = self.write_text("scrape.txt", text)
+        code, out = run(METRICS_TO_JSON, scrape)
+        self.assertEqual(code, 0, out)
+        doc = json.loads(out)
+        by_name = {f["name"]: f for f in doc["families"]}
+        hist = by_name["pdm_server_request_ns"]
+        self.assertEqual(hist["type"], "histogram")
+        self.assertEqual(len(hist["samples"]), 4)  # suffixes fold into family
+        inf_bucket = [s for s in hist["samples"]
+                      if s["labels"].get("le") == "+Inf"]
+        self.assertEqual(inf_bucket[0]["value"], 7)
+        frames = by_name["pdm_server_frames_total"]
+        self.assertEqual(frames["samples"][0]["labels"], {"opcode": "post_price"})
+
+    def test_metrics_to_json_unescapes_and_handles_nonfinite(self):
+        text = (
+            "# HELP esc_total line1\\nback\\\\slash\n"
+            "# TYPE esc_total counter\n"
+            'esc_total{op="a\\"b\\\\c\\nd"} 1\n'
+            "# HELP g A gauge.\n"
+            "# TYPE g gauge\n"
+            "g NaN\n"
+        )
+        scrape = self.write_text("scrape.txt", text)
+        code, out = run(METRICS_TO_JSON, scrape)
+        self.assertEqual(code, 0, out)
+        doc = json.loads(out)
+        by_name = {f["name"]: f for f in doc["families"]}
+        self.assertEqual(by_name["esc_total"]["help"], "line1\nback\\slash")
+        self.assertEqual(by_name["esc_total"]["samples"][0]["labels"]["op"],
+                         'a"b\\c\nd')
+        self.assertEqual(by_name["g"]["samples"][0]["value"], "NaN")
+
+    def test_metrics_to_json_writes_out_file(self):
+        scrape = self.write_text("scrape.txt", scrape_text())
+        out_path = pathlib.Path(self._dir.name) / "metrics.json"
+        code, out = run(METRICS_TO_JSON, scrape, f"--out={out_path}")
+        self.assertEqual(code, 0, out)
+        doc = json.loads(out_path.read_text(encoding="utf-8"))
+        self.assertEqual(doc["schema"], "pdm.metrics_json.v1")
 
 
 if __name__ == "__main__":
