@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "broker_bench_util.h"
+#include "common/fault.h"
 #include "common/flags.h"
 #include "common/json_writer.h"
 #include "common/memory.h"
@@ -63,6 +64,11 @@ int main(int argc, char** argv) {
   flags.AddUint64("seed", &setup.seed, "base workload seed");
   flags.AddBool("smoke", &smoke, "short CI mode (caps rounds at 20000)");
   flags.AddString("out", &out_path, "machine-readable JSON output path ('' disables)");
+  std::string faults_mode = "none";
+  flags.AddString("faults", &faults_mode,
+                  "fault injector on the hot path: none (disarmed) or "
+                  "armed-but-idle (armed, zero sites) — the <3%% §14 gate "
+                  "compares the two");
   if (!flags.Parse(argc, argv)) return flags.help_requested() ? 0 : 1;
   if (smoke && rounds > 20000) rounds = 20000;
   if (products == 0) products = threads;
@@ -77,6 +83,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--metrics must be 'none' or 'live'\n");
     return 1;
   }
+  if (faults_mode != "none" && faults_mode != "armed-but-idle") {
+    std::fprintf(stderr, "--faults must be 'none' or 'armed-but-idle'\n");
+    return 1;
+  }
+  // armed-but-idle: the injector is armed with no sites configured, so every
+  // ShouldFail() pays the full armed-path lookup and always misses — the
+  // worst case for the disabled-fault hot path the <3% gate bounds.
+  if (faults_mode == "armed-but-idle") pdm::fault::FaultInjector::Global().Arm();
   setup.rounds = rounds;
 
   // Serial setup: products with precomputed workloads and registry-built
@@ -92,10 +106,10 @@ int main(int argc, char** argv) {
 
   std::printf(
       "=== broker round-trip sweep: %ld clients x %ld rounds over %ld products, "
-      "batch %ld, n=%ld, metrics=%s ===\n\n",
+      "batch %ld, n=%ld, metrics=%s, faults=%s ===\n\n",
       static_cast<long>(threads), static_cast<long>(rounds),
       static_cast<long>(products), static_cast<long>(batch),
-      static_cast<long>(setup.dim), metrics_mode.c_str());
+      static_cast<long>(setup.dim), metrics_mode.c_str(), faults_mode.c_str());
 
   pdm::broker_bench::RegionResult region =
       pdm::broker_bench::RunClients(&broker, workloads, threads, rounds, batch);
@@ -139,6 +153,7 @@ int main(int argc, char** argv) {
     json.Field("workload_rounds", setup.workload_rounds);
     json.Field("delta", setup.delta);
     json.Field("metrics", metrics_mode);
+    json.Field("faults", faults_mode);
     json.Key("aggregate");
     json.BeginObject();
     json.Field("rounds", region.total_rounds);

@@ -45,6 +45,13 @@ int main(int argc, char** argv) {
   flags.AddUint64("seed", &setup.seed, "base workload seed (match the server)");
   flags.AddBool("smoke", &smoke, "short CI mode (caps rounds at 2000/connection)");
   flags.AddString("out", &out_path, "pdm.bench_serving.v1 JSON path ('' disables)");
+  int64_t deadline_ms = 0;
+  int64_t retries = 0;
+  flags.AddInt64("deadline_ms", &deadline_ms,
+                 "per-response deadline (0 waits forever)");
+  flags.AddInt64("retries", &retries,
+                 "reconnect+resume attempts after a transient transport "
+                 "failure (0: any transport failure is fatal)");
   if (!flags.Parse(argc, argv)) return flags.help_requested() ? 0 : 1;
   if (port < 1 || port > 65535) {
     std::fprintf(stderr, "--port is required (1..65535)\n");
@@ -57,6 +64,8 @@ int main(int argc, char** argv) {
   }
   if (smoke && load_config.rounds > 2000) load_config.rounds = 2000;
   load_config.port = static_cast<uint16_t>(port);
+  load_config.deadline_ms = static_cast<int>(deadline_ms);
+  load_config.max_retries = static_cast<int>(retries);
 
   pdm::scenario::StreamFactory factory;
   std::vector<pdm::broker_bench::ProductWorkload> workloads =
@@ -71,6 +80,8 @@ int main(int argc, char** argv) {
                                             smoke, load)) {
     return 1;
   }
+  // Retried/shed requests (load.errors_retried) are expected under chaos
+  // drills and do not fail the run; only fatal-class failures do.
   if (!load.ok || load.errors > 0) {
     std::fprintf(stderr, "loadgen: %lld request errors, ok=%d\n",
                  static_cast<long long>(load.errors), load.ok ? 1 : 0);

@@ -26,6 +26,7 @@
 #include <thread>
 
 #include "broker_bench_util.h"
+#include "common/fault.h"
 #include "common/flags.h"
 #include "metrics/metrics.h"
 #include "server/server.h"
@@ -61,6 +62,20 @@ int main(int argc, char** argv) {
   flags.AddUint64("seed", &setup.seed, "base workload seed");
   flags.AddInt64("max_seconds", &max_seconds,
                  "self-terminate after this many seconds (0 = run until signal)");
+  std::string spill_dir;
+  int64_t max_resident = 0;
+  std::string faults;
+  int64_t idle_timeout_ms = 0;
+  flags.AddString("spill_dir", &spill_dir,
+                  "cold-tier spill directory ('' disables eviction); restarting "
+                  "on the same directory recovers pre-crash spills (§14)");
+  flags.AddInt64("max_resident", &max_resident,
+                 "soft cap on resident sessions (0 = unlimited)");
+  flags.AddString("faults", &faults,
+                  "fault-injection spec, e.g. 'seed=7,spill.write=0.01,"
+                  "server.recv_reset@40' ('' keeps the injector disarmed)");
+  flags.AddInt64("idle_timeout_ms", &idle_timeout_ms,
+                 "reap wire connections idle this long (0 = never)");
   if (!flags.Parse(argc, argv)) return flags.help_requested() ? 0 : 1;
   if (port < 0 || port > 65535 || metrics_port < -1 || metrics_port > 65535 ||
       products < 1) {
@@ -71,24 +86,48 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
 
+  if (!faults.empty()) {
+    pdm::Status configured =
+        pdm::fault::FaultInjector::Global().Configure(faults);
+    if (!configured.ok()) {
+      std::fprintf(stderr, "--faults: %s\n", configured.ToString().c_str());
+      return 1;
+    }
+    pdm::fault::FaultInjector::Global().Arm();
+  }
+
   pdm::metrics::MetricRegistry registry;
   pdm::scenario::StreamFactory factory;
   pdm::broker::BrokerConfig broker_config;
   broker_config.metrics = &registry;
+  broker_config.spill_dir = spill_dir;
+  broker_config.max_resident_sessions =
+      max_resident > 0 ? static_cast<size_t>(max_resident) : 0;
   pdm::broker::Broker broker(broker_config);
   pdm::broker_bench::OpenProducts(&factory, &broker, products, setup, "serve/");
+  // Everything the fleet didn't adopt is a leaked spill from some other
+  // (or renamed) fleet — reclaim it now so the directory can't grow across
+  // unclean restarts.
+  broker.SweepUnclaimedSpills();
 
   pdm::server::ServerConfig config;
   config.host = host;
   config.port = static_cast<uint16_t>(port);
   config.metrics_port = static_cast<int>(metrics_port);
   config.metrics = &registry;
+  config.idle_timeout_ms = static_cast<int>(idle_timeout_ms);
   pdm::server::TcpServer server(&broker, config);
   pdm::Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "Start: %s\n", started.ToString().c_str());
     return 1;
   }
+  // The RECOVERY handshake line precedes LISTENING so drill scripts can
+  // awk-parse what the restart salvaged before any traffic lands.
+  pdm::broker::RecoveryReport recovery = broker.recovery_report();
+  std::printf("RECOVERY adopted=%zu tmp=%zu corrupt=%zu orphans=%zu\n",
+              recovery.adopted, recovery.tmp_reclaimed,
+              recovery.corrupt_quarantined, recovery.orphans_reclaimed);
   std::printf("LISTENING %u\n", server.port());
   if (metrics_port >= 0) std::printf("METRICS %u\n", server.metrics_port());
   std::fflush(stdout);
@@ -137,5 +176,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   registry.GetCounter("pdm_broker_ticket_retirements_total", "")
                       .value()));
+  std::printf("faults: %llu spill corruptions, %llu spill write errors, %lld "
+              "shed frames, %lld idle reaped\n",
+              static_cast<unsigned long long>(
+                  registry.GetCounter("pdm_broker_spill_corruptions_total", "")
+                      .value()),
+              static_cast<unsigned long long>(
+                  registry.GetCounter("pdm_broker_spill_write_errors_total", "")
+                      .value()),
+              static_cast<long long>(stats.shed_frames),
+              static_cast<long long>(stats.idle_reaped));
   return 0;
 }

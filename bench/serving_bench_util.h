@@ -44,6 +44,11 @@ struct LoadConfig {
   int64_t batch = 8;
   /// Connect retries (the server may still be starting in CI).
   int connect_attempts = 100;
+  /// Per-response deadline forwarded to the client (0: wait forever).
+  int deadline_ms = 0;
+  /// Transport-failure recovery attempts per tick (reconnect + re-resolve).
+  /// 0 keeps the pre-§14 behavior: any transport failure is fatal.
+  int max_retries = 0;
 };
 
 struct ConnectionResult {
@@ -60,6 +65,11 @@ struct ConnectionResult {
   int64_t quotes = 0;
   int64_t accepts = 0;
   int64_t rejects = 0;
+  /// Requests lost to *retryable* conditions and absorbed by the load loop:
+  /// Unavailable / ResourceExhausted op responses (server shedding, fault
+  /// injection) and ticks dropped across a successful reconnect. These are
+  /// expected under chaos drills; `errors` stays the fatal-class tally.
+  int64_t errors_retried = 0;
   double wall_seconds = 0.0;
   /// Transport/protocol failure that aborted the connection (OK = clean).
   Status fatal;
@@ -72,6 +82,7 @@ struct LoadResult {
   int64_t quotes = 0;
   int64_t accepts = 0;
   int64_t rejects = 0;
+  int64_t errors_retried = 0;
   double wall_seconds = 0.0;
   bool ok = true;
 
@@ -113,6 +124,35 @@ inline ConnectionResult RunConnection(server::Client* client_ptr,
   std::vector<bool> accepted(static_cast<size_t>(config.batch));
   std::vector<bool> queued_accepted(static_cast<size_t>(config.batch));
 
+  // Retryable op statuses: the server answered, but with a transient
+  // condition (overload shedding, an injected fault surfacing as
+  // Unavailable). These are absorbed into `errors_retried`; anything else
+  // non-OK is a real error.
+  auto retryable_status = [](StatusCode code) {
+    return code == StatusCode::kUnavailable ||
+           code == StatusCode::kResourceExhausted;
+  };
+  // Transport-failure recovery (§14): reconnect, re-resolve the product
+  // (handles survive restarts only by name), and resume the open-loop
+  // schedule. Only transient classes qualify — a protocol/corruption
+  // failure (FailedPrecondition, DataLoss) stays fatal.
+  auto recover = [&](const Status& failure) {
+    if (config.max_retries <= 0) return false;
+    StatusCode code = failure.code();
+    if (code != StatusCode::kUnavailable && code != StatusCode::kDeadlineExceeded &&
+        code != StatusCode::kResourceExhausted) {
+      return false;
+    }
+    for (int attempt = 0; attempt < config.max_retries; ++attempt) {
+      if (client.Reconnect().ok() &&
+          client.Resolve(product.name, &handle).ok()) {
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return false;
+  };
+
   WallTimer timer;
   int64_t done = 0;
   for (int64_t tick = 0; done < config.rounds; ++tick) {
@@ -122,6 +162,7 @@ inline ConnectionResult RunConnection(server::Client* client_ptr,
                     nanos_per_tick * static_cast<double>(tick)));
     std::this_thread::sleep_until(due);
 
+    bool tick_lost = false;
     for (int64_t k = 0; k < this_batch; ++k) {
       const MarketRound& round = ring[cursor];
       cursor = cursor + 1 == ring.size() ? 0 : cursor + 1;
@@ -129,12 +170,15 @@ inline ConnectionResult RunConnection(server::Client* client_ptr,
       client.QueuePostPrice(handle, round.features, round.reserve);
     }
     result.fatal = client.Flush();
-    if (!result.fatal.ok()) return result;
+    if (!result.fatal.ok()) tick_lost = true;
 
-    for (int64_t k = 0; k < this_batch; ++k) {
+    for (int64_t k = 0; !tick_lost && k < this_batch; ++k) {
       server::Response resp;
       result.fatal = client.ReadResponse(&resp);
-      if (!result.fatal.ok()) return result;
+      if (!result.fatal.ok()) {
+        tick_lost = true;
+        break;
+      }
       // Latency from the tick's *scheduled* time: the open-loop view.
       const uint64_t nanos = static_cast<uint64_t>(std::max<int64_t>(
           1, std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - due)
@@ -147,7 +191,11 @@ inline ConnectionResult RunConnection(server::Client* client_ptr,
             !resp.quote.certain_no_sale &&
             resp.quote.price <= tick_rounds[static_cast<size_t>(k)]->value;
       } else {
-        ++result.errors;
+        if (retryable_status(resp.status.code())) {
+          ++result.errors_retried;
+        } else {
+          ++result.errors;
+        }
         tickets[static_cast<size_t>(k)] = 0;
       }
     }
@@ -155,28 +203,44 @@ inline ConnectionResult RunConnection(server::Client* client_ptr,
     // Responses arrive in request order, so the decision queued at position
     // i is the one resolved by feedback response i.
     int64_t queued = 0;
-    for (int64_t k = 0; k < this_batch; ++k) {
+    for (int64_t k = 0; !tick_lost && k < this_batch; ++k) {
       if (tickets[static_cast<size_t>(k)] == 0) continue;
       client.QueueObserve(tickets[static_cast<size_t>(k)],
                           accepted[static_cast<size_t>(k)]);
       queued_accepted[static_cast<size_t>(queued)] = accepted[static_cast<size_t>(k)];
       ++queued;
     }
-    if (queued > 0) {
+    if (!tick_lost && queued > 0) {
       result.fatal = client.Flush();
-      if (!result.fatal.ok()) return result;
-      for (int64_t k = 0; k < queued; ++k) {
+      if (!result.fatal.ok()) tick_lost = true;
+      for (int64_t k = 0; !tick_lost && k < queued; ++k) {
         server::Response resp;
         result.fatal = client.ReadResponse(&resp);
-        if (!result.fatal.ok()) return result;
+        if (!result.fatal.ok()) {
+          tick_lost = true;
+          break;
+        }
         if (!resp.status.ok()) {
-          ++result.errors;
+          if (retryable_status(resp.status.code())) {
+            ++result.errors_retried;
+          } else {
+            ++result.errors;
+          }
         } else if (queued_accepted[static_cast<size_t>(k)]) {
           ++result.accepts;
         } else {
           ++result.rejects;
         }
       }
+    }
+
+    if (tick_lost) {
+      if (!recover(result.fatal)) return result;
+      // The tick's in-flight requests are unaccounted (the connection died
+      // mid-exchange); charge them as retried and move on — at-most-once
+      // means they are never replayed.
+      result.fatal = Status::Ok();
+      result.errors_retried += this_batch;
     }
     done += this_batch;
   }
@@ -204,7 +268,11 @@ inline LoadResult RunLoad(const LoadConfig& config,
     workers.emplace_back([&, i] {
       const broker_bench::ProductWorkload& product =
           products[static_cast<size_t>(i) % products.size()];
-      server::Client client;
+      server::ClientConfig client_config;
+      client_config.deadline_ms = config.deadline_ms;
+      client_config.max_retries = config.max_retries;
+      client_config.jitter_seed = 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(i);
+      server::Client client(client_config);
       broker::ProductHandle handle;
       Status setup = ConnectWithRetry(&client, config.host, config.port,
                                       config.connect_attempts);
@@ -243,6 +311,7 @@ inline LoadResult RunLoad(const LoadConfig& config,
     load.quotes += r.quotes;
     load.accepts += r.accepts;
     load.rejects += r.rejects;
+    load.errors_retried += r.errors_retried;
   }
   return load;
 }
@@ -277,6 +346,7 @@ inline bool WriteServingJson(const std::string& path, const LoadConfig& config,
   json.Field("series", "round-trip");
   json.Field("rounds", load.rounds);
   json.Field("errors", load.errors);
+  json.Field("errors_retried", load.errors_retried);
   json.Field("quotes", load.quotes);
   json.Field("accepts", load.accepts);
   json.Field("rejects", load.rejects);
@@ -301,9 +371,10 @@ inline bool WriteServingJson(const std::string& path, const LoadConfig& config,
 
 /// Console summary of one load run.
 inline void PrintLoadSummary(const LoadResult& load) {
-  std::printf("rounds %lld  errors %lld  wall %.3fs  achieved %.0f/s\n",
+  std::printf("rounds %lld  errors %lld  retried %lld  wall %.3fs  achieved %.0f/s\n",
               static_cast<long long>(load.rounds),
-              static_cast<long long>(load.errors), load.wall_seconds,
+              static_cast<long long>(load.errors),
+              static_cast<long long>(load.errors_retried), load.wall_seconds,
               load.achieved_rounds_per_sec());
   std::printf("latency  p50 %.1fus  p90 %.1fus  p99 %.1fus  p999 %.1fus  "
               "max %.1fus  (open-loop, from scheduled send)\n",

@@ -1,12 +1,17 @@
 #include "broker/broker.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <utility>
 
 #include "common/check.h"
+#include "common/fault.h"
 
 namespace pdm::broker {
 namespace {
@@ -49,6 +54,77 @@ BatchScratch& Scratch() {
   return scratch;
 }
 
+/// Crash-consistent spill write (DESIGN.md §14): the bytes land in
+/// `path + ".tmp"`, are fsync'd, and only then atomically renamed over
+/// `path` — a crash at any instant leaves either the old spill, the new
+/// spill, or a sweepable `.tmp` orphan, never a torn file under the real
+/// name. Fault-injection sites mirror the syscalls: spill.open, spill.write
+/// (EIO before any byte), spill.short_write (ENOSPC after a partial write),
+/// spill.fsync, spill.rename.
+bool WriteSpillAtomic(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  int fd = -1;
+  if (!fault::ShouldFail("spill.open")) {
+    fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  }
+  if (fd < 0) return false;
+  bool ok = true;
+  if (fault::ShouldFail("spill.short_write")) {
+    // Simulated ENOSPC: a prefix lands in the tmp file, then the device
+    // fills. The torn bytes never reach `path` — that is the whole point.
+    ssize_t ignored = ::write(fd, bytes.data(), bytes.size() / 2);
+    (void)ignored;
+    ok = false;
+  } else if (fault::ShouldFail("spill.write")) {
+    ok = false;  // simulated EIO before any byte lands
+  }
+  size_t written = 0;
+  while (ok && written < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (ok && (fault::ShouldFail("spill.fsync") || ::fsync(fd) != 0)) ok = false;
+  ::close(fd);
+  if (ok && fault::ShouldFail("spill.rename")) ok = false;
+  if (ok && ::rename(tmp.c_str(), path.c_str()) != 0) ok = false;
+  if (!ok) ::unlink(tmp.c_str());
+  return ok;
+}
+
+enum class SpillRead { kOk, kMissing, kError };
+
+/// Whole-file read with the spill.open / spill.read fault sites. kMissing
+/// (the file does not exist) is the caller's data-loss signal; kError is a
+/// transient I/O failure — the bytes are presumably still on disk.
+SpillRead ReadSpillFile(const std::string& path, std::string* bytes) {
+  if (fault::ShouldFail("spill.open")) return SpillRead::kError;
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return errno == ENOENT ? SpillRead::kMissing : SpillRead::kError;
+  bytes->clear();
+  char buf[64 << 10];
+  for (;;) {
+    if (fault::ShouldFail("spill.read")) {
+      ::close(fd);
+      return SpillRead::kError;
+    }
+    ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return SpillRead::kError;
+    }
+    if (n == 0) break;
+    bytes->append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return SpillRead::kOk;
+}
+
 }  // namespace
 
 uint64_t TicketBaseForIndex(size_t session_index) {
@@ -67,6 +143,22 @@ Broker::Broker(const BrokerConfig& config) : config_(config) {
     // A failed create surfaces on the first eviction attempt; the broker
     // itself stays usable as a pure hot-tier broker.
   }
+  if (config_.metrics != nullptr) {
+    metrics::MetricGateway& recovery_gw = *config_.metrics;
+    metrics_.spill_corruptions = recovery_gw.GetCounter(
+        "pdm_broker_spill_corruptions_total",
+        "Spills that failed checksum/decode/restore and were quarantined.");
+    metrics_.spill_write_errors = recovery_gw.GetCounter(
+        "pdm_broker_spill_write_errors_total",
+        "Eviction spill writes that failed (session stayed resident).");
+    metrics_.spill_adopted = recovery_gw.GetCounter(
+        "pdm_broker_spill_adopted_total",
+        "Pre-crash spills adopted by OpenSession(s) after a restart.");
+    metrics_.spill_orphans_reclaimed = recovery_gw.GetCounter(
+        "pdm_broker_spill_orphans_reclaimed_total",
+        "Leftover tmp files and unclaimed spills deleted by the sweeps.");
+  }
+  SweepSpillDirOnStartup();
   if (config_.metrics != nullptr) {
     // Resolved exactly once; after this the gateway is never consulted again
     // (DESIGN.md §13). Without a gateway the default handles write to sink
@@ -142,6 +234,76 @@ Broker::SessionPtr Broker::MakePooledSession(std::string product,
 
 std::string Broker::SpillPath(size_t index) const {
   return config_.spill_dir + "/slot-" + std::to_string(index) + ".snap";
+}
+
+void Broker::SweepSpillDirOnStartup() {
+  if (config_.spill_dir.empty()) return;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(config_.spill_dir, ec)) {
+    std::error_code file_ec;
+    if (!entry.is_regular_file(file_ec)) continue;
+    const fs::path& path = entry.path();
+    const std::string name = path.filename().string();
+    if (name.size() > 4 && name.ends_with(".tmp")) {
+      // A torn write from a crashed predecessor: the atomic-rename protocol
+      // guarantees nothing under the real spill name references it.
+      size_t size = static_cast<size_t>(entry.file_size(file_ec));
+      if (fs::remove(path, file_ec)) {
+        ++recovery_report_.tmp_reclaimed;
+        recovery_report_.bytes_reclaimed += size;
+        metrics_.spill_orphans_reclaimed.Increment();
+      }
+      continue;
+    }
+    if (!name.starts_with("slot-") || !name.ends_with(".snap")) continue;
+    std::string bytes;
+    SessionSnapshot snapshot;
+    bool valid = ReadSpillFile(path.string(), &bytes) == SpillRead::kOk &&
+                 DecodeSessionSnapshot(bytes, &snapshot).ok();
+    if (!valid) {
+      // Checksum or structure damage from the previous run: keep the bytes
+      // for forensics under `*.quarantined`, never as an adoption candidate.
+      fs::rename(path, fs::path(path.string() + ".quarantined"), file_ec);
+      ++recovery_report_.corrupt_quarantined;
+      metrics_.spill_corruptions.Increment();
+      continue;
+    }
+    auto [it, inserted] = recovered_spills_.emplace(
+        snapshot.product, RecoveredSpill{path.string(), bytes.size()});
+    if (inserted) {
+      ++recovery_report_.spills_found;
+    } else {
+      // Two spills claiming one product cannot both be right; keep the
+      // first, reclaim the duplicate.
+      if (fs::remove(path, file_ec)) {
+        ++recovery_report_.orphans_reclaimed;
+        recovery_report_.bytes_reclaimed += bytes.size();
+        metrics_.spill_orphans_reclaimed.Increment();
+      }
+    }
+  }
+}
+
+size_t Broker::SweepUnclaimedSpills() {
+  std::lock_guard control(control_mu_);
+  size_t reclaimed = 0;
+  for (const auto& [product, spill] : recovered_spills_) {
+    std::error_code ec;
+    if (std::filesystem::remove(spill.path, ec)) {
+      ++reclaimed;
+      recovery_report_.bytes_reclaimed += spill.size;
+    }
+  }
+  recovered_spills_.clear();
+  recovery_report_.orphans_reclaimed += reclaimed;
+  metrics_.spill_orphans_reclaimed.Add(reclaimed);
+  return reclaimed;
+}
+
+RecoveryReport Broker::recovery_report() const {
+  std::lock_guard control(control_mu_);
+  return recovery_report_;
 }
 
 Status Broker::OpenSession(std::string product, std::unique_ptr<PricingEngine> engine) {
@@ -223,20 +385,50 @@ Status Broker::OpenSessions(std::span<const std::string> products,
   auto recipe = std::make_shared<const RebuildRecipe>(RebuildRecipe{spec, info});
   auto next = std::make_unique<Directory>(*current);
   uint64_t epoch = sweep_epoch_.load(std::memory_order_relaxed);
+  size_t fresh = 0;
   for (const std::string& product : products) {
     size_t index = slots_.size();
     SessionSlot* slot = NewSlot();
     slot->recipe = recipe;
-    slot->session = MakePooledSession(
-        product, scenario::MechanismRegistry::Builtin().Build(spec, info),
-        TicketBaseForIndex(index));
+    // Crash recovery (DESIGN.md §14): a product whose spill survived a
+    // previous broker adopts it — the slot starts evicted with the pre-crash
+    // bytes under its own spill name, and the first touch faults the session
+    // back in bit-identically. Only registry opens adopt: fault-in needs the
+    // rebuild recipe.
+    bool adopted = false;
+    if (config_.recover_spills && !config_.spill_dir.empty()) {
+      auto rec = recovered_spills_.find(product);
+      if (rec != recovered_spills_.end()) {
+        std::error_code ec;
+        std::filesystem::rename(rec->second.path, SpillPath(index), ec);
+        if (!ec) {
+          slot->evicted = true;
+          slot->spill_size = rec->second.size;
+          spill_bytes_.fetch_add(rec->second.size, std::memory_order_relaxed);
+          metrics_.spill.Add(static_cast<double>(rec->second.size));
+          metrics_.evicted.Add(1.0);
+          metrics_.spill_adopted.Increment();
+          ++recovery_report_.adopted;
+          adopted = true;
+        }
+        // Rename failure falls through to a fresh build; either way the
+        // inventory entry is spent.
+        recovered_spills_.erase(rec);
+      }
+    }
+    if (!adopted) {
+      slot->session = MakePooledSession(
+          product, scenario::MechanismRegistry::Builtin().Build(spec, info),
+          TicketBaseForIndex(index));
+      ++fresh;
+    }
     slot->last_touch_epoch.store(epoch, std::memory_order_relaxed);
     slot->state.store(1, std::memory_order_relaxed);
     next->slots.push_back(slot);
     next->by_name.emplace(product, ProductHandle{static_cast<uint32_t>(index), 1});
   }
-  resident_sessions_.fetch_add(products.size(), std::memory_order_relaxed);
-  metrics_.resident.Add(static_cast<double>(products.size()));
+  resident_sessions_.fetch_add(fresh, std::memory_order_relaxed);
+  metrics_.resident.Add(static_cast<double>(fresh));
   metrics_.open_products.Add(static_cast<double>(products.size()));
   directory_.Publish(std::move(next));
   return Status::Ok();
@@ -259,6 +451,9 @@ Status Broker::CloseSession(std::string_view product) {
     slot->state.store(it->second.generation + 1, std::memory_order_release);
     if (slot->evicted) {
       // Close-while-cold: drop the spill file, nothing to fault back in.
+      // A quarantined slot already surrendered its bytes (the file lives on
+      // under `*.quarantined` and its accounting is zero), so these are
+      // no-ops for it beyond clearing the occupancy gauge.
       std::error_code ec;
       std::filesystem::remove(SpillPath(it->second.index), ec);
       spill_bytes_.fetch_sub(slot->spill_size, std::memory_order_relaxed);
@@ -266,6 +461,7 @@ Status Broker::CloseSession(std::string_view product) {
       metrics_.evicted.Sub(1.0);
       slot->spill_size = 0;
       slot->evicted = false;
+      slot->quarantined = false;
     } else {
       slot->session.reset();
       resident_sessions_.fetch_sub(1, std::memory_order_relaxed);
@@ -316,33 +512,69 @@ Broker::SessionSlot* Broker::ProbeTicket(uint64_t ticket, uint32_t* state_out) c
   return slot;
 }
 
-bool Broker::FaultInLocked(SessionSlot* slot, size_t index) {
+void Broker::QuarantineLocked(SessionSlot* slot, size_t index) {
+  // Keep the damaged bytes for forensics under `*.quarantined`; the slot
+  // flag (not the file) is what short-circuits every later touch to
+  // DataLoss. A missing file simply has nothing to rename.
+  std::string path = SpillPath(index);
+  std::error_code ec;
+  std::filesystem::rename(path, path + ".quarantined", ec);
+  spill_bytes_.fetch_sub(slot->spill_size, std::memory_order_relaxed);
+  metrics_.spill.Sub(static_cast<double>(slot->spill_size));
+  slot->spill_size = 0;
+  slot->quarantined = true;
+  metrics_.spill_corruptions.Increment();
+}
+
+Status Broker::FaultInLocked(SessionSlot* slot, size_t index) {
+  if (slot->quarantined) {
+    return Status::DataLoss(
+        "session state lost: spill quarantined after corruption");
+  }
   // Timed end to end — spill read, decode, engine rebuild, restore — into
   // the fault-in histogram; this is the latency a request pays when it lands
   // on a cold session (DESIGN.md §12/§13).
   const auto fault_start = std::chrono::steady_clock::now();
   std::string path = SpillPath(index);
   std::string bytes;
-  {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) return false;
-    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
-    if (in.bad()) return false;
+  switch (ReadSpillFile(path, &bytes)) {
+    case SpillRead::kOk:
+      break;
+    case SpillRead::kMissing:
+      // An evicted slot whose spill vanished has no state left to restore.
+      QuarantineLocked(slot, index);
+      return Status::DataLoss("spill file missing for evicted session");
+    case SpillRead::kError:
+      // The bytes are presumably still on disk — a retry may succeed, so
+      // this is NOT a quarantine.
+      return Status::Unavailable("spill read failed (transient I/O error)");
   }
   SessionSnapshot snapshot;
-  if (!DecodeSessionSnapshot(bytes, &snapshot).ok()) return false;
+  Status decoded = DecodeSessionSnapshot(bytes, &snapshot);
+  if (!decoded.ok()) {
+    QuarantineLocked(slot, index);
+    return Status::DataLoss("corrupt spill quarantined: " + decoded.message());
+  }
   PDM_CHECK(slot->recipe != nullptr);  // only recipe sessions are evicted
   SessionPtr session = MakePooledSession(
       snapshot.product,
       scenario::MechanismRegistry::Builtin().Build(slot->recipe->spec,
                                                    slot->recipe->info),
       TicketBaseForIndex(index));
-  // Restore is bit-exact: pdm.snap.v1 carries raw IEEE-754 bit patterns, and
-  // the rebuilt engine restores the knowledge set, counters, symmetrization
-  // phase, and every outstanding ticket (same ticket base — the slot never
-  // moved), so the resumed session is indistinguishable from one that was
-  // never evicted (pinned in tests/broker_test.cc).
-  if (!session->Restore(snapshot).ok()) return false;
+  // Restore is bit-exact: the snapshot carries raw IEEE-754 bit patterns,
+  // and the rebuilt engine restores the knowledge set, counters,
+  // symmetrization phase, and every outstanding ticket (same ticket base —
+  // the slot never moved), so the resumed session is indistinguishable from
+  // one that was never evicted (pinned in tests/broker_test.cc).
+  Status restored = session->Restore(snapshot);
+  if (!restored.ok()) {
+    // The checksum was intact but the state does not apply (e.g. a foreign
+    // ticket base after an out-of-order recovery): the accumulated knowledge
+    // set is unusable — data loss, not a retry.
+    QuarantineLocked(slot, index);
+    return Status::DataLoss("spill decoded but did not restore: " +
+                            restored.message());
+  }
   slot->session = std::move(session);
   slot->evicted = false;
   std::error_code ec;
@@ -359,21 +591,29 @@ bool Broker::FaultInLocked(SessionSlot* slot, size_t index) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - fault_start)
           .count()));
-  return true;
+  return Status::Ok();
 }
 
 Broker::LockedSlot Broker::AcquireHandle(ProductHandle handle) {
   LockedSlot acquired;
   SessionSlot* slot = ProbeHandle(handle);
-  if (slot == nullptr) return acquired;
+  if (slot == nullptr) {
+    acquired.error = StaleHandleError();
+    return acquired;
+  }
   std::unique_lock<std::mutex> lock(slot->mu);
   // Re-check under the lock: a close may have won the race after the probe.
   // `state` is only written under `mu`, so relaxed is sufficient here.
   if (slot->state.load(std::memory_order_relaxed) != handle.generation) {
+    acquired.error = StaleHandleError();
     return acquired;
   }
-  if (slot->evicted && !FaultInLocked(slot, handle.index)) {
-    return acquired;
+  if (slot->evicted) {
+    Status faulted = FaultInLocked(slot, handle.index);
+    if (!faulted.ok()) {
+      acquired.error = std::move(faulted);
+      return acquired;
+    }
   }
   // LRU touch: a plain relaxed store — never a shared RMW on the hot path.
   slot->last_touch_epoch.store(sweep_epoch_.load(std::memory_order_relaxed),
@@ -387,14 +627,24 @@ Broker::LockedSlot Broker::AcquireTicket(uint64_t ticket) {
   LockedSlot acquired;
   uint32_t state = 0;
   SessionSlot* slot = ProbeTicket(ticket, &state);
-  if (slot == nullptr) return acquired;
-  std::unique_lock<std::mutex> lock(slot->mu);
-  if (slot->state.load(std::memory_order_relaxed) != state) {
+  if (slot == nullptr) {
+    acquired.error = Status::NotFound("ticket " + std::to_string(ticket) +
+                                      " references no open session");
     return acquired;
   }
-  if (slot->evicted &&
-      !FaultInLocked(slot, static_cast<size_t>((ticket >> 40) - 1))) {
+  std::unique_lock<std::mutex> lock(slot->mu);
+  if (slot->state.load(std::memory_order_relaxed) != state) {
+    acquired.error = Status::NotFound("ticket " + std::to_string(ticket) +
+                                      " references no open session");
     return acquired;
+  }
+  if (slot->evicted) {
+    Status faulted =
+        FaultInLocked(slot, static_cast<size_t>((ticket >> 40) - 1));
+    if (!faulted.ok()) {
+      acquired.error = std::move(faulted);
+      return acquired;
+    }
   }
   slot->last_touch_epoch.store(sweep_epoch_.load(std::memory_order_relaxed),
                                std::memory_order_relaxed);
@@ -473,18 +723,16 @@ bool Broker::EvictSlotLocked(SessionSlot* slot, size_t index) {
   // Engines without snapshot support (or holding an attached pending round)
   // are skipped — they simply stay resident.
   if (!slot->session->Snapshot(&snapshot).ok()) return false;
-  std::string bytes = EncodeSessionSnapshot(snapshot);
+  // Spills carry the checksummed pdm.snap.v2 envelope and land through
+  // tmp + fsync + atomic rename (DESIGN.md §14): at no instant does the
+  // spill name reference torn bytes, and once the rename returns the spill
+  // survives kill -9. A failed write keeps the session resident — losing
+  // residency headroom beats losing state.
+  std::string bytes = EncodeSessionSnapshotV2(snapshot);
   std::string path = SpillPath(index);
-  {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    if (!out.good()) {
-      out.close();
-      std::error_code ec;
-      std::filesystem::remove(path, ec);
-      return false;
-    }
+  if (!WriteSpillAtomic(path, bytes)) {
+    metrics_.spill_write_errors.Increment();
+    return false;
   }
   slot->session.reset();
   slot->evicted = true;
@@ -516,7 +764,9 @@ BrokerStats Broker::Stats() const {
     if ((slot->state.load(std::memory_order_acquire) & 1) == 0) continue;
     std::lock_guard slot_lock(slot->mu);
     if ((slot->state.load(std::memory_order_relaxed) & 1) == 0) continue;
-    if (slot->evicted) {
+    if (slot->quarantined) {
+      ++stats.quarantined_sessions;
+    } else if (slot->evicted) {
       ++stats.evicted_sessions;
     } else if (slot->session != nullptr) {
       stats.retired_ticket_slots += slot->session->retired_ticket_slots();
@@ -537,8 +787,8 @@ Status Broker::PostPrice(ProductHandle handle, std::span<const double> features,
   LockedSlot acquired = AcquireHandle(handle);
   if (!acquired) {
     quote->ticket = 0;
-    quote->status = StatusCode::kNotFound;
-    return StaleHandleError();
+    quote->status = acquired.error.code();
+    return std::move(acquired.error);
   }
   Status status = acquired.session()->PostPrice(features, reserve, quote);
   if (status.ok()) metrics_.quotes.Increment();
@@ -585,8 +835,8 @@ Status Broker::PostPricesGrouped(std::span<const HandleRequest> requests,
       scratch.MarkDone(j);
       if (!acquired) {
         quotes[j].ticket = 0;
-        quotes[j].status = StatusCode::kNotFound;
-        record(j, StaleHandleError());
+        quotes[j].status = acquired.error.code();
+        record(j, acquired.error);
         continue;
       }
       scratch.positions.push_back(j);
@@ -693,10 +943,7 @@ Status Broker::PostPrices(std::span<const PriceRequest> requests,
 Status Broker::Observe(uint64_t ticket, bool accepted) {
   EnforceResidencyLimit();
   LockedSlot acquired = AcquireTicket(ticket);
-  if (!acquired) {
-    return Status::NotFound("ticket " + std::to_string(ticket) +
-                            " references no open session");
-  }
+  if (!acquired) return std::move(acquired.error);
   ObserveResult result;
   Status status = acquired.session()->Observe(ticket, accepted, &result);
   if (status.ok()) {
@@ -747,8 +994,7 @@ Status Broker::Observes(std::span<const FeedbackRequest> feedback,
       if (scratch.Done(j) || (feedback[j].ticket >> 40) != base) continue;
       scratch.MarkDone(j);
       if (!acquired) {
-        record(j, Status::NotFound("ticket " + std::to_string(feedback[j].ticket) +
-                                   " references no open session"));
+        record(j, acquired.error);
         continue;
       }
       ObserveResult result;
@@ -779,7 +1025,7 @@ Status Broker::EstimateValue(ProductHandle handle, std::span<const double> featu
   // Acquire* may fault an evicted session back in: physically mutating,
   // logically const (the observable pricing state is unchanged).
   LockedSlot acquired = const_cast<Broker*>(this)->AcquireHandle(handle);
-  if (!acquired) return StaleHandleError();
+  if (!acquired) return std::move(acquired.error);
   return acquired.session()->EstimateValue(features, out);
 }
 
@@ -796,7 +1042,7 @@ Status Broker::Snapshot(std::string_view product, SessionSnapshot* out) const {
   Status resolved = Resolve(product, &handle);
   if (!resolved.ok()) return resolved;
   LockedSlot acquired = const_cast<Broker*>(this)->AcquireHandle(handle);
-  if (!acquired) return StaleHandleError();
+  if (!acquired) return std::move(acquired.error);
   return acquired.session()->Snapshot(out);
 }
 
@@ -805,7 +1051,7 @@ Status Broker::Restore(std::string_view product, const SessionSnapshot& snapshot
   Status resolved = Resolve(product, &handle);
   if (!resolved.ok()) return resolved;
   LockedSlot acquired = AcquireHandle(handle);
-  if (!acquired) return StaleHandleError();
+  if (!acquired) return std::move(acquired.error);
   return acquired.session()->Restore(snapshot);
 }
 
@@ -815,7 +1061,7 @@ Status Broker::GetSessionInfo(std::string_view product, SessionInfo* out) const 
   Status resolved = Resolve(product, &handle);
   if (!resolved.ok()) return resolved;
   LockedSlot acquired = const_cast<Broker*>(this)->AcquireHandle(handle);
-  if (!acquired) return StaleHandleError();
+  if (!acquired) return std::move(acquired.error);
   const PricingSession& session = *acquired.session();
   out->product = session.product();
   out->engine_name = session.engine().name();

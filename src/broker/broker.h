@@ -78,6 +78,36 @@ struct BrokerConfig {
   /// to process-wide sink cells — the no-op gateway in all but name. The
   /// gateway must outlive the broker.
   metrics::MetricGateway* metrics = nullptr;
+  /// Crash recovery (DESIGN.md §14). When true and `spill_dir` is set, the
+  /// constructor sweeps the directory: `*.tmp` orphans from torn writes are
+  /// deleted, and every `slot-*.snap` spill left by a previous (crashed)
+  /// broker is validated and inventoried. A later OpenSession(s) whose
+  /// product name matches an inventoried spill *adopts* it — the session
+  /// starts evicted and faults in from the pre-crash bytes on first touch.
+  /// Spills that fail validation are quarantined (renamed `*.quarantined`)
+  /// and counted as corruptions. When false the constructor sweep still
+  /// removes `*.tmp` files but treats every leftover spill as an orphan for
+  /// SweepUnclaimedSpills.
+  bool recover_spills = true;
+};
+
+/// What the startup sweep and spill adoption did (DESIGN.md §14); `pdm_serve`
+/// prints this as its RECOVERY handshake line and tools/check_recovery.py
+/// reconciles it against the pre-restart spill manifest.
+struct RecoveryReport {
+  /// `*.tmp` files from torn spill writes deleted at construction.
+  size_t tmp_reclaimed = 0;
+  /// Valid spills inventoried at construction (adoption candidates).
+  size_t spills_found = 0;
+  /// Spills that failed checksum/decode at construction and were renamed to
+  /// `*.quarantined`.
+  size_t corrupt_quarantined = 0;
+  /// Inventoried spills adopted by OpenSession(s) so far.
+  size_t adopted = 0;
+  /// Unclaimed spills deleted by SweepUnclaimedSpills.
+  size_t orphans_reclaimed = 0;
+  /// Bytes freed by tmp + orphan reclamation.
+  size_t bytes_reclaimed = 0;
 };
 
 /// A resolved fast-path reference to one open product: slab index plus the
@@ -146,6 +176,8 @@ struct BrokerStats {
   size_t resident_sessions = 0;
   /// Open sessions currently spilled to the cold tier.
   size_t evicted_sessions = 0;
+  /// Open sessions whose spill was quarantined as corrupt (DataLoss).
+  size_t quarantined_sessions = 0;
   /// Slab occupancy: slots serving an open session / tombstoned by close /
   /// total ever allocated / remaining lifetime capacity.
   size_t slab_live_slots = 0;
@@ -256,6 +288,16 @@ class Broker {
   /// the same sweep automatically when `max_resident_sessions` is exceeded.
   size_t EvictIdleSessions(size_t max_resident);
 
+  /// Deletes inventoried spill files no OpenSession(s) call has adopted and
+  /// returns how many were reclaimed. Call once the serving fleet is open
+  /// (pdm_serve does): anything still unclaimed belonged to a product this
+  /// process will never serve — the spill-leak fix for unclean shutdowns.
+  /// Previously-quarantined files are deliberately left on disk as evidence.
+  size_t SweepUnclaimedSpills();
+
+  /// Snapshot of the recovery bookkeeping (startup sweep + adoptions so far).
+  RecoveryReport recovery_report() const;
+
   /// Broker-wide occupancy/memory counters (takes each live slot's lock
   /// briefly; intended for monitoring cadence, not the request path).
   BrokerStats Stats() const;
@@ -348,6 +390,10 @@ class Broker {
     SessionPtr session;
     /// Guarded by `mu`.
     bool evicted = false;
+    /// The slot's spill failed checksum or decode on fault-in: the file has
+    /// been renamed `*.quarantined` and every touch answers DataLoss without
+    /// retrying the bytes (DESIGN.md §14). Guarded by `mu`.
+    bool quarantined = false;
     /// Bytes of this slot's spill file (0 unless evicted). Guarded by `mu`.
     size_t spill_size = 0;
     /// Immutable after the slot is published; null for caller-built engines
@@ -396,6 +442,10 @@ class Broker {
   struct LockedSlot {
     SessionSlot* slot = nullptr;
     std::unique_lock<std::mutex> lock;
+    /// Why the acquisition failed when `slot == nullptr`: NotFound for a
+    /// stale/closed/foreign target, DataLoss for a quarantined spill,
+    /// Unavailable for a transient fault-in read failure. OK otherwise.
+    Status error;
     explicit operator bool() const { return slot != nullptr; }
     PricingSession* session() const { return slot->session.get(); }
   };
@@ -411,10 +461,23 @@ class Broker {
                                uint64_t ticket_base);
 
   /// Restores an evicted slot's session from its spill file. Requires
-  /// `slot->mu` held and `slot->evicted`. Returns false (slot stays
-  /// evicted) when the spill file is unreadable or no longer decodes — the
-  /// touching request then fails like a stale handle.
-  bool FaultInLocked(SessionSlot* slot, size_t index);
+  /// `slot->mu` held and `slot->evicted`. On failure the slot stays evicted
+  /// and the status says why: Unavailable for a transient read error (the
+  /// bytes are still on disk — a retry may succeed), DataLoss when the spill
+  /// failed checksum/decode/restore and was quarantined (every later touch
+  /// short-circuits to DataLoss).
+  Status FaultInLocked(SessionSlot* slot, size_t index);
+
+  /// Marks the slot's spill corrupt: renames the file to `*.quarantined`,
+  /// drops its bytes from the spill accounting, and flips the slot's
+  /// quarantined flag. Requires `slot->mu` held.
+  void QuarantineLocked(SessionSlot* slot, size_t index);
+
+  /// Constructor-time spill_dir sweep (DESIGN.md §14): deletes `*.tmp`
+  /// orphans from torn writes and inventories `slot-*.snap` files into
+  /// `recovered_spills_` (corrupt ones are quarantined on the spot). Runs
+  /// before the broker is visible to any other thread.
+  void SweepSpillDirOnStartup();
 
   /// Spill file for slot `index`.
   std::string SpillPath(size_t index) const;
@@ -451,6 +514,11 @@ class Broker {
     metrics::Gauge spill;
     metrics::Histogram batch_size;
     metrics::Histogram fault_in_ns;
+    /// Fault-tolerance counters (DESIGN.md §14).
+    metrics::Counter spill_corruptions;
+    metrics::Counter spill_write_errors;
+    metrics::Counter spill_adopted;
+    metrics::Counter spill_orphans_reclaimed;
   };
 
   /// The grouped batch core behind both PostPrices overloads. `*error_index`
@@ -498,6 +566,15 @@ class Broker {
   /// instead of rescanning (and re-sorting) the whole slot table from zero.
   /// Guarded by control_mu_.
   size_t clock_hand_ = 0;
+  /// Spill files inventoried by the startup sweep and not yet adopted:
+  /// decoded product name → on-disk path + size. Guarded by control_mu_.
+  struct RecoveredSpill {
+    std::string path;
+    size_t size = 0;
+  };
+  std::unordered_map<std::string, RecoveredSpill> recovered_spills_;
+  /// Recovery bookkeeping (startup sweep + adoptions). Guarded by control_mu_.
+  RecoveryReport recovery_report_;
   Instruments metrics_;
 };
 

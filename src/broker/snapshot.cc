@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/crc32.h"
+
 namespace pdm::broker {
 namespace {
 
@@ -10,6 +12,49 @@ namespace {
 /// targets), and a corrupted or foreign blob fails fast on the first bytes.
 constexpr char kMagic[8] = {'P', 'D', 'M', 'S', 'N', 'A', 'P', '1'};
 constexpr uint32_t kVersion = 1;
+
+/// pdm.snap.v2 (DESIGN.md §14): a checksummed envelope around the complete
+/// v1 byte stream — magic, u32 version, u32 body size, body, u32 CRC-32 of
+/// the body. The envelope is what spill files on disk need (a torn or
+/// bit-flipped spill must fail loudly as DataLoss), while the v1 body layout
+/// and its decoder stay byte-for-byte unchanged.
+constexpr char kMagicV2[8] = {'P', 'D', 'M', 'S', 'N', 'A', 'P', '2'};
+constexpr uint32_t kVersionV2 = 2;
+constexpr size_t kEnvelopeHeaderBytes = sizeof kMagicV2 + 2 * sizeof(uint32_t);
+constexpr size_t kEnvelopeTrailerBytes = sizeof(uint32_t);
+
+/// Validates a v2 envelope and exposes the inner v1 body. Envelope damage
+/// (truncation, padding, checksum mismatch) is DataLoss — the bytes were
+/// provably not what the encoder wrote — while a foreign version number is
+/// InvalidArgument like any other unsupported document.
+Status UnwrapV2Envelope(std::string_view bytes, std::string_view* body) {
+  if (bytes.size() < kEnvelopeHeaderBytes + kEnvelopeTrailerBytes) {
+    return Status::DataLoss("truncated pdm.snap.v2 envelope");
+  }
+  uint32_t version;
+  std::memcpy(&version, bytes.data() + sizeof kMagicV2, sizeof version);
+  if (version != kVersionV2) {
+    return Status::InvalidArgument("unsupported pdm.snap version " +
+                                   std::to_string(version));
+  }
+  uint32_t body_size;
+  std::memcpy(&body_size, bytes.data() + sizeof kMagicV2 + sizeof version,
+              sizeof body_size);
+  if (bytes.size() !=
+      kEnvelopeHeaderBytes + static_cast<size_t>(body_size) +
+          kEnvelopeTrailerBytes) {
+    return Status::DataLoss(
+        "pdm.snap.v2 envelope size mismatch (truncated or padded spill)");
+  }
+  *body = bytes.substr(kEnvelopeHeaderBytes, body_size);
+  uint32_t expected;
+  std::memcpy(&expected, bytes.data() + kEnvelopeHeaderBytes + body_size,
+              sizeof expected);
+  if (Crc32(*body) != expected) {
+    return Status::DataLoss("pdm.snap.v2 checksum mismatch");
+  }
+  return Status::Ok();
+}
 
 // ------------------------------------------------------------------- writer
 
@@ -182,8 +227,29 @@ std::string EncodeSessionSnapshot(const SessionSnapshot& snapshot) {
   return out;
 }
 
+std::string EncodeSessionSnapshotV2(const SessionSnapshot& snapshot) {
+  std::string body = EncodeSessionSnapshot(snapshot);
+  std::string out;
+  out.reserve(kEnvelopeHeaderBytes + body.size() + kEnvelopeTrailerBytes);
+  PutBytes(&out, kMagicV2, sizeof kMagicV2);
+  PutU32(&out, kVersionV2);
+  PutU32(&out, static_cast<uint32_t>(body.size()));
+  out += body;
+  PutU32(&out, Crc32(body));
+  return out;
+}
+
 Status DecodeSessionSnapshot(std::string_view bytes, SessionSnapshot* out) {
   if (out == nullptr) return Status::InvalidArgument("null snapshot output");
+  if (bytes.size() >= sizeof kMagicV2 &&
+      std::memcmp(bytes.data(), kMagicV2, sizeof kMagicV2) == 0) {
+    std::string_view body;
+    Status unwrapped = UnwrapV2Envelope(bytes, &body);
+    if (!unwrapped.ok()) return unwrapped;
+    // The checksummed body is a complete v1 document; recursion terminates
+    // because each envelope level strips at least its header and trailer.
+    return DecodeSessionSnapshot(body, out);
+  }
   Reader reader(bytes);
   char magic[8];
   if (!reader.GetBytes(magic, sizeof magic) ||

@@ -76,8 +76,16 @@ struct SessionSnapshot {
 /// Serializes to the versioned `pdm.snap.v1` byte format.
 std::string EncodeSessionSnapshot(const SessionSnapshot& snapshot);
 
-/// Parses bytes produced by EncodeSessionSnapshot (any supported version).
-/// Returns InvalidArgument on a malformed or truncated document.
+/// Serializes to `pdm.snap.v2`: the v1 bytes wrapped in a checksummed
+/// envelope (magic, u32 version, u32 body size, body, u32 CRC-32 trailer).
+/// This is the on-disk spill format (DESIGN.md §14) — a torn write or bit
+/// flip fails decode with DataLoss instead of restoring a silently wrong
+/// knowledge set.
+std::string EncodeSessionSnapshotV2(const SessionSnapshot& snapshot);
+
+/// Parses bytes produced by either encoder (any supported version).
+/// Returns InvalidArgument on a malformed or truncated v1 document, and
+/// DataLoss when a v2 envelope is truncated, padded, or fails its checksum.
 Status DecodeSessionSnapshot(std::string_view bytes, SessionSnapshot* out);
 
 }  // namespace pdm::broker

@@ -14,6 +14,14 @@ const char* StatusCodeName(StatusCode code) {
       return "failed-precondition";
     case StatusCode::kUnimplemented:
       return "unimplemented";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
+    case StatusCode::kDataLoss:
+      return "data-loss";
   }
   return "unknown";
 }

@@ -30,6 +30,20 @@ enum class StatusCode {
   kFailedPrecondition,
   /// The operation is not available on this engine (no snapshot support).
   kUnimplemented,
+  /// A client-side deadline elapsed before the response arrived. The
+  /// operation may or may not have executed server-side (at-most-once).
+  kDeadlineExceeded,
+  /// The server or transport is temporarily unable to serve the request
+  /// (connection lost, injected transport fault). Idempotent operations are
+  /// safe to retry; mutating operations may have executed (at-most-once).
+  kUnavailable,
+  /// The server shed the request under overload (per-connection buffered-
+  /// bytes or in-flight-frame caps, DESIGN.md §14). Retryable after backoff.
+  kResourceExhausted,
+  /// Durable state backing the target was lost or corrupted: a spilled
+  /// session's snapshot failed its checksum or no longer decodes, and the
+  /// file has been quarantined. Not retryable — the session is gone.
+  kDataLoss,
 };
 
 /// Human-readable code name ("ok", "not-found", ...).
@@ -54,6 +68,18 @@ class Status {
   }
   static Status Unimplemented(std::string message) {
     return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,10 +1,14 @@
 #include "server/client.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace pdm::server {
 namespace {
@@ -19,10 +23,22 @@ void PutFeatures(WireWriter* w, std::span<const double> features) {
   for (double v : features) w->PutF64(v);
 }
 
+/// splitmix64 step: the backoff jitter stream.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
 
 Status Client::Connect(const std::string& host, uint16_t port) {
   Disconnect();
+  host_ = host;
+  port_ = port;
+  jitter_state_ = config_.jitter_seed;
+  prev_backoff_ms_ = std::max(1, config_.backoff_base_ms);
   return ConnectTcp(host, port, &fd_);
 }
 
@@ -30,6 +46,34 @@ void Client::Disconnect() {
   fd_.Reset();
   queued_.clear();
   pending_.clear();
+}
+
+Status Client::Reconnect() {
+  if (host_.empty()) return Status::FailedPrecondition("client not connected");
+  Disconnect();
+  Status s = ConnectTcp(host_, port_, &fd_);
+  if (!s.ok()) {
+    // The dial failure is transient by assumption (the retry loops key on
+    // Unavailable); the endpoint itself was validated by the first Connect.
+    return Status::Unavailable(std::string("reconnect: ") +
+                               std::string(s.message()));
+  }
+  ++reconnects_;
+  return Status::Ok();
+}
+
+void Client::BackoffSleep() {
+  // Decorrelated jitter: sleep = uniform(base, min(cap, 3 * previous)).
+  // Independent clients desynchronize instead of thundering back in step.
+  const int base = std::max(1, config_.backoff_base_ms);
+  const int cap = std::max(base, config_.backoff_cap_ms);
+  const int hi = std::max(base, std::min<int>(cap, prev_backoff_ms_ * 3));
+  const int span = hi - base + 1;
+  const int sleep_ms =
+      base + static_cast<int>(NextRandom(&jitter_state_) %
+                              static_cast<uint64_t>(span));
+  prev_backoff_ms_ = sleep_ms;
+  std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
 }
 
 // ----------------------------------------------------------- pipelining
@@ -79,19 +123,24 @@ Status Client::Flush() {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    queued_.erase(0, sent);
-    return Status::FailedPrecondition(std::string("send: ") + std::strerror(errno));
+    int saved = errno;
+    Disconnect();  // the stream position is unknown — poison the connection
+    return Status::Unavailable(std::string("send: ") + std::strerror(saved));
   }
   queued_.clear();
   return Status::Ok();
 }
 
 Status Client::ReadFrame(std::string* payload) {
+  const bool bounded = config_.deadline_ms > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(config_.deadline_ms);
   for (;;) {
     std::string_view view;
     size_t next;
     FrameResult r = NextFrame(pending_, 0, &view, &next);
     if (r == FrameResult::kMalformed) {
+      Disconnect();
       return Status::FailedPrecondition("oversized response frame");
     }
     if (r == FrameResult::kFrame) {
@@ -99,15 +148,44 @@ Status Client::ReadFrame(std::string* payload) {
       pending_.erase(0, next);
       return Status::Ok();
     }
+    if (bounded) {
+      // Bounded wait. On expiry the connection is dropped, not kept: the
+      // response may still arrive later, and reading it against the *next*
+      // request would hand the caller someone else's answer.
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - std::chrono::steady_clock::now())
+                      .count();
+      if (left <= 0) {
+        Disconnect();
+        return Status::DeadlineExceeded("response deadline exceeded");
+      }
+      pollfd p{fd_.get(), POLLIN, 0};
+      int ready = ::poll(&p, 1, static_cast<int>(left));
+      if (ready == 0) {
+        Disconnect();
+        return Status::DeadlineExceeded("response deadline exceeded");
+      }
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        int saved = errno;
+        Disconnect();
+        return Status::Unavailable(std::string("poll: ") + std::strerror(saved));
+      }
+    }
     char chunk[16 << 10];
     ssize_t n = ::recv(fd_.get(), chunk, sizeof chunk, 0);
     if (n > 0) {
       pending_.append(chunk, static_cast<size_t>(n));
       continue;
     }
-    if (n == 0) return Status::FailedPrecondition("connection closed by server");
+    if (n == 0) {
+      Disconnect();
+      return Status::Unavailable("connection closed by server");
+    }
     if (errno == EINTR) continue;
-    return Status::FailedPrecondition(std::string("recv: ") + std::strerror(errno));
+    int saved = errno;
+    Disconnect();
+    return Status::Unavailable(std::string("recv: ") + std::strerror(saved));
   }
 }
 
@@ -128,6 +206,18 @@ Status Client::ReadResponse(Response* out) {
   out->codes.clear();
 
   auto decode_error = [] { return Status::FailedPrecondition("malformed response body"); };
+
+  // Connection-level error frame (opcode 0, id 0): the server's last word
+  // before it closes the connection — framing violation, idle reap. It does
+  // not answer any request, so it surfaces on the transport channel (the
+  // returned Status), not as an op outcome, and the connection is dropped.
+  if (op_byte == 0) {
+    std::string_view message;
+    Disconnect();
+    if (!r.GetString(&message)) return decode_error();
+    return Status(code,
+                  std::string("server error frame: ") + std::string(message));
+  }
 
   // Batch ops always carry message + per-item results regardless of status.
   if (out->op == Opcode::kPostPrices) {
@@ -211,27 +301,62 @@ Status Client::ReadResponse(Response* out) {
 
 // ----------------------------------------------------- synchronous calls
 
+Status Client::Transact(bool idempotent, std::string_view frame, Response* resp) {
+  // At-most-once for mutating ops: one send, transport failures surface as
+  // Unavailable and the frame is never replayed (a lost PostPrice response
+  // may have issued a ticket server-side). Idempotent ops retry transparently
+  // — every retry reconnects, because any transport failure poisoned the
+  // connection (the stream position is unknown).
+  const int attempts = idempotent ? config_.max_retries + 1 : 1;
+  Status last = Status::Unavailable("no attempt made");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      BackoffSleep();
+      ++retries_;
+    }
+    if (!fd_.valid()) {
+      if (host_.empty()) return Status::FailedPrecondition("client not connected");
+      Status rc = Reconnect();
+      if (!rc.ok()) {
+        last = rc;
+        continue;
+      }
+    }
+    queued_.append(frame);
+    Status s = Flush();
+    if (s.ok()) s = ReadResponse(resp);
+    if (s.ok()) return s;
+    if (s.code() != StatusCode::kUnavailable) return s;  // deadline, protocol
+    last = s;  // transport failure: the connection is already dropped
+  }
+  return last;
+}
+
 Status Client::Ping() {
-  QueuePing();
-  Status s = Flush();
-  if (!s.ok()) return s;
+  std::string frame;
+  {
+    WireWriter w(&frame);
+    size_t f = w.BeginFrame();
+    w.PutRequestHeader(Opcode::kPing, NextId());
+    w.EndFrame(f);
+  }
   Response resp;
-  s = ReadResponse(&resp);
+  Status s = Transact(/*idempotent=*/true, frame, &resp);
   if (!s.ok()) return s;
   return resp.status;
 }
 
 Status Client::Resolve(std::string_view product, ProductHandle* handle) {
-  uint64_t id = NextId();
-  WireWriter w(&queued_);
-  size_t frame = w.BeginFrame();
-  w.PutRequestHeader(Opcode::kResolve, id);
-  w.PutString(product);
-  w.EndFrame(frame);
-  Status s = Flush();
-  if (!s.ok()) return s;
+  std::string frame;
+  {
+    WireWriter w(&frame);
+    size_t f = w.BeginFrame();
+    w.PutRequestHeader(Opcode::kResolve, NextId());
+    w.PutString(product);
+    w.EndFrame(f);
+  }
   Response resp;
-  s = ReadResponse(&resp);
+  Status s = Transact(/*idempotent=*/true, frame, &resp);
   if (!s.ok()) return s;
   if (resp.status.ok() && handle != nullptr) *handle = resp.handle;
   return resp.status;
@@ -239,11 +364,19 @@ Status Client::Resolve(std::string_view product, ProductHandle* handle) {
 
 Status Client::PostPrice(ProductHandle handle, std::span<const double> features,
                          double reserve, Quote* quote) {
-  QueuePostPrice(handle, features, reserve);
-  Status s = Flush();
-  if (!s.ok()) return s;
+  std::string frame;
+  {
+    WireWriter w(&frame);
+    size_t f = w.BeginFrame();
+    w.PutRequestHeader(Opcode::kPostPrice, NextId());
+    w.PutU32(handle.index);
+    w.PutU32(handle.generation);
+    w.PutF64(reserve);
+    PutFeatures(&w, features);
+    w.EndFrame(f);
+  }
   Response resp;
-  s = ReadResponse(&resp);
+  Status s = Transact(/*idempotent=*/false, frame, &resp);
   if (!s.ok()) return s;
   if (quote != nullptr) {
     *quote = resp.quote;
@@ -256,25 +389,31 @@ Status Client::PostPrice(ProductHandle handle, std::span<const double> features,
 }
 
 Status Client::Observe(uint64_t ticket, bool accepted) {
-  QueueObserve(ticket, accepted);
-  Status s = Flush();
-  if (!s.ok()) return s;
+  std::string frame;
+  {
+    WireWriter w(&frame);
+    size_t f = w.BeginFrame();
+    w.PutRequestHeader(Opcode::kObserve, NextId());
+    w.PutU64(ticket);
+    w.PutU8(accepted ? 1 : 0);
+    w.EndFrame(f);
+  }
   Response resp;
-  s = ReadResponse(&resp);
+  Status s = Transact(/*idempotent=*/false, frame, &resp);
   if (!s.ok()) return s;
   return resp.status;
 }
 
 Status Client::GetMetrics(metrics::MetricsDump* out) {
-  uint64_t id = NextId();
-  WireWriter w(&queued_);
-  size_t frame = w.BeginFrame();
-  w.PutRequestHeader(Opcode::kGetMetrics, id);
-  w.EndFrame(frame);
-  Status s = Flush();
-  if (!s.ok()) return s;
+  std::string frame;
+  {
+    WireWriter w(&frame);
+    size_t f = w.BeginFrame();
+    w.PutRequestHeader(Opcode::kGetMetrics, NextId());
+    w.EndFrame(f);
+  }
   Response resp;
-  s = ReadResponse(&resp);
+  Status s = Transact(/*idempotent=*/true, frame, &resp);
   if (!s.ok()) return s;
   if (resp.status.ok() && out != nullptr) *out = std::move(resp.metrics);
   return resp.status;
@@ -282,18 +421,18 @@ Status Client::GetMetrics(metrics::MetricsDump* out) {
 
 Status Client::EstimateValue(ProductHandle handle, std::span<const double> features,
                              ValueInterval* out) {
-  uint64_t id = NextId();
-  WireWriter w(&queued_);
-  size_t frame = w.BeginFrame();
-  w.PutRequestHeader(Opcode::kEstimateValue, id);
-  w.PutU32(handle.index);
-  w.PutU32(handle.generation);
-  PutFeatures(&w, features);
-  w.EndFrame(frame);
-  Status s = Flush();
-  if (!s.ok()) return s;
+  std::string frame;
+  {
+    WireWriter w(&frame);
+    size_t f = w.BeginFrame();
+    w.PutRequestHeader(Opcode::kEstimateValue, NextId());
+    w.PutU32(handle.index);
+    w.PutU32(handle.generation);
+    PutFeatures(&w, features);
+    w.EndFrame(f);
+  }
   Response resp;
-  s = ReadResponse(&resp);
+  Status s = Transact(/*idempotent=*/true, frame, &resp);
   if (!s.ok()) return s;
   if (resp.status.ok() && out != nullptr) *out = resp.interval;
   return resp.status;
@@ -304,22 +443,22 @@ Status Client::PostPrices(std::span<const HandleRequest> requests,
   if (requests.size() != quotes.size()) {
     return Status::InvalidArgument("requests/quotes size mismatch");
   }
-  uint64_t id = NextId();
-  WireWriter w(&queued_);
-  size_t frame = w.BeginFrame();
-  w.PutRequestHeader(Opcode::kPostPrices, id);
-  w.PutU32(static_cast<uint32_t>(requests.size()));
-  for (const HandleRequest& req : requests) {
-    w.PutU32(req.handle.index);
-    w.PutU32(req.handle.generation);
-    w.PutF64(req.reserve);
-    PutFeatures(&w, req.features);
+  std::string frame_bytes;
+  {
+    WireWriter w(&frame_bytes);
+    size_t f = w.BeginFrame();
+    w.PutRequestHeader(Opcode::kPostPrices, NextId());
+    w.PutU32(static_cast<uint32_t>(requests.size()));
+    for (const HandleRequest& req : requests) {
+      w.PutU32(req.handle.index);
+      w.PutU32(req.handle.generation);
+      w.PutF64(req.reserve);
+      PutFeatures(&w, req.features);
+    }
+    w.EndFrame(f);
   }
-  w.EndFrame(frame);
-  Status s = Flush();
-  if (!s.ok()) return s;
   Response resp;
-  s = ReadResponse(&resp);
+  Status s = Transact(/*idempotent=*/false, frame_bytes, &resp);
   if (!s.ok()) return s;
   if (resp.quotes.size() == quotes.size()) {
     for (size_t i = 0; i < quotes.size(); ++i) quotes[i] = resp.quotes[i];
@@ -332,20 +471,20 @@ Status Client::Observes(std::span<const FeedbackRequest> feedback,
   if (!codes.empty() && codes.size() != feedback.size()) {
     return Status::InvalidArgument("feedback/codes size mismatch");
   }
-  uint64_t id = NextId();
-  WireWriter w(&queued_);
-  size_t frame = w.BeginFrame();
-  w.PutRequestHeader(Opcode::kObserves, id);
-  w.PutU32(static_cast<uint32_t>(feedback.size()));
-  for (const FeedbackRequest& fb : feedback) {
-    w.PutU64(fb.ticket);
-    w.PutU8(fb.accepted ? 1 : 0);
+  std::string frame_bytes;
+  {
+    WireWriter w(&frame_bytes);
+    size_t f = w.BeginFrame();
+    w.PutRequestHeader(Opcode::kObserves, NextId());
+    w.PutU32(static_cast<uint32_t>(feedback.size()));
+    for (const FeedbackRequest& fb : feedback) {
+      w.PutU64(fb.ticket);
+      w.PutU8(fb.accepted ? 1 : 0);
+    }
+    w.EndFrame(f);
   }
-  w.EndFrame(frame);
-  Status s = Flush();
-  if (!s.ok()) return s;
   Response resp;
-  s = ReadResponse(&resp);
+  Status s = Transact(/*idempotent=*/false, frame_bytes, &resp);
   if (!s.ok()) return s;
   if (!codes.empty() && resp.codes.size() == codes.size()) {
     for (size_t i = 0; i < codes.size(); ++i) codes[i] = resp.codes[i];

@@ -33,8 +33,36 @@
 /// A `Client` is single-threaded by contract — one connection, one request
 /// stream. Concurrency is modeled as one Client per thread (the server
 /// multiplexes).
+///
+/// Resilience (DESIGN.md §14): a `ClientConfig` adds per-call deadlines
+/// (bounded response waits), transparent reconnect with decorrelated-jitter
+/// backoff, and automatic retry of *idempotent* calls (Ping, Resolve,
+/// EstimateValue, GetMetrics) on transient transport failures. Mutating
+/// calls (PostPrice, Observe, and the batch ops) are at-most-once: a
+/// transport failure surfaces as `Unavailable` and is never resent — the
+/// caller cannot know whether the broker executed the request, so replaying
+/// it could double-issue a ticket or double-apply feedback.
 
 namespace pdm::server {
+
+/// Knobs for deadlines, retries, and reconnect backoff. The defaults are
+/// the pre-§14 behavior: block forever, never retry.
+struct ClientConfig {
+  /// Per-call bound on each response wait, enforced with poll() before
+  /// every read. On expiry the call returns DeadlineExceeded and the
+  /// connection is dropped (the stream is desynced — a late response would
+  /// be mis-matched to the next request). 0: wait forever.
+  int deadline_ms = 0;
+  /// Extra attempts for idempotent calls after a transient (`Unavailable`)
+  /// transport failure; each retry reconnects first. 0: no retries.
+  int max_retries = 0;
+  /// Decorrelated-jitter backoff between retry attempts:
+  /// sleep = uniform(base, min(cap, 3 * previous_sleep)).
+  int backoff_base_ms = 10;
+  int backoff_cap_ms = 2000;
+  /// Seed for the backoff jitter stream (deterministic tests).
+  uint64_t jitter_seed = 0x853c49e6748fea9bULL;
+};
 
 /// One decoded response frame (union-style: the fields that matter depend
 /// on `op`; `status` is always meaningful).
@@ -53,15 +81,27 @@ struct Response {
 class Client {
  public:
   Client() = default;
+  explicit Client(const ClientConfig& config) : config_(config) {}
   ~Client() = default;
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
   /// Connects to `host:port` (TCP_NODELAY). Errors: FailedPrecondition.
+  /// The endpoint is remembered for `Reconnect`.
   Status Connect(const std::string& host, uint16_t port);
   void Disconnect();
   bool connected() const { return fd_.valid(); }
+
+  /// Drops the current connection (discarding queued and pending bytes) and
+  /// dials the endpoint from the last `Connect`. Errors: FailedPrecondition
+  /// when `Connect` was never called, Unavailable when the dial fails.
+  Status Reconnect();
+
+  /// Idempotent-call retries performed (each preceded by a backoff sleep).
+  int64_t retries() const { return retries_; }
+  /// Successful re-dials, both explicit and automatic.
+  int64_t reconnects() const { return reconnects_; }
 
   // ------------------------------------------------- synchronous calls
 
@@ -106,12 +146,27 @@ class Client {
  private:
   uint64_t NextId() { return next_id_++; }
   /// Reads until `pending_` holds one complete frame; yields its payload.
+  /// Honors `config_.deadline_ms`; transport failures poison the connection.
   Status ReadFrame(std::string* payload);
+  /// One request/response exchange for the synchronous surface. Reconnects
+  /// a dropped connection before sending; when `idempotent`, retries
+  /// Unavailable transport failures up to `config_.max_retries` times with
+  /// backoff. Non-idempotent frames are sent at most once.
+  Status Transact(bool idempotent, std::string_view frame, Response* resp);
+  /// Sleeps the next decorrelated-jitter backoff interval.
+  void BackoffSleep();
 
+  ClientConfig config_;
   UniqueFd fd_;
+  std::string host_;  ///< endpoint from the last Connect ("" = never dialed)
+  uint16_t port_ = 0;
   uint64_t next_id_ = 1;
   std::string queued_;   ///< frames queued and not yet written
   std::string pending_;  ///< bytes read and not yet decoded
+  uint64_t jitter_state_ = 0;
+  int prev_backoff_ms_ = 0;
+  int64_t retries_ = 0;
+  int64_t reconnects_ = 0;
 };
 
 }  // namespace pdm::server

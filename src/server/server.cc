@@ -9,6 +9,7 @@
 #include <cstring>
 #include <iterator>
 
+#include "common/fault.h"
 #include "common/status.h"
 
 namespace pdm::server {
@@ -109,8 +110,12 @@ struct TcpServer::Connection {
   bool dead = false;
   /// Accepted on the metrics port: speaks HTTP, not pdm.wire.v1.
   bool scrape = false;
-  /// Response fully buffered; close once the write buffer drains.
+  /// Response fully buffered; close once the write buffer drains. Also set
+  /// after a framing violation: the final error frame is the last thing the
+  /// peer gets, and further input is discarded rather than parsed.
   bool close_after_flush = false;
+  /// Last inbound traffic (or accept), for the idle reaper (§14).
+  std::chrono::steady_clock::time_point last_activity;
 
   bool output_pending() const { return out_offset < out.size(); }
 };
@@ -147,6 +152,12 @@ TcpServer::TcpServer(broker::Broker* broker, const ServerConfig& config)
   metrics_.protocol_errors = gw.GetCounter(
       "pdm_server_protocol_errors_total",
       "Connections dropped for framing violations.");
+  metrics_.shed_frames = gw.GetCounter(
+      "pdm_server_shed_frames_total",
+      "Frames answered with ResourceExhausted by overload shedding.");
+  metrics_.idle_reaped = gw.GetCounter(
+      "pdm_server_idle_reaped_total",
+      "Connections closed by the idle reaper.");
   metrics_.active_connections = gw.GetGauge(
       "pdm_server_active_connections",
       "Connections currently held by the event loop (wire and scrape).");
@@ -212,6 +223,8 @@ ServerStats TcpServer::stats() const {
   s.frames_coalesced = static_cast<int64_t>(metrics_.frames_coalesced.value());
   s.coalesced_runs = static_cast<int64_t>(metrics_.coalesced_runs.value());
   s.protocol_errors = static_cast<int64_t>(metrics_.protocol_errors.value());
+  s.shed_frames = static_cast<int64_t>(metrics_.shed_frames.value());
+  s.idle_reaped = static_cast<int64_t>(metrics_.idle_reaped.value());
   return s;
 }
 
@@ -242,6 +255,24 @@ void TcpServer::EventLoop() {
                        std::chrono::milliseconds(config_.drain_timeout_ms);
     }
 
+    // Idle reaper (§14): a wire connection silent past the timeout gets a
+    // best-effort error frame, one flush attempt, and dies. Scrapes are
+    // exempt (one-shot by construction) and so are connections already
+    // scheduled to close.
+    if (!draining && config_.idle_timeout_ms > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      const auto limit = std::chrono::milliseconds(config_.idle_timeout_ms);
+      for (auto& conn : connections_) {
+        if (conn->dead || conn->scrape || conn->close_after_flush) continue;
+        if (now - conn->last_activity < limit) continue;
+        WriteError(&conn->out, static_cast<Opcode>(0), 0,
+                   StatusCode::kUnavailable, "connection closed: idle timeout");
+        (void)FlushWrites(conn.get());
+        conn->dead = true;
+        metrics_.idle_reaped.Increment();
+      }
+    }
+
     // Reap connections that are done: dead, fully flushed while the peer
     // (or the drain) has no more input for us, or an answered scrape.
     const size_t conns_before_reap = connections_.size();
@@ -269,12 +300,18 @@ void TcpServer::EventLoop() {
     const size_t num_conns = connections_.size();
     for (size_t i = 0; i < num_conns; ++i) {
       Connection* conn = connections_[i].get();
-      short events = draining ? 0 : POLLIN;
+      // A violated connection is write-only: its final error frame drains,
+      // further input is never parsed.
+      short events = (draining || conn->close_after_flush) ? 0 : POLLIN;
       if (conn->output_pending()) events |= POLLOUT;
       fds.push_back({conn->fd.get(), events, 0});
     }
 
     int timeout_ms = -1;
+    if (!draining && config_.idle_timeout_ms > 0) {
+      // Coarse tick so idle connections are reaped even when no fd fires.
+      timeout_ms = config_.idle_timeout_ms;
+    }
     if (draining) {
       auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
           drain_deadline - std::chrono::steady_clock::now());
@@ -314,13 +351,20 @@ void TcpServer::EventLoop() {
           continue;
         }
       }
-      if (!draining && (revents & (POLLIN | POLLHUP | POLLERR))) {
+      if (!draining && !conn->close_after_flush &&
+          (revents & (POLLIN | POLLHUP | POLLERR))) {
+        if (fault::ShouldFail("server.recv_stall")) continue;  // starve a round
         // Read everything available, then serve the buffered frames.
         char chunk[16 << 10];
         for (;;) {
           ssize_t n = ::recv(conn->fd.get(), chunk, sizeof chunk, 0);
           if (n > 0) {
+            if (fault::ShouldFail("server.recv_reset")) {
+              conn->dead = true;  // simulated mid-frame ECONNRESET
+              break;
+            }
             conn->in.append(chunk, static_cast<size_t>(n));
+            conn->last_activity = std::chrono::steady_clock::now();
             continue;
           }
           if (n == 0) {
@@ -357,11 +401,13 @@ void TcpServer::AcceptNew(int listen_fd, bool scrape) {
       return;  // transient accept errors: retry on the next poll round
     }
     UniqueFd owned(fd);
+    if (fault::ShouldFail("server.accept")) continue;  // drops `owned`
     if (!SetNonBlocking(fd).ok()) continue;  // drops `owned`
     SetNoDelay(fd);
     auto conn = std::make_unique<Connection>();
     conn->fd = std::move(owned);
     conn->scrape = scrape;
+    conn->last_activity = std::chrono::steady_clock::now();
     connections_.push_back(std::move(conn));
     metrics_.active_connections.Add(1.0);
     if (!scrape) metrics_.connections.Increment();
@@ -389,6 +435,21 @@ void TcpServer::ServeScrape(Connection* conn) {
 }
 
 bool TcpServer::ServeBufferedFrames(Connection* conn) {
+  // Framing violations end the connection, but with a courtesy: the peer
+  // gets a final connection-level error frame (opcode 0, id 0 — no request
+  // frame can legitimately carry opcode 0) before close, so a desynced
+  // client sees *why* instead of a silent reset. Input past the violation
+  // is garbage by definition and is discarded unparsed.
+  auto violated = [&](std::string_view reason) {
+    metrics_.protocol_errors.Increment();
+    WriteError(&conn->out, static_cast<Opcode>(0), 0,
+               StatusCode::kInvalidArgument, reason);
+    conn->close_after_flush = true;
+    conn->in.clear();
+    conn->in_offset = 0;
+    return true;  // the buffered error frame still needs a flush
+  };
+
   // Split out every complete frame first: coalescing needs to see the whole
   // pipelined run, not one frame at a time.
   std::vector<std::string_view> frames;
@@ -398,8 +459,7 @@ bool TcpServer::ServeBufferedFrames(Connection* conn) {
     size_t next;
     FrameResult r = NextFrame(conn->in, offset, &payload, &next);
     if (r == FrameResult::kMalformed) {
-      metrics_.protocol_errors.Increment();
-      return false;
+      return violated("framing violation: oversized frame length");
     }
     if (r == FrameResult::kNeedMore) break;
     frames.push_back(payload);
@@ -409,10 +469,31 @@ bool TcpServer::ServeBufferedFrames(Connection* conn) {
   size_t at = 0;
   while (at < frames.size()) {
     // A frame too short for the fixed header cannot be answered (there is
-    // no id to echo) — that is a framing violation, drop the connection.
+    // no id to echo) — that is a framing violation.
     if (frames[at].size() < kHeaderBytes) {
-      metrics_.protocol_errors.Increment();
-      return false;
+      return violated("framing violation: frame shorter than request header");
+    }
+    // Overload shedding (§14): past either cap, answer ResourceExhausted
+    // without touching the broker. The error frame is a few dozen bytes, so
+    // shedding shrinks the backlog even as it answers every frame.
+    const bool over_backlog =
+        config_.max_buffered_bytes != 0 &&
+        conn->out.size() - conn->out_offset > config_.max_buffered_bytes;
+    const bool over_inflight =
+        config_.max_inflight_frames != 0 && at >= config_.max_inflight_frames;
+    if (over_backlog || over_inflight) {
+      WireReader r(frames[at]);
+      uint8_t op = 0;
+      uint64_t id = 0;
+      r.GetU8(&op);
+      r.GetU64(&id);
+      WriteError(&conn->out, static_cast<Opcode>(op), id,
+                 StatusCode::kResourceExhausted,
+                 over_backlog ? "server overloaded: response backlog over cap"
+                              : "server overloaded: pipelined frames over cap");
+      metrics_.shed_frames.Increment();
+      ++at;
+      continue;
     }
     const auto run_start = std::chrono::steady_clock::now();
     at += ServeRun(conn, frames, at);

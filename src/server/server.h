@@ -59,6 +59,21 @@ struct ServerConfig {
   /// private registry (server instruments only) — `stats()` and `GetMetrics`
   /// always read real cells, never sinks. Must outlive the server.
   metrics::MetricRegistry* metrics = nullptr;
+  /// Overload protection (DESIGN.md §14): once a connection's unflushed
+  /// response backlog exceeds this many bytes, its further frames are
+  /// *shed* — each is answered with a small ResourceExhausted error frame
+  /// instead of being served — until the peer drains its responses. Guards
+  /// against a client that pipelines requests without ever reading. 0
+  /// disables the cap.
+  size_t max_buffered_bytes = size_t{4} << 20;
+  /// Cap on complete frames served from one connection per read wakeup;
+  /// frames beyond the cap are shed with ResourceExhausted. Bounds the time
+  /// one pipelining client can monopolize the event loop. 0 disables.
+  size_t max_inflight_frames = 4096;
+  /// Idle-connection reaper: a wire connection with no inbound traffic for
+  /// this long is sent a best-effort error frame and closed. 0 (default)
+  /// never reaps. Scrape connections are exempt (they are one-shot).
+  int idle_timeout_ms = 0;
 };
 
 /// Monitoring counters, readable concurrently with the event loop; a
@@ -73,8 +88,16 @@ struct ServerStats {
   int64_t frames_coalesced = 0;
   int64_t coalesced_runs = 0;
   /// Connections dropped for framing violations (oversized/truncated
-  /// frames, unknown opcodes decode to error responses, not drops).
+  /// frames, unknown opcodes decode to error responses, not drops). Since
+  /// DESIGN.md §14 the violating connection is first sent a final error
+  /// frame (opcode 0, id 0) so the peer can distinguish "you desynced" from
+  /// a silent reset.
   int64_t protocol_errors = 0;
+  /// Frames answered with ResourceExhausted by overload shedding
+  /// (`max_buffered_bytes` / `max_inflight_frames`, DESIGN.md §14).
+  int64_t shed_frames = 0;
+  /// Connections closed by the idle reaper (`idle_timeout_ms`).
+  int64_t idle_reaped = 0;
 };
 
 class TcpServer {
@@ -114,7 +137,10 @@ class TcpServer {
   void EventLoop();
   void AcceptNew(int listen_fd, bool scrape);
   /// Serves every complete frame in `conn`'s read buffer; returns false when
-  /// the connection must be dropped (framing violation).
+  /// the connection must be dropped. A framing violation buffers a final
+  /// error frame (opcode 0, id 0, InvalidArgument) and schedules close-after-
+  /// flush instead of dropping instantly (DESIGN.md §14); frames past the
+  /// overload caps are shed with ResourceExhausted error responses.
   bool ServeBufferedFrames(Connection* conn);
   /// Answers a buffered HTTP scrape request once its header is complete;
   /// the response is followed by close (HTTP/1.0, no keep-alive).
@@ -153,6 +179,8 @@ class TcpServer {
     metrics::Counter frames_coalesced;
     metrics::Counter coalesced_runs;
     metrics::Counter protocol_errors;
+    metrics::Counter shed_frames;
+    metrics::Counter idle_reaped;
     metrics::Gauge active_connections;
     metrics::Histogram request_ns;
   };

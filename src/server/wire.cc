@@ -10,7 +10,7 @@ bool ValidOpcode(uint8_t code) {
 uint8_t StatusCodeToWire(StatusCode code) { return static_cast<uint8_t>(code); }
 
 StatusCode StatusCodeFromWire(uint8_t wire) {
-  if (wire > static_cast<uint8_t>(StatusCode::kUnimplemented)) {
+  if (wire > static_cast<uint8_t>(StatusCode::kDataLoss)) {
     return StatusCode::kInvalidArgument;
   }
   return static_cast<StatusCode>(wire);

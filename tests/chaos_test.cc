@@ -1,0 +1,634 @@
+// Fault-tolerance suite (DESIGN.md §14): the deterministic fault injector,
+// the checksummed pdm.snap.v2 spill envelope, crash-consistent spill
+// durability (quarantine, startup recovery, orphan sweeps), server overload
+// shedding and idle reaping, and client deadline/retry semantics. The
+// process-kill drill itself lives in CI (tools/check_recovery.py); this file
+// pins every failure-path contract the drill relies on.
+
+#include <gtest/gtest.h>
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "broker/broker.h"
+#include "broker/session.h"
+#include "broker/snapshot.h"
+#include "common/fault.h"
+#include "common/status.h"
+#include "metrics/metrics.h"
+#include "scenario/scenario_registry.h"
+#include "scenario/stream_factory.h"
+#include "server/client.h"
+#include "server/net.h"
+#include "server/server.h"
+#include "server/wire.h"
+
+namespace pdm::broker {
+namespace {
+
+using fault::FaultInjector;
+using scenario::ScenarioSpec;
+using scenario::StreamFactory;
+using scenario::WorkloadInfo;
+
+/// Every test touching the process-global injector scopes itself with this
+/// guard: a leaked armed site would inject faults into unrelated tests.
+struct FaultGuard {
+  FaultGuard() { FaultInjector::Global().Reset(); }
+  ~FaultGuard() { FaultInjector::Global().Reset(); }
+};
+
+ScenarioSpec LinearSpec(const std::string& name, int n, int64_t rounds,
+                        const std::string& mechanism, uint64_t workload_seed) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.family = "chaostest";
+  spec.stream = scenario::StreamKind::kLinear;
+  spec.mechanism = mechanism;
+  spec.n = n;
+  spec.rounds = rounds;
+  spec.delta = 0.01;
+  spec.linear.num_owners = 200;
+  spec.workload_seed = workload_seed;
+  spec.sim_seed = 99;
+  return spec;
+}
+
+/// Fresh spill directory for one test (wiped so reruns start clean).
+std::string ChaosDir(const std::string& tag) {
+  std::string dir = testing::TempDir() + "/pdm_chaos_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Drives `rounds` priced rounds with immediate feedback on one product.
+void DriveRounds(Broker* broker, StreamFactory* factory, const ScenarioSpec& spec,
+                 const std::string& product, int rounds) {
+  Rng rng(spec.sim_seed);
+  std::unique_ptr<QueryStream> stream = factory->CreateStream(spec, &rng);
+  MarketRound round;
+  for (int i = 0; i < rounds; ++i) {
+    stream->Next(&rng, &round);
+    Quote quote;
+    ASSERT_TRUE(
+        broker->PostPrice({product, round.features, round.reserve}, &quote).ok());
+    ASSERT_TRUE(broker->Observe(quote.ticket, quote.price <= round.value).ok());
+  }
+}
+
+// --------------------------------------------------- fault injector
+
+TEST(FaultInjectorTest, DisarmedIsInertAndArmingFires) {
+  FaultGuard guard;
+  FaultInjector& inj = FaultInjector::Global();
+  inj.SetProbability("chaos.site", 1.0);
+  EXPECT_FALSE(fault::ShouldFail("chaos.site"));  // disarmed: never fires
+  EXPECT_EQ(inj.fires("chaos.site"), 0u);
+
+  inj.Arm(7);
+  EXPECT_TRUE(fault::ShouldFail("chaos.site"));
+  EXPECT_TRUE(fault::ShouldFail("chaos.site"));
+  EXPECT_EQ(inj.hits("chaos.site"), 2u);
+  EXPECT_EQ(inj.fires("chaos.site"), 2u);
+  EXPECT_FALSE(fault::ShouldFail("chaos.other"));  // unconfigured site misses
+
+  inj.Disarm();
+  EXPECT_FALSE(fault::ShouldFail("chaos.site"));
+  inj.Reset();
+  EXPECT_EQ(inj.hits("chaos.site"), 0u);
+}
+
+TEST(FaultInjectorTest, ScriptedTriggersFireOnExactHits) {
+  FaultGuard guard;
+  FaultInjector& inj = FaultInjector::Global();
+  inj.TriggerOnHit("chaos.step", 2);
+  inj.TriggerOnHit("chaos.step", 4);
+  inj.Arm(1);
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(fault::ShouldFail("chaos.step"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, false, true, false, false}));
+  EXPECT_EQ(inj.hits("chaos.step"), 6u);
+  EXPECT_EQ(inj.fires("chaos.step"), 2u);
+}
+
+TEST(FaultInjectorTest, SeededProbabilityStreamIsReproducible) {
+  FaultGuard guard;
+  FaultInjector& inj = FaultInjector::Global();
+  auto run = [&] {
+    inj.Reset();
+    inj.SetProbability("chaos.coin", 0.5);
+    inj.Arm(42);
+    std::vector<bool> pattern;
+    for (int i = 0; i < 64; ++i) pattern.push_back(fault::ShouldFail("chaos.coin"));
+    return pattern;
+  };
+  std::vector<bool> first = run();
+  std::vector<bool> second = run();
+  EXPECT_EQ(first, second);
+  // A fair-ish coin: both outcomes appear (the stream is not stuck).
+  EXPECT_GT(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_GT(std::count(first.begin(), first.end(), false), 0);
+}
+
+TEST(FaultInjectorTest, ConfigureParsesSpecAndRejectsMalformed) {
+  FaultGuard guard;
+  FaultInjector& inj = FaultInjector::Global();
+  ASSERT_TRUE(inj.Configure("seed=7,chaos.cfg=1.0,chaos.nth@3").ok());
+  EXPECT_EQ(inj.Configure("chaos.cfg=not-a-number").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(inj.Configure("chaos.cfg=1.5").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(inj.Configure("chaos.nth@zero").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(inj.Configure("=0.5").code(), StatusCode::kInvalidArgument);
+  // The rejected specs left the original configuration intact.
+  inj.Arm();
+  EXPECT_TRUE(fault::ShouldFail("chaos.cfg"));
+  EXPECT_FALSE(fault::ShouldFail("chaos.nth"));
+  EXPECT_FALSE(fault::ShouldFail("chaos.nth"));
+  EXPECT_TRUE(fault::ShouldFail("chaos.nth"));  // third hit
+}
+
+// ------------------------------------------------- pdm.snap.v2 envelope
+
+class SnapV2Test : public testing::Test {
+ protected:
+  /// A realistic snapshot: engine knowledge, counters, pending tickets.
+  SessionSnapshot MakeSnapshot() {
+    StreamFactory factory;
+    ScenarioSpec spec = LinearSpec("chaos/snap", 6, 500, "reserve", 11);
+    Broker broker;
+    auto open = broker.OpenSession(spec.name, spec, factory.Prepare(spec));
+    PDM_CHECK(open.ok());
+    Rng rng(spec.sim_seed);
+    std::unique_ptr<QueryStream> stream = factory.CreateStream(spec, &rng);
+    MarketRound round;
+    for (int i = 0; i < 40; ++i) {
+      stream->Next(&rng, &round);
+      Quote quote;
+      PDM_CHECK(broker.PostPrice({spec.name, round.features, round.reserve}, &quote)
+                    .ok());
+      if (i % 3 != 0) PDM_CHECK(broker.Observe(quote.ticket, i % 2 == 0).ok());
+    }
+    SessionSnapshot snap;
+    PDM_CHECK(broker.Snapshot(spec.name, &snap).ok());
+    return snap;
+  }
+};
+
+TEST_F(SnapV2Test, RoundTripsAndStillDecodesLegacyV1) {
+  SessionSnapshot snap = MakeSnapshot();
+  const std::string v1 = EncodeSessionSnapshot(snap);
+  const std::string v2 = EncodeSessionSnapshotV2(snap);
+  ASSERT_EQ(v2.substr(0, 8), "PDMSNAP2");
+  EXPECT_EQ(v2.size(), v1.size() + 20);  // magic+version+size header, CRC trailer
+
+  SessionSnapshot from_v2, from_v1;
+  ASSERT_TRUE(DecodeSessionSnapshot(v2, &from_v2).ok());
+  ASSERT_TRUE(DecodeSessionSnapshot(v1, &from_v1).ok());
+  // Decode → re-encode is byte-identical through both paths.
+  EXPECT_EQ(EncodeSessionSnapshot(from_v2), v1);
+  EXPECT_EQ(EncodeSessionSnapshot(from_v1), v1);
+  EXPECT_EQ(from_v2.pending.size(), snap.pending.size());
+}
+
+TEST_F(SnapV2Test, EveryTruncationPointRejectsWithoutCrashing) {
+  const std::string v2 = EncodeSessionSnapshotV2(MakeSnapshot());
+  for (size_t cut = 0; cut < v2.size(); ++cut) {
+    SessionSnapshot out;
+    Status s = DecodeSessionSnapshot(std::string_view(v2).substr(0, cut), &out);
+    ASSERT_FALSE(s.ok()) << "decoded a " << cut << "-byte truncation";
+    if (cut >= 8) {
+      // Magic intact: the envelope itself reports the damage as DataLoss.
+      EXPECT_EQ(s.code(), StatusCode::kDataLoss) << "cut at " << cut;
+    }
+  }
+}
+
+TEST_F(SnapV2Test, EveryFlippedByteRejects) {
+  const std::string v2 = EncodeSessionSnapshotV2(MakeSnapshot());
+  for (size_t at = 0; at < v2.size(); ++at) {
+    std::string damaged = v2;
+    damaged[at] = static_cast<char>(damaged[at] ^ 0x40);
+    SessionSnapshot out;
+    Status s = DecodeSessionSnapshot(damaged, &out);
+    ASSERT_FALSE(s.ok()) << "decoded with byte " << at << " flipped";
+    if (at >= 12) {
+      // Size, body, or CRC damage → DataLoss (bytes 0..7 fall back to the
+      // v1 parser's InvalidArgument; 8..11 is an unsupported version).
+      EXPECT_EQ(s.code(), StatusCode::kDataLoss) << "flip at " << at;
+    }
+  }
+}
+
+// --------------------------------------------- spill durability + recovery
+
+TEST(BrokerChaosTest, EvictionSpillsV2AndCorruptionQuarantinesWithDataLoss) {
+  FaultGuard guard;
+  StreamFactory factory;
+  metrics::MetricRegistry registry;
+  ScenarioSpec spec = LinearSpec("chaos/corrupt", 6, 2000, "reserve", 21);
+  WorkloadInfo info = factory.Prepare(spec);
+  BrokerConfig config;
+  config.spill_dir = ChaosDir("corrupt");
+  config.metrics = &registry;
+  Broker broker(config);
+  ASSERT_TRUE(broker.OpenSession("chaos/p0", spec, info).ok());
+  ASSERT_TRUE(broker.OpenSession("chaos/p1", spec, info).ok());
+  DriveRounds(&broker, &factory, spec, "chaos/p0", 20);
+  DriveRounds(&broker, &factory, spec, "chaos/p1", 20);
+
+  ASSERT_EQ(broker.EvictIdleSessions(0), 2u);
+  const std::string spill0 = config.spill_dir + "/slot-0.snap";
+  std::string bytes = ReadFileBytes(spill0);
+  ASSERT_EQ(bytes.substr(0, 8), "PDMSNAP2");  // spills are enveloped
+
+  // Corrupt one body byte on disk. The next touch must fail DataLoss and
+  // quarantine the file — never serve a silently wrong price.
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+  WriteFileBytes(spill0, bytes);
+
+  Rng rng(spec.sim_seed);
+  std::unique_ptr<QueryStream> stream = factory.CreateStream(spec, &rng);
+  MarketRound round;
+  stream->Next(&rng, &round);
+  Quote quote;
+  Status touched =
+      broker.PostPrice({"chaos/p0", round.features, round.reserve}, &quote);
+  EXPECT_EQ(touched.code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(std::filesystem::exists(spill0));
+  EXPECT_TRUE(std::filesystem::exists(spill0 + ".quarantined"));
+  EXPECT_EQ(registry.GetCounter("pdm_broker_spill_corruptions_total", "").value(),
+            1u);
+  EXPECT_EQ(broker.Stats().quarantined_sessions, 1u);
+
+  // The quarantined session keeps answering DataLoss (no retry loop into the
+  // bad file), snapshot/restore refuse too, and close is clean.
+  SessionSnapshot snap;
+  EXPECT_EQ(broker.Snapshot("chaos/p0", &snap).code(), StatusCode::kDataLoss);
+  EXPECT_EQ(broker
+                .PostPrice({"chaos/p0", round.features, round.reserve}, &quote)
+                .code(),
+            StatusCode::kDataLoss);
+  EXPECT_TRUE(broker.CloseSession("chaos/p0").ok());
+
+  // The sibling session is unharmed and faults back in.
+  EXPECT_TRUE(
+      broker.PostPrice({"chaos/p1", round.features, round.reserve}, &quote).ok());
+}
+
+TEST(BrokerChaosTest, MissingSpillSurfacesDataLoss) {
+  FaultGuard guard;
+  StreamFactory factory;
+  ScenarioSpec spec = LinearSpec("chaos/missing", 6, 2000, "reserve", 23);
+  BrokerConfig config;
+  config.spill_dir = ChaosDir("missing");
+  Broker broker(config);
+  ASSERT_TRUE(broker.OpenSession("chaos/gone", spec, factory.Prepare(spec)).ok());
+  DriveRounds(&broker, &factory, spec, "chaos/gone", 10);
+  ASSERT_EQ(broker.EvictIdleSessions(0), 1u);
+  std::filesystem::remove(config.spill_dir + "/slot-0.snap");
+
+  Rng rng(spec.sim_seed);
+  std::unique_ptr<QueryStream> stream = factory.CreateStream(spec, &rng);
+  MarketRound round;
+  stream->Next(&rng, &round);
+  Quote quote;
+  EXPECT_EQ(
+      broker.PostPrice({"chaos/gone", round.features, round.reserve}, &quote).code(),
+      StatusCode::kDataLoss);
+  EXPECT_TRUE(broker.CloseSession("chaos/gone").ok());
+}
+
+TEST(BrokerChaosTest, InjectedSpillWriteFailureKeepsSessionResident) {
+  FaultGuard guard;
+  StreamFactory factory;
+  metrics::MetricRegistry registry;
+  ScenarioSpec spec = LinearSpec("chaos/wfail", 6, 2000, "reserve", 25);
+  BrokerConfig config;
+  config.spill_dir = ChaosDir("wfail");
+  config.metrics = &registry;
+  Broker broker(config);
+  ASSERT_TRUE(broker.OpenSession("chaos/w0", spec, factory.Prepare(spec)).ok());
+  DriveRounds(&broker, &factory, spec, "chaos/w0", 10);
+
+  FaultInjector::Global().TriggerOnHit("spill.write", 1);
+  FaultInjector::Global().Arm(3);
+  EXPECT_EQ(broker.EvictIdleSessions(0), 0u);  // write failed → not evicted
+  EXPECT_EQ(registry.GetCounter("pdm_broker_spill_write_errors_total", "").value(),
+            1u);
+  EXPECT_EQ(broker.Stats().resident_sessions, 1u);
+
+  // The session still serves, and a later (fault-free) eviction succeeds.
+  FaultInjector::Global().Disarm();
+  DriveRounds(&broker, &factory, spec, "chaos/w0", 5);
+  EXPECT_EQ(broker.EvictIdleSessions(0), 1u);
+  DriveRounds(&broker, &factory, spec, "chaos/w0", 5);  // faults back in
+}
+
+TEST(BrokerChaosTest, StartupSweepAdoptsByNameQuarantinesCorruptReclaimsOrphans) {
+  FaultGuard guard;
+  StreamFactory factory;
+  ScenarioSpec spec = LinearSpec("chaos/recover", 6, 2000, "reserve", 27);
+  WorkloadInfo info = factory.Prepare(spec);
+  const std::string dir = ChaosDir("recover");
+
+  // Build the pre-crash state with a donor broker: price some rounds, leave
+  // tickets pending, and capture the exact spill bytes eviction wrote.
+  std::string spill_bytes;
+  std::string expected_v1;
+  {
+    BrokerConfig donor_config;
+    donor_config.spill_dir = ChaosDir("recover_donor");
+    Broker donor(donor_config);
+    ASSERT_TRUE(donor.OpenSession("chaos/adopted", spec, info).ok());
+    DriveRounds(&donor, &factory, spec, "chaos/adopted", 25);
+    SessionSnapshot snap;
+    ASSERT_TRUE(donor.Snapshot("chaos/adopted", &snap).ok());
+    expected_v1 = EncodeSessionSnapshot(snap);
+    ASSERT_EQ(donor.EvictIdleSessions(0), 1u);
+    spill_bytes = ReadFileBytes(donor_config.spill_dir + "/slot-0.snap");
+    ASSERT_FALSE(spill_bytes.empty());
+  }
+
+  // Fake the crashed broker's directory: a valid spill, a torn .tmp, a
+  // corrupt spill, and a valid-but-unclaimed spill from some other fleet.
+  std::filesystem::create_directories(dir);
+  WriteFileBytes(dir + "/slot-4.snap", spill_bytes);
+  WriteFileBytes(dir + "/slot-9.snap.tmp", "torn half-write");
+  std::string corrupt = spill_bytes;
+  corrupt[corrupt.size() - 1] = static_cast<char>(corrupt[corrupt.size() - 1] ^ 0xFF);
+  WriteFileBytes(dir + "/slot-7.snap", corrupt);
+
+  BrokerConfig config;
+  config.spill_dir = dir;
+  Broker broker(config);
+  RecoveryReport report = broker.recovery_report();
+  EXPECT_EQ(report.tmp_reclaimed, 1u);
+  EXPECT_EQ(report.spills_found, 1u);
+  EXPECT_EQ(report.corrupt_quarantined, 1u);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/slot-9.snap.tmp"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/slot-7.snap.quarantined"));
+
+  // Opening the matching product adopts the spill: the session starts
+  // evicted and faults in to *exactly* the pre-crash state.
+  ASSERT_TRUE(broker.OpenSession("chaos/adopted", spec, info).ok());
+  EXPECT_EQ(broker.recovery_report().adopted, 1u);
+  EXPECT_EQ(broker.Stats().evicted_sessions, 1u);
+  SessionSnapshot recovered;
+  ASSERT_TRUE(broker.Snapshot("chaos/adopted", &recovered).ok());
+  EXPECT_EQ(EncodeSessionSnapshot(recovered), expected_v1);
+
+  // Nothing else claims spills in this test, so the sweep finds none left;
+  // an unclaimed spill added later is reclaimed (the leak fix).
+  EXPECT_EQ(broker.SweepUnclaimedSpills(), 0u);
+}
+
+TEST(BrokerChaosTest, UnclaimedSpillsAreSweptNotLeaked) {
+  FaultGuard guard;
+  StreamFactory factory;
+  ScenarioSpec spec = LinearSpec("chaos/orphan", 6, 2000, "reserve", 29);
+  WorkloadInfo info = factory.Prepare(spec);
+  const std::string dir = ChaosDir("orphan");
+
+  std::string spill_bytes;
+  {
+    BrokerConfig donor_config;
+    donor_config.spill_dir = ChaosDir("orphan_donor");
+    Broker donor(donor_config);
+    ASSERT_TRUE(donor.OpenSession("chaos/left-behind", spec, info).ok());
+    DriveRounds(&donor, &factory, spec, "chaos/left-behind", 5);
+    ASSERT_EQ(donor.EvictIdleSessions(0), 1u);
+    spill_bytes = ReadFileBytes(donor_config.spill_dir + "/slot-0.snap");
+  }
+  std::filesystem::create_directories(dir);
+  WriteFileBytes(dir + "/slot-3.snap", spill_bytes);
+
+  BrokerConfig config;
+  config.spill_dir = dir;
+  Broker broker(config);
+  EXPECT_EQ(broker.recovery_report().spills_found, 1u);
+  // The fleet this broker opens does NOT include the orphan's product.
+  ASSERT_TRUE(broker.OpenSession("chaos/other", spec, info).ok());
+  EXPECT_EQ(broker.SweepUnclaimedSpills(), 1u);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/slot-3.snap"));
+  EXPECT_EQ(broker.recovery_report().orphans_reclaimed, 1u);
+}
+
+// ------------------------------------------------------- server chaos
+
+TEST(ServerChaosTest, OverloadShedsFramesWithResourceExhausted) {
+  FaultGuard guard;
+  Broker broker;
+  server::ServerConfig config;
+  config.max_inflight_frames = 1;  // serve one frame per wakeup, shed the rest
+  server::TcpServer server(&broker, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  server::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  constexpr int kBurst = 16;
+  for (int i = 0; i < kBurst; ++i) client.QueuePing();
+  ASSERT_TRUE(client.Flush().ok());
+  int ok = 0, shed = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    server::Response resp;
+    ASSERT_TRUE(client.ReadResponse(&resp).ok());
+    if (resp.status.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(resp.status.code(), StatusCode::kResourceExhausted);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, kBurst);
+  EXPECT_GT(ok, 0);    // at least the first frame of each wakeup serves
+  EXPECT_GT(shed, 0);  // a 16-deep pipeline must trip a 1-frame cap
+  EXPECT_EQ(server.stats().shed_frames, shed);
+
+  // Shedding is load shedding, not a drop: the connection still serves.
+  EXPECT_TRUE(client.Ping().ok());
+  server.Stop();
+}
+
+TEST(ServerChaosTest, IdleConnectionsAreReapedWithAnErrorFrame) {
+  FaultGuard guard;
+  Broker broker;
+  server::ServerConfig config;
+  config.idle_timeout_ms = 50;
+  server::TcpServer server(&broker, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  server::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Ping().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  // The reaper closed us: the next exchange surfaces the final error frame
+  // (or the close itself) as a transport-level Unavailable.
+  Status s = client.Ping();
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable) << s.ToString();
+  EXPECT_GE(server.stats().idle_reaped, 1);
+
+  // A fresh connection works — the reaper only kills the silent one.
+  ASSERT_TRUE(client.Reconnect().ok());
+  EXPECT_TRUE(client.Ping().ok());
+  server.Stop();
+}
+
+TEST(ServerChaosTest, InjectedRecvResetIsAbsorbedByClientRetry) {
+  FaultGuard guard;
+  Broker broker;
+  server::TcpServer server(&broker);
+  ASSERT_TRUE(server.Start().ok());
+
+  // First read on the connection dies mid-frame (simulated ECONNRESET);
+  // the retrying client reconnects and the second attempt lands.
+  FaultInjector::Global().TriggerOnHit("server.recv_reset", 1);
+  FaultInjector::Global().Arm(5);
+
+  server::ClientConfig client_config;
+  client_config.max_retries = 3;
+  client_config.backoff_base_ms = 1;
+  server::Client client(client_config);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_GE(client.retries(), 1);
+  EXPECT_GE(client.reconnects(), 1);
+  EXPECT_EQ(FaultInjector::Global().fires("server.recv_reset"), 1u);
+
+  FaultInjector::Global().Disarm();
+  server.Stop();
+}
+
+TEST(ServerChaosTest, InjectedAcceptFailureOnlyCostsOneDial) {
+  FaultGuard guard;
+  Broker broker;
+  server::TcpServer server(&broker);
+  ASSERT_TRUE(server.Start().ok());
+
+  FaultInjector::Global().TriggerOnHit("server.accept", 1);
+  FaultInjector::Global().Arm(5);
+
+  server::ClientConfig client_config;
+  client_config.max_retries = 3;
+  client_config.backoff_base_ms = 1;
+  server::Client client(client_config);
+  // The first accept is dropped server-side; the connect itself succeeds
+  // (the kernel completed the handshake), so the failure surfaces on the
+  // first exchange and the retry redials.
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_EQ(FaultInjector::Global().fires("server.accept"), 1u);
+
+  FaultInjector::Global().Disarm();
+  server.Stop();
+}
+
+// ------------------------------------------------------- client chaos
+
+TEST(ClientChaosTest, DeadlineExpiresAgainstASilentServer) {
+  FaultGuard guard;
+  // A listener that never accepts: the kernel completes the TCP handshake
+  // from the backlog, then the "server" stays silent forever.
+  server::UniqueFd listener;
+  uint16_t port = 0;
+  ASSERT_TRUE(server::ListenTcp("127.0.0.1", 0, &listener, &port).ok());
+
+  server::ClientConfig config;
+  config.deadline_ms = 100;
+  server::Client client(config);
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+  const auto before = std::chrono::steady_clock::now();
+  Status s = client.Ping();
+  const auto waited = std::chrono::steady_clock::now() - before;
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded) << s.ToString();
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(waited).count(),
+            5000);
+  // The connection is poisoned: a late response must never be matched to
+  // the next request.
+  EXPECT_FALSE(client.connected());
+}
+
+TEST(ClientChaosTest, RetriesReconnectAcrossAServerRestart) {
+  FaultGuard guard;
+  Broker broker;
+  auto server1 = std::make_unique<server::TcpServer>(&broker);
+  ASSERT_TRUE(server1->Start().ok());
+  const uint16_t port = server1->port();
+
+  server::ClientConfig config;
+  config.max_retries = 5;
+  config.backoff_base_ms = 5;
+  server::Client client(config);
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+  ASSERT_TRUE(client.Ping().ok());
+
+  // Kill the server and immediately bring up a replacement on the same port
+  // (SO_REUSEADDR). The client's next idempotent call rides its retry loop
+  // across the gap.
+  server1.reset();
+  server::ServerConfig config2;
+  config2.port = port;
+  server::TcpServer server2(&broker, config2);
+  ASSERT_TRUE(server2.Start().ok());
+
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_GE(client.reconnects(), 1);
+  server2.Stop();
+}
+
+TEST(ClientChaosTest, MutatingCallsSurfaceUnavailableAndNeverAutoRetry) {
+  FaultGuard guard;
+  StreamFactory factory;
+  ScenarioSpec spec = LinearSpec("chaos/mutate", 6, 2000, "reserve", 33);
+  Broker broker;
+  ASSERT_TRUE(broker.OpenSession("chaos/mutate", spec, factory.Prepare(spec)).ok());
+  server::TcpServer server(&broker);
+  ASSERT_TRUE(server.Start().ok());
+
+  server::ClientConfig config;
+  config.max_retries = 5;
+  config.backoff_base_ms = 1;
+  server::Client client(config);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  broker::ProductHandle handle;
+  ASSERT_TRUE(client.Resolve("chaos/mutate", &handle).ok());
+
+  // Every recv dies until disarmed: a PostPrice must fail Unavailable after
+  // ONE send (at-most-once — the broker may or may not have priced it), not
+  // silently replay.
+  FaultInjector::Global().SetProbability("server.recv_reset", 1.0);
+  FaultInjector::Global().Arm(9);
+  const int64_t retries_before = client.retries();
+  std::vector<double> features(6, 0.1);
+  Quote quote;
+  Status s = client.PostPrice(handle, features, 0.0, &quote);
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable) << s.ToString();
+  EXPECT_EQ(client.retries(), retries_before);  // no auto-retry for mutations
+  FaultInjector::Global().Disarm();
+
+  // The next mutating call auto-reconnects first and succeeds.
+  EXPECT_TRUE(client.PostPrice(handle, features, 0.0, &quote).ok());
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace pdm::broker

@@ -480,9 +480,30 @@ TEST(TcpServer, FramingViolationsDropTheConnection) {
     ASSERT_TRUE(ConnectTcp("127.0.0.1", server.port(), &fd).ok());
     ASSERT_EQ(::send(fd.get(), violation.bytes.data(), violation.bytes.size(), 0),
               static_cast<ssize_t>(violation.bytes.size()));
-    // The server must close on us (recv sees EOF, never a response).
-    char chunk[64];
-    ssize_t n = ::recv(fd.get(), chunk, sizeof chunk, 0);
+    // The server sends a final connection-level error frame (opcode 0,
+    // id 0, InvalidArgument — DESIGN.md §14) and then closes on us.
+    std::string in;
+    char chunk[512];
+    std::string_view payload;
+    size_t next = 0;
+    for (;;) {
+      if (NextFrame(in, 0, &payload, &next) == FrameResult::kFrame) break;
+      ssize_t n = ::recv(fd.get(), chunk, sizeof chunk, 0);
+      ASSERT_GT(n, 0);
+      in.append(chunk, static_cast<size_t>(n));
+    }
+    WireReader r(payload);
+    uint8_t op, code;
+    uint64_t id;
+    ASSERT_TRUE(r.GetU8(&op) && r.GetU64(&id) && r.GetU8(&code));
+    EXPECT_EQ(op, 0u);
+    EXPECT_EQ(id, 0u);
+    EXPECT_EQ(StatusCodeFromWire(code), StatusCode::kInvalidArgument);
+    // ...then EOF: the connection is still dropped, just not silently.
+    in.erase(0, next);
+    ssize_t n;
+    while ((n = ::recv(fd.get(), chunk, sizeof chunk, 0)) > 0) {
+    }
     EXPECT_EQ(n, 0);
   }
   EXPECT_EQ(server.stats().protocol_errors, errors_before + 2);

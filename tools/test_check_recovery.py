@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Unit tests for the chaos-drill recovery checker (stdlib unittest;
+registered with CTest as `check_recovery_test`).
+
+check_recovery.py is the CI kill -9 drill's verdict, so its own failure
+modes are pinned the same way the compare scripts are: an empty spill
+directory, a lost or altered spill, a quarantine after restart, or recovery
+accounting that disagrees with the manifest must all be LOUD failures —
+never a quiet pass that leaves the drill disarmed.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS = pathlib.Path(__file__).resolve().parent
+CHECK_RECOVERY = TOOLS / "check_recovery.py"
+
+
+def run(*argv):
+    proc = subprocess.run(
+        [sys.executable, str(CHECK_RECOVERY), *argv],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    return proc.returncode, proc.stdout
+
+
+def scrape_text(corruptions=0, omit=False):
+    if omit:
+        return "pdm_broker_quotes_total 5\n"
+    return (
+        "# HELP pdm_broker_spill_corruptions_total test counter.\n"
+        "# TYPE pdm_broker_spill_corruptions_total counter\n"
+        f"pdm_broker_spill_corruptions_total {corruptions}\n"
+    )
+
+
+class CheckRecoveryTest(unittest.TestCase):
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self._dir.cleanup)
+        self.root = pathlib.Path(self._dir.name)
+
+    def spill_dir(self, name, files):
+        directory = self.root / name
+        directory.mkdir()
+        for filename, payload in files.items():
+            (directory / filename).write_bytes(payload)
+        return directory
+
+    def manifest_for(self, directory):
+        out = self.root / f"{directory.name}.manifest.json"
+        code, stdout = run("snapshot", str(directory), f"--out={out}")
+        self.assertEqual(code, 0, stdout)
+        return out
+
+    def write_text(self, name, text):
+        path = self.root / name
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    # ------------------------------------------------------------ snapshot
+
+    def test_snapshot_fingerprints_snap_files_only(self):
+        directory = self.spill_dir(
+            "pre",
+            {
+                "slot-0.snap": b"alpha spill",
+                "slot-1.snap": b"beta spill",
+                "slot-2.snap.tmp": b"torn half-write",
+                "slot-3.snap.quarantined": b"damaged",
+            },
+        )
+        out = self.manifest_for(directory)
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        self.assertEqual(doc["schema"], "pdm.spill_manifest.v1")
+        names = [entry["name"] for entry in doc["files"]]
+        self.assertEqual(names, ["slot-0.snap", "slot-1.snap"])
+        self.assertEqual(doc["files"][0]["bytes"], len(b"alpha spill"))
+        self.assertEqual(len(doc["files"][0]["sha256"]), 64)
+
+    def test_snapshot_of_empty_dir_fails_loudly(self):
+        """A drill that spilled nothing proves nothing — hard failure."""
+        directory = self.spill_dir("empty", {"slot-0.snap.tmp": b"torn"})
+        code, out = run("snapshot", str(directory), f"--out={self.root/'m.json'}")
+        self.assertEqual(code, 1, out)
+        self.assertIn("proves nothing", out)
+
+    def test_snapshot_of_missing_dir_fails(self):
+        code, out = run(
+            "snapshot", str(self.root / "nope"), f"--out={self.root/'m.json'}"
+        )
+        self.assertEqual(code, 1, out)
+        self.assertIn("not a directory", out)
+
+    # --------------------------------------------------------- verify-files
+
+    def test_verify_files_passes_when_bytes_survive(self):
+        directory = self.spill_dir("ok", {"slot-0.snap": b"alpha", "slot-1.snap": b"beta"})
+        manifest = self.manifest_for(directory)
+        code, out = run("verify-files", str(manifest), str(directory))
+        self.assertEqual(code, 0, out)
+        self.assertIn("byte-for-byte", out)
+
+    def test_verify_files_tolerates_adoption_renames_and_new_spills(self):
+        directory = self.spill_dir("renamed", {"slot-4.snap": b"adopt me"})
+        manifest = self.manifest_for(directory)
+        # The restarted broker re-slotted the spill and wrote a new one.
+        (directory / "slot-4.snap").rename(directory / "slot-0.snap")
+        (directory / "slot-1.snap").write_bytes(b"fresh post-restart spill")
+        code, out = run("verify-files", str(manifest), str(directory))
+        self.assertEqual(code, 0, out)
+
+    def test_verify_files_fails_on_altered_bytes(self):
+        directory = self.spill_dir("torn", {"slot-0.snap": b"alpha"})
+        manifest = self.manifest_for(directory)
+        (directory / "slot-0.snap").write_bytes(b"alphA")
+        code, out = run("verify-files", str(manifest), str(directory))
+        self.assertEqual(code, 1, out)
+        self.assertIn("lost or altered", out)
+        self.assertIn("slot-0.snap", out)
+
+    def test_verify_files_fails_on_lost_spill(self):
+        directory = self.spill_dir(
+            "lost", {"slot-0.snap": b"alpha", "slot-1.snap": b"beta"}
+        )
+        manifest = self.manifest_for(directory)
+        (directory / "slot-1.snap").unlink()
+        code, out = run("verify-files", str(manifest), str(directory))
+        self.assertEqual(code, 1, out)
+        self.assertIn("slot-1.snap", out)
+
+    def test_verify_files_fails_on_quarantine_after_restart(self):
+        directory = self.spill_dir("quar", {"slot-0.snap": b"alpha"})
+        manifest = self.manifest_for(directory)
+        (directory / "slot-9.snap.quarantined").write_bytes(b"damaged")
+        code, out = run("verify-files", str(manifest), str(directory))
+        self.assertEqual(code, 1, out)
+        self.assertIn("quarantined", out)
+
+    # -------------------------------------------------------- verify-scrape
+
+    def serve_log(self, adopted=2, tmp=0, corrupt=0, orphans=0, omit=False):
+        lines = [] if omit else [
+            f"RECOVERY adopted={adopted} tmp={tmp} corrupt={corrupt} "
+            f"orphans={orphans}"
+        ]
+        lines.append("LISTENING 7411")
+        return self.write_text("serve.log", "\n".join(lines) + "\n")
+
+    def two_spill_manifest(self):
+        directory = self.spill_dir(
+            "scrape", {"slot-0.snap": b"alpha", "slot-1.snap": b"beta"}
+        )
+        return self.manifest_for(directory)
+
+    def test_verify_scrape_passes_on_clean_recovery(self):
+        manifest = self.two_spill_manifest()
+        scrape = self.write_text("scrape.txt", scrape_text())
+        log = self.serve_log(adopted=2)
+        code, out = run(
+            "verify-scrape", str(manifest), str(scrape), f"--serve-log={log}"
+        )
+        self.assertEqual(code, 0, out)
+        self.assertIn("adopted all 2", out)
+
+    def test_verify_scrape_fails_on_adoption_shortfall(self):
+        manifest = self.two_spill_manifest()
+        scrape = self.write_text("scrape.txt", scrape_text())
+        log = self.serve_log(adopted=1)
+        code, out = run(
+            "verify-scrape", str(manifest), str(scrape), f"--serve-log={log}"
+        )
+        self.assertEqual(code, 1, out)
+        self.assertIn("did not reclaim", out)
+
+    def test_verify_scrape_fails_on_recovery_corruption(self):
+        manifest = self.two_spill_manifest()
+        scrape = self.write_text("scrape.txt", scrape_text())
+        log = self.serve_log(adopted=2, corrupt=1)
+        code, out = run(
+            "verify-scrape", str(manifest), str(scrape), f"--serve-log={log}"
+        )
+        self.assertEqual(code, 1, out)
+        self.assertIn("quarantined", out)
+
+    def test_verify_scrape_fails_on_missing_handshake_line(self):
+        manifest = self.two_spill_manifest()
+        scrape = self.write_text("scrape.txt", scrape_text())
+        log = self.serve_log(omit=True)
+        code, out = run(
+            "verify-scrape", str(manifest), str(scrape), f"--serve-log={log}"
+        )
+        self.assertEqual(code, 1, out)
+        self.assertIn("no RECOVERY handshake", out)
+
+    def test_verify_scrape_fails_on_serving_corruptions(self):
+        manifest = self.two_spill_manifest()
+        scrape = self.write_text("scrape.txt", scrape_text(corruptions=3))
+        log = self.serve_log(adopted=2)
+        code, out = run(
+            "verify-scrape", str(manifest), str(scrape), f"--serve-log={log}"
+        )
+        self.assertEqual(code, 1, out)
+        self.assertIn("3 corruption(s)", out)
+
+    def test_verify_scrape_fails_on_missing_counter(self):
+        manifest = self.two_spill_manifest()
+        scrape = self.write_text("scrape.txt", scrape_text(omit=True))
+        code, out = run("verify-scrape", str(manifest), str(scrape))
+        self.assertEqual(code, 1, out)
+        self.assertIn("missing from the scrape", out)
+
+    def test_verify_scrape_without_log_checks_scrape_only(self):
+        manifest = self.two_spill_manifest()
+        scrape = self.write_text("scrape.txt", scrape_text())
+        code, out = run("verify-scrape", str(manifest), str(scrape))
+        self.assertEqual(code, 0, out)
+
+
+if __name__ == "__main__":
+    unittest.main()
