@@ -163,6 +163,7 @@ inline ConnectionResult RunConnection(server::Client* client_ptr,
     std::this_thread::sleep_until(due);
 
     bool tick_lost = false;
+    int64_t pricing_tallied = 0;
     for (int64_t k = 0; k < this_batch; ++k) {
       const MarketRound& round = ring[cursor];
       cursor = cursor + 1 == ring.size() ? 0 : cursor + 1;
@@ -198,6 +199,7 @@ inline ConnectionResult RunConnection(server::Client* client_ptr,
         }
         tickets[static_cast<size_t>(k)] = 0;
       }
+      ++pricing_tallied;
     }
 
     // Responses arrive in request order, so the decision queued at position
@@ -236,11 +238,12 @@ inline ConnectionResult RunConnection(server::Client* client_ptr,
 
     if (tick_lost) {
       if (!recover(result.fatal)) return result;
-      // The tick's in-flight requests are unaccounted (the connection died
-      // mid-exchange); charge them as retried and move on — at-most-once
-      // means they are never replayed.
+      // The tick's still-unaccounted rounds (those whose pricing response
+      // never arrived before the connection died) are charged as retried and
+      // abandoned — at-most-once means they are never replayed. Rounds whose
+      // responses were already tallied this tick are not re-charged.
       result.fatal = Status::Ok();
-      result.errors_retried += this_batch;
+      result.errors_retried += this_batch - pricing_tallied;
     }
     done += this_batch;
   }

@@ -240,15 +240,50 @@ void Broker::SweepSpillDirOnStartup() {
   if (config_.spill_dir.empty()) return;
   namespace fs = std::filesystem;
   std::error_code ec;
+  // `recovered-<n>.snap` is the inventory namespace: disjoint from the live
+  // `slot-<i>.snap` namespace, so an unclaimed pre-crash spill can never be
+  // renamed over by a live slot's eviction, and adoption can never rename an
+  // inventory file over another slot's still-unclaimed bytes (the restart
+  // open order need not match the pre-crash slot layout).
+  auto recovered_path = [this](uint64_t n) {
+    return config_.spill_dir + "/recovered-" + std::to_string(n) + ".snap";
+  };
+  auto parse_recovered = [](const std::string& name, uint64_t* n) {
+    if (!name.starts_with("recovered-") || !name.ends_with(".snap")) return false;
+    const size_t begin = std::string_view("recovered-").size();
+    const size_t end = name.size() - std::string_view(".snap").size();
+    if (end <= begin) return false;
+    uint64_t value = 0;
+    for (size_t i = begin; i < end; ++i) {
+      if (name[i] < '0' || name[i] > '9') return false;
+      value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+    }
+    *n = value;
+    return true;
+  };
+  // Collect first: the loop below renames files inside this directory, which
+  // must not perturb an in-flight directory_iterator. The same pass finds the
+  // first recovered-<n> index free of collisions with survivors of a crash
+  // between a previous sweep and its adoptions.
+  std::vector<fs::path> candidates;
+  uint64_t next_recovered = 0;
   for (const auto& entry : fs::directory_iterator(config_.spill_dir, ec)) {
     std::error_code file_ec;
     if (!entry.is_regular_file(file_ec)) continue;
-    const fs::path& path = entry.path();
+    candidates.push_back(entry.path());
+    uint64_t index = 0;
+    if (parse_recovered(entry.path().filename().string(), &index) &&
+        index >= next_recovered) {
+      next_recovered = index + 1;
+    }
+  }
+  for (const fs::path& path : candidates) {
+    std::error_code file_ec;
     const std::string name = path.filename().string();
     if (name.size() > 4 && name.ends_with(".tmp")) {
       // A torn write from a crashed predecessor: the atomic-rename protocol
       // guarantees nothing under the real spill name references it.
-      size_t size = static_cast<size_t>(entry.file_size(file_ec));
+      size_t size = static_cast<size_t>(fs::file_size(path, file_ec));
       if (fs::remove(path, file_ec)) {
         ++recovery_report_.tmp_reclaimed;
         recovery_report_.bytes_reclaimed += size;
@@ -256,7 +291,10 @@ void Broker::SweepSpillDirOnStartup() {
       }
       continue;
     }
-    if (!name.starts_with("slot-") || !name.ends_with(".snap")) continue;
+    const bool from_slot = name.starts_with("slot-") && name.ends_with(".snap");
+    uint64_t parsed_index = 0;
+    const bool from_recovered = parse_recovered(name, &parsed_index);
+    if (!from_slot && !from_recovered) continue;
     std::string bytes;
     SessionSnapshot snapshot;
     bool valid = ReadSpillFile(path.string(), &bytes) == SpillRead::kOk &&
@@ -269,14 +307,30 @@ void Broker::SweepSpillDirOnStartup() {
       metrics_.spill_corruptions.Increment();
       continue;
     }
+    std::string inventory_path = path.string();
+    if (from_slot) {
+      inventory_path = recovered_path(next_recovered);
+      fs::rename(path, inventory_path, file_ec);
+      if (file_ec) {
+        // Can't move it to safety; reclaiming beats leaving a collision
+        // hazard sitting in the live slot namespace.
+        if (fs::remove(path, file_ec)) {
+          ++recovery_report_.orphans_reclaimed;
+          recovery_report_.bytes_reclaimed += bytes.size();
+          metrics_.spill_orphans_reclaimed.Increment();
+        }
+        continue;
+      }
+      ++next_recovered;
+    }
     auto [it, inserted] = recovered_spills_.emplace(
-        snapshot.product, RecoveredSpill{path.string(), bytes.size()});
+        snapshot.product, RecoveredSpill{inventory_path, bytes.size()});
     if (inserted) {
       ++recovery_report_.spills_found;
     } else {
       // Two spills claiming one product cannot both be right; keep the
       // first, reclaim the duplicate.
-      if (fs::remove(path, file_ec)) {
+      if (fs::remove(inventory_path, file_ec)) {
         ++recovery_report_.orphans_reclaimed;
         recovery_report_.bytes_reclaimed += bytes.size();
         metrics_.spill_orphans_reclaimed.Increment();
@@ -399,6 +453,9 @@ Status Broker::OpenSessions(std::span<const std::string> products,
     if (config_.recover_spills && !config_.spill_dir.empty()) {
       auto rec = recovered_spills_.find(product);
       if (rec != recovered_spills_.end()) {
+        // The inventory lives in the `recovered-*.snap` namespace (startup
+        // sweep), so SpillPath(index) — a fresh slot's name — can never hold
+        // another product's unclaimed bytes; this rename clobbers nothing.
         std::error_code ec;
         std::filesystem::rename(rec->second.path, SpillPath(index), ec);
         if (!ec) {
@@ -410,9 +467,17 @@ Status Broker::OpenSessions(std::span<const std::string> products,
           metrics_.spill_adopted.Increment();
           ++recovery_report_.adopted;
           adopted = true;
+        } else {
+          // Rename failure falls through to a fresh build; reclaim the
+          // recovered file so the directory can't grow across restarts.
+          std::error_code rm_ec;
+          if (std::filesystem::remove(rec->second.path, rm_ec)) {
+            ++recovery_report_.orphans_reclaimed;
+            recovery_report_.bytes_reclaimed += rec->second.size;
+            metrics_.spill_orphans_reclaimed.Increment();
+          }
         }
-        // Rename failure falls through to a fresh build; either way the
-        // inventory entry is spent.
+        // Either way the inventory entry is spent.
         recovered_spills_.erase(rec);
       }
     }

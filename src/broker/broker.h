@@ -474,9 +474,13 @@ class Broker {
   void QuarantineLocked(SessionSlot* slot, size_t index);
 
   /// Constructor-time spill_dir sweep (DESIGN.md §14): deletes `*.tmp`
-  /// orphans from torn writes and inventories `slot-*.snap` files into
-  /// `recovered_spills_` (corrupt ones are quarantined on the spot). Runs
-  /// before the broker is visible to any other thread.
+  /// orphans from torn writes and inventories pre-crash spills into
+  /// `recovered_spills_` (corrupt ones are quarantined on the spot). Valid
+  /// `slot-*.snap` files are renamed into the disjoint `recovered-<n>.snap`
+  /// inventory namespace first, so unclaimed inventory files can never
+  /// collide with a live slot's spill path — neither via adoption's rename
+  /// nor via a fresh slot evicting. Runs before the broker is visible to
+  /// any other thread.
   void SweepSpillDirOnStartup();
 
   /// Spill file for slot `index`.

@@ -257,17 +257,22 @@ void TcpServer::EventLoop() {
 
     // Idle reaper (§14): a wire connection silent past the timeout gets a
     // best-effort error frame, one flush attempt, and dies. Scrapes are
-    // exempt (one-shot by construction) and so are connections already
-    // scheduled to close.
+    // exempt (one-shot by construction). Connections already scheduled to
+    // close (close_after_flush) are NOT exempt: a peer that triggered a
+    // framing violation and then never reads its socket would otherwise pin
+    // its fd, buffers, and poll slot forever — silent past the limit, it
+    // dies with the error frame undrained.
     if (!draining && config_.idle_timeout_ms > 0) {
       const auto now = std::chrono::steady_clock::now();
       const auto limit = std::chrono::milliseconds(config_.idle_timeout_ms);
       for (auto& conn : connections_) {
-        if (conn->dead || conn->scrape || conn->close_after_flush) continue;
+        if (conn->dead || conn->scrape) continue;
         if (now - conn->last_activity < limit) continue;
-        WriteError(&conn->out, static_cast<Opcode>(0), 0,
-                   StatusCode::kUnavailable, "connection closed: idle timeout");
-        (void)FlushWrites(conn.get());
+        if (!conn->close_after_flush) {
+          WriteError(&conn->out, static_cast<Opcode>(0), 0,
+                     StatusCode::kUnavailable, "connection closed: idle timeout");
+          (void)FlushWrites(conn.get());
+        }
         conn->dead = true;
         metrics_.idle_reaped.Increment();
       }
@@ -404,6 +409,10 @@ void TcpServer::AcceptNew(int listen_fd, bool scrape) {
     if (fault::ShouldFail("server.accept")) continue;  // drops `owned`
     if (!SetNonBlocking(fd).ok()) continue;  // drops `owned`
     SetNoDelay(fd);
+    if (config_.so_sndbuf > 0) {
+      int v = config_.so_sndbuf;
+      (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &v, sizeof v);
+    }
     auto conn = std::make_unique<Connection>();
     conn->fd = std::move(owned);
     conn->scrape = scrape;

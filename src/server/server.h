@@ -72,8 +72,14 @@ struct ServerConfig {
   size_t max_inflight_frames = 4096;
   /// Idle-connection reaper: a wire connection with no inbound traffic for
   /// this long is sent a best-effort error frame and closed. 0 (default)
-  /// never reaps. Scrape connections are exempt (they are one-shot).
+  /// never reaps. Scrape connections are exempt (they are one-shot);
+  /// connections awaiting a final error-frame flush are not — a violating
+  /// peer that never reads dies undrained once silent past the limit.
   int idle_timeout_ms = 0;
+  /// Fixed SO_SNDBUF for accepted sockets, in bytes; setting it disables
+  /// kernel send-buffer autotuning. 0 (default) keeps the kernel default.
+  /// The chaos suite uses it to make write-backlog scenarios deterministic.
+  int so_sndbuf = 0;
 };
 
 /// Monitoring counters, readable concurrently with the event loop; a

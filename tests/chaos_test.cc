@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 
@@ -402,6 +404,60 @@ TEST(BrokerChaosTest, StartupSweepAdoptsByNameQuarantinesCorruptReclaimsOrphans)
   EXPECT_EQ(broker.SweepUnclaimedSpills(), 0u);
 }
 
+// The restart open order need not match the pre-crash slot layout. The sweep
+// moves inventoried spills into the disjoint `recovered-*.snap` namespace, so
+// adopting product B into what used to be A's slot index can never rename
+// over A's still-unclaimed bytes (the bug: A then silently served B's state
+// while B's slot was quarantined as DataLoss).
+TEST(BrokerChaosTest, AdoptionSurvivesReversedRestartOpenOrder) {
+  FaultGuard guard;
+  StreamFactory factory;
+  ScenarioSpec spec = LinearSpec("chaos/reorder", 6, 2000, "reserve", 31);
+  WorkloadInfo info = factory.Prepare(spec);
+  const std::string dir = ChaosDir("reorder");
+
+  // Pre-crash layout: A at slot 0, B at slot 1, with distinct states.
+  std::string expected_a, expected_b;
+  {
+    BrokerConfig donor_config;
+    donor_config.spill_dir = ChaosDir("reorder_donor");
+    Broker donor(donor_config);
+    ASSERT_TRUE(donor.OpenSession("chaos/a", spec, info).ok());
+    ASSERT_TRUE(donor.OpenSession("chaos/b", spec, info).ok());
+    DriveRounds(&donor, &factory, spec, "chaos/a", 25);
+    DriveRounds(&donor, &factory, spec, "chaos/b", 10);
+    SessionSnapshot snap;
+    ASSERT_TRUE(donor.Snapshot("chaos/a", &snap).ok());
+    expected_a = EncodeSessionSnapshot(snap);
+    ASSERT_TRUE(donor.Snapshot("chaos/b", &snap).ok());
+    expected_b = EncodeSessionSnapshot(snap);
+    ASSERT_NE(expected_a, expected_b);
+    ASSERT_EQ(donor.EvictIdleSessions(0), 2u);
+    std::filesystem::create_directories(dir);
+    std::filesystem::copy_file(donor_config.spill_dir + "/slot-0.snap",
+                               dir + "/slot-0.snap");
+    std::filesystem::copy_file(donor_config.spill_dir + "/slot-1.snap",
+                               dir + "/slot-1.snap");
+  }
+
+  // Restart opens B first: B lands on slot 0 (A's pre-crash index) and A on
+  // slot 1. Both must fault back to their OWN pre-crash state.
+  BrokerConfig config;
+  config.spill_dir = dir;
+  Broker broker(config);
+  EXPECT_EQ(broker.recovery_report().spills_found, 2u);
+  ASSERT_TRUE(broker.OpenSession("chaos/b", spec, info).ok());
+  ASSERT_TRUE(broker.OpenSession("chaos/a", spec, info).ok());
+  EXPECT_EQ(broker.recovery_report().adopted, 2u);
+
+  SessionSnapshot recovered;
+  ASSERT_TRUE(broker.Snapshot("chaos/a", &recovered).ok());
+  EXPECT_EQ(EncodeSessionSnapshot(recovered), expected_a);
+  ASSERT_TRUE(broker.Snapshot("chaos/b", &recovered).ok());
+  EXPECT_EQ(EncodeSessionSnapshot(recovered), expected_b);
+  EXPECT_EQ(broker.SweepUnclaimedSpills(), 0u);
+}
+
 TEST(BrokerChaosTest, UnclaimedSpillsAreSweptNotLeaked) {
   FaultGuard guard;
   StreamFactory factory;
@@ -490,6 +546,72 @@ TEST(ServerChaosTest, IdleConnectionsAreReapedWithAnErrorFrame) {
   // A fresh connection works — the reaper only kills the silent one.
   ASSERT_TRUE(client.Reconnect().ok());
   EXPECT_TRUE(client.Ping().ok());
+  server.Stop();
+}
+
+// A peer that triggers a framing violation and then never reads its socket
+// leaves the final error frame (plus any pinned response backlog) undrained
+// forever. The idle reaper must kill such connections rather than exempting
+// them — otherwise exactly the misbehaving peers it targets pin their fd,
+// buffers, and poll slot indefinitely.
+TEST(ServerChaosTest, ViolatedConnectionThatNeverReadsIsReaped) {
+  FaultGuard guard;
+  Broker broker;
+  server::ServerConfig config;
+  config.idle_timeout_ms = 50;
+  config.so_sndbuf = 4096;  // no autotune: a silent peer pins output fast
+  server::TcpServer server(&broker, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Raw socket with a tiny receive window (negotiated before connect).
+  server::UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  ASSERT_TRUE(fd.valid());
+  int rcvbuf = 1024;
+  ASSERT_EQ(::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf),
+            0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+
+  // Pipeline pings whose responses this peer will never read: once served,
+  // they overflow the shrunken socket buffers into the connection's
+  // userspace backlog. (Serve them fully BEFORE the violation below — a
+  // violation discards all unparsed input, so interleaving would leave no
+  // backlog to pin the error frame behind.)
+  std::string burst;
+  server::WireWriter w(&burst);
+  for (uint64_t i = 1; i <= 4000; ++i) {
+    size_t frame = w.BeginFrame();
+    w.PutRequestHeader(server::Opcode::kPing, i);
+    w.EndFrame(frame);
+  }
+  ASSERT_EQ(::send(fd.get(), burst.data(), burst.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(burst.size()));
+  for (int i = 0; i < 200 && server.stats().frames_served < 4000; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(server.stats().frames_served, 4000);
+
+  // Now the framing violation (oversized length prefix): the connection
+  // flips to close_after_flush with its error frame pinned behind the
+  // unread response backlog.
+  std::string garbage;
+  {
+    server::WireWriter g(&garbage);
+    g.PutU32(static_cast<uint32_t>(server::kMaxFramePayloadBytes + 1));
+  }
+  ASSERT_EQ(::send(fd.get(), garbage.data(), garbage.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(garbage.size()));
+
+  // Never read. The reaper must still free the connection.
+  for (int i = 0; i < 200 && server.stats().idle_reaped < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server.stats().idle_reaped, 1);
+  EXPECT_GE(server.stats().protocol_errors, 1);
   server.Stop();
 }
 
